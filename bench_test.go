@@ -1,0 +1,172 @@
+package mvtee
+
+// Benchmarks regenerating the paper's evaluation (§6), one per figure/table.
+// Each benchmark iteration runs a reduced experiment (a representative model
+// subset with short batch streams) through the same harness the full
+// regeneration tool uses; run `go run ./cmd/mvtee-bench -all` for the
+// complete tables recorded in EXPERIMENTS.md. Custom metrics report the
+// normalized results: tputx_* (throughput vs baseline, higher is better)
+// and latx_* (latency vs baseline, lower is better).
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchOpts keeps per-iteration cost modest.
+func benchOpts() bench.Options {
+	return bench.Options{
+		Models:  []string{"mnasnet", "resnet-50"},
+		Warmup:  1,
+		Batches: 4,
+	}
+}
+
+func simOpts() bench.SimOptions {
+	return bench.SimOptions{Options: benchOpts(), SimBatches: 32}
+}
+
+// report aggregates rows by config/mode into custom benchmark metrics.
+func report(b *testing.B, rows []bench.Row) {
+	type agg struct {
+		tput, lat float64
+		n         int
+	}
+	sums := map[string]*agg{}
+	for _, r := range rows {
+		key := r.Config + "_" + r.Mode
+		a := sums[key]
+		if a == nil {
+			a = &agg{}
+			sums[key] = a
+		}
+		a.tput += r.ThroughputX
+		a.lat += r.LatencyX
+		a.n++
+	}
+	for key, a := range sums {
+		b.ReportMetric(a.tput/float64(a.n), "tputx_"+key)
+		b.ReportMetric(a.lat/float64(a.n), "latx_"+key)
+	}
+}
+
+// BenchmarkFig09Partitioning regenerates Figure 9 (performance impact of
+// random-balanced partitioning) on the live engine.
+func BenchmarkFig09Partitioning(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, rows)
+}
+
+// BenchmarkFig09PartitioningSim regenerates Figure 9 on the calibrated
+// multicore pipeline simulator (the paper's 36-core testbed shape).
+func BenchmarkFig09PartitioningSim(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.SimFig9(simOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, rows)
+}
+
+// BenchmarkFig10Overheads regenerates Figure 10 (encryption and checkpoint
+// overheads).
+func BenchmarkFig10Overheads(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.SimFig10(simOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, rows)
+}
+
+// BenchmarkFig11Horizontal regenerates Figure 11 (horizontal variant scaling
+// under selective MVX).
+func BenchmarkFig11Horizontal(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.SimFig11(simOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, rows)
+}
+
+// BenchmarkFig12Vertical regenerates Figure 12 (vertical variant scaling
+// under selective MVX).
+func BenchmarkFig12Vertical(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.SimFig12(simOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, rows)
+}
+
+// BenchmarkFig13Async regenerates Figure 13 (asynchronous cross-validation
+// vs synchronous execution).
+func BenchmarkFig13Async(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.SimFig13(simOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, rows)
+}
+
+// BenchmarkFig14RealSetup regenerates Figure 14 (real-world diversified
+// deployment).
+func BenchmarkFig14RealSetup(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.SimFig14(simOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, rows)
+}
+
+// BenchmarkTable1Security regenerates the Table 1 security analysis: every
+// TensorFlow vulnerability class must be detected by the MVX panel. The
+// metric detected_frac reports the detected fraction (must be 1.0).
+func BenchmarkTable1Security(b *testing.B) {
+	var detected, total int
+	for i := 0; i < b.N; i++ {
+		results, err := bench.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			total++
+			if r.Detected {
+				detected++
+			}
+		}
+	}
+	if total > 0 {
+		b.ReportMetric(float64(detected)/float64(total), "detected_frac")
+	}
+}

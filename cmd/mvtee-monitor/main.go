@@ -1,0 +1,317 @@
+// Command mvtee-monitor runs the MVTEE monitor TEE as a TCP server for
+// process-separated deployments: it accepts variant-TEE connections over
+// attested channels, drives the two-stage bootstrap and binding protocol
+// (Figure 6) for each, wires the MVX execution engine, and (in demo mode)
+// pushes an inference workload through the pipeline.
+//
+// Start order: run mvtee-tool build first, then mvtee-monitor, then one
+// mvtee-variant process per claimed variant (the monitor assigns pool
+// entries in connection order, mirroring dynamic initialization from the
+// pre-established pool).
+//
+// Example (5 partitions, 3-variant MVX on the third):
+//
+//	mvtee-tool build -model resnet-50 -out /tmp/bundle -targets 5 -specs real
+//	mvtee-monitor -bundle /tmp/bundle -listen 127.0.0.1:9000 \
+//	    -plans "ort-cpu;ort-cpu;ort-cpu,ort-altep,tvm-graph;ort-cpu;ort-cpu" \
+//	    -demo 8 -pipelined &
+//	for i in $(seq 7); do mvtee-variant -bundle /tmp/bundle -connect 127.0.0.1:9000 & done
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/monitor"
+	"repro/internal/securechan"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+func main() {
+	bundleDir := flag.String("bundle", "", "bundle directory from mvtee-tool build (required)")
+	listen := flag.String("listen", "127.0.0.1:9000", "TCP listen address")
+	setIdx := flag.Int("set", 0, "partition set index")
+	plansStr := flag.String("plans", "", "per-partition variant claims: 'spec,spec;spec;...' (required unless -await-owner)")
+	async := flag.Bool("async", false, "asynchronous cross-validation mode")
+	awaitOwner := flag.Bool("await-owner", false,
+		"receive the MVX configuration and pool keys from a connecting mvtee-owner process instead of flags/disk (Figure 6 steps 2-3, 8)")
+	demo := flag.Int("demo", 4, "demo batches to run after bring-up (0 = wait forever)")
+	pipelined := flag.Bool("pipelined", false, "stream demo batches (pipelined) instead of sequential")
+	flag.Parse()
+	log.SetPrefix("mvtee-monitor: ")
+	log.SetFlags(0)
+
+	if *bundleDir == "" || (*plansStr == "" && !*awaitOwner) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*bundleDir, *listen, *setIdx, *plansStr, *async, *awaitOwner, *demo, *pipelined); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parsePlans(s string) []monitor.PartitionPlan {
+	var plans []monitor.PartitionPlan
+	for _, part := range strings.Split(s, ";") {
+		var p monitor.PartitionPlan
+		for _, v := range strings.Split(part, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				p.Variants = append(p.Variants, v)
+			}
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+func run(dir, listen string, setIdx int, plansStr string, async, awaitOwner bool, demo int, pipelined bool) error {
+	meta, err := core.LoadMeta(dir)
+	if err != nil {
+		return err
+	}
+	plat, err := core.LoadPlatform(dir)
+	if err != nil {
+		return err
+	}
+	verifier := enclave.NewVerifier()
+	verifier.Trust(plat)
+
+	monEncl, err := plat.Launch(core.MonitorImage())
+	if err != nil {
+		return err
+	}
+	defer monEncl.Destroy()
+	mon := monitor.New(monEncl, verifier)
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	// Provisioning: either a connecting model owner (Figure 6 steps 2–3)
+	// or local flags + the on-disk key table.
+	var ownerConn securechan.Conn
+	keyFor := func(entryKey string) ([]byte, bool) { return mon.KeyFor(entryKey) }
+	if awaitOwner {
+		log.Printf("listening on %s, awaiting model owner", ln.Addr())
+		raw, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		ownerConn, err = securechan.Server(raw, monEncl, nil)
+		if err != nil {
+			return fmt.Errorf("owner handshake: %w", err)
+		}
+		msg, err := wire.Recv(ownerConn)
+		if err != nil {
+			return fmt.Errorf("await provision: %w", err)
+		}
+		prov, ok := msg.(*wire.Provision)
+		if !ok {
+			return fmt.Errorf("expected Provision, got %T", msg)
+		}
+		if err := mon.Provision(prov); err != nil {
+			_ = wire.Send(ownerConn, &wire.Error{Message: err.Error()})
+			return err
+		}
+		setIdx = mon.Config().PartitionSet
+		log.Printf("owner provisioned MVX config (%d partitions) and keys", len(mon.Config().Plans))
+	} else {
+		keys, err := core.LoadKeys(dir)
+		if err != nil {
+			return err
+		}
+		keyFor = func(entryKey string) ([]byte, bool) {
+			k, ok := keys[entryKey]
+			return k, ok
+		}
+		nonce, err := attest.NewNonce()
+		if err != nil {
+			return err
+		}
+		mvx := &monitor.MVXConfig{Model: meta.Model, PartitionSet: setIdx, Plans: parsePlans(plansStr), Async: async}
+		cfgJSON, err := mvx.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := mon.Provision(&wire.Provision{Nonce: nonce, Config: cfgJSON}); err != nil {
+			return err
+		}
+	}
+
+	if setIdx < 0 || setIdx >= len(meta.Sets) {
+		return fmt.Errorf("set %d out of range (%d sets)", setIdx, len(meta.Sets))
+	}
+	set := meta.Sets[setIdx]
+	plans := mon.Config().Plans
+	if len(plans) != len(set.Partitions) {
+		return fmt.Errorf("%d plans for %d partitions", len(plans), len(set.Partitions))
+	}
+
+	// Flatten the plan into connection-order assignments.
+	var assignments []monitor.Assignment
+	for pi, plan := range plans {
+		for vi, spec := range plan.Variants {
+			e := core.Entry{Set: setIdx, Partition: pi, Spec: spec}
+			key := core.EntryKeyFor(setIdx, pi, spec)
+			kdk, ok := keyFor(key)
+			if !ok {
+				return fmt.Errorf("no pool key for %s", key)
+			}
+			assignments = append(assignments, monitor.Assignment{
+				VariantID:  fmt.Sprintf("p%d-%s-%d", pi, spec, vi),
+				Partition:  pi,
+				Spec:       spec,
+				KDK:        kdk,
+				Manifest:   e.ManifestPath(),
+				Files:      []string{e.GraphPath(), e.SpecPath()},
+				Entrypoint: e.EntrypointPath(),
+				Evidence:   meta.Evidence[key],
+			})
+		}
+	}
+	log.Printf("listening on %s, awaiting %d variant TEEs", ln.Addr(), len(assignments))
+
+	verify := func(r *enclave.Report) error {
+		if r == nil {
+			return fmt.Errorf("variant presented no attestation report")
+		}
+		return verifier.Verify(r, nil)
+	}
+	for _, a := range assignments {
+		raw, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if tc, ok := raw.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		conn, err := securechan.Server(raw, monEncl, verify)
+		if err != nil {
+			return fmt.Errorf("handshake for %s: %w", a.VariantID, err)
+		}
+		if _, err := mon.Bind(conn, a); err != nil {
+			return fmt.Errorf("bind %s: %w", a.VariantID, err)
+		}
+		log.Printf("bound %s (partition %d, spec %s)", a.VariantID, a.Partition, a.Spec)
+	}
+
+	stages := make([]monitor.StageSpec, len(set.Partitions))
+	for pi, p := range set.Partitions {
+		for _, in := range p.Inputs {
+			stages[pi].Inputs = append(stages[pi].Inputs, in.Name)
+		}
+		for _, out := range p.Outputs {
+			stages[pi].Outputs = append(stages[pi].Outputs, out.Name)
+		}
+	}
+	var gin []string
+	for _, vi := range meta.ModelInputs {
+		gin = append(gin, vi.Name)
+	}
+	eng, err := mon.BuildEngine(gin, meta.ModelOutputs, stages)
+	if err != nil {
+		return err
+	}
+	eng.Start()
+	defer eng.Stop()
+	log.Printf("engine started (%d stages)", len(stages))
+
+	// Figure 6 step 8: send the initialization results, echoing the owner's
+	// nonce for freshness.
+	if ownerConn != nil {
+		var ids []string
+		for _, rec := range mon.Bindings() {
+			ids = append(ids, rec.VariantID)
+		}
+		detail := fmt.Sprintf("%x:%s", mon.Nonce(), strings.Join(ids, ","))
+		if err := wire.Send(ownerConn, &wire.Ack{Detail: detail}); err != nil {
+			return fmt.Errorf("report results to owner: %w", err)
+		}
+		_ = ownerConn.Close()
+		log.Printf("initialization results sent to owner")
+	}
+
+	if demo <= 0 {
+		select {} // serve until killed
+	}
+
+	in := demoInput(meta)
+	inputs := map[string]*tensor.Tensor{meta.ModelInputs[0].Name: in}
+	start := time.Now()
+	if pipelined {
+		batches := make([]map[string]*tensor.Tensor, demo)
+		for i := range batches {
+			batches[i] = inputs
+		}
+		results, err := streamAll(eng, batches)
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		log.Printf("pipelined: %d batches in %v (%.2f batches/s)", len(results), el,
+			float64(len(results))/el.Seconds())
+	} else {
+		for i := 0; i < demo; i++ {
+			r, err := eng.Infer(inputs)
+			if err != nil {
+				return err
+			}
+			log.Printf("batch %d done in %v", r.ID, r.Latency)
+		}
+		el := time.Since(start)
+		log.Printf("sequential: %d batches in %v (%.2f batches/s)", demo, el, float64(demo)/el.Seconds())
+	}
+	for _, ev := range eng.Events() {
+		log.Printf("event: %s stage=%d batch=%d variants=%v", ev.Kind, ev.Stage, ev.BatchID, ev.Variants)
+	}
+	return nil
+}
+
+func streamAll(eng *monitor.Engine, batches []map[string]*tensor.Tensor) ([]monitor.BatchResult, error) {
+	results := make([]monitor.BatchResult, 0, len(batches))
+	errCh := make(chan error, 1)
+	go func() {
+		for range batches {
+			r, ok := <-eng.Outputs()
+			if !ok {
+				errCh <- fmt.Errorf("engine stopped")
+				return
+			}
+			if r.Err != nil {
+				errCh <- r.Err
+				return
+			}
+			results = append(results, r)
+		}
+		errCh <- nil
+	}()
+	for _, b := range batches {
+		if _, err := eng.Submit(b); err != nil {
+			return nil, err
+		}
+	}
+	return results, <-errCh
+}
+
+func demoInput(meta *core.BundleMeta) *tensor.Tensor {
+	shape := meta.ModelInputs[0].Shape
+	in := tensor.New(shape...)
+	rng := rand.New(rand.NewPCG(42, 42))
+	d := in.Data()
+	for i := range d {
+		d[i] = float32(rng.NormFloat64())
+	}
+	return in
+}

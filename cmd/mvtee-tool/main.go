@@ -1,0 +1,304 @@
+// Command mvtee-tool is the offline ML MVX tool of §5.1: model inspection,
+// model partitioning, and construction of encrypted partition variants.
+//
+// Subcommands:
+//
+//	inspect   -model NAME [-scale S -input-size N -depth D]
+//	    print model statistics and operator counts
+//	partition -model NAME -targets 3,5,7 [-seed N] [-manual idx,idx]
+//	    run random-balanced partitioning (or the manual slicer) and print
+//	    the resulting partition sets with balance factors
+//	build     -model NAME -out DIR -targets 5 -specs replica|real|hardened
+//	    run the full offline pipeline and save the encrypted bundle
+//
+// Example:
+//
+//	mvtee-tool build -model resnet-50 -out /tmp/bundle -targets 5 -specs real
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/models"
+	"repro/internal/ops"
+	"repro/internal/partition"
+	"repro/internal/pfcrypt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "partition":
+		err = runPartition(os.Args[2:])
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "rotate":
+		err = runRotate(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvtee-tool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mvtee-tool <inspect|partition|build|rotate> [flags]
+  inspect   -model NAME [-scale S -input-size N -depth D]
+  partition -model NAME -targets 3,5,7 [-seed N] [-manual i,j,...]
+  build     -model NAME -out DIR [-targets 5] [-specs replica|real|hardened] [-seed N]
+  rotate    -bundle DIR [-entry setN/pN/SPEC]   (re-key pool entries, §6.5)`)
+}
+
+func modelFlags(fs *flag.FlagSet) (*string, *models.Config) {
+	name := fs.String("model", "resnet-50", "model name ("+strings.Join(models.Names(), ", ")+")")
+	cfg := &models.Config{}
+	fs.Float64Var(&cfg.Scale, "scale", 0, "channel width multiplier (default 0.25)")
+	fs.IntVar(&cfg.InputSize, "input-size", 0, "square input resolution (default 32)")
+	fs.Float64Var(&cfg.Depth, "depth", 0, "stage depth multiplier (default 1.0)")
+	return name, cfg
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	name, cfg := modelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := models.Build(*name, *cfg)
+	if err != nil {
+		return err
+	}
+	shapes, err := ops.InferShapes(g)
+	if err != nil {
+		return err
+	}
+	st := g.Stats()
+	fmt.Printf("model:        %s\n", g.Name)
+	fmt.Printf("nodes:        %d\n", st.Nodes)
+	fmt.Printf("initializers: %d (%d parameters)\n", st.Initializers, st.Parameters)
+	for _, vi := range g.Inputs {
+		fmt.Printf("input:        %s %v\n", vi.Name, vi.Shape)
+	}
+	for _, o := range g.Outputs {
+		fmt.Printf("output:       %s %v\n", o, shapes[o])
+	}
+	fmt.Println("operator counts:")
+	for op, n := range st.OpCounts {
+		fmt.Printf("  %-16s %d\n", op, n)
+	}
+	return nil
+}
+
+func runPartition(args []string) error {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	name, cfg := modelFlags(fs)
+	targets := fs.String("targets", "5", "comma-separated partition counts")
+	seed := fs.Uint64("seed", 1, "contraction seed")
+	manual := fs.String("manual", "", "manual slicer: cut node indices (overrides -targets)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := models.Build(*name, *cfg)
+	if err != nil {
+		return err
+	}
+	p, err := partition.NewPartitioner(g)
+	if err != nil {
+		return err
+	}
+	var sets []*partition.Set
+	if *manual != "" {
+		cuts, err := parseInts(*manual)
+		if err != nil {
+			return err
+		}
+		s, err := p.SliceAt(cuts)
+		if err != nil {
+			return err
+		}
+		sets = append(sets, s)
+	} else {
+		ts, err := parseInts(*targets)
+		if err != nil {
+			return err
+		}
+		sets, err = p.GenerateSets(ts, partition.Options{Seed: *seed})
+		if err != nil {
+			return err
+		}
+	}
+	for _, set := range sets {
+		fmt.Printf("partition set: %d partitions, balance %.2f\n", len(set.Partitions), partition.Balance(set))
+		for _, pt := range set.Partitions {
+			fmt.Printf("  p%d: %3d nodes, cost %.3g, in %v, out %v\n",
+				pt.Index, len(pt.Nodes), pt.Cost, boundaryNames(pt.Inputs), boundaryNames(pt.Outputs))
+		}
+	}
+	return nil
+}
+
+func boundaryNames(bs []partition.Boundary) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	name, cfg := modelFlags(fs)
+	out := fs.String("out", "", "output bundle directory (required)")
+	targets := fs.String("targets", "5", "comma-separated partition counts")
+	specSet := fs.String("specs", "replica", "variant recipe set: replica, real, or hardened")
+	seed := fs.Uint64("seed", 1, "partitioning seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	ts, err := parseInts(*targets)
+	if err != nil {
+		return err
+	}
+	var specs []diversify.Spec
+	switch *specSet {
+	case "replica":
+		specs = []diversify.Spec{diversify.ReplicaSpec("replica")}
+	case "real":
+		specs = append(diversify.RealSetupSpecs(), diversify.HeavyTVMSpec())
+	case "hardened":
+		specs = diversify.HardenedSpecs()
+	default:
+		return fmt.Errorf("unknown spec set %q", *specSet)
+	}
+	b, err := core.BuildBundle(core.OfflineConfig{
+		ModelName:        *name,
+		ModelConfig:      *cfg,
+		PartitionTargets: ts,
+		PartitionSeed:    *seed,
+		Specs:            specs,
+	})
+	if err != nil {
+		return err
+	}
+	if err := b.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("bundle written to %s: %d partition sets, %d specs, %d encrypted files\n",
+		*out, len(b.Sets), len(b.Specs), len(b.FS))
+	return nil
+}
+
+// runRotate re-keys pool entries of a saved bundle in place (§6.5 "key
+// rotation can be conducted on a regular basis"): fresh variant-specific
+// KDKs, files re-encrypted, the owner key table rewritten. Evidence digests
+// are plaintext digests and stay valid.
+func runRotate(args []string) error {
+	fs := flag.NewFlagSet("rotate", flag.ExitOnError)
+	dir := fs.String("bundle", "", "bundle directory (required)")
+	entry := fs.String("entry", "", "single entry key 'setN/pN/SPEC' (default: all entries)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-bundle is required")
+	}
+	keys, err := core.LoadKeys(*dir)
+	if err != nil {
+		return err
+	}
+
+	// Reconstruct the minimal bundle state (keys + pool ciphertext) from disk.
+	b := &core.Bundle{FS: make(map[string][]byte), Keys: make(map[core.Entry]pfcrypt.KDK)}
+	var entries []core.Entry
+	for k, kdk := range keys {
+		e, err := core.ParseEntryKey(k)
+		if err != nil {
+			return err
+		}
+		b.Keys[e] = kdk
+		entries = append(entries, e)
+		for _, p := range []string{e.GraphPath(), e.SpecPath(), e.ManifestPath(), e.EntrypointPath()} {
+			ct, err := os.ReadFile(filepath.Join(*dir, filepath.FromSlash(p)))
+			if err != nil {
+				return err
+			}
+			b.FS[p] = ct
+		}
+	}
+	if *entry != "" {
+		e, err := core.ParseEntryKey(*entry)
+		if err != nil {
+			return err
+		}
+		if _, ok := b.Keys[e]; !ok {
+			return fmt.Errorf("no such entry %q", *entry)
+		}
+		entries = []core.Entry{e}
+	}
+
+	for _, e := range entries {
+		if err := b.RotateKey(e); err != nil {
+			return err
+		}
+	}
+	// Write back the re-encrypted files and the new key table.
+	for _, e := range entries {
+		for _, p := range []string{e.GraphPath(), e.SpecPath(), e.ManifestPath(), e.EntrypointPath()} {
+			if err := os.WriteFile(filepath.Join(*dir, filepath.FromSlash(p)), b.FS[p], 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	newKeys := make(map[string][]byte, len(b.Keys))
+	for e, k := range b.Keys {
+		newKeys[core.EntryKeyFor(e.Set, e.Partition, e.Spec)] = k
+	}
+	kb, err := json.MarshalIndent(newKeys, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, core.KeysFile), kb, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("rotated %d pool entries in %s\n", len(entries), *dir)
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command mvtee-variant runs one variant TEE for process-separated
+// deployments: it boots the TEE OS with the public init-variant manifest
+// over the saved bundle, dials the monitor over an attested channel, runs
+// the two-stage bootstrap (receiving its identity, key and encrypted files
+// from the monitor), and serves its partition until shutdown.
+//
+// The process is generic — which partition and variant spec it becomes is
+// assigned dynamically by the monitor from the pre-established pool.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/manifest"
+	"repro/internal/securechan"
+	"repro/internal/teeos"
+	"repro/internal/variant"
+)
+
+func main() {
+	bundleDir := flag.String("bundle", "", "bundle directory from mvtee-tool build (required)")
+	connect := flag.String("connect", "127.0.0.1:9000", "monitor address")
+	flag.Parse()
+	log.SetPrefix("mvtee-variant: ")
+	log.SetFlags(0)
+
+	if *bundleDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*bundleDir, *connect); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(dir, addr string) error {
+	imb, err := os.ReadFile(filepath.Join(dir, core.InitManFile))
+	if err != nil {
+		return err
+	}
+	im, err := manifest.Unmarshal(imb)
+	if err != nil {
+		return err
+	}
+	plat, err := core.LoadPlatform(dir)
+	if err != nil {
+		return err
+	}
+	verifier := enclave.NewVerifier()
+	verifier.Trust(plat)
+
+	host := teeos.DirFS(dir)
+	initBin, err := host.Get(core.InitEntrypoint)
+	if err != nil {
+		return err
+	}
+	encl, err := plat.Launch(enclave.Image{Name: "mvtee-variant", Code: initBin, InitialPages: 64 << 20})
+	if err != nil {
+		return err
+	}
+	defer encl.Destroy()
+	vos, err := teeos.New(encl, im, host, nil)
+	if err != nil {
+		return err
+	}
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if tc, ok := raw.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	conn, err := securechan.Client(raw, encl, func(r *enclave.Report) error {
+		if r == nil {
+			return securechan.ErrHandshake
+		}
+		return verifier.Verify(r, nil)
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("connected to monitor at %s, awaiting assignment", addr)
+	if err := variant.Run(conn, vos, variant.Options{}); err != nil {
+		return err
+	}
+	log.Printf("shutdown")
+	return nil
+}

@@ -1,0 +1,103 @@
+// Cloud inference service: the paper's full deployment story over real
+// localhost TCP sockets. A model owner provisions the MVX configuration to
+// the monitor TEE; variant TEEs bootstrap in two stages from the encrypted
+// pool over attested RA-TLS-style channels; the user performs a combined
+// attestation of every TEE before provisioning inputs; and a batch stream is
+// then served in pipelined fashion, with streaming checkpoints verified
+// along the way.
+//
+//	go run ./examples/cloudservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	mvtee "repro"
+
+	"repro/internal/attest"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Offline phase (model owner) ---------------------------------------
+	bundle, err := mvtee.BuildBundle(mvtee.OfflineConfig{
+		ModelName:        "inceptionv3",
+		PartitionTargets: []int{5},
+		Specs:            mvtee.RealSetupSpecs(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline: built encrypted pool — %d partitions x %d specs (%d files)\n",
+		len(bundle.Sets[0].Partitions), len(bundle.Specs), len(bundle.FS))
+
+	// --- Online phase: orchestrator places TEEs, monitor binds them --------
+	plans := make([]mvtee.PartitionPlan, 5)
+	for i := range plans {
+		plans[i] = mvtee.PartitionPlan{Variants: []string{"ort-cpu"}}
+	}
+	// Harden the middle of the model with diversified 3-variant MVX.
+	plans[2] = mvtee.PartitionPlan{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}}
+
+	dep, err := mvtee.Deploy(bundle, 0, mvtee.DeployConfig{
+		MVX: &mvtee.MVXConfig{
+			Model:    "inceptionv3",
+			Plans:    plans,
+			Async:    true,
+			Criteria: []mvtee.Criterion{{Metric: mvtee.AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Transport:        mvtee.TCPLoopback, // real sockets, as co-located TEEs
+		Encrypt:          true,
+		DeferEngineStart: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	fmt.Printf("online: monitor bound %d variant TEEs over attested TCP channels\n",
+		len(dep.Monitor.Bindings()))
+
+	// --- User: combined attestation before provisioning secrets ------------
+	nonce, err := attest.NewNonce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bdl, err := dep.Monitor.CombinedAttestation(nonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := attest.CheckBundle(dep.Verifier(), bdl, nonce); err != nil {
+		log.Fatal("combined attestation failed: ", err)
+	}
+	fmt.Printf("user: combined attestation verified (monitor + %d variants)\n", len(bdl.Variants))
+	dep.Start()
+
+	// --- Streaming inference ------------------------------------------------
+	const n = 8
+	rng := rand.New(rand.NewPCG(11, 11))
+	batches := make([]map[string]*mvtee.Tensor, n)
+	for i := range batches {
+		in := mvtee.NewTensor(1, 3, 32, 32)
+		for j := range in.Data() {
+			in.Data()[j] = float32(rng.NormFloat64())
+		}
+		batches[i] = map[string]*mvtee.Tensor{"image": in}
+	}
+	start := time.Now()
+	results, err := dep.Stream(batches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	el := time.Since(start)
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("batch %d failed: %v", r.ID, r.Err)
+		}
+	}
+	fmt.Printf("pipelined stream: %d batches in %v (%.1f batches/s), %d checkpoint alarms\n",
+		n, el.Round(time.Millisecond), float64(n)/el.Seconds(), len(dep.Engine.Events()))
+}

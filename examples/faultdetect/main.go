@@ -1,0 +1,109 @@
+// Fault detection and recovery: a FrameFlip-style single-bit code fault is
+// injected into one BLAS library (the paper's §6.5 scenario, after Li et
+// al., USENIX Security '24). Only the variant linked against that library is
+// affected; the monitor detects the divergence at the next checkpoint, drops
+// the compromised variant, and recovers with the agreeing majority — the
+// inference service keeps returning correct results.
+//
+//	go run ./examples/faultdetect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	mvtee "repro"
+
+	"repro/internal/blas"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/infer"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Three variants of every partition, identical except for the linear
+	// algebra backend they "link": the diversity axis that defeats
+	// library-level fault injection.
+	specs := []mvtee.Spec{
+		{Name: "openblas", Runtime: "interp", BLAS: "naive", ConvAlgo: "im2col", Seed: 1},
+		{Name: "eigen", Runtime: "interp", BLAS: "blocked", ConvAlgo: "im2col", Seed: 2},
+		{Name: "mkl", Runtime: "interp", BLAS: "packed", ConvAlgo: "im2col", Seed: 3},
+	}
+	bundle, err := mvtee.BuildBundle(mvtee.OfflineConfig{
+		ModelName:        "googlenet",
+		PartitionTargets: []int{4},
+		Specs:            specs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plans := make([]mvtee.PartitionPlan, 4)
+	for i := range plans {
+		plans[i] = mvtee.PartitionPlan{Variants: []string{"openblas", "eigen", "mkl"}}
+	}
+
+	// The attack: a bit flip in the "openblas" library's GEMM kernel.
+	inj := mvtee.Injection{Class: mvtee.FaultCodeBitFlip, TargetBLAS: blas.Naive, Seed: 9}
+
+	dep, err := mvtee.Deploy(bundle, 0, mvtee.DeployConfig{
+		MVX: &mvtee.MVXConfig{
+			Plans: plans,
+			// DropVariant: exclude dissenters and continue with the
+			// majority (detection + recovery rather than fail-stop).
+			Response: mvtee.DropVariant,
+			Criteria: []mvtee.Criterion{
+				{Metric: mvtee.AllClose, RTol: 5e-2, ATol: 1e-3},
+			},
+		},
+		Encrypt:        true,
+		VariantOptions: mvtee.ArmVariants(inj),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	in := mvtee.NewTensor(1, 3, 32, 32)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	inputs := map[string]*mvtee.Tensor{"image": in}
+
+	res, err := dep.Infer(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inference under attack completed — checkpoint log:")
+	for _, ev := range dep.Engine.Events() {
+		fmt.Printf("  %-16s stage=%d batch=%d variants=%v\n", ev.Kind, ev.Stage, ev.BatchID, ev.Variants)
+	}
+
+	// Verify the recovered output matches the clean model.
+	clean, err := core.BaselineExecutor("googlenet", mvtee.ModelConfig{}, infer.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := clean.Run(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := check.Consistent(res.Tensors, want, check.Policy{Criteria: []check.Criterion{
+		{Metric: check.AllClose, RTol: 5e-2, ATol: 1e-3},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecovered output matches clean model: %v\n", ok)
+
+	// The compromised variants are gone; subsequent inference is clean.
+	res2, err := dep.Infer(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("follow-up batch served by surviving variants in %v\n", res2.Latency)
+}

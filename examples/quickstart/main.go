@@ -1,0 +1,76 @@
+// Quickstart: partition a model, run 3-variant MVX in process, and compare
+// the protected pipeline's output against the plain model.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	mvtee "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Offline phase (Figure 2 ①–②): partition the model into 5 stages and
+	// build the diversified variant pool — an ORT-like interpreter, an
+	// alternate execution provider, and a TVM-like compiled runtime.
+	bundle, err := mvtee.BuildBundle(mvtee.OfflineConfig{
+		ModelName:        "resnet-50",
+		PartitionTargets: []int{5},
+		Specs:            mvtee.RealSetupSpecs(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := bundle.Sets[0]
+	fmt.Printf("partitioned %s into %d stages:\n", bundle.Model.Name, len(set.Partitions))
+	for _, p := range set.Partitions {
+		fmt.Printf("  stage %d: %d nodes (cost %.3g)\n", p.Index, len(p.Nodes), p.Cost)
+	}
+
+	// Online phase (Figure 2 ③–④): deploy the monitor TEE and variant TEEs.
+	// The third stage runs 3-variant MVX (slow path with voting); the rest
+	// run single diversified variants (fast path).
+	plans := make([]mvtee.PartitionPlan, 5)
+	for i := range plans {
+		plans[i] = mvtee.PartitionPlan{Variants: []string{"ort-cpu"}}
+	}
+	plans[2] = mvtee.PartitionPlan{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}}
+
+	dep, err := mvtee.Deploy(bundle, 0, mvtee.DeployConfig{
+		MVX: &mvtee.MVXConfig{
+			Model:    "resnet-50",
+			Plans:    plans,
+			Criteria: []mvtee.Criterion{{Metric: mvtee.AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Encrypt: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Inference: user input flows through the attested, encrypted pipeline.
+	in := mvtee.NewTensor(1, 3, 32, 32)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	res, err := dep.Infer(map[string]*mvtee.Tensor{"image": in})
+	if err != nil {
+		log.Fatal(err)
+	}
+	logits := res.Tensors["logits"]
+	best, bestV := 0, float32(0)
+	for i, v := range logits.Data() {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	fmt.Printf("\ninference ok in %v: class %d (p=%.3f)\n", res.Latency, best, bestV)
+	fmt.Printf("checkpoint events: %d (0 = all variants agreed)\n", len(dep.Engine.Events()))
+}

@@ -1,0 +1,91 @@
+// Package attest implements MVTEE's challenge-response attestation flows
+// (§4.3, Figure 6): nonce-fresh verification of a single TEE by the model
+// owner or monitor, and the combined attestation through which a user
+// verifies the monitor plus every variant TEE in one exchange.
+package attest
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/enclave"
+)
+
+// Attester produces attestation reports; *enclave.Enclave satisfies it.
+type Attester interface {
+	GenerateReport(rd enclave.ReportData) (*enclave.Report, error)
+}
+
+var _ Attester = (*enclave.Enclave)(nil)
+
+// NonceSize is the challenge length in bytes.
+const NonceSize = 32
+
+// NewNonce returns a fresh random challenge.
+func NewNonce() ([]byte, error) {
+	n := make([]byte, NonceSize)
+	if _, err := rand.Read(n); err != nil {
+		return nil, fmt.Errorf("attest: nonce: %w", err)
+	}
+	return n, nil
+}
+
+// BindNonce derives the report data binding a challenge nonce and a context
+// label (e.g., a protocol step or channel transcript digest).
+func BindNonce(nonce []byte, context string) enclave.ReportData {
+	h := sha256.New()
+	h.Write([]byte("mvtee-attest/"))
+	h.Write([]byte(context))
+	h.Write(nonce)
+	var rd enclave.ReportData
+	copy(rd[:], h.Sum(nil))
+	return rd
+}
+
+// Respond answers a challenge: the attester produces a report whose report
+// data binds the nonce and context.
+func Respond(a Attester, nonce []byte, context string) (*enclave.Report, error) {
+	return a.GenerateReport(BindNonce(nonce, context))
+}
+
+// ErrNonceMismatch indicates a replayed or mis-bound report.
+var ErrNonceMismatch = errors.New("attest: report does not bind the challenge nonce")
+
+// Check verifies a challenge response: the report signature (and optional
+// expected measurements) via v, and that its report data binds nonce/context.
+func Check(v *enclave.Verifier, r *enclave.Report, nonce []byte, context string, expected []enclave.Measurement) error {
+	if err := v.Verify(r, expected); err != nil {
+		return err
+	}
+	want := BindNonce(nonce, context)
+	if r.ReportData != want {
+		return ErrNonceMismatch
+	}
+	return nil
+}
+
+// Bundle is a combined attestation: the monitor's own report plus the
+// reports of all bound variants, each binding the same user nonce (§4.3
+// "users perform a combined attestation of all TEEs through the monitor").
+type Bundle struct {
+	Monitor  *enclave.Report
+	Variants map[string]*enclave.Report // variant ID -> report
+}
+
+// CheckBundle verifies every report in the bundle against the same nonce.
+func CheckBundle(v *enclave.Verifier, b *Bundle, nonce []byte) error {
+	if b.Monitor == nil {
+		return errors.New("attest: bundle missing monitor report")
+	}
+	if err := Check(v, b.Monitor, nonce, "monitor", nil); err != nil {
+		return fmt.Errorf("attest: monitor: %w", err)
+	}
+	for id, r := range b.Variants {
+		if err := Check(v, r, nonce, "variant/"+id, nil); err != nil {
+			return fmt.Errorf("attest: variant %s: %w", id, err)
+		}
+	}
+	return nil
+}

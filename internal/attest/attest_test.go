@@ -1,0 +1,83 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/enclave"
+)
+
+func testEnclave(t *testing.T, name string) (*enclave.Platform, *enclave.Enclave) {
+	t.Helper()
+	p, err := enclave.NewPlatform("plat-"+name, enclave.SGX2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(enclave.Image{Name: name, Code: []byte(name), InitialPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, e
+}
+
+func TestChallengeResponse(t *testing.T) {
+	p, e := testEnclave(t, "app")
+	nonce, err := NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Respond(e, nonce, "ctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := enclave.NewVerifier()
+	v.Trust(p)
+	if err := Check(v, rep, nonce, "ctx", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(v, rep, nonce, "ctx", []enclave.Measurement{e.Measurement()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	p, e := testEnclave(t, "app")
+	v := enclave.NewVerifier()
+	v.Trust(p)
+	nonce1, _ := NewNonce()
+	rep, _ := Respond(e, nonce1, "ctx")
+
+	nonce2, _ := NewNonce()
+	if err := Check(v, rep, nonce2, "ctx", nil); !errors.Is(err, ErrNonceMismatch) {
+		t.Fatalf("replayed report: got %v, want ErrNonceMismatch", err)
+	}
+	// Context confusion is also a replay.
+	if err := Check(v, rep, nonce1, "other-step", nil); !errors.Is(err, ErrNonceMismatch) {
+		t.Fatalf("cross-context report: got %v, want ErrNonceMismatch", err)
+	}
+}
+
+func TestBundle(t *testing.T) {
+	p, mon := testEnclave(t, "monitor")
+	_, v1 := testEnclave(t, "v1")
+	v := enclave.NewVerifier()
+	v.Trust(p)
+	v.Trust(v1.Platform())
+
+	nonce, _ := NewNonce()
+	monRep, _ := Respond(mon, nonce, "monitor")
+	v1Rep, _ := Respond(v1, nonce, "variant/v1")
+	b := &Bundle{Monitor: monRep, Variants: map[string]*enclave.Report{"v1": v1Rep}}
+	if err := CheckBundle(v, b, nonce); err != nil {
+		t.Fatal(err)
+	}
+
+	// A variant report bound to the wrong ID fails.
+	bad := &Bundle{Monitor: monRep, Variants: map[string]*enclave.Report{"v2": v1Rep}}
+	if err := CheckBundle(v, bad, nonce); err == nil {
+		t.Fatal("mis-bound variant report accepted")
+	}
+	if err := CheckBundle(v, &Bundle{}, nonce); err == nil {
+		t.Fatal("empty bundle accepted")
+	}
+}

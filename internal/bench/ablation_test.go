@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	o := Options{Models: []string{"mnasnet"}}
+	so := SimOptions{Options: o, SimBatches: 32}
+
+	rows, err := AblationPartitioning(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteAblationTable(os.Stderr, "Partitioning ablation", rows)
+
+	rows, err = AblationVoting(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteAblationTable(os.Stderr, "Voting ablation", rows)
+
+	rows, err = AblationCores(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteAblationTable(os.Stderr, "Cores ablation", rows)
+
+	rows, err = AblationBootstrap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteAblationTable(os.Stderr, "Bootstrap ablation", rows)
+}

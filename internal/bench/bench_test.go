@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestTable1Quick(t *testing.T) {
+	results, err := Table1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteSecurityTable(os.Stderr, "Table 1 quick", results)
+	for _, r := range results {
+		if !r.Detected {
+			t.Errorf("class %s not detected", r.Case.Class)
+		}
+	}
+}
+
+func TestFaultCasesQuick(t *testing.T) {
+	results, err := FaultCases(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteSecurityTable(os.Stderr, "Fault cases quick", results)
+	for _, r := range results {
+		if !r.Detected || !r.Recovered {
+			t.Errorf("class %s detected=%v recovered=%v", r.Case.Class, r.Detected, r.Recovered)
+		}
+	}
+}
+
+// quickSim keeps per-test harness coverage fast: one small model, short
+// simulated streams.
+func quickSim() SimOptions {
+	return SimOptions{Options: Options{Models: []string{"mnasnet"}}, SimBatches: 16, Reps: 2}
+}
+
+func TestSimHarnessAllFigures(t *testing.T) {
+	figs := []struct {
+		name string
+		f    func(SimOptions) ([]Row, error)
+		want int // expected row count for one model
+	}{
+		{"SimFig9", SimFig9, 8},
+		{"SimFig10", SimFig10, 6},
+		{"SimFig11", SimFig11, 6},
+		{"SimFig12", SimFig12, 6},
+		{"SimFig13", SimFig13, 4},
+		{"SimFig14", SimFig14, 4},
+	}
+	for _, fig := range figs {
+		rows, err := fig.f(quickSim())
+		if err != nil {
+			t.Fatalf("%s: %v", fig.name, err)
+		}
+		if len(rows) != fig.want {
+			t.Errorf("%s: %d rows, want %d", fig.name, len(rows), fig.want)
+		}
+		for _, r := range rows {
+			if r.Throughput <= 0 || r.LatencyMS <= 0 {
+				t.Errorf("%s: non-positive measurement in %+v", fig.name, r)
+			}
+		}
+	}
+}
+
+func TestLiveHarnessFig11(t *testing.T) {
+	rows, err := Fig11(Options{Models: []string{"mnasnet"}, Warmup: 1, Batches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func TestLiveHarnessFig13(t *testing.T) {
+	rows, err := Fig13(Options{Models: []string{"mnasnet"}, Warmup: 1, Batches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sync rows must be the normalization anchor.
+	for _, r := range rows {
+		if r.Config == "sync" && (r.ThroughputX != 1 || r.LatencyX != 1) {
+			t.Fatalf("sync row not normalized to itself: %+v", r)
+		}
+	}
+}
+
+func TestLiveHarnessFig12And14(t *testing.T) {
+	o := Options{Models: []string{"mnasnet"}, Warmup: 1, Batches: 3}
+	if _, err := Fig12(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig14(o); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/monitor"
+)
+
+// buildReplicaBundle partitions one model into the given target counts with
+// the identical-replica variant pool (§6.1 "Variants").
+func buildReplicaBundle(model string, o Options, targets []int) (*core.Bundle, error) {
+	return core.BuildBundle(core.OfflineConfig{
+		ModelName:        model,
+		ModelConfig:      o.ModelConfig,
+		PartitionTargets: targets,
+		PartitionSeed:    o.Seed,
+		Specs:            []diversify.Spec{diversify.ReplicaSpec("replica")},
+	})
+}
+
+func deploy(b *core.Bundle, setIdx int, plans []monitor.PartitionPlan, encrypt, async bool) (*core.Deployment, error) {
+	return core.Deploy(b, setIdx, core.DeployConfig{
+		MVX: &monitor.MVXConfig{
+			Plans:    plans,
+			Async:    async,
+			Response: monitor.Halt,
+		},
+		Encrypt: encrypt,
+	})
+}
+
+// measureBoth runs sequential and pipelined measurements on a fresh
+// deployment each (pipelined state should not warm sequential runs).
+func measureBoth(mk func() (*core.Deployment, error), o Options, model, config string, base Metrics) ([]Row, error) {
+	var rows []Row
+	d, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := MeasureSequential(d, Input(o.ModelConfig, 1), o.Warmup, o.Batches)
+	d.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s %s seq: %w", model, config, err)
+	}
+	rows = append(rows, row(model, config, "seq", seq, base))
+
+	d, err = mk()
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := MeasurePipelined(d, Input(o.ModelConfig, 1), o.Warmup, o.Batches)
+	d.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s %s pipe: %w", model, config, err)
+	}
+	rows = append(rows, row(model, config, "pipe", pipe, base))
+	return rows, nil
+}
+
+// Fig9 reproduces "Performance Impact of Random-Balanced Partitioning": all
+// models, partition counts {3,5,7,9}, full fast path (one replica per
+// partition), encrypted transport, sequential vs pipelined, normalized to
+// the original model.
+func Fig9(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	targets := []int{3, 5, 7, 9}
+	var rows []Row
+	for _, model := range o.Models {
+		base, err := baselineMetrics(model, o)
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildReplicaBundle(model, o, targets)
+		if err != nil {
+			return nil, err
+		}
+		for si, t := range targets {
+			cfg := fmt.Sprintf("%dp", t)
+			r, err := measureBoth(func() (*core.Deployment, error) {
+				return deploy(b, si, replicaPlans(t, 1), true, false)
+			}, o, model, cfg, base)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r...)
+		}
+	}
+	return rows, nil
+}
+
+// Fig10 reproduces "Encryption and Checkpoint Overheads": a 5-partition
+// setup where the baseline is the unencrypted full fast path; the encrypted
+// fast path isolates encryption cost, and the encrypted full slow path (two
+// identical variants per partition, so every checkpoint gathers, checks and
+// votes) adds the checkpointing cost.
+func Fig10(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	const parts = 5
+	var rows []Row
+	for _, model := range o.Models {
+		b, err := buildReplicaBundle(model, o, []int{parts})
+		if err != nil {
+			return nil, err
+		}
+		// Baseline for this figure: plain transport, full fast path.
+		d, err := deploy(b, 0, replicaPlans(parts, 1), false, false)
+		if err != nil {
+			return nil, err
+		}
+		baseSeq, err := MeasureSequential(d, Input(o.ModelConfig, 1), o.Warmup, o.Batches)
+		d.Close()
+		if err != nil {
+			return nil, err
+		}
+		d, err = deploy(b, 0, replicaPlans(parts, 1), false, false)
+		if err != nil {
+			return nil, err
+		}
+		basePipe, err := MeasurePipelined(d, Input(o.ModelConfig, 1), o.Warmup, o.Batches)
+		d.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			row(model, "plain+fast", "seq", baseSeq, baseSeq),
+			row(model, "plain+fast", "pipe", basePipe, basePipe))
+
+		for _, cfg := range []struct {
+			label string
+			vars  int
+		}{
+			{"enc+fast", 1},
+			{"enc+slow", 2},
+		} {
+			r, err := measureBoth(func() (*core.Deployment, error) {
+				return deploy(b, 0, replicaPlans(parts, cfg.vars), true, false)
+			}, o, model, cfg.label, baseSeq)
+			if err != nil {
+				return nil, err
+			}
+			// Normalize pipe rows against the pipelined baseline.
+			for i := range r {
+				if r[i].Mode == "pipe" {
+					tx, lx := normalize(Metrics{Throughput: r[i].Throughput,
+						Latency: msToDur(r[i].LatencyMS)}, basePipe)
+					r[i].ThroughputX, r[i].LatencyX = tx, lx
+				}
+			}
+			rows = append(rows, r...)
+		}
+	}
+	return rows, nil
+}
+
+// Fig11 reproduces "Horizontal Variant Scaling Using Selective MVX": a
+// 5-partition setup scaling the 3rd partition to 1, 3 and 5 identical
+// variants under the hybrid slow-fast path, normalized to the original
+// model.
+func Fig11(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	const parts = 5
+	var rows []Row
+	for _, model := range o.Models {
+		base, err := baselineMetrics(model, o)
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildReplicaBundle(model, o, []int{parts})
+		if err != nil {
+			return nil, err
+		}
+		for _, nvar := range []int{1, 3, 5} {
+			plans := replicaPlans(parts, 1)
+			plans[2] = replicaPlans(1, nvar)[0] // scale the 3rd partition
+			cfg := fmt.Sprintf("%dvar", nvar)
+			r, err := measureBoth(func() (*core.Deployment, error) {
+				return deploy(b, 0, plans, true, false)
+			}, o, model, cfg, base)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r...)
+		}
+	}
+	return rows, nil
+}
+
+// Fig12 reproduces "Vertical Variant Scaling Using Selective MVX": a
+// 5-partition setup enabling 3-variant MVX on the 3rd partition (1-MVX), on
+// the 3rd–5th partitions (3-MVX), and on all partitions (5-MVX/full).
+func Fig12(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	const parts = 5
+	configs := []struct {
+		label string
+		mvxOn []int
+	}{
+		{"1-mvx", []int{2}},
+		{"3-mvx", []int{2, 3, 4}},
+		{"5-mvx", []int{0, 1, 2, 3, 4}},
+	}
+	var rows []Row
+	for _, model := range o.Models {
+		base, err := baselineMetrics(model, o)
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildReplicaBundle(model, o, []int{parts})
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			plans := replicaPlans(parts, 1)
+			for _, pi := range cfg.mvxOn {
+				plans[pi] = replicaPlans(1, 3)[0]
+			}
+			r, err := measureBoth(func() (*core.Deployment, error) {
+				return deploy(b, 0, plans, true, false)
+			}, o, model, cfg.label, base)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r...)
+		}
+	}
+	return rows, nil
+}
+
+// realSetupBundle builds the diversified pool of §6.4 (ORT-like and TVM-like
+// runtimes with multi-level diversification) plus the heavy straggler spec.
+func realSetupBundle(model string, o Options) (*core.Bundle, []diversify.Spec, error) {
+	specs := append(diversify.RealSetupSpecs(), diversify.HeavyTVMSpec())
+	b, err := core.BuildBundle(core.OfflineConfig{
+		ModelName:        model,
+		ModelConfig:      o.ModelConfig,
+		PartitionTargets: []int{5},
+		PartitionSeed:    o.Seed,
+		Specs:            specs,
+	})
+	return b, specs, err
+}
+
+// realBaselineExecutor builds the §6.4 "original inference" baseline: the
+// unpartitioned model on the production runtime recipe (the ort-cpu spec's
+// graph transforms and instance configuration).
+func realBaselineExecutor(model string, o Options) (infer.Executor, error) {
+	spec := diversify.RealSetupSpecs()[0]
+	g, err := models.Build(model, o.ModelConfig)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := diversify.Apply(spec, g)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := spec.RuntimeConfig()
+	if err != nil {
+		return nil, err
+	}
+	return infer.New(dg, rc)
+}
+
+// realPolicy is the consistency policy of the diversified-variant runs:
+// thresholds wide enough for benign cross-runtime float divergence (§4.3
+// "adjust thresholds based on variant noise levels").
+func realPolicy() []check.Criterion {
+	return []check.Criterion{
+		{Metric: check.AllClose, RTol: 5e-2, ATol: 1e-3},
+		{Metric: check.Cosine, Threshold: 0.999},
+	}
+}
+
+// Fig13 reproduces "Performance of Asynchronous Cross-validation Execution
+// Mode": 5 partitions, MVX with 3 diversified variants (including the heavy
+// TVM straggler) on the 2nd and 3rd partitions, sync vs async. Rows are
+// normalized sync-vs-async per model: the async row's ThroughputX/LatencyX
+// are relative to the sync row.
+func Fig13(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	var rows []Row
+	mvxVariants := []string{"ort-cpu", "ort-altep", "tvm-heavy"}
+	for _, model := range o.Models {
+		b, _, err := realSetupBundle(model, o)
+		if err != nil {
+			return nil, err
+		}
+		plans := make([]monitor.PartitionPlan, 5)
+		for i := range plans {
+			plans[i] = monitor.PartitionPlan{Variants: []string{"ort-cpu"}}
+		}
+		plans[1] = monitor.PartitionPlan{Variants: mvxVariants}
+		plans[2] = monitor.PartitionPlan{Variants: mvxVariants}
+
+		mk := func(async bool) func() (*core.Deployment, error) {
+			return func() (*core.Deployment, error) {
+				return core.Deploy(b, 0, core.DeployConfig{
+					MVX: &monitor.MVXConfig{
+						Plans: plans, Async: async,
+						Criteria: realPolicy(),
+						Response: monitor.Halt,
+					},
+					Encrypt: true,
+				})
+			}
+		}
+		syncRows, err := measureBoth(mk(false), o, model, "sync", Metrics{Throughput: 1, Latency: msToDur(1000)})
+		if err != nil {
+			return nil, err
+		}
+		asyncRows, err := measureBoth(mk(true), o, model, "async", Metrics{Throughput: 1, Latency: msToDur(1000)})
+		if err != nil {
+			return nil, err
+		}
+		// Re-normalize async against sync per mode.
+		for i := range asyncRows {
+			asyncRows[i].ThroughputX = asyncRows[i].Throughput / syncRows[i].Throughput
+			asyncRows[i].LatencyX = asyncRows[i].LatencyMS / syncRows[i].LatencyMS
+			syncRows[i].ThroughputX, syncRows[i].LatencyX = 1, 1
+		}
+		rows = append(rows, syncRows...)
+		rows = append(rows, asyncRows...)
+	}
+	return rows, nil
+}
+
+// Fig14 reproduces "MVTEE Performance in Real-World Setup": diversified
+// 3-variant MVX on the 3rd partition and on the 3rd–5th partitions,
+// asynchronous execution, against the original-model baseline.
+func Fig14(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	mvxVariants := []string{"ort-cpu", "ort-altep", "tvm-graph"}
+	configs := []struct {
+		label string
+		mvxOn []int
+	}{
+		{"1-mvx", []int{2}},
+		{"3-mvx", []int{2, 3, 4}},
+	}
+	var rows []Row
+	for _, model := range o.Models {
+		ex, err := realBaselineExecutor(model, o)
+		if err != nil {
+			return nil, err
+		}
+		base, err := MeasureBaseline(ex, Input(o.ModelConfig, 1), o.Warmup, o.Batches)
+		if err != nil {
+			return nil, err
+		}
+		b, _, err := realSetupBundle(model, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			plans := make([]monitor.PartitionPlan, 5)
+			for i := range plans {
+				plans[i] = monitor.PartitionPlan{Variants: []string{"ort-cpu"}}
+			}
+			for _, pi := range cfg.mvxOn {
+				plans[pi] = monitor.PartitionPlan{Variants: mvxVariants}
+			}
+			r, err := measureBoth(func() (*core.Deployment, error) {
+				return core.Deploy(b, 0, core.DeployConfig{
+					MVX: &monitor.MVXConfig{
+						Plans: plans, Async: true,
+						Criteria: realPolicy(),
+						Response: monitor.Halt,
+					},
+					Encrypt: true,
+				})
+			}, o, model, cfg.label, base)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r...)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/infer"
+	"repro/internal/monitor"
+	"repro/internal/pipesim"
+)
+
+// SimOptions extends Options for the calibrated multicore simulation mode.
+// The live engine measures wall-clock behaviour on this host; the simulation
+// replays the monitor's scheduling semantics on a modeled many-core TEE
+// testbed (the paper's dual 36-core Xeons), with per-variant service times
+// and checkpoint costs calibrated from real executions.
+type SimOptions struct {
+	Options
+	// TEEFactor scales communication/crypto costs to SGX-class overheads;
+	// 0 means 24 (calibrated to land Figure 10's overhead band).
+	TEEFactor float64
+	// SimBatches is the simulated stream length; 0 means 64.
+	SimBatches int
+	// Reps is the calibration repetition count (min taken); 0 means 5.
+	Reps int
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	o.Options = o.Options.withDefaults()
+	if o.TEEFactor == 0 {
+		o.TEEFactor = 24
+	}
+	if o.SimBatches == 0 {
+		o.SimBatches = 64
+	}
+	if o.Reps == 0 {
+		o.Reps = 5
+	}
+	return o
+}
+
+func simToMetrics(m pipesim.Metrics) Metrics {
+	return Metrics{Throughput: m.Throughput, Latency: m.Latency, TransitLatency: m.Latency}
+}
+
+// simBaseline calibrates and simulates the original unpartitioned model.
+func simBaseline(model string, o SimOptions) (Metrics, error) {
+	ex, err := core.BaselineExecutor(model, o.ModelConfig, infer.Config{})
+	if err != nil {
+		return Metrics{}, err
+	}
+	svc, err := pipesim.CalibrateBaseline(ex, Input(o.ModelConfig, 1), o.Reps)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return simToMetrics(pipesim.SimulateBaseline(svc, o.SimBatches)), nil
+}
+
+// simRealBaseline simulates the original model on the production inference
+// stack of the real-setup evaluation (the "ort-cpu" recipe applied to the
+// whole model) — the fair "original inference baseline" of §6.4.
+func simRealBaseline(model string, o SimOptions) (Metrics, error) {
+	ex, err := realBaselineExecutor(model, o.Options)
+	if err != nil {
+		return Metrics{}, err
+	}
+	svc, err := pipesim.CalibrateBaseline(ex, Input(o.ModelConfig, 1), o.Reps)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return simToMetrics(pipesim.SimulateBaseline(svc, o.SimBatches)), nil
+}
+
+// simMeasure calibrates one deployment configuration and simulates both
+// execution modes.
+func simMeasure(b *core.Bundle, setIdx int, plans []monitor.PartitionPlan, async, plain bool,
+	pol check.Policy, o SimOptions) (seq, pipe Metrics, err error) {
+	prof, err := pipesim.Calibrate(b, setIdx, Input(o.ModelConfig, 1), pipesim.CalibrationConfig{
+		Plans:     plans,
+		Async:     async,
+		Policy:    pol,
+		TEEFactor: o.TEEFactor,
+		Plain:     plain,
+		Reps:      o.Reps,
+	})
+	if err != nil {
+		return Metrics{}, Metrics{}, err
+	}
+	sm, err := pipesim.Simulate(prof, o.SimBatches, true, 0)
+	if err != nil {
+		return Metrics{}, Metrics{}, err
+	}
+	pm, err := pipesim.Simulate(prof, o.SimBatches, false, 0)
+	if err != nil {
+		return Metrics{}, Metrics{}, err
+	}
+	return simToMetrics(sm), simToMetrics(pm), nil
+}
+
+func simRows(model, config string, seq, pipe, baseSeq, basePipe Metrics) []Row {
+	return []Row{
+		row(model, config, "seq", seq, baseSeq),
+		row(model, config, "pipe", pipe, basePipe),
+	}
+}
+
+// SimFig9 is Fig9 on the simulated testbed.
+func SimFig9(o SimOptions) ([]Row, error) {
+	o = o.withDefaults()
+	targets := []int{3, 5, 7, 9}
+	var rows []Row
+	for _, model := range o.Models {
+		base, err := simBaseline(model, o)
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildReplicaBundle(model, o.Options, targets)
+		if err != nil {
+			return nil, err
+		}
+		for si, t := range targets {
+			seq, pipe, err := simMeasure(b, si, replicaPlans(t, 1), false, false, check.Policy{}, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, simRows(model, fmt.Sprintf("%dp", t), seq, pipe, base, base)...)
+		}
+	}
+	return rows, nil
+}
+
+// SimFig10 is Fig10 on the simulated testbed: baseline is the unencrypted
+// full fast path; rows show encryption and checkpointing overheads.
+func SimFig10(o SimOptions) ([]Row, error) {
+	o = o.withDefaults()
+	const parts = 5
+	var rows []Row
+	for _, model := range o.Models {
+		b, err := buildReplicaBundle(model, o.Options, []int{parts})
+		if err != nil {
+			return nil, err
+		}
+		baseSeq, basePipe, err := simMeasure(b, 0, replicaPlans(parts, 1), false, true, check.Policy{}, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, simRows(model, "plain+fast", baseSeq, basePipe, baseSeq, basePipe)...)
+		encSeq, encPipe, err := simMeasure(b, 0, replicaPlans(parts, 1), false, false, check.Policy{}, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, simRows(model, "enc+fast", encSeq, encPipe, baseSeq, basePipe)...)
+		slowSeq, slowPipe, err := simMeasure(b, 0, replicaPlans(parts, 2), false, false, check.Policy{}, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, simRows(model, "enc+slow", slowSeq, slowPipe, baseSeq, basePipe)...)
+	}
+	return rows, nil
+}
+
+// SimFig11 is Fig11 on the simulated testbed.
+func SimFig11(o SimOptions) ([]Row, error) {
+	o = o.withDefaults()
+	const parts = 5
+	var rows []Row
+	for _, model := range o.Models {
+		base, err := simBaseline(model, o)
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildReplicaBundle(model, o.Options, []int{parts})
+		if err != nil {
+			return nil, err
+		}
+		for _, nvar := range []int{1, 3, 5} {
+			plans := replicaPlans(parts, 1)
+			plans[2] = replicaPlans(1, nvar)[0]
+			seq, pipe, err := simMeasure(b, 0, plans, false, false, check.Policy{}, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, simRows(model, fmt.Sprintf("%dvar", nvar), seq, pipe, base, base)...)
+		}
+	}
+	return rows, nil
+}
+
+// SimFig12 is Fig12 on the simulated testbed.
+func SimFig12(o SimOptions) ([]Row, error) {
+	o = o.withDefaults()
+	const parts = 5
+	configs := []struct {
+		label string
+		mvxOn []int
+	}{
+		{"1-mvx", []int{2}},
+		{"3-mvx", []int{2, 3, 4}},
+		{"5-mvx", []int{0, 1, 2, 3, 4}},
+	}
+	var rows []Row
+	for _, model := range o.Models {
+		base, err := simBaseline(model, o)
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildReplicaBundle(model, o.Options, []int{parts})
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			plans := replicaPlans(parts, 1)
+			for _, pi := range cfg.mvxOn {
+				plans[pi] = replicaPlans(1, 3)[0]
+			}
+			seq, pipe, err := simMeasure(b, 0, plans, false, false, check.Policy{}, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, simRows(model, cfg.label, seq, pipe, base, base)...)
+		}
+	}
+	return rows, nil
+}
+
+// SimFig13 is Fig13 on the simulated testbed: async normalized against sync.
+func SimFig13(o SimOptions) ([]Row, error) {
+	o = o.withDefaults()
+	mvxVariants := []string{"ort-cpu", "ort-altep", "tvm-heavy"}
+	pol := check.Policy{Criteria: realPolicy()}
+	var rows []Row
+	for _, model := range o.Models {
+		b, _, err := realSetupBundle(model, o.Options)
+		if err != nil {
+			return nil, err
+		}
+		plans := make([]monitor.PartitionPlan, 5)
+		for i := range plans {
+			plans[i] = monitor.PartitionPlan{Variants: []string{"ort-cpu"}}
+		}
+		plans[1] = monitor.PartitionPlan{Variants: mvxVariants}
+		plans[2] = monitor.PartitionPlan{Variants: mvxVariants}
+
+		syncSeq, syncPipe, err := simMeasure(b, 0, plans, false, false, pol, o)
+		if err != nil {
+			return nil, err
+		}
+		asyncSeq, asyncPipe, err := simMeasure(b, 0, plans, true, false, pol, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			row(model, "sync", "seq", syncSeq, syncSeq),
+			row(model, "sync", "pipe", syncPipe, syncPipe),
+			row(model, "async", "seq", asyncSeq, syncSeq),
+			row(model, "async", "pipe", asyncPipe, syncPipe),
+		)
+	}
+	return rows, nil
+}
+
+// SimFig14 is Fig14 on the simulated testbed.
+func SimFig14(o SimOptions) ([]Row, error) {
+	o = o.withDefaults()
+	mvxVariants := []string{"ort-cpu", "ort-altep", "tvm-graph"}
+	pol := check.Policy{Criteria: realPolicy()}
+	configs := []struct {
+		label string
+		mvxOn []int
+	}{
+		{"1-mvx", []int{2}},
+		{"3-mvx", []int{2, 3, 4}},
+	}
+	var rows []Row
+	for _, model := range o.Models {
+		base, err := simRealBaseline(model, o)
+		if err != nil {
+			return nil, err
+		}
+		b, _, err := realSetupBundle(model, o.Options)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			plans := make([]monitor.PartitionPlan, 5)
+			for i := range plans {
+				plans[i] = monitor.PartitionPlan{Variants: []string{"ort-cpu"}}
+			}
+			for _, pi := range cfg.mvxOn {
+				plans[pi] = monitor.PartitionPlan{Variants: mvxVariants}
+			}
+			seq, pipe, err := simMeasure(b, 0, plans, true, false, pol, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, simRows(model, cfg.label, seq, pipe, base, base)...)
+		}
+	}
+	return rows, nil
+}
+
+// TotalServiceTime sums a profile's variant service times (diagnostics).
+func TotalServiceTime(p *pipesim.Profile) time.Duration {
+	var t time.Duration
+	for _, s := range p.Stages {
+		for _, svc := range s.Service {
+			t += svc
+		}
+	}
+	return t
+}

@@ -1,0 +1,185 @@
+// Package blas provides the linear-algebra backends underlying the MVTEE
+// inference runtimes. The paper's variants differ, among other axes, in which
+// BLAS library they link (OpenBLAS vs Eigen vs Intel MKL); a fault attack like
+// FrameFlip that targets one library's code is harmless to variants using a
+// different one. This package reproduces that axis with three independent
+// GEMM implementations behind a common interface. All are exact (no
+// approximation) so functionally-equivalent variants produce bitwise-close
+// results, yet the code paths, loop orders and memory access patterns are
+// genuinely distinct.
+package blas
+
+import "fmt"
+
+// Backend computes dense single-precision matrix products. Implementations
+// must be safe for concurrent use by multiple goroutines.
+type Backend interface {
+	// Name identifies the backend ("naive", "blocked", "packed").
+	Name() string
+	// Gemm computes C = A·B where A is m×k, B is k×n and C is m×n, all
+	// row-major. C is overwritten.
+	Gemm(m, n, k int, a, b, c []float32)
+}
+
+// Kind selects one of the built-in backends.
+type Kind int
+
+// Built-in backend kinds. They stand in for the distinct BLAS libraries of
+// the paper's variant pool (§4.2, §6.5).
+const (
+	Naive   Kind = iota + 1 // triple loop, ikj order — stands in for a reference BLAS
+	Blocked                 // cache-blocked/tiled — stands in for OpenBLAS-style kernels
+	Packed                  // B-transposed packing — stands in for MKL/Eigen-style packing
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Naive:
+		return "naive"
+	case Blocked:
+		return "blocked"
+	case Packed:
+		return "packed"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New returns the backend for kind k.
+func New(k Kind) (Backend, error) {
+	switch k {
+	case Naive:
+		return naiveBackend{}, nil
+	case Blocked:
+		return blockedBackend{}, nil
+	case Packed:
+		return packedBackend{}, nil
+	default:
+		return nil, fmt.Errorf("blas: unknown backend kind %d", int(k))
+	}
+}
+
+// MustNew is New that panics on error; for static configuration tables.
+func MustNew(k Kind) Backend {
+	b, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Kinds lists all built-in backend kinds.
+func Kinds() []Kind { return []Kind{Naive, Blocked, Packed} }
+
+func checkGemmArgs(m, n, k int, a, b, c []float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("blas: gemm buffer too small: m=%d n=%d k=%d len(a)=%d len(b)=%d len(c)=%d",
+			m, n, k, len(a), len(b), len(c)))
+	}
+}
+
+// --- naive ------------------------------------------------------------------
+
+type naiveBackend struct{}
+
+func (naiveBackend) Name() string { return "naive" }
+
+func (naiveBackend) Gemm(m, n, k int, a, b, c []float32) {
+	checkGemmArgs(m, n, k, a, b, c)
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : p*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// --- blocked ------------------------------------------------------------------
+
+type blockedBackend struct{}
+
+func (blockedBackend) Name() string { return "blocked" }
+
+// Tile sizes tuned for L1-resident panels of float32.
+const (
+	blockM = 32
+	blockN = 128
+	blockK = 64
+)
+
+func (blockedBackend) Gemm(m, n, k int, a, b, c []float32) {
+	checkGemmArgs(m, n, k, a, b, c)
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	for i0 := 0; i0 < m; i0 += blockM {
+		iMax := min(i0+blockM, m)
+		for p0 := 0; p0 < k; p0 += blockK {
+			pMax := min(p0+blockK, k)
+			for j0 := 0; j0 < n; j0 += blockN {
+				jMax := min(j0+blockN, n)
+				for i := i0; i < iMax; i++ {
+					ci := c[i*n+j0 : i*n+jMax]
+					for p := p0; p < pMax; p++ {
+						av := a[i*k+p]
+						if av == 0 {
+							continue
+						}
+						bp := b[p*n+j0 : p*n+jMax]
+						for j, bv := range bp {
+							ci[j] += av * bv
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- packed ------------------------------------------------------------------
+
+type packedBackend struct{}
+
+func (packedBackend) Name() string { return "packed" }
+
+// Gemm transposes B into a column-packed buffer and accumulates dot products
+// with 4-way unrolling — a different code path and traversal order than the
+// other two backends.
+func (packedBackend) Gemm(m, n, k int, a, b, c []float32) {
+	checkGemmArgs(m, n, k, a, b, c)
+	bt := make([]float32, k*n)
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			bt[j*k+p] = b[p*n+j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		ai := a[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			bj := bt[j*k : j*k+k]
+			var s0, s1, s2, s3 float32
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				s0 += ai[p] * bj[p]
+				s1 += ai[p+1] * bj[p+1]
+				s2 += ai[p+2] * bj[p+2]
+				s3 += ai[p+3] * bj[p+3]
+			}
+			s := s0 + s1 + s2 + s3
+			for ; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			c[i*n+j] = s
+		}
+	}
+}

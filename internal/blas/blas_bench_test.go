@@ -1,0 +1,27 @@
+package blas
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// BenchmarkGemm compares the three diversity-bearing backends — the
+// per-kernel cost axis behind variant execution-time differences (§6.4).
+func BenchmarkGemm(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{32, 128} {
+		a := randMat(rng, n*n)
+		bm := randMat(rng, n*n)
+		c := make([]float32, n*n)
+		for _, kind := range Kinds() {
+			be := MustNew(kind)
+			b.Run(fmt.Sprintf("%s/%d", be.Name(), n), func(b *testing.B) {
+				b.SetBytes(int64(4 * n * n))
+				for i := 0; i < b.N; i++ {
+					be.Gemm(n, n, n, a, bm, c)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package blas
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// refGemm is the trusted double-precision reference.
+func refGemm(m, n, k int, a, b []float32) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a[i*k+p]) * float64(b[p*n+j])
+			}
+			c[i*n+j] = float32(s)
+		}
+	}
+	return c
+}
+
+func randMat(rng *rand.Rand, n int) []float32 {
+	m := make([]float32, n)
+	for i := range m {
+		m[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var d float64
+	for i := range a {
+		if x := math.Abs(float64(a[i]) - float64(b[i])); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestNewAndNames(t *testing.T) {
+	wantNames := map[Kind]string{Naive: "naive", Blocked: "blocked", Packed: "packed"}
+	for _, k := range Kinds() {
+		be, err := New(k)
+		if err != nil {
+			t.Fatalf("New(%v): %v", k, err)
+		}
+		if be.Name() != wantNames[k] {
+			t.Errorf("New(%v).Name() = %q, want %q", k, be.Name(), wantNames[k])
+		}
+		if k.String() != wantNames[k] {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+	if _, err := New(Kind(99)); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestGemmMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	sizes := []struct{ m, n, k int }{
+		{1, 1, 1}, {2, 3, 4}, {7, 5, 3}, {16, 16, 16}, {33, 129, 65}, {50, 1, 20}, {1, 40, 9},
+	}
+	for _, sz := range sizes {
+		a := randMat(rng, sz.m*sz.k)
+		b := randMat(rng, sz.k*sz.n)
+		want := refGemm(sz.m, sz.n, sz.k, a, b)
+		for _, kind := range Kinds() {
+			be := MustNew(kind)
+			c := make([]float32, sz.m*sz.n)
+			be.Gemm(sz.m, sz.n, sz.k, a, b, c)
+			if d := maxAbsDiff(c, want); d > 1e-3 {
+				t.Errorf("%s gemm %dx%dx%d: max abs diff %g", be.Name(), sz.m, sz.n, sz.k, d)
+			}
+		}
+	}
+}
+
+func TestGemmOverwritesC(t *testing.T) {
+	a := []float32{1, 0, 0, 1}
+	b := []float32{5, 6, 7, 8}
+	for _, kind := range Kinds() {
+		c := []float32{99, 99, 99, 99} // must be fully overwritten
+		MustNew(kind).Gemm(2, 2, 2, a, b, c)
+		want := []float32{5, 6, 7, 8}
+		for i := range want {
+			if c[i] != want[i] {
+				t.Errorf("%s: c[%d] = %v, want %v", kind, i, c[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGemmZeroK(t *testing.T) {
+	for _, kind := range Kinds() {
+		c := []float32{1, 2}
+		MustNew(kind).Gemm(1, 2, 0, nil, nil, c)
+		if c[0] != 0 || c[1] != 0 {
+			t.Errorf("%s: k=0 must zero c, got %v", kind, c)
+		}
+	}
+}
+
+func TestGemmShortBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short buffer")
+		}
+	}()
+	MustNew(Naive).Gemm(2, 2, 2, make([]float32, 4), make([]float32, 4), make([]float32, 3))
+}
+
+// TestQuickBackendsAgree property-tests that the three diversity-bearing
+// backends compute the same product (within float tolerance) on random
+// shapes — the functional-equivalence invariant MVX variants rely on.
+func TestQuickBackendsAgree(t *testing.T) {
+	f := func(seed uint64, mm, nn, kk uint8) bool {
+		m, n, k := int(mm%40)+1, int(nn%40)+1, int(kk%40)+1
+		rng := rand.New(rand.NewPCG(seed, 3))
+		a := randMat(rng, m*k)
+		b := randMat(rng, k*n)
+		want := refGemm(m, n, k, a, b)
+		for _, kind := range Kinds() {
+			c := make([]float32, m*n)
+			MustNew(kind).Gemm(m, n, k, a, b, c)
+			if maxAbsDiff(c, want) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package check implements MVTEE's checkpoint consistency evaluation (§4.3,
+// §5.2): criteria-based comparison of variant outputs under configurable
+// metrics (cosine similarity, mean squared error, maximum absolute
+// difference, allclose) with per-configuration thresholds to distinguish
+// attacks from benign divergences, and the cross-process voting strategies
+// (unanimous consent by default, majority as the async-mode quorum).
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Metric identifies a consistency measure between two tensors.
+type Metric int
+
+// Supported metrics, matching §5.2's implementation list.
+const (
+	Cosine     Metric = iota + 1 // cosine similarity; pass if >= Threshold
+	MSE                          // mean squared error; pass if <= Threshold
+	MaxAbsDiff                   // max |a-b|; pass if <= Threshold
+	AllClose                     // np.testing.assert_allclose analogue: |a-b| <= ATol + RTol*|b| elementwise
+)
+
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case MSE:
+		return "mse"
+	case MaxAbsDiff:
+		return "maxabs"
+	case AllClose:
+		return "allclose"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Criterion is one thresholded metric.
+type Criterion struct {
+	Metric    Metric
+	Threshold float64 // Cosine: min similarity; MSE/MaxAbsDiff: max error
+	RTol      float64 // AllClose relative tolerance
+	ATol      float64 // AllClose absolute tolerance
+}
+
+// DefaultPolicy returns the policy used when a configuration does not
+// specify one: allclose with tolerances wide enough for benign cross-variant
+// float divergence, plus a cosine floor.
+func DefaultPolicy() Policy {
+	return Policy{Criteria: []Criterion{
+		{Metric: AllClose, RTol: 1e-3, ATol: 1e-4},
+		{Metric: Cosine, Threshold: 0.9999},
+	}}
+}
+
+// Policy is a conjunction of criteria; a pair of outputs is consistent only
+// if every criterion passes on every checkpoint tensor.
+type Policy struct {
+	Criteria []Criterion
+}
+
+// ErrShapeMismatch reports incomparable tensors.
+var ErrShapeMismatch = errors.New("check: tensor shapes differ")
+
+// Compare evaluates one criterion on a tensor pair, returning the metric
+// score and whether the criterion passes.
+func Compare(a, b *tensor.Tensor, c Criterion) (float64, bool, error) {
+	if !a.SameShape(b) {
+		return 0, false, fmt.Errorf("%w: %v vs %v", ErrShapeMismatch, a.Shape(), b.Shape())
+	}
+	ad, bd := a.Data(), b.Data()
+	switch c.Metric {
+	case Cosine:
+		var dot, na, nb float64
+		for i := range ad {
+			x, y := float64(ad[i]), float64(bd[i])
+			dot += x * y
+			na += x * x
+			nb += y * y
+		}
+		if na == 0 && nb == 0 {
+			return 1, 1 >= c.Threshold, nil
+		}
+		if na == 0 || nb == 0 {
+			return 0, 0 >= c.Threshold, nil
+		}
+		sim := dot / (math.Sqrt(na) * math.Sqrt(nb))
+		return sim, sim >= c.Threshold && !math.IsNaN(sim), nil
+	case MSE:
+		var s float64
+		for i := range ad {
+			d := float64(ad[i]) - float64(bd[i])
+			s += d * d
+		}
+		mse := s / float64(len(ad))
+		return mse, mse <= c.Threshold && !math.IsNaN(mse), nil
+	case MaxAbsDiff:
+		var m float64
+		for i := range ad {
+			d := math.Abs(float64(ad[i]) - float64(bd[i]))
+			if d > m || math.IsNaN(d) {
+				m = d
+			}
+			if math.IsNaN(d) {
+				return math.NaN(), false, nil
+			}
+		}
+		return m, m <= c.Threshold, nil
+	case AllClose:
+		var worst float64
+		for i := range ad {
+			d := math.Abs(float64(ad[i]) - float64(bd[i]))
+			lim := c.ATol + c.RTol*math.Abs(float64(bd[i]))
+			if math.IsNaN(d) {
+				return math.NaN(), false, nil
+			}
+			if d > lim {
+				if ex := d - lim; ex > worst {
+					worst = ex
+				}
+			}
+		}
+		return worst, worst == 0, nil
+	default:
+		return 0, false, fmt.Errorf("check: unknown metric %d", int(c.Metric))
+	}
+}
+
+// Consistent reports whether two named-tensor result sets agree under the
+// policy: same tensor names, and every criterion passes on every tensor.
+func Consistent(a, b map[string]*tensor.Tensor, p Policy) (bool, error) {
+	if len(p.Criteria) == 0 {
+		p = DefaultPolicy()
+	}
+	if len(a) != len(b) {
+		return false, nil
+	}
+	for name, at := range a {
+		bt, ok := b[name]
+		if !ok {
+			return false, nil
+		}
+		for _, c := range p.Criteria {
+			_, ok, err := Compare(at, bt, c)
+			if err != nil {
+				if errors.Is(err, ErrShapeMismatch) {
+					return false, nil
+				}
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Strategy is the voting rule applied at checkpoints.
+type Strategy int
+
+// Voting strategies (§4.3: unanimous consent by default; majority is the
+// quorum rule of async mode).
+const (
+	Unanimous Strategy = iota + 1
+	Majority
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Unanimous:
+		return "unanimous"
+	case Majority:
+		return "majority"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Verdict is the outcome of a checkpoint vote.
+type Verdict struct {
+	// OK reports whether the vote met the strategy's agreement level.
+	OK bool
+	// Chosen is the index of the representative output to replicate
+	// downstream (-1 when no quorum exists).
+	Chosen int
+	// Agreeing lists indices in the winning cluster.
+	Agreeing []int
+	// Dissenters lists indices outside the winning cluster (crashed
+	// variants — nil results — always dissent).
+	Dissenters []int
+}
+
+// Vote clusters variant outputs by pairwise consistency and applies the
+// strategy. results entries may be nil (crashed/failed variant).
+func Vote(results []map[string]*tensor.Tensor, p Policy, s Strategy) (Verdict, error) {
+	n := len(results)
+	if n == 0 {
+		return Verdict{OK: false, Chosen: -1}, errors.New("check: empty vote")
+	}
+	// Pairwise agreement.
+	agree := make([][]bool, n)
+	for i := range agree {
+		agree[i] = make([]bool, n)
+		agree[i][i] = results[i] != nil
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if results[i] == nil || results[j] == nil {
+				continue
+			}
+			ok, err := Consistent(results[i], results[j], p)
+			if err != nil {
+				return Verdict{OK: false, Chosen: -1}, err
+			}
+			agree[i][j], agree[j][i] = ok, ok
+		}
+	}
+	// Greedy clustering around each pivot; keep the largest cluster.
+	best := []int{}
+	for pivot := 0; pivot < n; pivot++ {
+		if results[pivot] == nil {
+			continue
+		}
+		var cl []int
+		for j := 0; j < n; j++ {
+			if agree[pivot][j] {
+				cl = append(cl, j)
+			}
+		}
+		if len(cl) > len(best) {
+			best = cl
+		}
+	}
+	v := Verdict{Chosen: -1}
+	if len(best) > 0 {
+		v.Chosen = best[0]
+		v.Agreeing = best
+	}
+	inBest := make(map[int]bool, len(best))
+	for _, i := range best {
+		inBest[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if !inBest[i] {
+			v.Dissenters = append(v.Dissenters, i)
+		}
+	}
+	sort.Ints(v.Dissenters)
+	switch s {
+	case Unanimous:
+		v.OK = len(best) == n
+	case Majority:
+		v.OK = len(best)*2 > n
+	default:
+		return v, fmt.Errorf("check: unknown strategy %d", int(s))
+	}
+	return v, nil
+}

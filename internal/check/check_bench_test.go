@@ -1,0 +1,54 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// BenchmarkConsistency measures per-metric checkpoint evaluation cost — the
+// "verification computation" §6.2 notes completes quickly relative to
+// transmission and crypto.
+func BenchmarkConsistency(b *testing.B) {
+	x := tensor.New(1, 64, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%31) / 31
+	}
+	a := map[string]*tensor.Tensor{"y": x}
+	criteria := map[string]Criterion{
+		"cosine":   {Metric: Cosine, Threshold: 0.999},
+		"mse":      {Metric: MSE, Threshold: 1e-6},
+		"maxabs":   {Metric: MaxAbsDiff, Threshold: 1e-4},
+		"allclose": {Metric: AllClose, RTol: 1e-3, ATol: 1e-4},
+	}
+	for name, c := range criteria {
+		b.Run(name, func(b *testing.B) {
+			pol := Policy{Criteria: []Criterion{c}}
+			for i := 0; i < b.N; i++ {
+				if _, err := Consistent(a, a, pol); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVote measures the full clustering vote across panel sizes.
+func BenchmarkVote(b *testing.B) {
+	x := tensor.New(1, 64, 16, 16)
+	res := map[string]*tensor.Tensor{"y": x}
+	for _, k := range []int{3, 5} {
+		results := make([]map[string]*tensor.Tensor, k)
+		for i := range results {
+			results[i] = res
+		}
+		b.Run(fmt.Sprintf("%dvar", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Vote(results, DefaultPolicy(), Unanimous); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

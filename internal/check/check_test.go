@@ -1,0 +1,219 @@
+package check
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func ts(v ...float32) *tensor.Tensor {
+	return tensor.MustFromSlice(v, len(v))
+}
+
+func TestCosine(t *testing.T) {
+	a := ts(1, 0)
+	b := ts(0, 1)
+	score, ok, err := Compare(a, b, Criterion{Metric: Cosine, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 0 || ok {
+		t.Fatalf("orthogonal vectors: score=%v ok=%v", score, ok)
+	}
+	score, ok, _ = Compare(a, a, Criterion{Metric: Cosine, Threshold: 0.999})
+	if math.Abs(score-1) > 1e-9 || !ok {
+		t.Fatalf("identical vectors: score=%v ok=%v", score, ok)
+	}
+	// Zero vectors are defined as perfectly similar to each other.
+	if _, ok, _ := Compare(ts(0, 0), ts(0, 0), Criterion{Metric: Cosine, Threshold: 1}); !ok {
+		t.Fatal("zero-zero cosine should pass")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	score, ok, err := Compare(ts(1, 3), ts(2, 1), Criterion{Metric: MSE, Threshold: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 2.5 || !ok { // ((1)^2 + (2)^2)/2 = 2.5
+		t.Fatalf("mse=%v ok=%v", score, ok)
+	}
+	_, ok, _ = Compare(ts(1, 3), ts(2, 1), Criterion{Metric: MSE, Threshold: 2.4})
+	if ok {
+		t.Fatal("should exceed threshold")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	score, ok, _ := Compare(ts(1, 5), ts(1, 2), Criterion{Metric: MaxAbsDiff, Threshold: 3})
+	if score != 3 || !ok {
+		t.Fatalf("maxabs=%v ok=%v", score, ok)
+	}
+	if _, ok, _ := Compare(ts(float32(math.NaN())), ts(0), Criterion{Metric: MaxAbsDiff, Threshold: 100}); ok {
+		t.Fatal("NaN must fail")
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	c := Criterion{Metric: AllClose, RTol: 0.1, ATol: 0.01}
+	if _, ok, _ := Compare(ts(1.05), ts(1.0), c); !ok {
+		t.Fatal("within rtol must pass")
+	}
+	if _, ok, _ := Compare(ts(1.2), ts(1.0), c); ok {
+		t.Fatal("outside rtol must fail")
+	}
+	if _, ok, _ := Compare(ts(0.005), ts(0), c); !ok {
+		t.Fatal("within atol must pass")
+	}
+}
+
+func TestCompareShapeMismatch(t *testing.T) {
+	_, _, err := Compare(tensor.New(2), tensor.New(3), Criterion{Metric: MSE, Threshold: 1})
+	if err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestConsistentPolicyConjunction(t *testing.T) {
+	a := map[string]*tensor.Tensor{"y": ts(1, 2, 3)}
+	b := map[string]*tensor.Tensor{"y": ts(1, 2, 3.0001)}
+	tight := Policy{Criteria: []Criterion{
+		{Metric: Cosine, Threshold: 0.99},
+		{Metric: MaxAbsDiff, Threshold: 1e-8},
+	}}
+	ok, err := Consistent(a, b, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("conjunction: failing MaxAbsDiff must fail the policy")
+	}
+	loose := Policy{Criteria: []Criterion{{Metric: MaxAbsDiff, Threshold: 1e-3}}}
+	if ok, _ := Consistent(a, b, loose); !ok {
+		t.Fatal("loose policy should pass")
+	}
+}
+
+func TestConsistentNameAndShapeMismatch(t *testing.T) {
+	a := map[string]*tensor.Tensor{"y": ts(1)}
+	if ok, _ := Consistent(a, map[string]*tensor.Tensor{"z": ts(1)}, Policy{}); ok {
+		t.Fatal("different tensor names must be inconsistent")
+	}
+	if ok, _ := Consistent(a, map[string]*tensor.Tensor{"y": tensor.New(2)}, Policy{}); ok {
+		t.Fatal("different shapes must be inconsistent")
+	}
+	if ok, _ := Consistent(a, map[string]*tensor.Tensor{}, Policy{}); ok {
+		t.Fatal("different cardinality must be inconsistent")
+	}
+}
+
+func res(v float32) map[string]*tensor.Tensor {
+	return map[string]*tensor.Tensor{"y": ts(v, v, v)}
+}
+
+func TestVoteUnanimousAllAgree(t *testing.T) {
+	v, err := Vote([]map[string]*tensor.Tensor{res(1), res(1), res(1)}, DefaultPolicy(), Unanimous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK || v.Chosen < 0 || len(v.Agreeing) != 3 || len(v.Dissenters) != 0 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestVoteUnanimousOneDissenter(t *testing.T) {
+	v, err := Vote([]map[string]*tensor.Tensor{res(1), res(1), res(9)}, DefaultPolicy(), Unanimous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("unanimous vote must fail with a dissenter")
+	}
+	if len(v.Dissenters) != 1 || v.Dissenters[0] != 2 {
+		t.Fatalf("dissenters = %v, want [2]", v.Dissenters)
+	}
+	if v.Chosen != 0 {
+		t.Fatalf("chosen = %d, want the majority cluster's first member", v.Chosen)
+	}
+}
+
+func TestVoteMajority(t *testing.T) {
+	v, err := Vote([]map[string]*tensor.Tensor{res(1), res(9), res(1)}, DefaultPolicy(), Majority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK || v.Chosen != 0 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	// Even split (2 clusters of 1): no strict majority.
+	v, _ = Vote([]map[string]*tensor.Tensor{res(1), res(9)}, DefaultPolicy(), Majority)
+	if v.OK {
+		t.Fatal("2-way split must not reach majority")
+	}
+}
+
+func TestVoteCrashedVariantIsDissent(t *testing.T) {
+	v, err := Vote([]map[string]*tensor.Tensor{res(1), nil, res(1)}, DefaultPolicy(), Majority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatal("majority of live variants should pass")
+	}
+	if len(v.Dissenters) != 1 || v.Dissenters[0] != 1 {
+		t.Fatalf("dissenters = %v", v.Dissenters)
+	}
+	// All crashed: no quorum possible.
+	v, _ = Vote([]map[string]*tensor.Tensor{nil, nil}, DefaultPolicy(), Majority)
+	if v.OK || v.Chosen != -1 {
+		t.Fatalf("all-crashed verdict = %+v", v)
+	}
+}
+
+func TestVoteMajorityPicksLargestCluster(t *testing.T) {
+	// The corrupt result arrives first; clustering must still find the
+	// 2-member clean cluster.
+	v, err := Vote([]map[string]*tensor.Tensor{res(9), res(1), res(1)}, DefaultPolicy(), Majority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK || v.Chosen != 1 {
+		t.Fatalf("verdict = %+v, want chosen=1", v)
+	}
+}
+
+func TestVoteEmpty(t *testing.T) {
+	if _, err := Vote(nil, DefaultPolicy(), Unanimous); err == nil {
+		t.Fatal("expected error on empty vote")
+	}
+}
+
+// TestQuickVoteMajorityCorrupt property-tests that with k variants of which
+// a strict minority is corrupted, majority voting always recovers a clean
+// representative.
+func TestQuickVoteMajorityCorrupt(t *testing.T) {
+	f := func(seed uint64, kk, cc uint8) bool {
+		k := int(kk%5) + 3 // 3..7 variants
+		corrupt := int(cc) % ((k - 1) / 2)
+		rng := rand.New(rand.NewPCG(seed, 21))
+		results := make([]map[string]*tensor.Tensor, k)
+		cleanVal := float32(rng.NormFloat64())
+		for i := range results {
+			results[i] = res(cleanVal)
+		}
+		for i := 0; i < corrupt; i++ {
+			results[rng.IntN(k)] = res(cleanVal + 100)
+		}
+		v, err := Vote(results, DefaultPolicy(), Majority)
+		if err != nil || !v.OK || v.Chosen < 0 {
+			return false
+		}
+		return results[v.Chosen]["y"].At(0) == cleanVal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

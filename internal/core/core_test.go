@@ -1,0 +1,362 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/check"
+	"repro/internal/diversify"
+	"repro/internal/monitor"
+	"repro/internal/pfcrypt"
+	"repro/internal/tensor"
+)
+
+func smallBundle(t *testing.T, specs []diversify.Spec, targets ...int) *Bundle {
+	t.Helper()
+	if len(targets) == 0 {
+		targets = []int{3}
+	}
+	b, err := BuildBundle(OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: targets,
+		Specs:            specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBundleStructure(t *testing.T) {
+	specs := []diversify.Spec{diversify.ReplicaSpec("replica")}
+	b := smallBundle(t, specs, 2, 4)
+	if len(b.Sets) != 2 || len(b.Sets[0].Partitions) != 2 || len(b.Sets[1].Partitions) != 4 {
+		t.Fatalf("sets = %d/%d/%d", len(b.Sets), len(b.Sets[0].Partitions), len(b.Sets[1].Partitions))
+	}
+	// One pool entry (4 encrypted files + keys + evidence) per (set, partition, spec).
+	wantEntries := 2 + 4
+	if len(b.Keys) != wantEntries || len(b.Evidence) != wantEntries {
+		t.Fatalf("keys=%d evidence=%d, want %d", len(b.Keys), len(b.Evidence), wantEntries)
+	}
+	// Pool files must be ciphertext: decrypting with the right key works,
+	// with a wrong key fails.
+	e := Entry{Set: 0, Partition: 0, Spec: "replica"}
+	ct := b.FS[e.GraphPath()]
+	if ct == nil {
+		t.Fatal("missing pool file")
+	}
+	if _, err := pfcrypt.Decrypt(b.Keys[e], e.GraphPath(), ct); err != nil {
+		t.Fatal(err)
+	}
+	wrong, _ := pfcrypt.NewKDK()
+	if _, err := pfcrypt.Decrypt(wrong, e.GraphPath(), ct); err == nil {
+		t.Fatal("pool file decryptable with a wrong key")
+	}
+	if !b.InitManifest.TwoStage {
+		t.Fatal("init manifest must enable two-stage")
+	}
+}
+
+func TestBundleRequiresSpecs(t *testing.T) {
+	if _, err := BuildBundle(OfflineConfig{ModelName: "mnasnet"}); err == nil {
+		t.Fatal("bundle without specs accepted")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	b := smallBundle(t, []diversify.Spec{diversify.ReplicaSpec("replica")})
+	if err := b.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := LoadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Model != b.Model.Name || len(meta.Sets) != 1 || len(meta.Sets[0].Partitions) != 3 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	keys, err := LoadKeys(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Entry{Set: 0, Partition: 1, Spec: "replica"}
+	if !reflect.DeepEqual([]byte(keys[EntryKeyFor(0, 1, "replica")]), []byte(b.Keys[e])) {
+		t.Fatal("keys lost in roundtrip")
+	}
+	if _, err := LoadPlatform(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Pool files on disk byte-identical.
+	onDisk, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(e.GraphPath())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(onDisk, b.FS[e.GraphPath()]) {
+		t.Fatal("pool file corrupted on save")
+	}
+	// Entry key parsing inverts formatting.
+	pe, err := ParseEntryKey(EntryKeyFor(0, 1, "replica"))
+	if err != nil || pe != e {
+		t.Fatalf("ParseEntryKey = %+v, %v", pe, err)
+	}
+	if _, err := ParseEntryKey("junk"); err == nil {
+		t.Fatal("junk entry key accepted")
+	}
+}
+
+func TestDeployTCPLoopbackWithAttestation(t *testing.T) {
+	b := smallBundle(t, []diversify.Spec{diversify.ReplicaSpec("replica")})
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX:              &monitor.MVXConfig{Plans: replicaPlans(3, 1)},
+		Transport:        TCPLoopback,
+		Encrypt:          true,
+		DeferEngineStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	nonce, err := attest.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdl, err := d.Monitor.CombinedAttestation(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attest.CheckBundle(d.Verifier(), bdl, nonce); err != nil {
+		t.Fatal(err)
+	}
+	if len(bdl.Variants) != 3 {
+		t.Fatalf("attested %d variants", len(bdl.Variants))
+	}
+	d.Start()
+	in := testInput(2)
+	if _, err := d.Infer(map[string]*tensor.Tensor{"image": in}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployPlainTransport(t *testing.T) {
+	b := smallBundle(t, []diversify.Spec{diversify.ReplicaSpec("replica")})
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX:     &monitor.MVXConfig{Plans: replicaPlans(3, 1)},
+		Encrypt: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Infer(map[string]*tensor.Tensor{"image": testInput(4)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	b := smallBundle(t, []diversify.Spec{diversify.ReplicaSpec("replica")})
+	if _, err := Deploy(b, 5, DeployConfig{MVX: &monitor.MVXConfig{Plans: replicaPlans(3, 1)}}); err == nil {
+		t.Fatal("bad set index accepted")
+	}
+	if _, err := Deploy(b, 0, DeployConfig{}); err == nil {
+		t.Fatal("missing MVX config accepted")
+	}
+	if _, err := Deploy(b, 0, DeployConfig{MVX: &monitor.MVXConfig{Plans: replicaPlans(2, 1)}}); err == nil {
+		t.Fatal("plan/partition mismatch accepted")
+	}
+	bad := &monitor.MVXConfig{Plans: replicaPlans(3, 1)}
+	bad.Plans[1].Variants = []string{"no-such-spec"}
+	if _, err := Deploy(b, 0, DeployConfig{MVX: bad}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestPartialUpdateFlow(t *testing.T) {
+	// §4.3: partial updates replace a variant with a fresh TEE; the binding
+	// log is append-only for auditing.
+	b := smallBundle(t, []diversify.Spec{diversify.ReplicaSpec("replica")})
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX:     &monitor.MVXConfig{Plans: replicaPlans(3, 3)},
+		Encrypt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	in := map[string]*tensor.Tensor{"image": testInput(6)}
+	if _, err := d.Infer(in); err != nil {
+		t.Fatal(err)
+	}
+
+	before := len(d.Monitor.Bindings())
+	d.Engine.StopKeepVariants()
+	d.Monitor.Unbind("p1-replica-1")
+	if err := d.RebindVariant("p1-replica-1b", Entry{Set: 0, Partition: 1, Spec: "replica"}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := d.RebuildEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	if _, err := d.Infer(in); err != nil {
+		t.Fatalf("inference after partial update: %v", err)
+	}
+	log := d.Monitor.Bindings()
+	if len(log) != before+1 {
+		t.Fatalf("binding log %d entries, want %d (append-only)", len(log), before+1)
+	}
+	replaced := false
+	for _, r := range log {
+		if r.VariantID == "p1-replica-1" && r.Replaced {
+			replaced = true
+		}
+	}
+	if !replaced {
+		t.Fatal("old binding not marked replaced")
+	}
+}
+
+func TestMultiTEEPlatforms(t *testing.T) {
+	// Specs with different TEE placements launch on distinct platforms.
+	specs := []diversify.Spec{
+		{Name: "on-sgx2", Runtime: "interp", TEE: "sgx2", Seed: 1},
+		{Name: "on-tdx", Runtime: "interp", TEE: "tdx", Seed: 2},
+	}
+	b := smallBundle(t, specs, 2)
+	plans := []monitor.PartitionPlan{
+		{Variants: []string{"on-sgx2", "on-tdx"}},
+		{Variants: []string{"on-sgx2"}},
+	}
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX: &monitor.MVXConfig{Plans: plans, Criteria: []check.Criterion{
+			{Metric: check.AllClose, RTol: 1e-2, ATol: 1e-4},
+		}},
+		Encrypt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if len(d.platforms) < 3 { // SGX1 (monitor) + SGX2 + TDX
+		t.Fatalf("%d platforms, want >=3", len(d.platforms))
+	}
+	if _, err := d.Infer(map[string]*tensor.Tensor{"image": testInput(8)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRotation(t *testing.T) {
+	b := smallBundle(t, []diversify.Spec{diversify.ReplicaSpec("replica")})
+	e := Entry{Set: 0, Partition: 0, Spec: "replica"}
+	oldKey := append(pfcrypt.KDK(nil), b.Keys[e]...)
+	oldCT := append([]byte(nil), b.FS[e.GraphPath()]...)
+	oldEvidence := b.Evidence[e]
+
+	if err := b.RotateKey(e); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual([]byte(b.Keys[e]), []byte(oldKey)) {
+		t.Fatal("KDK unchanged after rotation")
+	}
+	if reflect.DeepEqual(b.FS[e.GraphPath()], oldCT) {
+		t.Fatal("ciphertext unchanged after rotation")
+	}
+	// Old key no longer decrypts; new key does; plaintext identical.
+	if _, err := pfcrypt.Decrypt(oldKey, e.GraphPath(), b.FS[e.GraphPath()]); err == nil {
+		t.Fatal("old key still decrypts rotated file")
+	}
+	pt, err := pfcrypt.Decrypt(b.Keys[e], e.GraphPath(), b.FS[e.GraphPath()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pfcrypt.Decrypt(oldKey, e.GraphPath(), oldCT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pt, want) {
+		t.Fatal("rotation changed the plaintext")
+	}
+	// Evidence (plaintext digest) is stable across rotation.
+	if b.Evidence[e] != oldEvidence {
+		t.Fatal("rotation changed the evidence digest")
+	}
+	// A fresh deployment binds and serves with the rotated keys.
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX:     &monitor.MVXConfig{Plans: replicaPlans(3, 1)},
+		Encrypt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Infer(map[string]*tensor.Tensor{"image": testInput(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RotateAllKeys(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RotateKey(Entry{Set: 9}); err == nil {
+		t.Fatal("rotating a missing entry succeeded")
+	}
+}
+
+func TestFullUpdateFlow(t *testing.T) {
+	// §4.3 full update: reshuffle to a different partition set with an
+	// all-new variant fleet; old bindings retire into the audit log.
+	b := smallBundle(t, []diversify.Spec{diversify.ReplicaSpec("replica")}, 3, 5)
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX:     &monitor.MVXConfig{Plans: replicaPlans(3, 1)},
+		Encrypt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	in := map[string]*tensor.Tensor{"image": testInput(11)}
+	r1, err := d.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.FullUpdate(1, &monitor.MVXConfig{Plans: replicaPlans(5, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d.Infer(in)
+	if err != nil {
+		t.Fatalf("inference after full update: %v", err)
+	}
+	// Same model, new partitioning: same function.
+	ok, err := check.Consistent(r2.Tensors, r1.Tensors, check.Policy{Criteria: []check.Criterion{
+		{Metric: check.MaxAbsDiff, Threshold: 1e-5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("output changed across the full update")
+	}
+	// Audit log: the 3 retired bindings marked replaced, 5 live ones not.
+	var retired, live int
+	for _, rec := range d.Monitor.Bindings() {
+		if rec.Replaced {
+			retired++
+		} else {
+			live++
+		}
+	}
+	if retired != 3 || live != 5 {
+		t.Fatalf("binding log retired=%d live=%d, want 3/5", retired, live)
+	}
+	// Invalid update targets are rejected without wrecking the deployment.
+	if err := d.FullUpdate(7, &monitor.MVXConfig{Plans: replicaPlans(5, 1)}); err == nil {
+		t.Fatal("out-of-range set accepted")
+	}
+	if _, err := d.Infer(in); err != nil {
+		t.Fatalf("deployment unusable after rejected update: %v", err)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/diversify"
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/monitor"
+	"repro/internal/tensor"
+)
+
+func testInput(seed uint64) *tensor.Tensor {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	in := tensor.New(1, 3, 32, 32)
+	d := in.Data()
+	for i := range d {
+		d[i] = float32(rng.NormFloat64())
+	}
+	return in
+}
+
+func replicaPlans(n, variants int) []monitor.PartitionPlan {
+	plans := make([]monitor.PartitionPlan, n)
+	for i := range plans {
+		for v := 0; v < variants; v++ {
+			plans[i].Variants = append(plans[i].Variants, "replica")
+		}
+	}
+	return plans
+}
+
+// TestEndToEndReplicaMVX deploys a 5-partition, 3-replica-per-partition MVX
+// system in-process with encrypted channels and checks the pipeline output
+// matches the unpartitioned baseline exactly.
+func TestEndToEndReplicaMVX(t *testing.T) {
+	mc := models.Config{Depth: 0.34}
+	b, err := BuildBundle(OfflineConfig{
+		ModelName:        "resnet-50",
+		ModelConfig:      mc,
+		PartitionTargets: []int{5},
+		Specs:            []diversify.Spec{diversify.ReplicaSpec("replica")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX: &monitor.MVXConfig{
+			Model: "resnet-50",
+			Plans: replicaPlans(5, 3),
+		},
+		Encrypt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	in := testInput(1)
+	res, err := d.Infer(map[string]*tensor.Tensor{"image": in.Clone()})
+	if err != nil {
+		t.Fatalf("mvx infer: %v", err)
+	}
+
+	base, err := BaselineExecutor("resnet-50", mc, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(map[string]*tensor.Tensor{"image": in.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := check.Consistent(res.Tensors, want, check.Policy{Criteria: []check.Criterion{
+		{Metric: check.MaxAbsDiff, Threshold: 1e-5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("MVX output diverges from baseline: got %v want %v",
+			res.Tensors["logits"].Data()[:4], want["logits"].Data()[:4])
+	}
+	if evs := d.Engine.Events(); len(evs) != 0 {
+		t.Fatalf("unexpected events: %v", evs)
+	}
+}
+
+// TestEndToEndPipelined streams several batches through the pipeline.
+func TestEndToEndPipelined(t *testing.T) {
+	b, err := BuildBundle(OfflineConfig{
+		ModelName:        "mobilenetv3",
+		PartitionTargets: []int{4},
+		Specs:            []diversify.Spec{diversify.ReplicaSpec("replica")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX:     &monitor.MVXConfig{Plans: replicaPlans(4, 1)},
+		Encrypt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	base, err := BaselineExecutor("mobilenetv3", models.Config{}, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 6
+	batches := make([]map[string]*tensor.Tensor, n)
+	wants := make([]map[string]*tensor.Tensor, n)
+	for i := range batches {
+		in := testInput(uint64(i + 10))
+		batches[i] = map[string]*tensor.Tensor{"image": in.Clone()}
+		w, err := base.Run(map[string]*tensor.Tensor{"image": in.Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	results, err := d.Stream(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	// Batch IDs are process-unique and increase in submission order; rank
+	// them to recover the original batch index.
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch %d failed: %v", r.ID, r.Err)
+		}
+		ok, err := check.Consistent(r.Tensors, wants[i], check.Policy{Criteria: []check.Criterion{
+			{Metric: check.MaxAbsDiff, Threshold: 1e-5},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("batch %d diverges from baseline", r.ID)
+		}
+	}
+}
+
+// TestEndToEndTransformer exercises the §7.4 foundation-model extension
+// through the full MVTEE pipeline: partitioned transformer encoder, mixed
+// interp/planned variants, MVX on the attention-heavy middle stage.
+func TestEndToEndTransformer(t *testing.T) {
+	specs := []diversify.Spec{
+		{Name: "rt-a", Runtime: "interp", BLAS: "naive", Seed: 1},
+		{Name: "rt-b", Runtime: "planned", BLAS: "blocked", Seed: 2},
+		{Name: "rt-c", Runtime: "planned", BLAS: "packed", Seed: 3,
+			Transforms: []diversify.GraphTransform{{Kind: diversify.TDummyOps, N: 3}}},
+	}
+	b, err := BuildBundle(OfflineConfig{
+		ModelName:        "tinyformer",
+		PartitionTargets: []int{3},
+		Specs:            specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []monitor.PartitionPlan{
+		{Variants: []string{"rt-a"}},
+		{Variants: []string{"rt-a", "rt-b", "rt-c"}},
+		{Variants: []string{"rt-b"}},
+	}
+	d, err := Deploy(b, 0, DeployConfig{
+		MVX: &monitor.MVXConfig{
+			Plans:    plans,
+			Criteria: []check.Criterion{{Metric: check.AllClose, RTol: 1e-2, ATol: 1e-4}},
+		},
+		Encrypt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	shape := b.Model.Inputs[0].Shape
+	rng := rand.New(rand.NewPCG(4, 4))
+	in := tensor.New(shape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	res, err := d.Infer(map[string]*tensor.Tensor{"tokens": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := infer.New(b.Model, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(map[string]*tensor.Tensor{"tokens": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := check.Consistent(res.Tensors, want, check.Policy{Criteria: []check.Criterion{
+		{Metric: check.MaxAbsDiff, Threshold: 1e-4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("transformer MVX output diverges from baseline")
+	}
+	if evs := d.Engine.Events(); len(evs) != 0 {
+		t.Fatalf("unexpected events %v", evs)
+	}
+}

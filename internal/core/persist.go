@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/diversify"
+	"repro/internal/enclave"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/pfcrypt"
+)
+
+// BundleMeta is the public, on-disk description of a saved bundle: the
+// partition sets with their checkpoint boundaries, the variant specs, and
+// the model interface. It contains no secrets (keys are saved separately for
+// the model owner).
+type BundleMeta struct {
+	Model        string              `json:"model"`
+	ModelInputs  []graph.ValueInfo   `json:"model_inputs"`
+	ModelOutputs []string            `json:"model_outputs"`
+	Sets         []*partition.Set    `json:"sets"`
+	Specs        []diversify.Spec    `json:"specs"`
+	Evidence     map[string][32]byte `json:"evidence"` // entry key -> manifest digest
+}
+
+func entryKey(e Entry) string { return fmt.Sprintf("set%d/p%d/%s", e.Set, e.Partition, e.Spec) }
+
+// Bundle directory layout.
+const (
+	MetaFile        = "meta.json"
+	KeysFile        = "owner-keys.json"   // model-owner secret
+	PlatformFile    = "platform.json"     // simulated hardware root (TEE hosts only)
+	PlatformPubFile = "platform-pub.json" // verification identity (owners, users)
+	InitManFile     = "init-manifest.json"
+)
+
+// Save writes the bundle to dir for process-separated deployments: the
+// encrypted pool files, the public metadata and init manifest, the model
+// owner's key table, and the simulated platform identity standing in for
+// the attestation infrastructure.
+func (b *Bundle) Save(dir string) error {
+	for path, data := range b.FS {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return fmt.Errorf("core: save bundle: %w", err)
+		}
+		if err := os.WriteFile(full, data, 0o644); err != nil {
+			return fmt.Errorf("core: save bundle: %w", err)
+		}
+	}
+	meta := BundleMeta{
+		Model:        b.Model.Name,
+		ModelInputs:  b.Model.Inputs,
+		ModelOutputs: b.Model.Outputs,
+		Sets:         b.Sets,
+		Specs:        b.Specs,
+		Evidence:     make(map[string][32]byte, len(b.Evidence)),
+	}
+	for e, ev := range b.Evidence {
+		meta.Evidence[entryKey(e)] = ev
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: save bundle meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, MetaFile), mb, 0o644); err != nil {
+		return err
+	}
+	keys := make(map[string][]byte, len(b.Keys))
+	for e, k := range b.Keys {
+		keys[entryKey(e)] = k
+	}
+	kb, err := json.MarshalIndent(keys, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: save bundle keys: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, KeysFile), kb, 0o600); err != nil {
+		return err
+	}
+	imb, err := b.InitManifest.Marshal()
+	if err != nil {
+		return fmt.Errorf("core: save init manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, InitManFile), imb, 0o644); err != nil {
+		return err
+	}
+	// Simulated hardware root shared by all deployment processes.
+	plat, err := enclave.NewPlatform("plat-shared", enclave.SGX2, 128<<30)
+	if err != nil {
+		return err
+	}
+	pb, err := plat.Export()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, PlatformFile), pb, 0o600); err != nil {
+		return err
+	}
+	pub, err := plat.ExportPublic()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, PlatformPubFile), pub, 0o644)
+}
+
+// LoadPlatformIdentity reads the public platform identity (what the model
+// owner's verifier trusts) from dir.
+func LoadPlatformIdentity(dir string) ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(dir, PlatformPubFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: load platform identity: %w", err)
+	}
+	return b, nil
+}
+
+// MonitorImage is the monitor TEE's launch image; its measurement is what
+// model owners expect during attestation (both deployment paths must agree
+// on it).
+func MonitorImage() enclave.Image {
+	return enclave.Image{Name: "mvtee-monitor", Code: []byte("mvtee monitor v1"), InitialPages: 16 << 20}
+}
+
+// LoadMeta reads the public bundle metadata from dir.
+func LoadMeta(dir string) (*BundleMeta, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: load bundle meta: %w", err)
+	}
+	var meta BundleMeta
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return nil, fmt.Errorf("core: load bundle meta: %w", err)
+	}
+	return &meta, nil
+}
+
+// LoadKeys reads the model owner's key table from dir.
+func LoadKeys(dir string) (map[string]pfcrypt.KDK, error) {
+	kb, err := os.ReadFile(filepath.Join(dir, KeysFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: load bundle keys: %w", err)
+	}
+	var raw map[string][]byte
+	if err := json.Unmarshal(kb, &raw); err != nil {
+		return nil, fmt.Errorf("core: load bundle keys: %w", err)
+	}
+	keys := make(map[string]pfcrypt.KDK, len(raw))
+	for k, v := range raw {
+		keys[k] = v
+	}
+	return keys, nil
+}
+
+// LoadPlatform reads the shared simulated platform identity from dir.
+func LoadPlatform(dir string) (*enclave.Platform, error) {
+	pb, err := os.ReadFile(filepath.Join(dir, PlatformFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: load platform: %w", err)
+	}
+	return enclave.ImportPlatform(pb)
+}
+
+// EntryKeyFor formats the key-table key for (set, partition, spec).
+func EntryKeyFor(set, part int, spec string) string {
+	return entryKey(Entry{Set: set, Partition: part, Spec: spec})
+}
+
+// ParseEntryKey inverts EntryKeyFor.
+func ParseEntryKey(s string) (Entry, error) {
+	var e Entry
+	parts := strings.SplitN(s, "/", 3)
+	if len(parts) != 3 {
+		return e, fmt.Errorf("core: malformed entry key %q", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "set%d", &e.Set); err != nil {
+		return e, fmt.Errorf("core: malformed entry key %q: %w", s, err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "p%d", &e.Partition); err != nil {
+		return e, fmt.Errorf("core: malformed entry key %q: %w", s, err)
+	}
+	e.Spec = parts[2]
+	return e, nil
+}

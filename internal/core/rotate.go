@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pfcrypt"
+)
+
+// RotateKey re-keys one pool entry: a fresh variant-specific KDK is
+// generated and every file of the entry is re-encrypted under it (§6.5 "key
+// rotation can be conducted on a regular basis for proactive defense").
+// Because the KDK only wraps per-file one-time keys, rotation touches little
+// ciphertext and the evidence digest (a plaintext digest) is unchanged, so
+// already-expected attestation values stay valid. Variants bound before the
+// rotation keep serving (they hold decrypted state); new bindings receive
+// the new key.
+func (b *Bundle) RotateKey(e Entry) error {
+	old, ok := b.Keys[e]
+	if !ok {
+		return fmt.Errorf("core: no pool entry %+v", e)
+	}
+	fresh, err := pfcrypt.NewKDK()
+	if err != nil {
+		return err
+	}
+	paths := []string{e.GraphPath(), e.SpecPath(), e.ManifestPath(), e.EntrypointPath()}
+	reenc := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		ct, ok := b.FS[p]
+		if !ok {
+			return fmt.Errorf("core: pool file %q missing", p)
+		}
+		pt, err := pfcrypt.Decrypt(old, p, ct)
+		if err != nil {
+			return fmt.Errorf("core: rotate %q: %w", p, err)
+		}
+		nc, err := pfcrypt.Encrypt(fresh, p, pt)
+		if err != nil {
+			return fmt.Errorf("core: rotate %q: %w", p, err)
+		}
+		reenc[p] = nc
+	}
+	// Commit atomically only after every file re-encrypted.
+	for p, ct := range reenc {
+		b.FS[p] = ct
+	}
+	b.Keys[e] = fresh
+	return nil
+}
+
+// RotateAllKeys rotates every pool entry.
+func (b *Bundle) RotateAllKeys() error {
+	for e := range b.Keys {
+		if err := b.RotateKey(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package diversify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+func TestSpecJSONRoundtrip(t *testing.T) {
+	s := Spec{
+		Name:       "x",
+		Transforms: []GraphTransform{{Kind: TDummyOps, N: 3}, {Kind: TSelectiveOpt, P: 0.5}},
+		Runtime:    "planned", BLAS: "packed", ConvAlgo: "im2col",
+		Parallelism: 2, OptLevel: 1,
+		CheckFinite: true, ASLR: true, TEE: "tdx", Seed: 9,
+	}
+	b, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "x" || len(got.Transforms) != 2 || got.Runtime != "planned" ||
+		!got.CheckFinite || got.TEE != "tdx" || got.Seed != 9 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestParseSpecRejectsBadFields(t *testing.T) {
+	cases := []string{
+		`{"runtime":"jvm"}`,
+		`{"blas":"cuda"}`,
+		`{"conv_algo":"fft"}`,
+		`{"tee":"sev"}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestRuntimeConfigResolution(t *testing.T) {
+	cfg, err := Spec{}.RuntimeConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Runtime != infer.Interp {
+		t.Fatalf("default runtime = %v", cfg.Runtime)
+	}
+	cfg, err = Spec{Runtime: "planned", BLAS: "blocked", ConvAlgo: "im2col", OptLevel: 2}.RuntimeConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Runtime != infer.Planned || cfg.OptLevel != 2 {
+		t.Fatalf("resolved = %+v", cfg)
+	}
+}
+
+func TestApplyUnknownTransform(t *testing.T) {
+	g := models.MustBuild("mnasnet", models.Config{})
+	if _, err := Apply(Spec{Name: "bad", Transforms: []GraphTransform{{Kind: "quantum"}}}, g); err == nil {
+		t.Fatal("unknown transform accepted")
+	}
+}
+
+func TestApplyDeterministicPerSeed(t *testing.T) {
+	g := models.MustBuild("resnet-50", models.Config{Depth: 0.34})
+	s := Spec{Name: "d", Seed: 5, Transforms: []GraphTransform{{Kind: TDummyOps, N: 4}, {Kind: TShuffleChannel, N: 2}}}
+	a, err := Apply(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Apply(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("same seed produced different structures")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Name != b.Nodes[i].Name {
+			t.Fatal("same seed produced different node names")
+		}
+	}
+}
+
+func TestApplyLeavesOriginalIntact(t *testing.T) {
+	g := models.MustBuild("mnasnet", models.Config{})
+	before := len(g.Nodes)
+	if _, err := Apply(Spec{Name: "d", Transforms: []GraphTransform{{Kind: TDummyOps, N: 5}}}, g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != before {
+		t.Fatal("Apply mutated the input graph")
+	}
+}
+
+// TestPoolVariantsEquivalentOnPartitions builds the pool over real partition
+// subgraphs and verifies every diversified variant computes the same
+// function as the undiversified subgraph.
+func TestPoolVariantsEquivalentOnPartitions(t *testing.T) {
+	g := models.MustBuild("googlenet", models.Config{})
+	p, err := partition.NewPartitioner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := p.Partition(partition.Options{Target: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]*graph.Graph, 3)
+	for i := range subs {
+		subs[i], err = p.Extract(set, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	specs := append(RealSetupSpecs(), HeavyTVMSpec())
+	pool, err := BuildPool(subs, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed each partition with a reference forward pass.
+	values := map[string]*tensor.Tensor{}
+	in := tensor.New(1, 3, 32, 32)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i%11)/11 - 0.5
+	}
+	values["image"] = in
+	for pi, sub := range subs {
+		ins := map[string]*tensor.Tensor{}
+		for _, vi := range sub.Inputs {
+			ins[vi.Name] = values[vi.Name]
+		}
+		ref, err := infer.New(sub, infer.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Run(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, tt := range want {
+			values[name] = tt
+		}
+		for _, v := range pool.Variants[pi] {
+			rc, err := v.Spec.RuntimeConfig()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex, err := infer.New(v.Graph, rc)
+			if err != nil {
+				t.Fatalf("p%d %s: %v", pi, v.Spec.Name, err)
+			}
+			got, err := ex.Run(ins)
+			if err != nil {
+				t.Fatalf("p%d %s: %v", pi, v.Spec.Name, err)
+			}
+			for name := range want {
+				if d := maxRel(got[name], want[name]); d > 2e-2 {
+					t.Errorf("p%d %s: output %q deviates by %g", pi, v.Spec.Name, name, d)
+				}
+			}
+		}
+	}
+}
+
+func maxRel(a, b *tensor.Tensor) float64 {
+	var worst float64
+	for i := range a.Data() {
+		d := math.Abs(float64(a.Data()[i]) - float64(b.Data()[i]))
+		den := math.Abs(float64(b.Data()[i])) + 1e-5
+		if r := d / den; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func TestPoolLookup(t *testing.T) {
+	g := models.MustBuild("mnasnet", models.Config{})
+	p, _ := partition.NewPartitioner(g)
+	set, _ := p.Partition(partition.Options{Target: 2})
+	subs := make([]*graph.Graph, 2)
+	for i := range subs {
+		subs[i], _ = p.Extract(set, i)
+	}
+	pool, err := BuildPool(subs, []Spec{ReplicaSpec("r")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Lookup(0, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Lookup(0, "nope"); err == nil {
+		t.Fatal("unknown spec found")
+	}
+	if _, err := pool.Lookup(9, "r"); err == nil {
+		t.Fatal("out-of-range partition found")
+	}
+}
+
+func TestPresetSpecsAreValid(t *testing.T) {
+	all := append(RealSetupSpecs(), HeavyTVMSpec(), ReplicaSpec("r"))
+	all = append(all, HardenedSpecs()...)
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || seen[s.Name] {
+			t.Errorf("spec name %q empty or duplicated", s.Name)
+		}
+		seen[s.Name] = true
+		if _, err := s.RuntimeConfig(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if _, err := s.TEEType(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}

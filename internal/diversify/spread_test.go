@@ -1,0 +1,39 @@
+package diversify
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func TestSpecSpeedSpread(t *testing.T) {
+	g := models.MustBuild("resnet-50", models.Config{})
+	in := tensor.New(1, 3, 32, 32)
+	for i := range in.Data() {
+		in.Data()[i] = 0.3
+	}
+	for _, s := range append(RealSetupSpecs(), HeavyTVMSpec()) {
+		dg, err := Apply(s, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, _ := s.RuntimeConfig()
+		ex, err := infer.New(dg, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.Run(map[string]*tensor.Tensor{"image": in})
+		best := time.Hour
+		for i := 0; i < 3; i++ {
+			st := time.Now()
+			ex.Run(map[string]*tensor.Tensor{"image": in})
+			if e := time.Since(st); e < best {
+				best = e
+			}
+		}
+		t.Logf("%-12s %8.2f ms", s.Name, float64(best.Microseconds())/1000)
+	}
+}

@@ -1,0 +1,233 @@
+package enclave
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newPlatform(t *testing.T, tt TEEType) *Platform {
+	t.Helper()
+	p, err := NewPlatform("test-"+tt.String(), tt, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMeasurementDeterministicAndSensitive(t *testing.T) {
+	img := Image{Name: "app", Code: []byte("binary")}
+	if Measure(img) != Measure(img) {
+		t.Fatal("measurement not deterministic")
+	}
+	tampered := Image{Name: "app", Code: []byte("binarY")}
+	if Measure(img) == Measure(tampered) {
+		t.Fatal("tampered code has same measurement")
+	}
+	renamed := Image{Name: "app2", Code: []byte("binary")}
+	if Measure(img) == Measure(renamed) {
+		t.Fatal("renamed image has same measurement")
+	}
+}
+
+func TestFeatureProfiles(t *testing.T) {
+	if f := newPlatform(t, SGX1).Features(); !f.IntegrityTree || f.DynamicMemory {
+		t.Errorf("SGX1 features = %+v", f)
+	}
+	if f := newPlatform(t, SGX2).Features(); f.IntegrityTree || !f.DynamicMemory {
+		t.Errorf("SGX2 features = %+v", f)
+	}
+	if f := newPlatform(t, TDX).Features(); !f.DynamicMemory {
+		t.Errorf("TDX features = %+v", f)
+	}
+	if _, err := NewPlatform("x", TEEType(9), 1); err == nil {
+		t.Error("unknown TEE type accepted")
+	}
+}
+
+func TestEPCAccounting(t *testing.T) {
+	p, err := NewPlatform("epc", SGX2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := p.Launch(Image{Name: "a", Code: []byte("a"), InitialPages: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EPCInUse() != 60 {
+		t.Fatalf("EPC in use = %d", p.EPCInUse())
+	}
+	if _, err := p.Launch(Image{Name: "b", Code: []byte("b"), InitialPages: 50}); !errors.Is(err, ErrEPCExhausted) {
+		t.Fatalf("overcommit: got %v", err)
+	}
+	if err := e1.Grow(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Grow(20); !errors.Is(err, ErrEPCExhausted) {
+		t.Fatalf("grow past cap: got %v", err)
+	}
+	e1.Destroy()
+	if p.EPCInUse() != 0 {
+		t.Fatalf("EPC not released: %d", p.EPCInUse())
+	}
+	e1.Destroy() // idempotent
+	if p.EPCInUse() != 0 {
+		t.Fatal("double destroy corrupted accounting")
+	}
+}
+
+func TestGrowNeedsEDMM(t *testing.T) {
+	p := newPlatform(t, SGX1)
+	e, err := p.Launch(Image{Name: "a", Code: []byte("a"), InitialPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Grow(10); !errors.Is(err, ErrNoEDMM) {
+		t.Fatalf("SGX1 grow: got %v, want ErrNoEDMM", err)
+	}
+}
+
+func TestReportVerify(t *testing.T) {
+	p := newPlatform(t, SGX2)
+	e, err := p.Launch(Image{Name: "app", Code: []byte("code"), InitialPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd ReportData
+	copy(rd[:], "channel binding hash")
+	rep, err := e.GenerateReport(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := NewVerifier()
+	if err := v.Verify(rep, nil); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("untrusted platform: got %v", err)
+	}
+	v.Trust(p)
+	if err := v.Verify(rep, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(rep, []Measurement{e.Measurement()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(rep, []Measurement{{1, 2, 3}}); !errors.Is(err, ErrMeasurement) {
+		t.Fatalf("wrong measurement: got %v", err)
+	}
+}
+
+func TestReportTamperDetected(t *testing.T) {
+	p := newPlatform(t, SGX2)
+	e, _ := p.Launch(Image{Name: "app", Code: []byte("code"), InitialPages: 1})
+	rep, _ := e.GenerateReport(ReportData{1})
+	v := NewVerifier()
+	v.Trust(p)
+
+	bad := *rep
+	bad.Measurement[0] ^= 1
+	if err := v.Verify(&bad, nil); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered measurement: got %v", err)
+	}
+	bad2 := *rep
+	bad2.ReportData[5] ^= 1
+	if err := v.Verify(&bad2, nil); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered report data: got %v", err)
+	}
+	// A report from a different (untrusted) platform claiming this
+	// platform's ID must fail signature verification.
+	p2 := newPlatform(t, SGX2)
+	e2, _ := p2.Launch(Image{Name: "app", Code: []byte("code"), InitialPages: 1})
+	forged, _ := e2.GenerateReport(ReportData{1})
+	forged.PlatformID = p.ID
+	if err := v.Verify(forged, nil); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("forged platform id: got %v", err)
+	}
+}
+
+func TestReportMarshalRoundtrip(t *testing.T) {
+	p := newPlatform(t, TDX)
+	e, _ := p.Launch(Image{Name: "app", Code: []byte("c"), InitialPages: 1})
+	rep, _ := e.GenerateReport(ReportData{9})
+	b, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier()
+	v.Trust(p)
+	if err := v.Verify(got, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestroyedEnclaveCannotAttest(t *testing.T) {
+	p := newPlatform(t, SGX2)
+	e, _ := p.Launch(Image{Name: "a", Code: []byte("a"), InitialPages: 1})
+	e.Destroy()
+	if _, err := e.GenerateReport(ReportData{}); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("got %v, want ErrDestroyed", err)
+	}
+}
+
+func TestSealKey(t *testing.T) {
+	p := newPlatform(t, SGX2)
+	e1, _ := p.Launch(Image{Name: "a", Code: []byte("same"), InitialPages: 1})
+	e2, _ := p.Launch(Image{Name: "a", Code: []byte("same"), InitialPages: 1})
+	k1, err := e1.SealKey("fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := e2.SealKey("fs")
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("same measurement on same platform must derive the same seal key")
+	}
+	k3, _ := e1.SealKey("other")
+	if bytes.Equal(k1, k3) {
+		t.Fatal("different contexts must derive different keys")
+	}
+	e3, _ := p.Launch(Image{Name: "a", Code: []byte("different"), InitialPages: 1})
+	k4, _ := e3.SealKey("fs")
+	if bytes.Equal(k1, k4) {
+		t.Fatal("different measurements must derive different keys")
+	}
+}
+
+func TestExportImportPlatform(t *testing.T) {
+	p := newPlatform(t, SGX2)
+	b, err := p.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ImportPlatform(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A report generated on the imported platform must verify against a
+	// verifier trusting the original (same hardware identity).
+	e, err := q.Launch(Image{Name: "a", Code: []byte("x"), InitialPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.GenerateReport(ReportData{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier()
+	v.Trust(p)
+	if err := v.Verify(rep, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sealing must also carry over.
+	e0, _ := p.Launch(Image{Name: "a", Code: []byte("x"), InitialPages: 1})
+	k0, _ := e0.SealKey("fs")
+	k1, _ := e.SealKey("fs")
+	if !bytes.Equal(k0, k1) {
+		t.Fatal("seal keys differ after import")
+	}
+	if _, err := ImportPlatform([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package enclave
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/json"
+	"encoding/pem"
+	"fmt"
+)
+
+// PlatformSecrets is the serialized identity of a simulated platform: the
+// hardware attestation key and provisioning secret. In a real deployment
+// these live in fuses and the attestation infrastructure distributes the
+// certificates; for process-separated runs of this repository the offline
+// tool writes them to the deployment bundle so every process models the same
+// machine. Treat the file as the hardware root of trust.
+type PlatformSecrets struct {
+	ID     string  `json:"id"`
+	Type   TEEType `json:"type"`
+	KeyPEM string  `json:"key_pem"`
+	Secret []byte  `json:"secret"`
+	EPC    int64   `json:"epc"`
+}
+
+// Export serializes the platform's identity.
+func (p *Platform) Export() ([]byte, error) {
+	der, err := x509.MarshalECPrivateKey(p.key)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: export key: %w", err)
+	}
+	pemB := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: der})
+	return json.Marshal(PlatformSecrets{
+		ID: p.ID, Type: p.Type, KeyPEM: string(pemB), Secret: p.secret[:], EPC: p.epcTotal,
+	})
+}
+
+// ImportPlatform reconstructs a platform from its exported identity.
+func ImportPlatform(b []byte) (*Platform, error) {
+	var ps PlatformSecrets
+	if err := json.Unmarshal(b, &ps); err != nil {
+		return nil, fmt.Errorf("enclave: import platform: %w", err)
+	}
+	blk, _ := pem.Decode([]byte(ps.KeyPEM))
+	if blk == nil {
+		return nil, fmt.Errorf("enclave: import platform: no PEM block")
+	}
+	key, err := x509.ParseECPrivateKey(blk.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: import platform: %w", err)
+	}
+	if len(ps.Secret) != 32 {
+		return nil, fmt.Errorf("enclave: import platform: bad secret length %d", len(ps.Secret))
+	}
+	p := &Platform{ID: ps.ID, Type: ps.Type, key: key, epcTotal: ps.EPC}
+	copy(p.secret[:], ps.Secret)
+	switch ps.Type {
+	case SGX1:
+		p.features = Features{IntegrityTree: true}
+	case SGX2, TDX:
+		p.features = Features{DynamicMemory: true}
+	default:
+		return nil, fmt.Errorf("enclave: import platform: unknown type %d", int(ps.Type))
+	}
+	return p, nil
+}
+
+// PublicKeyOnly returns just the verification key for building a Verifier in
+// a process that must not hold the private identity (e.g., the model owner).
+func (p *Platform) PublicKeyOnly() *ecdsa.PublicKey { return p.PublicKey() }
+
+// PlatformIdentity is the public half of a platform: what an attestation
+// infrastructure distributes to verifiers (model owners, users).
+type PlatformIdentity struct {
+	ID     string  `json:"id"`
+	Type   TEEType `json:"type"`
+	PubPEM string  `json:"pub_pem"`
+}
+
+// ExportPublic serializes the platform's verification identity.
+func (p *Platform) ExportPublic() ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(p.PublicKey())
+	if err != nil {
+		return nil, fmt.Errorf("enclave: export public key: %w", err)
+	}
+	pemB := pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der})
+	return json.Marshal(PlatformIdentity{ID: p.ID, Type: p.Type, PubPEM: string(pemB)})
+}
+
+// TrustIdentity registers an exported public platform identity as a trust
+// anchor in the verifier.
+func (v *Verifier) TrustIdentity(b []byte) error {
+	var pi PlatformIdentity
+	if err := json.Unmarshal(b, &pi); err != nil {
+		return fmt.Errorf("enclave: import identity: %w", err)
+	}
+	blk, _ := pem.Decode([]byte(pi.PubPEM))
+	if blk == nil {
+		return fmt.Errorf("enclave: import identity: no PEM block")
+	}
+	pub, err := x509.ParsePKIXPublicKey(blk.Bytes)
+	if err != nil {
+		return fmt.Errorf("enclave: import identity: %w", err)
+	}
+	ek, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("enclave: import identity: not an ECDSA key")
+	}
+	v.TrustKey(pi.ID, ek)
+	return nil
+}

@@ -1,0 +1,124 @@
+package enclave
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Report is a hardware-signed attestation report (SGX quote / TDX report
+// analogue). It binds the enclave's measurement and caller-chosen report
+// data to the platform's attestation key.
+type Report struct {
+	PlatformID  string
+	TEEType     TEEType
+	Measurement Measurement
+	ReportData  ReportData
+	Signature   []byte // ASN.1 ECDSA over the canonical body
+}
+
+func reportDigest(platformID string, tt TEEType, m Measurement, rd ReportData) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("mvtee-report-v1"))
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(platformID)))
+	h.Write(n[:])
+	h.Write([]byte(platformID))
+	binary.LittleEndian.PutUint32(n[:], uint32(tt))
+	h.Write(n[:])
+	h.Write(m[:])
+	h.Write(rd[:])
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// GenerateReport produces a signed attestation report for the enclave with
+// the given report data.
+func (e *Enclave) GenerateReport(rd ReportData) (*Report, error) {
+	e.mu.Lock()
+	destroyed := e.destroyed
+	e.mu.Unlock()
+	if destroyed {
+		return nil, ErrDestroyed
+	}
+	d := reportDigest(e.platform.ID, e.platform.Type, e.meas, rd)
+	sig, err := ecdsa.SignASN1(rand.Reader, e.platform.key, d[:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: sign report: %w", err)
+	}
+	return &Report{
+		PlatformID:  e.platform.ID,
+		TEEType:     e.platform.Type,
+		Measurement: e.meas,
+		ReportData:  rd,
+		Signature:   sig,
+	}, nil
+}
+
+// Marshal encodes the report for transmission.
+func (r *Report) Marshal() ([]byte, error) { return json.Marshal(r) }
+
+// UnmarshalReport decodes a transmitted report.
+func UnmarshalReport(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("enclave: decode report: %w", err)
+	}
+	return &r, nil
+}
+
+// Verification errors.
+var (
+	ErrUnknownPlatform = errors.New("enclave: report from unknown platform")
+	ErrBadSignature    = errors.New("enclave: report signature invalid")
+	ErrMeasurement     = errors.New("enclave: unexpected measurement")
+)
+
+// Verifier validates attestation reports against a set of trusted platforms
+// (the role of the Intel attestation infrastructure in the paper's setup).
+type Verifier struct {
+	anchors map[string]*ecdsa.PublicKey
+}
+
+// NewVerifier returns an empty verifier.
+func NewVerifier() *Verifier {
+	return &Verifier{anchors: make(map[string]*ecdsa.PublicKey)}
+}
+
+// Trust registers a platform's attestation key as a trust anchor.
+func (v *Verifier) Trust(p *Platform) {
+	v.anchors[p.ID] = p.PublicKey()
+}
+
+// TrustKey registers a raw public key under a platform ID.
+func (v *Verifier) TrustKey(platformID string, key *ecdsa.PublicKey) {
+	v.anchors[platformID] = key
+}
+
+// Verify checks the report's signature against the trust anchors and, when
+// expected is non-nil, that the measurement matches one of the expected
+// values.
+func (v *Verifier) Verify(r *Report, expected []Measurement) error {
+	key, ok := v.anchors[r.PlatformID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPlatform, r.PlatformID)
+	}
+	d := reportDigest(r.PlatformID, r.TEEType, r.Measurement, r.ReportData)
+	if !ecdsa.VerifyASN1(key, d[:], r.Signature) {
+		return ErrBadSignature
+	}
+	if expected != nil {
+		for _, m := range expected {
+			if m == r.Measurement {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %x", ErrMeasurement, r.Measurement[:8])
+	}
+	return nil
+}

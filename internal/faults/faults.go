@@ -1,0 +1,349 @@
+// Package faults injects the vulnerability and fault classes of the paper's
+// security analysis (§6.5, Table 1) into inference variants: memory-safety
+// bugs in ML-framework kernels (OOB, null pointers, integer overflows,
+// use-after-free, assertion failures, FPEs) triggered by maliciously crafted
+// inputs, and runtime fault attacks (Rowhammer-style weight bit flips,
+// FrameFlip-style code bit flips in one BLAS library, latency faults).
+//
+// Each injection targets a *specific implementation* — a runtime family, a
+// BLAS backend, an operator kernel — so diversified variants that use a
+// different implementation are unaffected, and hardening features (bounds
+// checks, sanitizer, ASLR, error handling) convert silent corruption into a
+// detectable crash. That selectivity is exactly the property MVX detection
+// relies on.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/graph"
+	"repro/internal/infer"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Class enumerates vulnerability/fault classes.
+type Class string
+
+// Vulnerability classes of Table 1 plus the runtime fault attacks of §6.5.
+const (
+	OOB           Class = "oob"            // out-of-bounds read/write
+	UNP           Class = "unp"            // uninitialized/null pointer
+	FPE           Class = "fpe"            // floating point exception
+	IntOverflow   Class = "io"             // integer overflow
+	UAF           Class = "uaf"            // use after free
+	ACF           Class = "acf"            // assertion check failure
+	WeightBitFlip Class = "weight-bitflip" // Rowhammer-style model fault
+	CodeBitFlip   Class = "code-bitflip"   // FrameFlip-style library fault
+	Delay         Class = "delay"          // latency fault (straggler)
+)
+
+// Injection describes one fault to arm in a variant.
+type Injection struct {
+	Class Class
+	// TargetOp restricts kernel-level faults to one operator type (e.g.
+	// graph.OpConv); empty hits every operator.
+	TargetOp string
+	// TargetRuntime restricts the fault to variants of one runtime family
+	// (the vulnerable framework); 0 hits all.
+	TargetRuntime infer.RuntimeKind
+	// TargetBLAS restricts library faults to one backend (the vulnerable
+	// linear-algebra library); 0 hits all.
+	TargetBLAS blas.Kind
+	// Trigger, when non-zero, is the crafted-input magic: the fault fires
+	// only when an input tensor contains this exact value. Zero fires
+	// unconditionally.
+	Trigger float32
+	// Seed drives which elements get corrupted.
+	Seed uint64
+	// Latency is the per-node delay for Delay faults.
+	Latency time.Duration
+}
+
+// Detected errors raised by hardening features intercepting a fault, and
+// crash errors raised by the fault itself. All surface as variant failures
+// the monitor observes.
+var (
+	ErrBoundsViolation = errors.New("faults: bounds check: out-of-bounds access blocked")
+	ErrSanitizer       = errors.New("faults: sanitizer: memory error detected")
+	ErrSegfault        = errors.New("faults: segmentation fault")
+	ErrNullPointer     = errors.New("faults: null pointer dereference")
+	ErrAssertion       = errors.New("faults: assertion check failed")
+	ErrAllocFailure    = errors.New("faults: allocation failure (integer overflow)")
+)
+
+// Arm wires the injection into an executor configuration, returning the
+// armed configuration. Variants whose configuration does not match the
+// injection's implementation targets are returned unchanged — the fault
+// simply does not exist in their code.
+func Arm(cfg infer.Config, inj Injection) infer.Config {
+	if inj.TargetRuntime != 0 {
+		rt := cfg.Runtime
+		if rt == 0 {
+			rt = infer.Interp
+		}
+		if rt != inj.TargetRuntime {
+			return cfg
+		}
+	}
+	switch inj.Class {
+	case CodeBitFlip:
+		target := inj.TargetBLAS
+		if target == 0 {
+			target = blas.Naive
+		}
+		kind := cfg.BLAS
+		if kind == 0 {
+			kind = blas.Naive
+		}
+		if kind != target {
+			return cfg // different library: fault is harmless (§6.5 FrameFlip)
+		}
+		prev := cfg.BLASWrapper
+		cfg.BLASWrapper = func(b blas.Backend) blas.Backend {
+			if prev != nil {
+				b = prev(b)
+			}
+			return &flippedBLAS{inner: b, seed: inj.Seed}
+		}
+		return cfg
+	case Delay:
+		prev := cfg.KernelWrapper
+		cfg.KernelWrapper = func(name string, k ops.Kernel) ops.Kernel {
+			if prev != nil {
+				k = prev(name, k)
+			}
+			return func(ctx *ops.Context, n *graph.Node, ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+				time.Sleep(inj.Latency)
+				return k(ctx, n, ins)
+			}
+		}
+		return cfg
+	case WeightBitFlip:
+		// Applied at the graph level via FlipWeightBit, not here.
+		return cfg
+	default:
+		prev := cfg.KernelWrapper
+		hard := hardening{
+			bounds:    cfg.BoundsCheck,
+			sanitizer: cfg.Sanitizer,
+			aslr:      cfg.ASLR,
+			finite:    cfg.CheckFinite,
+		}
+		cfg.KernelWrapper = func(name string, k ops.Kernel) ops.Kernel {
+			if prev != nil {
+				k = prev(name, k)
+			}
+			return vulnerableKernel(k, inj, hard)
+		}
+		return cfg
+	}
+}
+
+type hardening struct {
+	bounds, sanitizer, aslr, finite bool
+}
+
+// triggered reports whether the crafted-input condition holds.
+func triggered(inj Injection, ins []*tensor.Tensor) bool {
+	if inj.Trigger == 0 {
+		return true
+	}
+	for _, t := range ins {
+		for _, v := range t.Data() {
+			if v == inj.Trigger {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// vulnerableKernel wraps a kernel with a simulated vulnerability of the
+// given class and resolves its manifestation against the variant's
+// hardening profile.
+func vulnerableKernel(k ops.Kernel, inj Injection, hard hardening) ops.Kernel {
+	return func(ctx *ops.Context, n *graph.Node, ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if inj.TargetOp != "" && n.Op != inj.TargetOp {
+			return k(ctx, n, ins)
+		}
+		if !triggered(inj, ins) {
+			return k(ctx, n, ins)
+		}
+		switch inj.Class {
+		case OOB:
+			// A write past the output buffer. Bounds checking and the
+			// sanitizer block it; ASLR derails the exploit into a crash;
+			// otherwise it silently corrupts adjacent output memory.
+			if hard.bounds {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrBoundsViolation)
+			}
+			if hard.sanitizer {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrSanitizer)
+			}
+			if hard.aslr {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrSegfault)
+			}
+			outs, err := k(ctx, n, ins)
+			if err != nil {
+				return nil, err
+			}
+			corruptTail(outs, inj.Seed, 0.05)
+			return outs, nil
+		case UNP:
+			// Uninitialized/null pointer: sanitizer reports; otherwise the
+			// dereference crashes (DoS) or yields garbage.
+			if hard.sanitizer {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrSanitizer)
+			}
+			if inj.Seed%2 == 0 {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrNullPointer)
+			}
+			outs, err := k(ctx, n, ins)
+			if err != nil {
+				return nil, err
+			}
+			zeroPrefix(outs, 0.1) // reads through uninitialized memory
+			return outs, nil
+		case FPE:
+			// Division by zero / invalid op producing non-finite values.
+			// Error-handling variants (CheckFinite) catch it; otherwise the
+			// NaN propagates silently.
+			outs, err := k(ctx, n, ins)
+			if err != nil {
+				return nil, err
+			}
+			injectNaN(outs, inj.Seed)
+			if hard.finite {
+				return nil, fmt.Errorf("node %q: FPE: %w", n.Name, ops.ErrNonFinite)
+			}
+			return outs, nil
+		case IntOverflow:
+			// A size computation wraps around: either the allocation fails
+			// (DoS) or a short buffer truncates the result (corruption).
+			if hard.sanitizer || hard.bounds {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrSanitizer)
+			}
+			if inj.Seed%2 == 0 {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrAllocFailure)
+			}
+			outs, err := k(ctx, n, ins)
+			if err != nil {
+				return nil, err
+			}
+			zeroSuffix(outs, 0.25)
+			return outs, nil
+		case UAF:
+			// Freed buffer reused: sanitizer detects; otherwise stale data
+			// corrupts the output or the dangling access crashes.
+			if hard.sanitizer {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrSanitizer)
+			}
+			if inj.Seed%3 == 0 {
+				return nil, fmt.Errorf("node %q: %w", n.Name, ErrSegfault)
+			}
+			outs, err := k(ctx, n, ins)
+			if err != nil {
+				return nil, err
+			}
+			corruptTail(outs, inj.Seed^0x5a5a, 0.2)
+			return outs, nil
+		case ACF:
+			// Reachable assertion: always a crash (DoS).
+			return nil, fmt.Errorf("node %q: %w", n.Name, ErrAssertion)
+		default:
+			return k(ctx, n, ins)
+		}
+	}
+}
+
+func corruptTail(outs []*tensor.Tensor, seed uint64, frac float64) {
+	rng := rand.New(rand.NewPCG(seed, 0xbad))
+	for _, t := range outs {
+		d := t.Data()
+		n := int(float64(len(d)) * frac)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			d[rng.IntN(len(d))] = float32(rng.NormFloat64() * 1e3)
+		}
+	}
+}
+
+func zeroPrefix(outs []*tensor.Tensor, frac float64) {
+	for _, t := range outs {
+		d := t.Data()
+		n := int(float64(len(d)) * frac)
+		for i := 0; i < n; i++ {
+			d[i] = 0
+		}
+	}
+}
+
+func zeroSuffix(outs []*tensor.Tensor, frac float64) {
+	for _, t := range outs {
+		d := t.Data()
+		n := int(float64(len(d)) * frac)
+		for i := len(d) - n; i >= 0 && i < len(d); i++ {
+			d[i] = 0
+		}
+	}
+}
+
+func injectNaN(outs []*tensor.Tensor, seed uint64) {
+	rng := rand.New(rand.NewPCG(seed, 0xfe))
+	for _, t := range outs {
+		d := t.Data()
+		if len(d) == 0 {
+			continue
+		}
+		d[rng.IntN(len(d))] = float32(math.NaN())
+	}
+}
+
+// flippedBLAS simulates a FrameFlip-style single-bit code fault in one BLAS
+// library: the corrupted kernel drops a column of every product, degrading
+// all inference built on that library while leaving other backends intact.
+type flippedBLAS struct {
+	inner blas.Backend
+	seed  uint64
+}
+
+func (f *flippedBLAS) Name() string { return f.inner.Name() + "+bitflip" }
+
+func (f *flippedBLAS) Gemm(m, n, k int, a, b, c []float32) {
+	f.inner.Gemm(m, n, k, a, b, c)
+	if n == 0 {
+		return
+	}
+	col := int(f.seed % uint64(n))
+	for i := 0; i < m; i++ {
+		c[i*n+col] = 0
+	}
+}
+
+// FlipWeightBit injects a Rowhammer-style bit flip into the named initializer
+// of g, flipping the given bit of element idx (§6.5 "model-targeted
+// attacks"). It reports whether the target existed — graph-level
+// diversification changes tensor names and layouts, so a flip aimed at the
+// original model typically misses diversified variants.
+func FlipWeightBit(g *graph.Graph, initializer string, idx, bit int) bool {
+	t, ok := g.Initializers[initializer]
+	if !ok {
+		return false
+	}
+	d := t.Data()
+	if idx < 0 || idx >= len(d) || bit < 0 || bit > 31 {
+		return false
+	}
+	bits := math.Float32bits(d[idx])
+	bits ^= 1 << uint(bit)
+	d[idx] = math.Float32frombits(bits)
+	return true
+}

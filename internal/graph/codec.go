@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Binary graph container format. The encoding is deterministic (maps are
+// emitted in sorted key order) so that serialized graphs can double as
+// attestation measurement inputs.
+const (
+	codecMagic   = "MVTG"
+	codecVersion = 1
+)
+
+type graphWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (gw *graphWriter) u32(v uint32) {
+	if gw.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, gw.err = gw.w.Write(b[:])
+}
+
+func (gw *graphWriter) u64(v uint64) {
+	if gw.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, gw.err = gw.w.Write(b[:])
+}
+
+func (gw *graphWriter) str(s string) {
+	gw.u32(uint32(len(s)))
+	if gw.err != nil {
+		return
+	}
+	_, gw.err = gw.w.WriteString(s)
+}
+
+func (gw *graphWriter) strs(ss []string) {
+	gw.u32(uint32(len(ss)))
+	for _, s := range ss {
+		gw.str(s)
+	}
+}
+
+// Encode writes g to w in the binary container format.
+func Encode(w io.Writer, g *Graph) error {
+	gw := &graphWriter{w: bufio.NewWriter(w)}
+	if _, err := gw.w.WriteString(codecMagic); err != nil {
+		return fmt.Errorf("graph: encode: %w", err)
+	}
+	gw.u32(codecVersion)
+	gw.str(g.Name)
+
+	gw.u32(uint32(len(g.Inputs)))
+	for _, vi := range g.Inputs {
+		gw.str(vi.Name)
+		gw.u32(uint32(len(vi.Shape)))
+		for _, d := range vi.Shape {
+			gw.u32(uint32(d))
+		}
+	}
+	gw.strs(g.Outputs)
+
+	gw.u32(uint32(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		gw.str(n.Name)
+		gw.str(n.Op)
+		gw.strs(n.Inputs)
+		gw.strs(n.Outputs)
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		gw.u32(uint32(len(keys)))
+		for _, k := range keys {
+			a := n.Attrs[k]
+			gw.str(k)
+			gw.u32(uint32(a.Kind))
+			switch a.Kind {
+			case AttrInt:
+				gw.u64(uint64(a.I))
+			case AttrFloat:
+				gw.u64(math.Float64bits(a.F))
+			case AttrString:
+				gw.str(a.S)
+			case AttrInts:
+				gw.u32(uint32(len(a.Ints)))
+				for _, x := range a.Ints {
+					gw.u64(uint64(x))
+				}
+			default:
+				return fmt.Errorf("graph: encode: node %q attr %q has unknown kind %d", n.Name, k, a.Kind)
+			}
+		}
+	}
+
+	inits := make([]string, 0, len(g.Initializers))
+	for k := range g.Initializers {
+		inits = append(inits, k)
+	}
+	sort.Strings(inits)
+	gw.u32(uint32(len(inits)))
+	for _, k := range inits {
+		gw.str(k)
+		if gw.err == nil {
+			_, gw.err = g.Initializers[k].WriteTo(gw.w)
+		}
+	}
+	if gw.err != nil {
+		return fmt.Errorf("graph: encode: %w", gw.err)
+	}
+	return gw.w.Flush()
+}
+
+// Marshal returns the binary encoding of g.
+func Marshal(g *Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type graphReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (gr *graphReader) u32() uint32 {
+	if gr.err != nil {
+		return 0
+	}
+	var b [4]byte
+	_, gr.err = io.ReadFull(gr.r, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (gr *graphReader) u64() uint64 {
+	if gr.err != nil {
+		return 0
+	}
+	var b [8]byte
+	_, gr.err = io.ReadFull(gr.r, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+const maxStringLen = 1 << 20
+
+func (gr *graphReader) str() string {
+	n := gr.u32()
+	if gr.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		gr.err = fmt.Errorf("graph: decode: string length %d exceeds limit", n)
+		return ""
+	}
+	b := make([]byte, n)
+	_, gr.err = io.ReadFull(gr.r, b)
+	return string(b)
+}
+
+func (gr *graphReader) strs() []string {
+	n := gr.u32()
+	if gr.err != nil || n > maxStringLen {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = gr.str()
+	}
+	return out
+}
+
+// Decode reads a graph from r in the binary container format.
+func Decode(r io.Reader) (*Graph, error) {
+	gr := &graphReader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(gr.r, magic); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("graph: decode: bad magic %q", magic)
+	}
+	if v := gr.u32(); v != codecVersion {
+		return nil, fmt.Errorf("graph: decode: unsupported version %d", v)
+	}
+	g := New(gr.str())
+
+	nin := gr.u32()
+	for i := uint32(0); i < nin && gr.err == nil; i++ {
+		vi := ValueInfo{Name: gr.str()}
+		nd := gr.u32()
+		vi.Shape = make([]int, nd)
+		for j := range vi.Shape {
+			vi.Shape[j] = int(gr.u32())
+		}
+		g.Inputs = append(g.Inputs, vi)
+	}
+	g.Outputs = gr.strs()
+
+	nn := gr.u32()
+	for i := uint32(0); i < nn && gr.err == nil; i++ {
+		n := &Node{Name: gr.str(), Op: gr.str(), Inputs: gr.strs(), Outputs: gr.strs()}
+		na := gr.u32()
+		if na > 0 {
+			n.Attrs = make(map[string]Attr, na)
+		}
+		for j := uint32(0); j < na && gr.err == nil; j++ {
+			k := gr.str()
+			a := Attr{Kind: AttrKind(gr.u32())}
+			switch a.Kind {
+			case AttrInt:
+				a.I = int64(gr.u64())
+			case AttrFloat:
+				a.F = math.Float64frombits(gr.u64())
+			case AttrString:
+				a.S = gr.str()
+			case AttrInts:
+				cnt := gr.u32()
+				a.Ints = make([]int64, cnt)
+				for x := range a.Ints {
+					a.Ints[x] = int64(gr.u64())
+				}
+			default:
+				return nil, fmt.Errorf("graph: decode: node %q attr %q unknown kind %d", n.Name, k, a.Kind)
+			}
+			n.Attrs[k] = a
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+
+	ni := gr.u32()
+	for i := uint32(0); i < ni && gr.err == nil; i++ {
+		name := gr.str()
+		if gr.err != nil {
+			break
+		}
+		t, err := tensor.ReadFrom(gr.r)
+		if err != nil {
+			return nil, fmt.Errorf("graph: decode initializer %q: %w", name, err)
+		}
+		g.Initializers[name] = t
+	}
+	if gr.err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", gr.err)
+	}
+	return g, nil
+}
+
+// Unmarshal decodes a graph from its binary encoding.
+func Unmarshal(b []byte) (*Graph, error) {
+	return Decode(bytes.NewReader(b))
+}

@@ -1,0 +1,394 @@
+// Package graph defines the ONNX-like intermediate representation used by
+// MVTEE: a directed acyclic graph of operator nodes connected by named
+// tensors, with weight initializers attached. Model partitioning (§4.1),
+// graph-level diversification (§4.2) and the inference runtimes all operate
+// on this IR.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Operator type names. These form the IR's operator vocabulary, mirroring the
+// ONNX operator set the paper's tooling is built on.
+const (
+	OpConv          = "Conv"
+	OpConvRelu      = "ConvRelu"      // fusion product
+	OpConvBNRelu    = "ConvBNRelu"    // fusion product (BN folded into weights)
+	OpDepthwiseConv = "DepthwiseConv" // Conv with group == channels
+	OpGemm          = "Gemm"
+	OpMatMul        = "MatMul"
+	OpBatchNorm     = "BatchNorm"
+	OpRelu          = "Relu"
+	OpRelu6         = "Relu6"
+	OpSigmoid       = "Sigmoid"
+	OpHardSwish     = "HardSwish"
+	OpHardSigmoid   = "HardSigmoid"
+	OpMaxPool       = "MaxPool"
+	OpAvgPool       = "AvgPool"
+	OpGlobalAvgPool = "GlobalAvgPool"
+	OpAdd           = "Add"
+	OpMul           = "Mul"
+	OpConcat        = "Concat"
+	OpSoftmax       = "Softmax"
+	OpFlatten       = "Flatten"
+	OpIdentity      = "Identity"
+	OpPad           = "Pad"
+
+	// Transformer-family operators (the §7.4 foundation-model extension).
+	OpLayerNorm   = "LayerNorm"
+	OpGelu        = "Gelu"
+	OpTranspose   = "Transpose"
+	OpReshape     = "Reshape"
+	OpBatchMatMul = "BatchMatMul"
+	OpReduceMean  = "ReduceMean"
+)
+
+// Attr is a typed attribute value. Exactly one field is meaningful, selected
+// by Kind.
+type Attr struct {
+	Kind AttrKind
+	I    int64
+	F    float64
+	S    string
+	Ints []int64
+}
+
+// AttrKind discriminates the Attr union.
+type AttrKind int
+
+// Attribute kinds.
+const (
+	AttrInt AttrKind = iota + 1
+	AttrFloat
+	AttrString
+	AttrInts
+)
+
+// IntAttr builds an integer attribute.
+func IntAttr(v int) Attr { return Attr{Kind: AttrInt, I: int64(v)} }
+
+// FloatAttr builds a float attribute.
+func FloatAttr(v float64) Attr { return Attr{Kind: AttrFloat, F: v} }
+
+// StringAttr builds a string attribute.
+func StringAttr(v string) Attr { return Attr{Kind: AttrString, S: v} }
+
+// IntsAttr builds an integer-list attribute.
+func IntsAttr(v ...int) Attr {
+	xs := make([]int64, len(v))
+	for i, x := range v {
+		xs[i] = int64(x)
+	}
+	return Attr{Kind: AttrInts, Ints: xs}
+}
+
+// Node is one operator invocation in the graph. Inputs and Outputs name the
+// tensors it consumes and produces; weight tensors appear as inputs whose
+// names are keys of Graph.Initializers.
+type Node struct {
+	Name    string
+	Op      string
+	Inputs  []string
+	Outputs []string
+	Attrs   map[string]Attr
+}
+
+// Int returns the integer attribute name, or def if absent.
+func (n *Node) Int(name string, def int) int {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrInt {
+		return int(a.I)
+	}
+	return def
+}
+
+// Float returns the float attribute name, or def if absent.
+func (n *Node) Float(name string, def float64) float64 {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrFloat {
+		return a.F
+	}
+	return def
+}
+
+// Str returns the string attribute name, or def if absent.
+func (n *Node) Str(name, def string) string {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrString {
+		return a.S
+	}
+	return def
+}
+
+// IntsOr returns the integer-list attribute name, or def if absent.
+func (n *Node) IntsOr(name string, def []int) []int {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrInts {
+		out := make([]int, len(a.Ints))
+		for i, x := range a.Ints {
+			out[i] = int(x)
+		}
+		return out
+	}
+	return def
+}
+
+// SetAttr stores an attribute, allocating the map if needed.
+func (n *Node) SetAttr(name string, a Attr) {
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]Attr)
+	}
+	n.Attrs[name] = a
+}
+
+// Clone returns a deep copy of the node.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Name:    n.Name,
+		Op:      n.Op,
+		Inputs:  append([]string(nil), n.Inputs...),
+		Outputs: append([]string(nil), n.Outputs...),
+	}
+	if n.Attrs != nil {
+		c.Attrs = make(map[string]Attr, len(n.Attrs))
+		for k, v := range n.Attrs {
+			v.Ints = append([]int64(nil), v.Ints...)
+			c.Attrs[k] = v
+		}
+	}
+	return c
+}
+
+// ValueInfo declares a graph input: its tensor name and static shape.
+type ValueInfo struct {
+	Name  string
+	Shape []int
+}
+
+// Graph is a DNN model: operator nodes, external inputs, outputs, and weight
+// initializers. Node order in Nodes is not significant; use TopoSort.
+type Graph struct {
+	Name         string
+	Nodes        []*Node
+	Inputs       []ValueInfo
+	Outputs      []string
+	Initializers map[string]*tensor.Tensor
+}
+
+// New returns an empty named graph ready for construction.
+func New(name string) *Graph {
+	return &Graph{Name: name, Initializers: make(map[string]*tensor.Tensor)}
+}
+
+// AddNode appends a node built from the arguments and returns it.
+func (g *Graph) AddNode(name, op string, inputs, outputs []string, attrs map[string]Attr) *Node {
+	n := &Node{Name: name, Op: op, Inputs: inputs, Outputs: outputs, Attrs: attrs}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// AddInitializer registers a weight tensor under name.
+func (g *Graph) AddInitializer(name string, t *tensor.Tensor) {
+	if g.Initializers == nil {
+		g.Initializers = make(map[string]*tensor.Tensor)
+	}
+	g.Initializers[name] = t
+}
+
+// Clone returns a deep copy of the graph, including initializers.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Name:    g.Name,
+		Nodes:   make([]*Node, len(g.Nodes)),
+		Outputs: append([]string(nil), g.Outputs...),
+	}
+	for i, n := range g.Nodes {
+		c.Nodes[i] = n.Clone()
+	}
+	c.Inputs = make([]ValueInfo, len(g.Inputs))
+	for i, vi := range g.Inputs {
+		c.Inputs[i] = ValueInfo{Name: vi.Name, Shape: append([]int(nil), vi.Shape...)}
+	}
+	c.Initializers = make(map[string]*tensor.Tensor, len(g.Initializers))
+	for k, t := range g.Initializers {
+		c.Initializers[k] = t.Clone()
+	}
+	return c
+}
+
+// NodeByName returns the node with the given name, or nil.
+func (g *Graph) NodeByName(name string) *Node {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Producer maps each tensor name to the node producing it.
+func (g *Graph) Producer() map[string]*Node {
+	p := make(map[string]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, out := range n.Outputs {
+			p[out] = n
+		}
+	}
+	return p
+}
+
+// Consumers maps each tensor name to the nodes consuming it.
+func (g *Graph) Consumers() map[string][]*Node {
+	c := make(map[string][]*Node)
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			c[in] = append(c[in], n)
+		}
+	}
+	return c
+}
+
+// IsInput reports whether name is a declared graph input.
+func (g *Graph) IsInput(name string) bool {
+	for _, vi := range g.Inputs {
+		if vi.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// InputShape returns the declared shape of graph input name.
+func (g *Graph) InputShape(name string) ([]int, bool) {
+	for _, vi := range g.Inputs {
+		if vi.Name == name {
+			return append([]int(nil), vi.Shape...), true
+		}
+	}
+	return nil, false
+}
+
+// Errors returned by Validate.
+var (
+	ErrCycle     = errors.New("graph: cycle detected")
+	ErrDangling  = errors.New("graph: dangling tensor reference")
+	ErrDuplicate = errors.New("graph: duplicate definition")
+)
+
+// Validate checks structural well-formedness: unique node names, unique
+// tensor producers, all node inputs defined (by a graph input, an
+// initializer, or another node), all graph outputs defined, and acyclicity.
+func (g *Graph) Validate() error {
+	nodeNames := make(map[string]bool, len(g.Nodes))
+	produced := make(map[string]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if nodeNames[n.Name] {
+			return fmt.Errorf("%w: node %q", ErrDuplicate, n.Name)
+		}
+		nodeNames[n.Name] = true
+		for _, out := range n.Outputs {
+			if produced[out] {
+				return fmt.Errorf("%w: tensor %q has two producers", ErrDuplicate, out)
+			}
+			produced[out] = true
+		}
+	}
+	defined := make(map[string]bool, len(produced))
+	for name := range produced {
+		defined[name] = true
+	}
+	for _, vi := range g.Inputs {
+		if defined[vi.Name] {
+			return fmt.Errorf("%w: input %q also produced by a node", ErrDuplicate, vi.Name)
+		}
+		defined[vi.Name] = true
+	}
+	for name := range g.Initializers {
+		defined[name] = true
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if !defined[in] {
+				return fmt.Errorf("%w: node %q reads undefined tensor %q", ErrDangling, n.Name, in)
+			}
+		}
+	}
+	for _, out := range g.Outputs {
+		if !defined[out] {
+			return fmt.Errorf("%w: graph output %q undefined", ErrDangling, out)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoSort returns the nodes in a deterministic topological order (Kahn's
+// algorithm with lexicographic tie-breaking on node name). It returns
+// ErrCycle if the graph is cyclic.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	producer := g.Producer()
+	indeg := make(map[*Node]int, len(g.Nodes))
+	succ := make(map[*Node][]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n] += 0
+		for _, in := range n.Inputs {
+			if p, ok := producer[in]; ok && p != n {
+				succ[p] = append(succ[p], n)
+				indeg[n]++
+			}
+		}
+	}
+	ready := make([]*Node, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sortNodes(ready)
+	var order []*Node
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		var unlocked []*Node
+		for _, s := range succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				unlocked = append(unlocked, s)
+			}
+		}
+		sortNodes(unlocked)
+		ready = append(ready, unlocked...)
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+func sortNodes(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Name < ns[j].Name })
+}
+
+// Stats summarizes a graph for inspection tooling.
+type Stats struct {
+	Nodes        int
+	Initializers int
+	Parameters   int // total weight elements
+	OpCounts     map[string]int
+}
+
+// Stats computes summary statistics of the graph.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: len(g.Nodes), Initializers: len(g.Initializers), OpCounts: make(map[string]int)}
+	for _, n := range g.Nodes {
+		s.OpCounts[n.Op]++
+	}
+	for _, t := range g.Initializers {
+		s.Parameters += t.Size()
+	}
+	return s
+}

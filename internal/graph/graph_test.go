@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// chainGraph builds in -> A -> t1 -> B -> t2 (output), with one initializer.
+func chainGraph() *Graph {
+	g := New("chain")
+	g.Inputs = []ValueInfo{{Name: "in", Shape: []int{1, 4}}}
+	g.AddInitializer("w", tensor.MustFromSlice([]float32{1, 2, 3, 4}, 4, 1))
+	g.AddNode("A", OpIdentity, []string{"in"}, []string{"t1"}, nil)
+	g.AddNode("B", OpMatMul, []string{"t1", "w"}, []string{"t2"}, nil)
+	g.Outputs = []string{"t2"}
+	return g
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := chainGraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDuplicateNode(t *testing.T) {
+	g := chainGraph()
+	g.AddNode("A", OpIdentity, []string{"in"}, []string{"t3"}, nil)
+	if err := g.Validate(); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("got %v, want ErrDuplicate", err)
+	}
+}
+
+func TestValidateDuplicateProducer(t *testing.T) {
+	g := chainGraph()
+	g.AddNode("C", OpIdentity, []string{"in"}, []string{"t1"}, nil)
+	if err := g.Validate(); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("got %v, want ErrDuplicate", err)
+	}
+}
+
+func TestValidateDangling(t *testing.T) {
+	g := chainGraph()
+	g.AddNode("C", OpIdentity, []string{"missing"}, []string{"t3"}, nil)
+	if err := g.Validate(); !errors.Is(err, ErrDangling) {
+		t.Fatalf("got %v, want ErrDangling", err)
+	}
+	g2 := chainGraph()
+	g2.Outputs = append(g2.Outputs, "ghost")
+	if err := g2.Validate(); !errors.Is(err, ErrDangling) {
+		t.Fatalf("got %v, want ErrDangling", err)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	g := New("cyc")
+	g.Inputs = []ValueInfo{{Name: "in", Shape: []int{1}}}
+	g.AddNode("A", OpAdd, []string{"in", "t2"}, []string{"t1"}, nil)
+	g.AddNode("B", OpIdentity, []string{"t1"}, []string{"t2"}, nil)
+	g.Outputs = []string{"t2"}
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("got %v, want ErrCycle", err)
+	}
+}
+
+func TestTopoSortDeterministicAndOrdered(t *testing.T) {
+	g := New("diamond")
+	g.Inputs = []ValueInfo{{Name: "in", Shape: []int{1}}}
+	g.AddNode("D", OpAdd, []string{"l", "r"}, []string{"out"}, nil)
+	g.AddNode("B", OpIdentity, []string{"t"}, []string{"l"}, nil)
+	g.AddNode("C", OpIdentity, []string{"t"}, []string{"r"}, nil)
+	g.AddNode("A", OpIdentity, []string{"in"}, []string{"t"}, nil)
+	g.Outputs = []string{"out"}
+
+	first, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range first {
+		pos[n.Name] = i
+	}
+	if !(pos["A"] < pos["B"] && pos["A"] < pos["C"] && pos["B"] < pos["D"] && pos["C"] < pos["D"]) {
+		t.Fatalf("not a topological order: %v", pos)
+	}
+	if pos["B"] > pos["C"] {
+		t.Fatalf("tie-break not lexicographic: %v", pos)
+	}
+	for i := 0; i < 5; i++ {
+		again, _ := g.TopoSort()
+		for j := range again {
+			if again[j].Name != first[j].Name {
+				t.Fatal("TopoSort not deterministic")
+			}
+		}
+	}
+}
+
+func TestAttrAccessors(t *testing.T) {
+	n := &Node{}
+	n.SetAttr("i", IntAttr(7))
+	n.SetAttr("f", FloatAttr(2.5))
+	n.SetAttr("s", StringAttr("x"))
+	n.SetAttr("xs", IntsAttr(1, 2, 3))
+	if n.Int("i", 0) != 7 || n.Int("missing", 9) != 9 {
+		t.Error("Int accessor")
+	}
+	if n.Float("f", 0) != 2.5 || n.Float("i", 1.5) != 1.5 {
+		t.Error("Float accessor (wrong-kind must fall back)")
+	}
+	if n.Str("s", "") != "x" || n.Str("nope", "d") != "d" {
+		t.Error("Str accessor")
+	}
+	if got := n.IntsOr("xs", nil); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("IntsOr = %v", got)
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	g := chainGraph()
+	c := g.Clone()
+	c.Nodes[0].Name = "renamed"
+	c.Initializers["w"].Set(99, 0, 0)
+	c.Inputs[0].Shape[0] = 5
+	if g.Nodes[0].Name != "A" || g.Initializers["w"].At(0, 0) != 1 || g.Inputs[0].Shape[0] != 1 {
+		t.Fatal("Clone is not deep")
+	}
+}
+
+func TestProducerConsumers(t *testing.T) {
+	g := chainGraph()
+	p := g.Producer()
+	if p["t1"].Name != "A" || p["t2"].Name != "B" {
+		t.Error("Producer map wrong")
+	}
+	c := g.Consumers()
+	if len(c["t1"]) != 1 || c["t1"][0].Name != "B" {
+		t.Error("Consumers map wrong")
+	}
+	if !g.IsInput("in") || g.IsInput("t1") {
+		t.Error("IsInput wrong")
+	}
+	if s, ok := g.InputShape("in"); !ok || !reflect.DeepEqual(s, []int{1, 4}) {
+		t.Error("InputShape wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := chainGraph().Stats()
+	if st.Nodes != 2 || st.Initializers != 1 || st.Parameters != 4 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.OpCounts[OpIdentity] != 1 || st.OpCounts[OpMatMul] != 1 {
+		t.Errorf("OpCounts = %v", st.OpCounts)
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	g := chainGraph()
+	g.Nodes[1].SetAttr("stride", IntAttr(2))
+	g.Nodes[1].SetAttr("epsilon", FloatAttr(1e-5))
+	g.Nodes[1].SetAttr("mode", StringAttr("same"))
+	g.Nodes[1].SetAttr("pads", IntsAttr(1, 1, 2, 2))
+
+	b, err := Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != g.Name || len(got.Nodes) != len(g.Nodes) {
+		t.Fatal("structure mismatch")
+	}
+	if got.Nodes[1].Int("stride", 0) != 2 || got.Nodes[1].Float("epsilon", 0) != 1e-5 ||
+		got.Nodes[1].Str("mode", "") != "same" ||
+		!reflect.DeepEqual(got.Nodes[1].IntsOr("pads", nil), []int{1, 1, 2, 2}) {
+		t.Fatal("attrs lost in roundtrip")
+	}
+	if !reflect.DeepEqual(got.Initializers["w"].Data(), g.Initializers["w"].Data()) {
+		t.Fatal("initializer lost")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	g := chainGraph()
+	a, _ := Marshal(g)
+	b, _ := Marshal(g)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("encoding not deterministic (measurement hashing depends on it)")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	good, _ := Marshal(chainGraph())
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		good[:8],
+		good[:len(good)-3],
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: malformed graph accepted", i)
+		}
+	}
+}
+
+func TestSubgraphBoundaries(t *testing.T) {
+	// in -> A -> t1 -> B -> t2 -> C -> out; extract {B}.
+	g := New("abc")
+	g.Inputs = []ValueInfo{{Name: "in", Shape: []int{1}}}
+	g.AddInitializer("w", tensor.New(1, 1))
+	g.AddNode("A", OpIdentity, []string{"in"}, []string{"t1"}, nil)
+	g.AddNode("B", OpMatMul, []string{"t1", "w"}, []string{"t2"}, nil)
+	g.AddNode("C", OpIdentity, []string{"t2"}, []string{"out"}, nil)
+	g.Outputs = []string{"out"}
+
+	sub, err := g.Subgraph("mid", []string{"B"}, map[string][]int{"t1": {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Inputs) != 1 || sub.Inputs[0].Name != "t1" || !reflect.DeepEqual(sub.Inputs[0].Shape, []int{1, 1}) {
+		t.Errorf("sub inputs = %+v", sub.Inputs)
+	}
+	if !reflect.DeepEqual(sub.Outputs, []string{"t2"}) {
+		t.Errorf("sub outputs = %v", sub.Outputs)
+	}
+	if _, ok := sub.Initializers["w"]; !ok {
+		t.Error("initializer not copied into subgraph")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphMissingNode(t *testing.T) {
+	g := chainGraph()
+	if _, err := g.Subgraph("x", []string{"A", "nope"}, nil); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+}
+
+func TestSubgraphGraphOutputRetained(t *testing.T) {
+	g := chainGraph()
+	sub, err := g.Subgraph("tail", []string{"B"}, map[string][]int{"t1": {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t2 is a model output: it must be a subgraph output even with no
+	// external consumer.
+	if !reflect.DeepEqual(sub.Outputs, []string{"t2"}) {
+		t.Errorf("sub outputs = %v", sub.Outputs)
+	}
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subgraph extracts the induced subgraph over the named nodes, producing a
+// standalone Graph suitable for independent execution inside a variant TEE.
+//
+// Boundary tensors become the subgraph's interface:
+//   - tensors consumed by a member node but produced outside it (and not
+//     initializers) become graph inputs, with shapes taken from shapes (which
+//     may be nil, leaving shapes empty);
+//   - tensors produced by a member node and consumed outside it — or listed
+//     in g.Outputs — become graph outputs.
+//
+// Initializers referenced by member nodes are copied into the subgraph.
+func (g *Graph) Subgraph(name string, nodeNames []string, shapes map[string][]int) (*Graph, error) {
+	member := make(map[string]bool, len(nodeNames))
+	for _, n := range nodeNames {
+		member[n] = true
+	}
+	sub := New(name)
+	produced := make(map[string]bool)
+	found := 0
+	for _, n := range g.Nodes {
+		if !member[n.Name] {
+			continue
+		}
+		found++
+		sub.Nodes = append(sub.Nodes, n.Clone())
+		for _, out := range n.Outputs {
+			produced[out] = true
+		}
+	}
+	if found != len(member) {
+		return nil, fmt.Errorf("graph: subgraph %q: %d of %d nodes not found", name, len(member)-found, len(member))
+	}
+
+	// Inputs: consumed inside, not produced inside, not an initializer.
+	seenIn := make(map[string]bool)
+	for _, n := range sub.Nodes {
+		for _, in := range n.Inputs {
+			if produced[in] || seenIn[in] {
+				continue
+			}
+			if t, ok := g.Initializers[in]; ok {
+				sub.Initializers[in] = t.Clone()
+				seenIn[in] = true
+				continue
+			}
+			seenIn[in] = true
+			var shp []int
+			if shapes != nil {
+				shp = append([]int(nil), shapes[in]...)
+			}
+			sub.Inputs = append(sub.Inputs, ValueInfo{Name: in, Shape: shp})
+		}
+	}
+	sort.Slice(sub.Inputs, func(i, j int) bool { return sub.Inputs[i].Name < sub.Inputs[j].Name })
+
+	// Outputs: produced inside and (consumed outside, or a graph output).
+	graphOut := make(map[string]bool, len(g.Outputs))
+	for _, o := range g.Outputs {
+		graphOut[o] = true
+	}
+	consumedOutside := make(map[string]bool)
+	for _, n := range g.Nodes {
+		if member[n.Name] {
+			continue
+		}
+		for _, in := range n.Inputs {
+			consumedOutside[in] = true
+		}
+	}
+	seenOut := make(map[string]bool)
+	for _, n := range sub.Nodes {
+		for _, out := range n.Outputs {
+			if seenOut[out] {
+				continue
+			}
+			if consumedOutside[out] || graphOut[out] {
+				sub.Outputs = append(sub.Outputs, out)
+				seenOut[out] = true
+			}
+		}
+	}
+	sort.Strings(sub.Outputs)
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: subgraph %q invalid: %w", name, err)
+	}
+	return sub, nil
+}

@@ -1,0 +1,197 @@
+// Package infer provides the inference runtimes of the MVTEE stack. Two
+// executor families exist, mirroring the paper's ONNX Runtime and TVM graph
+// executor variants (§4.2, §6.1):
+//
+//   - Interp — a graph-interpreting engine that resolves the node order and
+//     dispatches kernels at call time ("ORT-like");
+//   - Planned — an ahead-of-time engine that performs shape inference,
+//     optional graph optimization and execution planning once at load time
+//     ("TVM-like"), then replays the plan per call.
+//
+// Both produce functionally equivalent results; their implementation paths,
+// allocation behaviour and optimization pipelines differ, giving the
+// inference-instance-level diversification axis of the variant pool.
+package infer
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// RuntimeKind selects the executor family.
+type RuntimeKind int
+
+// Executor families.
+const (
+	Interp  RuntimeKind = iota + 1 // ORT-like graph interpreter
+	Planned                        // TVM-like pre-planned executor
+)
+
+func (k RuntimeKind) String() string {
+	switch k {
+	case Interp:
+		return "interp"
+	case Planned:
+		return "planned"
+	default:
+		return fmt.Sprintf("RuntimeKind(%d)", int(k))
+	}
+}
+
+// Config describes one inference-instance configuration: the runtime family
+// plus the kernel-level and hardening knobs that diversify variants. The zero
+// value means Interp, naive BLAS, direct convolution, sequential execution,
+// no hardening.
+type Config struct {
+	// Runtime selects the executor family; zero means Interp.
+	Runtime RuntimeKind
+	// BLAS selects the linear-algebra backend; zero means blas.Naive.
+	BLAS blas.Kind
+	// ConvAlgo selects the convolution kernel; zero means direct.
+	ConvAlgo ops.ConvAlgo
+	// Parallelism bounds intra-op worker goroutines; <=1 means sequential.
+	Parallelism int
+	// OptLevel enables load-time graph optimization in the Planned runtime
+	// (>=1 fuses Conv+BatchNorm and Conv+Relu). Ignored by Interp.
+	OptLevel int
+
+	// Hardening flags. These do not change correct execution; the faults
+	// package consults them to decide how an injected vulnerability
+	// manifests (silent corruption vs. detected crash).
+	CheckFinite   bool // error-handling variant: NaN/Inf output -> error
+	BoundsCheck   bool // bounds-checking build (e.g., SGXBounds-style)
+	Sanitizer     bool // sanitizer build (ASan-style)
+	ASLR          bool // address-space layout randomization
+	StackProtect  bool // stack canaries
+	SecondaryExec bool // reserved: ABI/ISA-diverse backend
+
+	// KernelWrapper, if set, wraps the kernel chosen for each node; the
+	// faults package uses it to inject vulnerabilities into specific
+	// operators. The wrapper receives the node name.
+	KernelWrapper func(nodeName string, k ops.Kernel) ops.Kernel
+	// BLASWrapper, if set, wraps the BLAS backend; the faults package uses
+	// it for library-level fault injection (FrameFlip-style).
+	BLASWrapper func(b blas.Backend) blas.Backend
+}
+
+func (c Config) runtime() RuntimeKind {
+	if c.Runtime == 0 {
+		return Interp
+	}
+	return c.Runtime
+}
+
+func (c Config) blasKind() blas.Kind {
+	if c.BLAS == 0 {
+		return blas.Naive
+	}
+	return c.BLAS
+}
+
+// String renders a compact human-readable description of the configuration.
+func (c Config) String() string {
+	algo := c.ConvAlgo
+	if algo == 0 {
+		algo = ops.ConvDirect
+	}
+	return fmt.Sprintf("%s/blas=%s/conv=%s/par=%d/opt=%d", c.runtime(), c.blasKind(), algo, c.Parallelism, c.OptLevel)
+}
+
+// Executor runs a model graph. Implementations are safe for sequential reuse;
+// a single executor must not be shared across goroutines concurrently.
+type Executor interface {
+	// Run executes the model on the named inputs and returns the named
+	// graph outputs.
+	Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+	// Graph returns the (possibly optimized) model being executed.
+	Graph() *graph.Graph
+	// Config returns the configuration the executor was built with.
+	Config() Config
+}
+
+// ErrMissingInput reports an absent required graph input.
+var ErrMissingInput = errors.New("infer: missing graph input")
+
+// New builds an executor for g under cfg. The graph is validated; Planned
+// runtimes additionally require statically inferable shapes.
+func New(g *graph.Graph, cfg Config) (Executor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("infer: %w", err)
+	}
+	switch cfg.runtime() {
+	case Interp:
+		return newInterp(g, cfg)
+	case Planned:
+		return newPlanned(g, cfg)
+	default:
+		return nil, fmt.Errorf("infer: unknown runtime kind %d", cfg.Runtime)
+	}
+}
+
+// buildContext assembles the ops execution context for cfg.
+func buildContext(cfg Config) (*ops.Context, error) {
+	be, err := blas.New(cfg.blasKind())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BLASWrapper != nil {
+		be = cfg.BLASWrapper(be)
+	}
+	return &ops.Context{
+		BLAS:        be,
+		ConvAlgo:    cfg.ConvAlgo,
+		Parallelism: cfg.Parallelism,
+		CheckFinite: cfg.CheckFinite,
+	}, nil
+}
+
+// buildRegistry assembles the kernel registry for cfg, applying per-node
+// wrappers lazily via lookup.
+func buildRegistry() ops.Registry { return ops.NewRegistry() }
+
+func kernelFor(reg ops.Registry, cfg Config, n *graph.Node) (ops.Kernel, error) {
+	k, ok := reg[n.Op]
+	if !ok {
+		return nil, fmt.Errorf("infer: no kernel for op %q (node %q)", n.Op, n.Name)
+	}
+	if cfg.KernelWrapper != nil {
+		k = cfg.KernelWrapper(n.Name, k)
+	}
+	return k, nil
+}
+
+// runKernel invokes k and applies the CheckFinite policy.
+func runKernel(ctx *ops.Context, k ops.Kernel, n *graph.Node, ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	outs, err := k(ctx, n, ins)
+	if err != nil {
+		return nil, fmt.Errorf("infer: node %q (%s): %w", n.Name, n.Op, err)
+	}
+	if len(outs) != len(n.Outputs) {
+		return nil, fmt.Errorf("infer: node %q produced %d outputs, declares %d", n.Name, len(outs), len(n.Outputs))
+	}
+	if ctx.CheckFinite {
+		for _, o := range outs {
+			if o.HasNaN() {
+				return nil, fmt.Errorf("infer: node %q (%s): %w", n.Name, n.Op, ops.ErrNonFinite)
+			}
+		}
+	}
+	return outs, nil
+}
+
+func gatherOutputs(g *graph.Graph, values map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	out := make(map[string]*tensor.Tensor, len(g.Outputs))
+	for _, name := range g.Outputs {
+		t, ok := values[name]
+		if !ok {
+			return nil, fmt.Errorf("infer: graph output %q was not produced", name)
+		}
+		out[name] = t
+	}
+	return out, nil
+}

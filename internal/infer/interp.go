@@ -1,0 +1,110 @@
+package infer
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// interpExecutor is the ORT-like graph interpreter: it resolves the execution
+// order once, then at each call walks the node list, dispatching kernels and
+// releasing intermediate tensors when their last consumer has run.
+type interpExecutor struct {
+	g     *graph.Graph
+	cfg   Config
+	ctx   *ops.Context
+	order []*graph.Node
+	kerns []ops.Kernel
+	// lastUse[i] lists tensor names whose last consumer is order[i].
+	lastUse [][]string
+}
+
+var _ Executor = (*interpExecutor)(nil)
+
+func newInterp(g *graph.Graph, cfg Config) (*interpExecutor, error) {
+	ctx, err := buildContext(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("infer: interp: %w", err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("infer: interp: %w", err)
+	}
+	reg := buildRegistry()
+	kerns := make([]ops.Kernel, len(order))
+	for i, n := range order {
+		k, err := kernelFor(reg, cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		kerns[i] = k
+	}
+	ex := &interpExecutor{g: g, cfg: cfg, ctx: ctx, order: order, kerns: kerns}
+	ex.lastUse = computeLastUse(g, order)
+	return ex, nil
+}
+
+// computeLastUse determines, per execution step, which tensors become dead
+// after that step (not graph outputs, not initializers).
+func computeLastUse(g *graph.Graph, order []*graph.Node) [][]string {
+	keep := make(map[string]bool, len(g.Outputs)+len(g.Initializers))
+	for _, o := range g.Outputs {
+		keep[o] = true
+	}
+	for name := range g.Initializers {
+		keep[name] = true
+	}
+	last := make(map[string]int)
+	for i, n := range order {
+		for _, in := range n.Inputs {
+			if !keep[in] {
+				last[in] = i
+			}
+		}
+	}
+	use := make([][]string, len(order))
+	for name, i := range last {
+		use[i] = append(use[i], name)
+	}
+	return use
+}
+
+func (e *interpExecutor) Graph() *graph.Graph { return e.g }
+func (e *interpExecutor) Config() Config      { return e.cfg }
+
+func (e *interpExecutor) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	values := make(map[string]*tensor.Tensor, len(e.g.Nodes)*2)
+	for name, t := range e.g.Initializers {
+		values[name] = t
+	}
+	for _, vi := range e.g.Inputs {
+		t, ok := inputs[vi.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrMissingInput, vi.Name)
+		}
+		values[vi.Name] = t
+	}
+	for i, n := range e.order {
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for j, in := range n.Inputs {
+			t, ok := values[in]
+			if !ok {
+				return nil, fmt.Errorf("infer: node %q input %q unavailable", n.Name, in)
+			}
+			ins[j] = t
+		}
+		outs, err := runKernel(e.ctx, e.kerns[i], n, ins)
+		if err != nil {
+			return nil, err
+		}
+		for j, name := range n.Outputs {
+			values[name] = outs[j]
+		}
+		for _, dead := range e.lastUse[i] {
+			delete(values, dead)
+		}
+	}
+	return gatherOutputs(e.g, values)
+}

@@ -1,0 +1,166 @@
+package infer
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/rewrite"
+	"repro/internal/tensor"
+)
+
+// plannedExecutor is the TVM-like ahead-of-time engine. At load time it
+// optionally optimizes the graph (operator fusion), infers all shapes,
+// resolves the kernel and operand slots for every step and computes tensor
+// lifetimes; Run replays the fixed plan against a slot table.
+type plannedExecutor struct {
+	g     *graph.Graph
+	cfg   Config
+	ctx   *ops.Context
+	steps []planStep
+	// slot assignment
+	nSlots    int
+	initSlots []slotInit
+	inSlots   map[string]int
+	outSlots  map[string]int
+}
+
+type planStep struct {
+	node   *graph.Node
+	kernel ops.Kernel
+	in     []int
+	out    []int
+	free   []int // slots dead after this step
+}
+
+type slotInit struct {
+	slot int
+	t    *tensor.Tensor
+}
+
+var _ Executor = (*plannedExecutor)(nil)
+
+func newPlanned(orig *graph.Graph, cfg Config) (*plannedExecutor, error) {
+	g := orig
+	if cfg.OptLevel > 0 {
+		g = orig.Clone()
+		rewrite.Optimize(g, cfg.OptLevel)
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("infer: planned: optimized graph invalid: %w", err)
+		}
+	}
+	if _, err := ops.InferShapes(g); err != nil {
+		return nil, fmt.Errorf("infer: planned: %w", err)
+	}
+	ctx, err := buildContext(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("infer: planned: %w", err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("infer: planned: %w", err)
+	}
+
+	ex := &plannedExecutor{
+		g:        g,
+		cfg:      cfg,
+		ctx:      ctx,
+		inSlots:  make(map[string]int),
+		outSlots: make(map[string]int),
+	}
+	slotOf := make(map[string]int)
+	alloc := func(name string) int {
+		if s, ok := slotOf[name]; ok {
+			return s
+		}
+		s := ex.nSlots
+		ex.nSlots++
+		slotOf[name] = s
+		return s
+	}
+	for name, t := range g.Initializers {
+		ex.initSlots = append(ex.initSlots, slotInit{slot: alloc(name), t: t})
+	}
+	for _, vi := range g.Inputs {
+		ex.inSlots[vi.Name] = alloc(vi.Name)
+	}
+	reg := buildRegistry()
+	lastUse := computeLastUse(g, order)
+	for i, n := range order {
+		k, err := kernelFor(reg, cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		st := planStep{node: n, kernel: k}
+		for _, in := range n.Inputs {
+			s, ok := slotOf[in]
+			if !ok {
+				return nil, fmt.Errorf("infer: planned: node %q input %q has no slot", n.Name, in)
+			}
+			st.in = append(st.in, s)
+		}
+		for _, out := range n.Outputs {
+			st.out = append(st.out, alloc(out))
+		}
+		for _, dead := range lastUse[i] {
+			if s, ok := slotOf[dead]; ok {
+				st.free = append(st.free, s)
+			}
+		}
+		ex.steps = append(ex.steps, st)
+	}
+	for _, o := range g.Outputs {
+		s, ok := slotOf[o]
+		if !ok {
+			return nil, fmt.Errorf("infer: planned: graph output %q has no slot", o)
+		}
+		ex.outSlots[o] = s
+	}
+	return ex, nil
+}
+
+func (e *plannedExecutor) Graph() *graph.Graph { return e.g }
+func (e *plannedExecutor) Config() Config      { return e.cfg }
+
+func (e *plannedExecutor) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	slots := make([]*tensor.Tensor, e.nSlots)
+	for _, si := range e.initSlots {
+		slots[si.slot] = si.t
+	}
+	for name, s := range e.inSlots {
+		t, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrMissingInput, name)
+		}
+		slots[s] = t
+	}
+	ins := make([]*tensor.Tensor, 0, 8)
+	for _, st := range e.steps {
+		ins = ins[:0]
+		for _, s := range st.in {
+			t := slots[s]
+			if t == nil {
+				return nil, fmt.Errorf("infer: planned: node %q reads empty slot", st.node.Name)
+			}
+			ins = append(ins, t)
+		}
+		outs, err := runKernel(e.ctx, st.kernel, st.node, ins)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range st.out {
+			slots[s] = outs[i]
+		}
+		for _, s := range st.free {
+			slots[s] = nil
+		}
+	}
+	out := make(map[string]*tensor.Tensor, len(e.outSlots))
+	for name, s := range e.outSlots {
+		if slots[s] == nil {
+			return nil, fmt.Errorf("infer: planned: graph output %q not produced", name)
+		}
+		out[name] = slots[s]
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+// Package manifest defines the TEE-OS manifest format of MVTEE — the
+// analogue of Gramine's manifest files (§5.1–5.2). A manifest pins the
+// entrypoint, the hash-pinned trusted files, the encrypted-files set, and the
+// allowlists for syscalls, environment variables and command-line arguments
+// that together minimize a variant's attack surface. MVTEE's two-stage
+// design adds a second-stage manifest installed once, post-launch, by the
+// init-variant.
+package manifest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Manifest regulates one TEE application's execution environment.
+type Manifest struct {
+	// Entrypoint names the executable the TEE OS runs.
+	Entrypoint string `json:"entrypoint"`
+	// TrustedFiles maps path -> hex SHA-256; files are readable only if
+	// their content matches at open time.
+	TrustedFiles map[string]string `json:"trusted_files,omitempty"`
+	// EncryptedFiles lists paths readable only through the protected-file
+	// decryption layer (key installed at bootstrap).
+	EncryptedFiles []string `json:"encrypted_files,omitempty"`
+	// AllowedSyscalls is the syscall allowlist; empty means deny-all
+	// except the always-available core set.
+	AllowedSyscalls []string `json:"allowed_syscalls,omitempty"`
+	// AllowedEnv lists host environment variables passed through; all
+	// others are blocked (§6.5: blocked by default).
+	AllowedEnv []string `json:"allowed_env,omitempty"`
+	// AllowHostArgs permits host-provided command-line arguments; MVTEE
+	// variant manifests leave this false.
+	AllowHostArgs bool `json:"allow_host_args,omitempty"`
+	// TwoStage enables the one-time second-stage manifest installation
+	// interface (MVTEE's Gramine extension, §5.2).
+	TwoStage bool `json:"two_stage,omitempty"`
+	// ExecFromEncryptedOnly mandates that the second-stage entrypoint is
+	// loaded from an encrypted file (enforced for main variants).
+	ExecFromEncryptedOnly bool `json:"exec_from_encrypted_only,omitempty"`
+}
+
+// Errors.
+var ErrInvalid = errors.New("manifest: invalid")
+
+// Validate checks internal consistency.
+func (m *Manifest) Validate() error {
+	if m.Entrypoint == "" {
+		return fmt.Errorf("%w: empty entrypoint", ErrInvalid)
+	}
+	for p, h := range m.TrustedFiles {
+		if _, err := hex.DecodeString(h); err != nil || len(h) != 64 {
+			return fmt.Errorf("%w: trusted file %q has malformed hash", ErrInvalid, p)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (m *Manifest) Clone() *Manifest {
+	c := *m
+	if m.TrustedFiles != nil {
+		c.TrustedFiles = make(map[string]string, len(m.TrustedFiles))
+		for k, v := range m.TrustedFiles {
+			c.TrustedFiles[k] = v
+		}
+	}
+	c.EncryptedFiles = append([]string(nil), m.EncryptedFiles...)
+	c.AllowedSyscalls = append([]string(nil), m.AllowedSyscalls...)
+	c.AllowedEnv = append([]string(nil), m.AllowedEnv...)
+	return &c
+}
+
+// AddTrustedFile pins a file's content hash.
+func (m *Manifest) AddTrustedFile(path string, content []byte) {
+	if m.TrustedFiles == nil {
+		m.TrustedFiles = make(map[string]string)
+	}
+	sum := sha256.Sum256(content)
+	m.TrustedFiles[path] = hex.EncodeToString(sum[:])
+}
+
+// IsEncrypted reports whether path is in the encrypted-files set. Entries
+// ending in "/*" match any path under that prefix (the init-variant manifest
+// covers a whole pool directory whose exact file names are assigned at
+// runtime).
+func (m *Manifest) IsEncrypted(path string) bool {
+	for _, p := range m.EncryptedFiles {
+		if p == path {
+			return true
+		}
+		if n := len(p); n >= 2 && p[n-2:] == "/*" && len(path) > n-2 && path[:n-1] == p[:n-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// SyscallAllowed reports whether the named syscall passes the allowlist.
+// The core set (read, write, exit) is always available.
+func (m *Manifest) SyscallAllowed(name string) bool {
+	switch name {
+	case "read", "write", "exit":
+		return true
+	}
+	for _, s := range m.AllowedSyscalls {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// EnvAllowed reports whether the named host environment variable passes.
+func (m *Manifest) EnvAllowed(name string) bool {
+	for _, e := range m.AllowedEnv {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Marshal renders the manifest canonically (sorted keys) so its bytes can be
+// measured and attested.
+func (m *Manifest) Marshal() ([]byte, error) {
+	c := m.Clone()
+	sort.Strings(c.EncryptedFiles)
+	sort.Strings(c.AllowedSyscalls)
+	sort.Strings(c.AllowedEnv)
+	return json.MarshalIndent(c, "", "  ") // json sorts map keys
+}
+
+// Unmarshal parses and validates a manifest.
+func Unmarshal(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("manifest: parse: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Digest returns the SHA-256 of the canonical encoding.
+func (m *Manifest) Digest() ([32]byte, error) {
+	b, err := m.Marshal()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(b), nil
+}

@@ -1,0 +1,130 @@
+package manifest
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	m := &Manifest{Entrypoint: "bin/app"}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Manifest{}).Validate(); err == nil {
+		t.Fatal("empty entrypoint accepted")
+	}
+	bad := &Manifest{Entrypoint: "a", TrustedFiles: map[string]string{"f": "nothex"}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("malformed hash accepted")
+	}
+}
+
+func TestAddTrustedFile(t *testing.T) {
+	m := &Manifest{Entrypoint: "a"}
+	m.AddTrustedFile("bin/app", []byte("content"))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TrustedFiles["bin/app"]) != 64 {
+		t.Fatal("hash not recorded")
+	}
+}
+
+func TestIsEncrypted(t *testing.T) {
+	m := &Manifest{Entrypoint: "a", EncryptedFiles: []string{"exact.pf", "pool/*"}}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"exact.pf", true},
+		{"exact.pf2", false},
+		{"pool/p0/graph.pf", true},
+		{"pool/x", true},
+		{"pool", false},
+		{"poolx/y", false},
+		{"other", false},
+	}
+	for _, c := range cases {
+		if got := m.IsEncrypted(c.path); got != c.want {
+			t.Errorf("IsEncrypted(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestSyscallAllowlist(t *testing.T) {
+	m := &Manifest{Entrypoint: "a", AllowedSyscalls: []string{"connect"}}
+	for _, core := range []string{"read", "write", "exit"} {
+		if !m.SyscallAllowed(core) {
+			t.Errorf("core syscall %q blocked", core)
+		}
+	}
+	if !m.SyscallAllowed("connect") {
+		t.Error("allowlisted syscall blocked")
+	}
+	if m.SyscallAllowed("ptrace") {
+		t.Error("unlisted syscall allowed")
+	}
+}
+
+func TestEnvAllowlist(t *testing.T) {
+	m := &Manifest{Entrypoint: "a", AllowedEnv: []string{"LANG"}}
+	if !m.EnvAllowed("LANG") || m.EnvAllowed("LD_PRELOAD") {
+		t.Error("env allowlist wrong")
+	}
+}
+
+func TestMarshalCanonical(t *testing.T) {
+	m := &Manifest{
+		Entrypoint:      "a",
+		EncryptedFiles:  []string{"z", "a"},
+		AllowedSyscalls: []string{"b", "a"},
+		TrustedFiles:    map[string]string{},
+	}
+	m.AddTrustedFile("f2", []byte("2"))
+	m.AddTrustedFile("f1", []byte("1"))
+	b1, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := m.Marshal()
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatal("marshal not deterministic")
+	}
+	d1, _ := m.Digest()
+	d2, _ := m.Digest()
+	if d1 != d2 {
+		t.Fatal("digest not stable")
+	}
+
+	got, err := Unmarshal(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entrypoint != "a" || len(got.TrustedFiles) != 2 {
+		t.Fatal("roundtrip lost fields")
+	}
+	// Marshal must not mutate the original ordering.
+	if m.EncryptedFiles[0] != "z" {
+		t.Fatal("Marshal mutated the manifest")
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"trusted_files":{"f":"xx"}}`)); err == nil {
+		t.Fatal("invalid manifest accepted")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	m := &Manifest{Entrypoint: "a", EncryptedFiles: []string{"x"}, TrustedFiles: map[string]string{}}
+	m.AddTrustedFile("f", []byte("v"))
+	c := m.Clone()
+	c.EncryptedFiles[0] = "y"
+	c.TrustedFiles["f"] = "changed"
+	if m.EncryptedFiles[0] != "x" || len(m.TrustedFiles["f"]) != 64 {
+		t.Fatal("Clone is shallow")
+	}
+}

@@ -1,0 +1,316 @@
+// Package models provides structurally faithful replicas of the seven DNNs
+// the paper evaluates (§6.1): ResNet-50, ResNet-152, GoogleNet, Inception V3,
+// MobileNet V3, MnasNet and EfficientNet-b7. Block types, depths and topology
+// match the published architectures; channel widths, input resolution and
+// stage depths are scalable so the same graphs run at laptop scale. Weights
+// are deterministic (seeded He initialization) so identical-variant
+// configurations are bitwise reproducible across processes — a requirement of
+// the MVX monitor's consistency checking.
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Config controls model construction scale.
+type Config struct {
+	// InputSize is the square input resolution; 0 means 32 (paper: 224).
+	InputSize int
+	// Scale multiplies channel widths; 0 means 0.25 (paper: 1.0).
+	Scale float64
+	// Depth multiplies per-stage block counts; 0 means 1.0.
+	Depth float64
+	// Classes is the classifier width; 0 means 16 (paper: 1000).
+	Classes int
+	// Seed drives deterministic weight initialization; 0 means 1.
+	Seed uint64
+	// BatchSize sets the input batch dimension; 0 means 1 (the paper's
+	// default). The transformer extension supports batch 1 only.
+	BatchSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.InputSize == 0 {
+		c.InputSize = 32
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	if c.Depth == 0 {
+		c.Depth = 1.0
+	}
+	if c.Classes == 0 {
+		c.Classes = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	return c
+}
+
+// ch scales a channel count, keeping it positive and divisible by 4 where
+// possible (SE blocks and groups need small divisors).
+func (c Config) ch(base int) int {
+	v := int(math.Round(float64(base) * c.Scale))
+	if v < 4 {
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return (v + 3) / 4 * 4
+}
+
+// reps scales a block repeat count.
+func (c Config) reps(base int) int {
+	v := int(math.Round(float64(base) * c.Depth))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// builder accumulates graph nodes with auto-generated names and seeded
+// weights.
+type builder struct {
+	g   *graph.Graph
+	rng *rand.Rand
+	idx int
+}
+
+func newBuilder(name string, cfg Config) *builder {
+	return &builder{
+		g:   graph.New(name),
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x6d76746565)), // "mvtee"
+	}
+}
+
+func (b *builder) name(op string) string {
+	b.idx++
+	return fmt.Sprintf("%s_%d", op, b.idx)
+}
+
+// weight creates a He-normal initialized tensor with fan-in fan.
+func (b *builder) weight(fan int, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	std := math.Sqrt(2 / float64(fan))
+	d := t.Data()
+	for i := range d {
+		d[i] = float32(b.rng.NormFloat64() * std)
+	}
+	return t
+}
+
+func (b *builder) input(name string, shape ...int) string {
+	b.g.Inputs = append(b.g.Inputs, graph.ValueInfo{Name: name, Shape: shape})
+	return name
+}
+
+// conv adds Conv(+bias) and returns the output tensor name.
+func (b *builder) conv(in string, cin, cout, k, stride, pad, group int) string {
+	n := b.name("conv")
+	w := b.weight(cin/group*k*k, cout, cin/group, k, k)
+	bias := tensor.New(cout)
+	b.g.AddInitializer(n+"_w", w)
+	b.g.AddInitializer(n+"_b", bias)
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpConv, []string{in, n + "_w", n + "_b"}, []string{out}, map[string]graph.Attr{
+		"stride": graph.IntAttr(stride),
+		"pad":    graph.IntAttr(pad),
+		"group":  graph.IntAttr(group),
+	})
+	return out
+}
+
+// convRect adds a rectangular-kernel convolution (kh×kw) with explicit
+// asymmetric padding via a preceding Pad node when needed.
+func (b *builder) convRect(in string, cin, cout, kh, kw, stride int) string {
+	padH, padW := (kh-1)/2, (kw-1)/2
+	if padH != padW {
+		p := b.name("pad")
+		out := p + "_out"
+		b.g.AddNode(p, graph.OpPad, []string{in}, []string{out}, map[string]graph.Attr{
+			"pads": graph.IntsAttr(padH, padH, padW, padW),
+		})
+		in = out
+		padH, padW = 0, 0
+	}
+	n := b.name("conv")
+	w := b.weight(cin*kh*kw, cout, cin, kh, kw)
+	bias := tensor.New(cout)
+	b.g.AddInitializer(n+"_w", w)
+	b.g.AddInitializer(n+"_b", bias)
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpConv, []string{in, n + "_w", n + "_b"}, []string{out}, map[string]graph.Attr{
+		"stride": graph.IntAttr(stride),
+		"pad":    graph.IntAttr(padH),
+		"group":  graph.IntAttr(1),
+	})
+	return out
+}
+
+// bn adds a BatchNorm with randomized (but benign) statistics.
+func (b *builder) bn(in string, c int) string {
+	n := b.name("bn")
+	scale := tensor.New(c)
+	bias := tensor.New(c)
+	mean := tensor.New(c)
+	variance := tensor.New(c)
+	for i := 0; i < c; i++ {
+		scale.Data()[i] = float32(0.8 + 0.4*b.rng.Float64())
+		bias.Data()[i] = float32(0.2 * b.rng.NormFloat64())
+		mean.Data()[i] = float32(0.1 * b.rng.NormFloat64())
+		variance.Data()[i] = float32(0.5 + b.rng.Float64())
+	}
+	b.g.AddInitializer(n+"_s", scale)
+	b.g.AddInitializer(n+"_b", bias)
+	b.g.AddInitializer(n+"_m", mean)
+	b.g.AddInitializer(n+"_v", variance)
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpBatchNorm,
+		[]string{in, n + "_s", n + "_b", n + "_m", n + "_v"}, []string{out},
+		map[string]graph.Attr{"epsilon": graph.FloatAttr(1e-5)})
+	return out
+}
+
+func (b *builder) unary(op, in string) string {
+	n := b.name(opShort(op))
+	out := n + "_out"
+	b.g.AddNode(n, op, []string{in}, []string{out}, nil)
+	return out
+}
+
+func opShort(op string) string {
+	switch op {
+	case graph.OpRelu:
+		return "relu"
+	case graph.OpRelu6:
+		return "relu6"
+	case graph.OpSigmoid:
+		return "sig"
+	case graph.OpHardSwish:
+		return "hswish"
+	case graph.OpHardSigmoid:
+		return "hsig"
+	case graph.OpSoftmax:
+		return "softmax"
+	case graph.OpFlatten:
+		return "flat"
+	case graph.OpGlobalAvgPool:
+		return "gap"
+	default:
+		return "op"
+	}
+}
+
+func (b *builder) relu(in string) string  { return b.unary(graph.OpRelu, in) }
+func (b *builder) relu6(in string) string { return b.unary(graph.OpRelu6, in) }
+
+// swish adds x*sigmoid(x) as explicit Sigmoid+Mul nodes (SiLU).
+func (b *builder) swish(in string) string {
+	s := b.unary(graph.OpSigmoid, in)
+	n := b.name("swish")
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpMul, []string{in, s}, []string{out}, nil)
+	return out
+}
+
+func (b *builder) maxPool(in string, k, stride, pad int) string {
+	n := b.name("maxpool")
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpMaxPool, []string{in}, []string{out}, map[string]graph.Attr{
+		"kernel": graph.IntAttr(k), "stride": graph.IntAttr(stride), "pad": graph.IntAttr(pad),
+	})
+	return out
+}
+
+func (b *builder) avgPool(in string, k, stride, pad int) string {
+	n := b.name("avgpool")
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpAvgPool, []string{in}, []string{out}, map[string]graph.Attr{
+		"kernel": graph.IntAttr(k), "stride": graph.IntAttr(stride), "pad": graph.IntAttr(pad),
+	})
+	return out
+}
+
+func (b *builder) gap(in string) string { return b.unary(graph.OpGlobalAvgPool, in) }
+
+func (b *builder) add(ins ...string) string {
+	n := b.name("add")
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpAdd, ins, []string{out}, nil)
+	return out
+}
+
+func (b *builder) mul(a, c string) string {
+	n := b.name("mul")
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpMul, []string{a, c}, []string{out}, nil)
+	return out
+}
+
+func (b *builder) concat(ins ...string) string {
+	n := b.name("concat")
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpConcat, ins, []string{out}, map[string]graph.Attr{"axis": graph.IntAttr(1)})
+	return out
+}
+
+// classifier adds GlobalAvgPool → Flatten → Gemm → Softmax and marks the
+// result as the graph output named "logits".
+func (b *builder) classifier(in string, cin, classes int) {
+	x := b.gap(in)
+	x = b.unary(graph.OpFlatten, x)
+	n := b.name("fc")
+	w := b.weight(cin, cin, classes)
+	bias := tensor.New(classes)
+	b.g.AddInitializer(n+"_w", w)
+	b.g.AddInitializer(n+"_b", bias)
+	b.g.AddNode(n, graph.OpGemm, []string{x, n + "_w", n + "_b"}, []string{n + "_out"}, nil)
+	sm := b.name("softmax")
+	b.g.AddNode(sm, graph.OpSoftmax, []string{n + "_out"}, []string{"logits"}, nil)
+	b.g.Outputs = []string{"logits"}
+}
+
+// convBNAct is the ubiquitous Conv→BN→activation trio. act may be "" (none),
+// "relu", "relu6", "hswish" or "swish".
+func (b *builder) convBNAct(in string, cin, cout, k, stride, pad, group int, act string) string {
+	x := b.conv(in, cin, cout, k, stride, pad, group)
+	x = b.bn(x, cout)
+	switch act {
+	case "relu":
+		x = b.relu(x)
+	case "relu6":
+		x = b.relu6(x)
+	case "hswish":
+		x = b.unary(graph.OpHardSwish, x)
+	case "swish":
+		x = b.swish(x)
+	case "":
+	default:
+		panic("models: unknown activation " + act)
+	}
+	return x
+}
+
+// se adds a squeeze-and-excitation block on c channels and returns the
+// rescaled tensor.
+func (b *builder) se(in string, c, reduced int, gateOp string) string {
+	if reduced < 1 {
+		reduced = 1
+	}
+	s := b.gap(in)
+	s = b.conv(s, c, reduced, 1, 1, 0, 1)
+	s = b.relu(s)
+	s = b.conv(s, reduced, c, 1, 1, 0, 1)
+	s = b.unary(gateOp, s)
+	return b.mul(in, s)
+}

@@ -1,0 +1,140 @@
+package models
+
+import "repro/internal/graph"
+
+// GoogleNet builds the GoogLeNet (Inception v1) replica: a convolutional stem
+// followed by nine inception modules (3a–5b) with max-pool reductions.
+func GoogleNet(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("googlenet", cfg)
+	in := b.input("image", cfg.BatchSize, 3, cfg.InputSize, cfg.InputSize)
+
+	x := b.convBNAct(in, 3, cfg.ch(64), 7, 2, 3, 1, "relu")
+	x = b.maxPool(x, 3, 2, 1)
+	x = b.convBNAct(x, cfg.ch(64), cfg.ch(64), 1, 1, 0, 1, "relu")
+	x = b.convBNAct(x, cfg.ch(64), cfg.ch(192), 3, 1, 1, 1, "relu")
+	x = b.maxPool(x, 3, 2, 1)
+	cin := cfg.ch(192)
+
+	// Inception module channel plans: {1x1, 3x3red, 3x3, 5x5red, 5x5, poolproj}.
+	plans := [][6]int{
+		{64, 96, 128, 16, 32, 32},     // 3a
+		{128, 128, 192, 32, 96, 64},   // 3b
+		{192, 96, 208, 16, 48, 64},    // 4a
+		{160, 112, 224, 24, 64, 64},   // 4b
+		{128, 128, 256, 24, 64, 64},   // 4c
+		{112, 144, 288, 32, 64, 64},   // 4d
+		{256, 160, 320, 32, 128, 128}, // 4e
+		{256, 160, 320, 32, 128, 128}, // 5a
+		{384, 192, 384, 48, 128, 128}, // 5b
+	}
+	for i, p := range plans {
+		x, cin = b.inceptionV1(x, cin, cfg, p)
+		if i == 1 || i == 6 { // pool after 3b and 4e
+			x = b.maxPool(x, 3, 2, 1)
+		}
+	}
+	b.classifier(x, cin, cfg.Classes)
+	return b.g
+}
+
+// inceptionV1 adds one GoogLeNet inception module and returns the output and
+// its channel count.
+func (b *builder) inceptionV1(in string, cin int, cfg Config, plan [6]int) (string, int) {
+	c1 := cfg.ch(plan[0])
+	c3r, c3 := cfg.ch(plan[1]), cfg.ch(plan[2])
+	c5r, c5 := cfg.ch(plan[3]), cfg.ch(plan[4])
+	cp := cfg.ch(plan[5])
+
+	b1 := b.convBNAct(in, cin, c1, 1, 1, 0, 1, "relu")
+	b2 := b.convBNAct(in, cin, c3r, 1, 1, 0, 1, "relu")
+	b2 = b.convBNAct(b2, c3r, c3, 3, 1, 1, 1, "relu")
+	b3 := b.convBNAct(in, cin, c5r, 1, 1, 0, 1, "relu")
+	b3 = b.convBNAct(b3, c5r, c5, 5, 1, 2, 1, "relu")
+	b4 := b.maxPool(in, 3, 1, 1)
+	b4 = b.convBNAct(b4, cin, cp, 1, 1, 0, 1, "relu")
+	return b.concat(b1, b2, b3, b4), c1 + c3 + c5 + cp
+}
+
+// InceptionV3 builds the Inception V3 replica: stem, three Inception-A
+// modules, a grid reduction, four Inception-B modules with factorized 7×1/1×7
+// convolutions, another reduction, and two Inception-C modules.
+func InceptionV3(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("inceptionv3", cfg)
+	in := b.input("image", cfg.BatchSize, 3, cfg.InputSize, cfg.InputSize)
+
+	x := b.convBNAct(in, 3, cfg.ch(32), 3, 2, 1, 1, "relu")
+	x = b.convBNAct(x, cfg.ch(32), cfg.ch(64), 3, 1, 1, 1, "relu")
+	x = b.maxPool(x, 3, 2, 1)
+	x = b.convBNAct(x, cfg.ch(64), cfg.ch(192), 3, 1, 1, 1, "relu")
+	cin := cfg.ch(192)
+
+	for i := 0; i < 3; i++ {
+		x, cin = b.inceptionA(x, cin, cfg)
+	}
+	x, cin = b.reductionGrid(x, cin, cfg)
+	for i := 0; i < 4; i++ {
+		x, cin = b.inceptionB(x, cin, cfg)
+	}
+	x, cin = b.reductionGrid(x, cin, cfg)
+	for i := 0; i < 2; i++ {
+		x, cin = b.inceptionC(x, cin, cfg)
+	}
+	b.classifier(x, cin, cfg.Classes)
+	return b.g
+}
+
+func (b *builder) inceptionA(in string, cin int, cfg Config) (string, int) {
+	c64, c48, c96 := cfg.ch(64), cfg.ch(48), cfg.ch(96)
+	b1 := b.convBNAct(in, cin, c64, 1, 1, 0, 1, "relu")
+	b2 := b.convBNAct(in, cin, c48, 1, 1, 0, 1, "relu")
+	b2 = b.convBNAct(b2, c48, c64, 5, 1, 2, 1, "relu")
+	b3 := b.convBNAct(in, cin, c64, 1, 1, 0, 1, "relu")
+	b3 = b.convBNAct(b3, c64, c96, 3, 1, 1, 1, "relu")
+	b3 = b.convBNAct(b3, c96, c96, 3, 1, 1, 1, "relu")
+	b4 := b.avgPool(in, 3, 1, 1)
+	b4 = b.convBNAct(b4, cin, c64, 1, 1, 0, 1, "relu")
+	return b.concat(b1, b2, b3, b4), c64 + c64 + c96 + c64
+}
+
+// inceptionB uses factorized 1×7 and 7×1 convolutions (implemented as
+// rectangular kernels with asymmetric padding).
+func (b *builder) inceptionB(in string, cin int, cfg Config) (string, int) {
+	c192, c128 := cfg.ch(192), cfg.ch(128)
+	b1 := b.convBNAct(in, cin, c192, 1, 1, 0, 1, "relu")
+	b2 := b.convBNAct(in, cin, c128, 1, 1, 0, 1, "relu")
+	b2 = b.convRect(b2, c128, c128, 1, 7, 1)
+	b2 = b.bn(b2, c128)
+	b2 = b.relu(b2)
+	b2 = b.convRect(b2, c128, c192, 7, 1, 1)
+	b2 = b.bn(b2, c192)
+	b2 = b.relu(b2)
+	b3 := b.avgPool(in, 3, 1, 1)
+	b3 = b.convBNAct(b3, cin, c192, 1, 1, 0, 1, "relu")
+	return b.concat(b1, b2, b3), c192 + c192 + c192
+}
+
+func (b *builder) inceptionC(in string, cin int, cfg Config) (string, int) {
+	c320, c384 := cfg.ch(320), cfg.ch(384)
+	b1 := b.convBNAct(in, cin, c320, 1, 1, 0, 1, "relu")
+	b2 := b.convBNAct(in, cin, c384, 1, 1, 0, 1, "relu")
+	b2a := b.convRect(b2, c384, c384, 1, 3, 1)
+	b2a = b.bn(b2a, c384)
+	b2a = b.relu(b2a)
+	b2b := b.convRect(b2, c384, c384, 3, 1, 1)
+	b2b = b.bn(b2b, c384)
+	b2b = b.relu(b2b)
+	b3 := b.avgPool(in, 3, 1, 1)
+	b3 = b.convBNAct(b3, cin, c320, 1, 1, 0, 1, "relu")
+	return b.concat(b1, b2a, b2b, b3), c320 + c384 + c384 + c320
+}
+
+// reductionGrid halves the spatial grid with a stride-2 conv branch and a
+// pooling branch.
+func (b *builder) reductionGrid(in string, cin int, cfg Config) (string, int) {
+	c := cfg.ch(192)
+	b1 := b.convBNAct(in, cin, c, 3, 2, 1, 1, "relu")
+	b2 := b.maxPool(in, 3, 2, 1)
+	return b.concat(b1, b2), c + cin
+}

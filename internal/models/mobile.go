@@ -1,0 +1,166 @@
+package models
+
+import "repro/internal/graph"
+
+// mbConvSpec describes one inverted-residual (MBConv / bneck) block.
+type mbConvSpec struct {
+	kernel  int     // depthwise kernel (3 or 5)
+	expand  float64 // expansion ratio over input channels
+	out     int     // base output channels (pre-scale)
+	stride  int
+	se      bool   // squeeze-and-excitation
+	act     string // "relu", "relu6", "hswish", "swish"
+	seGate  string // gate op for SE (HardSigmoid for v3, Sigmoid for EfficientNet)
+	repeats int
+}
+
+// mbConv adds one inverted-residual block and returns output tensor + channels.
+func (b *builder) mbConv(in string, cin int, cfg Config, s mbConvSpec) (string, int) {
+	cout := cfg.ch(s.out)
+	exp := int(float64(cin) * s.expand)
+	if exp < 1 {
+		exp = 1
+	}
+	x := in
+	if exp != cin {
+		x = b.convBNAct(x, cin, exp, 1, 1, 0, 1, s.act)
+	}
+	// Depthwise.
+	dw := b.name("dwconv")
+	w := b.weight(s.kernel*s.kernel, exp, 1, s.kernel, s.kernel)
+	bias := newZeroBias(b, dw, exp)
+	out := dw + "_out"
+	b.g.AddNode(dw, graph.OpDepthwiseConv, []string{x, dw + "_w", bias}, []string{out}, map[string]graph.Attr{
+		"stride": graph.IntAttr(s.stride),
+		"pad":    graph.IntAttr((s.kernel - 1) / 2),
+	})
+	b.g.AddInitializer(dw+"_w", w)
+	x = b.bn(out, exp)
+	switch s.act {
+	case "relu":
+		x = b.relu(x)
+	case "relu6":
+		x = b.relu6(x)
+	case "hswish":
+		x = b.unary(graph.OpHardSwish, x)
+	case "swish":
+		x = b.swish(x)
+	}
+	if s.se {
+		gate := s.seGate
+		if gate == "" {
+			gate = graph.OpHardSigmoid
+		}
+		x = b.se(x, exp, exp/4, gate)
+	}
+	// Project.
+	x = b.conv(x, exp, cout, 1, 1, 0, 1)
+	x = b.bn(x, cout)
+	if s.stride == 1 && cin == cout {
+		x = b.add(x, in)
+	}
+	return x, cout
+}
+
+func newZeroBias(b *builder, prefix string, c int) string {
+	name := prefix + "_bz"
+	t := b.weight(c, c) // small random bias adds benign variety
+	t.Scale(0.01)
+	b.g.AddInitializer(name, t)
+	return name
+}
+
+func (b *builder) mbStage(x string, cin int, cfg Config, specs []mbConvSpec) (string, int) {
+	for _, s := range specs {
+		n := cfg.reps(s.repeats)
+		for i := 0; i < n; i++ {
+			ss := s
+			if i > 0 {
+				ss.stride = 1
+			}
+			x, cin = b.mbConv(x, cin, cfg, ss)
+		}
+	}
+	return x, cin
+}
+
+// MobileNetV3 builds the MobileNet V3 (large) replica: bneck blocks with
+// depthwise convolutions, squeeze-and-excitation and hard-swish activations.
+func MobileNetV3(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("mobilenetv3", cfg)
+	in := b.input("image", cfg.BatchSize, 3, cfg.InputSize, cfg.InputSize)
+
+	stem := cfg.ch(16)
+	x := b.convBNAct(in, 3, stem, 3, 2, 1, 1, "hswish")
+	cin := stem
+	specs := []mbConvSpec{
+		{kernel: 3, expand: 1, out: 16, stride: 1, act: "relu", repeats: 1},
+		{kernel: 3, expand: 4, out: 24, stride: 2, act: "relu", repeats: 1},
+		{kernel: 3, expand: 3, out: 24, stride: 1, act: "relu", repeats: 1},
+		{kernel: 5, expand: 3, out: 40, stride: 2, se: true, act: "relu", repeats: 3},
+		{kernel: 3, expand: 6, out: 80, stride: 2, act: "hswish", repeats: 1},
+		{kernel: 3, expand: 2.5, out: 80, stride: 1, act: "hswish", repeats: 3},
+		{kernel: 3, expand: 6, out: 112, stride: 1, se: true, act: "hswish", repeats: 2},
+		{kernel: 5, expand: 6, out: 160, stride: 2, se: true, act: "hswish", repeats: 3},
+	}
+	x, cin = b.mbStage(x, cin, cfg, specs)
+	head := cfg.ch(960)
+	x = b.convBNAct(x, cin, head, 1, 1, 0, 1, "hswish")
+	b.classifier(x, head, cfg.Classes)
+	return b.g
+}
+
+// MnasNet builds the MnasNet-B1 replica: MBConv blocks found by NAS, without
+// SE in most stages.
+func MnasNet(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("mnasnet", cfg)
+	in := b.input("image", cfg.BatchSize, 3, cfg.InputSize, cfg.InputSize)
+
+	stem := cfg.ch(32)
+	x := b.convBNAct(in, 3, stem, 3, 2, 1, 1, "relu")
+	// SepConv stem block.
+	cin := stem
+	x, cin = b.mbConv(x, cin, cfg, mbConvSpec{kernel: 3, expand: 1, out: 16, stride: 1, act: "relu"})
+	specs := []mbConvSpec{
+		{kernel: 3, expand: 3, out: 24, stride: 2, act: "relu", repeats: 3},
+		{kernel: 5, expand: 3, out: 40, stride: 2, act: "relu", repeats: 3},
+		{kernel: 5, expand: 6, out: 80, stride: 2, act: "relu", repeats: 3},
+		{kernel: 3, expand: 6, out: 96, stride: 1, act: "relu", repeats: 2},
+		{kernel: 5, expand: 6, out: 192, stride: 2, act: "relu", repeats: 4},
+		{kernel: 3, expand: 6, out: 320, stride: 1, act: "relu", repeats: 1},
+	}
+	x, cin = b.mbStage(x, cin, cfg, specs)
+	head := cfg.ch(1280)
+	x = b.convBNAct(x, cin, head, 1, 1, 0, 1, "relu")
+	b.classifier(x, head, cfg.Classes)
+	return b.g
+}
+
+// EfficientNetB7 builds the EfficientNet-b7 replica: deep MBConv stages with
+// squeeze-and-excitation and SiLU (swish) activations. Stage depths follow the
+// b7 compound scaling; cfg.Depth scales them down for laptop-scale runs.
+func EfficientNetB7(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("efficientnetb7", cfg)
+	in := b.input("image", cfg.BatchSize, 3, cfg.InputSize, cfg.InputSize)
+
+	stem := cfg.ch(64)
+	x := b.convBNAct(in, 3, stem, 3, 2, 1, 1, "swish")
+	cin := stem
+	specs := []mbConvSpec{
+		{kernel: 3, expand: 1, out: 32, stride: 1, se: true, act: "swish", seGate: graph.OpSigmoid, repeats: 4},
+		{kernel: 3, expand: 6, out: 48, stride: 2, se: true, act: "swish", seGate: graph.OpSigmoid, repeats: 7},
+		{kernel: 5, expand: 6, out: 80, stride: 2, se: true, act: "swish", seGate: graph.OpSigmoid, repeats: 7},
+		{kernel: 3, expand: 6, out: 160, stride: 2, se: true, act: "swish", seGate: graph.OpSigmoid, repeats: 10},
+		{kernel: 5, expand: 6, out: 224, stride: 1, se: true, act: "swish", seGate: graph.OpSigmoid, repeats: 10},
+		{kernel: 5, expand: 6, out: 384, stride: 2, se: true, act: "swish", seGate: graph.OpSigmoid, repeats: 13},
+		{kernel: 3, expand: 6, out: 640, stride: 1, se: true, act: "swish", seGate: graph.OpSigmoid, repeats: 4},
+	}
+	x, cin = b.mbStage(x, cin, cfg, specs)
+	head := cfg.ch(2560)
+	x = b.convBNAct(x, cin, head, 1, 1, 0, 1, "swish")
+	b.classifier(x, head, cfg.Classes)
+	return b.g
+}

@@ -1,0 +1,66 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// BuildFunc constructs a model graph from a configuration.
+type BuildFunc func(Config) *graph.Graph
+
+// zoo maps model names to their builders: the paper's seven evaluation
+// workloads plus the §7.4 foundation-model extension.
+var zoo = map[string]BuildFunc{
+	"efficientnet-b7": EfficientNetB7,
+	"googlenet":       GoogleNet,
+	"inceptionv3":     InceptionV3,
+	"mnasnet":         MnasNet,
+	"mobilenetv3":     MobileNetV3,
+	"resnet-152":      ResNet152,
+	"resnet-50":       ResNet50,
+	"tinyformer":      TinyFormer,
+}
+
+// PaperNames lists the paper's seven evaluation workloads (§6.1), the
+// default set for the figure benchmarks.
+func PaperNames() []string {
+	return []string{
+		"efficientnet-b7", "googlenet", "inceptionv3", "mnasnet",
+		"mobilenetv3", "resnet-152", "resnet-50",
+	}
+}
+
+// Names lists the available model names in sorted order — the paper's seven
+// evaluation workloads.
+func Names() []string {
+	out := make([]string, 0, len(zoo))
+	for name := range zoo {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named model, validating the result.
+func Build(name string, cfg Config) (*graph.Graph, error) {
+	f, ok := zoo[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	g := f(cfg)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("models: %s: %w", name, err)
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for benchmarks and examples.
+func MustBuild(name string, cfg Config) *graph.Graph {
+	g, err := Build(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

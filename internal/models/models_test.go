@@ -1,0 +1,187 @@
+package models
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+func TestNamesMatchPaper(t *testing.T) {
+	want := []string{
+		"efficientnet-b7", "googlenet", "inceptionv3", "mnasnet",
+		"mobilenetv3", "resnet-152", "resnet-50",
+	}
+	if got := PaperNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PaperNames() = %v, want the paper's seven models %v", got, want)
+	}
+	all := map[string]bool{}
+	for _, n := range Names() {
+		all[n] = true
+	}
+	for _, n := range append(want, "tinyformer") {
+		if !all[n] {
+			t.Fatalf("Names() missing %q (have %v)", n, Names())
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("vgg", Config{}); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestDeterministicWeights(t *testing.T) {
+	// Identical-variant MVX requires bitwise-identical model construction
+	// across processes for a given seed.
+	a := MustBuild("resnet-50", Config{Seed: 7})
+	b := MustBuild("resnet-50", Config{Seed: 7})
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("node counts differ")
+	}
+	for name, ta := range a.Initializers {
+		tb, ok := b.Initializers[name]
+		if !ok {
+			t.Fatalf("initializer %q missing in second build", name)
+		}
+		if !reflect.DeepEqual(ta.Data(), tb.Data()) {
+			t.Fatalf("initializer %q differs between builds", name)
+		}
+	}
+	c := MustBuild("resnet-50", Config{Seed: 8})
+	same := true
+	for name, ta := range a.Initializers {
+		if tc, ok := c.Initializers[name]; ok && !reflect.DeepEqual(ta.Data(), tc.Data()) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestScaleChangesWidth(t *testing.T) {
+	small := MustBuild("resnet-50", Config{Scale: 0.25})
+	big := MustBuild("resnet-50", Config{Scale: 0.5})
+	if big.Stats().Parameters <= small.Stats().Parameters {
+		t.Fatalf("scale 0.5 params %d <= scale 0.25 params %d",
+			big.Stats().Parameters, small.Stats().Parameters)
+	}
+}
+
+func TestDepthChangesNodeCount(t *testing.T) {
+	shallow := MustBuild("resnet-152", Config{Depth: 0.2})
+	deep := MustBuild("resnet-152", Config{Depth: 1})
+	if len(deep.Nodes) <= len(shallow.Nodes) {
+		t.Fatalf("depth 1 nodes %d <= depth 0.2 nodes %d", len(deep.Nodes), len(shallow.Nodes))
+	}
+}
+
+func TestInputSizePropagates(t *testing.T) {
+	g := MustBuild("mobilenetv3", Config{InputSize: 64})
+	if g.Inputs[0].Shape[2] != 64 || g.Inputs[0].Shape[3] != 64 {
+		t.Fatalf("input shape = %v", g.Inputs[0].Shape)
+	}
+	if _, err := ops.InferShapes(g); err != nil {
+		t.Fatalf("shapes at 64px: %v", err)
+	}
+}
+
+func TestClassesPropagate(t *testing.T) {
+	g := MustBuild("mnasnet", Config{Classes: 42})
+	shapes, err := ops.InferShapes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shapes["logits"]; got[len(got)-1] != 42 {
+		t.Fatalf("logits shape = %v, want trailing 42", got)
+	}
+}
+
+func TestResNet152DeeperThan50(t *testing.T) {
+	r50 := MustBuild("resnet-50", Config{})
+	r152 := MustBuild("resnet-152", Config{})
+	if len(r152.Nodes) <= len(r50.Nodes) {
+		t.Fatalf("resnet-152 nodes %d <= resnet-50 nodes %d", len(r152.Nodes), len(r50.Nodes))
+	}
+}
+
+func TestArchitectureSignatures(t *testing.T) {
+	// Each replica must carry its family's signature operators.
+	cases := []struct {
+		model string
+		op    string
+	}{
+		{"mobilenetv3", "HardSwish"},
+		{"mobilenetv3", "DepthwiseConv"},
+		{"efficientnet-b7", "Sigmoid"}, // swish gates + SE
+		{"googlenet", "Concat"},        // inception branches
+		{"inceptionv3", "Pad"},         // factorized asymmetric kernels
+		{"resnet-50", "Add"},           // residual connections
+		{"mnasnet", "DepthwiseConv"},
+	}
+	for _, c := range cases {
+		g := MustBuild(c.model, Config{Depth: 0.34})
+		if g.Stats().OpCounts[c.op] == 0 {
+			t.Errorf("%s has no %s operators", c.model, c.op)
+		}
+	}
+}
+
+func TestBatchSizeEquivalence(t *testing.T) {
+	// A batch-2 inference must equal two stacked batch-1 inferences.
+	single := MustBuild("mnasnet", Config{BatchSize: 1})
+	double := MustBuild("mnasnet", Config{BatchSize: 2})
+	if double.Inputs[0].Shape[0] != 2 {
+		t.Fatalf("batch dim = %d", double.Inputs[0].Shape[0])
+	}
+	ex1, err := infer.New(single, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := infer.New(double, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seed uint64) *tensor.Tensor {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		in := tensor.New(1, 3, 32, 32)
+		for i := range in.Data() {
+			in.Data()[i] = float32(rng.NormFloat64())
+		}
+		return in
+	}
+	a, b := mk(1), mk(2)
+	stacked := tensor.New(2, 3, 32, 32)
+	copy(stacked.Data()[:a.Size()], a.Data())
+	copy(stacked.Data()[a.Size():], b.Data())
+
+	outA, err := ex1.Run(map[string]*tensor.Tensor{"image": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := ex1.Run(map[string]*tensor.Tensor{"image": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := ex2.Run(map[string]*tensor.Tensor{"image": stacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := out2["logits"]
+	n := outA["logits"].Size()
+	for i := 0; i < n; i++ {
+		if d := math.Abs(float64(logits.Data()[i] - outA["logits"].Data()[i])); d > 1e-5 {
+			t.Fatalf("batch row 0 deviates by %g at %d", d, i)
+		}
+		if d := math.Abs(float64(logits.Data()[n+i] - outB["logits"].Data()[i])); d > 1e-5 {
+			t.Fatalf("batch row 1 deviates by %g at %d", d, i)
+		}
+	}
+}

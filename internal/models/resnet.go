@@ -1,0 +1,62 @@
+package models
+
+import "repro/internal/graph"
+
+// resNet builds a ResNet with bottleneck blocks (He et al.), the architecture
+// family of the paper's ResNet-50 and ResNet-152 workloads. stageBlocks gives
+// the block count per stage (ResNet-50: 3,4,6,3; ResNet-152: 3,8,36,3).
+func resNet(name string, stageBlocks [4]int, cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder(name, cfg)
+	in := b.input("image", cfg.BatchSize, 3, cfg.InputSize, cfg.InputSize)
+
+	stem := cfg.ch(64)
+	x := b.convBNAct(in, 3, stem, 7, 2, 3, 1, "relu")
+	x = b.maxPool(x, 3, 2, 1)
+
+	widths := [4]int{cfg.ch(64), cfg.ch(128), cfg.ch(256), cfg.ch(512)}
+	const expansion = 4
+	cin := stem
+	for s := 0; s < 4; s++ {
+		blocks := cfg.reps(stageBlocks[s])
+		for i := 0; i < blocks; i++ {
+			stride := 1
+			if s > 0 && i == 0 {
+				stride = 2
+			}
+			x, cin = b.bottleneck(x, cin, widths[s], expansion, stride)
+		}
+	}
+	b.classifier(x, cin, cfg.Classes)
+	return b.g
+}
+
+// bottleneck adds a ResNet bottleneck block (1x1 reduce → 3x3 → 1x1 expand,
+// with projection shortcut when shape changes) and returns the output tensor
+// and its channel count.
+func (b *builder) bottleneck(in string, cin, width, expansion, stride int) (string, int) {
+	cout := width * expansion
+	x := b.convBNAct(in, cin, width, 1, 1, 0, 1, "relu")
+	x = b.convBNAct(x, width, width, 3, stride, 1, 1, "relu")
+	x = b.conv(x, width, cout, 1, 1, 0, 1)
+	x = b.bn(x, cout)
+
+	shortcut := in
+	if cin != cout || stride != 1 {
+		shortcut = b.conv(in, cin, cout, 1, stride, 0, 1)
+		shortcut = b.bn(shortcut, cout)
+	}
+	x = b.add(x, shortcut)
+	x = b.relu(x)
+	return x, cout
+}
+
+// ResNet50 builds the ResNet-50 replica.
+func ResNet50(cfg Config) *graph.Graph {
+	return resNet("resnet50", [4]int{3, 4, 6, 3}, cfg)
+}
+
+// ResNet152 builds the ResNet-152 replica.
+func ResNet152(cfg Config) *graph.Graph {
+	return resNet("resnet152", [4]int{3, 8, 36, 3}, cfg)
+}

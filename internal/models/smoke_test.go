@@ -1,0 +1,36 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+func TestSmokeAllModels(t *testing.T) {
+	for _, name := range Names() {
+		g := MustBuild(name, Config{Depth: 0.2})
+		if _, err := ops.InferShapes(g); err != nil {
+			t.Fatalf("%s shapes: %v", name, err)
+		}
+		ex, err := infer.New(g, infer.Config{})
+		if err != nil {
+			t.Fatalf("%s exec: %v", name, err)
+		}
+		in := tensor.New(g.Inputs[0].Shape...)
+		for i := range in.Data() {
+			in.Data()[i] = float32(i%17) / 17
+		}
+		out, err := ex.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: in})
+		if err != nil {
+			t.Fatalf("%s run: %v", name, err)
+		}
+		logits := out["logits"]
+		if logits == nil || logits.HasNaN() {
+			t.Fatalf("%s bad logits %v", name, logits)
+		}
+		st := g.Stats()
+		t.Logf("%s: nodes=%d params=%d out=%v", name, st.Nodes, st.Parameters, logits.Shape())
+	}
+}

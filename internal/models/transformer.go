@@ -1,0 +1,148 @@
+package models
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// TinyFormer is the §7.4 foundation-model extension: a pre-norm transformer
+// encoder (multi-head self-attention + GELU feed-forward blocks with
+// residual connections and LayerNorm) over pre-embedded token vectors,
+// classified by mean pooling. Structure follows BERT/GPT-style encoders at
+// laptop scale; cfg.Depth scales the block count and cfg.Scale the model
+// width.
+func TinyFormer(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	b := newBuilder("tinyformer", cfg)
+
+	const (
+		baseDim   = 256
+		baseSeq   = 32
+		baseHeads = 4
+		ffnMult   = 4
+		blocks    = 4
+	)
+	dim := cfg.ch(baseDim)
+	heads := baseHeads
+	for dim%(4*heads) != 0 && heads > 1 { // head dim must divide the width
+		heads /= 2
+	}
+	headDim := dim / heads
+	seq := baseSeq
+	nBlocks := cfg.reps(blocks)
+
+	in := b.input("tokens", 1, seq, dim)
+	x := in
+	for i := 0; i < nBlocks; i++ {
+		x = b.encoderBlock(x, seq, dim, heads, headDim, ffnMult)
+	}
+	// Final LayerNorm → mean pool over the sequence → classifier head.
+	x = b.layerNorm(x, dim)
+	pool := b.name("pool")
+	b.g.AddNode(pool, graph.OpReduceMean, []string{x}, []string{pool + "_out"},
+		map[string]graph.Attr{"axis": graph.IntAttr(1)})
+	x = pool + "_out"
+
+	fc := b.name("fc")
+	b.g.AddInitializer(fc+"_w", b.weight(dim, dim, cfg.Classes))
+	b.g.AddInitializer(fc+"_b", b.weight(cfg.Classes, cfg.Classes))
+	b.g.AddNode(fc, graph.OpGemm, []string{x, fc + "_w", fc + "_b"}, []string{fc + "_out"}, nil)
+	sm := b.name("softmax")
+	b.g.AddNode(sm, graph.OpSoftmax, []string{fc + "_out"}, []string{"logits"}, nil)
+	b.g.Outputs = []string{"logits"}
+	return b.g
+}
+
+// encoderBlock adds one pre-norm transformer block:
+//
+//	x = x + MHA(LN(x));  x = x + FFN(LN(x))
+func (b *builder) encoderBlock(in string, seq, dim, heads, headDim, ffnMult int) string {
+	// --- multi-head self-attention -----------------------------------------
+	h := b.layerNorm(in, dim)
+	q := b.linear3(h, dim, dim, "q")
+	k := b.linear3(h, dim, dim, "k")
+	v := b.linear3(h, dim, dim, "v")
+
+	// [1,S,D] -> [heads, S, headDim]
+	qh := b.splitHeads(q, seq, heads, headDim)
+	kh := b.splitHeads(k, seq, heads, headDim)
+	vh := b.splitHeads(v, seq, heads, headDim)
+
+	// scores = softmax(Q·Kᵀ / sqrt(dh)) · V
+	sc := b.name("scores")
+	b.g.AddNode(sc, graph.OpBatchMatMul, []string{qh, kh}, []string{sc + "_out"},
+		map[string]graph.Attr{"transB": graph.IntAttr(1)})
+	scaleName := b.name("attnscale")
+	scale := b.weight(1, 1)
+	scale.Data()[0] = 1 / sqrt32(float32(headDim))
+	b.g.AddInitializer(scaleName+"_s", scale)
+	scaled := b.mul(sc+"_out", scaleName+"_s")
+	attn := b.unary(graph.OpSoftmax, scaled)
+	ctxn := b.name("attnctx")
+	b.g.AddNode(ctxn, graph.OpBatchMatMul, []string{attn, vh}, []string{ctxn + "_out"}, nil)
+
+	// [heads, S, headDim] -> [1, S, D] and the output projection.
+	merged := b.mergeHeads(ctxn+"_out", seq, heads, headDim)
+	proj := b.linear3(merged, dim, dim, "proj")
+	x := b.add(in, proj)
+
+	// --- feed-forward -------------------------------------------------------
+	h2 := b.layerNorm(x, dim)
+	up := b.linear3(h2, dim, dim*ffnMult, "ffup")
+	act := b.unary(graph.OpGelu, up)
+	down := b.linear3(act, dim*ffnMult, dim, "ffdown")
+	return b.add(x, down)
+}
+
+// layerNorm adds a LayerNorm over the last axis of width d.
+func (b *builder) layerNorm(in string, d int) string {
+	n := b.name("ln")
+	scale := b.weight(d, d)
+	scale.Fill(1)
+	bias := b.weight(d, d)
+	bias.Scale(0.01)
+	b.g.AddInitializer(n+"_s", scale)
+	b.g.AddInitializer(n+"_b", bias)
+	out := n + "_out"
+	b.g.AddNode(n, graph.OpLayerNorm, []string{in, n + "_s", n + "_b"}, []string{out},
+		map[string]graph.Attr{"epsilon": graph.FloatAttr(1e-5)})
+	return out
+}
+
+// linear3 applies a dense layer to a 3-D activation via broadcast
+// BatchMatMul plus a bias Add.
+func (b *builder) linear3(in string, din, dout int, tag string) string {
+	n := b.name(tag)
+	b.g.AddInitializer(n+"_w", b.weight(din, din, dout))
+	bias := b.weight(dout, dout)
+	bias.Scale(0.01)
+	b.g.AddInitializer(n+"_b", bias)
+	mm := n + "_mm"
+	b.g.AddNode(n, graph.OpBatchMatMul, []string{in, n + "_w"}, []string{mm}, nil)
+	return b.add(mm, n+"_b")
+}
+
+// splitHeads reshapes [1,S,heads*dh] into [heads,S,dh].
+func (b *builder) splitHeads(in string, seq, heads, dh int) string {
+	r1 := b.name("split")
+	b.g.AddNode(r1, graph.OpReshape, []string{in}, []string{r1 + "_out"},
+		map[string]graph.Attr{"shape": graph.IntsAttr(seq, heads, dh)})
+	t := b.name("splitT")
+	b.g.AddNode(t, graph.OpTranspose, []string{r1 + "_out"}, []string{t + "_out"},
+		map[string]graph.Attr{"perm": graph.IntsAttr(1, 0, 2)})
+	return t + "_out"
+}
+
+// mergeHeads reshapes [heads,S,dh] back into [1,S,heads*dh].
+func (b *builder) mergeHeads(in string, seq, heads, dh int) string {
+	t := b.name("mergeT")
+	b.g.AddNode(t, graph.OpTranspose, []string{in}, []string{t + "_out"},
+		map[string]graph.Attr{"perm": graph.IntsAttr(1, 0, 2)})
+	r := b.name("merge")
+	b.g.AddNode(r, graph.OpReshape, []string{t + "_out"}, []string{r + "_out"},
+		map[string]graph.Attr{"shape": graph.IntsAttr(1, seq, heads*dh)})
+	return r + "_out"
+}
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }

@@ -1,0 +1,97 @@
+package models
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+func tinyInput(t *testing.T, seed uint64) *tensor.Tensor {
+	t.Helper()
+	g := MustBuild("tinyformer", Config{})
+	shape := g.Inputs[0].Shape
+	rng := rand.New(rand.NewPCG(seed, 1))
+	in := tensor.New(shape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	return in
+}
+
+func TestTinyFormerForward(t *testing.T) {
+	g := MustBuild("tinyformer", Config{})
+	if _, err := ops.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	for _, op := range []string{"BatchMatMul", "LayerNorm", "Gelu", "Transpose", "Softmax"} {
+		if st.OpCounts[op] == 0 {
+			t.Errorf("tinyformer has no %s operators", op)
+		}
+	}
+	in := tinyInput(t, 1)
+	ex, err := infer.New(g, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ex.Run(map[string]*tensor.Tensor{"tokens": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := out["logits"]
+	if logits == nil || logits.HasNaN() {
+		t.Fatalf("bad logits %v", logits)
+	}
+	var sum float64
+	for _, v := range logits.Data() {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+}
+
+func TestTinyFormerRuntimeEquivalence(t *testing.T) {
+	g := MustBuild("tinyformer", Config{})
+	in := map[string]*tensor.Tensor{"tokens": tinyInput(t, 2)}
+	ref, err := infer.New(g, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []infer.Config{
+		{Runtime: infer.Planned},
+		{Runtime: infer.Planned, BLAS: 3 /* packed */, OptLevel: 1},
+		{BLAS: 2 /* blocked */},
+	} {
+		ex, err := infer.New(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		got, err := ex.Run(in)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		for i := range want["logits"].Data() {
+			d := math.Abs(float64(got["logits"].Data()[i] - want["logits"].Data()[i]))
+			if d > 1e-4 {
+				t.Fatalf("%s deviates by %g", cfg, d)
+			}
+		}
+	}
+}
+
+func TestTinyFormerDepthScaling(t *testing.T) {
+	shallow := MustBuild("tinyformer", Config{Depth: 0.5})
+	deep := MustBuild("tinyformer", Config{Depth: 1})
+	if len(deep.Nodes) <= len(shallow.Nodes) {
+		t.Fatalf("depth scaling broken: %d vs %d nodes", len(deep.Nodes), len(shallow.Nodes))
+	}
+}

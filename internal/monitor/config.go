@@ -1,0 +1,133 @@
+// Package monitor implements the MVTEE monitor TEE (§4.3, §5.2): the
+// security manager that attests, keys and binds variant TEEs (Figure 6), and
+// the MVX execution engine that distributes inputs, synchronizes checkpoints,
+// evaluates consistency, votes, and replicates intermediate results to the
+// next pipeline stage — with the slow/fast-path hybrid (Figure 7), selective
+// MVX, and synchronous or asynchronous cross-validation (Figure 8).
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/check"
+)
+
+// PartitionPlan selects the variants for one partition. One claim means the
+// partition runs a single variant on the fast path; multiple claims activate
+// MVX (slow path) for the partition.
+type PartitionPlan struct {
+	// Variants lists the pool spec names to instantiate for this
+	// partition. Length is the horizontal-scaling factor (§4.3).
+	Variants []string `json:"variants"`
+}
+
+// MVX reports whether the plan activates multi-variant execution.
+func (p PartitionPlan) MVX() bool { return len(p.Variants) > 1 }
+
+// ResponseMode selects the monitor's reaction to a detected divergence.
+type ResponseMode int
+
+// Divergence responses (§2.4: accept an output by vote, halt, or recover).
+const (
+	// Halt stops the pipeline on the first divergence (fail-secure).
+	Halt ResponseMode = iota + 1
+	// DropVariant excludes dissenting variants and continues with the
+	// agreeing majority's output.
+	DropVariant
+	// ReportOnly records the event and continues with the majority output
+	// when one exists.
+	ReportOnly
+)
+
+func (r ResponseMode) String() string {
+	switch r {
+	case Halt:
+		return "halt"
+	case DropVariant:
+		return "drop-variant"
+	case ReportOnly:
+		return "report-only"
+	default:
+		return fmt.Sprintf("ResponseMode(%d)", int(r))
+	}
+}
+
+// MVXConfig is the runtime-provisioned configuration of §4.3: the partition
+// set in use and the variant claims per partition, plus checking and
+// execution policy. It is the JSON document a model owner provisions to the
+// monitor (Figure 6 step 3).
+type MVXConfig struct {
+	// Model names the protected model (informational).
+	Model string `json:"model"`
+	// PartitionSet identifies which offline-generated partition set to
+	// use (index into the bundle's sets).
+	PartitionSet int `json:"partition_set"`
+	// Plans holds one PartitionPlan per partition, in pipeline order.
+	Plans []PartitionPlan `json:"plans"`
+	// Async enables asynchronous cross-validation (Figure 8).
+	Async bool `json:"async,omitempty"`
+	// Vote is the voting strategy; zero means unanimous (§4.3 default).
+	Vote check.Strategy `json:"vote,omitempty"`
+	// Response is the divergence reaction; zero means Halt.
+	Response ResponseMode `json:"response,omitempty"`
+	// Criteria overrides the consistency policy; empty uses the default.
+	Criteria []check.Criterion `json:"criteria,omitempty"`
+}
+
+// ErrConfig reports an invalid MVX configuration.
+var ErrConfig = errors.New("monitor: invalid MVX config")
+
+// Validate checks the configuration.
+func (c *MVXConfig) Validate() error {
+	if len(c.Plans) == 0 {
+		return fmt.Errorf("%w: no partition plans", ErrConfig)
+	}
+	for i, p := range c.Plans {
+		if len(p.Variants) == 0 {
+			return fmt.Errorf("%w: partition %d has no variants", ErrConfig, i)
+		}
+	}
+	if c.Async && c.Vote == check.Unanimous {
+		// Async mode forwards on majority quorum; unanimity is only known
+		// after stragglers arrive, which is exactly the cross-validation
+		// this mode performs. Allowed, but the quorum is majority-based.
+		_ = c
+	}
+	return nil
+}
+
+func (c *MVXConfig) withDefaults() MVXConfig {
+	out := *c
+	if out.Vote == 0 {
+		out.Vote = check.Unanimous
+	}
+	if out.Response == 0 {
+		out.Response = Halt
+	}
+	return out
+}
+
+// Policy resolves the consistency policy.
+func (c *MVXConfig) Policy() check.Policy {
+	if len(c.Criteria) == 0 {
+		return check.DefaultPolicy()
+	}
+	return check.Policy{Criteria: c.Criteria}
+}
+
+// Marshal renders the config as JSON for provisioning.
+func (c *MVXConfig) Marshal() ([]byte, error) { return json.Marshal(c) }
+
+// ParseConfig parses and validates a provisioned MVX configuration.
+func ParseConfig(b []byte) (*MVXConfig, error) {
+	var c MVXConfig
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

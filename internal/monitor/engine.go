@@ -1,0 +1,474 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/tensor"
+)
+
+// StageSpec wires one pipeline stage: its checkpoint interface and the bound
+// variant handles serving it.
+type StageSpec struct {
+	// Inputs and Outputs are the boundary tensor names of the partition.
+	Inputs  []string
+	Outputs []string
+	// Handles are the variants executing this partition. One handle means
+	// fast path; more activate MVX slow path.
+	Handles []*Handle
+}
+
+// EngineConfig assembles an execution engine.
+type EngineConfig struct {
+	// GraphInputs and GraphOutputs name the model-level interface.
+	GraphInputs  []string
+	GraphOutputs []string
+	// Stages in pipeline (topological) order.
+	Stages []StageSpec
+	// Policy is the checkpoint consistency policy.
+	Policy check.Policy
+	// Vote is the final voting strategy; zero means unanimous.
+	Vote check.Strategy
+	// Async enables asynchronous cross-validation (forward on majority
+	// quorum, validate stragglers retroactively).
+	Async bool
+	// Response is the divergence reaction; zero means Halt.
+	Response ResponseMode
+	// MaxInFlight bounds concurrently processed batches (pipeline depth);
+	// zero means 2×stages.
+	MaxInFlight int
+}
+
+// BatchResult is the engine's per-batch outcome.
+type BatchResult struct {
+	ID      uint64
+	Tensors map[string]*tensor.Tensor
+	Err     error
+	// Latency is submission-to-completion time.
+	Latency time.Duration
+}
+
+// EventKind classifies engine events.
+type EventKind int
+
+// Event kinds.
+const (
+	EventDivergence     EventKind = iota + 1 // checkpoint vote failed
+	EventLateDissent                         // async straggler disagreed after forwarding
+	EventVariantDown                         // variant connection lost
+	EventVariantDropped                      // variant excluded by response policy
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventDivergence:
+		return "divergence"
+	case EventLateDissent:
+		return "late-dissent"
+	case EventVariantDown:
+		return "variant-down"
+	case EventVariantDropped:
+		return "variant-dropped"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event records a security-relevant engine occurrence.
+type Event struct {
+	Kind    EventKind
+	Stage   int
+	BatchID uint64
+	// Variants lists the dissenting/affected variant IDs.
+	Variants []string
+	Detail   string
+	Time     time.Time
+}
+
+// Engine executes batches through the partitioned variant pipeline. Create
+// with NewEngine, start with Start, feed with Submit, consume Outputs.
+type Engine struct {
+	cfg    EngineConfig
+	stages []*stage
+
+	routerCh chan routerMsg
+	outCh    chan BatchResult
+	slots    chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	events  []Event
+	failed  error
+	started bool
+}
+
+// batchIDs issues process-unique batch identifiers so results straggling
+// across an engine rebuild (variant updates) can never be confused with a
+// new engine's batches.
+var batchIDs atomic.Uint64
+
+type routerMsg struct {
+	// submit
+	submit  bool
+	id      uint64
+	tensors map[string]*tensor.Tensor
+	start   time.Time
+	// stage completion
+	stageIdx int
+	done     bool
+	outs     map[string]*tensor.Tensor
+	err      error
+	// failure escalation
+	fatal error
+}
+
+type stage struct {
+	idx     int
+	spec    StageSpec
+	workCh  chan stageWork
+	resCh   chan handleResult
+	done    chan struct{}
+	mvxSize int
+}
+
+type stageWork struct {
+	id      uint64
+	tensors map[string]*tensor.Tensor
+}
+
+// ErrEngineStopped is returned by Submit after Stop or a fatal failure.
+var ErrEngineStopped = errors.New("monitor: engine stopped")
+
+// NewEngine validates cfg and builds an engine (not yet running).
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if len(cfg.Stages) == 0 {
+		return nil, fmt.Errorf("%w: no stages", ErrConfig)
+	}
+	for i, s := range cfg.Stages {
+		if len(s.Handles) == 0 {
+			return nil, fmt.Errorf("%w: stage %d has no variants", ErrConfig, i)
+		}
+	}
+	if cfg.Vote == 0 {
+		cfg.Vote = check.Unanimous
+	}
+	if cfg.Response == 0 {
+		cfg.Response = Halt
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 2 * len(cfg.Stages)
+	}
+	if len(cfg.Policy.Criteria) == 0 {
+		cfg.Policy = check.DefaultPolicy()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:      cfg,
+		routerCh: make(chan routerMsg, cfg.MaxInFlight*(len(cfg.Stages)+2)+16),
+		outCh:    make(chan BatchResult, cfg.MaxInFlight+1),
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	for i, s := range cfg.Stages {
+		e.stages = append(e.stages, &stage{
+			idx:     i,
+			spec:    s,
+			workCh:  make(chan stageWork, cfg.MaxInFlight),
+			resCh:   make(chan handleResult, cfg.MaxInFlight*len(s.Handles)+4),
+			done:    make(chan struct{}),
+			mvxSize: len(s.Handles),
+		})
+	}
+	return e, nil
+}
+
+// Start launches the router, stage workers and handle readers.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+
+	for _, s := range e.stages {
+		for _, h := range s.spec.Handles {
+			h := h
+			s := s
+			h.startReader()
+			// Forwarder: moves the handle's results into the stage's merge
+			// channel for this engine's lifetime; the handle-owned reader
+			// survives engine teardown (variant updates).
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				for {
+					select {
+					case <-e.ctx.Done():
+						return
+					case r := <-h.results:
+						select {
+						case s.resCh <- r:
+						case <-e.ctx.Done():
+							return
+						}
+					}
+				}
+			}()
+		}
+		s := s
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.stageWorker(s)
+		}()
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.router()
+	}()
+}
+
+// Stop terminates the engine and shuts down the variants. Pending batches
+// are abandoned.
+func (e *Engine) Stop() {
+	e.StopKeepVariants()
+	for _, s := range e.stages {
+		for _, h := range s.spec.Handles {
+			h.shutdown()
+		}
+	}
+}
+
+// StopKeepVariants terminates the engine's goroutines but leaves the variant
+// TEEs running — the quiesce step of the update flows (§4.3), after which
+// individual variants can be unbound/rebound and a new engine built.
+func (e *Engine) StopKeepVariants() {
+	e.cancel()
+	e.wg.Wait()
+}
+
+// Outputs delivers one BatchResult per submitted batch, in completion order.
+func (e *Engine) Outputs() <-chan BatchResult { return e.outCh }
+
+// Started reports whether Start has been called.
+func (e *Engine) Started() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.started
+}
+
+// Events returns a snapshot of recorded security events.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Event(nil), e.events...)
+}
+
+func (e *Engine) recordEvent(ev Event) {
+	ev.Time = time.Now()
+	e.mu.Lock()
+	e.events = append(e.events, ev)
+	e.mu.Unlock()
+}
+
+// Submit enqueues one batch of model inputs, blocking while the pipeline is
+// at MaxInFlight depth. It returns the assigned batch ID.
+func (e *Engine) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
+	e.mu.Lock()
+	if err := e.failed; err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
+	e.mu.Unlock()
+	id := batchIDs.Add(1)
+
+	select {
+	case e.slots <- struct{}{}:
+	case <-e.ctx.Done():
+		return 0, ErrEngineStopped
+	}
+	select {
+	case e.routerCh <- routerMsg{submit: true, id: id, tensors: inputs, start: time.Now()}:
+		return id, nil
+	case <-e.ctx.Done():
+		return 0, ErrEngineStopped
+	}
+}
+
+// Infer runs one batch synchronously (sequential execution): it submits and
+// waits for that batch's result. Do not mix Infer with concurrent Submit
+// callers consuming Outputs.
+func (e *Engine) Infer(inputs map[string]*tensor.Tensor) (BatchResult, error) {
+	id, err := e.Submit(inputs)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	for {
+		select {
+		case r, ok := <-e.outCh:
+			if !ok {
+				return BatchResult{}, ErrEngineStopped
+			}
+			if r.ID == id {
+				return r, r.Err
+			}
+			// Stale result from an earlier failed batch; keep draining.
+		case <-e.ctx.Done():
+			return BatchResult{}, ErrEngineStopped
+		}
+	}
+}
+
+// --- router --------------------------------------------------------------------
+
+type batchState struct {
+	tensors    map[string]*tensor.Tensor
+	dispatched []bool
+	start      time.Time
+	failed     error
+	delivered  bool
+}
+
+func (e *Engine) router() {
+	batches := make(map[uint64]*batchState)
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case m := <-e.routerCh:
+			switch {
+			case m.fatal != nil:
+				e.mu.Lock()
+				if e.failed == nil {
+					e.failed = m.fatal
+				}
+				e.mu.Unlock()
+				// Fail all in-flight batches.
+				for id, b := range batches {
+					if !b.delivered {
+						b.delivered = true
+						e.deliver(BatchResult{ID: id, Err: m.fatal, Latency: time.Since(b.start)})
+					}
+					delete(batches, id)
+				}
+			case m.submit:
+				b := &batchState{
+					tensors:    make(map[string]*tensor.Tensor, len(m.tensors)+8),
+					dispatched: make([]bool, len(e.stages)),
+					start:      m.start,
+				}
+				for k, v := range m.tensors {
+					b.tensors[k] = v
+				}
+				batches[m.id] = b
+				e.dispatchReady(m.id, b)
+			case m.done:
+				b, ok := batches[m.id]
+				if !ok {
+					break // batch already failed/delivered
+				}
+				if m.err != nil {
+					b.delivered = true
+					e.deliver(BatchResult{ID: m.id, Err: m.err, Latency: time.Since(b.start)})
+					delete(batches, m.id)
+					if e.respMode() == Halt {
+						e.failAll(batches, m.err)
+					}
+					break
+				}
+				for k, v := range m.outs {
+					b.tensors[k] = v
+				}
+				e.dispatchReady(m.id, b)
+				if e.complete(b) {
+					out := make(map[string]*tensor.Tensor, len(e.cfg.GraphOutputs))
+					for _, name := range e.cfg.GraphOutputs {
+						out[name] = b.tensors[name]
+					}
+					b.delivered = true
+					e.deliver(BatchResult{ID: m.id, Tensors: out, Latency: time.Since(b.start)})
+					delete(batches, m.id)
+				}
+			}
+		}
+	}
+}
+
+func (e *Engine) respMode() ResponseMode { return e.cfg.Response }
+
+func (e *Engine) failAll(batches map[uint64]*batchState, cause error) {
+	err := fmt.Errorf("monitor: pipeline halted: %w", cause)
+	e.mu.Lock()
+	if e.failed == nil {
+		e.failed = err
+	}
+	e.mu.Unlock()
+	for id, b := range batches {
+		if !b.delivered {
+			b.delivered = true
+			e.deliver(BatchResult{ID: id, Err: err, Latency: time.Since(b.start)})
+		}
+		delete(batches, id)
+	}
+}
+
+func (e *Engine) deliver(r BatchResult) {
+	select {
+	case e.outCh <- r:
+	case <-e.ctx.Done():
+		return
+	}
+	select {
+	case <-e.slots:
+	default:
+	}
+}
+
+func (e *Engine) complete(b *batchState) bool {
+	for _, name := range e.cfg.GraphOutputs {
+		if _, ok := b.tensors[name]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) dispatchReady(id uint64, b *batchState) {
+	for i, s := range e.stages {
+		if b.dispatched[i] {
+			continue
+		}
+		ready := true
+		for _, in := range s.spec.Inputs {
+			if _, ok := b.tensors[in]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		b.dispatched[i] = true
+		ins := make(map[string]*tensor.Tensor, len(s.spec.Inputs))
+		for _, in := range s.spec.Inputs {
+			ins[in] = b.tensors[in]
+		}
+		select {
+		case s.workCh <- stageWork{id: id, tensors: ins}:
+		case <-e.ctx.Done():
+			return
+		}
+	}
+}

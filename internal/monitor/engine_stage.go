@@ -1,0 +1,266 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// gather accumulates variant results for one (stage, batch) checkpoint.
+type gather struct {
+	id      uint64
+	mask    []bool // handle was live at dispatch
+	arrived []bool
+	results []map[string]*tensor.Tensor // nil = crashed / not arrived
+	errs    []string
+	count   int // arrivals among masked handles
+	want    int // masked handle count
+	// forwarded marks that the async fast-quorum already released the
+	// pipeline for this batch.
+	forwarded bool
+}
+
+func (g *gather) allArrived() bool { return g.count >= g.want }
+
+// voteSlice compacts the masked results for voting; idxMap maps vote index
+// back to handle index.
+func (g *gather) voteSlice() (res []map[string]*tensor.Tensor, idxMap []int) {
+	for i, m := range g.mask {
+		if !m {
+			continue
+		}
+		res = append(res, g.results[i])
+		idxMap = append(idxMap, i)
+	}
+	return res, idxMap
+}
+
+// stageWorker runs one pipeline stage: dispatching batches to the stage's
+// variants and enforcing the slow/fast-path and sync/async checkpoint
+// semantics of §4.3.
+func (e *Engine) stageWorker(s *stage) {
+	defer close(s.done)
+	live := make([]bool, len(s.spec.Handles))
+	liveCount := 0
+	for i, h := range s.spec.Handles {
+		if !h.Dropped() {
+			live[i] = true
+			liveCount++
+		}
+	}
+	gathers := make(map[uint64]*gather)
+
+	markDead := func(idx int, reason string) {
+		if !live[idx] {
+			return
+		}
+		live[idx] = false
+		liveCount--
+		e.recordEvent(Event{
+			Kind: EventVariantDown, Stage: s.idx,
+			Variants: []string{s.spec.Handles[idx].ID()}, Detail: reason,
+		})
+		// Outstanding gathers lose this variant: it arrives as a crash.
+		for _, g := range gathers {
+			if g.mask[idx] && !g.arrived[idx] {
+				g.arrived[idx] = true
+				g.results[idx] = nil
+				g.errs[idx] = reason
+				g.count++
+				e.evaluateGather(s, g, gathers)
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case w := <-s.workCh:
+			// Sync with variants excluded by the DropVariant response.
+			for i, h := range s.spec.Handles {
+				if live[i] && h.Dropped() {
+					live[i] = false
+					liveCount--
+				}
+			}
+			if liveCount == 0 {
+				e.post(routerMsg{done: true, stageIdx: s.idx, id: w.id,
+					err: fmt.Errorf("monitor: stage %d has no live variants", s.idx)})
+				continue
+			}
+			g := &gather{
+				id:      w.id,
+				mask:    append([]bool(nil), live...),
+				arrived: make([]bool, len(live)),
+				results: make([]map[string]*tensor.Tensor, len(live)),
+				errs:    make([]string, len(live)),
+			}
+			for _, m := range g.mask {
+				if m {
+					g.want++
+				}
+			}
+			gathers[w.id] = g
+			batch := &wire.Batch{ID: w.id, Tensors: w.tensors}
+			for i, h := range s.spec.Handles {
+				if !live[i] {
+					continue
+				}
+				if err := h.send(batch); err != nil {
+					markDead(i, err.Error())
+				}
+			}
+			// markDead may already have completed the gather.
+			if gg, ok := gathers[w.id]; ok {
+				e.evaluateGather(s, gg, gathers)
+			}
+		case hr := <-s.resCh:
+			idx := e.handleIndex(s, hr.handle)
+			if idx < 0 {
+				continue
+			}
+			if hr.err != nil {
+				markDead(idx, hr.err.Error())
+				continue
+			}
+			g, ok := gathers[hr.res.ID]
+			if !ok || !g.mask[idx] || g.arrived[idx] {
+				continue // stale, unmasked or duplicate result
+			}
+			g.arrived[idx] = true
+			g.count++
+			if hr.res.Err != "" {
+				g.results[idx] = nil
+				g.errs[idx] = hr.res.Err
+			} else {
+				g.results[idx] = hr.res.Tensors
+			}
+			e.evaluateGather(s, g, gathers)
+		}
+	}
+}
+
+func (e *Engine) handleIndex(s *stage, h *Handle) int {
+	for i, hh := range s.spec.Handles {
+		if hh == h {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *Engine) post(m routerMsg) {
+	select {
+	case e.routerCh <- m:
+	case <-e.ctx.Done():
+	}
+}
+
+// evaluateGather applies the checkpoint decision logic:
+//
+//   - fast path (single variant): forward as soon as the result arrives;
+//   - slow path, sync: wait for all variants, vote, react on divergence;
+//   - slow path, async: forward once a majority quorum agrees, then
+//     cross-validate stragglers retroactively, reacting at the earliest next
+//     checkpoint on late dissent (Figure 8).
+func (e *Engine) evaluateGather(s *stage, g *gather, gathers map[uint64]*gather) {
+	if g.want == 1 {
+		if !g.allArrived() {
+			return
+		}
+		delete(gathers, g.id)
+		res, idxMap := g.voteSlice()
+		if res[0] == nil {
+			e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id,
+				err: fmt.Errorf("monitor: stage %d variant %s failed: %s",
+					s.idx, s.spec.Handles[idxMap[0]].ID(), g.errs[idxMap[0]])})
+			return
+		}
+		e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id, outs: res[0]})
+		return
+	}
+
+	// Async quorum: attempt early forwarding before all variants report.
+	if e.cfg.Async && !g.forwarded && !g.allArrived() {
+		res, _ := g.voteSlice()
+		v, err := check.Vote(res, e.cfg.Policy, check.Majority)
+		if err == nil && v.OK && v.Chosen >= 0 {
+			g.forwarded = true
+			e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id, outs: res[v.Chosen]})
+		}
+		return
+	}
+	if !g.allArrived() {
+		return
+	}
+
+	// Final (full) vote.
+	delete(gathers, g.id)
+	res, idxMap := g.voteSlice()
+	v, err := check.Vote(res, e.cfg.Policy, e.cfg.Vote)
+	if err != nil {
+		e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id,
+			err: fmt.Errorf("monitor: stage %d vote: %w", s.idx, err)})
+		return
+	}
+	if v.OK {
+		if !g.forwarded {
+			e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id, outs: res[v.Chosen]})
+		}
+		return
+	}
+
+	// Divergence.
+	dissenters := make([]string, 0, len(v.Dissenters))
+	var detail []string
+	for _, di := range v.Dissenters {
+		hi := idxMap[di]
+		dissenters = append(dissenters, s.spec.Handles[hi].ID())
+		if g.errs[hi] != "" {
+			detail = append(detail, fmt.Sprintf("%s: %s", s.spec.Handles[hi].ID(), g.errs[hi]))
+		}
+	}
+	kind := EventDivergence
+	if g.forwarded {
+		kind = EventLateDissent
+	}
+	e.recordEvent(Event{
+		Kind: kind, Stage: s.idx, BatchID: g.id,
+		Variants: dissenters, Detail: strings.Join(detail, "; "),
+	})
+
+	switch e.cfg.Response {
+	case Halt:
+		e.post(routerMsg{fatal: fmt.Errorf("monitor: divergence at stage %d batch %d (dissenters %v)",
+			s.idx, g.id, dissenters)})
+	case DropVariant:
+		for _, di := range v.Dissenters {
+			hi := idxMap[di]
+			h := s.spec.Handles[hi]
+			h.drop()
+			e.recordEvent(Event{Kind: EventVariantDropped, Stage: s.idx, BatchID: g.id,
+				Variants: []string{h.ID()}})
+		}
+		e.finishDiverged(s, g, v, res)
+	case ReportOnly:
+		e.finishDiverged(s, g, v, res)
+	}
+}
+
+// finishDiverged completes a diverged batch with the majority output when
+// one exists (recovery), or fails the batch otherwise.
+func (e *Engine) finishDiverged(s *stage, g *gather, v check.Verdict, res []map[string]*tensor.Tensor) {
+	if g.forwarded {
+		return // downstream already has the quorum output
+	}
+	if v.Chosen >= 0 && len(v.Agreeing)*2 > len(res) {
+		e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id, outs: res[v.Chosen]})
+		return
+	}
+	e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id,
+		err: fmt.Errorf("monitor: stage %d batch %d: no agreeing majority", s.idx, g.id)})
+}

@@ -1,0 +1,291 @@
+package monitor
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/enclave"
+	"repro/internal/securechan"
+	"repro/internal/wire"
+)
+
+// Assignment instructs the monitor how to initialize one variant TEE from
+// the pre-established pool (Figure 6 steps 4–7): its identity, partition,
+// variant-specific key, encrypted file set, and the expected second-stage
+// manifest evidence.
+type Assignment struct {
+	VariantID  string
+	Partition  int
+	Spec       string
+	KDK        []byte
+	Manifest   string   // host path of the encrypted second-stage manifest
+	Files      []string // host paths of the encrypted variant files
+	Entrypoint string
+	// Evidence is the expected second-stage manifest digest; the variant's
+	// installation report must match it.
+	Evidence [32]byte
+}
+
+// BindingRecord is one entry of the monitor's append-only binding log
+// (§4.3: partial updates append bindings for auditing).
+type BindingRecord struct {
+	VariantID string
+	Partition int
+	Spec      string
+	Evidence  [32]byte
+	Bound     time.Time
+	Replaced  bool // superseded by a later update
+}
+
+// Monitor is the MVTEE monitor TEE: trust anchor, key distributor and MVX
+// execution manager.
+type Monitor struct {
+	encl     *enclave.Enclave
+	verifier *enclave.Verifier
+
+	mu       sync.Mutex
+	cfg      *MVXConfig
+	keys     map[string][]byte // owner-provisioned pool keys (entry key -> KDK)
+	handles  map[string]*Handle
+	bindings []BindingRecord
+	nonce    []byte // provisioning nonce (anti-replay, echoed in results)
+	engine   *Engine
+}
+
+// New creates a monitor running in encl, trusting the platforms registered
+// in verifier.
+func New(encl *enclave.Enclave, verifier *enclave.Verifier) *Monitor {
+	return &Monitor{encl: encl, verifier: verifier, handles: make(map[string]*Handle)}
+}
+
+// Enclave returns the monitor's enclave (for attestation by the owner).
+func (m *Monitor) Enclave() *enclave.Enclave { return m.encl }
+
+// Provision installs the owner's MVX configuration (Figure 6 step 3). The
+// nonce protects the provisioning round against replay and is echoed in the
+// initialization results.
+func (m *Monitor) Provision(p *wire.Provision) error {
+	cfg, err := ParseConfig(p.Config)
+	if err != nil {
+		return err
+	}
+	if len(p.Nonce) == 0 {
+		return fmt.Errorf("%w: missing provisioning nonce", ErrConfig)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg = cfg
+	m.nonce = append([]byte(nil), p.Nonce...)
+	if p.Keys != nil {
+		m.keys = make(map[string][]byte, len(p.Keys))
+		for k, v := range p.Keys {
+			m.keys[k] = append([]byte(nil), v...)
+		}
+	}
+	return nil
+}
+
+// KeyFor returns the owner-provisioned KDK for a pool entry key, when keys
+// were provisioned over the channel (process-separated deployments).
+func (m *Monitor) KeyFor(entryKey string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k, ok := m.keys[entryKey]
+	return k, ok
+}
+
+// Config returns the provisioned MVX configuration.
+func (m *Monitor) Config() *MVXConfig {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg
+}
+
+// Binding errors.
+var (
+	ErrEvidence  = errors.New("monitor: second-stage evidence mismatch")
+	ErrBindState = errors.New("monitor: unexpected message during binding")
+)
+
+// Bind runs the monitor side of the variant initialization protocol over an
+// established (attested) channel: key distribution (step 5), installation
+// evidence verification (step 6), and binding confirmation (step 7). On
+// success the variant is recorded in the append-only binding log and ready
+// for engine wiring.
+func (m *Monitor) Bind(conn securechan.Conn, a Assignment) (*Handle, error) {
+	if err := wire.Send(conn, &wire.AssignKey{
+		VariantID:  a.VariantID,
+		Partition:  a.Partition,
+		KDK:        a.KDK,
+		ManifestPB: []byte(a.Manifest),
+		Files:      a.Files,
+		Entrypoint: a.Entrypoint,
+	}); err != nil {
+		return nil, fmt.Errorf("monitor: assign key to %s: %w", a.VariantID, err)
+	}
+	msg, err := wire.Recv(conn)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: await installation of %s: %w", a.VariantID, err)
+	}
+	inst, ok := msg.(*wire.Installed)
+	if !ok {
+		if e, isErr := msg.(*wire.Error); isErr {
+			return nil, fmt.Errorf("monitor: variant %s bootstrap: %s", a.VariantID, e.Message)
+		}
+		return nil, fmt.Errorf("%w: got %T", ErrBindState, msg)
+	}
+	if inst.VariantID != a.VariantID {
+		return nil, fmt.Errorf("%w: identity %q != %q", ErrBindState, inst.VariantID, a.VariantID)
+	}
+	if !bytes.Equal(inst.Evidence[:], a.Evidence[:]) {
+		return nil, fmt.Errorf("%w: variant %s", ErrEvidence, a.VariantID)
+	}
+	if err := wire.Send(conn, &wire.Bound{VariantID: a.VariantID}); err != nil {
+		return nil, fmt.Errorf("monitor: confirm binding of %s: %w", a.VariantID, err)
+	}
+
+	h := NewHandle(a.VariantID, a.Partition, a.Spec, conn)
+	h.evidence = inst.Evidence
+	if sc, isSecure := conn.(*securechan.SecureConn); isSecure {
+		h.report = sc.PeerReport()
+	}
+	m.mu.Lock()
+	m.handles[a.VariantID] = h
+	m.bindings = append(m.bindings, BindingRecord{
+		VariantID: a.VariantID, Partition: a.Partition, Spec: a.Spec,
+		Evidence: inst.Evidence, Bound: time.Now(),
+	})
+	m.mu.Unlock()
+	return h, nil
+}
+
+// Bindings returns a copy of the append-only binding log.
+func (m *Monitor) Bindings() []BindingRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]BindingRecord(nil), m.bindings...)
+}
+
+// Nonce returns the provisioning nonce for echoing in initialization results
+// (Figure 6 step 8).
+func (m *Monitor) Nonce() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.nonce...)
+}
+
+// CombinedAttestation performs the user-facing combined attestation of §4.3:
+// the monitor reports on itself and challenges every bound variant with the
+// user's nonce. Call before the engine starts (the control channel is reused
+// for the data plane afterwards).
+func (m *Monitor) CombinedAttestation(nonce []byte) (*attest.Bundle, error) {
+	m.mu.Lock()
+	if m.engine != nil && m.engine.Started() {
+		m.mu.Unlock()
+		return nil, errors.New("monitor: combined attestation must run before the engine starts")
+	}
+	handles := make([]*Handle, 0, len(m.handles))
+	for _, h := range m.handles {
+		handles = append(handles, h)
+	}
+	m.mu.Unlock()
+
+	self, err := attest.Respond(m.encl, nonce, "monitor")
+	if err != nil {
+		return nil, fmt.Errorf("monitor: self attestation: %w", err)
+	}
+	b := &attest.Bundle{Monitor: self, Variants: make(map[string]*enclave.Report, len(handles))}
+	for _, h := range handles {
+		if err := wire.Send(h.conn, &wire.AttestReq{Nonce: nonce, Context: "variant/" + h.ID()}); err != nil {
+			return nil, fmt.Errorf("monitor: challenge %s: %w", h.ID(), err)
+		}
+		msg, err := wire.Recv(h.conn)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: attest %s: %w", h.ID(), err)
+		}
+		resp, ok := msg.(*wire.AttestResp)
+		if !ok {
+			return nil, fmt.Errorf("%w: got %T", ErrBindState, msg)
+		}
+		rep, err := enclave.UnmarshalReport(resp.Report)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: attest %s: %w", h.ID(), err)
+		}
+		if err := attest.Check(m.verifier, rep, nonce, "variant/"+h.ID(), nil); err != nil {
+			return nil, fmt.Errorf("monitor: attest %s: %w", h.ID(), err)
+		}
+		b.Variants[h.ID()] = rep
+	}
+	return b, nil
+}
+
+// BuildEngine wires the bound handles into an execution engine according to
+// the provisioned configuration and the partition boundary interfaces.
+// stages[i] must carry the boundary names for partition i; its Handles field
+// is filled in here from the binding log.
+func (m *Monitor) BuildEngine(graphInputs, graphOutputs []string, stages []StageSpec) (*Engine, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg == nil {
+		return nil, fmt.Errorf("%w: not provisioned", ErrConfig)
+	}
+	if len(stages) != len(m.cfg.Plans) {
+		return nil, fmt.Errorf("%w: %d stages vs %d plans", ErrConfig, len(stages), len(m.cfg.Plans))
+	}
+	for i := range stages {
+		stages[i].Handles = nil
+	}
+	for _, h := range m.handles {
+		if h.Dropped() {
+			continue
+		}
+		if h.Partition() < 0 || h.Partition() >= len(stages) {
+			return nil, fmt.Errorf("%w: handle %s bound to partition %d", ErrConfig, h.ID(), h.Partition())
+		}
+		stages[h.Partition()].Handles = append(stages[h.Partition()].Handles, h)
+	}
+	cfg := m.cfg.withDefaults()
+	eng, err := NewEngine(EngineConfig{
+		GraphInputs:  graphInputs,
+		GraphOutputs: graphOutputs,
+		Stages:       stages,
+		Policy:       m.cfg.Policy(),
+		Vote:         cfg.Vote,
+		Async:        cfg.Async,
+		Response:     cfg.Response,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.engine = eng
+	return eng, nil
+}
+
+// Unbind marks a variant's binding record replaced (partial updates) and
+// forgets its handle. The record itself stays in the log.
+func (m *Monitor) Unbind(variantID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.handles[variantID]; ok {
+		h.shutdown()
+		delete(m.handles, variantID)
+	}
+	for i := range m.bindings {
+		if m.bindings[i].VariantID == variantID && !m.bindings[i].Replaced {
+			m.bindings[i].Replaced = true
+		}
+	}
+	m.engine = nil // engine must be rebuilt after membership changes
+}
+
+// ResetEngine detaches the current engine so a new one can be built after
+// updates.
+func (m *Monitor) ResetEngine() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.engine = nil
+}

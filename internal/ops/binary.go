@@ -1,0 +1,176 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// addKernel sums all inputs element-wise with channel broadcasting. Add is
+// variadic (>=2 inputs) to support the commutative-reorder and dummy-operator
+// diversification transforms; the result is independent of input order up to
+// floating-point association.
+func addKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return foldKernel(inputs, 2, func(a, b float32) float32 { return a + b })
+}
+
+func mulKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != 2 {
+		return nil, fmt.Errorf("mul wants 2 inputs, got %d", len(inputs))
+	}
+	return foldKernel(inputs, 2, func(a, b float32) float32 { return a * b })
+}
+
+// foldKernel reduces inputs with f, cloning the largest-shape input as the
+// accumulator so broadcasting works regardless of argument order.
+func foldKernel(inputs []*tensor.Tensor, minIn int, f func(a, b float32) float32) ([]*tensor.Tensor, error) {
+	if len(inputs) < minIn {
+		return nil, fmt.Errorf("op wants >=%d inputs, got %d", minIn, len(inputs))
+	}
+	fullIdx := 0
+	for i, in := range inputs[1:] {
+		if in.Size() > inputs[fullIdx].Size() ||
+			(in.Size() == inputs[fullIdx].Size() && in.Dims() > inputs[fullIdx].Dims()) {
+			fullIdx = i + 1
+		}
+	}
+	out := inputs[fullIdx].Clone()
+	for i, in := range inputs {
+		if i == fullIdx {
+			continue
+		}
+		if err := broadcastApply(out, in, f); err != nil {
+			return nil, err
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// broadcastApply folds b into acc element-wise using f, broadcasting b when
+// it has shape [N,C,1,1], [1,C,1,1], [C] or [1] against acc [N,C,H,W].
+func broadcastApply(acc, b *tensor.Tensor, f func(a, b float32) float32) error {
+	ad, bd := acc.Data(), b.Data()
+	if acc.SameShape(b) {
+		for i := range ad {
+			ad[i] = f(ad[i], bd[i])
+		}
+		return nil
+	}
+	if b.Size() == 1 {
+		v := bd[0]
+		for i := range ad {
+			ad[i] = f(ad[i], v)
+		}
+		return nil
+	}
+	if b.Size() == acc.Size() {
+		// Same volume, different rank (e.g. [16] vs [1,16]): identical
+		// row-major layout, fold element-wise.
+		for i := range ad {
+			ad[i] = f(ad[i], bd[i])
+		}
+		return nil
+	}
+	if acc.Dims() == 3 {
+		d := acc.Dim(2)
+		if (b.Dims() == 1 && b.Dim(0) == d) ||
+			(b.Dims() == 3 && b.Dim(0) == 1 && b.Dim(1) == 1 && b.Dim(2) == d) {
+			rows := acc.Size() / d
+			for r := 0; r < rows; r++ {
+				row := ad[r*d : (r+1)*d]
+				for i := range row {
+					row[i] = f(row[i], bd[i])
+				}
+			}
+			return nil
+		}
+	}
+	if acc.Dims() == 2 {
+		n, m := acc.Dim(0), acc.Dim(1)
+		if (b.Dims() == 1 && b.Dim(0) == m) ||
+			(b.Dims() == 2 && b.Dim(0) == 1 && b.Dim(1) == m) {
+			for r := 0; r < n; r++ {
+				row := ad[r*m : (r+1)*m]
+				for i := range row {
+					row[i] = f(row[i], bd[i])
+				}
+			}
+			return nil
+		}
+	}
+	if acc.Dims() == 4 {
+		nb, c, h, w := acc.Dim(0), acc.Dim(1), acc.Dim(2), acc.Dim(3)
+		spatial := h * w
+		switch {
+		case b.Dims() == 4 && b.Dim(0) == nb && b.Dim(1) == c && b.Dim(2) == 1 && b.Dim(3) == 1:
+			for bc := 0; bc < nb*c; bc++ {
+				v := bd[bc]
+				seg := ad[bc*spatial : (bc+1)*spatial]
+				for i := range seg {
+					seg[i] = f(seg[i], v)
+				}
+			}
+			return nil
+		case (b.Dims() == 1 && b.Dim(0) == c) ||
+			(b.Dims() == 4 && b.Dim(0) == 1 && b.Dim(1) == c && b.Dim(2) == 1 && b.Dim(3) == 1):
+			for bc := 0; bc < nb*c; bc++ {
+				v := bd[bc%c]
+				seg := ad[bc*spatial : (bc+1)*spatial]
+				for i := range seg {
+					seg[i] = f(seg[i], v)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("broadcast: unsupported shapes %v and %v", acc.Shape(), b.Shape())
+}
+
+func concatKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) < 2 {
+		return nil, fmt.Errorf("concat wants >=2 inputs, got %d", len(inputs))
+	}
+	axis := n.Int("axis", 1)
+	rank := inputs[0].Dims()
+	if axis < 0 || axis >= rank {
+		return nil, fmt.Errorf("concat axis %d out of range for rank %d", axis, rank)
+	}
+	outShape := inputs[0].Shape()
+	for _, in := range inputs[1:] {
+		if in.Dims() != rank {
+			return nil, fmt.Errorf("concat rank mismatch: %v vs %v", inputs[0].Shape(), in.Shape())
+		}
+		for d := 0; d < rank; d++ {
+			if d == axis {
+				continue
+			}
+			if in.Dim(d) != outShape[d] {
+				return nil, fmt.Errorf("concat dim %d mismatch: %v vs %v", d, outShape, in.Shape())
+			}
+		}
+		outShape[axis] += in.Dim(axis)
+	}
+	out := tensor.New(outShape...)
+	od := out.Data()
+
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= outShape[d]
+	}
+	inner := 1
+	for d := axis + 1; d < rank; d++ {
+		inner *= outShape[d]
+	}
+	outRow := outShape[axis] * inner
+	off := 0
+	for _, in := range inputs {
+		id := in.Data()
+		chunk := in.Dim(axis) * inner
+		for o := 0; o < outer; o++ {
+			copy(od[o*outRow+off:o*outRow+off+chunk], id[o*chunk:(o+1)*chunk])
+		}
+		off += chunk
+	}
+	return []*tensor.Tensor{out}, nil
+}

@@ -1,0 +1,82 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// BenchmarkConv compares the convolution kernel variants (direct vs im2col ×
+// BLAS backend) — the dominant cost of every model in the zoo.
+func BenchmarkConv(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	x := randT(rng, 1, 32, 16, 16)
+	w := randT(rng, 32, 32, 3, 3)
+	bias := randT(rng, 32)
+	n := &graph.Node{Name: "c", Op: graph.OpConv, Inputs: []string{"x", "w", "b"},
+		Outputs: []string{"y"}, Attrs: map[string]graph.Attr{"pad": graph.IntAttr(1)}}
+	reg := NewRegistry()
+	cases := []struct {
+		name string
+		ctx  *Context
+	}{
+		{"direct", &Context{ConvAlgo: ConvDirect}},
+		{"im2col-naive", &Context{ConvAlgo: ConvIm2Col, BLAS: blas.MustNew(blas.Naive)}},
+		{"im2col-blocked", &Context{ConvAlgo: ConvIm2Col, BLAS: blas.MustNew(blas.Blocked)}},
+		{"im2col-packed", &Context{ConvAlgo: ConvIm2Col, BLAS: blas.MustNew(blas.Packed)}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Run(c.ctx, n, []*tensor.Tensor{x, w, bias}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchNorm measures the fused-affine BatchNorm kernel.
+func BenchmarkBatchNorm(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	x := randT(rng, 1, 64, 16, 16)
+	p := make([]*tensor.Tensor, 4)
+	for i := range p {
+		p[i] = randT(rng, 64)
+		p[i].Apply(func(v float32) float32 { return v*v + 0.5 }) // positive variance
+	}
+	n := &graph.Node{Name: "bn", Op: graph.OpBatchNorm,
+		Inputs: []string{"x", "s", "b", "m", "v"}, Outputs: []string{"y"}}
+	reg := NewRegistry()
+	ctx := &Context{}
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Run(ctx, n, append([]*tensor.Tensor{x}, p...)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvParallelism shows intra-op scaling (single-core hosts see no
+// gain; the paper's testbed does).
+func BenchmarkConvParallelism(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	x := randT(rng, 1, 32, 16, 16)
+	w := randT(rng, 64, 32, 3, 3)
+	n := &graph.Node{Name: "c", Op: graph.OpConv, Inputs: []string{"x", "w"},
+		Outputs: []string{"y"}, Attrs: map[string]graph.Attr{"pad": graph.IntAttr(1)}}
+	reg := NewRegistry()
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			ctx := &Context{Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Run(ctx, n, []*tensor.Tensor{x, w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,549 @@
+package ops
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func run(t *testing.T, ctx *Context, op string, attrs map[string]graph.Attr, ins ...*tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	reg := NewRegistry()
+	names := make([]string, len(ins))
+	for i := range names {
+		names[i] = "x"
+	}
+	n := &graph.Node{Name: "n", Op: op, Inputs: names, Outputs: []string{"y"}, Attrs: attrs}
+	outs, err := reg.Run(ctx, n, ins)
+	if err != nil {
+		t.Fatalf("%s: %v", op, err)
+	}
+	return outs[0]
+}
+
+func randT(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data() {
+		x.Data()[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+func closeTo(a, b *tensor.Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data() {
+		if math.Abs(float64(a.Data()[i])-float64(b.Data()[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// --- convolution ----------------------------------------------------------------
+
+func TestConvKnownValues(t *testing.T) {
+	// 1x1x3x3 input, single 2x2 kernel of ones, stride 1, no pad:
+	// windows sum to 8, 12, 20, 24.
+	x := tensor.MustFromSlice([]float32{0, 1, 2, 3, 4, 5, 6, 7, 8}, 1, 1, 3, 3)
+	w := tensor.MustFromSlice([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	b := tensor.New(1)
+	out := run(t, &Context{}, graph.OpConv, map[string]graph.Attr{"stride": graph.IntAttr(1)}, x, w, b)
+	want := []float32{8, 12, 20, 24}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("conv[%d] = %v, want %v (all %v)", i, out.Data()[i], v, out.Data())
+		}
+	}
+}
+
+func TestConvPaddingAndStride(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	w := tensor.MustFromSlice([]float32{1}, 1, 1, 1, 1)
+	out := run(t, &Context{}, graph.OpConv, map[string]graph.Attr{
+		"stride": graph.IntAttr(2), "pad": graph.IntAttr(1),
+	}, x, w, tensor.New(1))
+	// 2x2 input padded to 4x4, 1x1 kernel stride 2 -> 2x2 output sampling
+	// positions (0,0),(0,2),(2,0),(2,2) = pad,pad,pad,x[1][1].
+	want := []float32{0, 0, 0, 1}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("out = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestConvBias(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{2}, 1, 1, 1, 1)
+	w := tensor.MustFromSlice([]float32{3}, 1, 1, 1, 1)
+	b := tensor.MustFromSlice([]float32{10}, 1)
+	out := run(t, &Context{}, graph.OpConv, nil, x, w, b)
+	if out.Data()[0] != 16 {
+		t.Fatalf("conv+bias = %v, want 16", out.Data()[0])
+	}
+}
+
+func TestConvDirectVsIm2ColAllBackends(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	x := randT(rng, 2, 6, 9, 9)
+	w := randT(rng, 8, 6, 3, 3)
+	b := randT(rng, 8)
+	attrs := map[string]graph.Attr{"stride": graph.IntAttr(2), "pad": graph.IntAttr(1)}
+	ref := run(t, &Context{ConvAlgo: ConvDirect}, graph.OpConv, attrs, x, w, b)
+	for _, kind := range blas.Kinds() {
+		ctx := &Context{ConvAlgo: ConvIm2Col, BLAS: blas.MustNew(kind)}
+		got := run(t, ctx, graph.OpConv, attrs, x, w, b)
+		if !closeTo(ref, got, 1e-3) {
+			t.Errorf("im2col/%v deviates from direct conv", kind)
+		}
+	}
+}
+
+func TestConvGrouped(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	x := randT(rng, 1, 4, 5, 5)
+	w := randT(rng, 4, 2, 3, 3) // groups=2: cin/g = 2
+	attrs := map[string]graph.Attr{"pad": graph.IntAttr(1), "group": graph.IntAttr(2)}
+	direct := run(t, &Context{ConvAlgo: ConvDirect}, graph.OpConv, attrs, x, w)
+	im2col := run(t, &Context{ConvAlgo: ConvIm2Col}, graph.OpConv, attrs, x, w)
+	if !closeTo(direct, im2col, 1e-3) {
+		t.Fatal("grouped conv: direct vs im2col mismatch")
+	}
+}
+
+func TestDepthwiseConvEqualsGroupedConv(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	x := randT(rng, 1, 3, 5, 5)
+	w := randT(rng, 3, 1, 3, 3)
+	dw := run(t, &Context{}, graph.OpDepthwiseConv, map[string]graph.Attr{"pad": graph.IntAttr(1)}, x, w)
+	grouped := run(t, &Context{}, graph.OpConv, map[string]graph.Attr{
+		"pad": graph.IntAttr(1), "group": graph.IntAttr(3),
+	}, x, w)
+	if !closeTo(dw, grouped, 1e-5) {
+		t.Fatal("depthwise != grouped conv with g=C")
+	}
+}
+
+func TestConvParallelismEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	x := randT(rng, 2, 8, 7, 7)
+	w := randT(rng, 16, 8, 3, 3)
+	attrs := map[string]graph.Attr{"pad": graph.IntAttr(1)}
+	seq := run(t, &Context{Parallelism: 1}, graph.OpConv, attrs, x, w)
+	par := run(t, &Context{Parallelism: 8}, graph.OpConv, attrs, x, w)
+	if !closeTo(seq, par, 0) {
+		t.Fatal("parallel conv must be bitwise identical to sequential")
+	}
+}
+
+func TestConvFusedActivationAttr(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{-1}, 1, 1, 1, 1)
+	w := tensor.MustFromSlice([]float32{1}, 1, 1, 1, 1)
+	out := run(t, &Context{}, graph.OpConv, map[string]graph.Attr{
+		"activation": graph.StringAttr("relu"),
+	}, x, w)
+	if out.Data()[0] != 0 {
+		t.Fatalf("fused relu: got %v, want 0", out.Data()[0])
+	}
+	out6 := run(t, &Context{}, graph.OpConv, map[string]graph.Attr{
+		"activation": graph.StringAttr("relu6"),
+	}, tensor.MustFromSlice([]float32{10}, 1, 1, 1, 1), w)
+	if out6.Data()[0] != 6 {
+		t.Fatalf("fused relu6: got %v, want 6", out6.Data()[0])
+	}
+}
+
+// --- pooling --------------------------------------------------------------------
+
+func TestMaxPool(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 1, 3, 3)
+	out := run(t, &Context{}, graph.OpMaxPool, map[string]graph.Attr{
+		"kernel": graph.IntAttr(2), "stride": graph.IntAttr(1),
+	}, x)
+	want := []float32{5, 6, 8, 9}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("maxpool = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestAvgPoolExcludesPadding(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{4, 4, 4, 4}, 1, 1, 2, 2)
+	out := run(t, &Context{}, graph.OpAvgPool, map[string]graph.Attr{
+		"kernel": graph.IntAttr(2), "stride": graph.IntAttr(2), "pad": graph.IntAttr(1),
+	}, x)
+	// Each 2x2 window at the corners covers exactly one real element (pad
+	// excluded from the count), so every output is 4.
+	for i, v := range out.Data() {
+		if v != 4 {
+			t.Fatalf("avgpool[%d] = %v, want 4 (count must exclude padding)", i, v)
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4, 10, 10, 10, 10}, 1, 2, 2, 2)
+	out := run(t, &Context{}, graph.OpGlobalAvgPool, nil, x)
+	if out.Data()[0] != 2.5 || out.Data()[1] != 10 {
+		t.Fatalf("gap = %v", out.Data())
+	}
+	if out.Dim(2) != 1 || out.Dim(3) != 1 {
+		t.Fatalf("gap shape = %v", out.Shape())
+	}
+}
+
+func TestPad(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	out := run(t, &Context{}, graph.OpPad, map[string]graph.Attr{
+		"pads": graph.IntsAttr(1, 0, 0, 1),
+	}, x)
+	if out.Dim(2) != 3 || out.Dim(3) != 3 {
+		t.Fatalf("pad shape = %v", out.Shape())
+	}
+	want := []float32{0, 0, 0, 1, 2, 0, 3, 4, 0}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("pad = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+// --- linear ---------------------------------------------------------------------
+
+func TestGemmWithBias(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2}, 1, 2)
+	w := tensor.MustFromSlice([]float32{3, 4, 5, 6}, 2, 2)
+	b := tensor.MustFromSlice([]float32{10, 20}, 2)
+	out := run(t, &Context{}, graph.OpGemm, nil, x, w, b)
+	// [1 2]·[[3 4][5 6]] = [13 16]; + bias = [23 36]
+	if out.Data()[0] != 23 || out.Data()[1] != 36 {
+		t.Fatalf("gemm = %v", out.Data())
+	}
+}
+
+func TestMatMulShapeError(t *testing.T) {
+	reg := NewRegistry()
+	n := &graph.Node{Name: "m", Op: graph.OpMatMul, Inputs: []string{"a", "b"}, Outputs: []string{"y"}}
+	_, err := reg.Run(&Context{}, n, []*tensor.Tensor{tensor.New(2, 3), tensor.New(4, 2)})
+	if err == nil {
+		t.Fatal("expected inner-dim mismatch error")
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 1, 2, 1, 2)
+	scale := tensor.MustFromSlice([]float32{2, 1}, 2)
+	bias := tensor.MustFromSlice([]float32{0, 5}, 2)
+	mean := tensor.MustFromSlice([]float32{1, 0}, 2)
+	variance := tensor.MustFromSlice([]float32{4, 1}, 2)
+	out := run(t, &Context{}, graph.OpBatchNorm, map[string]graph.Attr{
+		"epsilon": graph.FloatAttr(0),
+	}, x, scale, bias, mean, variance)
+	// ch0: 2*(x-1)/2 = x-1 -> 0,1 ; ch1: (x-0)/1 + 5 -> 8,9
+	want := []float32{0, 1, 8, 9}
+	for i, v := range want {
+		if math.Abs(float64(out.Data()[i]-v)) > 1e-5 {
+			t.Fatalf("bn = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	x := randT(rng, 3, 7)
+	out := run(t, &Context{}, graph.OpSoftmax, nil, x)
+	for r := 0; r < 3; r++ {
+		var s float64
+		for c := 0; c < 7; c++ {
+			v := out.At(r, c)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1000, 1000}, 1, 2)
+	out := run(t, &Context{}, graph.OpSoftmax, nil, x)
+	if out.HasNaN() {
+		t.Fatal("softmax overflowed on large inputs")
+	}
+	if math.Abs(float64(out.Data()[0])-0.5) > 1e-5 {
+		t.Fatalf("softmax = %v, want 0.5", out.Data())
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	x := tensor.New(2, 3, 4)
+	out := run(t, &Context{}, graph.OpFlatten, nil, x)
+	if out.Dim(0) != 2 || out.Dim(1) != 12 {
+		t.Fatalf("flatten shape = %v", out.Shape())
+	}
+}
+
+// --- elementwise & binary ---------------------------------------------------------
+
+func TestActivations(t *testing.T) {
+	cases := []struct {
+		op   string
+		in   float32
+		want float32
+	}{
+		{graph.OpRelu, -2, 0}, {graph.OpRelu, 3, 3},
+		{graph.OpRelu6, 10, 6}, {graph.OpRelu6, -1, 0}, {graph.OpRelu6, 4, 4},
+		{graph.OpHardSigmoid, -10, 0}, {graph.OpHardSigmoid, 10, 1}, {graph.OpHardSigmoid, 0, 0.5},
+		{graph.OpHardSwish, 10, 10}, {graph.OpHardSwish, -10, 0},
+		{graph.OpIdentity, 1.25, 1.25},
+	}
+	for _, c := range cases {
+		out := run(t, &Context{}, c.op, nil, tensor.MustFromSlice([]float32{c.in}, 1))
+		if math.Abs(float64(out.Data()[0]-c.want)) > 1e-6 {
+			t.Errorf("%s(%v) = %v, want %v", c.op, c.in, out.Data()[0], c.want)
+		}
+	}
+	sig := run(t, &Context{}, graph.OpSigmoid, nil, tensor.MustFromSlice([]float32{0}, 1))
+	if sig.Data()[0] != 0.5 {
+		t.Errorf("sigmoid(0) = %v", sig.Data()[0])
+	}
+}
+
+func TestAddVariadicAndOrderIndependent(t *testing.T) {
+	a := tensor.MustFromSlice([]float32{1, 2}, 1, 2)
+	b := tensor.MustFromSlice([]float32{10, 20}, 1, 2)
+	c := tensor.MustFromSlice([]float32{100}, 1)
+	out1 := run(t, &Context{}, graph.OpAdd, nil, a, b, c)
+	out2 := run(t, &Context{}, graph.OpAdd, nil, c, b, a) // scalar first (reordered)
+	want := []float32{111, 122}
+	for i, v := range want {
+		if out1.Data()[i] != v || out2.Data()[i] != v {
+			t.Fatalf("add = %v / %v, want %v", out1.Data(), out2.Data(), want)
+		}
+	}
+}
+
+func TestMulChannelBroadcast(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8}, 1, 2, 2, 2)
+	s := tensor.MustFromSlice([]float32{2, 10}, 1, 2, 1, 1)
+	out := run(t, &Context{}, graph.OpMul, nil, x, s)
+	want := []float32{2, 4, 6, 8, 50, 60, 70, 80}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("mul = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestAddChannelVectorBroadcast(t *testing.T) {
+	x := tensor.New(1, 2, 2, 2)
+	bias := tensor.MustFromSlice([]float32{1, 5}, 2)
+	out := run(t, &Context{}, graph.OpAdd, nil, x, bias)
+	want := []float32{1, 1, 1, 1, 5, 5, 5, 5}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("add[C] = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestBroadcastUnsupported(t *testing.T) {
+	reg := NewRegistry()
+	n := &graph.Node{Name: "a", Op: graph.OpAdd, Inputs: []string{"x", "y"}, Outputs: []string{"z"}}
+	_, err := reg.Run(&Context{}, n, []*tensor.Tensor{tensor.New(1, 2, 3, 3), tensor.New(1, 5, 1, 1)})
+	if err == nil {
+		t.Fatal("expected broadcast error for mismatched channels")
+	}
+}
+
+func TestConcatAxis1(t *testing.T) {
+	a := tensor.MustFromSlice([]float32{1, 2}, 1, 1, 1, 2)
+	b := tensor.MustFromSlice([]float32{3, 4, 5, 6}, 1, 2, 1, 2)
+	out := run(t, &Context{}, graph.OpConcat, map[string]graph.Attr{"axis": graph.IntAttr(1)}, a, b)
+	want := []float32{1, 2, 3, 4, 5, 6}
+	if out.Dim(1) != 3 {
+		t.Fatalf("concat shape = %v", out.Shape())
+	}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("concat = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestConcatMismatch(t *testing.T) {
+	reg := NewRegistry()
+	n := &graph.Node{Name: "c", Op: graph.OpConcat, Inputs: []string{"a", "b"}, Outputs: []string{"y"},
+		Attrs: map[string]graph.Attr{"axis": graph.IntAttr(1)}}
+	_, err := reg.Run(&Context{}, n, []*tensor.Tensor{tensor.New(1, 2, 2, 2), tensor.New(1, 2, 3, 2)})
+	if err == nil {
+		t.Fatal("expected concat dim mismatch error")
+	}
+}
+
+// --- registry & policy ------------------------------------------------------------
+
+func TestRegistryUnknownOp(t *testing.T) {
+	reg := NewRegistry()
+	n := &graph.Node{Name: "u", Op: "Nonsense", Outputs: []string{"y"}}
+	if _, err := reg.Run(&Context{}, n, nil); err == nil {
+		t.Fatal("expected unknown-op error")
+	}
+}
+
+func TestCheckFinitePolicy(t *testing.T) {
+	reg := NewRegistry()
+	x := tensor.MustFromSlice([]float32{float32(math.NaN())}, 1)
+	n := &graph.Node{Name: "i", Op: graph.OpIdentity, Inputs: []string{"x"}, Outputs: []string{"y"}}
+	if _, err := reg.Run(&Context{CheckFinite: true}, n, []*tensor.Tensor{x}); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("got %v, want ErrNonFinite", err)
+	}
+	if _, err := reg.Run(&Context{}, n, []*tensor.Tensor{x}); err != nil {
+		t.Fatalf("without CheckFinite NaN should pass through: %v", err)
+	}
+}
+
+func TestRegistryClone(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Clone()
+	c["Custom"] = identityKernel
+	if _, ok := reg["Custom"]; ok {
+		t.Fatal("Clone must not alias the original map")
+	}
+}
+
+// --- shape inference ---------------------------------------------------------------
+
+// TestQuickConvShapeInferenceMatchesExecution property-tests that static
+// shape inference agrees with actual kernel output shapes for convolution
+// configurations.
+func TestQuickConvShapeInferenceMatchesExecution(t *testing.T) {
+	f := func(seed uint64, hw, kk, ss, pp uint8) bool {
+		h := int(hw%12) + 3
+		k := int(kk%3) + 1
+		s := int(ss%2) + 1
+		p := int(pp % 2)
+		if (h+2*p-k)/s+1 <= 0 {
+			return true // collapsed configs rejected elsewhere
+		}
+		rng := rand.New(rand.NewPCG(seed, 11))
+		g := graph.New("t")
+		g.Inputs = []graph.ValueInfo{{Name: "x", Shape: []int{1, 2, h, h}}}
+		g.AddInitializer("w", randT(rng, 3, 2, k, k))
+		g.AddNode("c", graph.OpConv, []string{"x", "w"}, []string{"y"}, map[string]graph.Attr{
+			"stride": graph.IntAttr(s), "pad": graph.IntAttr(p),
+		})
+		g.Outputs = []string{"y"}
+		shapes, err := InferShapes(g)
+		if err != nil {
+			return false
+		}
+		reg := NewRegistry()
+		x := randT(rng, 1, 2, h, h)
+		outs, err := reg.Run(&Context{}, g.Nodes[0], []*tensor.Tensor{x, g.Initializers["w"]})
+		if err != nil {
+			return false
+		}
+		got := outs[0].Shape()
+		want := shapes["y"]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferShapesErrors(t *testing.T) {
+	g := graph.New("bad")
+	g.Inputs = []graph.ValueInfo{{Name: "x"}} // no shape
+	g.Outputs = nil
+	if _, err := InferShapes(g); err == nil {
+		t.Fatal("expected error for shapeless input")
+	}
+
+	g2 := graph.New("collapse")
+	g2.Inputs = []graph.ValueInfo{{Name: "x", Shape: []int{1, 1, 2, 2}}}
+	g2.AddInitializer("w", tensor.New(1, 1, 5, 5))
+	g2.AddNode("c", graph.OpConv, []string{"x", "w"}, []string{"y"}, nil)
+	g2.Outputs = []string{"y"}
+	if _, err := InferShapes(g2); err == nil {
+		t.Fatal("expected error for collapsed conv output")
+	}
+}
+
+func TestConvWinogradMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	cases := []struct{ nb, cin, cout, h, w, pad int }{
+		{1, 3, 8, 8, 8, 1},
+		{2, 4, 4, 9, 7, 1}, // odd spatial dims exercise edge tiles
+		{1, 2, 3, 5, 5, 0},
+		{1, 1, 1, 4, 4, 1},
+	}
+	for _, c := range cases {
+		x := randT(rng, c.nb, c.cin, c.h, c.w)
+		w := randT(rng, c.cout, c.cin, 3, 3)
+		bias := randT(rng, c.cout)
+		attrs := map[string]graph.Attr{"pad": graph.IntAttr(c.pad)}
+		want := run(t, &Context{ConvAlgo: ConvDirect}, graph.OpConv, attrs, x, w, bias)
+		got := run(t, &Context{ConvAlgo: ConvWinograd}, graph.OpConv, attrs, x, w, bias)
+		if !closeTo(want, got, 1e-3) {
+			t.Errorf("winograd deviates from direct for %+v", c)
+		}
+	}
+}
+
+func TestConvWinogradFallback(t *testing.T) {
+	// Off-shape convs (5x5, stride 2, grouped) silently use the direct path.
+	rng := rand.New(rand.NewPCG(10, 10))
+	x := randT(rng, 1, 4, 9, 9)
+	w5 := randT(rng, 4, 4, 5, 5)
+	attrs := map[string]graph.Attr{"pad": graph.IntAttr(2)}
+	want := run(t, &Context{ConvAlgo: ConvDirect}, graph.OpConv, attrs, x, w5)
+	got := run(t, &Context{ConvAlgo: ConvWinograd}, graph.OpConv, attrs, x, w5)
+	if !closeTo(want, got, 0) {
+		t.Error("fallback path must be bitwise identical to direct")
+	}
+	w3 := randT(rng, 4, 4, 3, 3)
+	strided := map[string]graph.Attr{"pad": graph.IntAttr(1), "stride": graph.IntAttr(2)}
+	want = run(t, &Context{ConvAlgo: ConvDirect}, graph.OpConv, strided, x, w3)
+	got = run(t, &Context{ConvAlgo: ConvWinograd}, graph.OpConv, strided, x, w3)
+	if !closeTo(want, got, 0) {
+		t.Error("strided fallback must be bitwise identical to direct")
+	}
+}
+
+func TestConvWinogradFusedActivation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	x := randT(rng, 1, 2, 6, 6)
+	w := randT(rng, 2, 2, 3, 3)
+	attrs := map[string]graph.Attr{"pad": graph.IntAttr(1), "activation": graph.StringAttr("relu")}
+	want := run(t, &Context{ConvAlgo: ConvDirect}, graph.OpConv, attrs, x, w)
+	got := run(t, &Context{ConvAlgo: ConvWinograd}, graph.OpConv, attrs, x, w)
+	if !closeTo(want, got, 1e-3) {
+		t.Error("winograd fused relu deviates")
+	}
+	for _, v := range got.Data() {
+		if v < 0 {
+			t.Fatal("fused relu not applied on winograd path")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// InferShapes statically computes the shape of every tensor in g from the
+// declared input shapes and initializer shapes. The result maps tensor name
+// to shape. Partitioning uses this to attach boundary (checkpoint) shapes to
+// subgraphs, and executors use it for memory planning.
+func InferShapes(g *graph.Graph) (map[string][]int, error) {
+	shapes := make(map[string][]int, len(g.Nodes)*2)
+	for _, vi := range g.Inputs {
+		if len(vi.Shape) == 0 {
+			return nil, fmt.Errorf("ops: input %q has no declared shape", vi.Name)
+		}
+		shapes[vi.Name] = append([]int(nil), vi.Shape...)
+	}
+	for name, t := range g.Initializers {
+		shapes[name] = t.Shape()
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		ins := make([][]int, len(n.Inputs))
+		for i, in := range n.Inputs {
+			s, ok := shapes[in]
+			if !ok {
+				return nil, fmt.Errorf("ops: node %q input %q has unknown shape", n.Name, in)
+			}
+			ins[i] = s
+		}
+		outs, err := nodeOutputShapes(n, ins)
+		if err != nil {
+			return nil, fmt.Errorf("ops: node %q (%s): %w", n.Name, n.Op, err)
+		}
+		if len(outs) != len(n.Outputs) {
+			return nil, fmt.Errorf("ops: node %q: inferred %d outputs, node declares %d", n.Name, len(outs), len(n.Outputs))
+		}
+		for i, out := range n.Outputs {
+			shapes[out] = outs[i]
+		}
+	}
+	return shapes, nil
+}
+
+func nodeOutputShapes(n *graph.Node, ins [][]int) ([][]int, error) {
+	switch n.Op {
+	case graph.OpConv, graph.OpConvRelu, graph.OpConvBNRelu, graph.OpDepthwiseConv:
+		if len(ins) < 2 {
+			return nil, fmt.Errorf("conv wants >=2 inputs")
+		}
+		x, w := ins[0], ins[1]
+		if len(x) != 4 || len(w) != 4 {
+			return nil, fmt.Errorf("conv shapes must be 4-D, got %v and %v", x, w)
+		}
+		stride := n.Int("stride", 1)
+		pad := n.Int("pad", 0)
+		h := convOutDim(x[2], w[2], stride, pad)
+		ww := convOutDim(x[3], w[3], stride, pad)
+		if h <= 0 || ww <= 0 {
+			return nil, fmt.Errorf("conv output collapses to %dx%d (input %v kernel %v stride %d pad %d)", h, ww, x, w, stride, pad)
+		}
+		return [][]int{{x[0], w[0], h, ww}}, nil
+
+	case graph.OpMaxPool, graph.OpAvgPool:
+		x := ins[0]
+		if len(x) != 4 {
+			return nil, fmt.Errorf("pool input must be 4-D, got %v", x)
+		}
+		k := n.Int("kernel", 2)
+		stride := n.Int("stride", k)
+		pad := n.Int("pad", 0)
+		h := convOutDim(x[2], k, stride, pad)
+		w := convOutDim(x[3], k, stride, pad)
+		if h <= 0 || w <= 0 {
+			return nil, fmt.Errorf("pool output collapses to %dx%d", h, w)
+		}
+		return [][]int{{x[0], x[1], h, w}}, nil
+
+	case graph.OpGlobalAvgPool:
+		x := ins[0]
+		if len(x) != 4 {
+			return nil, fmt.Errorf("global avg pool input must be 4-D, got %v", x)
+		}
+		return [][]int{{x[0], x[1], 1, 1}}, nil
+
+	case graph.OpGemm, graph.OpMatMul:
+		if len(ins) < 2 {
+			return nil, fmt.Errorf("gemm wants >=2 inputs")
+		}
+		x, w := ins[0], ins[1]
+		if len(x) != 2 || len(w) != 2 || x[1] != w[0] {
+			return nil, fmt.Errorf("gemm shape mismatch: %v x %v", x, w)
+		}
+		return [][]int{{x[0], w[1]}}, nil
+
+	case graph.OpBatchNorm, graph.OpRelu, graph.OpRelu6, graph.OpSigmoid,
+		graph.OpHardSwish, graph.OpHardSigmoid, graph.OpSoftmax, graph.OpIdentity:
+		return [][]int{append([]int(nil), ins[0]...)}, nil
+
+	case graph.OpAdd, graph.OpMul:
+		// Result takes the largest (full) input shape; rank breaks volume
+		// ties, matching the kernel's accumulator choice.
+		full := ins[0]
+		for _, s := range ins[1:] {
+			if volume(s) > volume(full) || (volume(s) == volume(full) && len(s) > len(full)) {
+				full = s
+			}
+		}
+		return [][]int{append([]int(nil), full...)}, nil
+
+	case graph.OpConcat:
+		axis := n.Int("axis", 1)
+		out := append([]int(nil), ins[0]...)
+		if axis < 0 || axis >= len(out) {
+			return nil, fmt.Errorf("concat axis %d out of range", axis)
+		}
+		for _, s := range ins[1:] {
+			out[axis] += s[axis]
+		}
+		return [][]int{out}, nil
+
+	case graph.OpFlatten:
+		x := ins[0]
+		return [][]int{{x[0], volume(x) / x[0]}}, nil
+
+	case graph.OpLayerNorm, graph.OpGelu:
+		return [][]int{append([]int(nil), ins[0]...)}, nil
+
+	case graph.OpTranspose:
+		perm := n.IntsOr("perm", nil)
+		x := ins[0]
+		if len(perm) != len(x) {
+			return nil, fmt.Errorf("transpose perm rank %d != input rank %d", len(perm), len(x))
+		}
+		out := make([]int, len(perm))
+		for i, p := range perm {
+			if p < 0 || p >= len(x) {
+				return nil, fmt.Errorf("transpose perm %v invalid", perm)
+			}
+			out[i] = x[p]
+		}
+		return [][]int{out}, nil
+
+	case graph.OpReshape:
+		shape := n.IntsOr("shape", nil)
+		if volume(shape) != volume(ins[0]) {
+			return nil, fmt.Errorf("reshape volume %d != input volume %d", volume(shape), volume(ins[0]))
+		}
+		return [][]int{append([]int(nil), shape...)}, nil
+
+	case graph.OpBatchMatMul:
+		if len(ins) < 2 {
+			return nil, fmt.Errorf("batchmatmul wants 2 inputs")
+		}
+		a, b := ins[0], ins[1]
+		if len(a) != 3 {
+			return nil, fmt.Errorf("batchmatmul A must be 3-D, got %v", a)
+		}
+		transB := n.Int("transB", 0) == 1
+		var rows, cols int
+		switch len(b) {
+		case 3:
+			rows, cols = b[1], b[2]
+		case 2:
+			rows, cols = b[0], b[1]
+		default:
+			return nil, fmt.Errorf("batchmatmul B must be 2-D or 3-D, got %v", b)
+		}
+		inner, outc := rows, cols
+		if transB {
+			inner, outc = cols, rows
+		}
+		if inner != a[2] {
+			return nil, fmt.Errorf("batchmatmul inner dims mismatch: %v x %v (transB=%v)", a, b, transB)
+		}
+		return [][]int{{a[0], a[1], outc}}, nil
+
+	case graph.OpReduceMean:
+		axis := n.Int("axis", 1)
+		x := ins[0]
+		if axis < 0 || axis >= len(x) {
+			return nil, fmt.Errorf("reducemean axis %d out of range", axis)
+		}
+		out := append(append([]int{}, x[:axis]...), x[axis+1:]...)
+		return [][]int{out}, nil
+
+	case graph.OpPad:
+		x := ins[0]
+		pads := n.IntsOr("pads", []int{0, 0, 0, 0})
+		if len(x) != 4 || len(pads) != 4 {
+			return nil, fmt.Errorf("pad wants 4-D input and 4 pads")
+		}
+		return [][]int{{x[0], x[1], x[2] + pads[0] + pads[1], x[3] + pads[2] + pads[3]}}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown op %q", n.Op)
+	}
+}
+
+func volume(s []int) int {
+	v := 1
+	for _, d := range s {
+		v *= d
+	}
+	return v
+}

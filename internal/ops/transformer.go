@@ -1,0 +1,241 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Transformer-family operators — the §7.4 future-work extension
+// ("running large Foundation Models within CPU TEEs is also practical"):
+// LayerNorm, GELU, Transpose, Reshape, batched matrix multiply and
+// mean-reduction, enough to express multi-head self-attention encoders.
+
+// layerNormKernel normalizes the last axis: (x-μ)/σ * scale + bias, with
+// scale/bias of the last-axis length.
+func layerNormKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != 3 {
+		return nil, fmt.Errorf("layernorm wants 3 inputs, got %d", len(inputs))
+	}
+	x, scale, bias := inputs[0], inputs[1], inputs[2]
+	if x.Dims() < 1 {
+		return nil, fmt.Errorf("layernorm wants rank >= 1")
+	}
+	d := x.Dim(x.Dims() - 1)
+	if scale.Size() != d || bias.Size() != d {
+		return nil, fmt.Errorf("layernorm params size %d/%d != last dim %d", scale.Size(), bias.Size(), d)
+	}
+	eps := n.Float("epsilon", 1e-5)
+	out := x.Clone()
+	od := out.Data()
+	sd, bd := scale.Data(), bias.Data()
+	rows := out.Size() / d
+	for r := 0; r < rows; r++ {
+		seg := od[r*d : (r+1)*d]
+		var mean float64
+		for _, v := range seg {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varsum float64
+		for _, v := range seg {
+			dv := float64(v) - mean
+			varsum += dv * dv
+		}
+		inv := 1 / math.Sqrt(varsum/float64(d)+eps)
+		for i, v := range seg {
+			seg[i] = float32((float64(v)-mean)*inv)*sd[i] + bd[i]
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// gelu is the tanh approximation used by BERT/GPT-family models.
+func gelu(x float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	x64 := float64(x)
+	return float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+}
+
+// transposeKernel permutes axes per the "perm" attribute.
+func transposeKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("transpose wants 1 input, got %d", len(inputs))
+	}
+	x := inputs[0]
+	perm := n.IntsOr("perm", nil)
+	if len(perm) != x.Dims() {
+		return nil, fmt.Errorf("transpose perm rank %d != tensor rank %d", len(perm), x.Dims())
+	}
+	inShape := x.Shape()
+	outShape := make([]int, len(perm))
+	seen := make([]bool, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return nil, fmt.Errorf("transpose perm %v invalid", perm)
+		}
+		seen[p] = true
+		outShape[i] = inShape[p]
+	}
+	out := tensor.New(outShape...)
+	inStride := strides(inShape)
+	outStride := strides(outShape)
+	od, xd := out.Data(), x.Data()
+	for o := range od {
+		// Decompose o into out coordinates, map back through perm.
+		rem := o
+		src := 0
+		for i := range outShape {
+			idx := rem / outStride[i]
+			rem %= outStride[i]
+			src += idx * inStride[perm[i]]
+		}
+		od[o] = xd[src]
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func strides(shape []int) []int {
+	s := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= shape[i]
+	}
+	return s
+}
+
+// reshapeKernel reshapes to the static "shape" attribute (volume-preserving).
+func reshapeKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("reshape wants 1 input, got %d", len(inputs))
+	}
+	shape := n.IntsOr("shape", nil)
+	if shape == nil {
+		return nil, fmt.Errorf("reshape needs a shape attribute")
+	}
+	out, err := inputs[0].Clone().Reshape(shape...)
+	if err != nil {
+		return nil, err
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// batchMatMulKernel computes C[b] = A[b] · B[b] for A [B,M,K]; B may be
+// [B,K,N] (per-batch) or [K,N] (broadcast weights). The "transB" attribute
+// (0/1) multiplies by Bᵀ instead — the Q·Kᵀ pattern of attention.
+func batchMatMulKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != 2 {
+		return nil, fmt.Errorf("batchmatmul wants 2 inputs, got %d", len(inputs))
+	}
+	a, bm := inputs[0], inputs[1]
+	if a.Dims() != 3 {
+		return nil, fmt.Errorf("batchmatmul A must be 3-D, got %v", a.Shape())
+	}
+	nb, m, k := a.Dim(0), a.Dim(1), a.Dim(2)
+	transB := n.Int("transB", 0) == 1
+	be := ctx.blas()
+
+	var bn int // output columns
+	var bData func(batch int) []float32
+	switch bm.Dims() {
+	case 3:
+		if bm.Dim(0) != nb {
+			return nil, fmt.Errorf("batchmatmul batch mismatch: %d vs %d", nb, bm.Dim(0))
+		}
+		rows, cols := bm.Dim(1), bm.Dim(2)
+		if err := checkInner(transB, k, rows, cols); err != nil {
+			return nil, err
+		}
+		if transB {
+			bn = rows
+		} else {
+			bn = cols
+		}
+		sz := rows * cols
+		bData = func(batch int) []float32 { return bm.Data()[batch*sz : (batch+1)*sz] }
+	case 2:
+		rows, cols := bm.Dim(0), bm.Dim(1)
+		if err := checkInner(transB, k, rows, cols); err != nil {
+			return nil, err
+		}
+		if transB {
+			bn = rows
+		} else {
+			bn = cols
+		}
+		bData = func(int) []float32 { return bm.Data() }
+	default:
+		return nil, fmt.Errorf("batchmatmul B must be 2-D or 3-D, got %v", bm.Shape())
+	}
+
+	out := tensor.New(nb, m, bn)
+	od := out.Data()
+	var tbuf []float32
+	if transB {
+		tbuf = make([]float32, k*bn)
+	}
+	for batch := 0; batch < nb; batch++ {
+		ab := a.Data()[batch*m*k : (batch+1)*m*k]
+		bb := bData(batch)
+		if transB {
+			// bb is [bn, k]; transpose into [k, bn] for the row-major GEMM.
+			for r := 0; r < bn; r++ {
+				for c := 0; c < k; c++ {
+					tbuf[c*bn+r] = bb[r*k+c]
+				}
+			}
+			bb = tbuf
+		}
+		be.Gemm(m, bn, k, ab, bb, od[batch*m*bn:(batch+1)*m*bn])
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func checkInner(transB bool, k, rows, cols int) error {
+	inner := rows
+	if transB {
+		inner = cols
+	}
+	if inner != k {
+		return fmt.Errorf("batchmatmul inner dim %d != %d", inner, k)
+	}
+	return nil
+}
+
+// reduceMeanKernel averages over the "axis" attribute (keepdims=false).
+func reduceMeanKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("reducemean wants 1 input, got %d", len(inputs))
+	}
+	x := inputs[0]
+	axis := n.Int("axis", 1)
+	if axis < 0 || axis >= x.Dims() {
+		return nil, fmt.Errorf("reducemean axis %d out of range for rank %d", axis, x.Dims())
+	}
+	shape := x.Shape()
+	outShape := append(append([]int{}, shape[:axis]...), shape[axis+1:]...)
+	out := tensor.New(outShape...)
+	outer := 1
+	for _, d := range shape[:axis] {
+		outer *= d
+	}
+	red := shape[axis]
+	inner := 1
+	for _, d := range shape[axis+1:] {
+		inner *= d
+	}
+	xd, od := x.Data(), out.Data()
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			var s float64
+			for r := 0; r < red; r++ {
+				s += float64(xd[(o*red+r)*inner+i])
+			}
+			od[o*inner+i] = float32(s / float64(red))
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}

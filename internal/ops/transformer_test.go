@@ -1,0 +1,206 @@
+package ops
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestLayerNorm(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	scale := tensor.MustFromSlice([]float32{1, 1, 1, 1}, 4)
+	bias := tensor.New(4)
+	out := run(t, &Context{}, graph.OpLayerNorm, map[string]graph.Attr{
+		"epsilon": graph.FloatAttr(0),
+	}, x, scale, bias)
+	// mean 2.5, std sqrt(1.25)
+	std := math.Sqrt(1.25)
+	for i, v := range []float64{1, 2, 3, 4} {
+		want := (v - 2.5) / std
+		if math.Abs(float64(out.Data()[i])-want) > 1e-5 {
+			t.Fatalf("ln[%d] = %v, want %v", i, out.Data()[i], want)
+		}
+	}
+	// Normalized rows have zero mean and unit variance.
+	var mean float64
+	for _, v := range out.Data() {
+		mean += float64(v)
+	}
+	if math.Abs(mean) > 1e-5 {
+		t.Fatalf("row mean %v != 0", mean)
+	}
+}
+
+func TestLayerNormScaleBias(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 3}, 1, 2)
+	scale := tensor.MustFromSlice([]float32{2, 2}, 2)
+	bias := tensor.MustFromSlice([]float32{10, 10}, 2)
+	out := run(t, &Context{}, graph.OpLayerNorm, nil, x, scale, bias)
+	// normalized = [-1, 1] (with eps≈0) → *2 + 10 = [8, 12]
+	if math.Abs(float64(out.Data()[0]-8)) > 1e-3 || math.Abs(float64(out.Data()[1]-12)) > 1e-3 {
+		t.Fatalf("ln = %v", out.Data())
+	}
+}
+
+func TestGelu(t *testing.T) {
+	out := run(t, &Context{}, graph.OpGelu, nil, tensor.MustFromSlice([]float32{0, 3, -3}, 3))
+	if out.Data()[0] != 0 {
+		t.Fatalf("gelu(0) = %v", out.Data()[0])
+	}
+	if math.Abs(float64(out.Data()[1])-2.9964) > 1e-3 {
+		t.Fatalf("gelu(3) = %v", out.Data()[1])
+	}
+	if math.Abs(float64(out.Data()[2])-(-0.00363)) > 1e-3 {
+		t.Fatalf("gelu(-3) = %v", out.Data()[2])
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	out := run(t, &Context{}, graph.OpTranspose, map[string]graph.Attr{
+		"perm": graph.IntsAttr(1, 0),
+	}, x)
+	want := []float32{1, 4, 2, 5, 3, 6}
+	if out.Dim(0) != 3 || out.Dim(1) != 2 {
+		t.Fatalf("shape %v", out.Shape())
+	}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("transpose = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	x := randT(rng, 2, 3, 4)
+	perm := map[string]graph.Attr{"perm": graph.IntsAttr(1, 0, 2)}
+	once := run(t, &Context{}, graph.OpTranspose, perm, x)
+	twice := run(t, &Context{}, graph.OpTranspose, perm, once)
+	if !closeTo(x, twice, 0) {
+		t.Fatal("double transpose with a self-inverse perm is not identity")
+	}
+}
+
+func TestTransposeBadPerm(t *testing.T) {
+	reg := NewRegistry()
+	n := &graph.Node{Name: "t", Op: graph.OpTranspose, Inputs: []string{"x"}, Outputs: []string{"y"},
+		Attrs: map[string]graph.Attr{"perm": graph.IntsAttr(0, 0)}}
+	if _, err := reg.Run(&Context{}, n, []*tensor.Tensor{tensor.New(2, 2)}); err == nil {
+		t.Fatal("duplicate perm accepted")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	out := run(t, &Context{}, graph.OpReshape, map[string]graph.Attr{
+		"shape": graph.IntsAttr(3, 2),
+	}, x)
+	if out.Dim(0) != 3 || out.Data()[4] != 5 {
+		t.Fatalf("reshape %v %v", out.Shape(), out.Data())
+	}
+	reg := NewRegistry()
+	n := &graph.Node{Name: "r", Op: graph.OpReshape, Inputs: []string{"x"}, Outputs: []string{"y"},
+		Attrs: map[string]graph.Attr{"shape": graph.IntsAttr(4, 2)}}
+	if _, err := reg.Run(&Context{}, n, []*tensor.Tensor{x}); err == nil {
+		t.Fatal("volume-changing reshape accepted")
+	}
+}
+
+func TestBatchMatMul(t *testing.T) {
+	// Two batches of 1x2 · 2x1.
+	a := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 2, 1, 2)
+	bm := tensor.MustFromSlice([]float32{1, 1, 2, 2}, 2, 2, 1)
+	out := run(t, &Context{}, graph.OpBatchMatMul, nil, a, bm)
+	want := []float32{3, 14} // [1+2], [6+8]
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("bmm = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestBatchMatMulBroadcastWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := randT(rng, 3, 4, 5)
+	w := randT(rng, 5, 6)
+	out := run(t, &Context{}, graph.OpBatchMatMul, nil, a, w)
+	if out.Dim(0) != 3 || out.Dim(1) != 4 || out.Dim(2) != 6 {
+		t.Fatalf("shape %v", out.Shape())
+	}
+	// Batch 0 must equal a plain 2-D matmul of the first slice.
+	a0, _ := tensor.FromSlice(a.Data()[:20], 4, 5)
+	ref := run(t, &Context{}, graph.OpMatMul, nil, a0, w)
+	got, _ := tensor.FromSlice(out.Data()[:24], 4, 6)
+	if !closeTo(ref, got, 1e-5) {
+		t.Fatal("broadcast batch 0 != plain matmul")
+	}
+}
+
+func TestBatchMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	q := randT(rng, 2, 3, 4)
+	k := randT(rng, 2, 3, 4)
+	// Q·Kᵀ via transB must equal transposing K explicitly first.
+	viaAttr := run(t, &Context{}, graph.OpBatchMatMul, map[string]graph.Attr{
+		"transB": graph.IntAttr(1),
+	}, q, k)
+	kt := run(t, &Context{}, graph.OpTranspose, map[string]graph.Attr{
+		"perm": graph.IntsAttr(0, 2, 1),
+	}, k)
+	explicit := run(t, &Context{}, graph.OpBatchMatMul, nil, q, kt)
+	if !closeTo(viaAttr, explicit, 1e-5) {
+		t.Fatal("transB != explicit transpose")
+	}
+}
+
+func TestBatchMatMulAcrossBackends(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	a := randT(rng, 2, 8, 16)
+	w := randT(rng, 16, 8)
+	ref := run(t, &Context{}, graph.OpBatchMatMul, nil, a, w)
+	for _, kind := range blas.Kinds() {
+		got := run(t, &Context{BLAS: blas.MustNew(kind)}, graph.OpBatchMatMul, nil, a, w)
+		if !closeTo(ref, got, 1e-3) {
+			t.Errorf("backend %v deviates", kind)
+		}
+	}
+}
+
+func TestBatchMatMulErrors(t *testing.T) {
+	reg := NewRegistry()
+	n := &graph.Node{Name: "b", Op: graph.OpBatchMatMul, Inputs: []string{"a", "b"}, Outputs: []string{"y"}}
+	cases := [][2]*tensor.Tensor{
+		{tensor.New(2, 3), tensor.New(3, 2)},       // A not 3-D
+		{tensor.New(2, 3, 4), tensor.New(3, 5, 6)}, // batch mismatch
+		{tensor.New(2, 3, 4), tensor.New(5, 6)},    // inner mismatch
+	}
+	for i, c := range cases {
+		if _, err := reg.Run(&Context{}, n, []*tensor.Tensor{c[0], c[1]}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReduceMean(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 1, 3, 2)
+	out := run(t, &Context{}, graph.OpReduceMean, map[string]graph.Attr{
+		"axis": graph.IntAttr(1),
+	}, x)
+	if out.Dim(0) != 1 || out.Dim(1) != 2 {
+		t.Fatalf("shape %v", out.Shape())
+	}
+	if out.Data()[0] != 3 || out.Data()[1] != 4 { // mean of {1,3,5} and {2,4,6}
+		t.Fatalf("reducemean = %v", out.Data())
+	}
+	out0 := run(t, &Context{}, graph.OpReduceMean, map[string]graph.Attr{
+		"axis": graph.IntAttr(2),
+	}, x)
+	if out0.Data()[0] != 1.5 {
+		t.Fatalf("axis 2: %v", out0.Data())
+	}
+}

@@ -1,0 +1,491 @@
+// Package partition implements MVTEE's model partitioning (§4.1, Algorithm
+// 1): a randomized graph-contraction algorithm in the spirit of Karger's
+// global min-cut, with a customizable soft-preference weight function that
+// biases toward balanced partitions and hard constraints that cap partition
+// size and keep the partition quotient graph acyclic. Partition boundaries
+// become the MVX checkpoints, so the quotient must admit a pipeline order —
+// a condition the textbook contraction algorithm does not guarantee on DAGs,
+// which CheckConstraints enforces here.
+//
+// The package also provides the manual "graph slicer" mode (§5.1) and
+// parallel generation of multiple partition sets.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// Boundary is a checkpoint tensor crossing a partition border.
+type Boundary struct {
+	Name  string
+	Shape []int
+}
+
+// Partition is one stage of the partitioned model: a set of graph nodes plus
+// its boundary interface.
+type Partition struct {
+	// Index is the pipeline position (0-based, topological).
+	Index int
+	// Nodes lists the member node names.
+	Nodes []string
+	// Inputs and Outputs are the boundary (checkpoint) tensors.
+	Inputs  []Boundary
+	Outputs []Boundary
+	// Cost is the estimated compute cost (MAC count) of the partition.
+	Cost float64
+}
+
+// Set is a complete partitioning of a model into pipeline stages.
+type Set struct {
+	Model      string
+	Partitions []Partition
+}
+
+// WeightFunc scores a candidate contraction of the partitions with the given
+// costs; higher means more likely to be picked. Returning 0 removes the edge
+// from consideration this round.
+type WeightFunc func(costI, costJ float64) float64
+
+// ConstraintFunc accepts or rejects a candidate merge given the merged cost
+// and the balance cap (total/target × slack).
+type ConstraintFunc func(mergedCost, capCost float64) bool
+
+// Options configures Partition.
+type Options struct {
+	// Target is the desired number of partitions (checkpoint count + 1).
+	Target int
+	// BalanceSlack relaxes the per-partition cost cap; 0 means 1.5.
+	BalanceSlack float64
+	// Weight is the soft-preference function; nil means balance-biased
+	// (1/(costI+costJ)).
+	Weight WeightFunc
+	// Constraint is the hard-constraint function; nil enforces the cap.
+	Constraint ConstraintFunc
+	// MaxAttempts bounds full restarts when contraction gets stuck; 0 means 8.
+	MaxAttempts int
+	// Seed drives the randomized contraction; 0 means 1.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BalanceSlack == 0 {
+		o.BalanceSlack = 1.5
+	}
+	if o.Weight == nil {
+		o.Weight = func(ci, cj float64) float64 { return 1 / (ci + cj + 1) }
+	}
+	if o.Constraint == nil {
+		o.Constraint = func(merged, capCost float64) bool { return merged <= capCost }
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Errors.
+var (
+	ErrTarget = errors.New("partition: invalid target")
+	ErrStuck  = errors.New("partition: contraction stuck; constraints too strict")
+)
+
+// NodeCost estimates the MAC cost of a node given resolved input shapes. It
+// is exported so custom weight functions can reuse the model.
+func NodeCost(n *graph.Node, inShapes [][]int, outShape []int) float64 {
+	vol := func(s []int) float64 {
+		v := 1.0
+		for _, d := range s {
+			v *= float64(d)
+		}
+		return v
+	}
+	switch n.Op {
+	case graph.OpConv, graph.OpConvRelu, graph.OpConvBNRelu, graph.OpDepthwiseConv:
+		if len(inShapes) >= 2 && len(inShapes[1]) == 4 && len(outShape) == 4 {
+			w := inShapes[1]
+			// out volume × per-output MACs (cin/g × kh × kw)
+			return vol(outShape) * float64(w[1]*w[2]*w[3])
+		}
+	case graph.OpGemm, graph.OpMatMul:
+		if len(inShapes) >= 2 && len(inShapes[0]) == 2 && len(inShapes[1]) == 2 {
+			return float64(inShapes[0][0]) * float64(inShapes[0][1]) * float64(inShapes[1][1])
+		}
+	case graph.OpBatchMatMul:
+		if len(inShapes) >= 1 && len(inShapes[0]) == 3 && len(outShape) == 3 {
+			// out volume × inner dimension
+			return vol(outShape) * float64(inShapes[0][2])
+		}
+	}
+	if len(outShape) > 0 {
+		return vol(outShape)
+	}
+	return 1
+}
+
+// Partitioner performs random-contraction partitioning over one model graph.
+// Create it once per graph (it precomputes shapes and costs) and call
+// Partition for each desired configuration.
+type Partitioner struct {
+	g      *graph.Graph
+	order  []*graph.Node
+	shapes map[string][]int
+	costs  map[string]float64 // node name -> cost
+}
+
+// NewPartitioner prepares g for partitioning (validation, shape inference,
+// per-node cost estimation).
+func NewPartitioner(g *graph.Graph) (*Partitioner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	shapes, err := ops.InferShapes(g)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	costs := make(map[string]float64, len(order))
+	for _, n := range order {
+		ins := make([][]int, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = shapes[in]
+		}
+		var out []int
+		if len(n.Outputs) > 0 {
+			out = shapes[n.Outputs[0]]
+		}
+		costs[n.Name] = NodeCost(n, ins, out)
+	}
+	return &Partitioner{g: g, order: order, shapes: shapes, costs: costs}, nil
+}
+
+// Graph returns the underlying model graph.
+func (p *Partitioner) Graph() *graph.Graph { return p.g }
+
+// Shapes returns the inferred tensor shapes (shared; do not mutate).
+func (p *Partitioner) Shapes() map[string][]int { return p.shapes }
+
+// TotalCost returns the summed node cost of the model.
+func (p *Partitioner) TotalCost() float64 {
+	t := 0.0
+	for _, c := range p.costs {
+		t += c
+	}
+	return t
+}
+
+// Partition runs Algorithm 1: repeated random contraction of edges chosen by
+// the weight function, subject to hard constraints, until Target partitions
+// remain. It restarts (up to MaxAttempts) with a fresh random stream when
+// contraction gets stuck.
+func (p *Partitioner) Partition(opts Options) (*Set, error) {
+	opts = opts.withDefaults()
+	n := len(p.order)
+	if opts.Target < 1 || opts.Target > n {
+		return nil, fmt.Errorf("%w: %d (graph has %d nodes)", ErrTarget, opts.Target, n)
+	}
+	var lastErr error
+	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		rng := rand.New(rand.NewPCG(opts.Seed, uint64(attempt)))
+		set, err := p.contract(opts, rng)
+		if err == nil {
+			return set, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// contract performs one contraction run.
+func (p *Partitioner) contract(opts Options, rng *rand.Rand) (*Set, error) {
+	// Union-find over node indices.
+	idx := make(map[string]int, len(p.order))
+	for i, n := range p.order {
+		idx[n.Name] = i
+	}
+	parent := make([]int, len(p.order))
+	cost := make([]float64, len(p.order))
+	for i := range parent {
+		parent[i] = i
+		cost[i] = p.costs[p.order[i].Name]
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Directed edges between node indices (deduplicated), from dataflow.
+	producer := p.g.Producer()
+	type edge struct{ u, v int }
+	edgeSet := make(map[edge]bool)
+	var edges []edge
+	for _, n := range p.order {
+		for _, in := range n.Inputs {
+			pr, ok := producer[in]
+			if !ok || pr == n {
+				continue
+			}
+			e := edge{idx[pr.Name], idx[n.Name]}
+			if !edgeSet[e] {
+				edgeSet[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+
+	total := 0.0
+	for _, c := range cost {
+		total += c
+	}
+	capCost := total / float64(opts.Target) * opts.BalanceSlack
+	parts := len(p.order)
+
+	// adjacency over current partitions for acyclicity checks
+	quotientSucc := func() map[int]map[int]bool {
+		m := make(map[int]map[int]bool)
+		for _, e := range edges {
+			u, v := find(e.u), find(e.v)
+			if u == v {
+				continue
+			}
+			if m[u] == nil {
+				m[u] = make(map[int]bool)
+			}
+			m[u][v] = true
+		}
+		return m
+	}
+
+	for parts > opts.Target {
+		// Gather candidate cross-partition edges with weights. The soft
+		// preference combines the user weight (balance bias by default)
+		// with the pair's connectivity: merging partitions joined by many
+		// dataflow edges removes those edges from the cut, biasing the
+		// final checkpoints toward narrow module boundaries.
+		type cand struct {
+			e edge
+			w float64
+		}
+		multiplicity := make(map[edge]int)
+		for _, e := range edges {
+			u, v := find(e.u), find(e.v)
+			if u != v {
+				multiplicity[edge{u, v}]++
+			}
+		}
+		var cands []cand
+		sumW := 0.0
+		for pe, mult := range multiplicity {
+			w := opts.Weight(cost[pe.u], cost[pe.v]) * float64(mult)
+			if w <= 0 {
+				continue
+			}
+			cands = append(cands, cand{pe, w})
+			sumW += w
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: %d partitions remain, target %d", ErrStuck, parts, opts.Target)
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].e.u != cands[j].e.u {
+				return cands[i].e.u < cands[j].e.u
+			}
+			return cands[i].e.v < cands[j].e.v
+		})
+
+		succ := quotientSucc()
+		merged := false
+		// Sample without replacement by weight until a legal merge is found.
+		for len(cands) > 0 {
+			r := rng.Float64() * sumW
+			pick := len(cands) - 1
+			acc := 0.0
+			for i, c := range cands {
+				acc += c.w
+				if r < acc {
+					pick = i
+					break
+				}
+			}
+			c := cands[pick]
+			sumW -= c.w
+			cands = append(cands[:pick], cands[pick+1:]...)
+
+			u, v := c.e.u, c.e.v
+			if !opts.Constraint(cost[u]+cost[v], capCost) {
+				continue
+			}
+			if quotientPathExcluding(succ, u, v) {
+				continue // merging would create a cycle between partitions
+			}
+			// MergePartitions + UpdateWeights
+			parent[v] = u
+			cost[u] += cost[v]
+			parts--
+			merged = true
+			break
+		}
+		if !merged {
+			return nil, fmt.Errorf("%w: no legal contraction at %d partitions (target %d)", ErrStuck, parts, opts.Target)
+		}
+	}
+
+	return p.assemble(find)
+}
+
+// quotientPathExcluding reports whether v is reachable from u in the quotient
+// graph via a path of length >= 2 (i.e. through at least one intermediate
+// partition). If so, contracting u,v would close a cycle.
+func quotientPathExcluding(succ map[int]map[int]bool, u, v int) bool {
+	visited := map[int]bool{u: true}
+	var stack []int
+	for s := range succ[u] {
+		if s == v {
+			continue // the direct edge is allowed
+		}
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		if visited[x] {
+			continue
+		}
+		visited[x] = true
+		for s := range succ[x] {
+			if !visited[s] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// assemble converts a union-find assignment into an ordered Set.
+func (p *Partitioner) assemble(find func(int) int) (*Set, error) {
+	idx := make(map[string]int, len(p.order))
+	for i, n := range p.order {
+		idx[n.Name] = i
+	}
+	groups := make(map[int][]string)
+	for i, n := range p.order { // topological order keeps member lists ordered
+		groups[find(i)] = append(groups[find(i)], n.Name)
+	}
+	// Order partitions topologically by quotient edges.
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	pos := make(map[int]int, len(roots))
+	for i, r := range roots {
+		pos[r] = i
+	}
+	indeg := make([]int, len(roots))
+	succ := make([][]int, len(roots))
+	producer := p.g.Producer()
+	seen := make(map[[2]int]bool)
+	for _, n := range p.order {
+		for _, in := range n.Inputs {
+			pr, ok := producer[in]
+			if !ok {
+				continue
+			}
+			u, v := pos[find(idx[pr.Name])], pos[find(idx[n.Name])]
+			if u == v || seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			succ[u] = append(succ[u], v)
+			indeg[v]++
+		}
+	}
+	var ready, topo []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	for len(ready) > 0 {
+		x := ready[0]
+		ready = ready[1:]
+		topo = append(topo, x)
+		var next []int
+		for _, s := range succ[x] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				next = append(next, s)
+			}
+		}
+		sort.Ints(next)
+		ready = append(ready, next...)
+	}
+	if len(topo) != len(roots) {
+		return nil, fmt.Errorf("partition: quotient graph cyclic (internal error)")
+	}
+
+	set := &Set{Model: p.g.Name}
+	for outIdx, gi := range topo {
+		names := groups[roots[gi]]
+		part := Partition{Index: outIdx, Nodes: names}
+		for _, nm := range names {
+			part.Cost += p.costs[nm]
+		}
+		sub, err := p.g.Subgraph(fmt.Sprintf("%s_p%d", p.g.Name, outIdx), names, p.shapes)
+		if err != nil {
+			return nil, err
+		}
+		for _, vi := range sub.Inputs {
+			part.Inputs = append(part.Inputs, Boundary{Name: vi.Name, Shape: vi.Shape})
+		}
+		for _, o := range sub.Outputs {
+			part.Outputs = append(part.Outputs, Boundary{Name: o, Shape: append([]int(nil), p.shapes[o]...)})
+		}
+		set.Partitions = append(set.Partitions, part)
+	}
+	return set, nil
+}
+
+// Extract builds the standalone subgraph for one partition of the set.
+func (p *Partitioner) Extract(set *Set, i int) (*graph.Graph, error) {
+	if i < 0 || i >= len(set.Partitions) {
+		return nil, fmt.Errorf("partition: index %d out of range", i)
+	}
+	return p.g.Subgraph(fmt.Sprintf("%s_p%d", p.g.Name, i), set.Partitions[i].Nodes, p.shapes)
+}
+
+// Balance returns the ratio of the most expensive partition's cost to the
+// mean partition cost — 1.0 is perfectly balanced.
+func Balance(set *Set) float64 {
+	if len(set.Partitions) == 0 {
+		return math.NaN()
+	}
+	var total, maxC float64
+	for _, p := range set.Partitions {
+		total += p.Cost
+		if p.Cost > maxC {
+			maxC = p.Cost
+		}
+	}
+	return maxC / (total / float64(len(set.Partitions)))
+}

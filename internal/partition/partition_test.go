@@ -1,0 +1,342 @@
+package partition
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func newPartitioner(t *testing.T, model string) *Partitioner {
+	t.Helper()
+	g, err := models.Build(model, models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartitioner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPartitionCountAndCoverage(t *testing.T) {
+	p := newPartitioner(t, "resnet-50")
+	for _, target := range []int{1, 3, 5, 9} {
+		set, err := p.Partition(Options{Target: target})
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if len(set.Partitions) != target {
+			t.Fatalf("target %d: got %d partitions", target, len(set.Partitions))
+		}
+		// Every node appears in exactly one partition.
+		seen := map[string]int{}
+		for _, part := range set.Partitions {
+			for _, n := range part.Nodes {
+				seen[n]++
+			}
+		}
+		if len(seen) != len(p.Graph().Nodes) {
+			t.Fatalf("target %d: %d of %d nodes covered", target, len(seen), len(p.Graph().Nodes))
+		}
+		for n, c := range seen {
+			if c != 1 {
+				t.Fatalf("node %q in %d partitions", n, c)
+			}
+		}
+	}
+}
+
+func TestPartitionIndicesTopological(t *testing.T) {
+	// Every partition's inputs must be producible by strictly earlier
+	// partitions (or be model inputs) — the pipeline-order invariant.
+	p := newPartitioner(t, "googlenet")
+	set, err := p.Partition(Options{Target: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	produced := map[string]int{}
+	for _, part := range set.Partitions {
+		for _, o := range part.Outputs {
+			produced[o.Name] = part.Index
+		}
+	}
+	for _, part := range set.Partitions {
+		for _, in := range part.Inputs {
+			if src, ok := produced[in.Name]; ok && src >= part.Index {
+				t.Fatalf("partition %d consumes %q produced by partition %d", part.Index, in.Name, src)
+			}
+		}
+	}
+}
+
+// TestPartitionedExecutionEquivalence is the load-bearing invariant: running
+// the extracted partition subgraphs in pipeline order computes exactly the
+// original model.
+func TestPartitionedExecutionEquivalence(t *testing.T) {
+	for _, model := range []string{"resnet-50", "googlenet", "mobilenetv3"} {
+		p := newPartitioner(t, model)
+		set, err := p.Partition(Options{Target: 5, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := tensor.New(1, 3, 32, 32)
+		rng := rand.New(rand.NewPCG(1, 1))
+		for i := range in.Data() {
+			in.Data()[i] = float32(rng.NormFloat64())
+		}
+		full, err := infer.New(p.Graph(), infer.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := full.Run(map[string]*tensor.Tensor{"image": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		values := map[string]*tensor.Tensor{"image": in}
+		for i := range set.Partitions {
+			sub, err := p.Extract(set, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ins := map[string]*tensor.Tensor{}
+			for _, vi := range sub.Inputs {
+				tt, ok := values[vi.Name]
+				if !ok {
+					t.Fatalf("%s: partition %d input %q not yet produced", model, i, vi.Name)
+				}
+				ins[vi.Name] = tt
+			}
+			ex, err := infer.New(sub, infer.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs, err := ex.Run(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, tt := range outs {
+				values[name] = tt
+			}
+		}
+		got := values["logits"]
+		for i := range got.Data() {
+			if math.Abs(float64(got.Data()[i]-want["logits"].Data()[i])) > 1e-5 {
+				t.Fatalf("%s: partitioned execution deviates at %d", model, i)
+			}
+		}
+	}
+}
+
+func TestBoundaryShapesRecorded(t *testing.T) {
+	p := newPartitioner(t, "mnasnet")
+	set, err := p.Partition(Options{Target: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range set.Partitions {
+		for _, b := range append(part.Inputs, part.Outputs...) {
+			if len(b.Shape) == 0 {
+				t.Fatalf("partition %d boundary %q has no shape", part.Index, b.Name)
+			}
+		}
+	}
+}
+
+func TestBalanceBias(t *testing.T) {
+	p := newPartitioner(t, "resnet-50")
+	set, err := p.Partition(Options{Target: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal := Balance(set); bal > 1.6 {
+		t.Fatalf("balance %v exceeds the default slack 1.5 (+tolerance)", bal)
+	}
+}
+
+func TestCustomWeightAndConstraint(t *testing.T) {
+	p := newPartitioner(t, "mnasnet")
+	weightCalls := 0
+	set, err := p.Partition(Options{
+		Target: 3,
+		Weight: func(ci, cj float64) float64 {
+			weightCalls++
+			return 1
+		},
+		Constraint:   func(merged, capCost float64) bool { return true },
+		BalanceSlack: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Partitions) != 3 || weightCalls == 0 {
+		t.Fatalf("custom functions not used (%d partitions, %d weight calls)", len(set.Partitions), weightCalls)
+	}
+}
+
+func TestImpossibleConstraint(t *testing.T) {
+	p := newPartitioner(t, "mnasnet")
+	_, err := p.Partition(Options{
+		Target:      2,
+		Constraint:  func(merged, capCost float64) bool { return false },
+		MaxAttempts: 2,
+	})
+	if !errors.Is(err, ErrStuck) {
+		t.Fatalf("got %v, want ErrStuck", err)
+	}
+}
+
+func TestInvalidTarget(t *testing.T) {
+	p := newPartitioner(t, "mnasnet")
+	for _, target := range []int{0, -1, 100000} {
+		if _, err := p.Partition(Options{Target: target}); !errors.Is(err, ErrTarget) {
+			t.Errorf("target %d: got %v, want ErrTarget", target, err)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := newPartitioner(t, "googlenet")
+	a, err := p.Partition(Options{Target: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Partition(Options{Target: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Partitions {
+		if len(a.Partitions[i].Nodes) != len(b.Partitions[i].Nodes) {
+			t.Fatal("same seed produced different partitionings")
+		}
+	}
+}
+
+func TestSliceAtManualMode(t *testing.T) {
+	p := newPartitioner(t, "mnasnet")
+	n := len(p.Graph().Nodes)
+	set, err := p.SliceAt([]int{n / 3, 2 * n / 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Partitions) != 3 {
+		t.Fatalf("%d partitions", len(set.Partitions))
+	}
+	if _, err := p.SliceAt([]int{5, 5}); err == nil {
+		t.Fatal("non-increasing cuts accepted")
+	}
+	if _, err := p.SliceAt([]int{0}); err == nil {
+		t.Fatal("cut at 0 accepted")
+	}
+	if _, err := p.SliceAt([]int{n}); err == nil {
+		t.Fatal("cut at end accepted")
+	}
+}
+
+func TestSliceByNames(t *testing.T) {
+	p := newPartitioner(t, "mnasnet")
+	order, _ := p.Graph().TopoSort()
+	set, err := p.SliceByNames([]string{order[10].Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Partitions) != 2 || len(set.Partitions[0].Nodes) != 10 {
+		t.Fatalf("slice by name: %d partitions, first has %d nodes",
+			len(set.Partitions), len(set.Partitions[0].Nodes))
+	}
+	if _, err := p.SliceByNames([]string{"missing"}); err == nil {
+		t.Fatal("unknown node name accepted")
+	}
+}
+
+func TestSliceEvenBalanced(t *testing.T) {
+	p := newPartitioner(t, "resnet-50")
+	set, err := p.SliceEven(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Partitions) != 5 {
+		t.Fatalf("%d partitions", len(set.Partitions))
+	}
+	one, err := p.SliceEven(1)
+	if err != nil || len(one.Partitions) != 1 {
+		t.Fatalf("SliceEven(1): %v", err)
+	}
+}
+
+func TestGenerateSetsParallel(t *testing.T) {
+	p := newPartitioner(t, "googlenet")
+	sets, err := p.GenerateSets([]int{3, 5, 7}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{3, 5, 7} {
+		if len(sets[i].Partitions) != want {
+			t.Fatalf("set %d: %d partitions, want %d", i, len(sets[i].Partitions), want)
+		}
+	}
+}
+
+func TestNodeCostModel(t *testing.T) {
+	conv := &graph.Node{Op: graph.OpConv}
+	c := NodeCost(conv, [][]int{{1, 8, 16, 16}, {16, 8, 3, 3}}, []int{1, 16, 16, 16})
+	want := 16.0 * 16 * 16 * 8 * 9
+	if c != want {
+		t.Fatalf("conv cost = %v, want %v", c, want)
+	}
+	gemm := &graph.Node{Op: graph.OpGemm}
+	if c := NodeCost(gemm, [][]int{{2, 64}, {64, 10}}, []int{2, 10}); c != 2*64*10 {
+		t.Fatalf("gemm cost = %v", c)
+	}
+	relu := &graph.Node{Op: graph.OpRelu}
+	if c := NodeCost(relu, nil, []int{1, 4, 4, 4}); c != 64 {
+		t.Fatalf("elementwise cost = %v", c)
+	}
+}
+
+// TestQuickRandomTargets property-tests that partitioning succeeds for
+// arbitrary feasible targets and always yields a pipeline-ordered cover.
+func TestQuickRandomTargets(t *testing.T) {
+	p := newPartitioner(t, "mnasnet")
+	n := len(p.Graph().Nodes)
+	f := func(seed uint64, tt uint8) bool {
+		target := int(tt)%12 + 1
+		set, err := p.Partition(Options{Target: target, Seed: seed%1000 + 1})
+		if err != nil {
+			return false
+		}
+		if len(set.Partitions) != target {
+			return false
+		}
+		count := 0
+		produced := map[string]int{}
+		for _, part := range set.Partitions {
+			count += len(part.Nodes)
+			for _, o := range part.Outputs {
+				produced[o.Name] = part.Index
+			}
+		}
+		if count != n {
+			return false
+		}
+		for _, part := range set.Partitions {
+			for _, in := range part.Inputs {
+				if src, ok := produced[in.Name]; ok && src >= part.Index {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SliceAt implements the manual partitioning mode (§5.1): it slices the model
+// at the given cut positions in deterministic topological order, producing
+// len(cuts)+1 contiguous partitions. cuts must be strictly increasing node
+// indices in (0, len(nodes)).
+func (p *Partitioner) SliceAt(cuts []int) (*Set, error) {
+	n := len(p.order)
+	prev := 0
+	for _, c := range cuts {
+		if c <= prev || c >= n {
+			return nil, fmt.Errorf("partition: cut %d out of range (0,%d) or not increasing", c, n)
+		}
+		prev = c
+	}
+	assign := make([]int, n)
+	seg := 0
+	ci := 0
+	for i := range assign {
+		if ci < len(cuts) && i >= cuts[ci] {
+			seg++
+			ci++
+		}
+		assign[i] = seg
+	}
+	// Reuse assemble via a find function that maps node index -> first index
+	// of its segment.
+	segStart := make([]int, len(cuts)+1)
+	for i, c := range cuts {
+		segStart[i+1] = c
+	}
+	find := func(i int) int { return segStart[assign[i]] }
+	return p.assemble(find)
+}
+
+// SliceByNames slices the model so that each named node starts a new
+// partition (the nodes before the first name form partition 0).
+func (p *Partitioner) SliceByNames(names []string) (*Set, error) {
+	pos := make(map[string]int, len(p.order))
+	for i, n := range p.order {
+		pos[n.Name] = i
+	}
+	var cuts []int
+	for _, nm := range names {
+		i, ok := pos[nm]
+		if !ok {
+			return nil, fmt.Errorf("partition: unknown node %q", nm)
+		}
+		cuts = append(cuts, i)
+	}
+	return p.SliceAt(cuts)
+}
+
+// SliceEven splits the model into t contiguous partitions of roughly equal
+// cost in topological order — the naive chain-split baseline used by the
+// balance ablation.
+func (p *Partitioner) SliceEven(t int) (*Set, error) {
+	if t < 1 || t > len(p.order) {
+		return nil, fmt.Errorf("%w: %d", ErrTarget, t)
+	}
+	if t == 1 {
+		return p.SliceAt(nil)
+	}
+	total := p.TotalCost()
+	per := total / float64(t)
+	var cuts []int
+	acc := 0.0
+	for i, n := range p.order {
+		acc += p.costs[n.Name]
+		if acc >= per*float64(len(cuts)+1) && len(cuts) < t-1 && i+1 < len(p.order) {
+			cuts = append(cuts, i+1)
+		}
+	}
+	return p.SliceAt(cuts)
+}
+
+// GenerateSets runs randomized partitioning for each target in parallel
+// (§5.1 "parallel graph partitioning"), returning one Set per target. Each
+// target uses an independent random stream derived from opts.Seed.
+func (p *Partitioner) GenerateSets(targets []int, opts Options) ([]*Set, error) {
+	sets := make([]*Set, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := opts
+			o.Target = t
+			o.Seed = opts.withDefaults().Seed + uint64(i)*1000003
+			sets[i], errs[i] = p.Partition(o)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("partition: target %d: %w", targets[i], err)
+		}
+	}
+	return sets, nil
+}

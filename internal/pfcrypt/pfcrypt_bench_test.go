@@ -1,0 +1,38 @@
+package pfcrypt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkProtectedFiles measures the encrypted-filesystem costs paid once
+// per variant bootstrap (manifest, spec and graph decryption).
+func BenchmarkProtectedFiles(b *testing.B) {
+	kdk, err := NewKDK()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{4 << 10, 1 << 20} {
+		plain := make([]byte, size)
+		b.Run(fmt.Sprintf("encrypt/%dKiB", size>>10), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := Encrypt(kdk, "pool/x/graph.pf", plain); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ct, err := Encrypt(kdk, "pool/x/graph.pf", plain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("decrypt/%dKiB", size>>10), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := Decrypt(kdk, "pool/x/graph.pf", ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

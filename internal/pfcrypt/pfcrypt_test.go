@@ -1,0 +1,128 @@
+package pfcrypt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundtrip(t *testing.T) {
+	kdk, err := NewKDK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte("variant graph bytes")
+	ct, err := Encrypt(kdk, "pool/p0/spec/graph.pf", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, plain) {
+		t.Fatal("ciphertext contains plaintext")
+	}
+	got, err := Decrypt(kdk, "pool/p0/spec/graph.pf", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatalf("roundtrip mismatch: %q", got)
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	k1, _ := NewKDK()
+	k2, _ := NewKDK()
+	ct, err := Encrypt(k1, "f", []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(k2, "f", ct); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong key: got %v, want ErrAuth", err)
+	}
+}
+
+func TestWrongPathFails(t *testing.T) {
+	kdk, _ := NewKDK()
+	ct, err := Encrypt(kdk, "a/b", []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path is authenticated: an attacker cannot swap encrypted files between
+	// locations (cross-variant file confusion).
+	if _, err := Decrypt(kdk, "a/c", ct); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong path: got %v, want ErrAuth", err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	kdk, _ := NewKDK()
+	ct, err := Encrypt(kdk, "f", bytes.Repeat([]byte{7}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{5, len(ct) / 2, len(ct) - 1} {
+		mod := append([]byte(nil), ct...)
+		mod[pos] ^= 0x01
+		if _, err := Decrypt(kdk, "f", mod); err == nil {
+			t.Errorf("tamper at %d not detected", pos)
+		}
+	}
+}
+
+func TestMalformedBlob(t *testing.T) {
+	kdk, _ := NewKDK()
+	for _, blob := range [][]byte{nil, []byte("x"), []byte("NOPE this is not a protected file at all")} {
+		if _, err := Decrypt(kdk, "f", blob); err == nil {
+			t.Errorf("malformed blob %q accepted", blob)
+		}
+	}
+}
+
+func TestPerFileKeysDiffer(t *testing.T) {
+	// Same KDK, same plaintext: ciphertexts must differ (one-time file keys
+	// and random nonces), so ciphertext equality leaks nothing.
+	kdk, _ := NewKDK()
+	a, _ := Encrypt(kdk, "f", []byte("same"))
+	b, _ := Encrypt(kdk, "f", []byte("same"))
+	if bytes.Equal(a, b) {
+		t.Fatal("two encryptions of the same file are identical")
+	}
+}
+
+func TestEmptyPlaintext(t *testing.T) {
+	kdk, _ := NewKDK()
+	ct, err := Encrypt(kdk, "empty", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt(kdk, "empty", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes, want 0", len(got))
+	}
+}
+
+// TestQuickRoundtrip property-tests encrypt/decrypt over random payloads and
+// paths.
+func TestQuickRoundtrip(t *testing.T) {
+	kdk, _ := NewKDK()
+	f := func(seed uint64, n uint16, path string) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		plain := make([]byte, int(n)%4096)
+		for i := range plain {
+			plain[i] = byte(rng.IntN(256))
+		}
+		ct, err := Encrypt(kdk, path, plain)
+		if err != nil {
+			return false
+		}
+		got, err := Decrypt(kdk, path, ct)
+		return err == nil && bytes.Equal(got, plain)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

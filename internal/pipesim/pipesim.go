@@ -1,0 +1,251 @@
+// Package pipesim is a deterministic discrete-event simulator of MVTEE's
+// partitioned multi-variant pipeline on a multicore TEE testbed.
+//
+// The paper's evaluation runs on dual 36-core Xeons with SGX, where pipeline
+// stages execute on distinct cores; this repository's host may have far
+// fewer cores, so wall-clock runs cannot exhibit the compute-communication
+// overlap the paper measures. pipesim substitutes the missing hardware: the
+// per-stage per-variant service times, checkpoint transfer costs and
+// consistency-check costs are *calibrated from real executions* of this
+// repository's runtimes (see Calibrate), and the monitor's scheduling
+// semantics — hybrid slow/fast path, unanimous-sync vs majority-quorum-async
+// checkpoints, FIFO variant servers, bounded in-flight depth — are replayed
+// exactly. A TEEFactor scales the communication/crypto costs to model
+// SGX-class enclave transition and secure-memory overheads.
+package pipesim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// StageProfile carries the calibrated costs of one pipeline stage.
+//
+// The monitor serves each stage with one checkpoint thread (as the live
+// engine's stage worker does), so TransferIn, TransferOut and Check occupy a
+// serial per-stage monitor resource: in pipelined execution, checkpoint
+// handling for consecutive batches at the same stage cannot overlap, which
+// is why encryption and checkpointing consume a larger share of pipelined
+// performance (Figure 10).
+type StageProfile struct {
+	// Service is the compute time of each variant of this stage.
+	Service []time.Duration
+	// TransferIn is the monitor-side cost of dispatching this stage's
+	// input checkpoint to all its variants (serialize + AES-GCM seal),
+	// already scaled by TEEFactor.
+	TransferIn time.Duration
+	// TransferOut is the monitor-side cost of receiving and decrypting all
+	// variants' results, already scaled by TEEFactor.
+	TransferOut time.Duration
+	// Check is the consistency-evaluation cost at this stage's checkpoint
+	// (zero on the fast path), already scaled by TEEFactor.
+	Check time.Duration
+	// Deps lists the stages whose checkpoints feed this stage; empty means
+	// the stage consumes the model input.
+	Deps []int
+	// Output marks stages whose checkpoint contributes to the model
+	// output.
+	Output bool
+}
+
+// Profile is a complete simulation model.
+type Profile struct {
+	Stages []StageProfile
+	// Async enables majority-quorum forwarding (Figure 8).
+	Async bool
+	// Cores bounds simultaneously computing variants; 0 means unbounded
+	// (the paper's testbed has more cores than variants in every
+	// configuration). When the variant count exceeds Cores, every service
+	// time is scaled by demand/Cores — a static processor-sharing
+	// approximation of time-multiplexing, adequate for locating the knee
+	// where replication outruns the machine.
+	Cores int
+}
+
+// Metrics mirrors the bench package's measurement summary.
+type Metrics struct {
+	Throughput float64 // batches per second
+	Latency    time.Duration
+}
+
+// Validate checks profile consistency.
+func (p *Profile) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("pipesim: empty profile")
+	}
+	for i, s := range p.Stages {
+		if len(s.Service) == 0 {
+			return fmt.Errorf("pipesim: stage %d has no variants", i)
+		}
+		for _, d := range s.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("pipesim: stage %d dep %d not topologically earlier", i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// forwardTime computes when a stage's checkpoint releases downstream given
+// its variants' finish times: the single-variant fast path forwards on
+// completion; sync slow path waits for all variants plus the check; async
+// slow path forwards at the majority quorum plus the check.
+func forwardTime(fins []time.Duration, checkCost time.Duration, async bool) time.Duration {
+	if len(fins) == 1 {
+		return fins[0]
+	}
+	sorted := append([]time.Duration(nil), fins...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if async {
+		quorum := len(sorted)/2 + 1 // strict majority
+		return sorted[quorum-1] + checkCost
+	}
+	return sorted[len(sorted)-1] + checkCost
+}
+
+// lastFinish is when every variant of the stage has finished (the straggler
+// bound that still gates the servers in async mode).
+func lastFinish(fins []time.Duration) time.Duration {
+	m := fins[0]
+	for _, f := range fins[1:] {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// Simulate runs batches through the profile. sequential=true models the
+// paper's sequential execution (each batch completes all stages before the
+// next is admitted); otherwise batches stream with inFlight pipeline depth
+// (0 means 2×stages, the engine default).
+func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, error) {
+	if err := p.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if batches <= 0 {
+		return Metrics{}, fmt.Errorf("pipesim: need at least one batch")
+	}
+	if inFlight <= 0 {
+		inFlight = 2 * len(p.Stages)
+	}
+
+	nStages := len(p.Stages)
+
+	// Static processor-sharing contention when variant demand exceeds the
+	// core budget.
+	contention := 1.0
+	if p.Cores > 0 {
+		demand := 0
+		for _, s := range p.Stages {
+			demand += len(s.Service)
+		}
+		if demand > p.Cores {
+			contention = float64(demand) / float64(p.Cores)
+		}
+	}
+	svc := func(s, v int) time.Duration {
+		return time.Duration(float64(p.Stages[s].Service[v]) * contention)
+	}
+
+	serverFree := make([][]time.Duration, nStages)
+	for s := range serverFree {
+		serverFree[s] = make([]time.Duration, len(p.Stages[s].Service))
+	}
+	// monitorFree models the per-stage checkpoint thread: transfer and check
+	// work for consecutive batches at one stage serializes here.
+	monitorFree := make([]time.Duration, nStages)
+	complete := make([]time.Duration, batches)
+	submit := make([]time.Duration, batches)
+	forward := make([][]time.Duration, batches)
+
+	for b := 0; b < batches; b++ {
+		switch {
+		case b == 0:
+			submit[b] = 0
+		case sequential:
+			submit[b] = complete[b-1]
+		case b >= inFlight:
+			submit[b] = complete[b-inFlight]
+		default:
+			submit[b] = submit[b-1] // streamed immediately
+		}
+		forward[b] = make([]time.Duration, nStages)
+
+		var batchEnd time.Duration
+		for s := 0; s < nStages; s++ {
+			sp := &p.Stages[s]
+			ready := submit[b]
+			for _, d := range sp.Deps {
+				if forward[b][d] > ready {
+					ready = forward[b][d]
+				}
+			}
+			// Input dispatch occupies the stage's monitor thread.
+			xferStart := max(ready, monitorFree[s])
+			dispatched := xferStart + sp.TransferIn
+			monitorFree[s] = dispatched
+
+			fins := make([]time.Duration, len(sp.Service))
+			for v := range sp.Service {
+				start := dispatched
+				if serverFree[s][v] > start {
+					start = serverFree[s][v]
+				}
+				fins[v] = start + svc(s, v)
+				serverFree[s][v] = fins[v]
+			}
+
+			// Result collection + consistency evaluation occupy the monitor
+			// thread again; async releases downstream at the majority
+			// quorum, sync at the last variant.
+			release := forwardTime(fins, 0, p.Async)
+			postStart := max(release, monitorFree[s])
+			postDone := postStart + sp.TransferOut + sp.Check
+			monitorFree[s] = postDone
+			forward[b][s] = postDone
+
+			if sp.Output {
+				// Output checkpoints must be fully validated before release
+				// to the user, even in async mode.
+				end := max(lastFinish(fins), postDone-sp.TransferOut-sp.Check)
+				end += sp.TransferOut + sp.Check
+				if end > batchEnd {
+					batchEnd = end
+				}
+			}
+		}
+		if batchEnd == 0 { // no explicit output stages: use the last stage
+			batchEnd = forward[b][nStages-1]
+		}
+		complete[b] = batchEnd
+	}
+
+	total := complete[batches-1] - submit[0]
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	var m Metrics
+	m.Throughput = float64(batches) / total.Seconds()
+	if sequential {
+		var sum time.Duration
+		for b := range complete {
+			sum += complete[b] - submit[b]
+		}
+		m.Latency = sum / time.Duration(batches)
+	} else {
+		m.Latency = total / time.Duration(batches)
+	}
+	return m, nil
+}
+
+// SimulateBaseline models the unpartitioned original model: one server, one
+// stage, no transfers or checks.
+func SimulateBaseline(service time.Duration, batches int) Metrics {
+	total := service * time.Duration(batches)
+	return Metrics{
+		Throughput: float64(batches) / total.Seconds(),
+		Latency:    service,
+	}
+}

@@ -1,0 +1,269 @@
+package pipesim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/monitor"
+	"repro/internal/tensor"
+)
+
+const ms = time.Millisecond
+
+// chain builds a linear pipeline profile with the given per-stage service
+// times (single variant each).
+func chain(svcs ...time.Duration) *Profile {
+	p := &Profile{}
+	for i, s := range svcs {
+		sp := StageProfile{Service: []time.Duration{s}}
+		if i > 0 {
+			sp.Deps = []int{i - 1}
+		}
+		if i == len(svcs)-1 {
+			sp.Output = true
+		}
+		p.Stages = append(p.Stages, sp)
+	}
+	return p
+}
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+func TestSequentialLatencyIsSumOfStages(t *testing.T) {
+	p := chain(10*ms, 20*ms, 30*ms)
+	m, err := Simulate(p, 8, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Latency.Seconds(), 0.060, 0.01) {
+		t.Fatalf("seq latency = %v, want 60ms", m.Latency)
+	}
+	if !approx(m.Throughput, 1/0.060, 0.01) {
+		t.Fatalf("seq throughput = %v", m.Throughput)
+	}
+}
+
+func TestPipelinedThroughputIsBottleneckBound(t *testing.T) {
+	p := chain(10*ms, 30*ms, 10*ms)
+	m, err := Simulate(p, 64, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: one batch per 30ms (the bottleneck stage).
+	if !approx(m.Throughput, 1/0.030, 0.05) {
+		t.Fatalf("pipe throughput = %v, want ~33.3/s", m.Throughput)
+	}
+}
+
+func TestPipelinedBeatsSequentialOnBalancedChain(t *testing.T) {
+	p := chain(10*ms, 10*ms, 10*ms, 10*ms, 10*ms)
+	seq, _ := Simulate(p, 64, true, 0)
+	pipe, _ := Simulate(p, 64, false, 0)
+	speedup := pipe.Throughput / seq.Throughput
+	if speedup < 4 { // ideal 5x, minus fill/drain
+		t.Fatalf("pipeline speedup = %.2f, want ~5x on a balanced 5-stage chain", speedup)
+	}
+}
+
+func TestSlowPathWaitsForAllVariantsSync(t *testing.T) {
+	p := &Profile{Stages: []StageProfile{{
+		Service: []time.Duration{10 * ms, 10 * ms, 50 * ms},
+		Check:   1 * ms,
+		Output:  true,
+	}}}
+	m, err := Simulate(p, 4, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Latency.Seconds(), 0.051, 0.01) {
+		t.Fatalf("sync latency = %v, want straggler-bound 51ms", m.Latency)
+	}
+}
+
+func TestAsyncReleasesAtQuorumButOutputWaits(t *testing.T) {
+	// Two stages: MVX stage with straggler, then a fast stage. Async lets
+	// stage 1 start at the quorum, so end-to-end latency is quorum-bound.
+	p := &Profile{
+		Async: true,
+		Stages: []StageProfile{
+			{Service: []time.Duration{10 * ms, 12 * ms, 60 * ms}, Check: 0},
+			{Service: []time.Duration{5 * ms}, Deps: []int{0}, Output: true},
+		},
+	}
+	m, err := Simulate(p, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quorum (2nd of 3) at 12ms + 5ms = 17ms.
+	if !approx(m.Latency.Seconds(), 0.017, 0.05) {
+		t.Fatalf("async latency = %v, want ~17ms", m.Latency)
+	}
+	sync := &Profile{Stages: p.Stages}
+	ms2, _ := Simulate(sync, 1, true, 0)
+	if ms2.Latency <= m.Latency {
+		t.Fatalf("sync (%v) should be slower than async (%v)", ms2.Latency, m.Latency)
+	}
+}
+
+func TestAsyncThroughputStillStragglerBound(t *testing.T) {
+	// The straggler still serves every batch FIFO, so pipelined throughput
+	// cannot exceed its rate even in async mode.
+	p := &Profile{
+		Async: true,
+		Stages: []StageProfile{
+			{Service: []time.Duration{10 * ms, 10 * ms, 40 * ms}, Output: true},
+		},
+	}
+	m, err := Simulate(p, 64, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput > 1/0.040*1.05 {
+		t.Fatalf("async throughput %v exceeds straggler bound 25/s", m.Throughput)
+	}
+}
+
+func TestMonitorThreadSerializesCheckpoints(t *testing.T) {
+	// With transfer cost comparable to service, pipelined throughput is
+	// bound by service + can't hide the serialized monitor work entirely.
+	fast := chain(10 * ms)
+	fast.Stages[0].TransferIn = 0
+	noXfer, _ := Simulate(fast, 64, false, 0)
+
+	slow := chain(10 * ms)
+	slow.Stages[0].TransferIn = 5 * ms
+	slow.Stages[0].TransferOut = 5 * ms
+	withXfer, _ := Simulate(slow, 64, false, 0)
+	if withXfer.Throughput >= noXfer.Throughput*0.95 {
+		t.Fatalf("transfer costs must reduce pipelined throughput: %v vs %v",
+			withXfer.Throughput, noXfer.Throughput)
+	}
+}
+
+func TestDAGDependencies(t *testing.T) {
+	// Diamond: stage 0 feeds stages 1 and 2; stage 3 joins them.
+	p := &Profile{Stages: []StageProfile{
+		{Service: []time.Duration{10 * ms}},
+		{Service: []time.Duration{20 * ms}, Deps: []int{0}},
+		{Service: []time.Duration{30 * ms}, Deps: []int{0}},
+		{Service: []time.Duration{5 * ms}, Deps: []int{1, 2}, Output: true},
+	}}
+	m, err := Simulate(p, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical path: 10 + 30 + 5 = 45ms (branches run concurrently).
+	if !approx(m.Latency.Seconds(), 0.045, 0.01) {
+		t.Fatalf("diamond latency = %v, want 45ms", m.Latency)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(&Profile{}, 1, true, 0); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	bad := &Profile{Stages: []StageProfile{{Service: []time.Duration{ms}, Deps: []int{0}}}}
+	if _, err := Simulate(bad, 1, true, 0); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+	if _, err := Simulate(chain(ms), 0, true, 0); err == nil {
+		t.Fatal("zero batches accepted")
+	}
+	if _, err := Simulate(&Profile{Stages: []StageProfile{{}}}, 1, true, 0); err == nil {
+		t.Fatal("variant-less stage accepted")
+	}
+}
+
+func TestSimulateBaseline(t *testing.T) {
+	m := SimulateBaseline(20*ms, 10)
+	if !approx(m.Throughput, 50, 0.01) || m.Latency != 20*ms {
+		t.Fatalf("baseline = %+v", m)
+	}
+}
+
+func TestCalibrateOnRealBundle(t *testing.T) {
+	b, err := core.BuildBundle(core.OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: []int{3},
+		Specs:            []diversify.Spec{diversify.ReplicaSpec("replica")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(1, 3, 32, 32)
+	for i := range in.Data() {
+		in.Data()[i] = 0.1
+	}
+	plans := []monitor.PartitionPlan{
+		{Variants: []string{"replica"}},
+		{Variants: []string{"replica", "replica", "replica"}},
+		{Variants: []string{"replica"}},
+	}
+	prof, err := Calibrate(b, 0, in, CalibrationConfig{Plans: plans, TEEFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Stages) != 3 {
+		t.Fatalf("%d stages", len(prof.Stages))
+	}
+	if len(prof.Stages[1].Service) != 3 || len(prof.Stages[0].Service) != 1 {
+		t.Fatalf("variant counts: %d/%d", len(prof.Stages[0].Service), len(prof.Stages[1].Service))
+	}
+	if prof.Stages[1].Check == 0 {
+		t.Fatal("MVX stage has no check cost")
+	}
+	if prof.Stages[0].Check != 0 {
+		t.Fatal("fast-path stage has a check cost")
+	}
+	for i, s := range prof.Stages {
+		if s.TransferIn <= 0 || s.TransferOut <= 0 {
+			t.Fatalf("stage %d transfer not calibrated", i)
+		}
+		for _, svc := range s.Service {
+			if svc <= 0 {
+				t.Fatalf("stage %d service not calibrated", i)
+			}
+		}
+	}
+	// The profile must actually simulate.
+	if _, err := Simulate(prof, 16, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Plan/partition mismatch rejected.
+	if _, err := Calibrate(b, 0, in, CalibrationConfig{Plans: plans[:2]}); err == nil {
+		t.Fatal("plan count mismatch accepted")
+	}
+}
+
+func TestCoreContention(t *testing.T) {
+	p := &Profile{Stages: []StageProfile{{
+		Service: []time.Duration{10 * ms, 10 * ms, 10 * ms, 10 * ms},
+		Output:  true,
+	}}}
+	free, err := Simulate(p, 16, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Cores = 2 // 4 variants on 2 cores: service doubles
+	packed, err := Simulate(p, 16, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := free.Throughput / packed.Throughput
+	if !approx(ratio, 2, 0.05) {
+		t.Fatalf("2x oversubscription should halve throughput, ratio = %.2f", ratio)
+	}
+	p.Cores = 8 // budget exceeds demand: no penalty
+	roomy, err := Simulate(p, 16, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(roomy.Throughput, free.Throughput, 0.01) {
+		t.Fatalf("sufficient cores must not penalize: %v vs %v", roomy.Throughput, free.Throughput)
+	}
+}

@@ -1,0 +1,402 @@
+package rewrite
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// InsertDummyOps inserts count no-op nodes (Identity, or Add with a zero
+// scalar) on randomly chosen internal edges. Dummy operators change the graph
+// topology and node addresses without changing outputs (§4.2).
+func InsertDummyOps(count int) Transform {
+	return func(g *graph.Graph, rng *rand.Rand) error {
+		if rng == nil {
+			return fmt.Errorf("rewrite: InsertDummyOps needs an RNG")
+		}
+		for i := 0; i < count; i++ {
+			edges := internalEdges(g)
+			if len(edges) == 0 {
+				return nil
+			}
+			e := edges[rng.IntN(len(edges))]
+			mid := uniqueName(g, "dummy_t")
+			var n *graph.Node
+			if rng.IntN(2) == 0 {
+				n = &graph.Node{
+					Name:    uniqueName(g, "dummy_id"),
+					Op:      graph.OpIdentity,
+					Inputs:  []string{e.tensor},
+					Outputs: []string{mid},
+				}
+			} else {
+				zName := uniqueName(g, "dummy_zero")
+				g.AddInitializer(zName, tensor.New(1))
+				n = &graph.Node{
+					Name:    uniqueName(g, "dummy_add"),
+					Op:      graph.OpAdd,
+					Inputs:  []string{e.tensor, zName},
+					Outputs: []string{mid},
+				}
+			}
+			g.Nodes = append(g.Nodes, n)
+			replaceInput(e.consumer, e.tensor, mid)
+		}
+		return nil
+	}
+}
+
+type edge struct {
+	tensor   string
+	consumer *graph.Node
+}
+
+// internalEdges enumerates (tensor, consumer) pairs where the tensor is
+// produced by a node (not an input or initializer), in deterministic order.
+func internalEdges(g *graph.Graph) []edge {
+	produced := make(map[string]bool)
+	for _, n := range g.Nodes {
+		for _, o := range n.Outputs {
+			produced[o] = true
+		}
+	}
+	var out []edge
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if produced[in] {
+				out = append(out, edge{tensor: in, consumer: n})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].consumer.Name != out[j].consumer.Name {
+			return out[i].consumer.Name < out[j].consumer.Name
+		}
+		return out[i].tensor < out[j].tensor
+	})
+	return out
+}
+
+func replaceInput(n *graph.Node, from, to string) {
+	for i, in := range n.Inputs {
+		if in == from {
+			n.Inputs[i] = to
+			return
+		}
+	}
+}
+
+// DecomposeGemm splits every Gemm with bias into MatMul + Add (operator
+// decomposition).
+func DecomposeGemm() Transform {
+	return func(g *graph.Graph, _ *rand.Rand) error {
+		for _, n := range append([]*graph.Node(nil), g.Nodes...) {
+			if n.Op != graph.OpGemm || len(n.Inputs) < 3 {
+				continue
+			}
+			mid := uniqueName(g, n.Name+"_mm")
+			add := &graph.Node{
+				Name:    uniqueName(g, n.Name+"_bias"),
+				Op:      graph.OpAdd,
+				Inputs:  []string{mid, n.Inputs[2]},
+				Outputs: []string{n.Outputs[0]},
+			}
+			n.Op = graph.OpMatMul
+			n.Inputs = n.Inputs[:2]
+			n.Outputs = []string{mid}
+			g.Nodes = append(g.Nodes, add)
+		}
+		return nil
+	}
+}
+
+// DecomposeBatchNorm replaces every BatchNorm whose parameters are
+// initializers with an equivalent Mul + Add pair using precomputed
+// per-channel affine coefficients.
+func DecomposeBatchNorm() Transform {
+	return func(g *graph.Graph, _ *rand.Rand) error {
+		for _, n := range append([]*graph.Node(nil), g.Nodes...) {
+			if n.Op != graph.OpBatchNorm {
+				continue
+			}
+			var params [4]*tensor.Tensor
+			ok := true
+			for i, in := range n.Inputs[1:5] {
+				t, found := g.Initializers[in]
+				if !found {
+					ok = false
+					break
+				}
+				params[i] = t
+			}
+			if !ok {
+				continue
+			}
+			scale, bias, mean, variance := params[0], params[1], params[2], params[3]
+			eps := float32(n.Float("epsilon", 1e-5))
+			c := scale.Size()
+			a := tensor.New(1, c, 1, 1)
+			b := tensor.New(1, c, 1, 1)
+			ad, bd := a.Data(), b.Data()
+			sd, bsd, md, vd := scale.Data(), bias.Data(), mean.Data(), variance.Data()
+			for i := 0; i < c; i++ {
+				ad[i] = sd[i] / float32(math.Sqrt(float64(vd[i]+eps)))
+				bd[i] = bsd[i] - ad[i]*md[i]
+			}
+			aName := uniqueName(g, n.Name+"_a")
+			bName := uniqueName(g, n.Name+"_b")
+			g.AddInitializer(aName, a)
+			g.AddInitializer(bName, b)
+			mid := uniqueName(g, n.Name+"_scaled")
+			add := &graph.Node{
+				Name:    uniqueName(g, n.Name+"_shift"),
+				Op:      graph.OpAdd,
+				Inputs:  []string{mid, bName},
+				Outputs: []string{n.Outputs[0]},
+			}
+			n.Op = graph.OpMul
+			n.Inputs = []string{n.Inputs[0], aName}
+			n.Outputs = []string{mid}
+			n.Attrs = nil
+			g.Nodes = append(g.Nodes, add)
+		}
+		CleanupInitializers(g)
+		return nil
+	}
+}
+
+// ShuffleChannels permutes the output channels of up to count eligible
+// convolutions and compensates downstream, leaving the model function
+// unchanged (channel manipulation, §4.2). A convolution is eligible when it
+// is ungrouped, its weights are initializers, and its output reaches exactly
+// one following ungrouped convolution through a chain of channel-wise
+// single-consumer nodes (BatchNorm, activations); BatchNorm parameters along
+// the chain are permuted to match.
+func ShuffleChannels(count int) Transform {
+	return func(g *graph.Graph, rng *rand.Rand) error {
+		if rng == nil {
+			return fmt.Errorf("rewrite: ShuffleChannels needs an RNG")
+		}
+		cands := shuffleCandidates(g)
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		done := 0
+		for _, ch := range cands {
+			if done >= count {
+				break
+			}
+			if err := shuffleOne(g, ch.head, ch.tail, ch.bns, rng); err == nil {
+				done++
+			}
+		}
+		return nil
+	}
+}
+
+// shuffleChain is an eligible Conv → (channel-wise…) → Conv pattern.
+type shuffleChain struct {
+	head, tail *graph.Node
+	bns        []*graph.Node // BatchNorms along the chain (params to permute)
+}
+
+// shuffleCandidates finds eligible chains for channel permutation.
+func shuffleCandidates(g *graph.Graph) []shuffleChain {
+	var out []shuffleChain
+	for _, c1 := range g.Nodes {
+		if c1.Op != graph.OpConv || c1.Int("group", 1) != 1 {
+			continue
+		}
+		cur := c1
+		var bns []*graph.Node
+		for hops := 0; hops < 6; hops++ {
+			next := soleConsumer(g, cur.Outputs[0])
+			if next == nil {
+				break
+			}
+			// The chained tensor must be the data input.
+			if len(next.Inputs) == 0 || next.Inputs[0] != cur.Outputs[0] {
+				break
+			}
+			switch next.Op {
+			case graph.OpConv:
+				if next.Int("group", 1) == 1 {
+					out = append(out, shuffleChain{head: c1, tail: next, bns: bns})
+				}
+				hops = 6 // stop walking either way
+			case graph.OpBatchNorm:
+				bns = append(bns, next)
+				cur = next
+			case graph.OpRelu, graph.OpRelu6, graph.OpHardSwish, graph.OpHardSigmoid,
+				graph.OpSigmoid, graph.OpIdentity:
+				cur = next
+			default:
+				hops = 6
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].head.Name < out[j].head.Name })
+	return out
+}
+
+func shuffleOne(g *graph.Graph, c1, c2 *graph.Node, bns []*graph.Node, rng *rand.Rand) error {
+	w1, ok := g.Initializers[c1.Inputs[1]]
+	if !ok {
+		return fmt.Errorf("rewrite: conv %q weight not an initializer", c1.Name)
+	}
+	w2, ok := g.Initializers[c2.Inputs[1]]
+	if !ok {
+		return fmt.Errorf("rewrite: conv %q weight not an initializer", c2.Name)
+	}
+	cout := w1.Dim(0)
+	if w2.Dim(1) != cout {
+		return fmt.Errorf("rewrite: channel mismatch %d vs %d", cout, w2.Dim(1))
+	}
+	perm := rng.Perm(cout)
+
+	// Permute w1 output channels: nw1[i] = w1[perm[i]].
+	nw1 := tensor.New(w1.Shape()...)
+	per := w1.Size() / cout
+	for i, p := range perm {
+		copy(nw1.Data()[i*per:(i+1)*per], w1.Data()[p*per:(p+1)*per])
+	}
+	var nb1 *tensor.Tensor
+	if len(c1.Inputs) >= 3 {
+		b1, ok := g.Initializers[c1.Inputs[2]]
+		if !ok {
+			return fmt.Errorf("rewrite: conv %q bias not an initializer", c1.Name)
+		}
+		nb1 = tensor.New(cout)
+		for i, p := range perm {
+			nb1.Data()[i] = b1.Data()[p]
+		}
+	}
+	// Permute w2 input channels to match: nw2[:, i] = w2[:, perm[i]].
+	nw2 := tensor.New(w2.Shape()...)
+	oc2, khw := w2.Dim(0), w2.Dim(2)*w2.Dim(3)
+	for o := 0; o < oc2; o++ {
+		for i, p := range perm {
+			src := w2.Data()[(o*cout+p)*khw : (o*cout+p+1)*khw]
+			dst := nw2.Data()[(o*cout+i)*khw : (o*cout+i+1)*khw]
+			copy(dst, src)
+		}
+	}
+
+	// Permute BatchNorm parameters along the chain.
+	type bnPerm struct {
+		node   *graph.Node
+		params []*tensor.Tensor
+	}
+	var bnPerms []bnPerm
+	for _, bn := range bns {
+		bp := bnPerm{node: bn}
+		for _, in := range bn.Inputs[1:5] {
+			p, ok := g.Initializers[in]
+			if !ok || p.Size() != cout {
+				return fmt.Errorf("rewrite: batchnorm %q params not permutable", bn.Name)
+			}
+			np := tensor.New(cout)
+			for i, pi := range perm {
+				np.Data()[i] = p.Data()[pi]
+			}
+			bp.params = append(bp.params, np)
+		}
+		bnPerms = append(bnPerms, bp)
+	}
+
+	n1 := uniqueName(g, c1.Name+"_wshuf")
+	g.AddInitializer(n1, nw1)
+	c1.Inputs[1] = n1
+	if nb1 != nil {
+		bn := uniqueName(g, c1.Name+"_bshuf")
+		g.AddInitializer(bn, nb1)
+		c1.Inputs[2] = bn
+	}
+	n2 := uniqueName(g, c2.Name+"_wshuf")
+	g.AddInitializer(n2, nw2)
+	c2.Inputs[1] = n2
+	for _, bp := range bnPerms {
+		for i, np := range bp.params {
+			name := uniqueName(g, bp.node.Name+"_pshuf")
+			g.AddInitializer(name, np)
+			bp.node.Inputs[1+i] = name
+		}
+	}
+	CleanupInitializers(g)
+	return nil
+}
+
+// ReorderCommutative randomly permutes the inputs of Add nodes (commutative
+// graph rewriting).
+func ReorderCommutative() Transform {
+	return func(g *graph.Graph, rng *rand.Rand) error {
+		if rng == nil {
+			return fmt.Errorf("rewrite: ReorderCommutative needs an RNG")
+		}
+		for _, n := range g.Nodes {
+			if n.Op != graph.OpAdd || len(n.Inputs) < 2 {
+				continue
+			}
+			rng.Shuffle(len(n.Inputs), func(i, j int) {
+				n.Inputs[i], n.Inputs[j] = n.Inputs[j], n.Inputs[i]
+			})
+		}
+		return nil
+	}
+}
+
+// SelectiveOptimize fuses each eligible Conv+BN / Conv+activation pair with
+// probability p — the "selective optimization" defense of §4.2, which leaves
+// a randomized subset of operators unfused.
+func SelectiveOptimize(p float64) Transform {
+	return func(g *graph.Graph, rng *rand.Rand) error {
+		if rng == nil {
+			return fmt.Errorf("rewrite: SelectiveOptimize needs an RNG")
+		}
+		// Fuse one pair at a time so probability applies per-site.
+		for {
+			applied := false
+			for _, bn := range g.Nodes {
+				if bn.Op != graph.OpBatchNorm || bn.Str("noselopt", "") == "y" {
+					continue
+				}
+				conv := producerOf(g, bn.Inputs[0])
+				if conv == nil || !isConvOp(conv.Op) || soleConsumer(g, bn.Inputs[0]) != bn {
+					continue
+				}
+				if rng.Float64() >= p {
+					bn.SetAttr("noselopt", graph.StringAttr("y"))
+					continue
+				}
+				if err := foldBN(g, conv, bn); err != nil {
+					bn.SetAttr("noselopt", graph.StringAttr("y"))
+					continue
+				}
+				conv.Outputs[0] = bn.Outputs[0]
+				removeNode(g, bn)
+				applied = true
+				break
+			}
+			if !applied {
+				break
+			}
+		}
+		// Clear markers.
+		for _, n := range g.Nodes {
+			delete(n.Attrs, "noselopt")
+		}
+		CleanupInitializers(g)
+		return nil
+	}
+}
+
+// Fuse returns FuseConvBN + FuseConvActivation as a Transform.
+func Fuse() Transform {
+	return func(g *graph.Graph, _ *rand.Rand) error {
+		FuseConvBN(g)
+		FuseConvActivation(g)
+		return nil
+	}
+}

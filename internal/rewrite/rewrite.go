@@ -1,0 +1,255 @@
+// Package rewrite implements functionally-equivalent graph transformations
+// over the model IR. These are the building blocks of MVTEE's model-graph
+// level diversification (§4.2) — dummy operators, operator decomposition and
+// fusion, channel manipulation, commutative reordering, selective
+// optimization — and double as the built-in optimizer passes of the Planned
+// inference runtime.
+//
+// Every transform preserves the graph's input/output interface and its
+// mathematical function (up to floating-point association). Transforms
+// mutate the given graph in place and return it for chaining; callers that
+// need the original intact should Clone first.
+package rewrite
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Transform rewrites a graph in place. The RNG drives any randomized choices
+// and must not be nil for randomized transforms.
+type Transform func(g *graph.Graph, rng *rand.Rand) error
+
+// uniqueName returns a node/tensor name with the given prefix not yet used in g.
+func uniqueName(g *graph.Graph, prefix string) string {
+	used := make(map[string]bool, len(g.Nodes)*2)
+	for _, n := range g.Nodes {
+		used[n.Name] = true
+		for _, o := range n.Outputs {
+			used[o] = true
+		}
+	}
+	for name := range g.Initializers {
+		used[name] = true
+	}
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("%s_%d", prefix, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}
+
+func removeNode(g *graph.Graph, target *graph.Node) {
+	for i, n := range g.Nodes {
+		if n == target {
+			g.Nodes = append(g.Nodes[:i], g.Nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// soleConsumer returns the single node consuming tensorName, or nil if the
+// tensor has zero or multiple consumers or is a graph output.
+func soleConsumer(g *graph.Graph, tensorName string) *graph.Node {
+	for _, o := range g.Outputs {
+		if o == tensorName {
+			return nil
+		}
+	}
+	var found *graph.Node
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in != tensorName {
+				continue
+			}
+			if found != nil {
+				return nil
+			}
+			found = n
+		}
+	}
+	return found
+}
+
+// CleanupInitializers drops initializers no node references.
+func CleanupInitializers(g *graph.Graph) {
+	used := make(map[string]bool)
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			used[in] = true
+		}
+	}
+	for name := range g.Initializers {
+		if !used[name] {
+			delete(g.Initializers, name)
+		}
+	}
+}
+
+// --- Fusion -----------------------------------------------------------------
+
+// FuseConvBN folds BatchNorm nodes that directly follow a convolution into
+// the convolution's weights and bias (equivalent-operator fusion). Returns
+// the number of fusions applied.
+func FuseConvBN(g *graph.Graph) int {
+	fused := 0
+	for {
+		applied := false
+		for _, bn := range g.Nodes {
+			if bn.Op != graph.OpBatchNorm {
+				continue
+			}
+			convOut := bn.Inputs[0]
+			conv := producerOf(g, convOut)
+			if conv == nil || !isConvOp(conv.Op) || soleConsumer(g, convOut) != bn {
+				continue
+			}
+			if err := foldBN(g, conv, bn); err != nil {
+				continue
+			}
+			conv.Outputs[0] = bn.Outputs[0]
+			removeNode(g, bn)
+			fused++
+			applied = true
+			break
+		}
+		if !applied {
+			break
+		}
+	}
+	CleanupInitializers(g)
+	return fused
+}
+
+func producerOf(g *graph.Graph, tensorName string) *graph.Node {
+	for _, n := range g.Nodes {
+		for _, o := range n.Outputs {
+			if o == tensorName {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+func isConvOp(op string) bool {
+	switch op {
+	case graph.OpConv, graph.OpDepthwiseConv, graph.OpConvRelu, graph.OpConvBNRelu:
+		return true
+	}
+	return false
+}
+
+// foldBN rewrites conv's weight/bias so conv ∘ BN == conv'. BN params must be
+// graph initializers.
+func foldBN(g *graph.Graph, conv, bn *graph.Node) error {
+	w, ok := g.Initializers[conv.Inputs[1]]
+	if !ok {
+		return fmt.Errorf("rewrite: conv %q weight is not an initializer", conv.Name)
+	}
+	var params [4]*tensor.Tensor
+	for i, in := range bn.Inputs[1:5] {
+		t, ok := g.Initializers[in]
+		if !ok {
+			return fmt.Errorf("rewrite: batchnorm %q param %q is not an initializer", bn.Name, in)
+		}
+		params[i] = t
+	}
+	scale, bias, mean, variance := params[0], params[1], params[2], params[3]
+	eps := float32(bn.Float("epsilon", 1e-5))
+	cout := w.Dim(0)
+	if scale.Size() != cout {
+		return fmt.Errorf("rewrite: batchnorm channels %d != conv cout %d", scale.Size(), cout)
+	}
+
+	// New weight/bias tensors (do not mutate shared initializers in place).
+	nw := w.Clone()
+	var oldBias []float32
+	if len(conv.Inputs) >= 3 {
+		b, ok := g.Initializers[conv.Inputs[2]]
+		if !ok {
+			return fmt.Errorf("rewrite: conv %q bias is not an initializer", conv.Name)
+		}
+		oldBias = b.Data()
+	}
+	nb := tensor.New(cout)
+	wd, bd := nw.Data(), nb.Data()
+	perOC := w.Size() / cout
+	sd, bsd, md, vd := scale.Data(), bias.Data(), mean.Data(), variance.Data()
+	for oc := 0; oc < cout; oc++ {
+		a := sd[oc] / float32(math.Sqrt(float64(vd[oc]+eps)))
+		seg := wd[oc*perOC : (oc+1)*perOC]
+		for i := range seg {
+			seg[i] *= a
+		}
+		var ob float32
+		if oldBias != nil {
+			ob = oldBias[oc]
+		}
+		bd[oc] = a*(ob-md[oc]) + bsd[oc]
+	}
+
+	wName := uniqueName(g, conv.Name+"_wfold")
+	bName := uniqueName(g, conv.Name+"_bfold")
+	g.AddInitializer(wName, nw)
+	g.AddInitializer(bName, nb)
+	if len(conv.Inputs) >= 3 {
+		conv.Inputs[1], conv.Inputs[2] = wName, bName
+	} else {
+		conv.Inputs = append([]string{conv.Inputs[0], wName, bName}, conv.Inputs[3:]...)
+	}
+	return nil
+}
+
+// FuseConvActivation fuses Relu/Relu6 nodes directly following a convolution
+// into the convolution's activation attribute. Returns the number of fusions.
+func FuseConvActivation(g *graph.Graph) int {
+	fused := 0
+	for {
+		applied := false
+		for _, act := range g.Nodes {
+			var name string
+			switch act.Op {
+			case graph.OpRelu:
+				name = "relu"
+			case graph.OpRelu6:
+				name = "relu6"
+			default:
+				continue
+			}
+			conv := producerOf(g, act.Inputs[0])
+			if conv == nil || !isConvOp(conv.Op) || conv.Str("activation", "") != "" ||
+				conv.Op == graph.OpConvRelu || conv.Op == graph.OpConvBNRelu {
+				continue
+			}
+			if soleConsumer(g, act.Inputs[0]) != act {
+				continue
+			}
+			conv.SetAttr("activation", graph.StringAttr(name))
+			conv.Outputs[0] = act.Outputs[0]
+			removeNode(g, act)
+			fused++
+			applied = true
+			break
+		}
+		if !applied {
+			break
+		}
+	}
+	return fused
+}
+
+// Optimize applies the Planned runtime's built-in optimization pipeline at
+// the given level (0: none, >=1: BN folding + activation fusion). Returns the
+// total number of rewrites applied.
+func Optimize(g *graph.Graph, level int) int {
+	if level <= 0 {
+		return 0
+	}
+	return FuseConvBN(g) + FuseConvActivation(g)
+}

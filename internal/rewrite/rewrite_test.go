@@ -1,0 +1,289 @@
+package rewrite_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"repro/internal/rewrite"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func testModel(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := models.Build("mobilenetv3", models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testInput(seed uint64) *tensor.Tensor {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	in := tensor.New(1, 3, 32, 32)
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	return in
+}
+
+func forward(t *testing.T, g *graph.Graph, in *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	ex, err := infer.New(g, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ex.Run(map[string]*tensor.Tensor{"image": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out["logits"]
+}
+
+func maxRelDiff(a, b *tensor.Tensor) float64 {
+	var worst float64
+	for i := range a.Data() {
+		d := math.Abs(float64(a.Data()[i]) - float64(b.Data()[i]))
+		den := math.Abs(float64(b.Data()[i])) + 1e-6
+		if r := d / den; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// assertEquivalent checks the transform preserved the model function.
+func assertEquivalent(t *testing.T, name string, orig, transformed *graph.Graph) {
+	t.Helper()
+	if err := transformed.Validate(); err != nil {
+		t.Fatalf("%s produced invalid graph: %v", name, err)
+	}
+	in := testInput(3)
+	want := forward(t, orig, in)
+	got := forward(t, transformed, in)
+	if d := maxRelDiff(got, want); d > 1e-2 {
+		t.Fatalf("%s changed the model function: max rel diff %g", name, d)
+	}
+}
+
+func TestFuseConvBNEquivalence(t *testing.T) {
+	g := testModel(t)
+	tr := g.Clone()
+	n := rewrite.FuseConvBN(tr)
+	if n == 0 {
+		t.Fatal("no Conv+BN pairs fused")
+	}
+	if cnt := tr.Stats().OpCounts[graph.OpBatchNorm]; cnt >= g.Stats().OpCounts[graph.OpBatchNorm] {
+		t.Fatalf("BN count did not drop: %d", cnt)
+	}
+	assertEquivalent(t, "FuseConvBN", g, tr)
+}
+
+func TestFuseConvActivationEquivalence(t *testing.T) {
+	g := testModel(t)
+	tr := g.Clone()
+	rewrite.FuseConvBN(tr) // activations sit behind BN in the builder's layout
+	n := rewrite.FuseConvActivation(tr)
+	if n == 0 {
+		t.Fatal("no Conv+activation pairs fused")
+	}
+	assertEquivalent(t, "FuseConvActivation", g, tr)
+}
+
+func TestOptimizeLevels(t *testing.T) {
+	g := testModel(t)
+	if rewrite.Optimize(g.Clone(), 0) != 0 {
+		t.Fatal("level 0 must be a no-op")
+	}
+	tr := g.Clone()
+	if rewrite.Optimize(tr, 1) == 0 {
+		t.Fatal("level 1 applied nothing")
+	}
+	assertEquivalent(t, "Optimize", g, tr)
+}
+
+func TestInsertDummyOpsEquivalence(t *testing.T) {
+	g := testModel(t)
+	tr := g.Clone()
+	rng := rand.New(rand.NewPCG(9, 9))
+	if err := rewrite.InsertDummyOps(6)(tr, rng); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != len(g.Nodes)+6 {
+		t.Fatalf("node count %d, want %d", len(tr.Nodes), len(g.Nodes)+6)
+	}
+	assertEquivalent(t, "InsertDummyOps", g, tr)
+}
+
+func TestInsertDummyOpsNeedsRNG(t *testing.T) {
+	if err := rewrite.InsertDummyOps(1)(testModel(t), nil); err == nil {
+		t.Fatal("expected error without RNG")
+	}
+}
+
+func TestDecomposeGemmEquivalence(t *testing.T) {
+	g := testModel(t)
+	tr := g.Clone()
+	if err := rewrite.DecomposeGemm()(tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().OpCounts[graph.OpGemm] != 0 {
+		t.Fatal("Gemm nodes remain after decomposition")
+	}
+	if tr.Stats().OpCounts[graph.OpMatMul] == 0 {
+		t.Fatal("no MatMul produced")
+	}
+	assertEquivalent(t, "DecomposeGemm", g, tr)
+}
+
+func TestDecomposeBatchNormEquivalence(t *testing.T) {
+	g := testModel(t)
+	tr := g.Clone()
+	if err := rewrite.DecomposeBatchNorm()(tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().OpCounts[graph.OpBatchNorm] != 0 {
+		t.Fatal("BatchNorm nodes remain after decomposition")
+	}
+	assertEquivalent(t, "DecomposeBatchNorm", g, tr)
+}
+
+func TestShuffleChannelsEquivalence(t *testing.T) {
+	// MobileNet has few eligible ungrouped Conv->Conv pairs; ResNet has many.
+	g, err := models.Build("resnet-50", models.Config{Depth: 0.34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Clone()
+	rng := rand.New(rand.NewPCG(10, 10))
+	if err := rewrite.ShuffleChannels(3)(tr, rng); err != nil {
+		t.Fatal(err)
+	}
+	in := testInput(4)
+	want := forward(t, g, in)
+	got := forward(t, tr, in)
+	if d := maxRelDiff(got, want); d > 1e-2 {
+		t.Fatalf("ShuffleChannels changed the function: %g", d)
+	}
+	// The weights must actually have changed layout.
+	changed := false
+	for name := range tr.Initializers {
+		if _, ok := g.Initializers[name]; !ok {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("ShuffleChannels did not rewrite any weights")
+	}
+}
+
+func TestReorderCommutativeEquivalence(t *testing.T) {
+	g, err := models.Build("resnet-50", models.Config{Depth: 0.34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Clone()
+	rng := rand.New(rand.NewPCG(11, 11))
+	if err := rewrite.ReorderCommutative()(tr, rng); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, "ReorderCommutative", g, tr)
+}
+
+func TestSelectiveOptimizeExtremes(t *testing.T) {
+	g := testModel(t)
+	rng := rand.New(rand.NewPCG(12, 12))
+
+	none := g.Clone()
+	if err := rewrite.SelectiveOptimize(0)(none, rng); err != nil {
+		t.Fatal(err)
+	}
+	if none.Stats().OpCounts[graph.OpBatchNorm] != g.Stats().OpCounts[graph.OpBatchNorm] {
+		t.Fatal("p=0 must fuse nothing")
+	}
+
+	all := g.Clone()
+	if err := rewrite.SelectiveOptimize(1)(all, rng); err != nil {
+		t.Fatal(err)
+	}
+	full := g.Clone()
+	rewrite.FuseConvBN(full)
+	if all.Stats().OpCounts[graph.OpBatchNorm] != full.Stats().OpCounts[graph.OpBatchNorm] {
+		t.Fatal("p=1 must fuse everything FuseConvBN fuses")
+	}
+	assertEquivalent(t, "SelectiveOptimize", g, all)
+}
+
+func TestCleanupInitializers(t *testing.T) {
+	g := testModel(t)
+	g.AddInitializer("orphan", tensor.New(3))
+	rewrite.CleanupInitializers(g)
+	if _, ok := g.Initializers["orphan"]; ok {
+		t.Fatal("orphan initializer survived cleanup")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickComposedTransformsEquivalence property-tests that random
+// compositions of diversification transforms preserve the model function —
+// the core guarantee behind MVX consistency checking.
+func TestQuickComposedTransformsEquivalence(t *testing.T) {
+	base, err := models.Build("resnet-50", models.Config{Depth: 0.34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInput(5)
+	ex, err := infer.New(base, infer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut, err := ex.Run(map[string]*tensor.Tensor{"image": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantOut["logits"]
+
+	mk := []func(uint8) rewrite.Transform{
+		func(n uint8) rewrite.Transform { return rewrite.InsertDummyOps(int(n%4) + 1) },
+		func(uint8) rewrite.Transform { return rewrite.DecomposeGemm() },
+		func(uint8) rewrite.Transform { return rewrite.DecomposeBatchNorm() },
+		func(n uint8) rewrite.Transform { return rewrite.ShuffleChannels(int(n % 3)) },
+		func(uint8) rewrite.Transform { return rewrite.ReorderCommutative() },
+		func(n uint8) rewrite.Transform { return rewrite.SelectiveOptimize(float64(n%10) / 10) },
+		func(uint8) rewrite.Transform { return rewrite.Fuse() },
+	}
+	f := func(seed uint64, picks []uint8) bool {
+		if len(picks) > 4 {
+			picks = picks[:4]
+		}
+		rng := rand.New(rand.NewPCG(seed, 13))
+		g := base.Clone()
+		for _, p := range picks {
+			if err := mk[int(p)%len(mk)](p)(g, rng); err != nil {
+				return false
+			}
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		ex, err := infer.New(g, infer.Config{})
+		if err != nil {
+			return false
+		}
+		out, err := ex.Run(map[string]*tensor.Tensor{"image": in})
+		if err != nil {
+			return false
+		}
+		return maxRelDiff(out["logits"], want) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

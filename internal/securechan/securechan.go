@@ -1,0 +1,397 @@
+// Package securechan implements MVTEE's socket-level RA-TLS analogue
+// (§5.2): an attested, encrypted, freshness-protected channel over any
+// net.Conn. The handshake performs an X25519 key agreement in which each
+// side's attestation report binds the channel's public keys and nonces into
+// its report data — so a verified report proves the peer enclave owns the
+// channel — and the record layer protects every message with AES-GCM-256
+// under direction-separated keys and explicit monotonic sequence numbers.
+package securechan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hkdf"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/enclave"
+)
+
+// Conn is a message-oriented channel between monitor and variant. Send and
+// Recv are each safe for use by one goroutine at a time (one sender, one
+// receiver concurrently is fine).
+type Conn interface {
+	Send(b []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// Maximum accepted frame size (largest checkpoint tensors plus headers).
+const maxFrame = 1 << 28
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("securechan: frame exceeds limit")
+	ErrSequence      = errors.New("securechan: bad record sequence (replay or reorder)")
+	ErrHandshake     = errors.New("securechan: handshake failed")
+)
+
+// --- raw framing ------------------------------------------------------------
+
+func writeFrame(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// --- plaintext channel (baseline) --------------------------------------------
+
+// plainConn is the no-encryption baseline channel used by the Figure 10
+// overhead experiments. Same framing, no crypto.
+type plainConn struct {
+	c      net.Conn
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+var _ Conn = (*plainConn)(nil)
+
+// Plain wraps c in unencrypted framing.
+func Plain(c net.Conn) Conn { return &plainConn{c: c} }
+
+func (p *plainConn) Send(b []byte) error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return writeFrame(p.c, b)
+}
+
+func (p *plainConn) Recv() ([]byte, error) {
+	p.recvMu.Lock()
+	defer p.recvMu.Unlock()
+	return readFrame(p.c)
+}
+
+func (p *plainConn) Close() error { return p.c.Close() }
+
+// --- secure channel ----------------------------------------------------------
+
+// SecureConn is an established RA-TLS-style channel.
+type SecureConn struct {
+	c          net.Conn
+	sendMu     sync.Mutex
+	recvMu     sync.Mutex
+	sendAEAD   cipher.AEAD
+	recvAEAD   cipher.AEAD
+	sendSeq    uint64
+	recvSeq    uint64
+	sendLabel  []byte
+	recvLabel  []byte
+	peerReport *enclave.Report
+}
+
+var _ Conn = (*SecureConn)(nil)
+
+// PeerReport returns the attestation report presented by the peer during the
+// handshake.
+func (s *SecureConn) PeerReport() *enclave.Report { return s.peerReport }
+
+// Close closes the underlying transport.
+func (s *SecureConn) Close() error { return s.c.Close() }
+
+// Send encrypts and transmits one message.
+func (s *SecureConn) Send(b []byte) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	seq := s.sendSeq
+	s.sendSeq++
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	aad := make([]byte, 0, len(s.sendLabel)+8)
+	aad = append(aad, s.sendLabel...)
+	aad = binary.BigEndian.AppendUint64(aad, seq)
+	ct := s.sendAEAD.Seal(nil, nonce[:], b, aad)
+	frame := make([]byte, 8+len(ct))
+	binary.BigEndian.PutUint64(frame, seq)
+	copy(frame[8:], ct)
+	return writeFrame(s.c, frame)
+}
+
+// Recv receives and decrypts one message, enforcing strict sequence order.
+func (s *SecureConn) Recv() ([]byte, error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	frame, err := readFrame(s.c)
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) < 8 {
+		return nil, fmt.Errorf("securechan: short record")
+	}
+	seq := binary.BigEndian.Uint64(frame)
+	if seq != s.recvSeq {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrSequence, seq, s.recvSeq)
+	}
+	s.recvSeq++
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	aad := make([]byte, 0, len(s.recvLabel)+8)
+	aad = append(aad, s.recvLabel...)
+	aad = binary.BigEndian.AppendUint64(aad, seq)
+	pt, err := s.recvAEAD.Open(nil, nonce[:], frame[8:], aad)
+	if err != nil {
+		return nil, fmt.Errorf("securechan: record auth: %w", err)
+	}
+	return pt, nil
+}
+
+// --- handshake ----------------------------------------------------------------
+
+type helloMsg struct {
+	Pub    []byte          `json:"pub"`
+	Nonce  []byte          `json:"nonce"`
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// VerifyPeer validates the peer's attestation report during the handshake.
+// Returning an error aborts the connection.
+type VerifyPeer func(r *enclave.Report) error
+
+func channelBinding(cPub, sPub, cNonce, sNonce []byte) enclave.ReportData {
+	h := sha256.New()
+	h.Write([]byte("mvtee-ratls-v1"))
+	h.Write(cPub)
+	h.Write(sPub)
+	h.Write(cNonce)
+	h.Write(sNonce)
+	var rd enclave.ReportData
+	copy(rd[:], h.Sum(nil))
+	return rd
+}
+
+func deriveAEAD(shared, salt []byte, info string) (cipher.AEAD, error) {
+	key, err := hkdf.Key(sha256.New, shared, salt, info, 32)
+	if err != nil {
+		return nil, err
+	}
+	blk, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(blk)
+}
+
+func newKeyPair() (*ecdh.PrivateKey, error) {
+	return ecdh.X25519().GenerateKey(rand.Reader)
+}
+
+// Client performs the initiator side of the attested handshake. self may be
+// nil for an unattested client (e.g., the model owner's machine, which is
+// verified by other means); verify may be nil to skip peer verification.
+func Client(c net.Conn, self attest.Attester, verify VerifyPeer) (*SecureConn, error) {
+	priv, err := newKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	cNonce, err := attest.NewNonce()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	hello := helloMsg{Pub: priv.PublicKey().Bytes(), Nonce: cNonce}
+	b, err := json.Marshal(hello)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if err := writeFrame(c, b); err != nil {
+		return nil, fmt.Errorf("%w: send hello: %v", ErrHandshake, err)
+	}
+
+	rb, err := readFrame(c)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read server hello: %v", ErrHandshake, err)
+	}
+	var sh helloMsg
+	if err := json.Unmarshal(rb, &sh); err != nil {
+		return nil, fmt.Errorf("%w: parse server hello: %v", ErrHandshake, err)
+	}
+	sPub, err := ecdh.X25519().NewPublicKey(sh.Pub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: server key: %v", ErrHandshake, err)
+	}
+	binding := channelBinding(hello.Pub, sh.Pub, cNonce, sh.Nonce)
+
+	var peer *enclave.Report
+	if len(sh.Report) > 0 {
+		peer, err = enclave.UnmarshalReport(sh.Report)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		if peer.ReportData != binding {
+			return nil, fmt.Errorf("%w: server report not bound to channel", ErrHandshake)
+		}
+	}
+	if verify != nil {
+		if err := verify(peer); err != nil {
+			return nil, fmt.Errorf("%w: peer verification: %v", ErrHandshake, err)
+		}
+	}
+
+	// Client finish: our report, bound to the same transcript.
+	fin := helloMsg{}
+	if self != nil {
+		rep, err := self.GenerateReport(binding)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		rj, err := rep.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		fin.Report = rj
+	}
+	fb, err := json.Marshal(fin)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if err := writeFrame(c, fb); err != nil {
+		return nil, fmt.Errorf("%w: send finish: %v", ErrHandshake, err)
+	}
+
+	shared, err := priv.ECDH(sPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	salt := append(append([]byte(nil), cNonce...), sh.Nonce...)
+	c2s, err := deriveAEAD(shared, salt, "mvtee-ratls/c2s")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	s2c, err := deriveAEAD(shared, salt, "mvtee-ratls/s2c")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return &SecureConn{
+		c: c, sendAEAD: c2s, recvAEAD: s2c,
+		sendLabel: []byte("c2s"), recvLabel: []byte("s2c"),
+		peerReport: peer,
+	}, nil
+}
+
+// Server performs the responder side of the attested handshake. self may be
+// nil (plaintext-authenticated server); verify may be nil to accept any
+// client.
+func Server(c net.Conn, self attest.Attester, verify VerifyPeer) (*SecureConn, error) {
+	hb, err := readFrame(c)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read hello: %v", ErrHandshake, err)
+	}
+	var ch helloMsg
+	if err := json.Unmarshal(hb, &ch); err != nil {
+		return nil, fmt.Errorf("%w: parse hello: %v", ErrHandshake, err)
+	}
+	cPub, err := ecdh.X25519().NewPublicKey(ch.Pub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: client key: %v", ErrHandshake, err)
+	}
+	priv, err := newKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	sNonce, err := attest.NewNonce()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	myPub := priv.PublicKey().Bytes()
+	binding := channelBinding(ch.Pub, myPub, ch.Nonce, sNonce)
+
+	sh := helloMsg{Pub: myPub, Nonce: sNonce}
+	if self != nil {
+		rep, err := self.GenerateReport(binding)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		rj, err := rep.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		sh.Report = rj
+	}
+	sb, err := json.Marshal(sh)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if err := writeFrame(c, sb); err != nil {
+		return nil, fmt.Errorf("%w: send server hello: %v", ErrHandshake, err)
+	}
+
+	fb, err := readFrame(c)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read finish: %v", ErrHandshake, err)
+	}
+	var fin helloMsg
+	if err := json.Unmarshal(fb, &fin); err != nil {
+		return nil, fmt.Errorf("%w: parse finish: %v", ErrHandshake, err)
+	}
+	var peer *enclave.Report
+	if len(fin.Report) > 0 {
+		peer, err = enclave.UnmarshalReport(fin.Report)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		if peer.ReportData != binding {
+			return nil, fmt.Errorf("%w: client report not bound to channel", ErrHandshake)
+		}
+	}
+	if verify != nil {
+		if err := verify(peer); err != nil {
+			return nil, fmt.Errorf("%w: peer verification: %v", ErrHandshake, err)
+		}
+	}
+
+	shared, err := priv.ECDH(cPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	salt := append(append([]byte(nil), ch.Nonce...), sNonce...)
+	c2s, err := deriveAEAD(shared, salt, "mvtee-ratls/c2s")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	s2c, err := deriveAEAD(shared, salt, "mvtee-ratls/s2c")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return &SecureConn{
+		c: c, sendAEAD: s2c, recvAEAD: c2s,
+		sendLabel: []byte("s2c"), recvLabel: []byte("c2s"),
+		peerReport: peer,
+	}, nil
+}

@@ -1,0 +1,252 @@
+package securechan
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/enclave"
+)
+
+func testEnclave(t testing.TB, name string) (*enclave.Platform, *enclave.Enclave) {
+	t.Helper()
+	p, err := enclave.NewPlatform("plat-"+name, enclave.SGX2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(enclave.Image{Name: name, Code: []byte(name), InitialPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, e
+}
+
+// handshake establishes a mutually attested channel over net.Pipe.
+func handshake(t *testing.T, cliVerify, srvVerify VerifyPeer) (*SecureConn, *SecureConn) {
+	t.Helper()
+	_, cliEncl := testEnclave(t, "client")
+	_, srvEncl := testEnclave(t, "server")
+	return handshakeWith(t, cliEncl, srvEncl, cliVerify, srvVerify)
+}
+
+func handshakeWith(t *testing.T, cliEncl, srvEncl *enclave.Enclave, cliVerify, srvVerify VerifyPeer) (*SecureConn, *SecureConn) {
+	t.Helper()
+	a, b := net.Pipe()
+	type res struct {
+		c   *SecureConn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Server(b, srvEncl, srvVerify)
+		ch <- res{c, err}
+	}()
+	cli, err := Client(a, cliEncl, cliVerify)
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("server handshake: %v", r.err)
+	}
+	return cli, r.c
+}
+
+func TestRoundtripBothDirections(t *testing.T) {
+	cli, srv := handshake(t, nil, nil)
+	defer cli.Close()
+
+	go func() { _ = cli.Send([]byte("hello from client")) }()
+	got, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello from client")) {
+		t.Fatalf("got %q", got)
+	}
+	go func() { _ = srv.Send([]byte("hello from server")) }()
+	got, err = cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello from server")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPeerReportsExchangedAndBound(t *testing.T) {
+	cliPlat, cliEncl := testEnclave(t, "client")
+	srvPlat, srvEncl := testEnclave(t, "server")
+	v := enclave.NewVerifier()
+	v.Trust(cliPlat)
+	v.Trust(srvPlat)
+	verify := func(r *enclave.Report) error {
+		if r == nil {
+			return errors.New("no report")
+		}
+		return v.Verify(r, nil)
+	}
+	cli, srv := handshakeWith(t, cliEncl, srvEncl, verify, verify)
+	if cli.PeerReport() == nil || cli.PeerReport().Measurement != srvEncl.Measurement() {
+		t.Fatal("client did not capture the server's report")
+	}
+	if srv.PeerReport() == nil || srv.PeerReport().Measurement != cliEncl.Measurement() {
+		t.Fatal("server did not capture the client's report")
+	}
+}
+
+func TestVerifyRejectionAborts(t *testing.T) {
+	_, cliEncl := testEnclave(t, "client")
+	_, srvEncl := testEnclave(t, "server")
+	a, b := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Server(b, srvEncl, nil)
+		done <- err
+	}()
+	_, err := Client(a, cliEncl, func(*enclave.Report) error {
+		return errors.New("untrusted platform")
+	})
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("client: got %v, want ErrHandshake", err)
+	}
+	a.Close()
+	<-done
+}
+
+func TestSequenceEnforced(t *testing.T) {
+	cli, srv := handshake(t, nil, nil)
+	// Capture a raw frame by sending through a recording pipe is complex;
+	// instead simulate replay by desynchronizing expected sequence.
+	go func() {
+		_ = cli.Send([]byte("one"))
+		_ = cli.Send([]byte("two"))
+	}()
+	if _, err := srv.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	srv.recvSeq = 0 // receiver expects seq 0 again: replayed record
+	if _, err := srv.Recv(); !errors.Is(err, ErrSequence) {
+		t.Fatalf("got %v, want ErrSequence", err)
+	}
+}
+
+func TestTamperedRecordRejected(t *testing.T) {
+	_, cliEncl := testEnclave(t, "client")
+	_, srvEncl := testEnclave(t, "server")
+	a, b := net.Pipe()
+	// Man-in-the-middle pipe that flips a payload bit of the first data
+	// record after the handshake (handshake frames pass through intact).
+	am, bm := net.Pipe()
+	go mitm(t, bm, b, 3) // client sends 2 handshake frames; 3rd is data
+	type res struct {
+		c   *SecureConn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Server(a, srvEncl, nil)
+		ch <- res{c, err}
+	}()
+	cli, err := Client(am, cliEncl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	go func() { _ = cli.Send([]byte("sensitive tensor data")) }()
+	if _, err := r.c.Recv(); err == nil {
+		t.Fatal("tampered record accepted")
+	}
+}
+
+// mitm forwards frames from src to dst, flipping a bit in frame number
+// flipAt (1-based) in the client->server direction; server->client frames
+// pass through untouched.
+func mitm(t *testing.T, src, dst net.Conn, flipAt int) {
+	go func() { // reverse direction passthrough
+		buf := make([]byte, 4096)
+		for {
+			n, err := dst.Read(buf)
+			if n > 0 {
+				if _, werr := src.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for frame := 1; ; frame++ {
+		b, err := readFrame(src)
+		if err != nil {
+			return
+		}
+		if frame == flipAt && len(b) > 10 {
+			b[len(b)-1] ^= 0x01
+		}
+		if err := writeFrame(dst, b); err != nil {
+			return
+		}
+	}
+}
+
+func TestPlainConn(t *testing.T) {
+	a, b := net.Pipe()
+	p1, p2 := Plain(a), Plain(b)
+	go func() { _ = p1.Send([]byte("clear")) }()
+	got, err := p2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("clear")) {
+		t.Fatalf("got %q", got)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	a, b := net.Pipe()
+	go func() {
+		hdr := []byte{0xff, 0xff, 0xff, 0xff}
+		_, _ = a.Write(hdr)
+	}()
+	if _, err := Plain(b).Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestNilSelfMeansNoReport(t *testing.T) {
+	// Model owner (no enclave) connecting to an attested monitor.
+	_, srvEncl := testEnclave(t, "server")
+	a, b := net.Pipe()
+	type res struct {
+		c   *SecureConn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Server(b, srvEncl, nil)
+		ch <- res{c, err}
+	}()
+	cli, err := Client(a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.c.PeerReport() != nil {
+		t.Fatal("server should see no client report")
+	}
+	if cli.PeerReport() == nil {
+		t.Fatal("client should see the server report")
+	}
+}

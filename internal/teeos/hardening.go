@@ -1,0 +1,68 @@
+package teeos
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// This file implements the "additional variant hardening" defenses of §6.5:
+// runtime freshness metadata against rollback/replay of encrypted files, and
+// cross-verification of host-reported signals against TEE-reported
+// exceptions (the SIGY-class defense).
+
+// ErrRollback reports an encrypted file whose host-side content changed
+// under the TEE at runtime — a rollback/replay attempt. (This is the paper's
+// partial mitigation; a complete defense needs independent monotonic
+// counters.)
+var ErrRollback = errors.New("teeos: encrypted file rollback/replay detected")
+
+// checkFreshness records the first-seen ciphertext digest per path and
+// rejects any later change during this TEE's lifetime.
+func (o *OS) checkFreshness(path string, raw []byte) error {
+	sum := sha256.Sum256(raw)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.freshness == nil {
+		o.freshness = make(map[string][32]byte)
+	}
+	if prev, ok := o.freshness[path]; ok {
+		if prev != sum {
+			return fmt.Errorf("%w: %q", ErrRollback, path)
+		}
+		return nil
+	}
+	o.freshness[path] = sum
+	return nil
+}
+
+// --- host/TEE signal cross-verification ---------------------------------------
+
+// ErrSignalMismatch reports a host-delivered signal with no corresponding
+// TEE-side exception — the signal-injection attacks (SIGY) the TEE OS
+// cross-checks for (§6.5).
+var ErrSignalMismatch = errors.New("teeos: host signal without matching TEE exception")
+
+// RaiseException records a genuine TEE-side exception (e.g. a hardware
+// #PF/#DE reported through the enclave exit path).
+func (o *OS) RaiseException(sig string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.teeExceptions == nil {
+		o.teeExceptions = make(map[string]int)
+	}
+	o.teeExceptions[sig]++
+}
+
+// DeliverHostSignal models the untrusted host delivering a signal to the
+// application. The TEE OS accepts it only when a matching TEE-side exception
+// is pending; an unsolicited signal is rejected as injected.
+func (o *OS) DeliverHostSignal(sig string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.teeExceptions[sig] > 0 {
+		o.teeExceptions[sig]--
+		return nil
+	}
+	return fmt.Errorf("%w: %q", ErrSignalMismatch, sig)
+}

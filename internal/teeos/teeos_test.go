@@ -1,0 +1,310 @@
+package teeos
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/enclave"
+	"repro/internal/manifest"
+	"repro/internal/pfcrypt"
+)
+
+func newOS(t *testing.T, m *manifest.Manifest, fs FS, env map[string]string) *OS {
+	t.Helper()
+	p, err := enclave.NewPlatform("p", enclave.SGX2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(enclave.Image{Name: "app", Code: []byte("bin"), InitialPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(e, m, fs, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func initManifest() *manifest.Manifest {
+	m := &manifest.Manifest{
+		Entrypoint:      "bin/init",
+		EncryptedFiles:  []string{"pool/*"},
+		AllowedSyscalls: []string{"connect"},
+		AllowedEnv:      []string{"LANG"},
+		TwoStage:        true,
+	}
+	m.AddTrustedFile("bin/init", []byte("init binary"))
+	return m
+}
+
+func TestTrustedFileVerification(t *testing.T) {
+	fs := MapFS{"bin/init": []byte("init binary"), "bin/evil": []byte("evil")}
+	o := newOS(t, initManifest(), fs, nil)
+	b, err := o.ReadFile("bin/init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, []byte("init binary")) {
+		t.Fatal("wrong content")
+	}
+	// Tampered trusted file.
+	fs["bin/init"] = []byte("init binarY")
+	if _, err := o.ReadFile("bin/init"); !errors.Is(err, ErrHashMismatch) {
+		t.Fatalf("got %v, want ErrHashMismatch", err)
+	}
+	// Not in any allowed set.
+	if _, err := o.ReadFile("bin/evil"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("got %v, want ErrDenied", err)
+	}
+}
+
+func TestEncryptedFileAccess(t *testing.T) {
+	kdk, _ := pfcrypt.NewKDK()
+	ct, err := pfcrypt.Encrypt(kdk, "pool/a/graph.pf", []byte("secret graph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := MapFS{"bin/init": []byte("init binary"), "pool/a/graph.pf": ct}
+	o := newOS(t, initManifest(), fs, nil)
+
+	// Before key installation: denied.
+	if _, err := o.ReadFile("pool/a/graph.pf"); !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("got %v, want ErrKeyMissing", err)
+	}
+	if err := o.InstallKey(kdk); err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.ReadFile("pool/a/graph.pf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, []byte("secret graph")) {
+		t.Fatal("decryption mismatch")
+	}
+	// Wrong key: authentication failure surfaces.
+	other, _ := pfcrypt.NewKDK()
+	if err := o.InstallKey(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.ReadFile("pool/a/graph.pf"); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestSyscallGate(t *testing.T) {
+	o := newOS(t, initManifest(), MapFS{}, nil)
+	if err := o.Syscall("connect"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Syscall("read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Syscall("ptrace"); !errors.Is(err, ErrSyscallBlocked) {
+		t.Fatalf("got %v, want ErrSyscallBlocked", err)
+	}
+	if log := o.SyscallLog(); len(log) != 2 || log[0] != "connect" {
+		t.Fatalf("syscall log = %v", log)
+	}
+}
+
+func TestEnvGate(t *testing.T) {
+	o := newOS(t, initManifest(), MapFS{}, map[string]string{"LANG": "C", "LD_PRELOAD": "evil.so"})
+	if v, err := o.Getenv("LANG"); err != nil || v != "C" {
+		t.Fatalf("LANG = %q, %v", v, err)
+	}
+	if _, err := o.Getenv("LD_PRELOAD"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("got %v, want ErrDenied (env blocked by default)", err)
+	}
+}
+
+func secondStage(t *testing.T) []byte {
+	t.Helper()
+	m2 := &manifest.Manifest{
+		Entrypoint:            "pool/a/main.pf",
+		EncryptedFiles:        []string{"pool/a/main.pf", "pool/a/graph.pf"},
+		ExecFromEncryptedOnly: true,
+	}
+	b, err := m2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTwoStageLifecycle(t *testing.T) {
+	o := newOS(t, initManifest(), MapFS{}, map[string]string{"LANG": "C"})
+	m2b := secondStage(t)
+
+	// Exec before installation must fail under TwoStage.
+	if err := o.Exec("pool/a/main.pf"); !errors.Is(err, ErrNoSecondStage) {
+		t.Fatalf("got %v, want ErrNoSecondStage", err)
+	}
+	ev, err := o.InstallSecondStage(m2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := o.SecondStageDigest(); err != nil || d != ev {
+		t.Fatalf("evidence mismatch: %v", err)
+	}
+	// One-time: second installation rejected.
+	if _, err := o.InstallSecondStage(m2b); !errors.Is(err, ErrAlreadySet) {
+		t.Fatalf("got %v, want ErrAlreadySet", err)
+	}
+	// Wrong exec target rejected.
+	if err := o.Exec("bin/other"); !errors.Is(err, ErrWrongEntry) {
+		t.Fatalf("got %v, want ErrWrongEntry", err)
+	}
+
+	_ = o.Syscall("connect")
+	if err := o.Exec("pool/a/main.pf"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stage() != StageMain {
+		t.Fatalf("stage = %v", o.Stage())
+	}
+	// State reset: syscall log cleared, env cleared, file opens cleared.
+	if len(o.SyscallLog()) != 0 || o.OpenFileCount() != 0 {
+		t.Fatal("stage-1 state leaked across exec")
+	}
+	if _, err := o.Getenv("LANG"); err == nil {
+		t.Fatal("host env survived exec (second-stage manifest allows none)")
+	}
+	// One-way: no second exec, no late installation, no key changes.
+	if err := o.Exec("pool/a/main.pf"); !errors.Is(err, ErrStage) {
+		t.Fatalf("second exec: got %v, want ErrStage", err)
+	}
+	if _, err := o.InstallSecondStage(m2b); !errors.Is(err, ErrStage) {
+		t.Fatalf("late install: got %v, want ErrStage", err)
+	}
+	kdk, _ := pfcrypt.NewKDK()
+	if err := o.InstallKey(kdk); !errors.Is(err, ErrStage) {
+		t.Fatalf("stage-2 key install: got %v, want ErrStage", err)
+	}
+	// Stage-1 syscalls (connect) are gone from the stage-2 allowlist.
+	if err := o.Syscall("connect"); !errors.Is(err, ErrSyscallBlocked) {
+		t.Fatalf("stage-2 connect: got %v, want ErrSyscallBlocked", err)
+	}
+}
+
+func TestExecFromEncryptedOnly(t *testing.T) {
+	o := newOS(t, initManifest(), MapFS{}, nil)
+	m2 := &manifest.Manifest{
+		Entrypoint:            "bin/plainmain",
+		ExecFromEncryptedOnly: true,
+	}
+	b, _ := m2.Marshal()
+	if _, err := o.InstallSecondStage(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Exec("bin/plainmain"); !errors.Is(err, ErrNotEncrypted) {
+		t.Fatalf("got %v, want ErrNotEncrypted", err)
+	}
+}
+
+func TestTwoStageDisabled(t *testing.T) {
+	m := initManifest()
+	m.TwoStage = false
+	o := newOS(t, m, MapFS{}, nil)
+	if _, err := o.InstallSecondStage(secondStage(t)); !errors.Is(err, ErrTwoStageOff) {
+		t.Fatalf("got %v, want ErrTwoStageOff", err)
+	}
+	// Without two-stage, exec re-enters the same manifest's entrypoint.
+	if err := o.Exec("bin/init"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallRejectsGarbage(t *testing.T) {
+	o := newOS(t, initManifest(), MapFS{}, nil)
+	if _, err := o.InstallSecondStage([]byte("garbage")); err == nil {
+		t.Fatal("garbage manifest accepted")
+	}
+	// A failed installation must not consume the one-time slot.
+	if _, err := o.InstallSecondStage(secondStage(t)); err != nil {
+		t.Fatalf("valid install after garbage rejected: %v", err)
+	}
+}
+
+func TestDirFS(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "pool"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pool", "f"), []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := DirFS(dir)
+	b, err := fs.Get("pool/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "data" {
+		t.Fatal("wrong content")
+	}
+	if _, err := fs.Get("../escape"); err == nil {
+		t.Fatal("path escape allowed")
+	}
+	if _, err := fs.Get("/abs"); err == nil {
+		t.Fatal("absolute path allowed")
+	}
+	if _, err := fs.Get("pool/missing"); err == nil {
+		t.Fatal("missing file no error")
+	}
+}
+
+func TestRollbackDetection(t *testing.T) {
+	kdk, _ := pfcrypt.NewKDK()
+	v1, _ := pfcrypt.Encrypt(kdk, "pool/a/graph.pf", []byte("version 1"))
+	v2, _ := pfcrypt.Encrypt(kdk, "pool/a/graph.pf", []byte("version 2"))
+	fs := MapFS{"pool/a/graph.pf": v2}
+	o := newOS(t, initManifest(), fs, nil)
+	if err := o.InstallKey(kdk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.ReadFile("pool/a/graph.pf"); err != nil {
+		t.Fatal(err)
+	}
+	// Host rolls the file back to the older (still validly encrypted)
+	// version: the freshness metadata catches it.
+	fs["pool/a/graph.pf"] = v1
+	if _, err := o.ReadFile("pool/a/graph.pf"); !errors.Is(err, ErrRollback) {
+		t.Fatalf("got %v, want ErrRollback", err)
+	}
+	// Re-reading the fresh version still works.
+	fs["pool/a/graph.pf"] = v2
+	if _, err := o.ReadFile("pool/a/graph.pf"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalCrossCheck(t *testing.T) {
+	o := newOS(t, initManifest(), MapFS{}, nil)
+	// Unsolicited host signal (SIGY-style injection): rejected.
+	if err := o.DeliverHostSignal("SIGFPE"); !errors.Is(err, ErrSignalMismatch) {
+		t.Fatalf("got %v, want ErrSignalMismatch", err)
+	}
+	// A genuine TEE exception makes the matching host signal deliverable —
+	// exactly once.
+	o.RaiseException("SIGFPE")
+	if err := o.DeliverHostSignal("SIGFPE"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.DeliverHostSignal("SIGFPE"); !errors.Is(err, ErrSignalMismatch) {
+		t.Fatalf("replayed signal: got %v, want ErrSignalMismatch", err)
+	}
+	// Signal state does not survive the exec transition.
+	o.RaiseException("SIGSEGV")
+	if _, err := o.InstallSecondStage(secondStage(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Exec("pool/a/main.pf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.DeliverHostSignal("SIGSEGV"); !errors.Is(err, ErrSignalMismatch) {
+		t.Fatalf("stale exception crossed exec: got %v", err)
+	}
+}

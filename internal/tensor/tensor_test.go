@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	tests := []struct {
+		shape []int
+		size  int
+	}{
+		{nil, 1},
+		{[]int{3}, 3},
+		{[]int{2, 3}, 6},
+		{[]int{1, 3, 4, 4}, 48},
+		{[]int{5, 0, 2}, 0},
+	}
+	for _, tt := range tests {
+		x := New(tt.shape...)
+		if x.Size() != tt.size {
+			t.Errorf("New(%v).Size() = %d, want %d", tt.shape, x.Size(), tt.size)
+		}
+		if !reflect.DeepEqual(x.Shape(), append([]int{}, tt.shape...)) && len(tt.shape) > 0 {
+			t.Errorf("New(%v).Shape() = %v", tt.shape, x.Shape())
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	x, err := FromSlice(data, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", x.At(1, 2))
+	}
+	x.Set(9, 0, 1)
+	if data[1] != 9 {
+		t.Error("FromSlice must retain the caller's slice")
+	}
+	if _, err := FromSlice(data, 4, 2); err == nil {
+		t.Error("expected shape/volume mismatch error")
+	}
+	if _, err := FromSlice(data, -1, 6); err == nil {
+		t.Error("expected negative dim error")
+	}
+}
+
+func TestAtSetBounds(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshape(t *testing.T) {
+	x := MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y, err := x.Reshape(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.At(2, 1) != 6 {
+		t.Errorf("reshaped At(2,1) = %v, want 6", y.At(2, 1))
+	}
+	y.Set(42, 0, 0)
+	if x.At(0, 0) != 42 {
+		t.Error("Reshape must share data")
+	}
+	if _, err := x.Reshape(4, 2); err == nil {
+		t.Error("expected volume mismatch error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := MustFromSlice([]float32{1, 2, 3}, 3)
+	y := x.Clone()
+	y.Set(7, 1)
+	if x.At(1) != 2 {
+		t.Error("Clone must deep-copy data")
+	}
+	if !x.SameShape(y) {
+		t.Error("Clone must preserve shape")
+	}
+}
+
+func TestElementwiseHelpers(t *testing.T) {
+	x := MustFromSlice([]float32{1, -2, 3}, 3)
+	x.Apply(func(v float32) float32 { return v * 2 })
+	if got := x.Data(); got[0] != 2 || got[1] != -4 || got[2] != 6 {
+		t.Errorf("Apply result %v", got)
+	}
+	y := MustFromSlice([]float32{1, 1, 1}, 3)
+	if err := x.AddInPlace(y); err != nil {
+		t.Fatal(err)
+	}
+	if x.At(1) != -3 {
+		t.Errorf("AddInPlace: %v", x.Data())
+	}
+	if err := x.AddInPlace(New(2)); err == nil {
+		t.Error("expected shape error")
+	}
+	x.Scale(0.5)
+	if x.At(0) != 1.5 {
+		t.Errorf("Scale: %v", x.Data())
+	}
+	x.Fill(0)
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("Fill(0) left nonzero")
+		}
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	x := New(3)
+	if x.HasNaN() {
+		t.Error("zero tensor has no NaN")
+	}
+	x.Set(float32(math.NaN()), 1)
+	if !x.HasNaN() {
+		t.Error("NaN not detected")
+	}
+	y := New(2)
+	y.Set(float32(math.Inf(1)), 0)
+	if !y.HasNaN() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestMarshalUnmarshalRoundtrip(t *testing.T) {
+	x := MustFromSlice([]float32{1.5, -2.25, 3.125, 0}, 2, 2)
+	buf := x.Marshal()
+	y, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(x.Shape(), y.Shape()) || !reflect.DeepEqual(x.Data(), y.Data()) {
+		t.Errorf("roundtrip mismatch: %v vs %v", x, y)
+	}
+}
+
+func TestWriteToReadFromRoundtrip(t *testing.T) {
+	x := MustFromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8}, 2, 2, 2)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x.Data(), y.Data()) || !x.SameShape(y) {
+		t.Error("stream roundtrip mismatch")
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{0xff, 0xff, 0xff, 0xff}, // absurd rank
+		MustFromSlice([]float32{1, 2}, 2).Marshal()[:6], // truncated
+	}
+	for i, c := range cases {
+		if _, _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestQuickSerializationRoundtrip property-tests the wire codec: any tensor
+// survives marshal/unmarshal bit-exactly.
+func TestQuickSerializationRoundtrip(t *testing.T) {
+	f := func(seed uint64, d1, d2 uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		shape := []int{int(d1%8) + 1, int(d2%8) + 1}
+		x := New(shape...)
+		for i := range x.Data() {
+			x.Data()[i] = float32(rng.NormFloat64())
+		}
+		y, _, err := Unmarshal(x.Marshal())
+		if err != nil {
+			return false
+		}
+		return x.SameShape(y) && reflect.DeepEqual(x.Data(), y.Data())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReshapeVolume property-tests that reshape succeeds exactly when
+// volumes match.
+func TestQuickReshapeVolume(t *testing.T) {
+	f := func(a, b uint8) bool {
+		m, n := int(a%6)+1, int(b%6)+1
+		x := New(m, n)
+		_, err := x.Reshape(n, m)
+		if err != nil {
+			return false
+		}
+		_, err = x.Reshape(m*n + 1)
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package variant_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/enclave"
+	"repro/internal/monitor"
+	"repro/internal/securechan"
+	"repro/internal/teeos"
+	"repro/internal/tensor"
+	"repro/internal/variant"
+	"repro/internal/wire"
+)
+
+// fixture builds a single-partition bundle and a booted variant TEE OS.
+func fixture(t *testing.T) (*core.Bundle, core.Entry, *teeos.OS) {
+	t.Helper()
+	b, err := core.BuildBundle(core.OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: []int{2},
+		Specs:            []diversify.Spec{diversify.ReplicaSpec("replica")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.Entry{Set: 0, Partition: 0, Spec: "replica"}
+	p, err := enclave.NewPlatform("p", enclave.SGX2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := p.Launch(enclave.Image{Name: "v", Code: b.InitBinary, InitialPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := teeos.New(encl, b.InitManifest, b.FS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, e, os
+}
+
+func pipePair() (securechan.Conn, securechan.Conn) {
+	a, b := net.Pipe()
+	return securechan.Plain(a), securechan.Plain(b)
+}
+
+func assignment(b *core.Bundle, e core.Entry) *wire.AssignKey {
+	return &wire.AssignKey{
+		VariantID:  "v0",
+		Partition:  e.Partition,
+		KDK:        b.Keys[e],
+		ManifestPB: []byte(e.ManifestPath()),
+		Files:      []string{e.GraphPath(), e.SpecPath()},
+		Entrypoint: e.EntrypointPath(),
+	}
+}
+
+func TestBootstrapHappyPathAndServe(t *testing.T) {
+	b, e, os := fixture(t)
+	monC, varC := pipePair()
+
+	done := make(chan error, 1)
+	go func() { done <- variant.Run(varC, os, variant.Options{}) }()
+
+	if err := wire.Send(monC, assignment(b, e)); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.Recv(monC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, ok := msg.(*wire.Installed)
+	if !ok {
+		t.Fatalf("got %T: %+v", msg, msg)
+	}
+	wantEv := b.Evidence[e]
+	if inst.VariantID != "v0" || inst.Evidence != wantEv {
+		t.Fatalf("evidence mismatch: %x vs %x", inst.Evidence[:4], wantEv[:4])
+	}
+	if err := wire.Send(monC, &wire.Bound{VariantID: "v0"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve a batch through the bootstrapped variant.
+	sub, err := b.Partitioner.Extract(b.Sets[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := map[string]*tensor.Tensor{}
+	for _, vi := range sub.Inputs {
+		x := tensor.New(vi.Shape...)
+		for i := range x.Data() {
+			x.Data()[i] = 0.25
+		}
+		ins[vi.Name] = x
+	}
+	if err := wire.Send(monC, &wire.Batch{ID: 5, Tensors: ins}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = wire.Recv(monC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := msg.(*wire.Result)
+	if res.ID != 5 || res.Err != "" || len(res.Tensors) != len(sub.Outputs) {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// Attestation challenge on the data plane.
+	if err := wire.Send(monC, &wire.AttestReq{Nonce: []byte{1, 2}, Context: "variant/v0"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = wire.Recv(monC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*wire.AttestResp); !ok {
+		t.Fatalf("got %T", msg)
+	}
+
+	// Clean shutdown.
+	if err := wire.Send(monC, &wire.Shutdown{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("variant exited with %v", err)
+	}
+	if os.Stage() != teeos.StageMain {
+		t.Fatal("variant not in stage 2 after bootstrap")
+	}
+}
+
+func TestBootstrapWrongKeyFails(t *testing.T) {
+	b, e, os := fixture(t)
+	monC, varC := pipePair()
+	go func() {
+		a := assignment(b, e)
+		a.KDK = make([]byte, 32) // wrong key: manifest decryption must fail
+		_ = wire.Send(monC, a)
+	}()
+	_, err := variant.Bootstrap(varC, os, variant.Options{})
+	if err == nil || !strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("got %v, want manifest fetch failure", err)
+	}
+}
+
+func TestBootstrapMissingFiles(t *testing.T) {
+	b, e, os := fixture(t)
+	monC, varC := pipePair()
+	go func() {
+		a := assignment(b, e)
+		a.Files = []string{"pool/who/knows.bin"}
+		_ = wire.Send(monC, a)
+		// The variant still installs and reports evidence before loading.
+		if _, err := wire.Recv(monC); err == nil {
+			_ = wire.Send(monC, &wire.Bound{VariantID: "v0"})
+		}
+	}()
+	if _, err := variant.Bootstrap(varC, os, variant.Options{}); err == nil {
+		t.Fatal("missing graph/spec files accepted")
+	}
+}
+
+func TestBootstrapUnexpectedMessage(t *testing.T) {
+	_, _, os := fixture(t)
+	monC, varC := pipePair()
+	go func() { _ = wire.Send(monC, &wire.Ack{}) }()
+	if _, err := variant.Bootstrap(varC, os, variant.Options{}); err == nil {
+		t.Fatal("non-AssignKey first message accepted")
+	}
+}
+
+func TestMonitorBindRejectsWrongEvidence(t *testing.T) {
+	// Cross-check: the monitor side of the protocol rejects a variant whose
+	// installation evidence does not match the expected manifest digest.
+	b, e, os := fixture(t)
+	monC, varC := pipePair()
+	go func() { _ = variant.Run(varC, os, variant.Options{}) }()
+
+	p, _ := enclave.NewPlatform("pm", enclave.SGX1, 1<<30)
+	me, _ := p.Launch(enclave.Image{Name: "m", Code: []byte("m"), InitialPages: 1})
+	v := enclave.NewVerifier()
+	v.Trust(p)
+	mon := monitor.New(me, v)
+	_, err := mon.Bind(monC, monitor.Assignment{
+		VariantID:  "v0",
+		Partition:  0,
+		Spec:       "replica",
+		KDK:        b.Keys[e],
+		Manifest:   e.ManifestPath(),
+		Files:      []string{e.GraphPath(), e.SpecPath()},
+		Entrypoint: e.EntrypointPath(),
+		Evidence:   [32]byte{0xde, 0xad}, // wrong
+	})
+	if err == nil {
+		t.Fatal("wrong evidence accepted by the monitor")
+	}
+}

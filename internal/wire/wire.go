@@ -1,0 +1,289 @@
+// Package wire defines the message protocol spoken between the MVTEE monitor
+// and variant TEEs over securechan connections: the control-plane messages of
+// the variant initialization/update protocol (Figure 6) and the data-plane
+// batch/checkpoint messages of pipelined inference (§4.3). Control messages
+// are JSON (rare, small); data messages carry tensors in a compact binary
+// codec (hot path).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/securechan"
+	"repro/internal/tensor"
+)
+
+// Type tags a wire message.
+type Type byte
+
+// Message types.
+const (
+	TProvision  Type = iota + 1 // owner -> monitor: MVX configuration
+	TAssignKey                  // monitor -> init-variant: key + identity + file set
+	TInstalled                  // init-variant -> monitor: installation evidence
+	TBound                      // monitor -> variant: binding confirmed, begin serving
+	TAttestReq                  // any -> enclave: challenge
+	TAttestResp                 // enclave -> any: report
+	TBatch                      // upstream -> variant: input tensors for one batch
+	TResult                     // variant -> monitor: checkpoint outputs for one batch
+	TUpdate                     // monitor -> variant: update command
+	TShutdown                   // monitor -> variant: terminate
+	TAck                        // generic success
+	TError                      // generic failure carrying a message
+)
+
+// Msg is a decoded wire message.
+type Msg interface{ wireType() Type }
+
+// Provision carries the MVX configuration from the model owner (step 3 of
+// Figure 6). Config is an opaque JSON document interpreted by the monitor.
+// Keys is the owner's pool key table (entry key -> variant-specific KDK); it
+// only ever travels over the attested encrypted channel.
+type Provision struct {
+	Nonce  []byte            `json:"nonce"`
+	Config json.RawMessage   `json:"config"`
+	Keys   map[string][]byte `json:"keys,omitempty"`
+}
+
+// AssignKey distributes a variant-specific key and identity (step 5).
+type AssignKey struct {
+	VariantID  string   `json:"variant_id"`
+	Partition  int      `json:"partition"`
+	KDK        []byte   `json:"kdk"`
+	ManifestPB []byte   `json:"manifest"` // encrypted second-stage manifest blob
+	Files      []string `json:"files"`    // encrypted variant file paths
+	Entrypoint string   `json:"entrypoint"`
+}
+
+// Installed reports successful second-stage installation with evidence
+// (step 6).
+type Installed struct {
+	VariantID string   `json:"variant_id"`
+	Evidence  [32]byte `json:"evidence"`
+}
+
+// Bound confirms monitor-side binding (step 7).
+type Bound struct {
+	VariantID string `json:"variant_id"`
+}
+
+// AttestReq is a challenge for combined attestation.
+type AttestReq struct {
+	Nonce   []byte `json:"nonce"`
+	Context string `json:"context"`
+}
+
+// AttestResp carries a serialized enclave report.
+type AttestResp struct {
+	Report []byte `json:"report"`
+}
+
+// Update carries a variant update command (full or partial, §4.3).
+type Update struct {
+	Kind      string          `json:"kind"` // "full" or "partial"
+	VariantID string          `json:"variant_id,omitempty"`
+	Config    json.RawMessage `json:"config,omitempty"`
+}
+
+// Shutdown terminates a variant.
+type Shutdown struct{}
+
+// Ack acknowledges success.
+type Ack struct {
+	Detail string `json:"detail,omitempty"`
+}
+
+// Error reports failure.
+type Error struct {
+	Message string `json:"message"`
+}
+
+// Batch is one inference batch's named input tensors.
+type Batch struct {
+	ID      uint64
+	Tensors map[string]*tensor.Tensor
+}
+
+// Result is one variant's checkpoint output for a batch. Err is non-empty
+// when the variant crashed or its kernel failed (the MVX monitor treats that
+// as dissent).
+type Result struct {
+	ID        uint64
+	VariantID string
+	Err       string
+	Tensors   map[string]*tensor.Tensor
+}
+
+func (*Provision) wireType() Type  { return TProvision }
+func (*AssignKey) wireType() Type  { return TAssignKey }
+func (*Installed) wireType() Type  { return TInstalled }
+func (*Bound) wireType() Type      { return TBound }
+func (*AttestReq) wireType() Type  { return TAttestReq }
+func (*AttestResp) wireType() Type { return TAttestResp }
+func (*Batch) wireType() Type      { return TBatch }
+func (*Result) wireType() Type     { return TResult }
+func (*Update) wireType() Type     { return TUpdate }
+func (*Shutdown) wireType() Type   { return TShutdown }
+func (*Ack) wireType() Type        { return TAck }
+func (*Error) wireType() Type      { return TError }
+
+// ErrDecode reports a malformed wire message.
+var ErrDecode = errors.New("wire: malformed message")
+
+// Marshal encodes m with its type tag.
+func Marshal(m Msg) ([]byte, error) {
+	switch v := m.(type) {
+	case *Batch:
+		return marshalTensorMsg(TBatch, v.ID, "", "", v.Tensors), nil
+	case *Result:
+		return marshalTensorMsg(TResult, v.ID, v.VariantID, v.Err, v.Tensors), nil
+	default:
+		b, err := json.Marshal(m)
+		if err != nil {
+			return nil, fmt.Errorf("wire: marshal %T: %w", m, err)
+		}
+		out := make([]byte, 1+len(b))
+		out[0] = byte(m.wireType())
+		copy(out[1:], b)
+		return out, nil
+	}
+}
+
+// Unmarshal decodes a tagged wire message.
+func Unmarshal(b []byte) (Msg, error) {
+	if len(b) < 1 {
+		return nil, ErrDecode
+	}
+	t, payload := Type(b[0]), b[1:]
+	var m Msg
+	switch t {
+	case TProvision:
+		m = &Provision{}
+	case TAssignKey:
+		m = &AssignKey{}
+	case TInstalled:
+		m = &Installed{}
+	case TBound:
+		m = &Bound{}
+	case TAttestReq:
+		m = &AttestReq{}
+	case TAttestResp:
+		m = &AttestResp{}
+	case TUpdate:
+		m = &Update{}
+	case TShutdown:
+		return &Shutdown{}, nil
+	case TAck:
+		m = &Ack{}
+	case TError:
+		m = &Error{}
+	case TBatch:
+		id, _, _, ts, err := unmarshalTensorMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Batch{ID: id, Tensors: ts}, nil
+	case TResult:
+		id, vid, errStr, ts, err := unmarshalTensorMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{ID: id, VariantID: vid, Err: errStr, Tensors: ts}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrDecode, t)
+	}
+	if err := json.Unmarshal(payload, m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return m, nil
+}
+
+// Send marshals and transmits m on c.
+func Send(c securechan.Conn, m Msg) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	return c.Send(b)
+}
+
+// Recv receives and decodes one message from c.
+func Recv(c securechan.Conn) (Msg, error) {
+	b, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(b)
+}
+
+// --- binary tensor-message codec ---------------------------------------------
+
+func putStr(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func marshalTensorMsg(t Type, id uint64, vid, errStr string, ts map[string]*tensor.Tensor) []byte {
+	size := 1 + 8 + 2 + len(vid) + 2 + len(errStr) + 4
+	for name, tt := range ts {
+		size += 2 + len(name) + 4 + 4*tt.Dims() + 4*tt.Size()
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(t))
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = putStr(buf, vid)
+	buf = putStr(buf, errStr)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ts)))
+	for name, tt := range ts {
+		buf = putStr(buf, name)
+		buf = append(buf, tt.Marshal()...)
+	}
+	return buf
+}
+
+func readStr(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrDecode
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, ErrDecode
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+func unmarshalTensorMsg(b []byte) (id uint64, vid, errStr string, ts map[string]*tensor.Tensor, err error) {
+	if len(b) < 8 {
+		return 0, "", "", nil, ErrDecode
+	}
+	id = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	if vid, b, err = readStr(b); err != nil {
+		return 0, "", "", nil, err
+	}
+	if errStr, b, err = readStr(b); err != nil {
+		return 0, "", "", nil, err
+	}
+	if len(b) < 4 {
+		return 0, "", "", nil, ErrDecode
+	}
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	ts = make(map[string]*tensor.Tensor, count)
+	for i := uint32(0); i < count; i++ {
+		var name string
+		if name, b, err = readStr(b); err != nil {
+			return 0, "", "", nil, err
+		}
+		t, n, err := tensor.Unmarshal(b)
+		if err != nil {
+			return 0, "", "", nil, fmt.Errorf("%w: tensor %q: %v", ErrDecode, name, err)
+		}
+		ts[name] = t
+		b = b[n:]
+	}
+	return id, vid, errStr, ts, nil
+}

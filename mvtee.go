@@ -1,0 +1,153 @@
+// Package mvtee is a Go implementation of MVTEE — multi-variant trusted
+// execution for secure model inference (Qin & Gu, ACM Middleware 2025).
+//
+// MVTEE hardens TEE-based DNN inference against software vulnerabilities and
+// fault attacks by running multiple, functionally equivalent but diversified
+// inference variants of each model partition in separate TEEs, while a
+// monitor TEE cross-checks their outputs at partition-boundary checkpoints.
+// A bug or injected fault perturbs only the variant whose implementation it
+// targets; the divergence (or crash) is detected at the next checkpoint and
+// answered by voting, halting, or variant replacement — before damage
+// propagates downstream.
+//
+// # Quick start
+//
+//	bundle, err := mvtee.BuildBundle(mvtee.OfflineConfig{
+//		ModelName:        "resnet-50",
+//		PartitionTargets: []int{5},
+//		Specs:            mvtee.RealSetupSpecs(),
+//	})
+//	// ...
+//	dep, err := mvtee.Deploy(bundle, 0, mvtee.DeployConfig{
+//		MVX: &mvtee.MVXConfig{
+//			Plans: []mvtee.PartitionPlan{ /* variant claims per partition */ },
+//			Async: true,
+//		},
+//		Encrypt: true,
+//	})
+//	defer dep.Close()
+//	out, err := dep.Infer(map[string]*mvtee.Tensor{"image": input})
+//
+// See examples/ for runnable scenarios and DESIGN.md for the system
+// inventory. The package re-exports the user-facing API of the internal
+// packages:
+//
+//   - offline tooling: model partitioning (internal/partition), multi-level
+//     variant diversification (internal/diversify), encrypted bundle
+//     construction (internal/core);
+//   - online system: the monitor TEE with its MVX engine
+//     (internal/monitor), variant TEEs (internal/variant), attested secure
+//     channels (internal/securechan), and the simulated TEE substrate
+//     (internal/enclave, internal/teeos);
+//   - evaluation: the figure/table harness (internal/bench) and the
+//     calibrated multicore pipeline simulator (internal/pipesim).
+package mvtee
+
+import (
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/monitor"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+	"repro/internal/variant"
+)
+
+// Offline phase.
+type (
+	// OfflineConfig drives bundle construction (Figure 2, offline phase).
+	OfflineConfig = core.OfflineConfig
+	// Bundle is the encrypted variant pool plus its keys and metadata.
+	Bundle = core.Bundle
+	// Entry identifies one encrypted pool entry.
+	Entry = core.Entry
+	// Spec is one variant recipe (multi-level diversification, §4.2).
+	Spec = diversify.Spec
+	// GraphTransform is one graph-level diversification step.
+	GraphTransform = diversify.GraphTransform
+	// ModelConfig scales the built-in model replicas.
+	ModelConfig = models.Config
+	// Graph is the ONNX-like model IR.
+	Graph = graph.Graph
+	// PartitionSet is a complete partitioning into pipeline stages.
+	PartitionSet = partition.Set
+	// PartitionOptions tunes the random-contraction algorithm.
+	PartitionOptions = partition.Options
+)
+
+// Online phase.
+type (
+	// DeployConfig drives system bring-up (Figure 2, online phase).
+	DeployConfig = core.DeployConfig
+	// Deployment is a running MVTEE system.
+	Deployment = core.Deployment
+	// MVXConfig is the runtime-provisioned MVX configuration (§4.3).
+	MVXConfig = monitor.MVXConfig
+	// PartitionPlan claims variants for one partition.
+	PartitionPlan = monitor.PartitionPlan
+	// BatchResult is a per-batch inference outcome.
+	BatchResult = monitor.BatchResult
+	// Event is a security-relevant engine occurrence.
+	Event = monitor.Event
+	// VariantOptions customizes variant construction (fault hooks, tests).
+	VariantOptions = variant.Options
+	// Tensor is the dense float32 tensor type.
+	Tensor = tensor.Tensor
+	// Criterion is one thresholded consistency metric.
+	Criterion = check.Criterion
+	// Metric identifies a consistency measure.
+	Metric = check.Metric
+)
+
+// Consistency metrics (§5.2).
+const (
+	Cosine     = check.Cosine
+	MSE        = check.MSE
+	MaxAbsDiff = check.MaxAbsDiff
+	AllClose   = check.AllClose
+)
+
+// Response modes (§2.4, §4.3).
+const (
+	Halt        = monitor.Halt
+	DropVariant = monitor.DropVariant
+	ReportOnly  = monitor.ReportOnly
+)
+
+// Transports.
+const (
+	InProc      = core.InProc
+	TCPLoopback = core.TCPLoopback
+)
+
+// BuildBundle runs the offline ML MVX tool pipeline: partitioning, variant
+// generation, and per-entry encryption.
+func BuildBundle(cfg OfflineConfig) (*Bundle, error) { return core.BuildBundle(cfg) }
+
+// Deploy brings up the monitor TEE and variant TEEs on a partition set and
+// returns a running system.
+func Deploy(b *Bundle, setIdx int, cfg DeployConfig) (*Deployment, error) {
+	return core.Deploy(b, setIdx, cfg)
+}
+
+// NewTensor returns a zero-filled tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// ModelNames lists the built-in model replicas (the paper's seven
+// workloads).
+func ModelNames() []string { return models.Names() }
+
+// BuildModel constructs a built-in model graph.
+func BuildModel(name string, cfg ModelConfig) (*Graph, error) { return models.Build(name, cfg) }
+
+// ReplicaSpec is the identical-variant recipe (§6.1).
+func ReplicaSpec(name string) Spec { return diversify.ReplicaSpec(name) }
+
+// RealSetupSpecs is the diversified recipe set of the real-setup evaluation
+// (§6.4).
+func RealSetupSpecs() []Spec { return diversify.RealSetupSpecs() }
+
+// HardenedSpecs enumerates the software-hardening variant family (Table 1).
+func HardenedSpecs() []Spec { return diversify.HardenedSpecs() }

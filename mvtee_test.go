@@ -1,0 +1,116 @@
+package mvtee
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API surface exactly as the README
+// quick start does.
+func TestFacadeEndToEnd(t *testing.T) {
+	bundle, err := BuildBundle(OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: []int{3},
+		Specs:            RealSetupSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []PartitionPlan{
+		{Variants: []string{"ort-cpu"}},
+		{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}},
+		{Variants: []string{"ort-cpu"}},
+	}
+	dep, err := Deploy(bundle, 0, DeployConfig{
+		MVX: &MVXConfig{
+			Plans:    plans,
+			Async:    true,
+			Criteria: []Criterion{{Metric: AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Encrypt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	in := NewTensor(1, 3, 32, 32)
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	res, err := dep.Infer(map[string]*Tensor{"image": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tensors["logits"] == nil || res.Tensors["logits"].HasNaN() {
+		t.Fatalf("bad output %v", res.Tensors)
+	}
+}
+
+func TestFacadeFaultDetection(t *testing.T) {
+	bundle, err := BuildBundle(OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: []int{2},
+		Specs:            HardenedSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []PartitionPlan{
+		{Variants: []string{"different-rt", "compiler", "bounds-check"}},
+		{Variants: []string{"different-rt"}},
+	}
+	// bounds-check runs the interp runtime, where this OOB lives.
+	inj := Injection{Class: FaultOOB, TargetRuntime: 1 /* interp */, Seed: 3}
+	dep, err := Deploy(bundle, 0, DeployConfig{
+		MVX: &MVXConfig{
+			Plans:    plans,
+			Response: ReportOnly,
+			Criteria: []Criterion{{Metric: AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Encrypt:        true,
+		VariantOptions: ArmVariants(inj),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	in := NewTensor(1, 3, 32, 32)
+	res, err := dep.Infer(map[string]*Tensor{"image": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("majority (planned variants) should recover: %v", res.Err)
+	}
+	evs := dep.Engine.Events()
+	if len(evs) == 0 {
+		t.Fatal("the bounds-check variant's crash was not detected")
+	}
+}
+
+func TestModelZooFacade(t *testing.T) {
+	names := ModelNames()
+	if len(names) < 8 { // the paper's seven + the tinyformer extension
+		t.Fatalf("ModelNames() = %v", names)
+	}
+	g, err := BuildModel("resnet-50", ModelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty model")
+	}
+	if !FlipWeightBit(g, firstInitializer(g), 0, 30) {
+		t.Fatal("weight flip missed")
+	}
+}
+
+func firstInitializer(g *Graph) string {
+	for name := range g.Initializers {
+		return name
+	}
+	return ""
+}

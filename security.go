@@ -1,0 +1,48 @@
+package mvtee
+
+import (
+	"repro/internal/faults"
+	"repro/internal/infer"
+	"repro/internal/variant"
+)
+
+// Injection describes a simulated vulnerability or fault to arm in the
+// deployment's variants (security experiments; see internal/faults).
+type Injection = faults.Injection
+
+// FaultClass identifies a vulnerability/fault class.
+type FaultClass = faults.Class
+
+// Fault classes (Table 1 plus the runtime fault attacks of §6.5).
+const (
+	FaultOOB           = faults.OOB
+	FaultUNP           = faults.UNP
+	FaultFPE           = faults.FPE
+	FaultIntOverflow   = faults.IntOverflow
+	FaultUAF           = faults.UAF
+	FaultACF           = faults.ACF
+	FaultWeightBitFlip = faults.WeightBitFlip
+	FaultCodeBitFlip   = faults.CodeBitFlip
+	FaultDelay         = faults.Delay
+)
+
+// ArmVariants returns a DeployConfig.VariantOptions hook that arms the
+// injection in every variant. The fault only manifests in variants whose
+// implementation matches the injection's targets (the vulnerable runtime,
+// library or operator); diversified variants are unaffected — the property
+// MVX detection relies on.
+func ArmVariants(inj Injection) func(variantID string, e Entry) VariantOptions {
+	return func(string, Entry) VariantOptions {
+		return variant.Options{
+			ConfigureRuntime: func(cfg infer.Config) infer.Config {
+				return faults.Arm(cfg, inj)
+			},
+		}
+	}
+}
+
+// FlipWeightBit injects a Rowhammer-style bit flip into the named
+// initializer of a graph (see faults.FlipWeightBit).
+func FlipWeightBit(g *Graph, initializer string, idx, bit int) bool {
+	return faults.FlipWeightBit(g, initializer, idx, bit)
+}
