@@ -36,7 +36,39 @@ func main() {
 	teeFactor := flag.Float64("teefactor", 0, "SGX-cost multiplier for sim mode (default 24)")
 	scale := flag.Float64("scale", 0, "model channel scale (default 0.25)")
 	inputSize := flag.Int("input-size", 0, "model input resolution (default 32)")
+	perf := flag.Bool("perf", false, "run the hot-path microbenchmarks and write BENCH_<rev>.json")
+	rev := flag.String("rev", "dev", "revision label for the -perf report filename")
+	note := flag.String("note", "", "extra caveat/context text embedded in the -perf report")
 	flag.Parse()
+
+	if *perf {
+		if *rev == "" {
+			fmt.Fprintln(os.Stderr, "mvtee-bench: -perf requires a non-empty -rev label")
+			os.Exit(2)
+		}
+		rep, err := bench.RunPerf(*rev, *note, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvtee-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		name := fmt.Sprintf("BENCH_%s.json", *rev)
+		f, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvtee-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WritePerfJSON(f, rep); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvtee-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", name, len(rep.Results))
+		return
+	}
 
 	o := bench.Options{
 		Batches:     *batches,

@@ -1,0 +1,256 @@
+// Perf is the machine-readable microbenchmark harness behind
+// `mvtee-bench -perf`: it measures the inference hot path (GEMM kernels,
+// convolution, end-to-end executors, checkpoint evaluation) with the standard
+// testing.Benchmark machinery and emits one JSON report per revision
+// (BENCH_<rev>.json) so kernel regressions show up in review diffs.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/check"
+	"repro/internal/graph"
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+	"repro/internal/workpool"
+)
+
+// PerfResult is one benchmark measurement in the report.
+type PerfResult struct {
+	// Name identifies the benchmark, slash-separated like `go test -bench`
+	// output (e.g. "gemm/blocked/256/p4").
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// PerfReport is the full serialized run.
+type PerfReport struct {
+	Rev        string `json:"rev"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Note records measurement caveats that affect interpretation (e.g.
+	// parallel levels on a single-core host measure dispatch overhead only).
+	Note    string       `json:"note,omitempty"`
+	Results []PerfResult `json:"results"`
+}
+
+func record(name string, r testing.BenchmarkResult) PerfResult {
+	return PerfResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(max(r.N, 1)),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func convNode() *graph.Node {
+	return &graph.Node{Name: "c", Op: graph.OpConv, Inputs: []string{"x", "w"},
+		Outputs: []string{"y"}, Attrs: map[string]graph.Attr{"pad": graph.IntAttr(1)}}
+}
+
+// RunPerf executes the microbenchmark suite and returns the report. note is
+// appended to the report's caveat field (baseline context, host remarks);
+// progress, if non-nil, receives one line per completed benchmark.
+func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
+	rep := PerfReport{
+		Rev:        rev,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if rep.NumCPU == 1 {
+		rep.Note = "single-core host: parallel (pN) levels measure worker-pool " +
+			"dispatch overhead only; row-panel scaling requires real cores"
+	}
+	if note != "" {
+		if rep.Note != "" {
+			rep.Note += "; "
+		}
+		rep.Note += note
+	}
+	add := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		pr := record(name, r)
+		rep.Results = append(rep.Results, pr)
+		if progress != nil {
+			fmt.Fprintf(progress, "%-40s %12.0f ns/op %8d allocs/op\n",
+				pr.Name, pr.NsPerOp, pr.AllocsPerOp)
+		}
+	}
+
+	perfGemm(add)
+	perfConv(add)
+	if err := perfInfer(add); err != nil {
+		return rep, err
+	}
+	perfCheck(add)
+	return rep, nil
+}
+
+// perfGemm measures each BLAS backend at the sizes the acceptance gate tracks
+// (256³ and larger), sequentially and through a 4-worker pool.
+func perfGemm(add func(string, func(b *testing.B))) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{128, 256, 384} {
+		a := randSlice(rng, n*n)
+		bm := randSlice(rng, n*n)
+		c := make([]float32, n*n)
+		for _, kind := range blas.Kinds() {
+			be := blas.MustNew(kind)
+			add(fmt.Sprintf("gemm/%s/%d", be.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					be.Gemm(n, n, n, a, bm, c)
+				}
+			})
+			if n != 256 {
+				continue
+			}
+			pool := workpool.New(4)
+			add(fmt.Sprintf("gemm/%s/%d/p4", be.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					blas.ParallelGemm(be, pool, n, n, n, a, bm, c)
+				}
+			})
+			pool.Close()
+		}
+	}
+}
+
+// perfConv measures the convolution kernels (direct and im2col × backend) on
+// the dominant mid-network shape.
+func perfConv(add func(string, func(b *testing.B))) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	x := randTensor(rng, 1, 32, 16, 16)
+	w := randTensor(rng, 32, 32, 3, 3)
+	cases := []struct {
+		name string
+		ctx  *ops.Context
+	}{
+		{"direct", &ops.Context{ConvAlgo: ops.ConvDirect}},
+		{"im2col-naive", &ops.Context{ConvAlgo: ops.ConvIm2Col, BLAS: blas.MustNew(blas.Naive)}},
+		{"im2col-blocked", &ops.Context{ConvAlgo: ops.ConvIm2Col, BLAS: blas.MustNew(blas.Blocked)}},
+		{"im2col-packed", &ops.Context{ConvAlgo: ops.ConvIm2Col, BLAS: blas.MustNew(blas.Packed)}},
+	}
+	node := convNode()
+	reg := ops.NewRegistry()
+	for _, c := range cases {
+		add("conv/"+c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Run(c.ctx, node, []*tensor.Tensor{x, w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// perfInfer measures end-to-end single-image inference through both executor
+// families on the standard evaluation model, surfacing the steady-state
+// allocation contrast between the interpreter (per-call maps) and the planned
+// executor (plan-time arena).
+func perfInfer(add func(string, func(b *testing.B))) error {
+	g, err := models.Build("googlenet", models.Config{})
+	if err != nil {
+		return err
+	}
+	in := map[string]*tensor.Tensor{"image": Input(models.Config{}, 5)}
+	for _, rt := range []infer.RuntimeKind{infer.Interp, infer.Planned} {
+		ex, err := infer.New(g, infer.Config{Runtime: rt})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ { // warm the arena and scratch pools
+			if _, err := ex.Run(in); err != nil {
+				return err
+			}
+		}
+		add(fmt.Sprintf("infer/googlenet/%s", rt), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// perfCheck measures checkpoint evaluation on the default policy: the fused
+// single-pass Evaluate against the legacy per-criterion Compare sweep it
+// replaced on the monitor hot path.
+func perfCheck(add func(string, func(b *testing.B))) {
+	x := tensor.New(1, 64, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%31) / 31
+	}
+	pol := check.DefaultPolicy()
+	add("check/evaluate-fused/default", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ok, err := check.Evaluate(x, x, pol)
+			if err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	add("check/compare-per-criterion/default", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, c := range pol.Criteria {
+				_, ok, err := check.Compare(x, x, c)
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+		}
+	})
+}
+
+// WritePerfJSON serializes the report with stable indentation.
+func WritePerfJSON(w io.Writer, rep PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = float32(rng.NormFloat64())
+	}
+	return t
+}

@@ -6,10 +6,31 @@
 // GEMM implementations behind a common interface. All are exact (no
 // approximation) so functionally-equivalent variants produce bitwise-close
 // results, yet the code paths, loop orders and memory access patterns are
-// genuinely distinct.
+// genuinely distinct:
+//
+//   - naive: row-streaming ikj triple loop, no blocking or packing — the
+//     reference-BLAS stand-in;
+//   - blocked: k-blocked L1 tiles whose 4-column strips are copied into a
+//     stack buffer, driving a 2×4 register-accumulator micro-kernel that
+//     adds one partial sum per k-block into C — the OpenBLAS-style kernel
+//     stand-in;
+//   - packed: the whole of B transposed into a pooled column-major buffer,
+//     then 2×4 tiles of full-length dot products over the packed panels —
+//     the MKL/Eigen-style packing stand-in.
+//
+// Each backend accumulates every output element in ascending p
+// (inner-dimension) order with a parallelism-independent partial-sum
+// grouping, so a backend's result is bitwise identical at every parallelism
+// level; only cross-backend results differ, by float rounding. No backend
+// skips zero operands: NaN and Inf propagate identically through all three,
+// so a non-finite value can never be a cross-variant divergence source at
+// checkpoints.
 package blas
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Backend computes dense single-precision matrix products. Implementations
 // must be safe for concurrent use by multiple goroutines.
@@ -19,6 +40,41 @@ type Backend interface {
 	// Gemm computes C = A·B where A is m×k, B is k×n and C is m×n, all
 	// row-major. C is overwritten.
 	Gemm(m, n, k int, a, b, c []float32)
+}
+
+// Ranger runs f over a partition of [0,n) into contiguous [lo,hi) ranges,
+// possibly concurrently. workpool.Pool implements it; a nil Ranger means
+// sequential execution on the caller.
+type Ranger interface {
+	RunRange(n int, f func(lo, hi int))
+}
+
+// panelBackend is implemented by the built-in backends: compute C with
+// independent row panels distributed over r.
+type panelBackend interface {
+	gemmPanels(r Ranger, m, n, k int, a, b, c []float32)
+}
+
+// ParallelGemm computes C = A·B on be, splitting independent row panels of C
+// across r when the backend supports panel execution. Wrapped or external
+// backends (e.g. fault-injection wrappers) fall back to their own sequential
+// Gemm, preserving their semantics. A nil r runs sequentially.
+func ParallelGemm(be Backend, r Ranger, m, n, k int, a, b, c []float32) {
+	if pb, ok := be.(panelBackend); ok {
+		checkGemmArgs(m, n, k, a, b, c)
+		pb.gemmPanels(r, m, n, k, a, b, c)
+		return
+	}
+	be.Gemm(m, n, k, a, b, c)
+}
+
+// runRange dispatches to r, or runs sequentially when r is nil.
+func runRange(r Ranger, n int, f func(lo, hi int)) {
+	if r == nil {
+		f(0, n)
+		return
+	}
+	r.RunRange(n, f)
 }
 
 // Kind selects one of the built-in backends.
@@ -84,24 +140,29 @@ type naiveBackend struct{}
 
 func (naiveBackend) Name() string { return "naive" }
 
-func (naiveBackend) Gemm(m, n, k int, a, b, c []float32) {
+func (be naiveBackend) Gemm(m, n, k int, a, b, c []float32) {
 	checkGemmArgs(m, n, k, a, b, c)
-	for i := 0; i < m; i++ {
-		ci := c[i*n : i*n+n]
-		for x := range ci {
-			ci[x] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := a[i*k+p]
-			if av == 0 {
-				continue
+	be.gemmPanels(nil, m, n, k, a, b, c)
+}
+
+// gemmPanels streams one C row at a time in ikj order: zero the row, then for
+// each p add a[i,p]·B[p,:] into it. Deliberately unblocked and unpacked.
+func (naiveBackend) gemmPanels(r Ranger, m, n, k int, a, b, c []float32) {
+	runRange(r, m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			for x := range ci {
+				ci[x] = 0
 			}
-			bp := b[p*n : p*n+n]
-			for j, bv := range bp {
-				ci[j] += av * bv
+			for p := 0; p < k; p++ {
+				av := a[i*k+p]
+				bp := b[p*n : p*n+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // --- blocked ------------------------------------------------------------------
@@ -110,40 +171,133 @@ type blockedBackend struct{}
 
 func (blockedBackend) Name() string { return "blocked" }
 
-// Tile sizes tuned for L1-resident panels of float32.
+// blockK is the k-panel depth: a 4-column B strip of blockK rows (1 KiB)
+// stays L1-resident while every row of the current panel sweeps it. panelM
+// bounds the A row panel so A stays L1-resident against the strip.
 const (
-	blockM = 32
-	blockN = 128
 	blockK = 64
+	panelM = 32
 )
 
-func (blockedBackend) Gemm(m, n, k int, a, b, c []float32) {
+func (be blockedBackend) Gemm(m, n, k int, a, b, c []float32) {
 	checkGemmArgs(m, n, k, a, b, c)
-	for i := 0; i < m*n; i++ {
-		c[i] = 0
-	}
-	for i0 := 0; i0 < m; i0 += blockM {
-		iMax := min(i0+blockM, m)
-		for p0 := 0; p0 < k; p0 += blockK {
-			pMax := min(p0+blockK, k)
-			for j0 := 0; j0 < n; j0 += blockN {
-				jMax := min(j0+blockN, n)
-				for i := i0; i < iMax; i++ {
-					ci := c[i*n+j0 : i*n+jMax]
-					for p := p0; p < pMax; p++ {
-						av := a[i*k+p]
-						if av == 0 {
-							continue
+	be.gemmPanels(nil, m, n, k, a, b, c)
+}
+
+// gemmPanels is the cache-tiled backend: for every k-block it copies each
+// 4-column strip of B into a stack-resident column-strip buffer, then a 2×4
+// register-accumulator micro-kernel sweeps the panel's rows, adding one
+// partial sum per k-block into C. The 2×4 shape keeps all eight accumulators
+// plus operands within the register file (a 4×4 tile spills and measures
+// slower). Every element accumulates ascending-p partial sums per k-block
+// regardless of row-panel boundaries, so results are bitwise identical at
+// every parallelism level.
+func (blockedBackend) gemmPanels(r Ranger, m, n, k int, a, b, c []float32) {
+	runRange(r, (m+1)/2, func(tlo, thi int) {
+		lo, hi := tlo*2, thi*2
+		if hi > m {
+			hi = m
+		}
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			for x := range ci {
+				ci[x] = 0
+			}
+		}
+		var buf [blockK * 4]float32
+		nAlign := n &^ 3
+		for m0 := lo; m0 < hi; m0 += panelM {
+			m1 := min(m0+panelM, hi)
+			for p0 := 0; p0 < k; p0 += blockK {
+				pMax := min(p0+blockK, k)
+				plen := pMax - p0
+				for j := 0; j < nAlign; j += 4 {
+					s0 := buf[0*plen : 1*plen]
+					s1 := buf[1*plen : 2*plen]
+					s2 := buf[2*plen : 3*plen]
+					s3 := buf[3*plen : 4*plen]
+					for p := 0; p < plen; p++ {
+						bp := b[(p0+p)*n+j : (p0+p)*n+j+4]
+						s0[p] = bp[0]
+						s1[p] = bp[1]
+						s2[p] = bp[2]
+						s3[p] = bp[3]
+					}
+					i := m0
+					for ; i+2 <= m1; i += 2 {
+						blockedTile2x4(i, j, p0, pMax, n, k, a, s0, s1, s2, s3, c)
+					}
+					if i < m1 {
+						a0 := a[i*k+p0 : i*k+pMax]
+						t0 := s0[:len(a0)]
+						t1 := s1[:len(a0)]
+						t2 := s2[:len(a0)]
+						t3 := s3[:len(a0)]
+						var c0, c1, c2, c3 float32
+						for p := range a0 {
+							av := a0[p]
+							c0 += av * t0[p]
+							c1 += av * t1[p]
+							c2 += av * t2[p]
+							c3 += av * t3[p]
 						}
-						bp := b[p*n+j0 : p*n+jMax]
-						for j, bv := range bp {
-							ci[j] += av * bv
+						ci := c[i*n+j : i*n+j+4]
+						ci[0] += c0
+						ci[1] += c1
+						ci[2] += c2
+						ci[3] += c3
+					}
+				}
+				for j := nAlign; j < n; j++ {
+					for i := m0; i < m1; i++ {
+						ai := a[i*k+p0 : i*k+pMax]
+						var s float32
+						for p := range ai {
+							s += ai[p] * b[(p0+p)*n+j]
 						}
+						c[i*n+j] += s
 					}
 				}
 			}
 		}
+	})
+}
+
+// blockedTile2x4 adds the k-block partial sums of C[i:i+2, j:j+4] from the
+// strip buffers s0..s3 (the packed 4-column B strip of rows [p0,pMax)).
+func blockedTile2x4(i, j, p0, pMax, n, k int, a []float32, s0, s1, s2, s3 []float32, c []float32) {
+	a0 := a[(i+0)*k+p0 : (i+0)*k+pMax]
+	a1 := a[(i+1)*k+p0 : (i+1)*k+pMax]
+	a1 = a1[:len(a0)]
+	t0 := s0[:len(a0)]
+	t1 := s1[:len(a0)]
+	t2 := s2[:len(a0)]
+	t3 := s3[:len(a0)]
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	for p := range a0 {
+		b0, b1, b2, b3 := t0[p], t1[p], t2[p], t3[p]
+		av := a0[p]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[p]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
 	}
+	r0 := c[(i+0)*n+j : (i+0)*n+j+4]
+	r0[0] += c00
+	r0[1] += c01
+	r0[2] += c02
+	r0[3] += c03
+	r1 := c[(i+1)*n+j : (i+1)*n+j+4]
+	r1[0] += c10
+	r1[1] += c11
+	r1[2] += c12
+	r1[3] += c13
 }
 
 // --- packed ------------------------------------------------------------------
@@ -152,34 +306,109 @@ type packedBackend struct{}
 
 func (packedBackend) Name() string { return "packed" }
 
-// Gemm transposes B into a column-packed buffer and accumulates dot products
-// with 4-way unrolling — a different code path and traversal order than the
-// other two backends.
-func (packedBackend) Gemm(m, n, k int, a, b, c []float32) {
+// btPool recycles the B-transpose packing buffers so steady-state inference
+// does not allocate per GEMM call.
+var btPool = sync.Pool{New: func() any { s := []float32(nil); return &s }}
+
+func getPacked(n int) *[]float32 {
+	p := btPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func (be packedBackend) Gemm(m, n, k int, a, b, c []float32) {
 	checkGemmArgs(m, n, k, a, b, c)
-	bt := make([]float32, k*n)
+	be.gemmPanels(nil, m, n, k, a, b, c)
+}
+
+// gemmPanels transposes the whole of B once into a pooled column-major
+// buffer, then computes 2×4 tiles of full-length dot products over the
+// contiguous packed panels — k is the innermost loop over the entire inner
+// dimension, the opposite traversal of the other two backends. Every output
+// element is one straight ascending-p dot product in every code path, so
+// results are bitwise identical at every parallelism level.
+func (packedBackend) gemmPanels(r Ranger, m, n, k int, a, b, c []float32) {
+	btp := getPacked(k * n)
+	bt := *btp
 	for p := 0; p < k; p++ {
-		for j := 0; j < n; j++ {
-			bt[j*k+p] = b[p*n+j]
+		bp := b[p*n : p*n+n]
+		for j, bv := range bp {
+			bt[j*k+p] = bv
 		}
 	}
-	for i := 0; i < m; i++ {
-		ai := a[i*k : i*k+k]
-		for j := 0; j < n; j++ {
-			bj := bt[j*k : j*k+k]
-			var s0, s1, s2, s3 float32
-			p := 0
-			for ; p+4 <= k; p += 4 {
-				s0 += ai[p] * bj[p]
-				s1 += ai[p+1] * bj[p+1]
-				s2 += ai[p+2] * bj[p+2]
-				s3 += ai[p+3] * bj[p+3]
-			}
-			s := s0 + s1 + s2 + s3
-			for ; p < k; p++ {
-				s += ai[p] * bj[p]
-			}
-			c[i*n+j] = s
+	runRange(r, (m+1)/2, func(tlo, thi int) {
+		lo, hi := tlo*2, thi*2
+		if hi > m {
+			hi = m
 		}
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			packedRows2(i, n, k, a, bt, c)
+		}
+		if i < hi {
+			ai := a[i*k : i*k+k]
+			for j := 0; j < n; j++ {
+				bj := bt[j*k : j*k+k]
+				bj = bj[:len(ai)]
+				var s float32
+				for p := range ai {
+					s += ai[p] * bj[p]
+				}
+				c[i*n+j] = s
+			}
+		}
+	})
+	btPool.Put(btp)
+}
+
+// packedRows2 fills C[i:i+2, :] with 2×4 dot-product tiles over packed B.
+func packedRows2(i, n, k int, a, bt, c []float32) {
+	a0 := a[(i+0)*k : (i+0)*k+k]
+	a1 := a[(i+1)*k : (i+1)*k+k]
+	a1 = a1[:len(a0)]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		b0 := bt[(j+0)*k : (j+0)*k+k]
+		b1 := bt[(j+1)*k : (j+1)*k+k]
+		b2 := bt[(j+2)*k : (j+2)*k+k]
+		b3 := bt[(j+3)*k : (j+3)*k+k]
+		b0 = b0[:len(a0)]
+		b1 = b1[:len(a0)]
+		b2 = b2[:len(a0)]
+		b3 = b3[:len(a0)]
+		var c00, c01, c02, c03 float32
+		var c10, c11, c12, c13 float32
+		for p := range a0 {
+			w0, w1, w2, w3 := b0[p], b1[p], b2[p], b3[p]
+			av := a0[p]
+			c00 += av * w0
+			c01 += av * w1
+			c02 += av * w2
+			c03 += av * w3
+			av = a1[p]
+			c10 += av * w0
+			c11 += av * w1
+			c12 += av * w2
+			c13 += av * w3
+		}
+		r0 := c[(i+0)*n+j : (i+0)*n+j+4]
+		r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+		r1 := c[(i+1)*n+j : (i+1)*n+j+4]
+		r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+	}
+	for ; j < n; j++ {
+		bj := bt[j*k : j*k+k]
+		bj = bj[:len(a0)]
+		var s0, s1 float32
+		for p := range bj {
+			bv := bj[p]
+			s0 += a0[p] * bv
+			s1 += a1[p] * bv
+		}
+		c[(i+0)*n+j] = s0
+		c[(i+1)*n+j] = s1
 	}
 }

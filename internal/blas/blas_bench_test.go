@@ -4,13 +4,15 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"testing"
+
+	"repro/internal/workpool"
 )
 
 // BenchmarkGemm compares the three diversity-bearing backends — the
 // per-kernel cost axis behind variant execution-time differences (§6.4).
 func BenchmarkGemm(b *testing.B) {
 	rng := rand.New(rand.NewPCG(1, 1))
-	for _, n := range []int{32, 128} {
+	for _, n := range []int{32, 128, 256, 384} {
 		a := randMat(rng, n*n)
 		bm := randMat(rng, n*n)
 		c := make([]float32, n*n)
@@ -18,10 +20,41 @@ func BenchmarkGemm(b *testing.B) {
 			be := MustNew(kind)
 			b.Run(fmt.Sprintf("%s/%d", be.Name(), n), func(b *testing.B) {
 				b.SetBytes(int64(4 * n * n))
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					be.Gemm(n, n, n, a, bm, c)
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkGemmParallel measures row-panel parallel execution through a
+// persistent worker pool at the Context.Parallelism levels variants use.
+// On a single-core host the parallel levels measure dispatch overhead only;
+// panel scaling needs real cores.
+func BenchmarkGemmParallel(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 1))
+	const n = 256
+	a := randMat(rng, n*n)
+	bm := randMat(rng, n*n)
+	c := make([]float32, n*n)
+	for _, par := range []int{1, 4} {
+		pool := workpool.New(par)
+		var r Ranger
+		if pool != nil {
+			r = pool
+		}
+		for _, kind := range Kinds() {
+			be := MustNew(kind)
+			b.Run(fmt.Sprintf("%s/%d/p%d", be.Name(), n, par), func(b *testing.B) {
+				b.SetBytes(int64(4 * n * n))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ParallelGemm(be, r, n, n, n, a, bm, c)
+				}
+			})
+		}
+		pool.Close()
 	}
 }

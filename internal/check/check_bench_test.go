@@ -34,6 +34,29 @@ func BenchmarkConsistency(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateDefault measures the fused single-pass checkpoint
+// evaluation on the default two-criterion policy (allclose + cosine) — the
+// steady-state monitor cost per checkpoint tensor pair. Compare against the
+// sum of the allclose and cosine cases of BenchmarkConsistency, which is what
+// the same policy cost before fusion.
+func BenchmarkEvaluateDefault(b *testing.B) {
+	x := tensor.New(1, 64, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%31) / 31
+	}
+	pol := DefaultPolicy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := Evaluate(x, x, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("self-comparison must pass")
+		}
+	}
+}
+
 // BenchmarkVote measures the full clustering vote across panel sizes.
 func BenchmarkVote(b *testing.B) {
 	x := tensor.New(1, 64, 16, 16)

@@ -1,0 +1,72 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestPlannedRunSteadyStateAllocs locks in the arena guarantee: once warm, a
+// Planned Run performs no tensor-data allocations — every intermediate buffer
+// comes from the plan arena. What remains are per-step header allocations
+// (the kernel's output slice, variadic shape slices crossing the Allocator
+// interface) and the output map/tensor handed to the caller, all O(steps)
+// small objects. The bound is deliberately tight: before the arena, every
+// step allocated its full output tensor data.
+func TestPlannedRunSteadyStateAllocs(t *testing.T) {
+	g := testModel(t)
+	ex, err := New(g, Config{Runtime: Planned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]*tensor.Tensor{"image": testInput(1)}
+	for i := 0; i < 3; i++ {
+		if _, err := ex.Run(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := len(ex.(*plannedExecutor).steps)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ex.Run(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if max := float64(5 * steps); allocs > max {
+		t.Errorf("steady-state Planned.Run allocs = %v, want <= %v (5 per step over %d steps)", allocs, max, steps)
+	}
+}
+
+// TestPlannedRunArenaReuseIsSafe verifies the arena recycles buffers without
+// corrupting results the caller retains: two Runs produce bitwise-identical
+// outputs on bitwise-identical storage-distinct tensors, and the first Run's
+// output survives the second Run unchanged (graph outputs escape the arena).
+func TestPlannedRunArenaReuseIsSafe(t *testing.T) {
+	g := testModel(t)
+	ex, err := New(g, Config{Runtime: Planned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]*tensor.Tensor{"image": testInput(3)}
+	first, err := ex.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := first["logits"].Clone()
+	second, err := ex.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, sd := first["logits"].Data(), second["logits"].Data()
+	if &fd[0] == &sd[0] {
+		t.Fatal("second Run returned the first Run's output storage")
+	}
+	for i := range fd {
+		if math.Float32bits(fd[i]) != math.Float32bits(snapshot.Data()[i]) {
+			t.Fatalf("first Run's output mutated at %d after second Run", i)
+		}
+		if math.Float32bits(fd[i]) != math.Float32bits(sd[i]) {
+			t.Fatalf("repeat Run output differs at %d", i)
+		}
+	}
+}

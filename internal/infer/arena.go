@@ -1,0 +1,91 @@
+package infer
+
+import (
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// arena is a plan-lifetime tensor allocator for the Planned executor. Kernels
+// draw their output tensors from it during a Run; at the end of the Run every
+// tensor that did not escape as a graph output goes back onto a volume-keyed
+// free list, so the next Run of the same plan — same shapes, same volumes —
+// reuses the same buffers and performs no steady-state tensor allocations.
+// Graph outputs are handed to the caller permanently (they are excluded from
+// reclamation and replaced by fresh allocations on the next Run), so callers
+// may retain results across Runs, as the monitor does with checkpoint tensors.
+//
+// An arena belongs to a single executor and inherits its concurrency
+// contract: Run is not reentrant, so no locking is needed. Kernels running on
+// pool workers never allocate through the context (they receive pre-allocated
+// outputs), keeping the arena single-goroutine.
+type arena struct {
+	free map[int][]*tensor.Tensor // reclaimed tensors keyed by element count
+	used []*tensor.Tensor         // tensors handed out during the current Run
+}
+
+var _ ops.Allocator = (*arena)(nil)
+
+func newArena() *arena {
+	return &arena{free: make(map[int][]*tensor.Tensor)}
+}
+
+// get returns a tensor of the given volume/shape and whether it was recycled
+// (and therefore holds stale values).
+func (a *arena) get(n int, shape []int) (*tensor.Tensor, bool) {
+	if l := a.free[n]; len(l) > 0 {
+		t := l[len(l)-1]
+		l[len(l)-1] = nil
+		a.free[n] = l[:len(l)-1]
+		t.ResetShape(shape...)
+		a.used = append(a.used, t)
+		return t, true
+	}
+	t := tensor.New(shape...)
+	a.used = append(a.used, t)
+	return t, false
+}
+
+// NewTensorUninit implements ops.Allocator.
+func (a *arena) NewTensorUninit(shape ...int) *tensor.Tensor {
+	t, _ := a.get(tensor.Volume(shape), shape)
+	return t
+}
+
+// NewTensor implements ops.Allocator: recycled buffers are re-zeroed.
+func (a *arena) NewTensor(shape ...int) *tensor.Tensor {
+	t, recycled := a.get(tensor.Volume(shape), shape)
+	if recycled {
+		d := t.Data()
+		for i := range d {
+			d[i] = 0
+		}
+	}
+	return t
+}
+
+// reclaimExcept returns every tensor handed out during the current Run to the
+// free lists, except those whose storage backs one of outs (graph outputs —
+// including views of arena tensors — escape to the caller). Identity is by
+// backing-array address, which catches Reshape/Flatten views sharing data
+// with an arena-allocated clone.
+func (a *arena) reclaimExcept(outs map[string]*tensor.Tensor) {
+	for i, t := range a.used {
+		a.used[i] = nil
+		d := t.Data()
+		if len(d) > 0 {
+			escaped := false
+			for _, o := range outs {
+				od := o.Data()
+				if len(od) > 0 && &od[0] == &d[0] {
+					escaped = true
+					break
+				}
+			}
+			if escaped {
+				continue
+			}
+		}
+		a.free[len(d)] = append(a.free[len(d)], t)
+	}
+	a.used = a.used[:0]
+}

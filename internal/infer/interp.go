@@ -11,6 +11,12 @@ import (
 // interpExecutor is the ORT-like graph interpreter: it resolves the execution
 // order once, then at each call walks the node list, dispatching kernels and
 // releasing intermediate tensors when their last consumer has run.
+//
+// Unlike the Planned executor it deliberately keeps per-call map-based value
+// tracking and fresh tensor allocation (no arena): the two runtimes' distinct
+// allocation behaviour is part of the inference-instance diversification
+// axis. It still shares the Context's persistent worker pool, so intra-op
+// parallelism costs no goroutine spawning here either.
 type interpExecutor struct {
 	g     *graph.Graph
 	cfg   Config

@@ -17,12 +17,16 @@ type plannedExecutor struct {
 	g     *graph.Graph
 	cfg   Config
 	ctx   *ops.Context
+	arena *arena
 	steps []planStep
 	// slot assignment
 	nSlots    int
 	initSlots []slotInit
 	inSlots   map[string]int
 	outSlots  map[string]int
+	// persistent Run state (Executors are not concurrently reusable).
+	slots []*tensor.Tensor
+	ins   []*tensor.Tensor
 }
 
 type planStep struct {
@@ -65,9 +69,13 @@ func newPlanned(orig *graph.Graph, cfg Config) (*plannedExecutor, error) {
 		g:        g,
 		cfg:      cfg,
 		ctx:      ctx,
+		arena:    newArena(),
 		inSlots:  make(map[string]int),
 		outSlots: make(map[string]int),
 	}
+	// Kernel outputs come from the plan's arena so repeated Runs reuse
+	// intermediate buffers instead of allocating.
+	ctx.Alloc = ex.arena
 	slotOf := make(map[string]int)
 	alloc := func(name string) int {
 		if s, ok := slotOf[name]; ok {
@@ -123,7 +131,14 @@ func (e *plannedExecutor) Graph() *graph.Graph { return e.g }
 func (e *plannedExecutor) Config() Config      { return e.cfg }
 
 func (e *plannedExecutor) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	slots := make([]*tensor.Tensor, e.nSlots)
+	if e.slots == nil {
+		e.slots = make([]*tensor.Tensor, e.nSlots)
+		e.ins = make([]*tensor.Tensor, 0, 8)
+	}
+	slots := e.slots
+	for i := range slots {
+		slots[i] = nil
+	}
 	for _, si := range e.initSlots {
 		slots[si.slot] = si.t
 	}
@@ -134,18 +149,20 @@ func (e *plannedExecutor) Run(inputs map[string]*tensor.Tensor) (map[string]*ten
 		}
 		slots[s] = t
 	}
-	ins := make([]*tensor.Tensor, 0, 8)
+	ins := e.ins
 	for _, st := range e.steps {
 		ins = ins[:0]
 		for _, s := range st.in {
 			t := slots[s]
 			if t == nil {
+				e.arena.reclaimExcept(nil)
 				return nil, fmt.Errorf("infer: planned: node %q reads empty slot", st.node.Name)
 			}
 			ins = append(ins, t)
 		}
 		outs, err := runKernel(e.ctx, st.kernel, st.node, ins)
 		if err != nil {
+			e.arena.reclaimExcept(nil)
 			return nil, err
 		}
 		for i, s := range st.out {
@@ -155,12 +172,17 @@ func (e *plannedExecutor) Run(inputs map[string]*tensor.Tensor) (map[string]*ten
 			slots[s] = nil
 		}
 	}
+	e.ins = ins
 	out := make(map[string]*tensor.Tensor, len(e.outSlots))
 	for name, s := range e.outSlots {
 		if slots[s] == nil {
+			e.arena.reclaimExcept(nil)
 			return nil, fmt.Errorf("infer: planned: graph output %q not produced", name)
 		}
 		out[name] = slots[s]
 	}
+	// Everything except the escaping outputs goes back to the arena for the
+	// next Run.
+	e.arena.reclaimExcept(out)
 	return out, nil
 }

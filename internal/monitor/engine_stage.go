@@ -186,6 +186,11 @@ func (e *Engine) evaluateGather(s *stage, g *gather, gathers map[uint64]*gather)
 
 	// Async quorum: attempt early forwarding before all variants report.
 	if e.cfg.Async && !g.forwarded && !g.allArrived() {
+		if 2*g.count <= g.want {
+			// A majority cluster is impossible until more than half the
+			// variants have reported; skip the pairwise vote entirely.
+			return
+		}
 		res, _ := g.voteSlice()
 		v, err := check.Vote(res, e.cfg.Policy, check.Majority)
 		if err == nil && v.OK && v.Chosen >= 0 {

@@ -11,20 +11,20 @@ import (
 // variadic (>=2 inputs) to support the commutative-reorder and dummy-operator
 // diversification transforms; the result is independent of input order up to
 // floating-point association.
-func addKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
-	return foldKernel(inputs, 2, func(a, b float32) float32 { return a + b })
+func addKernel(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return foldKernel(ctx, inputs, 2, func(a, b float32) float32 { return a + b })
 }
 
-func mulKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func mulKernel(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 2 {
 		return nil, fmt.Errorf("mul wants 2 inputs, got %d", len(inputs))
 	}
-	return foldKernel(inputs, 2, func(a, b float32) float32 { return a * b })
+	return foldKernel(ctx, inputs, 2, func(a, b float32) float32 { return a * b })
 }
 
 // foldKernel reduces inputs with f, cloning the largest-shape input as the
 // accumulator so broadcasting works regardless of argument order.
-func foldKernel(inputs []*tensor.Tensor, minIn int, f func(a, b float32) float32) ([]*tensor.Tensor, error) {
+func foldKernel(ctx *Context, inputs []*tensor.Tensor, minIn int, f func(a, b float32) float32) ([]*tensor.Tensor, error) {
 	if len(inputs) < minIn {
 		return nil, fmt.Errorf("op wants >=%d inputs, got %d", minIn, len(inputs))
 	}
@@ -35,7 +35,7 @@ func foldKernel(inputs []*tensor.Tensor, minIn int, f func(a, b float32) float32
 			fullIdx = i + 1
 		}
 	}
-	out := inputs[fullIdx].Clone()
+	out := ctx.CloneTensor(inputs[fullIdx])
 	for i, in := range inputs {
 		if i == fullIdx {
 			continue
@@ -127,7 +127,7 @@ func broadcastApply(acc, b *tensor.Tensor, f func(a, b float32) float32) error {
 	return fmt.Errorf("broadcast: unsupported shapes %v and %v", acc.Shape(), b.Shape())
 }
 
-func concatKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func concatKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) < 2 {
 		return nil, fmt.Errorf("concat wants >=2 inputs, got %d", len(inputs))
 	}
@@ -151,7 +151,7 @@ func concatKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor
 		}
 		outShape[axis] += in.Dim(axis)
 	}
-	out := tensor.New(outShape...)
+	out := ctx.NewTensorUninit(outShape...)
 	od := out.Data()
 
 	outer := 1

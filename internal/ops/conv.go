@@ -3,6 +3,7 @@ package ops
 import (
 	"fmt"
 
+	"repro/internal/blas"
 	"repro/internal/graph"
 	"repro/internal/tensor"
 )
@@ -108,12 +109,12 @@ func convDirect(ctx *Context, x, w *tensor.Tensor, bias []float32, p convParams)
 	nb, hin, win := x.Dim(0), x.Dim(2), x.Dim(3)
 	hout := convOutDim(hin, p.kh, p.stride, p.pad)
 	wout := convOutDim(win, p.kw, p.stride, p.pad)
-	out := tensor.New(nb, p.cout, hout, wout)
+	out := ctx.NewTensorUninit(nb, p.cout, hout, wout)
 	xd, wd, od := x.Data(), w.Data(), out.Data()
 	cinG := p.cin / p.group
 	coutG := p.cout / p.group
 
-	parallelFor(ctx.Parallelism, nb*p.cout, func(idx int) {
+	ctx.parallelFor(nb*p.cout, func(idx int) {
 		b, oc := idx/p.cout, idx%p.cout
 		g := oc / coutG
 		icBase := g * cinG
@@ -158,7 +159,7 @@ func convIm2Col(ctx *Context, x, w *tensor.Tensor, bias []float32, p convParams)
 	nb, hin, win := x.Dim(0), x.Dim(2), x.Dim(3)
 	hout := convOutDim(hin, p.kh, p.stride, p.pad)
 	wout := convOutDim(win, p.kw, p.stride, p.pad)
-	out := tensor.New(nb, p.cout, hout, wout)
+	out := ctx.NewTensorUninit(nb, p.cout, hout, wout)
 	xd, wd, od := x.Data(), w.Data(), out.Data()
 	cinG := p.cin / p.group
 	coutG := p.cout / p.group
@@ -166,9 +167,16 @@ func convIm2Col(ctx *Context, x, w *tensor.Tensor, bias []float32, p convParams)
 
 	k := cinG * p.kh * p.kw
 	spatial := hout * wout
-	parallelFor(ctx.Parallelism, nb*p.group, func(idx int) {
+	// When the outer (batch, group) loop is trivial — the common single-image
+	// inference case — parallelize inside the GEMM instead.
+	var gemmRanger blas.Ranger
+	if nb*p.group == 1 {
+		gemmRanger = ctx.ranger()
+	}
+	ctx.parallelFor(nb*p.group, func(idx int) {
 		b, g := idx/p.group, idx%p.group
-		col := make([]float32, k*spatial)
+		colBuf := getScratch(k*spatial + coutG*spatial)
+		col, prod := (*colBuf)[:k*spatial], (*colBuf)[k*spatial:]
 		// Layout: rows = (ic, fh, fw), cols = (oh, ow) — matches the weight
 		// row layout so GEMM accumulates in the same index order as direct.
 		row := 0
@@ -194,8 +202,7 @@ func convIm2Col(ctx *Context, x, w *tensor.Tensor, bias []float32, p convParams)
 				}
 			}
 		}
-		prod := make([]float32, coutG*spatial)
-		be.Gemm(coutG, spatial, k, wd[g*coutG*k:(g+1)*coutG*k], col, prod)
+		blas.ParallelGemm(be, gemmRanger, coutG, spatial, k, wd[g*coutG*k:(g+1)*coutG*k], col, prod)
 		for oc := 0; oc < coutG; oc++ {
 			dst := od[((b*p.cout+g*coutG+oc)*hout)*wout:]
 			src := prod[oc*spatial:]
@@ -207,6 +214,7 @@ func convIm2Col(ctx *Context, x, w *tensor.Tensor, bias []float32, p convParams)
 				dst[i] = src[i] + bv
 			}
 		}
+		putScratch(colBuf)
 	})
 	return out
 }
@@ -235,10 +243,10 @@ func poolKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor, isMax bool
 	nb, c, hin, win := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	hout := convOutDim(hin, k, stride, pad)
 	wout := convOutDim(win, k, stride, pad)
-	out := tensor.New(nb, c, hout, wout)
+	out := ctx.NewTensorUninit(nb, c, hout, wout)
 	xd, od := x.Data(), out.Data()
 
-	parallelFor(ctx.Parallelism, nb*c, func(idx int) {
+	ctx.parallelFor(nb*c, func(idx int) {
 		xc := xd[idx*hin*win:]
 		oc := od[idx*hout*wout:]
 		for oh := 0; oh < hout; oh++ {
@@ -287,10 +295,10 @@ func globalAvgPoolKernel(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) (
 		return nil, fmt.Errorf("global avg pool input must be NCHW, got %v", x.Shape())
 	}
 	nb, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := tensor.New(nb, c, 1, 1)
+	out := ctx.NewTensorUninit(nb, c, 1, 1)
 	xd, od := x.Data(), out.Data()
 	area := float32(h * w)
-	parallelFor(ctx.Parallelism, nb*c, func(idx int) {
+	ctx.parallelFor(nb*c, func(idx int) {
 		var s float32
 		for _, v := range xd[idx*h*w : (idx+1)*h*w] {
 			s += v
@@ -300,7 +308,7 @@ func globalAvgPoolKernel(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) (
 	return []*tensor.Tensor{out}, nil
 }
 
-func padKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func padKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("pad wants 1 input, got %d", len(inputs))
 	}
@@ -314,7 +322,9 @@ func padKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Te
 	}
 	nb, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	ho, wo := h+pads[0]+pads[1], w+pads[2]+pads[3]
-	out := tensor.New(nb, c, ho, wo)
+	// Pad relies on zero-filled borders; NewTensor (not Uninit) guarantees
+	// them even for arena-recycled buffers.
+	out := ctx.NewTensor(nb, c, ho, wo)
 	xd, od := x.Data(), out.Data()
 	for bc := 0; bc < nb*c; bc++ {
 		for ih := 0; ih < h; ih++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/blas"
 	"repro/internal/graph"
 	"repro/internal/tensor"
 )
@@ -22,8 +23,8 @@ func gemmKernel(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor
 		return nil, fmt.Errorf("gemm inner dims mismatch: %v x %v", x.Shape(), w.Shape())
 	}
 	m := w.Dim(1)
-	out := tensor.New(n, m)
-	ctx.blas().Gemm(n, m, k, x.Data(), w.Data(), out.Data())
+	out := ctx.NewTensorUninit(n, m)
+	blas.ParallelGemm(ctx.blas(), ctx.ranger(), n, m, k, x.Data(), w.Data(), out.Data())
 	if len(inputs) >= 3 {
 		b := inputs[2]
 		if b.Size() != m {
@@ -69,18 +70,18 @@ func batchNormKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*t
 			return nil, fmt.Errorf("batchnorm param size %d != channels %d", p.Size(), c)
 		}
 	}
-	out := x.Clone()
+	out := ctx.CloneTensor(x)
 	od := out.Data()
 	sd, bd, md, vd := scale.Data(), bias.Data(), mean.Data(), variance.Data()
 	// Precompute per-channel a = scale/sqrt(var+eps), b = bias - a*mean.
-	av := make([]float32, c)
-	bv := make([]float32, c)
+	abBuf := getScratch(2 * c)
+	av, bv := (*abBuf)[:c], (*abBuf)[c:]
 	for i := 0; i < c; i++ {
 		a := sd[i] / float32(math.Sqrt(float64(vd[i]+eps)))
 		av[i] = a
 		bv[i] = bd[i] - a*md[i]
 	}
-	parallelFor(ctx.Parallelism, nb*c, func(idx int) {
+	ctx.parallelFor(nb*c, func(idx int) {
 		ch := idx % c
 		a, b := av[ch], bv[ch]
 		seg := od[idx*spatial : (idx+1)*spatial]
@@ -88,10 +89,11 @@ func batchNormKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*t
 			seg[i] = a*v + b
 		}
 	})
+	putScratch(abBuf)
 	return []*tensor.Tensor{out}, nil
 }
 
-func softmaxKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func softmaxKernel(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("softmax wants 1 input, got %d", len(inputs))
 	}
@@ -100,7 +102,7 @@ func softmaxKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tenso
 		return nil, fmt.Errorf("softmax wants rank >= 1, got %v", x.Shape())
 	}
 	last := x.Dim(x.Dims() - 1)
-	out := x.Clone()
+	out := ctx.CloneTensor(x)
 	od := out.Data()
 	rows := out.Size() / last
 	for r := 0; r < rows; r++ {
@@ -125,7 +127,7 @@ func softmaxKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tenso
 	return []*tensor.Tensor{out}, nil
 }
 
-func flattenKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func flattenKernel(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("flatten wants 1 input, got %d", len(inputs))
 	}
@@ -135,7 +137,7 @@ func flattenKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tenso
 	}
 	nb := x.Dim(0)
 	rest := x.Size() / nb
-	out, err := x.Clone().Reshape(nb, rest)
+	out, err := ctx.CloneTensor(x).Reshape(nb, rest)
 	if err != nil {
 		return nil, err
 	}

@@ -9,11 +9,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/blas"
 	"repro/internal/graph"
 	"repro/internal/tensor"
+	"repro/internal/workpool"
 )
 
 // ConvAlgo selects the convolution kernel implementation.
@@ -39,20 +41,97 @@ func (a ConvAlgo) String() string {
 	}
 }
 
+// Allocator supplies output tensors to kernels. Executors install an arena
+// here so steady-state runs recycle intermediate buffers instead of
+// allocating; a nil Allocator falls back to tensor.New.
+type Allocator interface {
+	// NewTensor returns a zero-filled tensor of the given shape.
+	NewTensor(shape ...int) *tensor.Tensor
+	// NewTensorUninit returns a tensor whose contents are unspecified; the
+	// caller promises to overwrite every element.
+	NewTensorUninit(shape ...int) *tensor.Tensor
+}
+
 // Context carries per-variant execution configuration into kernels. A zero
 // Context is usable: it defaults to the naive BLAS backend, direct
-// convolution and single-threaded execution.
+// convolution and single-threaded execution. Contexts must not be copied
+// after first use (they lazily own a worker pool).
 type Context struct {
 	// BLAS is the linear-algebra backend; nil means blas.Naive.
 	BLAS blas.Backend
 	// ConvAlgo selects the convolution kernel; zero means ConvDirect.
 	ConvAlgo ConvAlgo
-	// Parallelism bounds intra-op worker goroutines; <=1 means sequential.
+	// Parallelism bounds intra-op workers; <=1 means sequential. Workers
+	// live in a persistent pool owned by the Context, created on first
+	// parallel region and reused across all operator invocations.
 	Parallelism int
 	// CheckFinite makes kernels fail with ErrNonFinite when an output
 	// contains NaN/Inf — the "error handling" hardening variant that turns
 	// silent FPE corruption into a detectable crash.
 	CheckFinite bool
+	// Alloc, when non-nil, supplies kernel output tensors (see Allocator).
+	Alloc Allocator
+
+	poolOnce sync.Once
+	pool     *workpool.Pool
+}
+
+// workers returns the context's persistent pool, creating it on first use.
+// Returns nil (sequential) when Parallelism <= 1.
+func (c *Context) workers() *workpool.Pool {
+	if c == nil || c.Parallelism <= 1 {
+		return nil
+	}
+	c.poolOnce.Do(func() {
+		c.pool = workpool.New(c.Parallelism)
+		if c.pool != nil {
+			// Contexts have no Close; release the background workers when
+			// the owning Context is collected.
+			runtime.AddCleanup(c, func(p *workpool.Pool) { p.Close() }, c.pool)
+		}
+	})
+	return c.pool
+}
+
+// parallelFor runs f(i) for i in [0,n) on the context's worker pool.
+func (c *Context) parallelFor(n int, f func(i int)) {
+	c.workers().Run(n, f)
+}
+
+// ranger exposes the worker pool to BLAS panel execution; nil means
+// sequential.
+func (c *Context) ranger() blas.Ranger {
+	if p := c.workers(); p != nil {
+		return p
+	}
+	return nil
+}
+
+// NewTensor allocates a zero-filled tensor through the context's allocator.
+func (c *Context) NewTensor(shape ...int) *tensor.Tensor {
+	if c != nil && c.Alloc != nil {
+		return c.Alloc.NewTensor(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// NewTensorUninit allocates a tensor with unspecified contents through the
+// context's allocator; every element must be overwritten by the caller.
+func (c *Context) NewTensorUninit(shape ...int) *tensor.Tensor {
+	if c != nil && c.Alloc != nil {
+		return c.Alloc.NewTensorUninit(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// CloneTensor deep-copies t through the context's allocator.
+func (c *Context) CloneTensor(t *tensor.Tensor) *tensor.Tensor {
+	if c == nil || c.Alloc == nil {
+		return t.Clone()
+	}
+	out := c.Alloc.NewTensorUninit(t.Shape()...)
+	copy(out.Data(), t.Data())
+	return out
 }
 
 // ErrNonFinite is returned by kernels when CheckFinite is set and an output
@@ -145,35 +224,6 @@ func (r Registry) Run(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*
 	return outs, nil
 }
 
-// parallelFor runs f(i) for i in [0,n) using up to p goroutines.
-func parallelFor(p, n int, f func(i int)) {
-	if p <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	if p > n {
-		p = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // --- elementwise activations -------------------------------------------------
 
 func relu(x float32) float32 {
@@ -211,19 +261,19 @@ func hardSigmoid(x float32) float32 {
 func hardSwish(x float32) float32 { return x * hardSigmoid(x) }
 
 func unaryKernel(f func(float32) float32) Kernel {
-	return func(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return func(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		if len(inputs) != 1 {
 			return nil, fmt.Errorf("unary op wants 1 input, got %d", len(inputs))
 		}
-		out := inputs[0].Clone()
+		out := ctx.CloneTensor(inputs[0])
 		out.Apply(f)
 		return []*tensor.Tensor{out}, nil
 	}
 }
 
-func identityKernel(_ *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func identityKernel(ctx *Context, _ *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("Identity wants 1 input, got %d", len(inputs))
 	}
-	return []*tensor.Tensor{inputs[0].Clone()}, nil
+	return []*tensor.Tensor{ctx.CloneTensor(inputs[0])}, nil
 }

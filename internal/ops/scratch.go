@@ -1,0 +1,22 @@
+package ops
+
+import "sync"
+
+// scratchPool recycles the float32 scratch slices kernels need per invocation
+// (im2col columns, GEMM products, transpose staging, Winograd tile panels).
+// These are the last per-call heap allocations on the steady-state inference
+// path once tensor outputs come from the executor arena.
+var scratchPool = sync.Pool{New: func() any { s := []float32(nil); return &s }}
+
+// getScratch returns a pooled slice of length n with unspecified contents.
+// Release it with putScratch when the kernel invocation is done.
+func getScratch(n int) *[]float32 {
+	p := scratchPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putScratch(p *[]float32) { scratchPool.Put(p) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/blas"
 	"repro/internal/graph"
 	"repro/internal/tensor"
 )
@@ -15,7 +16,7 @@ import (
 
 // layerNormKernel normalizes the last axis: (x-μ)/σ * scale + bias, with
 // scale/bias of the last-axis length.
-func layerNormKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func layerNormKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 3 {
 		return nil, fmt.Errorf("layernorm wants 3 inputs, got %d", len(inputs))
 	}
@@ -28,7 +29,7 @@ func layerNormKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*ten
 		return nil, fmt.Errorf("layernorm params size %d/%d != last dim %d", scale.Size(), bias.Size(), d)
 	}
 	eps := n.Float("epsilon", 1e-5)
-	out := x.Clone()
+	out := ctx.CloneTensor(x)
 	od := out.Data()
 	sd, bd := scale.Data(), bias.Data()
 	rows := out.Size() / d
@@ -60,7 +61,7 @@ func gelu(x float32) float32 {
 }
 
 // transposeKernel permutes axes per the "perm" attribute.
-func transposeKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func transposeKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("transpose wants 1 input, got %d", len(inputs))
 	}
@@ -79,7 +80,7 @@ func transposeKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*ten
 		seen[p] = true
 		outShape[i] = inShape[p]
 	}
-	out := tensor.New(outShape...)
+	out := ctx.NewTensorUninit(outShape...)
 	inStride := strides(inShape)
 	outStride := strides(outShape)
 	od, xd := out.Data(), x.Data()
@@ -108,7 +109,7 @@ func strides(shape []int) []int {
 }
 
 // reshapeKernel reshapes to the static "shape" attribute (volume-preserving).
-func reshapeKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func reshapeKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("reshape wants 1 input, got %d", len(inputs))
 	}
@@ -116,7 +117,7 @@ func reshapeKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tenso
 	if shape == nil {
 		return nil, fmt.Errorf("reshape needs a shape attribute")
 	}
-	out, err := inputs[0].Clone().Reshape(shape...)
+	out, err := ctx.CloneTensor(inputs[0]).Reshape(shape...)
 	if err != nil {
 		return nil, err
 	}
@@ -171,12 +172,15 @@ func batchMatMulKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]
 		return nil, fmt.Errorf("batchmatmul B must be 2-D or 3-D, got %v", bm.Shape())
 	}
 
-	out := tensor.New(nb, m, bn)
+	out := ctx.NewTensorUninit(nb, m, bn)
 	od := out.Data()
+	var tbufP *[]float32
 	var tbuf []float32
 	if transB {
-		tbuf = make([]float32, k*bn)
+		tbufP = getScratch(k * bn)
+		tbuf = *tbufP
 	}
+	ranger := ctx.ranger()
 	for batch := 0; batch < nb; batch++ {
 		ab := a.Data()[batch*m*k : (batch+1)*m*k]
 		bb := bData(batch)
@@ -189,7 +193,10 @@ func batchMatMulKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]
 			}
 			bb = tbuf
 		}
-		be.Gemm(m, bn, k, ab, bb, od[batch*m*bn:(batch+1)*m*bn])
+		blas.ParallelGemm(be, ranger, m, bn, k, ab, bb, od[batch*m*bn:(batch+1)*m*bn])
+	}
+	if tbufP != nil {
+		putScratch(tbufP)
 	}
 	return []*tensor.Tensor{out}, nil
 }
@@ -206,7 +213,7 @@ func checkInner(transB bool, k, rows, cols int) error {
 }
 
 // reduceMeanKernel averages over the "axis" attribute (keepdims=false).
-func reduceMeanKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func reduceMeanKernel(ctx *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("reducemean wants 1 input, got %d", len(inputs))
 	}
@@ -217,7 +224,7 @@ func reduceMeanKernel(_ *Context, n *graph.Node, inputs []*tensor.Tensor) ([]*te
 	}
 	shape := x.Shape()
 	outShape := append(append([]int{}, shape[:axis]...), shape[axis+1:]...)
-	out := tensor.New(outShape...)
+	out := ctx.NewTensorUninit(outShape...)
 	outer := 1
 	for _, d := range shape[:axis] {
 		outer *= d

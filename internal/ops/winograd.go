@@ -21,12 +21,13 @@ func convWinograd(ctx *Context, x, w *tensor.Tensor, bias []float32, p convParam
 	nb, hin, win := x.Dim(0), x.Dim(2), x.Dim(3)
 	hout := convOutDim(hin, 3, 1, p.pad)
 	wout := convOutDim(win, 3, 1, p.pad)
-	out := tensor.New(nb, p.cout, hout, wout)
+	out := ctx.NewTensorUninit(nb, p.cout, hout, wout)
 	xd, wd, od := x.Data(), w.Data(), out.Data()
 
 	// Precompute U = G·g·Gᵀ for every (oc, ic) filter: 4×4 transformed
 	// filters.
-	u := make([]float32, p.cout*p.cin*16)
+	uBuf := getScratch(p.cout * p.cin * 16)
+	u := *uBuf
 	for oc := 0; oc < p.cout; oc++ {
 		for ic := 0; ic < p.cin; ic++ {
 			g := wd[(oc*p.cin+ic)*9 : (oc*p.cin+ic)*9+9]
@@ -36,12 +37,15 @@ func convWinograd(ctx *Context, x, w *tensor.Tensor, bias []float32, p convParam
 
 	tilesH := (hout + 1) / 2
 	tilesW := (wout + 1) / 2
-	parallelFor(ctx.Parallelism, nb, func(b int) {
-		d := make([]float32, 16) // input tile
-		v := make([]float32, 16) // transformed input tile
-		m := make([]float32, 16) // accumulated elementwise products
-		y := make([]float32, 4)  // output tile
-		vAll := make([]float32, p.cin*16)
+	ctx.parallelFor(nb, func(b int) {
+		var dArr, vArr, mArr [16]float32
+		var yArr [4]float32
+		d := dArr[:] // input tile
+		v := vArr[:] // transformed input tile
+		m := mArr[:] // accumulated elementwise products
+		y := yArr[:] // output tile
+		vAllBuf := getScratch(p.cin * 16)
+		vAll := *vAllBuf
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
 				// Gather and transform the 4×4 input tile of every input
@@ -97,7 +101,9 @@ func convWinograd(ctx *Context, x, w *tensor.Tensor, bias []float32, p convParam
 				}
 			}
 		}
+		putScratch(vAllBuf)
 	})
+	putScratch(uBuf)
 	applyFusedActivation(out, p)
 	return out
 }

@@ -82,6 +82,26 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
+// ResetShape repoints t at shape, reusing t's storage when capacity allows.
+// Executor arenas use it to recycle tensors across runs. Existing element
+// values are preserved up to the new volume; callers that rely on zeroed
+// contents must clear the data themselves.
+func (t *Tensor) ResetShape(shape ...int) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	if cap(t.data) < n {
+		t.data = make([]float32, n)
+	} else {
+		t.data = t.data[:n]
+	}
+	t.shape = append(t.shape[:0], shape...)
+}
+
 // Reshape returns a view of t with a new shape of equal volume. The data is
 // shared with t.
 func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {

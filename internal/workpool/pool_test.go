@@ -1,0 +1,110 @@
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolSequential(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	var sum int
+	p.Run(10, func(i int) { sum += i })
+	if sum != 45 {
+		t.Fatalf("nil pool Run sum = %d, want 45", sum)
+	}
+	p.Close() // must not panic
+}
+
+func TestNewSmallParallelism(t *testing.T) {
+	if New(0) != nil || New(1) != nil {
+		t.Fatal("New(<=1) must return the nil sequential pool")
+	}
+}
+
+func TestRunCoversAllIndices(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 100, 1000} {
+		hits := make([]atomic.Int32, n)
+		p.Run(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d executed %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+func TestRunRangePartition(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	const n = 257
+	var covered [n]atomic.Int32
+	p.RunRange(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+// TestNestedRegions verifies that parallel regions issued from inside a
+// parallel region complete without deadlock (busy workers ⇒ caller runs the
+// inner region itself).
+func TestNestedRegions(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	p.Run(8, func(i int) {
+		p.Run(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested total = %d, want 64", total.Load())
+	}
+}
+
+// TestConcurrentCallers verifies that many goroutines can drive the same pool
+// at once — the monitor runs several variant executors concurrently, all
+// sharing per-executor pools but potentially also one pool.
+func TestConcurrentCallers(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				p.Run(37, func(i int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 50 * 37); total.Load() != want {
+		t.Fatalf("total = %d, want %d", total.Load(), want)
+	}
+}
+
+func TestUseAfterCloseFallsBack(t *testing.T) {
+	p := New(4)
+	p.Close()
+	var sum int
+	p.Run(10, func(i int) { sum += i }) // sequential fallback, no panic
+	if sum != 45 {
+		t.Fatalf("after close sum = %d, want 45", sum)
+	}
+}
