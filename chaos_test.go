@@ -1,0 +1,175 @@
+package mvtee
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/monitor"
+)
+
+// TestChaosHangQuorumAndHotReplacement is the end-to-end robustness
+// scenario: one stage-1 variant hangs mid-batch, the straggler deadline
+// expires, the batch completes via majority quorum well before the hang
+// resolves, and the Recover response hot-replaces the dead variant from the
+// pre-established spare pool — with the promotion appended to the monitor's
+// binding log and the stage climbing back to the full ladder rung.
+func TestChaosHangQuorumAndHotReplacement(t *testing.T) {
+	bundle, err := BuildBundle(OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: []int{3},
+		Specs:            RealSetupSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []PartitionPlan{
+		{Variants: []string{"ort-cpu"}},
+		{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}},
+		{Variants: []string{"ort-cpu"}},
+	}
+	spares := []PartitionPlan{
+		{},
+		{Variants: []string{"ort-altep"}},
+		{},
+	}
+	const (
+		hungID  = "p1-ort-altep-1"
+		spareID = "spare-p1-ort-altep-0"
+	)
+	// Stage 1 of this partitioning has exactly two Add nodes; hanging only
+	// those keeps the stalled variant's eventual wake-up (2 × hangDelay,
+	// long after it has been retired) bounded for teardown.
+	const hangDelay = 1500 * time.Millisecond
+	const stageTimeout = 300 * time.Millisecond
+	inj := Injection{Class: FaultHang, TargetOp: "Add", Latency: hangDelay, After: 1}
+
+	dep, err := Deploy(bundle, 0, DeployConfig{
+		MVX: &MVXConfig{
+			Plans:          plans,
+			Spares:         spares,
+			Response:       Recover,
+			Vote:           check.Majority,
+			StageTimeoutMS: int(stageTimeout / time.Millisecond),
+			Criteria:       []Criterion{{Metric: AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Encrypt:        true,
+		VariantOptions: ArmVariantIDs(inj, hungID),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	if got := dep.Monitor.SpareCount(); got != 1 {
+		t.Fatalf("SpareCount() = %d, want 1", got)
+	}
+
+	in := NewTensor(1, 3, 32, 32)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	feed := map[string]*Tensor{"image": in}
+
+	// Batch 1: grace period, everyone healthy.
+	if res, err := dep.Infer(feed); err != nil || res.Err != nil {
+		t.Fatalf("batch 1: %v / %v", err, res.Err)
+	}
+
+	// Batch 2: the armed variant hangs mid-stage. The stage deadline must
+	// expire and the quorum complete the batch far sooner than the hang
+	// itself (2 × hangDelay) would allow.
+	start := time.Now()
+	res, err := dep.Infer(feed)
+	elapsed := time.Since(start)
+	if err != nil || res.Err != nil {
+		t.Fatalf("batch 2 should survive the straggler via quorum: %v / %v", err, res.Err)
+	}
+	if res.Tensors["logits"] == nil || res.Tensors["logits"].HasNaN() {
+		t.Fatalf("batch 2: bad output %v", res.Tensors)
+	}
+	if elapsed >= hangDelay {
+		t.Fatalf("batch 2 took %v — waited out the straggler instead of completing at the %v stage deadline", elapsed, stageTimeout)
+	}
+
+	// The timeout and the asynchronous hot replacement must surface as
+	// events: the hung variant timed out, the spare was promoted.
+	waitForEvent(t, dep, EventVariantTimeout, hungID)
+	waitForEvent(t, dep, EventVariantReplaced, spareID)
+
+	// The promotion is appended to the binding log (§4.3): the spare's
+	// fresh record is live, the dead variant's record is marked replaced.
+	var spareBound, hungRetired bool
+	for _, rec := range dep.Monitor.Bindings() {
+		switch rec.VariantID {
+		case spareID:
+			spareBound = !rec.Replaced
+		case hungID:
+			hungRetired = rec.Replaced
+		}
+	}
+	if !spareBound {
+		t.Fatalf("no live binding record for promoted spare %s: %+v", spareID, dep.Monitor.Bindings())
+	}
+	if !hungRetired {
+		t.Fatalf("retired variant %s not marked replaced in binding log", hungID)
+	}
+	if got := dep.Monitor.SpareCount(); got != 0 {
+		t.Fatalf("SpareCount() = %d after promotion, want 0", got)
+	}
+
+	// The stage must climb back to the full rung once the spare is serving.
+	deadline := time.Now().Add(5 * time.Second)
+	for dep.Engine.Ladder()[1] != monitor.LadderFull {
+		if time.Now().After(deadline) {
+			t.Fatalf("stage 1 ladder = %v, never recovered to full", dep.Engine.Ladder()[1])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Steady state with the replacement: no fresh divergences.
+	divergences := countEvents(dep, EventDivergence)
+	for i := 0; i < 3; i++ {
+		if res, err := dep.Infer(feed); err != nil || res.Err != nil {
+			t.Fatalf("post-replacement batch %d: %v / %v", i, err, res.Err)
+		}
+	}
+	if got := countEvents(dep, EventDivergence); got != divergences {
+		t.Fatalf("replacement variant diverges: %d new divergence events", got-divergences)
+	}
+}
+
+// waitForEvent polls the engine's event log until an event of the kind
+// naming the variant appears (replacement runs asynchronously to Infer).
+func waitForEvent(t *testing.T, dep *Deployment, kind monitor.EventKind, variantID string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, ev := range dep.Engine.Events() {
+			if ev.Kind != kind {
+				continue
+			}
+			for _, v := range ev.Variants {
+				if v == variantID {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("event %v for %s never recorded; have %+v", kind, variantID, dep.Engine.Events())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func countEvents(dep *Deployment, kind monitor.EventKind) int {
+	n := 0
+	for _, ev := range dep.Engine.Events() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -43,6 +43,12 @@ func main() {
 	setIdx := flag.Int("set", 0, "partition set index")
 	plansStr := flag.String("plans", "", "per-partition variant claims: 'spec,spec;spec;...' (required unless -await-owner)")
 	async := flag.Bool("async", false, "asynchronous cross-validation mode")
+	response := flag.String("response", "halt",
+		"divergence response: halt, drop-variant, report-only or recover (recover hot-replaces dissenters from the -spares pool)")
+	stageTimeout := flag.Duration("stage-timeout", 0,
+		"straggler deadline per checkpoint (e.g. 300ms); 0 disables — expired variants are dropped and the batch completes via the surviving quorum")
+	sparesStr := flag.String("spares", "",
+		"per-partition spare variant claims, same syntax as -plans; spares idle pre-attested until a recover response promotes one")
 	awaitOwner := flag.Bool("await-owner", false,
 		"receive the MVX configuration and pool keys from a connecting mvtee-owner process instead of flags/disk (Figure 6 steps 2-3, 8)")
 	demo := flag.Int("demo", 4, "demo batches to run after bring-up (0 = wait forever)")
@@ -55,9 +61,39 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*bundleDir, *listen, *setIdx, *plansStr, *async, *awaitOwner, *demo, *pipelined); err != nil {
+	resp, err := monitor.ParseResponse(*response)
+	if err != nil {
 		log.Fatal(err)
 	}
+	opts := runOptions{
+		dir:          *bundleDir,
+		listen:       *listen,
+		setIdx:       *setIdx,
+		plansStr:     *plansStr,
+		sparesStr:    *sparesStr,
+		async:        *async,
+		response:     resp,
+		stageTimeout: *stageTimeout,
+		awaitOwner:   *awaitOwner,
+		demo:         *demo,
+		pipelined:    *pipelined,
+	}
+	if err := run(opts); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runOptions collects the parsed command line.
+type runOptions struct {
+	dir, listen         string
+	setIdx              int
+	plansStr, sparesStr string
+	async               bool
+	response            monitor.ResponseMode
+	stageTimeout        time.Duration
+	awaitOwner          bool
+	demo                int
+	pipelined           bool
 }
 
 func parsePlans(s string) []monitor.PartitionPlan {
@@ -74,7 +110,8 @@ func parsePlans(s string) []monitor.PartitionPlan {
 	return plans
 }
 
-func run(dir, listen string, setIdx int, plansStr string, async, awaitOwner bool, demo int, pipelined bool) error {
+func run(opts runOptions) error {
+	dir, setIdx := opts.dir, opts.setIdx
 	meta, err := core.LoadMeta(dir)
 	if err != nil {
 		return err
@@ -93,7 +130,7 @@ func run(dir, listen string, setIdx int, plansStr string, async, awaitOwner bool
 	defer monEncl.Destroy()
 	mon := monitor.New(monEncl, verifier)
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", opts.listen)
 	if err != nil {
 		return err
 	}
@@ -103,7 +140,7 @@ func run(dir, listen string, setIdx int, plansStr string, async, awaitOwner bool
 	// or local flags + the on-disk key table.
 	var ownerConn securechan.Conn
 	keyFor := func(entryKey string) ([]byte, bool) { return mon.KeyFor(entryKey) }
-	if awaitOwner {
+	if opts.awaitOwner {
 		log.Printf("listening on %s, awaiting model owner", ln.Addr())
 		raw, err := ln.Accept()
 		if err != nil {
@@ -140,7 +177,17 @@ func run(dir, listen string, setIdx int, plansStr string, async, awaitOwner bool
 		if err != nil {
 			return err
 		}
-		mvx := &monitor.MVXConfig{Model: meta.Model, PartitionSet: setIdx, Plans: parsePlans(plansStr), Async: async}
+		mvx := &monitor.MVXConfig{
+			Model:          meta.Model,
+			PartitionSet:   setIdx,
+			Plans:          parsePlans(opts.plansStr),
+			Async:          opts.async,
+			Response:       opts.response,
+			StageTimeoutMS: int(opts.stageTimeout / time.Millisecond),
+		}
+		if opts.sparesStr != "" {
+			mvx.Spares = parsePlans(opts.sparesStr)
+		}
 		cfgJSON, err := mvx.Marshal()
 		if err != nil {
 			return err
@@ -159,29 +206,48 @@ func run(dir, listen string, setIdx int, plansStr string, async, awaitOwner bool
 		return fmt.Errorf("%d plans for %d partitions", len(plans), len(set.Partitions))
 	}
 
-	// Flatten the plan into connection-order assignments.
-	var assignments []monitor.Assignment
+	// Flatten the plans into connection-order assignments: the claimed
+	// variants first, then any spares (which idle pre-attested until a
+	// recover response promotes them).
+	assignment := func(idPrefix string, pi, vi int, spec string) (monitor.Assignment, error) {
+		e := core.Entry{Set: setIdx, Partition: pi, Spec: spec}
+		key := core.EntryKeyFor(setIdx, pi, spec)
+		kdk, ok := keyFor(key)
+		if !ok {
+			return monitor.Assignment{}, fmt.Errorf("no pool key for %s", key)
+		}
+		return monitor.Assignment{
+			VariantID:  fmt.Sprintf("%sp%d-%s-%d", idPrefix, pi, spec, vi),
+			Partition:  pi,
+			Spec:       spec,
+			KDK:        kdk,
+			Manifest:   e.ManifestPath(),
+			Files:      []string{e.GraphPath(), e.SpecPath()},
+			Entrypoint: e.EntrypointPath(),
+			Evidence:   meta.Evidence[key],
+		}, nil
+	}
+	var assignments, spareAssignments []monitor.Assignment
 	for pi, plan := range plans {
 		for vi, spec := range plan.Variants {
-			e := core.Entry{Set: setIdx, Partition: pi, Spec: spec}
-			key := core.EntryKeyFor(setIdx, pi, spec)
-			kdk, ok := keyFor(key)
-			if !ok {
-				return fmt.Errorf("no pool key for %s", key)
+			a, err := assignment("", pi, vi, spec)
+			if err != nil {
+				return err
 			}
-			assignments = append(assignments, monitor.Assignment{
-				VariantID:  fmt.Sprintf("p%d-%s-%d", pi, spec, vi),
-				Partition:  pi,
-				Spec:       spec,
-				KDK:        kdk,
-				Manifest:   e.ManifestPath(),
-				Files:      []string{e.GraphPath(), e.SpecPath()},
-				Entrypoint: e.EntrypointPath(),
-				Evidence:   meta.Evidence[key],
-			})
+			assignments = append(assignments, a)
 		}
 	}
-	log.Printf("listening on %s, awaiting %d variant TEEs", ln.Addr(), len(assignments))
+	for pi, plan := range mon.Config().Spares {
+		for vi, spec := range plan.Variants {
+			a, err := assignment("spare-", pi, vi, spec)
+			if err != nil {
+				return err
+			}
+			spareAssignments = append(spareAssignments, a)
+		}
+	}
+	log.Printf("listening on %s, awaiting %d variant TEEs (+%d spares)",
+		ln.Addr(), len(assignments), len(spareAssignments))
 
 	verify := func(r *enclave.Report) error {
 		if r == nil {
@@ -189,22 +255,37 @@ func run(dir, listen string, setIdx int, plansStr string, async, awaitOwner bool
 		}
 		return verifier.Verify(r, nil)
 	}
-	for _, a := range assignments {
+	accept := func(id string) (securechan.Conn, error) {
 		raw, err := ln.Accept()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if tc, ok := raw.(*net.TCPConn); ok {
 			_ = tc.SetNoDelay(true)
 		}
 		conn, err := securechan.Server(raw, monEncl, verify)
 		if err != nil {
-			return fmt.Errorf("handshake for %s: %w", a.VariantID, err)
+			return nil, fmt.Errorf("handshake for %s: %w", id, err)
+		}
+		return conn, nil
+	}
+	for _, a := range assignments {
+		conn, err := accept(a.VariantID)
+		if err != nil {
+			return err
 		}
 		if _, err := mon.Bind(conn, a); err != nil {
 			return fmt.Errorf("bind %s: %w", a.VariantID, err)
 		}
 		log.Printf("bound %s (partition %d, spec %s)", a.VariantID, a.Partition, a.Spec)
+	}
+	for _, a := range spareAssignments {
+		conn, err := accept(a.VariantID)
+		if err != nil {
+			return err
+		}
+		mon.AddSpare(conn, a)
+		log.Printf("spare %s registered (partition %d, spec %s)", a.VariantID, a.Partition, a.Spec)
 	}
 
 	stages := make([]monitor.StageSpec, len(set.Partitions))
@@ -243,14 +324,15 @@ func run(dir, listen string, setIdx int, plansStr string, async, awaitOwner bool
 		log.Printf("initialization results sent to owner")
 	}
 
-	if demo <= 0 {
+	if opts.demo <= 0 {
 		select {} // serve until killed
 	}
+	demo := opts.demo
 
 	in := demoInput(meta)
 	inputs := map[string]*tensor.Tensor{meta.ModelInputs[0].Name: in}
 	start := time.Now()
-	if pipelined {
+	if opts.pipelined {
 		batches := make([]map[string]*tensor.Tensor, demo)
 		for i := range batches {
 			batches[i] = inputs

@@ -151,6 +151,71 @@ func (d *Deployment) launchAndBind(variantID string, e Entry) error {
 	return nil
 }
 
+// launchSpare brings up a spare variant TEE (Figure 6: the pool of spares
+// pre-established for cheap recovery) and registers it with the monitor
+// without binding: the spare idles in stage-1 bootstrap, waiting for its
+// assignment, until a Recover response promotes it into a dead slot.
+func (d *Deployment) launchSpare(variantID string, e Entry) error {
+	b := d.Bundle
+	kdk, ok := b.Keys[e]
+	if !ok {
+		return fmt.Errorf("core: no pool entry %+v", e)
+	}
+	spec, err := findSpec(b, e.Spec)
+	if err != nil {
+		return err
+	}
+	tt, err := spec.TEEType()
+	if err != nil {
+		return err
+	}
+	plat, err := d.platform(tt)
+	if err != nil {
+		return err
+	}
+	vEncl, err := plat.Launch(enclave.Image{
+		Name:         "mvtee-variant",
+		Code:         b.InitBinary,
+		InitialPages: 64 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	d.enclaves = append(d.enclaves, vEncl)
+	vos, err := teeos.New(vEncl, b.InitManifest, b.FS, nil)
+	if err != nil {
+		return err
+	}
+	monConn, varConn, err := d.connect(d.cfg, d.monEncl, vEncl, d.verifier)
+	if err != nil {
+		return err
+	}
+	d.closers = append(d.closers, func() {
+		_ = monConn.Close()
+		_ = varConn.Close()
+	})
+	var vopts variant.Options
+	if d.cfg.VariantOptions != nil {
+		vopts = d.cfg.VariantOptions(variantID, e)
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		_ = variant.Run(varConn, vos, vopts) // blocks in bootstrap until promoted
+	}()
+	d.Monitor.AddSpare(monConn, monitor.Assignment{
+		VariantID:  variantID,
+		Partition:  e.Partition,
+		Spec:       e.Spec,
+		KDK:        kdk,
+		Manifest:   e.ManifestPath(),
+		Files:      []string{e.GraphPath(), e.SpecPath()},
+		Entrypoint: e.EntrypointPath(),
+		Evidence:   b.Evidence[e],
+	})
+	return nil
+}
+
 // Deploy brings up the full system on partition set setIdx of the bundle:
 // monitor TEE, variant TEEs per the MVX plan, attested bootstrap, binding,
 // and a started execution engine.
@@ -211,6 +276,17 @@ func Deploy(b *Bundle, setIdx int, cfg DeployConfig) (*Deployment, error) {
 		for vi, specName := range plan.Variants {
 			variantID := fmt.Sprintf("p%d-%s-%d", pi, specName, vi)
 			if err := d.launchAndBind(variantID, Entry{Set: setIdx, Partition: pi, Spec: specName}); err != nil {
+				d.Close()
+				return nil, err
+			}
+		}
+	}
+
+	// Spare TEEs per claim (pre-established, bound on promotion).
+	for pi, plan := range cfg.MVX.Spares {
+		for vi, specName := range plan.Variants {
+			variantID := fmt.Sprintf("spare-p%d-%s-%d", pi, specName, vi)
+			if err := d.launchSpare(variantID, Entry{Set: setIdx, Partition: pi, Spec: specName}); err != nil {
 				d.Close()
 				return nil, err
 			}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 	"time"
 
 	"repro/internal/blas"
@@ -41,6 +42,15 @@ const (
 	WeightBitFlip Class = "weight-bitflip" // Rowhammer-style model fault
 	CodeBitFlip   Class = "code-bitflip"   // FrameFlip-style library fault
 	Delay         Class = "delay"          // latency fault (straggler)
+
+	// Chaos classes exercising the monitor's robustness layer (straggler
+	// deadlines, degradation ladder, hot replacement). After counts the
+	// batches served faithfully before onset; Trigger gates them like any
+	// other class.
+	Hang               Class = "hang"                 // stops responding mid-batch
+	Slow               Class = "slow"                 // heavy per-batch latency after onset
+	DropLate           Class = "drop-late"            // serves, then fails permanently
+	CorruptAfterQuorum Class = "corrupt-after-quorum" // correct until onset, then slow + corrupt (late dissent)
 )
 
 // Injection describes one fault to arm in a variant.
@@ -61,8 +71,15 @@ type Injection struct {
 	Trigger float32
 	// Seed drives which elements get corrupted.
 	Seed uint64
-	// Latency is the per-node delay for Delay faults.
+	// Latency is the per-node delay for Delay and Slow faults, the extra
+	// delay before a CorruptAfterQuorum result, and the stall length of a
+	// Hang (zero hangs for a practically-infinite 30s — far past any stage
+	// deadline, but bounded so test harnesses can drain their goroutines).
 	Latency time.Duration
+	// After is the number of triggering batches (invocations of the armed
+	// node) served faithfully before a late-onset chaos fault (Hang, Slow,
+	// DropLate, CorruptAfterQuorum) activates. Zero activates immediately.
+	After int
 }
 
 // Detected errors raised by hardening features intercepting a fault, and
@@ -75,6 +92,7 @@ var (
 	ErrNullPointer     = errors.New("faults: null pointer dereference")
 	ErrAssertion       = errors.New("faults: assertion check failed")
 	ErrAllocFailure    = errors.New("faults: allocation failure (integer overflow)")
+	ErrVariantLost     = errors.New("faults: variant process lost")
 )
 
 // Arm wires the injection into an executor configuration, returning the
@@ -127,6 +145,16 @@ func Arm(cfg infer.Config, inj Injection) infer.Config {
 	case WeightBitFlip:
 		// Applied at the graph level via FlipWeightBit, not here.
 		return cfg
+	case Hang, Slow, DropLate, CorruptAfterQuorum:
+		prev := cfg.KernelWrapper
+		st := &lateState{counts: make(map[string]int)}
+		cfg.KernelWrapper = func(name string, k ops.Kernel) ops.Kernel {
+			if prev != nil {
+				k = prev(name, k)
+			}
+			return chaosKernel(k, inj, st)
+		}
+		return cfg
 	default:
 		prev := cfg.KernelWrapper
 		hard := hardening{
@@ -147,6 +175,69 @@ func Arm(cfg infer.Config, inj Injection) infer.Config {
 
 type hardening struct {
 	bounds, sanitizer, aslr, finite bool
+}
+
+// lateState counts triggering invocations per node so late-onset chaos
+// faults know when their grace period (Injection.After) is over. A given
+// node runs once per batch, so its count is the variant's batch count.
+type lateState struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// onset increments the node's invocation count and reports whether the
+// fault is past its grace period.
+func (st *lateState) onset(node string, after int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.counts[node]++
+	return st.counts[node] > after
+}
+
+// chaosKernel wraps a kernel with a late-onset availability/timing fault:
+// the variant behaves faithfully for Injection.After triggering batches and
+// then hangs, slows down, dies, or turns slow-and-corrupt — the failure
+// modes the monitor's straggler deadlines, degradation ladder and hot
+// replacement must absorb.
+func chaosKernel(k ops.Kernel, inj Injection, st *lateState) ops.Kernel {
+	return func(ctx *ops.Context, n *graph.Node, ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if inj.TargetOp != "" && n.Op != inj.TargetOp {
+			return k(ctx, n, ins)
+		}
+		if !triggered(inj, ins) {
+			return k(ctx, n, ins)
+		}
+		if !st.onset(n.Name, inj.After) {
+			return k(ctx, n, ins)
+		}
+		switch inj.Class {
+		case Hang:
+			d := inj.Latency
+			if d == 0 {
+				d = 30 * time.Second // practically infinite vs any stage deadline
+			}
+			time.Sleep(d)
+			return k(ctx, n, ins)
+		case Slow:
+			time.Sleep(inj.Latency)
+			return k(ctx, n, ins)
+		case DropLate:
+			return nil, fmt.Errorf("node %q: %w", n.Name, ErrVariantLost)
+		case CorruptAfterQuorum:
+			outs, err := k(ctx, n, ins)
+			if err != nil {
+				return nil, err
+			}
+			// Arrive after the async quorum has already forwarded, carrying
+			// a corrupted result: the retroactive cross-validation of
+			// Figure 8 must flag it as late dissent.
+			time.Sleep(inj.Latency)
+			corruptTail(outs, inj.Seed|1, 0.1)
+			return outs, nil
+		default:
+			return k(ctx, n, ins)
+		}
+	}
 }
 
 // triggered reports whether the crafted-input condition holds.

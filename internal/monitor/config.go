@@ -39,6 +39,11 @@ const (
 	// ReportOnly records the event and continues with the majority output
 	// when one exists.
 	ReportOnly
+	// Recover excludes dissenting variants like DropVariant and additionally
+	// hot-replaces dead slots from the monitor's spare pool (Figure 6):
+	// attest → bind → resume at the next checkpoint, appending the new
+	// binding to the binding log (§4.3).
+	Recover
 )
 
 func (r ResponseMode) String() string {
@@ -49,8 +54,27 @@ func (r ResponseMode) String() string {
 		return "drop-variant"
 	case ReportOnly:
 		return "report-only"
+	case Recover:
+		return "recover"
 	default:
 		return fmt.Sprintf("ResponseMode(%d)", int(r))
+	}
+}
+
+// ParseResponse maps a response-mode name (as accepted on the command line
+// and in provisioning JSON tooling) to its ResponseMode.
+func ParseResponse(s string) (ResponseMode, error) {
+	switch s {
+	case "halt":
+		return Halt, nil
+	case "drop-variant", "drop":
+		return DropVariant, nil
+	case "report-only", "report":
+		return ReportOnly, nil
+	case "recover":
+		return Recover, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown response mode %q", ErrConfig, s)
 	}
 }
 
@@ -74,6 +98,15 @@ type MVXConfig struct {
 	Response ResponseMode `json:"response,omitempty"`
 	// Criteria overrides the consistency policy; empty uses the default.
 	Criteria []check.Criterion `json:"criteria,omitempty"`
+	// StageTimeoutMS is the straggler deadline per checkpoint in
+	// milliseconds; zero disables deadlines and a hung variant stalls its
+	// stage (pre-robustness behavior).
+	StageTimeoutMS int `json:"stage_timeout_ms,omitempty"`
+	// Spares lists per-partition spare variant claims (same shape as Plans):
+	// spare TEEs are pre-established at deploy time (Figure 6) but bound
+	// lazily, when a Recover response promotes one into a dead slot. Empty,
+	// or empty per partition, means no spares there.
+	Spares []PartitionPlan `json:"spares,omitempty"`
 }
 
 // ErrConfig reports an invalid MVX configuration.
@@ -88,6 +121,16 @@ func (c *MVXConfig) Validate() error {
 		if len(p.Variants) == 0 {
 			return fmt.Errorf("%w: partition %d has no variants", ErrConfig, i)
 		}
+	}
+	if c.StageTimeoutMS < 0 {
+		return fmt.Errorf("%w: negative stage timeout %d", ErrConfig, c.StageTimeoutMS)
+	}
+	if len(c.Spares) != 0 && len(c.Spares) != len(c.Plans) {
+		return fmt.Errorf("%w: %d spare plans vs %d plans", ErrConfig, len(c.Spares), len(c.Plans))
+	}
+	if c.Response != 0 && c.Response != Halt && c.Response != DropVariant &&
+		c.Response != ReportOnly && c.Response != Recover {
+		return fmt.Errorf("%w: unknown response mode %d", ErrConfig, int(c.Response))
 	}
 	if c.Async && c.Vote == check.Unanimous {
 		// Async mode forwards on majority quorum; unanimity is only known

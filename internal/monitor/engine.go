@@ -42,7 +42,26 @@ type EngineConfig struct {
 	// MaxInFlight bounds concurrently processed batches (pipeline depth);
 	// zero means 2×stages.
 	MaxInFlight int
+	// StageTimeout bounds how long a checkpoint waits for stragglers. When a
+	// variant has not reported StageTimeout after its batch was dispatched,
+	// it is declared dead (EventVariantTimeout) and the gather proceeds with
+	// the survivors — a hung variant can no longer stall its stage forever.
+	// Zero disables the deadline.
+	StageTimeout time.Duration
+	// Replace, when set, provides hot replacement for dead variant slots
+	// (§2.4 recover): the engine calls it off the checkpoint path whenever a
+	// slot dies, and installs the returned handle — already attested and
+	// bound by the caller — into the slot at the next checkpoint boundary.
+	// The monitor wires this to its spare-Assignment pool under the Recover
+	// response mode.
+	Replace ReplaceFunc
 }
+
+// ReplaceFunc obtains a bound replacement handle for a dead variant slot.
+// sinceBatch is the last batch dispatched at the stage before the death; the
+// replacement joins at the next checkpoint (it will only ever observe batch
+// IDs greater than sinceBatch).
+type ReplaceFunc func(stage, slot int, deadID string, sinceBatch uint64) (*Handle, error)
 
 // BatchResult is the engine's per-batch outcome.
 type BatchResult struct {
@@ -58,10 +77,15 @@ type EventKind int
 
 // Event kinds.
 const (
-	EventDivergence     EventKind = iota + 1 // checkpoint vote failed
-	EventLateDissent                         // async straggler disagreed after forwarding
-	EventVariantDown                         // variant connection lost
-	EventVariantDropped                      // variant excluded by response policy
+	EventDivergence      EventKind = iota + 1 // checkpoint vote failed
+	EventLateDissent                          // async straggler disagreed after forwarding
+	EventVariantDown                          // variant connection lost
+	EventVariantDropped                       // variant excluded by response policy
+	EventVariantTimeout                       // variant missed the stage deadline
+	EventVariantReplaced                      // spare bound into a dead slot
+	EventReplaceFailed                        // recovery could not obtain a replacement
+	EventLadderDemoted                        // stage degraded a ladder rung
+	EventLadderPromoted                       // stage recovered a ladder rung
 )
 
 func (k EventKind) String() string {
@@ -74,8 +98,66 @@ func (k EventKind) String() string {
 		return "variant-down"
 	case EventVariantDropped:
 		return "variant-dropped"
+	case EventVariantTimeout:
+		return "variant-timeout"
+	case EventVariantReplaced:
+		return "variant-replaced"
+	case EventReplaceFailed:
+		return "replace-failed"
+	case EventLadderDemoted:
+		return "ladder-demoted"
+	case EventLadderPromoted:
+		return "ladder-promoted"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// LadderRung is a stage's position on the degradation ladder: the engine
+// demotes a stage as variants die and promotes it back when replacements
+// arrive, recording an event at every transition. Higher rungs are healthier.
+type LadderRung int
+
+// Ladder rungs, worst to best.
+const (
+	// LadderHalted: no live variants; batches reaching the stage fail.
+	LadderHalted LadderRung = iota
+	// LadderSingle: one survivor of a multi-variant stage serves on the fast
+	// path — results are unverified (report-only territory).
+	LadderSingle
+	// LadderQuorum: some variants lost but more than one lives; voting
+	// continues over the survivors.
+	LadderQuorum
+	// LadderFull: every configured variant is live.
+	LadderFull
+)
+
+func (r LadderRung) String() string {
+	switch r {
+	case LadderHalted:
+		return "halted"
+	case LadderSingle:
+		return "single"
+	case LadderQuorum:
+		return "quorum"
+	case LadderFull:
+		return "full"
+	default:
+		return fmt.Sprintf("LadderRung(%d)", int(r))
+	}
+}
+
+// rungFor places a stage with live of size configured variants on the ladder.
+func rungFor(live, size int) LadderRung {
+	switch {
+	case live <= 0:
+		return LadderHalted
+	case live >= size:
+		return LadderFull
+	case live == 1:
+		return LadderSingle
+	default:
+		return LadderQuorum
 	}
 }
 
@@ -96,13 +178,21 @@ type Engine struct {
 	cfg    EngineConfig
 	stages []*stage
 
-	routerCh chan routerMsg
-	outCh    chan BatchResult
-	slots    chan struct{}
+	routerCh  chan routerMsg
+	outCh     chan BatchResult
+	slots     chan struct{}
+	replReqCh chan replaceReq
+
+	// ladder holds each stage's current degradation rung (written by the
+	// stage worker, read by Ladder).
+	ladder []atomic.Int32
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	// fwdWg tracks handle forwarders, which — unlike the fixed worker set in
+	// wg — are also spawned dynamically by the replacer during recovery.
+	fwdWg sync.WaitGroup
 
 	mu      sync.Mutex
 	events  []Event
@@ -135,6 +225,7 @@ type stage struct {
 	spec    StageSpec
 	workCh  chan stageWork
 	resCh   chan handleResult
+	replCh  chan stageReplacement
 	done    chan struct{}
 	mvxSize int
 }
@@ -142,6 +233,20 @@ type stage struct {
 type stageWork struct {
 	id      uint64
 	tensors map[string]*tensor.Tensor
+}
+
+// replaceReq asks the replacer for a spare to fill a dead slot.
+type replaceReq struct {
+	s          *stage
+	slot       int
+	deadID     string
+	sinceBatch uint64
+}
+
+// stageReplacement delivers a bound replacement handle to its stage worker.
+type stageReplacement struct {
+	slot int
+	h    *Handle
 }
 
 // ErrEngineStopped is returned by Submit after Stop or a fatal failure.
@@ -171,12 +276,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		cfg:      cfg,
-		routerCh: make(chan routerMsg, cfg.MaxInFlight*(len(cfg.Stages)+2)+16),
-		outCh:    make(chan BatchResult, cfg.MaxInFlight+1),
-		slots:    make(chan struct{}, cfg.MaxInFlight),
-		ctx:      ctx,
-		cancel:   cancel,
+		cfg:       cfg,
+		routerCh:  make(chan routerMsg, cfg.MaxInFlight*(len(cfg.Stages)+2)+16),
+		outCh:     make(chan BatchResult, cfg.MaxInFlight+1),
+		slots:     make(chan struct{}, cfg.MaxInFlight),
+		replReqCh: make(chan replaceReq, 4*len(cfg.Stages)+16),
+		ladder:    make([]atomic.Int32, len(cfg.Stages)),
+		ctx:       ctx,
+		cancel:    cancel,
 	}
 	for i, s := range cfg.Stages {
 		e.stages = append(e.stages, &stage{
@@ -184,9 +291,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			spec:    s,
 			workCh:  make(chan stageWork, cfg.MaxInFlight),
 			resCh:   make(chan handleResult, cfg.MaxInFlight*len(s.Handles)+4),
+			replCh:  make(chan stageReplacement, len(s.Handles)+1),
 			done:    make(chan struct{}),
 			mvxSize: len(s.Handles),
 		})
+		e.ladder[i].Store(int32(rungFor(len(s.Handles), len(s.Handles))))
 	}
 	return e, nil
 }
@@ -203,28 +312,7 @@ func (e *Engine) Start() {
 
 	for _, s := range e.stages {
 		for _, h := range s.spec.Handles {
-			h := h
-			s := s
-			h.startReader()
-			// Forwarder: moves the handle's results into the stage's merge
-			// channel for this engine's lifetime; the handle-owned reader
-			// survives engine teardown (variant updates).
-			e.wg.Add(1)
-			go func() {
-				defer e.wg.Done()
-				for {
-					select {
-					case <-e.ctx.Done():
-						return
-					case r := <-h.results:
-						select {
-						case s.resCh <- r:
-						case <-e.ctx.Done():
-							return
-						}
-					}
-				}
-			}()
+			e.startForwarder(s, h)
 		}
 		s := s
 		e.wg.Add(1)
@@ -233,11 +321,73 @@ func (e *Engine) Start() {
 			e.stageWorker(s)
 		}()
 	}
+	if e.cfg.Replace != nil {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.replacer()
+		}()
+	}
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
 		e.router()
 	}()
+}
+
+// startForwarder launches the handle-owned reader (idempotent) and a
+// forwarder moving the handle's results into the stage's merge channel for
+// this engine's lifetime; the reader survives engine teardown (variant
+// updates).
+func (e *Engine) startForwarder(s *stage, h *Handle) {
+	h.startReader()
+	e.fwdWg.Add(1)
+	go func() {
+		defer e.fwdWg.Done()
+		for {
+			select {
+			case <-e.ctx.Done():
+				return
+			case r := <-h.results:
+				select {
+				case s.resCh <- r:
+				case <-e.ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+}
+
+// replacer serves hot-replacement requests off the checkpoint path: it asks
+// cfg.Replace for a replacement handle (attested and bound by the caller —
+// the monitor's spare pool appends the new binding to its log, §4.3) and
+// hands it to the requesting stage, which installs it at the next checkpoint
+// boundary.
+func (e *Engine) replacer() {
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case req := <-e.replReqCh:
+			h, err := e.cfg.Replace(req.s.idx, req.slot, req.deadID, req.sinceBatch)
+			if err != nil {
+				e.recordEvent(Event{Kind: EventReplaceFailed, Stage: req.s.idx,
+					Variants: []string{req.deadID}, Detail: err.Error()})
+				continue
+			}
+			e.startForwarder(req.s, h)
+			e.recordEvent(Event{Kind: EventVariantReplaced, Stage: req.s.idx,
+				Variants: []string{req.deadID, h.ID()},
+				Detail: fmt.Sprintf("slot %d: %s replaced by %s, resuming after batch %d",
+					req.slot, req.deadID, h.ID(), req.sinceBatch)})
+			select {
+			case req.s.replCh <- stageReplacement{slot: req.slot, h: h}:
+			case <-e.ctx.Done():
+				return
+			}
+		}
+	}
 }
 
 // Stop terminates the engine and shuts down the variants. Pending batches
@@ -256,7 +406,10 @@ func (e *Engine) Stop() {
 // individual variants can be unbound/rebound and a new engine built.
 func (e *Engine) StopKeepVariants() {
 	e.cancel()
+	// Workers first: the replacer (tracked in wg) spawns forwarders, so every
+	// fwdWg.Add happens before wg.Wait returns.
 	e.wg.Wait()
+	e.fwdWg.Wait()
 }
 
 // Outputs delivers one BatchResult per submitted batch, in completion order.
@@ -275,6 +428,18 @@ func (e *Engine) Events() []Event {
 	defer e.mu.Unlock()
 	return append([]Event(nil), e.events...)
 }
+
+// Ladder returns each stage's current degradation rung. Transitions are also
+// recorded as EventLadderDemoted/EventLadderPromoted events.
+func (e *Engine) Ladder() []LadderRung {
+	out := make([]LadderRung, len(e.ladder))
+	for i := range e.ladder {
+		out[i] = LadderRung(e.ladder[i].Load())
+	}
+	return out
+}
+
+func (e *Engine) setLadder(stage int, r LadderRung) { e.ladder[stage].Store(int32(r)) }
 
 func (e *Engine) recordEvent(ev Event) {
 	ev.Time = time.Now()

@@ -1,0 +1,549 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/tensor"
+)
+
+// waitEvent polls the engine until an event of the kind appears (the stage
+// worker records events asynchronously to batch delivery).
+func waitEvent(t *testing.T, e *Engine, kind EventKind) Event {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, ev := range e.Events() {
+			if ev.Kind == kind {
+				return ev
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("event %v never recorded; have %v", kind, e.Events())
+	return Event{}
+}
+
+func hasEvent(e *Engine, kind EventKind) bool {
+	for _, ev := range e.Events() {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func oneStageConfig(handles []*Handle) EngineConfig {
+	return EngineConfig{
+		GraphInputs:  []string{"x"},
+		GraphOutputs: []string{"y"},
+		Stages: []StageSpec{
+			{Inputs: []string{"x"}, Outputs: []string{"y"}, Handles: handles},
+		},
+	}
+}
+
+// TestStageTimeoutCompletesViaQuorum is the straggler-deadline core case: one
+// of three variants hangs mid-batch, and the batch must complete within
+// StageTimeout+ε via the surviving quorum instead of stalling forever.
+func TestStageTimeoutCompletesViaQuorum(t *testing.T) {
+	hung := &fakeVariant{id: "hung", behave: doubler(0), delay: 10 * time.Second}
+	vs := []*fakeVariant{
+		{id: "a", behave: doubler(0)},
+		{id: "b", behave: doubler(0)},
+	}
+	handles := []*Handle{vs[0].start(t, 0), vs[1].start(t, 0), hung.start(t, 0)}
+	cfg := oneStageConfig(handles)
+	cfg.Vote = check.Majority
+	cfg.Response = DropVariant
+	cfg.StageTimeout = 100 * time.Millisecond
+	e := buildEngine(t, cfg)
+
+	start := time.Now()
+	r, err := e.Infer(input(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got := r.Tensors["y"].At(0); got != 6 {
+		t.Fatalf("y = %v, want 6", got)
+	}
+	// ε: sweep granularity (StageTimeout/8) plus scheduling slack.
+	if elapsed > cfg.StageTimeout+400*time.Millisecond {
+		t.Fatalf("batch took %v, want ~StageTimeout (%v)", elapsed, cfg.StageTimeout)
+	}
+	ev := waitEvent(t, e, EventVariantTimeout)
+	if len(ev.Variants) != 1 || ev.Variants[0] != "hung" {
+		t.Fatalf("timeout event names %v, want [hung]", ev.Variants)
+	}
+	dem := waitEvent(t, e, EventLadderDemoted)
+	if !strings.Contains(dem.Detail, "full→quorum") {
+		t.Fatalf("demotion detail %q, want full→quorum", dem.Detail)
+	}
+	if got := e.Ladder()[0]; got != LadderQuorum {
+		t.Fatalf("ladder = %v, want quorum", got)
+	}
+	// The hung slot is dead: later batches bypass it entirely.
+	r2, err := e.Infer(input(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Tensors["y"].At(0); got != 10 {
+		t.Fatalf("y = %v, want 10", got)
+	}
+}
+
+// TestStageTimeoutDisabledByDefault pins that a zero StageTimeout keeps the
+// legacy semantics: no deadline machinery, no timeout events.
+func TestStageTimeoutDisabledByDefault(t *testing.T) {
+	slow := &fakeVariant{id: "slow", behave: doubler(0), delay: 150 * time.Millisecond}
+	quick := &fakeVariant{id: "quick", behave: doubler(0)}
+	cfg := oneStageConfig([]*Handle{quick.start(t, 0), slow.start(t, 0)})
+	e := buildEngine(t, cfg)
+
+	r, err := e.Infer(input(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tensors["y"].At(0); got != 4 {
+		t.Fatalf("y = %v, want 4", got)
+	}
+	if hasEvent(e, EventVariantTimeout) {
+		t.Fatalf("timeout event with StageTimeout disabled: %v", e.Events())
+	}
+}
+
+// spareFactory returns a ReplaceFunc vending fake replacement variants and
+// counting how many were taken.
+func spareFactory(t *testing.T, taken *atomic.Int64) ReplaceFunc {
+	return func(stage, slot int, deadID string, sinceBatch uint64) (*Handle, error) {
+		n := taken.Add(1)
+		sp := &fakeVariant{id: fmt.Sprintf("spare-%d", n), behave: doubler(0)}
+		return sp.start(t, stage), nil
+	}
+}
+
+// TestHotReplacementRestoresFullRung kills a dissenting variant under Recover
+// and verifies a spare is promoted into the dead slot: replacement event,
+// ladder back to full, and the replacement actually serving batches.
+func TestHotReplacementRestoresFullRung(t *testing.T) {
+	evil := &fakeVariant{id: "evil", behave: func(id uint64, in map[string]*tensor.Tensor) (map[string]*tensor.Tensor, string) {
+		if in["x"].At(0) == 13 {
+			return nil, "simulated crash"
+		}
+		return doubler(0)(id, in)
+	}}
+	vs := []*fakeVariant{
+		{id: "a", behave: doubler(0)},
+		{id: "b", behave: doubler(0)},
+	}
+	handles := []*Handle{vs[0].start(t, 0), vs[1].start(t, 0), evil.start(t, 0)}
+	cfg := oneStageConfig(handles)
+	cfg.Response = Recover
+	var taken atomic.Int64
+	cfg.Replace = spareFactory(t, &taken)
+	e := buildEngine(t, cfg)
+
+	if _, err := e.Infer(input(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Trigger the crash: unanimous vote fails, Recover drops the dissenter
+	// and requests a spare; the surviving majority still answers the batch.
+	r, err := e.Infer(input(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tensors["y"].At(0); got != 26 {
+		t.Fatalf("y = %v, want 26", got)
+	}
+	rep := waitEvent(t, e, EventVariantReplaced)
+	if len(rep.Variants) != 2 || rep.Variants[0] != "evil" {
+		t.Fatalf("replacement event %v, want [evil spare-1]", rep.Variants)
+	}
+	waitEvent(t, e, EventLadderPromoted)
+	if got := e.Ladder()[0]; got != LadderFull {
+		t.Fatalf("ladder = %v, want full after replacement", got)
+	}
+	// The spare serves subsequent batches.
+	deadline := time.Now().Add(3 * time.Second)
+	for taken.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// The trigger batch records exactly one divergence; the replacement must
+	// not add more (it computes the same function as the survivors).
+	divergencesBefore := 0
+	for _, ev := range e.Events() {
+		if ev.Kind == EventDivergence {
+			divergencesBefore++
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := e.Infer(input(float32(i + 20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	divergencesAfter := 0
+	for _, ev := range e.Events() {
+		if ev.Kind == EventDivergence {
+			divergencesAfter++
+		}
+	}
+	if divergencesAfter != divergencesBefore {
+		t.Fatalf("replacement diverged: %d new divergence events", divergencesAfter-divergencesBefore)
+	}
+	if got := taken.Load(); got != 1 {
+		t.Fatalf("spares taken = %d, want 1", got)
+	}
+}
+
+// TestReplaceFailureRecorded pins the failure path: Recover with an empty
+// spare pool records EventReplaceFailed and the stage keeps serving degraded.
+func TestReplaceFailureRecorded(t *testing.T) {
+	evil := &fakeVariant{id: "evil", behave: doubler(100)}
+	vs := []*fakeVariant{
+		{id: "a", behave: doubler(0)},
+		{id: "b", behave: doubler(0)},
+	}
+	cfg := oneStageConfig([]*Handle{vs[0].start(t, 0), vs[1].start(t, 0), evil.start(t, 0)})
+	cfg.Response = Recover
+	cfg.Replace = func(stage, slot int, deadID string, sinceBatch uint64) (*Handle, error) {
+		return nil, fmt.Errorf("no spare for partition %d", stage)
+	}
+	e := buildEngine(t, cfg)
+
+	r, err := e.Infer(input(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tensors["y"].At(0); got != 4 {
+		t.Fatalf("y = %v, want 4 (majority)", got)
+	}
+	fail := waitEvent(t, e, EventReplaceFailed)
+	if len(fail.Variants) != 1 || fail.Variants[0] != "evil" {
+		t.Fatalf("replace-failed names %v, want [evil]", fail.Variants)
+	}
+	if got := e.Ladder()[0]; got != LadderQuorum {
+		t.Fatalf("ladder = %v, want quorum (degraded, no spare)", got)
+	}
+}
+
+// TestDispatchPruneRecordsEvent pins the silent-drop fix: a handle dropped
+// outside the engine (membership policy) is pruned at dispatch WITH an
+// EventVariantDown in the log, not silently.
+func TestDispatchPruneRecordsEvent(t *testing.T) {
+	vs := []*fakeVariant{
+		{id: "a", behave: doubler(0)},
+		{id: "b", behave: doubler(0)},
+	}
+	ha, hb := vs[0].start(t, 0), vs[1].start(t, 0)
+	cfg := oneStageConfig([]*Handle{ha, hb})
+	e := buildEngine(t, cfg)
+
+	// A first batch guarantees the stage worker has scanned its live set, so
+	// the later exclusion is observed on the dispatch path, not at startup.
+	if _, err := e.Infer(input(1)); err != nil {
+		t.Fatal(err)
+	}
+	hb.drop() // external exclusion, e.g. another engine's response policy
+
+	r, err := e.Infer(input(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tensors["y"].At(0); got != 8 {
+		t.Fatalf("y = %v, want 8", got)
+	}
+	ev := waitEvent(t, e, EventVariantDown)
+	if len(ev.Variants) != 1 || ev.Variants[0] != "b" {
+		t.Fatalf("prune event names %v, want [b]", ev.Variants)
+	}
+	if !strings.Contains(ev.Detail, "excluded at dispatch") {
+		t.Fatalf("prune event detail %q", ev.Detail)
+	}
+	dem := waitEvent(t, e, EventLadderDemoted)
+	if !strings.Contains(dem.Detail, "single-variant fast path") {
+		t.Fatalf("demotion to single lacks fast-path warning: %q", dem.Detail)
+	}
+}
+
+// TestForwardedGatherPurgedOnDeadline pins the async leak fix: a gather whose
+// quorum already forwarded must still be finalized when its straggler never
+// reports — the deadline declares the straggler dead and the gather is
+// retired instead of leaking for the stage's lifetime.
+func TestForwardedGatherPurgedOnDeadline(t *testing.T) {
+	straggler := &fakeVariant{id: "straggler", behave: doubler(0), delay: 10 * time.Second}
+	vs := []*fakeVariant{
+		{id: "a", behave: doubler(0)},
+		{id: "b", behave: doubler(0)},
+	}
+	cfg := oneStageConfig([]*Handle{vs[0].start(t, 0), vs[1].start(t, 0), straggler.start(t, 0)})
+	cfg.Async = true
+	cfg.Vote = check.Majority
+	cfg.StageTimeout = 100 * time.Millisecond
+	e := buildEngine(t, cfg)
+
+	start := time.Now()
+	r, err := e.Infer(input(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tensors["y"].At(0); got != 6 {
+		t.Fatalf("y = %v, want 6", got)
+	}
+	// Forwarding happened on quorum, well before the deadline.
+	if fwd := time.Since(start); fwd > 90*time.Millisecond {
+		t.Logf("warning: quorum forward took %v", fwd)
+	}
+	// The straggler is then declared dead at the deadline, finalizing (and
+	// thus purging) the forwarded gather.
+	ev := waitEvent(t, e, EventVariantTimeout)
+	if ev.Variants[0] != "straggler" {
+		t.Fatalf("timeout names %v", ev.Variants)
+	}
+	if got := e.Ladder()[0]; got != LadderQuorum {
+		t.Fatalf("ladder = %v, want quorum", got)
+	}
+}
+
+// TestMajorityDenominatorIncludesCrashes pins finishDiverged's recovery
+// quorum semantics (the satellite-bug check): the majority denominator is
+// the masked-at-dispatch variant count — crashed variants count against the
+// quorum exactly as in check.Vote's Majority rule. Two agreeing of four
+// (one dissenter, one crash) is NOT a majority; three of four (one crash) is.
+func TestMajorityDenominatorIncludesCrashes(t *testing.T) {
+	t.Run("2-of-4-no-majority", func(t *testing.T) {
+		vs := []*fakeVariant{
+			{id: "good1", behave: doubler(0)},
+			{id: "good2", behave: doubler(0)},
+			{id: "evil", behave: doubler(100)},
+			{id: "crasher", behave: func(uint64, map[string]*tensor.Tensor) (map[string]*tensor.Tensor, string) {
+				return nil, "boom"
+			}},
+		}
+		cfg := oneStageConfig([]*Handle{vs[0].start(t, 0), vs[1].start(t, 0), vs[2].start(t, 0), vs[3].start(t, 0)})
+		cfg.Response = DropVariant
+		e := buildEngine(t, cfg)
+
+		_, err := e.Infer(input(2))
+		if err == nil {
+			t.Fatal("2 agreeing of 4 masked (1 dissent + 1 crash) must not pass as a majority")
+		}
+		if !strings.Contains(err.Error(), "no agreeing majority") {
+			t.Fatalf("err = %v, want no-agreeing-majority", err)
+		}
+	})
+	t.Run("3-of-4-majority", func(t *testing.T) {
+		vs := []*fakeVariant{
+			{id: "good1", behave: doubler(0)},
+			{id: "good2", behave: doubler(0)},
+			{id: "good3", behave: doubler(0)},
+			{id: "crasher", behave: func(uint64, map[string]*tensor.Tensor) (map[string]*tensor.Tensor, string) {
+				return nil, "boom"
+			}},
+		}
+		cfg := oneStageConfig([]*Handle{vs[0].start(t, 0), vs[1].start(t, 0), vs[2].start(t, 0), vs[3].start(t, 0)})
+		cfg.Response = DropVariant
+		e := buildEngine(t, cfg)
+
+		r, err := e.Infer(input(2))
+		if err != nil {
+			t.Fatalf("3 agreeing of 4 is a strict majority: %v", err)
+		}
+		if got := r.Tensors["y"].At(0); got != 4 {
+			t.Fatalf("y = %v, want 4", got)
+		}
+	})
+}
+
+// TestLadderWalksEveryRung drives one stage down the entire ladder:
+// full → quorum → single → halted, checking the rung and its event at each
+// step.
+func TestLadderWalksEveryRung(t *testing.T) {
+	crashOn := func(magic float32) func(uint64, map[string]*tensor.Tensor) (map[string]*tensor.Tensor, string) {
+		return func(id uint64, in map[string]*tensor.Tensor) (map[string]*tensor.Tensor, string) {
+			if in["x"].At(0) == magic {
+				return nil, "killed"
+			}
+			return doubler(0)(id, in)
+		}
+	}
+	vs := []*fakeVariant{
+		{id: "v1", behave: crashOn(101)},
+		{id: "v2", behave: crashOn(102)},
+		{id: "v3", behave: doubler(0)},
+	}
+	h3 := vs[2].start(t, 0)
+	cfg := oneStageConfig([]*Handle{vs[0].start(t, 0), vs[1].start(t, 0), h3})
+	cfg.Response = DropVariant
+	e := buildEngine(t, cfg)
+
+	if got := e.Ladder()[0]; got != LadderFull {
+		t.Fatalf("initial ladder = %v, want full", got)
+	}
+	if _, err := e.Infer(input(101)); err != nil { // v1 dies; 2/3 majority holds
+		t.Fatal(err)
+	}
+	if got := e.Ladder()[0]; got != LadderQuorum {
+		t.Fatalf("ladder = %v, want quorum", got)
+	}
+	if _, err := e.Infer(input(102)); err == nil { // v2 dies; 1/2 is no majority
+		t.Fatal("1 of 2 masked must not pass as a majority")
+	}
+	if got := e.Ladder()[0]; got != LadderSingle {
+		t.Fatalf("ladder = %v, want single", got)
+	}
+	// Single-variant fast path serves unverified.
+	r, err := e.Infer(input(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tensors["y"].At(0); got != 14 {
+		t.Fatalf("y = %v, want 14", got)
+	}
+	// Kill the last survivor's connection: halted.
+	_ = h3.conn.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for e.Ladder()[0] != LadderHalted && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := e.Ladder()[0]; got != LadderHalted {
+		t.Fatalf("ladder = %v, want halted", got)
+	}
+	if _, err := e.Infer(input(9)); err == nil {
+		t.Fatal("halted stage must fail batches")
+	}
+	demotions := 0
+	for _, ev := range e.Events() {
+		if ev.Kind == EventLadderDemoted {
+			demotions++
+		}
+	}
+	if demotions != 3 {
+		t.Fatalf("demotion events = %d, want 3 (full→quorum→single→halted)", demotions)
+	}
+}
+
+// TestResponseModesTable exercises every response mode against crash, hang
+// and divergence faults, in sync and async checkpoint modes.
+func TestResponseModesTable(t *testing.T) {
+	type tc struct {
+		name     string
+		response ResponseMode
+		fault    string // crash | hang | dissent
+		async    bool
+		wantErr  bool      // first faulty batch fails
+		wantKind EventKind // recorded for the faulty batch
+		degraded bool      // faulty variant removed afterwards
+	}
+	cases := []tc{
+		{name: "halt/crash/sync", response: Halt, fault: "crash", wantErr: true, wantKind: EventDivergence},
+		{name: "halt/hang/sync", response: Halt, fault: "hang", wantErr: true, wantKind: EventVariantTimeout},
+		{name: "halt/dissent/sync", response: Halt, fault: "dissent", wantErr: true, wantKind: EventDivergence},
+		{name: "drop/crash/sync", response: DropVariant, fault: "crash", wantKind: EventVariantDropped, degraded: true},
+		{name: "drop/hang/sync", response: DropVariant, fault: "hang", wantKind: EventVariantTimeout, degraded: true},
+		{name: "drop/dissent/sync", response: DropVariant, fault: "dissent", wantKind: EventVariantDropped, degraded: true},
+		{name: "report/crash/sync", response: ReportOnly, fault: "crash", wantKind: EventDivergence},
+		{name: "report/dissent/sync", response: ReportOnly, fault: "dissent", wantKind: EventDivergence},
+		{name: "recover/crash/sync", response: Recover, fault: "crash", wantKind: EventVariantReplaced, degraded: false},
+		{name: "recover/hang/sync", response: Recover, fault: "hang", wantKind: EventVariantReplaced, degraded: false},
+		{name: "recover/dissent/sync", response: Recover, fault: "dissent", wantKind: EventVariantReplaced, degraded: false},
+		{name: "drop/dissent/async-late", response: DropVariant, fault: "late-dissent", async: true, wantKind: EventLateDissent, degraded: true},
+		{name: "report/dissent/async-late", response: ReportOnly, fault: "late-dissent", async: true, wantKind: EventLateDissent},
+		{name: "recover/crash/async", response: Recover, fault: "crash", async: true, wantKind: EventVariantReplaced},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			bad := &fakeVariant{id: "bad"}
+			switch c.fault {
+			case "crash":
+				bad.behave = func(uint64, map[string]*tensor.Tensor) (map[string]*tensor.Tensor, string) {
+					return nil, "boom"
+				}
+			case "hang":
+				bad.behave = doubler(0)
+				bad.delay = 10 * time.Second
+			case "dissent":
+				bad.behave = doubler(100)
+			case "late-dissent":
+				bad.behave = doubler(100)
+				bad.delay = 120 * time.Millisecond
+			}
+			good := []*fakeVariant{
+				{id: "g1", behave: doubler(0)},
+				{id: "g2", behave: doubler(0)},
+			}
+			cfg := oneStageConfig([]*Handle{good[0].start(t, 0), good[1].start(t, 0), bad.start(t, 0)})
+			cfg.Response = c.response
+			cfg.Async = c.async
+			if c.fault == "hang" {
+				cfg.StageTimeout = 80 * time.Millisecond
+			}
+			if c.fault == "late-dissent" {
+				cfg.StageTimeout = time.Second // generous; straggler reports before it
+			}
+			var taken atomic.Int64
+			if c.response == Recover {
+				cfg.Replace = spareFactory(t, &taken)
+			}
+			e := buildEngine(t, cfg)
+
+			r, err := e.Infer(input(2))
+			if c.fault == "late-dissent" {
+				// The quorum forwarded before the dissent: batch 1 always
+				// succeeds; the reaction happens retroactively.
+				if err != nil {
+					t.Fatalf("forwarded batch failed: %v", err)
+				}
+			} else if c.wantErr {
+				if err == nil {
+					t.Fatalf("want batch failure, got %v", r.Tensors)
+				}
+			} else {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := r.Tensors["y"].At(0); got != 4 {
+					t.Fatalf("y = %v, want 4", got)
+				}
+			}
+			waitEvent(t, e, c.wantKind)
+
+			if c.response == Halt {
+				// Fatal latches: later submissions fail.
+				deadline := time.Now().Add(3 * time.Second)
+				for time.Now().Before(deadline) {
+					if _, err := e.Infer(input(3)); err != nil {
+						return
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				t.Fatal("engine accepted batches after a Halt response")
+			}
+			// Non-halt modes keep serving.
+			r2, err := e.Infer(input(3))
+			if err != nil {
+				t.Fatalf("second batch: %v", err)
+			}
+			if got := r2.Tensors["y"].At(0); got != 6 {
+				t.Fatalf("second batch y = %v, want 6", got)
+			}
+			if c.degraded {
+				if got := e.Ladder()[0]; got != LadderQuorum {
+					t.Fatalf("ladder = %v, want quorum after removal", got)
+				}
+			}
+			if c.response == Recover {
+				waitEvent(t, e, EventLadderPromoted)
+				if got := e.Ladder()[0]; got != LadderFull {
+					t.Fatalf("ladder = %v, want full after recovery", got)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/tensor"
@@ -18,6 +19,9 @@ type gather struct {
 	errs    []string
 	count   int // arrivals among masked handles
 	want    int // masked handle count
+	// deadline is when non-arrived variants are declared dead; zero when
+	// StageTimeout is disabled.
+	deadline time.Time
 	// forwarded marks that the async fast-quorum already released the
 	// pipeline for this batch.
 	forwarded bool
@@ -38,41 +42,55 @@ func (g *gather) voteSlice() (res []map[string]*tensor.Tensor, idxMap []int) {
 	return res, idxMap
 }
 
+// stageState is the single-goroutine mutable state of one stage worker: the
+// live-slot set, outstanding gathers, and the stage's degradation rung.
+type stageState struct {
+	e         *Engine
+	s         *stage
+	live      []bool
+	liveCount int
+	gathers   map[uint64]*gather
+	rung      LadderRung
+	lastID    uint64 // highest batch id dispatched at this stage
+}
+
 // stageWorker runs one pipeline stage: dispatching batches to the stage's
 // variants and enforcing the slow/fast-path and sync/async checkpoint
-// semantics of §4.3.
+// semantics of §4.3, plus the robustness layer — straggler deadlines, the
+// degradation ladder and hot replacement of dead slots.
 func (e *Engine) stageWorker(s *stage) {
 	defer close(s.done)
-	live := make([]bool, len(s.spec.Handles))
-	liveCount := 0
-	for i, h := range s.spec.Handles {
-		if !h.Dropped() {
-			live[i] = true
-			liveCount++
-		}
+	st := &stageState{
+		e:       e,
+		s:       s,
+		live:    make([]bool, len(s.spec.Handles)),
+		gathers: make(map[uint64]*gather),
 	}
-	gathers := make(map[uint64]*gather)
+	for i, h := range s.spec.Handles {
+		if h.Dropped() {
+			// Same visibility rule as the dispatch-time prune: an exclusion
+			// must never be silent.
+			e.recordEvent(Event{Kind: EventVariantDown, Stage: s.idx,
+				Variants: []string{h.ID()}, Detail: "excluded at start: variant dropped"})
+			continue
+		}
+		st.live[i] = true
+		st.liveCount++
+	}
+	st.rung = rungFor(st.liveCount, s.mvxSize)
+	e.setLadder(s.idx, st.rung)
 
-	markDead := func(idx int, reason string) {
-		if !live[idx] {
-			return
+	// The deadline sweep runs at a fraction of StageTimeout so expiry is
+	// detected within ~StageTimeout·9/8 of dispatch.
+	var tickCh <-chan time.Time
+	if e.cfg.StageTimeout > 0 {
+		period := e.cfg.StageTimeout / 8
+		if period < time.Millisecond {
+			period = time.Millisecond
 		}
-		live[idx] = false
-		liveCount--
-		e.recordEvent(Event{
-			Kind: EventVariantDown, Stage: s.idx,
-			Variants: []string{s.spec.Handles[idx].ID()}, Detail: reason,
-		})
-		// Outstanding gathers lose this variant: it arrives as a crash.
-		for _, g := range gathers {
-			if g.mask[idx] && !g.arrived[idx] {
-				g.arrived[idx] = true
-				g.results[idx] = nil
-				g.errs[idx] = reason
-				g.count++
-				e.evaluateGather(s, g, gathers)
-			}
-		}
+		tk := time.NewTicker(period)
+		defer tk.Stop()
+		tickCh = tk.C
 	}
 
 	for {
@@ -80,68 +98,188 @@ func (e *Engine) stageWorker(s *stage) {
 		case <-e.ctx.Done():
 			return
 		case w := <-s.workCh:
-			// Sync with variants excluded by the DropVariant response.
-			for i, h := range s.spec.Handles {
-				if live[i] && h.Dropped() {
-					live[i] = false
-					liveCount--
-				}
-			}
-			if liveCount == 0 {
-				e.post(routerMsg{done: true, stageIdx: s.idx, id: w.id,
-					err: fmt.Errorf("monitor: stage %d has no live variants", s.idx)})
-				continue
-			}
-			g := &gather{
-				id:      w.id,
-				mask:    append([]bool(nil), live...),
-				arrived: make([]bool, len(live)),
-				results: make([]map[string]*tensor.Tensor, len(live)),
-				errs:    make([]string, len(live)),
-			}
-			for _, m := range g.mask {
-				if m {
-					g.want++
-				}
-			}
-			gathers[w.id] = g
-			batch := &wire.Batch{ID: w.id, Tensors: w.tensors}
-			for i, h := range s.spec.Handles {
-				if !live[i] {
-					continue
-				}
-				if err := h.send(batch); err != nil {
-					markDead(i, err.Error())
-				}
-			}
-			// markDead may already have completed the gather.
-			if gg, ok := gathers[w.id]; ok {
-				e.evaluateGather(s, gg, gathers)
-			}
+			st.dispatch(w)
 		case hr := <-s.resCh:
-			idx := e.handleIndex(s, hr.handle)
-			if idx < 0 {
-				continue
-			}
-			if hr.err != nil {
-				markDead(idx, hr.err.Error())
-				continue
-			}
-			g, ok := gathers[hr.res.ID]
-			if !ok || !g.mask[idx] || g.arrived[idx] {
-				continue // stale, unmasked or duplicate result
-			}
-			g.arrived[idx] = true
-			g.count++
-			if hr.res.Err != "" {
-				g.results[idx] = nil
-				g.errs[idx] = hr.res.Err
-			} else {
-				g.results[idx] = hr.res.Tensors
-			}
-			e.evaluateGather(s, g, gathers)
+			st.onResult(hr)
+		case r := <-s.replCh:
+			st.install(r.slot, r.h)
+		case now := <-tickCh:
+			st.expire(now)
 		}
 	}
+}
+
+// dispatch sends one batch to the stage's live variants and opens its gather.
+func (st *stageState) dispatch(w stageWork) {
+	e, s := st.e, st.s
+	// Sync with variants excluded externally (response policy on another
+	// engine, monitor updates). This exclusion would otherwise be invisible
+	// in the event log, so record it like any other departure.
+	for i, h := range s.spec.Handles {
+		if st.live[i] && h.Dropped() {
+			st.markDead(i, EventVariantDown, w.id, "excluded at dispatch: variant dropped")
+		}
+	}
+	if st.liveCount == 0 {
+		e.post(routerMsg{done: true, stageIdx: s.idx, id: w.id,
+			err: fmt.Errorf("monitor: stage %d has no live variants", s.idx)})
+		return
+	}
+	st.lastID = w.id
+	g := &gather{
+		id:      w.id,
+		mask:    append([]bool(nil), st.live...),
+		arrived: make([]bool, len(st.live)),
+		results: make([]map[string]*tensor.Tensor, len(st.live)),
+		errs:    make([]string, len(st.live)),
+	}
+	for _, m := range g.mask {
+		if m {
+			g.want++
+		}
+	}
+	if e.cfg.StageTimeout > 0 {
+		g.deadline = time.Now().Add(e.cfg.StageTimeout)
+	}
+	st.gathers[w.id] = g
+	batch := &wire.Batch{ID: w.id, Tensors: w.tensors}
+	for i, h := range s.spec.Handles {
+		if !st.live[i] {
+			continue
+		}
+		if err := h.send(batch); err != nil {
+			st.markDead(i, EventVariantDown, w.id, err.Error())
+		}
+	}
+	// markDead may already have completed the gather.
+	if gg, ok := st.gathers[w.id]; ok {
+		st.evaluateGather(gg)
+	}
+}
+
+// onResult merges one variant result into its gather.
+func (st *stageState) onResult(hr handleResult) {
+	idx := st.e.handleIndex(st.s, hr.handle)
+	if idx < 0 {
+		return // stale handle (already replaced)
+	}
+	if hr.err != nil {
+		st.markDead(idx, EventVariantDown, st.lastID, hr.err.Error())
+		return
+	}
+	g, ok := st.gathers[hr.res.ID]
+	if !ok || !g.mask[idx] || g.arrived[idx] {
+		return // stale, unmasked or duplicate result
+	}
+	g.arrived[idx] = true
+	g.count++
+	if hr.res.Err != "" {
+		g.results[idx] = nil
+		g.errs[idx] = hr.res.Err
+	} else {
+		g.results[idx] = hr.res.Tensors
+	}
+	st.evaluateGather(g)
+}
+
+// install fills a dead slot with a replacement handle. Outstanding gathers
+// keep their dispatch-time mask, so the replacement serves from the next
+// checkpoint only.
+func (st *stageState) install(slot int, h *Handle) {
+	st.s.spec.Handles[slot] = h
+	if !st.live[slot] {
+		st.live[slot] = true
+		st.liveCount++
+	}
+	st.updateLadder(st.lastID)
+}
+
+// expire enforces the straggler deadline: every masked variant that has not
+// arrived when its gather's deadline passes is declared dead, which also
+// completes — and thereby purges — async-forwarded gathers whose stragglers
+// would otherwise leak for the life of the stage.
+func (st *stageState) expire(now time.Time) {
+	var victims map[int]uint64 // slot -> first expired batch it missed
+	for _, g := range st.gathers {
+		if g.deadline.IsZero() || g.allArrived() || now.Before(g.deadline) {
+			continue
+		}
+		for i, m := range g.mask {
+			if m && !g.arrived[i] && st.live[i] {
+				if victims == nil {
+					victims = make(map[int]uint64)
+				}
+				if _, ok := victims[i]; !ok {
+					victims[i] = g.id
+				}
+			}
+		}
+	}
+	for idx, id := range victims {
+		st.markDead(idx, EventVariantTimeout, id,
+			fmt.Sprintf("stage deadline %v exceeded", st.e.cfg.StageTimeout))
+	}
+}
+
+// markDead removes a slot from the live set, records the departure, requests
+// a replacement, updates the ladder, and completes the slot's entry in every
+// outstanding gather as a crash.
+func (st *stageState) markDead(idx int, kind EventKind, batchID uint64, reason string) {
+	if !st.live[idx] {
+		return
+	}
+	st.live[idx] = false
+	st.liveCount--
+	deadID := st.s.spec.Handles[idx].ID()
+	st.e.recordEvent(Event{
+		Kind: kind, Stage: st.s.idx, BatchID: batchID,
+		Variants: []string{deadID}, Detail: reason,
+	})
+	st.requestReplace(idx, deadID)
+	st.updateLadder(batchID)
+	for _, g := range st.gathers {
+		if g.mask[idx] && !g.arrived[idx] {
+			g.arrived[idx] = true
+			g.results[idx] = nil
+			g.errs[idx] = reason
+			g.count++
+			st.evaluateGather(g)
+		}
+	}
+}
+
+// requestReplace queues a hot-replacement request when the engine has a
+// replacement provider configured.
+func (st *stageState) requestReplace(slot int, deadID string) {
+	if st.e.cfg.Replace == nil {
+		return
+	}
+	select {
+	case st.e.replReqCh <- replaceReq{s: st.s, slot: slot, deadID: deadID, sinceBatch: st.lastID}:
+	default:
+		st.e.recordEvent(Event{Kind: EventReplaceFailed, Stage: st.s.idx,
+			Variants: []string{deadID}, Detail: "replacement queue full"})
+	}
+}
+
+// updateLadder recomputes the stage's rung after a membership change and
+// records the transition.
+func (st *stageState) updateLadder(batchID uint64) {
+	nr := rungFor(st.liveCount, st.s.mvxSize)
+	if nr == st.rung {
+		return
+	}
+	kind := EventLadderDemoted
+	if nr > st.rung {
+		kind = EventLadderPromoted
+	}
+	detail := fmt.Sprintf("%s→%s (%d/%d live)", st.rung, nr, st.liveCount, st.s.mvxSize)
+	if nr == LadderSingle && st.s.mvxSize > 1 {
+		detail += "; single-variant fast path, results unverified (report-only)"
+	}
+	st.rung = nr
+	st.e.setLadder(st.s.idx, nr)
+	st.e.recordEvent(Event{Kind: kind, Stage: st.s.idx, BatchID: batchID, Detail: detail})
 }
 
 func (e *Engine) handleIndex(s *stage, h *Handle) int {
@@ -167,12 +305,13 @@ func (e *Engine) post(m routerMsg) {
 //   - slow path, async: forward once a majority quorum agrees, then
 //     cross-validate stragglers retroactively, reacting at the earliest next
 //     checkpoint on late dissent (Figure 8).
-func (e *Engine) evaluateGather(s *stage, g *gather, gathers map[uint64]*gather) {
+func (st *stageState) evaluateGather(g *gather) {
+	e, s := st.e, st.s
 	if g.want == 1 {
 		if !g.allArrived() {
 			return
 		}
-		delete(gathers, g.id)
+		delete(st.gathers, g.id)
 		res, idxMap := g.voteSlice()
 		if res[0] == nil {
 			e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id,
@@ -204,7 +343,7 @@ func (e *Engine) evaluateGather(s *stage, g *gather, gathers map[uint64]*gather)
 	}
 
 	// Final (full) vote.
-	delete(gathers, g.id)
+	delete(st.gathers, g.id)
 	res, idxMap := g.voteSlice()
 	v, err := check.Vote(res, e.cfg.Policy, e.cfg.Vote)
 	if err != nil {
@@ -242,23 +381,29 @@ func (e *Engine) evaluateGather(s *stage, g *gather, gathers map[uint64]*gather)
 	case Halt:
 		e.post(routerMsg{fatal: fmt.Errorf("monitor: divergence at stage %d batch %d (dissenters %v)",
 			s.idx, g.id, dissenters)})
-	case DropVariant:
+	case DropVariant, Recover:
 		for _, di := range v.Dissenters {
 			hi := idxMap[di]
-			h := s.spec.Handles[hi]
-			h.drop()
-			e.recordEvent(Event{Kind: EventVariantDropped, Stage: s.idx, BatchID: g.id,
-				Variants: []string{h.ID()}})
+			if !st.live[hi] {
+				continue // crashed or timed out: departure already recorded
+			}
+			s.spec.Handles[hi].drop()
+			st.markDead(hi, EventVariantDropped, g.id, "dissent at checkpoint")
 		}
-		e.finishDiverged(s, g, v, res)
+		st.finishDiverged(g, v, res)
 	case ReportOnly:
-		e.finishDiverged(s, g, v, res)
+		st.finishDiverged(g, v, res)
 	}
 }
 
 // finishDiverged completes a diverged batch with the majority output when
-// one exists (recovery), or fails the batch otherwise.
-func (e *Engine) finishDiverged(s *stage, g *gather, v check.Verdict, res []map[string]*tensor.Tensor) {
+// one exists (recovery), or fails the batch otherwise. The majority is a
+// strict majority of the variants masked at dispatch (len(res)) — crashed
+// and timed-out variants count in the denominator and against the quorum,
+// matching check.Vote's Majority rule over the same slice, so a crash can
+// never make a borderline cluster look like a majority.
+func (st *stageState) finishDiverged(g *gather, v check.Verdict, res []map[string]*tensor.Tensor) {
+	e, s := st.e, st.s
 	if g.forwarded {
 		return // downstream already has the quorum output
 	}

@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/enclave"
 	"repro/internal/securechan"
@@ -96,8 +97,14 @@ func (h *Handle) startReader() {
 	})
 }
 
-// shutdown asks the variant to terminate and closes the channel.
+// shutdown asks the variant to terminate and closes the channel. The
+// shutdown notice is a courtesy: a hung variant that isn't draining its
+// channel must not stall teardown, so the send runs under a short IO
+// deadline before the close that tears the transport down regardless.
 func (h *Handle) shutdown() {
+	if dc, ok := h.conn.(securechan.DeadlineConn); ok {
+		dc.SetIOTimeout(500 * time.Millisecond)
+	}
 	_ = wire.Send(h.conn, &wire.Shutdown{})
 	_ = h.conn.Close()
 }

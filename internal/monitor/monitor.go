@@ -41,6 +41,14 @@ type BindingRecord struct {
 	Replaced  bool // superseded by a later update
 }
 
+// spareEntry is one pre-established spare variant TEE (Figure 6): an attested
+// channel plus the assignment to replay when the spare is promoted into a
+// dead slot.
+type spareEntry struct {
+	conn securechan.Conn
+	a    Assignment
+}
+
 // Monitor is the MVTEE monitor TEE: trust anchor, key distributor and MVX
 // execution manager.
 type Monitor struct {
@@ -52,6 +60,7 @@ type Monitor struct {
 	keys     map[string][]byte // owner-provisioned pool keys (entry key -> KDK)
 	handles  map[string]*Handle
 	bindings []BindingRecord
+	spares   []spareEntry
 	nonce    []byte // provisioning nonce (anti-replay, echoed in results)
 	engine   *Engine
 }
@@ -117,6 +126,13 @@ var (
 // success the variant is recorded in the append-only binding log and ready
 // for engine wiring.
 func (m *Monitor) Bind(conn securechan.Conn, a Assignment) (*Handle, error) {
+	return m.bindResume(conn, a, 0)
+}
+
+// bindResume is Bind with a resume point: hot replacement binds a spare
+// mid-run and tells it the first batch ID it will serve (§2.4 recover), so
+// the variant knows earlier IDs belonged to its predecessor.
+func (m *Monitor) bindResume(conn securechan.Conn, a Assignment, resume uint64) (*Handle, error) {
 	if err := wire.Send(conn, &wire.AssignKey{
 		VariantID:  a.VariantID,
 		Partition:  a.Partition,
@@ -144,7 +160,7 @@ func (m *Monitor) Bind(conn securechan.Conn, a Assignment) (*Handle, error) {
 	if !bytes.Equal(inst.Evidence[:], a.Evidence[:]) {
 		return nil, fmt.Errorf("%w: variant %s", ErrEvidence, a.VariantID)
 	}
-	if err := wire.Send(conn, &wire.Bound{VariantID: a.VariantID}); err != nil {
+	if err := wire.Send(conn, &wire.Bound{VariantID: a.VariantID, Resume: resume}); err != nil {
 		return nil, fmt.Errorf("monitor: confirm binding of %s: %w", a.VariantID, err)
 	}
 
@@ -168,6 +184,79 @@ func (m *Monitor) Bindings() []BindingRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]BindingRecord(nil), m.bindings...)
+}
+
+// AddSpare registers a pre-established spare variant TEE (Figure 6): the
+// channel is already attested, but the assignment is only replayed — key
+// distribution, evidence check, binding — when a Recover response promotes
+// the spare into a dead slot. An Assignment with Partition < 0 can fill any
+// stage.
+func (m *Monitor) AddSpare(conn securechan.Conn, a Assignment) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spares = append(m.spares, spareEntry{conn: conn, a: a})
+}
+
+// SpareCount returns the number of unclaimed spares.
+func (m *Monitor) SpareCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.spares)
+}
+
+// takeSpare pops the first spare eligible for the partition.
+func (m *Monitor) takeSpare(partition int) (spareEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, sp := range m.spares {
+		if sp.a.Partition != partition && sp.a.Partition >= 0 {
+			continue
+		}
+		m.spares = append(m.spares[:i], m.spares[i+1:]...)
+		sp.a.Partition = partition
+		return sp, true
+	}
+	return spareEntry{}, false
+}
+
+// retire closes a dead variant's channel, forgets its handle, and marks its
+// binding Replaced — the record stays in the append-only log.
+func (m *Monitor) retire(variantID string) {
+	m.mu.Lock()
+	h, ok := m.handles[variantID]
+	if ok {
+		delete(m.handles, variantID)
+	}
+	for i := range m.bindings {
+		if m.bindings[i].VariantID == variantID && !m.bindings[i].Replaced {
+			m.bindings[i].Replaced = true
+		}
+	}
+	m.mu.Unlock()
+	if ok {
+		h.shutdown()
+	}
+}
+
+// replaceVariant is the monitor's ReplaceFunc (§2.4 recover): it retires the
+// dead variant and binds the first working spare for the partition, resuming
+// at the checkpoint after sinceBatch. The engine's replacer goroutine calls
+// this off the checkpoint path; binding IO runs without the monitor lock.
+func (m *Monitor) replaceVariant(stage, slot int, deadID string, sinceBatch uint64) (*Handle, error) {
+	m.retire(deadID)
+	for {
+		sp, ok := m.takeSpare(stage)
+		if !ok {
+			return nil, fmt.Errorf("monitor: no spare for partition %d (replacing %s)", stage, deadID)
+		}
+		h, err := m.bindResume(sp.conn, sp.a, sinceBatch+1)
+		if err != nil {
+			// Burn the failed spare and try the next.
+			_ = sp.conn.Close()
+			continue
+		}
+		return h, nil
+	}
 }
 
 // Nonce returns the provisioning nonce for echoing in initialization results
@@ -249,7 +338,7 @@ func (m *Monitor) BuildEngine(graphInputs, graphOutputs []string, stages []Stage
 		stages[h.Partition()].Handles = append(stages[h.Partition()].Handles, h)
 	}
 	cfg := m.cfg.withDefaults()
-	eng, err := NewEngine(EngineConfig{
+	ecfg := EngineConfig{
 		GraphInputs:  graphInputs,
 		GraphOutputs: graphOutputs,
 		Stages:       stages,
@@ -257,7 +346,14 @@ func (m *Monitor) BuildEngine(graphInputs, graphOutputs []string, stages []Stage
 		Vote:         cfg.Vote,
 		Async:        cfg.Async,
 		Response:     cfg.Response,
-	})
+		StageTimeout: time.Duration(cfg.StageTimeoutMS) * time.Millisecond,
+	}
+	if cfg.Response == Recover {
+		// Hot replacement is policy (Recover), the engine only carries the
+		// mechanism: dead slots are refilled from the spare pool.
+		ecfg.Replace = m.replaceVariant
+	}
+	eng, err := NewEngine(ecfg)
 	if err != nil {
 		return nil, err
 	}

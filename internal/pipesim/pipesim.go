@@ -61,6 +61,14 @@ type Profile struct {
 	// approximation of time-multiplexing, adequate for locating the knee
 	// where replication outruns the machine.
 	Cores int
+	// StageTimeout is the straggler deadline per checkpoint (the engine's
+	// EngineConfig.StageTimeout); zero disables it. A variant that has not
+	// finished within the deadline of its dispatch is dropped from the
+	// checkpoint: the gather completes at the deadline with the survivors,
+	// and the straggler's server is assumed hot-replaced from the spare
+	// pool (available again at the deadline). Single-variant stages are
+	// unaffected — there is no quorum to fall back on.
+	StageTimeout time.Duration
 }
 
 // Metrics mirrors the bench package's measurement summary.
@@ -90,25 +98,38 @@ func (p *Profile) Validate() error {
 // forwardTime computes when a stage's checkpoint releases downstream given
 // its variants' finish times: the single-variant fast path forwards on
 // completion; sync slow path waits for all variants plus the check; async
-// slow path forwards at the majority quorum plus the check.
-func forwardTime(fins []time.Duration, checkCost time.Duration, async bool) time.Duration {
+// slow path forwards at the majority quorum plus the check. A non-zero
+// cutoff is the absolute straggler deadline: finishes past it are dropped
+// from the checkpoint, which completes no later than the cutoff itself
+// (the expiry tick prunes stragglers and votes with the survivors).
+func forwardTime(fins []time.Duration, checkCost time.Duration, async bool, cutoff time.Duration) time.Duration {
 	if len(fins) == 1 {
 		return fins[0]
 	}
 	sorted := append([]time.Duration(nil), fins...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var release time.Duration
 	if async {
 		quorum := len(sorted)/2 + 1 // strict majority
-		return sorted[quorum-1] + checkCost
+		release = sorted[quorum-1]
+	} else {
+		release = sorted[len(sorted)-1]
 	}
-	return sorted[len(sorted)-1] + checkCost
+	if cutoff > 0 && release > cutoff {
+		release = cutoff
+	}
+	return release + checkCost
 }
 
-// lastFinish is when every variant of the stage has finished (the straggler
-// bound that still gates the servers in async mode).
-func lastFinish(fins []time.Duration) time.Duration {
-	m := fins[0]
-	for _, f := range fins[1:] {
+// lastFinish is when every variant of the stage has finished or — with a
+// straggler deadline — been pruned at the cutoff (the bound that still
+// gates output checkpoints in async mode).
+func lastFinish(fins []time.Duration, cutoff time.Duration) time.Duration {
+	m := time.Duration(0)
+	for _, f := range fins {
+		if cutoff > 0 && f > cutoff {
+			f = cutoff
+		}
 		if f > m {
 			m = f
 		}
@@ -187,6 +208,13 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			dispatched := xferStart + sp.TransferIn
 			monitorFree[s] = dispatched
 
+			// Straggler deadline for this dispatch (single-variant stages
+			// have no quorum to degrade to, so the deadline does not apply).
+			var cutoff time.Duration
+			if p.StageTimeout > 0 && len(sp.Service) > 1 {
+				cutoff = dispatched + p.StageTimeout
+			}
+
 			fins := make([]time.Duration, len(sp.Service))
 			for v := range sp.Service {
 				start := dispatched
@@ -195,12 +223,18 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 				}
 				fins[v] = start + svc(s, v)
 				serverFree[s][v] = fins[v]
+				if cutoff > 0 && fins[v] > cutoff {
+					// Timed out: the variant is dropped at the deadline and
+					// its slot hot-replaced from the spare pool, so the
+					// server is serviceable again at the cutoff.
+					serverFree[s][v] = cutoff
+				}
 			}
 
 			// Result collection + consistency evaluation occupy the monitor
 			// thread again; async releases downstream at the majority
 			// quorum, sync at the last variant.
-			release := forwardTime(fins, 0, p.Async)
+			release := forwardTime(fins, 0, p.Async, cutoff)
 			postStart := max(release, monitorFree[s])
 			postDone := postStart + sp.TransferOut + sp.Check
 			monitorFree[s] = postDone
@@ -209,7 +243,7 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			if sp.Output {
 				// Output checkpoints must be fully validated before release
 				// to the user, even in async mode.
-				end := max(lastFinish(fins), postDone-sp.TransferOut-sp.Check)
+				end := max(lastFinish(fins, cutoff), postDone-sp.TransferOut-sp.Check)
 				end += sp.TransferOut + sp.Check
 				if end > batchEnd {
 					batchEnd = end

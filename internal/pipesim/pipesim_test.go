@@ -128,6 +128,66 @@ func TestAsyncThroughputStillStragglerBound(t *testing.T) {
 	}
 }
 
+func TestStageTimeoutBoundsSyncLatency(t *testing.T) {
+	// A 500ms straggler in a sync MVX stage: without a deadline the batch
+	// is straggler-bound; with one, the checkpoint completes at the cutoff
+	// with the two survivors.
+	p := &Profile{Stages: []StageProfile{{
+		Service: []time.Duration{10 * ms, 10 * ms, 500 * ms},
+		Check:   1 * ms,
+		Output:  true,
+	}}}
+	unbounded, err := Simulate(p, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(unbounded.Latency.Seconds(), 0.501, 0.01) {
+		t.Fatalf("no deadline: latency = %v, want straggler-bound 501ms", unbounded.Latency)
+	}
+	p.StageTimeout = 50 * ms
+	bounded, err := Simulate(p, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(bounded.Latency.Seconds(), 0.051, 0.01) {
+		t.Fatalf("deadline: latency = %v, want cutoff-bound 51ms", bounded.Latency)
+	}
+}
+
+func TestStageTimeoutRestoresAsyncThroughput(t *testing.T) {
+	// The async straggler-bound case of TestAsyncThroughputStillStragglerBound:
+	// with a deadline, the straggler is dropped and hot-replaced each time it
+	// overruns, so pipelined throughput recovers past the straggler's rate.
+	p := &Profile{
+		Async: true,
+		Stages: []StageProfile{
+			{Service: []time.Duration{10 * ms, 10 * ms, 40 * ms}, Output: true},
+		},
+	}
+	p.StageTimeout = 15 * ms
+	m, err := Simulate(p, 64, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 1/0.040 {
+		t.Fatalf("deadline should lift the straggler bound: %v <= 25/s", m.Throughput)
+	}
+}
+
+func TestStageTimeoutIgnoredOnFastPath(t *testing.T) {
+	// A single-variant stage has no quorum to degrade to: the deadline must
+	// not truncate its (legitimate) service time.
+	p := chain(100 * ms)
+	p.StageTimeout = 10 * ms
+	m, err := Simulate(p, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Latency.Seconds(), 0.100, 0.01) {
+		t.Fatalf("fast-path latency = %v, want full 100ms", m.Latency)
+	}
+}
+
 func TestMonitorThreadSerializesCheckpoints(t *testing.T) {
 	// With transfer cost comparable to service, pipelined throughput is
 	// bound by service + can't hide the serialized monitor work entirely.

@@ -1,0 +1,254 @@
+package securechan
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// RetryPolicy shapes exponential backoff with jitter for channel
+// establishment and reliable sends.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first attempt included); zero means 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; zero means 10ms.
+	// Attempt k waits BaseDelay·2^(k-1), capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; zero means 2s.
+	MaxDelay time.Duration
+	// Jitter is the uniform fraction of the delay randomized away (0..1);
+	// negative disables jitter, zero means 0.5 (half the delay is random).
+	// Jitter decorrelates reconnect storms when many variants lose the
+	// monitor at once.
+	Jitter float64
+	// Seed fixes the jitter source for deterministic tests; zero seeds from
+	// the clock.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// delay computes the backoff before attempt k (k ≥ 1 is the retry index).
+func (p RetryPolicy) delay(k int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < k && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// d·(1-j) .. d: full backoff minus a uniform slice.
+		d -= time.Duration(rng.Float64() * j * float64(d))
+	}
+	return d
+}
+
+func (p RetryPolicy) rng() *rand.Rand {
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// Retry runs op up to p.MaxAttempts times with exponential backoff + jitter
+// between attempts, returning nil on the first success or the last error.
+func Retry(p RetryPolicy, op func() error) error {
+	p = p.withDefaults()
+	rng := p.rng()
+	var err error
+	for k := 0; k < p.MaxAttempts; k++ {
+		if k > 0 {
+			time.Sleep(p.delay(k, rng))
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("securechan: %d attempts: %w", p.MaxAttempts, err)
+}
+
+// Dialer establishes channels with retry: transient transport and handshake
+// failures are retried under Policy with exponential backoff + jitter, and
+// HandshakeTimeout bounds each attempt's handshake IO so a black-holed peer
+// cannot stall establishment forever.
+type Dialer struct {
+	// Dial opens the transport (e.g., net.Dial, a TEE socket).
+	Dial func() (net.Conn, error)
+	// Handshake upgrades the transport to a channel (e.g., a Client or
+	// Server closure, or Plain for the baseline).
+	Handshake func(net.Conn) (Conn, error)
+	// Policy shapes the retry schedule; zero value uses defaults.
+	Policy RetryPolicy
+	// HandshakeTimeout bounds each attempt (dial + handshake); zero means
+	// no per-attempt deadline.
+	HandshakeTimeout time.Duration
+}
+
+// Connect dials and handshakes under the retry policy. A handshake failure
+// closes its transport before the next attempt (fresh key agreement and
+// sequence space per attempt — retrying inside an established record layer
+// would desynchronize sequence numbers).
+func (d Dialer) Connect() (Conn, error) {
+	if d.Dial == nil || d.Handshake == nil {
+		return nil, errors.New("securechan: Dialer needs Dial and Handshake")
+	}
+	var conn Conn
+	err := Retry(d.Policy, func() error {
+		nc, err := d.Dial()
+		if err != nil {
+			return err
+		}
+		if d.HandshakeTimeout > 0 {
+			_ = nc.SetDeadline(time.Now().Add(d.HandshakeTimeout))
+		}
+		c, err := d.Handshake(nc)
+		if err != nil {
+			_ = nc.Close()
+			return err
+		}
+		if d.HandshakeTimeout > 0 {
+			_ = nc.SetDeadline(time.Time{}) // record layer manages its own deadlines
+		}
+		conn = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// ReliableConn wraps channel establishment with transparent reconnection:
+// when a Send or Recv fails, the connection is torn down and re-established
+// through the Dialer (a fresh handshake — sequence numbers and keys restart,
+// so a half-written record can never desynchronize the record layer) and the
+// operation is retried.
+//
+// Semantics are at-least-once for Send: a message whose acknowledgement path
+// failed may be delivered twice after reconnect. MVTEE's data plane is safe
+// under duplication — batches carry process-unique IDs and the monitor's
+// gather ignores duplicate arrivals — but callers multiplexing other
+// protocols over a ReliableConn must dedupe by message ID themselves.
+type ReliableConn struct {
+	dialer Dialer
+
+	mu   sync.Mutex
+	conn Conn
+	// closed latches Close so reconnection stops racing teardown.
+	closed bool
+}
+
+var _ Conn = (*ReliableConn)(nil)
+
+// NewReliable establishes the initial connection through d and returns a
+// self-healing channel.
+func NewReliable(d Dialer) (*ReliableConn, error) {
+	conn, err := d.Connect()
+	if err != nil {
+		return nil, err
+	}
+	return &ReliableConn{dialer: d, conn: conn}, nil
+}
+
+// current returns the live connection, reconnecting if prev (the connection
+// a failed operation used) is still installed.
+func (r *ReliableConn) current(prev Conn) (Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, net.ErrClosed
+	}
+	if r.conn != nil && r.conn != prev {
+		return r.conn, nil // another goroutine already reconnected
+	}
+	if r.conn != nil {
+		_ = r.conn.Close()
+		r.conn = nil
+	}
+	conn, err := r.dialer.Connect()
+	if err != nil {
+		return nil, err
+	}
+	r.conn = conn
+	return conn, nil
+}
+
+func (r *ReliableConn) live() (Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, net.ErrClosed
+	}
+	return r.conn, nil
+}
+
+// Send transmits b, reconnecting and retransmitting on failure
+// (at-least-once; see type comment).
+func (r *ReliableConn) Send(b []byte) error {
+	conn, err := r.live()
+	if err != nil {
+		return err
+	}
+	if err = conn.Send(b); err == nil {
+		return nil
+	}
+	conn, cerr := r.current(conn)
+	if cerr != nil {
+		return fmt.Errorf("securechan: reconnect after send error %v: %w", err, cerr)
+	}
+	return conn.Send(b)
+}
+
+// Recv receives one message, reconnecting on transport failure. Messages in
+// flight on the failed connection are lost; senders retransmit (see Send).
+func (r *ReliableConn) Recv() ([]byte, error) {
+	conn, err := r.live()
+	if err != nil {
+		return nil, err
+	}
+	b, err := conn.Recv()
+	if err == nil {
+		return b, nil
+	}
+	conn, cerr := r.current(conn)
+	if cerr != nil {
+		return nil, fmt.Errorf("securechan: reconnect after recv error %v: %w", err, cerr)
+	}
+	return conn.Recv()
+}
+
+// Close shuts the channel down permanently; no further reconnects happen.
+func (r *ReliableConn) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	if r.conn == nil {
+		return nil
+	}
+	err := r.conn.Close()
+	r.conn = nil
+	return err
+}

@@ -1,0 +1,249 @@
+package securechan
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDelayCapsAndJitter(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond,
+		Jitter: 0.5, Seed: 1}.withDefaults()
+	rng := p.rng()
+	for k := 1; k <= 8; k++ {
+		d := p.delay(k, rng)
+		if d > p.MaxDelay {
+			t.Fatalf("attempt %d: delay %v exceeds cap %v", k, d, p.MaxDelay)
+		}
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", k, d)
+		}
+	}
+	// Deep attempts sit in the jittered band below the cap.
+	d := p.delay(6, rng)
+	if d < p.MaxDelay/2 {
+		t.Fatalf("capped delay %v below jitter floor %v", d, p.MaxDelay/2)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 1}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("down")
+	err := Retry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1}, func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped %v", err, sentinel)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+// flakyListener hands out server ends; the first fail handshakes are aborted
+// by closing the accepted conn.
+type flakyListener struct {
+	mu    sync.Mutex
+	fail  int
+	conns []Conn
+}
+
+func (fl *flakyListener) dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	fl.mu.Lock()
+	failing := fl.fail > 0
+	if failing {
+		fl.fail--
+	}
+	fl.mu.Unlock()
+	go func() {
+		if failing {
+			_ = server.Close()
+			return
+		}
+		sc, err := Server(server, nil, nil)
+		if err != nil {
+			return
+		}
+		fl.mu.Lock()
+		fl.conns = append(fl.conns, sc)
+		fl.mu.Unlock()
+	}()
+	return client, nil
+}
+
+func (fl *flakyListener) last() Conn {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if len(fl.conns) == 0 {
+		return nil
+	}
+	return fl.conns[len(fl.conns)-1]
+}
+
+func newTestDialer(fl *flakyListener) Dialer {
+	return Dialer{
+		Dial:      fl.dial,
+		Handshake: func(c net.Conn) (Conn, error) { return Client(c, nil, nil) },
+		Policy:    RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 7},
+	}
+}
+
+func TestDialerRetriesHandshakeFailures(t *testing.T) {
+	fl := &flakyListener{fail: 2}
+	conn, err := newTestDialer(fl).Connect()
+	if err != nil {
+		t.Fatalf("Connect after transient failures: %v", err)
+	}
+	defer conn.Close()
+	srv := awaitServer(t, fl)
+	go func() { _ = conn.Send([]byte("ping")) }()
+	got, err := srv.Recv()
+	if err != nil || string(got) != "ping" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestDialerGivesUp(t *testing.T) {
+	fl := &flakyListener{fail: 1 << 20}
+	_, err := newTestDialer(fl).Connect()
+	if err == nil {
+		t.Fatal("Connect succeeded against permanently failing peer")
+	}
+}
+
+func awaitServer(t *testing.T, fl *flakyListener) Conn {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c := fl.last(); c != nil {
+			return c
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("server side never completed handshake")
+	return nil
+}
+
+func TestReliableConnReconnectsOnSendFailure(t *testing.T) {
+	fl := &flakyListener{}
+	rc, err := NewReliable(newTestDialer(fl))
+	if err != nil {
+		t.Fatalf("NewReliable: %v", err)
+	}
+	defer rc.Close()
+	first := awaitServer(t, fl)
+
+	// Kill the first connection under the client, then send: the reliable
+	// wrapper must redial (fresh sequence space) and retransmit.
+	_ = first.Close()
+	done := make(chan error, 1)
+	go func() { done <- rc.Send([]byte("after-reconnect")) }()
+
+	var second Conn
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c := fl.last(); c != nil && c != first {
+			second = c
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if second == nil {
+		t.Fatal("no reconnect observed")
+	}
+	got, err := second.Recv()
+	if err != nil || string(got) != "after-reconnect" {
+		t.Fatalf("Recv on second conn = %q, %v", got, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+func TestReliableConnClosePreventsReconnect(t *testing.T) {
+	fl := &flakyListener{}
+	rc, err := NewReliable(newTestDialer(fl))
+	if err != nil {
+		t.Fatalf("NewReliable: %v", err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := rc.Send([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Send after Close = %v, want net.ErrClosed", err)
+	}
+	if _, err := rc.Recv(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Recv after Close = %v, want net.ErrClosed", err)
+	}
+}
+
+func TestIOTimeoutUnblocksRecv(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(c net.Conn) Conn
+	}{
+		{"plain", func(c net.Conn) Conn { return Plain(c) }},
+		{"secure", func(c net.Conn) Conn {
+			server, err := Server(c, nil, nil)
+			if err != nil {
+				t.Fatalf("handshake: %v", err)
+			}
+			return server
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server := net.Pipe()
+			defer client.Close()
+			defer server.Close()
+			connCh := make(chan Conn, 1)
+			go func() { connCh <- tc.mk(server) }()
+			if tc.name == "secure" {
+				if _, err := Client(client, nil, nil); err != nil {
+					t.Fatalf("client handshake: %v", err)
+				}
+			}
+			conn := <-connCh
+			dc, ok := conn.(DeadlineConn)
+			if !ok {
+				t.Fatalf("%T does not implement DeadlineConn", conn)
+			}
+			dc.SetIOTimeout(20 * time.Millisecond)
+			start := time.Now()
+			_, err := conn.Recv()
+			if err == nil {
+				t.Fatal("Recv returned without data")
+			}
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				if !errors.Is(err, os.ErrDeadlineExceeded) {
+					t.Fatalf("Recv error %v is not a timeout", err)
+				}
+			}
+			if waited := time.Since(start); waited > 2*time.Second {
+				t.Fatalf("Recv blocked %v despite deadline", waited)
+			}
+		})
+	}
+}

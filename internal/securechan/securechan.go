@@ -21,6 +21,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/attest"
 	"repro/internal/enclave"
@@ -75,28 +77,55 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // --- plaintext channel (baseline) --------------------------------------------
 
+// DeadlineConn is implemented by channels that can bound per-operation IO
+// (both Plain and SecureConn wrap a net.Conn and qualify). A zero timeout
+// disables deadlines — correct for data-plane readers that legitimately
+// idle between batches; straggler detection there belongs to the engine's
+// StageTimeout, not the transport.
+type DeadlineConn interface {
+	Conn
+	// SetIOTimeout bounds every subsequent Send and Recv: an operation that
+	// does not complete within d fails with a timeout error.
+	SetIOTimeout(d time.Duration)
+}
+
+// ioDeadline arms a per-operation deadline on the transport.
+func ioDeadline(d time.Duration, set func(time.Time) error) {
+	if d > 0 {
+		_ = set(time.Now().Add(d))
+	} else {
+		_ = set(time.Time{})
+	}
+}
+
 // plainConn is the no-encryption baseline channel used by the Figure 10
 // overhead experiments. Same framing, no crypto.
 type plainConn struct {
-	c      net.Conn
-	sendMu sync.Mutex
-	recvMu sync.Mutex
+	c         net.Conn
+	sendMu    sync.Mutex
+	recvMu    sync.Mutex
+	ioTimeout atomic.Int64 // time.Duration; 0 = no deadline
 }
 
-var _ Conn = (*plainConn)(nil)
+var _ DeadlineConn = (*plainConn)(nil)
 
 // Plain wraps c in unencrypted framing.
 func Plain(c net.Conn) Conn { return &plainConn{c: c} }
 
+// SetIOTimeout bounds each Send/Recv; zero disables deadlines.
+func (p *plainConn) SetIOTimeout(d time.Duration) { p.ioTimeout.Store(int64(d)) }
+
 func (p *plainConn) Send(b []byte) error {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
+	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetWriteDeadline)
 	return writeFrame(p.c, b)
 }
 
 func (p *plainConn) Recv() ([]byte, error) {
 	p.recvMu.Lock()
 	defer p.recvMu.Unlock()
+	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetReadDeadline)
 	return readFrame(p.c)
 }
 
@@ -116,9 +145,16 @@ type SecureConn struct {
 	sendLabel  []byte
 	recvLabel  []byte
 	peerReport *enclave.Report
+	ioTimeout  atomic.Int64 // time.Duration; 0 = no deadline
 }
 
-var _ Conn = (*SecureConn)(nil)
+var _ DeadlineConn = (*SecureConn)(nil)
+
+// SetIOTimeout bounds each Send/Recv; zero disables deadlines. A timed-out
+// operation may leave a partial record on the wire, so the connection must
+// be considered broken afterwards — reconnect (fresh handshake and sequence
+// space) rather than retrying on the same channel; see ReliableConn.
+func (s *SecureConn) SetIOTimeout(d time.Duration) { s.ioTimeout.Store(int64(d)) }
 
 // PeerReport returns the attestation report presented by the peer during the
 // handshake.
@@ -142,6 +178,7 @@ func (s *SecureConn) Send(b []byte) error {
 	frame := make([]byte, 8+len(ct))
 	binary.BigEndian.PutUint64(frame, seq)
 	copy(frame[8:], ct)
+	ioDeadline(time.Duration(s.ioTimeout.Load()), s.c.SetWriteDeadline)
 	return writeFrame(s.c, frame)
 }
 
@@ -149,6 +186,7 @@ func (s *SecureConn) Send(b []byte) error {
 func (s *SecureConn) Recv() ([]byte, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
+	ioDeadline(time.Duration(s.ioTimeout.Load()), s.c.SetReadDeadline)
 	frame, err := readFrame(s.c)
 	if err != nil {
 		return nil, err

@@ -51,9 +51,13 @@ func Run(conn securechan.Conn, os *teeos.OS, opts Options) error {
 
 // Variant is a stage-2 main variant ready to serve inference.
 type Variant struct {
-	ID   string
-	os   *teeos.OS
-	exec infer.Executor
+	ID string
+	// Resume is the first batch ID this variant serves: zero on initial
+	// binding, the successor of the dead predecessor's last batch when the
+	// variant was hot-replaced into a running pipeline (§2.4 recover).
+	Resume uint64
+	os     *teeos.OS
+	exec   infer.Executor
 }
 
 // Executor exposes the variant's inference runtime (for tests).
@@ -97,7 +101,8 @@ func Bootstrap(conn securechan.Conn, os *teeos.OS, opts Options) (*Variant, erro
 	if err != nil {
 		return nil, fmt.Errorf("%w: await binding: %v", ErrBootstrap, err)
 	}
-	if _, ok := msg.(*wire.Bound); !ok {
+	bound, ok := msg.(*wire.Bound)
+	if !ok {
 		return nil, fmt.Errorf("%w: expected Bound, got %T", ErrBootstrap, msg)
 	}
 
@@ -156,7 +161,7 @@ func Bootstrap(conn securechan.Conn, os *teeos.OS, opts Options) (*Variant, erro
 	if err != nil {
 		return nil, fmt.Errorf("%w: build runtime: %v", ErrBootstrap, err)
 	}
-	return &Variant{ID: assign.VariantID, os: os, exec: ex}, nil
+	return &Variant{ID: assign.VariantID, Resume: bound.Resume, os: os, exec: ex}, nil
 }
 
 // Serve processes monitor messages until shutdown or connection loss:

@@ -65,9 +65,13 @@ type Installed struct {
 	Evidence  [32]byte `json:"evidence"`
 }
 
-// Bound confirms monitor-side binding (step 7).
+// Bound confirms monitor-side binding (step 7). Resume is the first batch ID
+// the variant should expect: zero for initial binding, and the successor of
+// the last dispatched batch when a spare is hot-replaced into a dead slot
+// mid-run (§2.4 recover) — earlier batch IDs were served by the predecessor.
 type Bound struct {
 	VariantID string `json:"variant_id"`
+	Resume    uint64 `json:"resume,omitempty"`
 }
 
 // AttestReq is a challenge for combined attestation.

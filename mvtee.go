@@ -114,6 +114,20 @@ const (
 	Halt        = monitor.Halt
 	DropVariant = monitor.DropVariant
 	ReportOnly  = monitor.ReportOnly
+	Recover     = monitor.Recover
+)
+
+// Engine event kinds observable via Deployment.Engine.Events().
+const (
+	EventDivergence      = monitor.EventDivergence
+	EventLateDissent     = monitor.EventLateDissent
+	EventVariantDown     = monitor.EventVariantDown
+	EventVariantDropped  = monitor.EventVariantDropped
+	EventVariantTimeout  = monitor.EventVariantTimeout
+	EventVariantReplaced = monitor.EventVariantReplaced
+	EventReplaceFailed   = monitor.EventReplaceFailed
+	EventLadderDemoted   = monitor.EventLadderDemoted
+	EventLadderPromoted  = monitor.EventLadderPromoted
 )
 
 // Transports.

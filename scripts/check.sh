@@ -6,3 +6,8 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# The robustness layer (straggler deadlines, degradation ladder, hot
+# replacement, channel retry) is concurrency-heavy: run its packages twice
+# under the race detector to shake out interleavings a single pass misses.
+go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan

@@ -24,6 +24,13 @@ const (
 	FaultWeightBitFlip = faults.WeightBitFlip
 	FaultCodeBitFlip   = faults.CodeBitFlip
 	FaultDelay         = faults.Delay
+
+	// Chaos classes exercising the robustness layer (straggler deadlines,
+	// degradation ladder, hot replacement).
+	FaultHang               = faults.Hang
+	FaultSlow               = faults.Slow
+	FaultDropLate           = faults.DropLate
+	FaultCorruptAfterQuorum = faults.CorruptAfterQuorum
 )
 
 // ArmVariants returns a DeployConfig.VariantOptions hook that arms the
@@ -33,6 +40,26 @@ const (
 // MVX detection relies on.
 func ArmVariants(inj Injection) func(variantID string, e Entry) VariantOptions {
 	return func(string, Entry) VariantOptions {
+		return variant.Options{
+			ConfigureRuntime: func(cfg infer.Config) infer.Config {
+				return faults.Arm(cfg, inj)
+			},
+		}
+	}
+}
+
+// ArmVariantIDs returns a DeployConfig.VariantOptions hook that arms the
+// injection only in the named variants — chaos experiments use it to hang or
+// kill one specific replica while its siblings stay healthy.
+func ArmVariantIDs(inj Injection, ids ...string) func(variantID string, e Entry) VariantOptions {
+	targets := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		targets[id] = true
+	}
+	return func(variantID string, _ Entry) VariantOptions {
+		if !targets[variantID] {
+			return variant.Options{}
+		}
 		return variant.Options{
 			ConfigureRuntime: func(cfg infer.Config) infer.Config {
 				return faults.Arm(cfg, inj)
