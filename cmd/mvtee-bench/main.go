@@ -34,6 +34,7 @@ func main() {
 	batches := flag.Int("batches", 0, "live batches per measurement (default 10)")
 	simBatches := flag.Int("sim-batches", 0, "simulated stream length (default 64)")
 	teeFactor := flag.Float64("teefactor", 0, "SGX-cost multiplier for sim mode (default 24)")
+	inflightWindow := flag.Int("inflight-window", 0, "per-stage credit budget for the simulated pipelined engine (default 0 = disabled)")
 	scale := flag.Float64("scale", 0, "model channel scale (default 0.25)")
 	inputSize := flag.Int("input-size", 0, "model input resolution (default 32)")
 	perf := flag.Bool("perf", false, "run the hot-path microbenchmarks and write BENCH_<rev>.json")
@@ -77,7 +78,7 @@ func main() {
 	if *modelList != "" {
 		o.Models = strings.Split(*modelList, ",")
 	}
-	so := bench.SimOptions{Options: o, TEEFactor: *teeFactor, SimBatches: *simBatches}
+	so := bench.SimOptions{Options: o, TEEFactor: *teeFactor, SimBatches: *simBatches, InflightWindow: *inflightWindow}
 
 	figs := map[int]struct {
 		title string

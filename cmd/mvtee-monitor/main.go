@@ -47,6 +47,8 @@ func main() {
 		"divergence response: halt, drop-variant, report-only or recover (recover hot-replaces dissenters from the -spares pool)")
 	stageTimeout := flag.Duration("stage-timeout", 0,
 		"straggler deadline per checkpoint (e.g. 300ms); 0 disables — expired variants are dropped and the batch completes via the surviving quorum")
+	inflightWindow := flag.Int("inflight-window", 0,
+		"per-stage credit budget: max outstanding checkpoint gathers per stage before batches queue; 0 disables (only the global in-flight depth applies)")
 	sparesStr := flag.String("spares", "",
 		"per-partition spare variant claims, same syntax as -plans; spares idle pre-attested until a recover response promotes one")
 	awaitOwner := flag.Bool("await-owner", false,
@@ -66,17 +68,18 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := runOptions{
-		dir:          *bundleDir,
-		listen:       *listen,
-		setIdx:       *setIdx,
-		plansStr:     *plansStr,
-		sparesStr:    *sparesStr,
-		async:        *async,
-		response:     resp,
-		stageTimeout: *stageTimeout,
-		awaitOwner:   *awaitOwner,
-		demo:         *demo,
-		pipelined:    *pipelined,
+		dir:            *bundleDir,
+		listen:         *listen,
+		setIdx:         *setIdx,
+		plansStr:       *plansStr,
+		sparesStr:      *sparesStr,
+		async:          *async,
+		response:       resp,
+		stageTimeout:   *stageTimeout,
+		inflightWindow: *inflightWindow,
+		awaitOwner:     *awaitOwner,
+		demo:           *demo,
+		pipelined:      *pipelined,
 	}
 	if err := run(opts); err != nil {
 		log.Fatal(err)
@@ -91,6 +94,7 @@ type runOptions struct {
 	async               bool
 	response            monitor.ResponseMode
 	stageTimeout        time.Duration
+	inflightWindow      int
 	awaitOwner          bool
 	demo                int
 	pipelined           bool
@@ -184,6 +188,7 @@ func run(opts runOptions) error {
 			Async:          opts.async,
 			Response:       opts.response,
 			StageTimeoutMS: int(opts.stageTimeout / time.Millisecond),
+			InflightWindow: opts.inflightWindow,
 		}
 		if opts.sparesStr != "" {
 			mvx.Spares = parsePlans(opts.sparesStr)

@@ -105,6 +105,7 @@ func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
 		return rep, err
 	}
 	perfCheck(add)
+	perfDataPlane(add)
 	return rep, nil
 }
 

@@ -1,0 +1,204 @@
+// Data-plane microbenchmarks: the pooled wire codec, the secure record layer
+// roundtrip (legacy copying path vs the zero-copy path), and the monitor's
+// checkpoint fan-out (per-connection marshal vs encode-once). These back the
+// PR acceptance numbers in BENCH_<rev>.json.
+
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"testing"
+
+	"repro/internal/securechan"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// benchSecurePipe establishes an attestation-less secure channel over an
+// in-memory pipe; the handshake (RA-TLS shape, X25519+HKDF) is identical to
+// the attested one minus evidence verification, so record-layer costs match.
+func benchSecurePipe(b *testing.B) (cli, srv *securechan.SecureConn) {
+	b.Helper()
+	ca, cb := net.Pipe()
+	done := make(chan *securechan.SecureConn, 1)
+	go func() {
+		c, err := securechan.Server(cb, nil, nil)
+		if err != nil {
+			panic(err)
+		}
+		done <- c
+	}()
+	cli, err := securechan.Client(ca, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv = <-done
+	b.Cleanup(func() { cli.Close() })
+	return cli, srv
+}
+
+// checkpointBatch builds a boundary-checkpoint-sized Batch (~100 KiB of
+// tensor data), the dominant message on the monitor's dispatch path.
+func checkpointBatch() *wire.Batch {
+	rng := rand.New(rand.NewPCG(7, 7))
+	return &wire.Batch{ID: 42, Tensors: map[string]*tensor.Tensor{
+		"boundary": randTensor(rng, 1, 32, 28, 28),
+	}}
+}
+
+// perfDataPlane registers the wire/securechan benchmarks.
+func perfDataPlane(add func(string, func(b *testing.B))) {
+	perfMarshal(add)
+	perfRoundtrip(add)
+	perfFanOut(add)
+}
+
+// perfMarshal contrasts the legacy allocating codec with the pooled
+// deterministic encoder on a checkpoint batch.
+func perfMarshal(add func(string, func(b *testing.B))) {
+	batch := checkpointBatch()
+	add("dataplane/marshal/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Marshal(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("dataplane/marshal/pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, err := wire.MarshalBuf(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf.Free()
+		}
+	})
+}
+
+// perfRoundtrip measures a full secure-channel echo (client send → server
+// receive → server echo → client receive) at checkpoint payload sizes. The
+// copy variant uses the legacy Send/Recv (fresh frame, seal output and
+// receive buffers per message); the zerocopy variant uses SendShared/RecvBuf
+// (pooled frames, in-place open, single write per frame).
+func perfRoundtrip(add func(string, func(b *testing.B))) {
+	for _, size := range []int{64 << 10, 1 << 20} {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		name := fmt.Sprintf("securechan/roundtrip/%dKiB", size>>10)
+
+		add(name+"/copy", func(b *testing.B) {
+			cli, srv := benchSecurePipe(b)
+			go func() {
+				for {
+					p, err := srv.Recv()
+					if err != nil {
+						return
+					}
+					if err := srv.Send(p); err != nil {
+						return
+					}
+				}
+			}()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cli.Send(payload); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cli.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		add(name+"/zerocopy", func(b *testing.B) {
+			cli, srv := benchSecurePipe(b)
+			go func() {
+				for {
+					p, err := srv.RecvBuf()
+					if err != nil {
+						return
+					}
+					if err := srv.SendShared(p); err != nil {
+						return
+					}
+				}
+			}()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cli.SendShared(payload); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cli.RecvBuf(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// perfFanOut measures dispatching one checkpoint batch to a 3-variant stage:
+// the legacy shape marshals per connection and sends the copy; the
+// encode-once shape marshals once and seals the shared payload per
+// connection, as the monitor's dispatcher now does.
+func perfFanOut(add func(string, func(b *testing.B))) {
+	const variants = 3
+	batch := checkpointBatch()
+
+	setup := func(b *testing.B) []*securechan.SecureConn {
+		conns := make([]*securechan.SecureConn, variants)
+		for v := range conns {
+			cli, srv := benchSecurePipe(b)
+			go func() {
+				for {
+					if _, err := srv.RecvBuf(); err != nil {
+						return
+					}
+				}
+			}()
+			conns[v] = cli
+		}
+		return conns
+	}
+
+	add("dataplane/fanout/3/per-conn-marshal", func(b *testing.B) {
+		conns := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range conns {
+				p, err := wire.Marshal(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Send(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	add("dataplane/fanout/3/encode-once", func(b *testing.B) {
+		conns := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf := wire.MarshalBatch(batch)
+			for _, c := range conns {
+				if err := wire.SendEncoded(c, buf.Payload()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			buf.Free()
+		}
+	})
+}

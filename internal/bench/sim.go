@@ -25,6 +25,9 @@ type SimOptions struct {
 	SimBatches int
 	// Reps is the calibration repetition count (min taken); 0 means 5.
 	Reps int
+	// InflightWindow is the per-stage credit budget applied to the simulated
+	// pipelined engine (pipesim.Profile.InflightWindow); 0 disables it.
+	InflightWindow int
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -88,6 +91,7 @@ func simMeasure(b *core.Bundle, setIdx int, plans []monitor.PartitionPlan, async
 	if err != nil {
 		return Metrics{}, Metrics{}, err
 	}
+	prof.InflightWindow = o.InflightWindow
 	sm, err := pipesim.Simulate(prof, o.SimBatches, true, 0)
 	if err != nil {
 		return Metrics{}, Metrics{}, err

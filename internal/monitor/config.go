@@ -102,6 +102,10 @@ type MVXConfig struct {
 	// milliseconds; zero disables deadlines and a hung variant stalls its
 	// stage (pre-robustness behavior).
 	StageTimeoutMS int `json:"stage_timeout_ms,omitempty"`
+	// InflightWindow is the per-stage credit budget for the pipelined engine:
+	// at most this many checkpoint gathers may be outstanding per stage
+	// before further batches queue. Zero disables the window.
+	InflightWindow int `json:"inflight_window,omitempty"`
 	// Spares lists per-partition spare variant claims (same shape as Plans):
 	// spare TEEs are pre-established at deploy time (Figure 6) but bound
 	// lazily, when a Recover response promotes one into a dead slot. Empty,
@@ -124,6 +128,9 @@ func (c *MVXConfig) Validate() error {
 	}
 	if c.StageTimeoutMS < 0 {
 		return fmt.Errorf("%w: negative stage timeout %d", ErrConfig, c.StageTimeoutMS)
+	}
+	if c.InflightWindow < 0 {
+		return fmt.Errorf("%w: negative inflight window %d", ErrConfig, c.InflightWindow)
 	}
 	if len(c.Spares) != 0 && len(c.Spares) != len(c.Plans) {
 		return fmt.Errorf("%w: %d spare plans vs %d plans", ErrConfig, len(c.Spares), len(c.Plans))

@@ -42,6 +42,13 @@ type EngineConfig struct {
 	// MaxInFlight bounds concurrently processed batches (pipeline depth);
 	// zero means 2×stages.
 	MaxInFlight int
+	// InflightWindow is the per-stage credit budget: the maximum number of
+	// outstanding (dispatched, unresolved) checkpoint gathers a stage may
+	// hold before further batches queue at that stage. Deep pipelines keep
+	// every variant busy while per-stage buffering — and therefore straggler
+	// exposure on async forwarding — stays bounded. Zero disables the window
+	// (only the global MaxInFlight limit applies).
+	InflightWindow int
 	// StageTimeout bounds how long a checkpoint waits for stragglers. When a
 	// variant has not reported StageTimeout after its batch was dispatched,
 	// it is declared dead (EventVariantTimeout) and the gather proceeds with

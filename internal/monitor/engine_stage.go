@@ -52,6 +52,11 @@ type stageState struct {
 	gathers   map[uint64]*gather
 	rung      LadderRung
 	lastID    uint64 // highest batch id dispatched at this stage
+	// window is the stage's credit budget: the maximum number of outstanding
+	// gathers (dispatched, not yet resolved) before further batches queue in
+	// pending. Zero disables the window.
+	window  int
+	pending []stageWork
 }
 
 // stageWorker runs one pipeline stage: dispatching batches to the stage's
@@ -65,6 +70,7 @@ func (e *Engine) stageWorker(s *stage) {
 		s:       s,
 		live:    make([]bool, len(s.spec.Handles)),
 		gathers: make(map[uint64]*gather),
+		window:  e.cfg.InflightWindow,
 	}
 	for i, h := range s.spec.Handles {
 		if h.Dropped() {
@@ -98,7 +104,7 @@ func (e *Engine) stageWorker(s *stage) {
 		case <-e.ctx.Done():
 			return
 		case w := <-s.workCh:
-			st.dispatch(w)
+			st.pending = append(st.pending, w)
 		case hr := <-s.resCh:
 			st.onResult(hr)
 		case r := <-s.replCh:
@@ -106,6 +112,24 @@ func (e *Engine) stageWorker(s *stage) {
 		case now := <-tickCh:
 			st.expire(now)
 		}
+		// Credits are spent by dispatch and refunded when gathers resolve, so
+		// the drain runs after every event — never from inside evaluateGather,
+		// whose callers may be mid-iteration over the gathers map.
+		st.drainPending()
+	}
+}
+
+// drainPending dispatches queued batches while the stage holds credits: with
+// a window of W, at most W gathers may be outstanding (a gather counts until
+// its final straggler arrives, even after an async quorum forwarded it). A
+// zero window disables the credit check and pending drains immediately.
+func (st *stageState) drainPending() {
+	for len(st.pending) > 0 && (st.window <= 0 || len(st.gathers) < st.window) {
+		w := st.pending[0]
+		n := copy(st.pending, st.pending[1:])
+		st.pending[n] = stageWork{} // release tensor refs
+		st.pending = st.pending[:n]
+		st.dispatch(w)
 	}
 }
 
@@ -142,15 +166,21 @@ func (st *stageState) dispatch(w stageWork) {
 		g.deadline = time.Now().Add(e.cfg.StageTimeout)
 	}
 	st.gathers[w.id] = g
-	batch := &wire.Batch{ID: w.id, Tensors: w.tensors}
+	// Encode-once fan-out: the batch is marshalled exactly once, into a
+	// pooled buffer, regardless of how many variants serve the stage. Each
+	// live handle transmits the same payload (secure channels seal their own
+	// frame from it without touching it).
+	buf := wire.MarshalBatch(&wire.Batch{ID: w.id, Tensors: w.tensors})
+	payload := buf.Payload()
 	for i, h := range s.spec.Handles {
 		if !st.live[i] {
 			continue
 		}
-		if err := h.send(batch); err != nil {
+		if err := h.sendEncoded(w.id, payload); err != nil {
 			st.markDead(i, EventVariantDown, w.id, err.Error())
 		}
 	}
+	buf.Free()
 	// markDead may already have completed the gather.
 	if gg, ok := st.gathers[w.id]; ok {
 		st.evaluateGather(gg)

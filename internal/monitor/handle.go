@@ -63,10 +63,14 @@ func (h *Handle) drop() {
 	h.mu.Unlock()
 }
 
-// send submits a batch to the variant.
-func (h *Handle) send(b *wire.Batch) error {
-	if err := wire.Send(h.conn, b); err != nil {
-		return fmt.Errorf("monitor: send batch %d to %s: %w", b.ID, h.id, err)
+// sendEncoded submits an already-marshalled batch payload to the variant —
+// the encode-once fan-out path. The dispatcher marshals a batch exactly once
+// and every live handle transmits the same payload; secure channels seal
+// their own pooled frame from it, leaving the payload intact for the next
+// handle.
+func (h *Handle) sendEncoded(id uint64, payload []byte) error {
+	if err := wire.SendEncoded(h.conn, payload); err != nil {
+		return fmt.Errorf("monitor: send batch %d to %s: %w", id, h.id, err)
 	}
 	return nil
 }

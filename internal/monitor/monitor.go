@@ -339,14 +339,15 @@ func (m *Monitor) BuildEngine(graphInputs, graphOutputs []string, stages []Stage
 	}
 	cfg := m.cfg.withDefaults()
 	ecfg := EngineConfig{
-		GraphInputs:  graphInputs,
-		GraphOutputs: graphOutputs,
-		Stages:       stages,
-		Policy:       m.cfg.Policy(),
-		Vote:         cfg.Vote,
-		Async:        cfg.Async,
-		Response:     cfg.Response,
-		StageTimeout: time.Duration(cfg.StageTimeoutMS) * time.Millisecond,
+		GraphInputs:    graphInputs,
+		GraphOutputs:   graphOutputs,
+		Stages:         stages,
+		Policy:         m.cfg.Policy(),
+		Vote:           cfg.Vote,
+		Async:          cfg.Async,
+		Response:       cfg.Response,
+		StageTimeout:   time.Duration(cfg.StageTimeoutMS) * time.Millisecond,
+		InflightWindow: cfg.InflightWindow,
 	}
 	if cfg.Response == Recover {
 		// Hot replacement is policy (Recover), the engine only carries the

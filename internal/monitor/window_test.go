@@ -1,0 +1,212 @@
+package monitor
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// scriptConn is a monitor-side variant connection the test fully controls:
+// dispatched batch payloads are recorded (never blocking the stage worker),
+// and results flow back only when the test releases them.
+type scriptConn struct {
+	id string
+
+	mu       sync.Mutex
+	payloads [][]byte // raw dispatched wire payloads, in order
+	ids      []uint64
+
+	resCh  chan []byte
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newScriptConn(id string) *scriptConn {
+	return &scriptConn{id: id, resCh: make(chan []byte, 64), closed: make(chan struct{})}
+}
+
+func (c *scriptConn) Send(b []byte) error {
+	msg, err := wire.Unmarshal(b)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if batch, ok := msg.(*wire.Batch); ok {
+		c.payloads = append(c.payloads, append([]byte(nil), b...))
+		c.ids = append(c.ids, batch.ID)
+	}
+	return nil
+}
+
+func (c *scriptConn) Recv() ([]byte, error) {
+	select {
+	case b := <-c.resCh:
+		return b, nil
+	case <-c.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (c *scriptConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// release sends one successful result for batch id back to the monitor.
+func (c *scriptConn) release(t *testing.T, id uint64) {
+	t.Helper()
+	res := &wire.Result{ID: id, VariantID: c.id, Tensors: map[string]*tensor.Tensor{
+		"y": tensor.MustFromSlice([]float32{float32(id)}, 1),
+	}}
+	b, err := wire.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.resCh <- b
+}
+
+func (c *scriptConn) dispatched() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]uint64(nil), c.ids...)
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestInflightWindowThrottlesDispatch pins the credit semantics: with
+// InflightWindow=W, a stage holds at most W outstanding gathers — further
+// batches queue and are dispatched only as earlier gathers resolve.
+func TestInflightWindowThrottlesDispatch(t *testing.T) {
+	sc := newScriptConn("v0")
+	h := NewHandle("v0", 0, "spec", sc)
+	cfg := EngineConfig{
+		GraphInputs:  []string{"x"},
+		GraphOutputs: []string{"y"},
+		Stages: []StageSpec{
+			{Inputs: []string{"x"}, Outputs: []string{"y"}, Handles: []*Handle{h}},
+		},
+		MaxInFlight:    8,
+		InflightWindow: 2,
+	}
+	e := buildEngine(t, cfg)
+
+	for i := 0; i < 5; i++ {
+		if _, err := e.Submit(input(float32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the first W=2 batches may reach the variant.
+	waitFor(t, func() bool { return len(sc.dispatched()) == 2 }, "initial window dispatch")
+	time.Sleep(20 * time.Millisecond)
+	if got := sc.dispatched(); len(got) != 2 {
+		t.Fatalf("window=2 but %d batches dispatched: %v", len(got), got)
+	}
+
+	// Resolving one gather refunds one credit: exactly one more dispatch.
+	sc.release(t, sc.dispatched()[0])
+	waitFor(t, func() bool { return len(sc.dispatched()) == 3 }, "credit refund dispatch")
+	time.Sleep(20 * time.Millisecond)
+	if got := sc.dispatched(); len(got) != 3 {
+		t.Fatalf("one credit released but %d dispatched: %v", len(got), got)
+	}
+
+	// Drain the rest in dispatch order; all five batches must complete.
+	released := map[uint64]bool{sc.dispatched()[0]: true}
+	for completed := 1; completed < 5; completed++ {
+		var next uint64
+		waitFor(t, func() bool {
+			for _, id := range sc.dispatched() {
+				if !released[id] {
+					next = id
+					return true
+				}
+			}
+			return false
+		}, "next dispatch")
+		released[next] = true
+		sc.release(t, next)
+	}
+	for i := 0; i < 5; i++ {
+		r := <-e.Outputs()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if got := sc.dispatched(); len(got) != 5 {
+		t.Fatalf("dispatched %d batches, want 5", len(got))
+	}
+}
+
+// TestDispatchEncodesOnceAcrossVariants checks the fan-out contract on a
+// 3-variant MVX stage: every variant receives the byte-identical encoding of
+// the batch (the dispatcher marshals once and fans the same payload out),
+// and it matches the deterministic pooled codec.
+func TestDispatchEncodesOnceAcrossVariants(t *testing.T) {
+	conns := []*scriptConn{newScriptConn("v0"), newScriptConn("v1"), newScriptConn("v2")}
+	handles := make([]*Handle, len(conns))
+	for i, c := range conns {
+		handles[i] = NewHandle(c.id, 0, "spec", c)
+	}
+	cfg := EngineConfig{
+		GraphInputs:  []string{"x", "w", "b", "m", "s"},
+		GraphOutputs: []string{"y"},
+		Stages: []StageSpec{
+			{Inputs: []string{"x", "w", "b", "m", "s"}, Outputs: []string{"y"}, Handles: handles},
+		},
+	}
+	e := buildEngine(t, cfg)
+
+	// Several tensors, so any per-variant re-marshal would almost surely
+	// reorder the (map-iterated) tensor section and break byte equality.
+	inputs := map[string]*tensor.Tensor{
+		"x": tensor.MustFromSlice([]float32{1, 2}, 2),
+		"w": tensor.MustFromSlice([]float32{3}, 1),
+		"b": tensor.MustFromSlice([]float32{4}, 1),
+		"m": tensor.MustFromSlice([]float32{5}, 1),
+		"s": tensor.MustFromSlice([]float32{6}, 1),
+	}
+	id, err := e.Submit(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conns {
+		cc := c
+		waitFor(t, func() bool { return len(cc.dispatched()) == 1 }, "dispatch to "+c.id)
+	}
+	ref := wire.MarshalBatch(&wire.Batch{ID: id, Tensors: inputs})
+	defer ref.Free()
+	for _, c := range conns {
+		c.mu.Lock()
+		payload := c.payloads[0]
+		c.mu.Unlock()
+		if !bytes.Equal(payload, conns[0].payloads[0]) {
+			t.Fatalf("variant %s received different bytes than v0", c.id)
+		}
+		if !bytes.Equal(payload, ref.Payload()) {
+			t.Fatalf("variant %s payload differs from the pooled codec", c.id)
+		}
+	}
+	for _, c := range conns {
+		c.release(t, id)
+	}
+	r := <-e.Outputs()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+}

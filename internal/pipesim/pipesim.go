@@ -69,6 +69,13 @@ type Profile struct {
 	// pool (available again at the deadline). Single-variant stages are
 	// unaffected — there is no quorum to fall back on.
 	StageTimeout time.Duration
+	// InflightWindow models the engine's per-stage credit budget
+	// (EngineConfig.InflightWindow): batch b cannot be dispatched at a stage
+	// until batch b−W's checkpoint gather has fully closed there — every
+	// variant arrived or was pruned at the deadline, which in async mode is
+	// later than the quorum forward point. This is what bounds a stage's
+	// straggler backlog. Zero disables the window.
+	InflightWindow int
 }
 
 // Metrics mirrors the bench package's measurement summary.
@@ -180,6 +187,12 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 	complete := make([]time.Duration, batches)
 	submit := make([]time.Duration, batches)
 	forward := make([][]time.Duration, batches)
+	// gatherClose is when a batch's checkpoint gather fully resolves at a
+	// stage: the later of the forward point and the last variant's arrival
+	// (or pruning). The credit window refunds here, not at forward time — in
+	// async mode a forwarded gather still holds its credit until the final
+	// straggler lands.
+	gatherClose := make([][]time.Duration, batches)
 
 	for b := 0; b < batches; b++ {
 		switch {
@@ -193,6 +206,7 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			submit[b] = submit[b-1] // streamed immediately
 		}
 		forward[b] = make([]time.Duration, nStages)
+		gatherClose[b] = make([]time.Duration, nStages)
 
 		var batchEnd time.Duration
 		for s := 0; s < nStages; s++ {
@@ -201,6 +215,14 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			for _, d := range sp.Deps {
 				if forward[b][d] > ready {
 					ready = forward[b][d]
+				}
+			}
+			// Per-stage credit window: dispatch of batch b waits until batch
+			// b−W's gather closed at this stage (last variant arrived or was
+			// pruned) and released its credit.
+			if p.InflightWindow > 0 && b >= p.InflightWindow {
+				if w := gatherClose[b-p.InflightWindow][s]; w > ready {
+					ready = w
 				}
 			}
 			// Input dispatch occupies the stage's monitor thread.
@@ -239,6 +261,7 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			postDone := postStart + sp.TransferOut + sp.Check
 			monitorFree[s] = postDone
 			forward[b][s] = postDone
+			gatherClose[b][s] = max(lastFinish(fins, cutoff), postDone)
 
 			if sp.Output {
 				// Output checkpoints must be fully validated before release

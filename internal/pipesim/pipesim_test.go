@@ -327,3 +327,55 @@ func TestCoreContention(t *testing.T) {
 		t.Fatalf("sufficient cores must not penalize: %v vs %v", roomy.Throughput, free.Throughput)
 	}
 }
+
+func TestInflightWindowGatesOnStragglerResolution(t *testing.T) {
+	// Async 3-variant stage with one chronic straggler and a straggler
+	// deadline. Without a window the quorum forwards every batch at
+	// service+transfer time (~14ms cycle) and the straggler's open gathers
+	// pile up behind the stream — the exact backlog the credit window exists
+	// to bound. With a window of 1, each dispatch waits for the previous
+	// gather to fully close (its straggler pruned at the 30ms deadline), so
+	// the cycle stretches to deadline+transfer (~32ms).
+	p := &Profile{
+		Stages: []StageProfile{{
+			Service:    []time.Duration{10 * ms, 10 * ms, 50 * ms},
+			TransferIn: 2 * ms, TransferOut: 2 * ms,
+			Output: true,
+		}},
+		Async:        true,
+		StageTimeout: 30 * ms,
+	}
+	open, err := Simulate(p, 64, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InflightWindow = 1
+	windowed, err := Simulate(p, 64, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open: ~1 batch per 14ms (quorum service 10 + transfers 4).
+	if !approx(open.Throughput, 1/0.014, 0.05) {
+		t.Fatalf("open throughput = %v, want ~71/s", open.Throughput)
+	}
+	// Window=1: ~1 per 32ms (straggler deadline 30 + TransferIn 2).
+	if !approx(windowed.Throughput, 1/0.032, 0.05) {
+		t.Fatalf("window=1 throughput = %v, want ~31/s", windowed.Throughput)
+	}
+}
+
+func TestInflightWindowWideEnoughIsFree(t *testing.T) {
+	p := chain(10*ms, 30*ms, 10*ms)
+	open, err := Simulate(p, 64, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InflightWindow = 64 // wider than the stream: never binds
+	wide, err := Simulate(p, 64, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Throughput != open.Throughput || wide.Latency != open.Latency {
+		t.Fatalf("wide window changed the schedule: %+v vs %+v", wide, open)
+	}
+}

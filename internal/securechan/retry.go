@@ -161,7 +161,10 @@ type ReliableConn struct {
 	closed bool
 }
 
-var _ Conn = (*ReliableConn)(nil)
+var (
+	_ Conn     = (*ReliableConn)(nil)
+	_ ZeroCopy = (*ReliableConn)(nil)
+)
 
 // NewReliable establishes the initial connection through d and returns a
 // self-healing channel.
@@ -220,6 +223,67 @@ func (r *ReliableConn) Send(b []byte) error {
 		return fmt.Errorf("securechan: reconnect after send error %v: %w", err, cerr)
 	}
 	return conn.Send(b)
+}
+
+// SendBuf transmits the buffer's payload with reconnection on failure. An
+// in-place seal would destroy the plaintext needed for the retransmit, so
+// the reliable path seals from the payload into a per-send pooled frame
+// (SendShared) and frees the buffer afterwards — still one marshal and zero
+// payload copies.
+func (r *ReliableConn) SendBuf(b *Buf) error {
+	defer b.Free()
+	return r.SendShared(b.Payload())
+}
+
+// SendShared transmits the shared payload, reconnecting and retransmitting
+// on failure (at-least-once; see Send). The payload is left intact.
+func (r *ReliableConn) SendShared(payload []byte) error {
+	conn, err := r.live()
+	if err != nil {
+		return err
+	}
+	if err = sendShared(conn, payload); err == nil {
+		return nil
+	}
+	conn, cerr := r.current(conn)
+	if cerr != nil {
+		return fmt.Errorf("securechan: reconnect after send error %v: %w", err, cerr)
+	}
+	return sendShared(conn, payload)
+}
+
+// sendShared uses the zero-copy fan-out path when the underlying channel
+// supports it, falling back to a plain copying Send.
+func sendShared(c Conn, payload []byte) error {
+	if zc, ok := c.(ZeroCopy); ok {
+		return zc.SendShared(payload)
+	}
+	return c.Send(payload)
+}
+
+// RecvBuf receives into the current connection's pooled buffer, reconnecting
+// on transport failure. The result is valid until the next receive.
+func (r *ReliableConn) RecvBuf() ([]byte, error) {
+	conn, err := r.live()
+	if err != nil {
+		return nil, err
+	}
+	b, err := recvBuf(conn)
+	if err == nil {
+		return b, nil
+	}
+	conn, cerr := r.current(conn)
+	if cerr != nil {
+		return nil, fmt.Errorf("securechan: reconnect after recv error %v: %w", err, cerr)
+	}
+	return recvBuf(conn)
+}
+
+func recvBuf(c Conn) ([]byte, error) {
+	if zc, ok := c.(ZeroCopy); ok {
+		return zc.RecvBuf()
+	}
+	return c.Recv()
 }
 
 // Recv receives one message, reconnecting on transport failure. Messages in

@@ -37,8 +37,16 @@ type Conn interface {
 	Close() error
 }
 
-// Maximum accepted frame size (largest checkpoint tensors plus headers).
-const maxFrame = 1 << 28
+// MaxFrameSize is the largest accepted frame (largest checkpoint tensors
+// plus record headers). The length word of an incoming frame is
+// attacker-controlled until the record authenticates, so receivers enforce
+// this cap before committing memory and grow large frames incrementally as
+// their bytes actually arrive.
+const MaxFrameSize = 1 << 28
+
+// maxRecvRetain caps how large a connection's pooled receive buffer is kept
+// across messages; a one-off giant frame does not pin its memory forever.
+const maxRecvRetain = 1 << 24
 
 // Errors.
 var (
@@ -50,6 +58,9 @@ var (
 // --- raw framing ------------------------------------------------------------
 
 func writeFrame(w io.Writer, b []byte) error {
+	if len(b) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -59,20 +70,73 @@ func writeFrame(w io.Writer, b []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrameLen reads and validates a frame's length word.
+func readFrameLen(r io.Reader) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, ErrFrameTooLarge
+	if n > MaxFrameSize {
+		return 0, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, MaxFrameSize)
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, err
+	return int(n), nil
+}
+
+// readChunk bounds how much memory one growth step commits while a frame
+// body is still arriving: a forged length word can make the receiver commit
+// at most one chunk beyond the bytes the peer actually transmitted.
+const readChunk = 1 << 20
+
+// readBody reads an n-byte frame body, reusing scratch's capacity when it
+// suffices. Oversized cold reads grow incrementally in readChunk steps.
+func readBody(r io.Reader, scratch []byte, n int) ([]byte, error) {
+	if n <= cap(scratch) || n <= readChunk {
+		var b []byte
+		if n <= cap(scratch) {
+			b = scratch[:n]
+		} else {
+			b = make([]byte, n)
+		}
+		_, err := io.ReadFull(r, b)
+		return b, err
+	}
+	b := scratch[:0]
+	read := 0
+	for read < n {
+		step := n - read
+		if step > readChunk {
+			step = readChunk
+		}
+		need := read + step
+		if cap(b) < need {
+			newCap := 2 * cap(b)
+			if newCap < need {
+				newCap = need
+			}
+			if newCap > n {
+				newCap = n
+			}
+			nb := make([]byte, need, newCap)
+			copy(nb, b[:read])
+			b = nb
+		} else {
+			b = b[:need]
+		}
+		if _, err := io.ReadFull(r, b[read:need]); err != nil {
+			return nil, err
+		}
+		read = need
 	}
 	return b, nil
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	n, err := readFrameLen(r)
+	if err != nil {
+		return nil, err
+	}
+	return readBody(r, nil, n)
 }
 
 // --- plaintext channel (baseline) --------------------------------------------
@@ -104,10 +168,14 @@ type plainConn struct {
 	c         net.Conn
 	sendMu    sync.Mutex
 	recvMu    sync.Mutex
+	recvBuf   []byte       // pooled receive scratch, guarded by recvMu
 	ioTimeout atomic.Int64 // time.Duration; 0 = no deadline
 }
 
-var _ DeadlineConn = (*plainConn)(nil)
+var (
+	_ DeadlineConn = (*plainConn)(nil)
+	_ ZeroCopy     = (*plainConn)(nil)
+)
 
 // Plain wraps c in unencrypted framing.
 func Plain(c net.Conn) Conn { return &plainConn{c: c} }
@@ -129,26 +197,114 @@ func (p *plainConn) Recv() ([]byte, error) {
 	return readFrame(p.c)
 }
 
+// SendBuf frames the buffer's payload in place (the length word lands in the
+// tail of the headroom) and transmits it as one write, consuming the buffer.
+func (p *plainConn) SendBuf(b *Buf) error {
+	defer b.Free()
+	if b.n+frameHdrLen > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	frame := b.full[BufHeadroom-frameHdrLen : BufHeadroom+b.n]
+	binary.BigEndian.PutUint32(frame[:frameHdrLen], uint32(b.n))
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetWriteDeadline)
+	_, err := p.c.Write(frame)
+	return err
+}
+
+// SendShared frames the shared payload without copying it, scattering the
+// header and payload with a vectored write (net.Buffers → writev on TCP).
+func (p *plainConn) SendShared(payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [frameHdrLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetWriteDeadline)
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(p.c)
+	return err
+}
+
+// RecvBuf receives one message into the connection's pooled receive buffer;
+// the result is valid until the next RecvBuf or Recv.
+func (p *plainConn) RecvBuf() ([]byte, error) {
+	p.recvMu.Lock()
+	defer p.recvMu.Unlock()
+	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetReadDeadline)
+	n, err := readFrameLen(p.c)
+	if err != nil {
+		return nil, err
+	}
+	scratch := p.recvBuf
+	if cap(scratch) > maxRecvRetain {
+		scratch, p.recvBuf = nil, nil
+	}
+	frame, err := readBody(p.c, scratch, n)
+	if err != nil {
+		return nil, err
+	}
+	if cap(frame) <= maxRecvRetain {
+		p.recvBuf = frame
+	}
+	return frame, nil
+}
+
 func (p *plainConn) Close() error { return p.c.Close() }
 
 // --- secure channel ----------------------------------------------------------
 
 // SecureConn is an established RA-TLS-style channel.
 type SecureConn struct {
-	c          net.Conn
-	sendMu     sync.Mutex
-	recvMu     sync.Mutex
-	sendAEAD   cipher.AEAD
-	recvAEAD   cipher.AEAD
-	sendSeq    uint64
-	recvSeq    uint64
-	sendLabel  []byte
-	recvLabel  []byte
+	c         net.Conn
+	sendMu    sync.Mutex
+	recvMu    sync.Mutex
+	sendAEAD  cipher.AEAD
+	recvAEAD  cipher.AEAD
+	sendSeq   uint64
+	recvSeq   uint64
+	sendLabel []byte
+	recvLabel []byte
+	// sendAAD/recvAAD are per-direction AAD scratch (label ‖ sequence),
+	// guarded by the corresponding mutex so the hot path never reallocates
+	// the additional data per record.
+	sendAAD []byte
+	recvAAD []byte
+	// recvBuf is the pooled receive frame, reused across RecvBuf calls
+	// (guarded by recvMu).
+	recvBuf    []byte
 	peerReport *enclave.Report
 	ioTimeout  atomic.Int64 // time.Duration; 0 = no deadline
 }
 
-var _ DeadlineConn = (*SecureConn)(nil)
+var (
+	_ DeadlineConn = (*SecureConn)(nil)
+	_ ZeroCopy     = (*SecureConn)(nil)
+)
+
+// newSecureConn assembles the record layer shared by both handshake roles.
+func newSecureConn(c net.Conn, sendAEAD, recvAEAD cipher.AEAD, sendLabel, recvLabel string, peer *enclave.Report) *SecureConn {
+	aad := func(label string) []byte {
+		b := make([]byte, len(label)+8)
+		copy(b, label)
+		return b
+	}
+	return &SecureConn{
+		c: c, sendAEAD: sendAEAD, recvAEAD: recvAEAD,
+		sendLabel: []byte(sendLabel), recvLabel: []byte(recvLabel),
+		sendAAD: aad(sendLabel), recvAAD: aad(recvLabel),
+		peerReport: peer,
+	}
+}
+
+// putSeqAAD stamps seq into the direction's AAD scratch and returns it.
+func putSeqAAD(aad []byte, seq uint64) []byte {
+	binary.BigEndian.PutUint64(aad[len(aad)-8:], seq)
+	return aad
+}
 
 // SetIOTimeout bounds each Send/Recv; zero disables deadlines. A timed-out
 // operation may leave a partial record on the wire, so the connection must
@@ -163,7 +319,10 @@ func (s *SecureConn) PeerReport() *enclave.Report { return s.peerReport }
 // Close closes the underlying transport.
 func (s *SecureConn) Close() error { return s.c.Close() }
 
-// Send encrypts and transmits one message.
+// Send encrypts and transmits one message. The caller-owned path: b is
+// copied through the AEAD into a fresh frame. The zero-copy data plane
+// (SendBuf/SendShared) avoids that copy; Send remains for callers without
+// pooled buffers.
 func (s *SecureConn) Send(b []byte) error {
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
@@ -171,9 +330,7 @@ func (s *SecureConn) Send(b []byte) error {
 	s.sendSeq++
 	var nonce [12]byte
 	binary.BigEndian.PutUint64(nonce[4:], seq)
-	aad := make([]byte, 0, len(s.sendLabel)+8)
-	aad = append(aad, s.sendLabel...)
-	aad = binary.BigEndian.AppendUint64(aad, seq)
+	aad := putSeqAAD(s.sendAAD, seq)
 	ct := s.sendAEAD.Seal(nil, nonce[:], b, aad)
 	frame := make([]byte, 8+len(ct))
 	binary.BigEndian.PutUint64(frame, seq)
@@ -182,7 +339,60 @@ func (s *SecureConn) Send(b []byte) error {
 	return writeFrame(s.c, frame)
 }
 
+// SendBuf seals the buffer's payload in place — the ciphertext and tag land
+// where the plaintext was, the frame header and sequence number in the
+// headroom — and transmits the record as a single write. The buffer is
+// consumed (returned to its pool) whether or not the send succeeds.
+func (s *SecureConn) SendBuf(b *Buf) error {
+	defer b.Free()
+	if recSeqLen+b.n+BufTailroom > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	seq := s.sendSeq
+	s.sendSeq++
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	aad := putSeqAAD(s.sendAAD, seq)
+	payload := b.Payload()
+	ct := s.sendAEAD.Seal(payload[:0], nonce[:], payload, aad)
+	frame := b.full[:BufHeadroom+len(ct)]
+	binary.BigEndian.PutUint32(frame[:frameHdrLen], uint32(recSeqLen+len(ct)))
+	binary.BigEndian.PutUint64(frame[frameHdrLen:BufHeadroom], seq)
+	ioDeadline(time.Duration(s.ioTimeout.Load()), s.c.SetWriteDeadline)
+	_, err := s.c.Write(frame)
+	return err
+}
+
+// SendShared seals the shared payload into a pooled frame of this
+// connection's own — payload is left intact, so the same encoded message can
+// fan out across many connections with one marshal and one seal each.
+func (s *SecureConn) SendShared(payload []byte) error {
+	if recSeqLen+len(payload)+BufTailroom > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	f := GetBuf(len(payload))
+	defer f.Free()
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	seq := s.sendSeq
+	s.sendSeq++
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	aad := putSeqAAD(s.sendAAD, seq)
+	ct := s.sendAEAD.Seal(f.full[BufHeadroom:BufHeadroom], nonce[:], payload, aad)
+	frame := f.full[:BufHeadroom+len(ct)]
+	binary.BigEndian.PutUint32(frame[:frameHdrLen], uint32(recSeqLen+len(ct)))
+	binary.BigEndian.PutUint64(frame[frameHdrLen:BufHeadroom], seq)
+	ioDeadline(time.Duration(s.ioTimeout.Load()), s.c.SetWriteDeadline)
+	_, err := s.c.Write(frame)
+	return err
+}
+
 // Recv receives and decrypts one message, enforcing strict sequence order.
+// The returned slice is caller-owned (freshly allocated); the data plane
+// uses RecvBuf to reuse frames instead.
 func (s *SecureConn) Recv() ([]byte, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
@@ -191,6 +401,37 @@ func (s *SecureConn) Recv() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.openLocked(frame)
+}
+
+// RecvBuf receives one message into the connection's pooled receive buffer
+// and decrypts it in place. The returned slice aliases the buffer: it is
+// valid only until the next RecvBuf or Recv on this connection.
+func (s *SecureConn) RecvBuf() ([]byte, error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	ioDeadline(time.Duration(s.ioTimeout.Load()), s.c.SetReadDeadline)
+	n, err := readFrameLen(s.c)
+	if err != nil {
+		return nil, err
+	}
+	scratch := s.recvBuf
+	if cap(scratch) > maxRecvRetain {
+		scratch, s.recvBuf = nil, nil
+	}
+	frame, err := readBody(s.c, scratch, n)
+	if err != nil {
+		return nil, err
+	}
+	if cap(frame) <= maxRecvRetain {
+		s.recvBuf = frame
+	}
+	return s.openLocked(frame)
+}
+
+// openLocked authenticates and decrypts one framed record in place
+// (recvMu must be held).
+func (s *SecureConn) openLocked(frame []byte) ([]byte, error) {
 	if len(frame) < 8 {
 		return nil, fmt.Errorf("securechan: short record")
 	}
@@ -201,10 +442,9 @@ func (s *SecureConn) Recv() ([]byte, error) {
 	s.recvSeq++
 	var nonce [12]byte
 	binary.BigEndian.PutUint64(nonce[4:], seq)
-	aad := make([]byte, 0, len(s.recvLabel)+8)
-	aad = append(aad, s.recvLabel...)
-	aad = binary.BigEndian.AppendUint64(aad, seq)
-	pt, err := s.recvAEAD.Open(nil, nonce[:], frame[8:], aad)
+	aad := putSeqAAD(s.recvAAD, seq)
+	ct := frame[8:]
+	pt, err := s.recvAEAD.Open(ct[:0], nonce[:], ct, aad)
 	if err != nil {
 		return nil, fmt.Errorf("securechan: record auth: %w", err)
 	}
@@ -336,11 +576,7 @@ func Client(c net.Conn, self attest.Attester, verify VerifyPeer) (*SecureConn, e
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
-	return &SecureConn{
-		c: c, sendAEAD: c2s, recvAEAD: s2c,
-		sendLabel: []byte("c2s"), recvLabel: []byte("s2c"),
-		peerReport: peer,
-	}, nil
+	return newSecureConn(c, c2s, s2c, "c2s", "s2c", peer), nil
 }
 
 // Server performs the responder side of the attested handshake. self may be
@@ -427,9 +663,5 @@ func Server(c net.Conn, self attest.Attester, verify VerifyPeer) (*SecureConn, e
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
-	return &SecureConn{
-		c: c, sendAEAD: s2c, recvAEAD: c2s,
-		sendLabel: []byte("s2c"), recvLabel: []byte("c2s"),
-		peerReport: peer,
-	}, nil
+	return newSecureConn(c, s2c, c2s, "s2c", "c2s", peer), nil
 }

@@ -1,0 +1,288 @@
+package securechan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns both ends of a secure channel over net.Pipe with no
+// attestation (nil attesters), for record-layer tests.
+func pipePair(t testing.TB) (*SecureConn, *SecureConn) {
+	t.Helper()
+	a, b := net.Pipe()
+	type res struct {
+		c   *SecureConn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Server(b, nil, nil)
+		ch <- res{c, err}
+	}()
+	cli, err := Client(a, nil, nil)
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("server handshake: %v", r.err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli, r.c
+}
+
+func newBufPayload(p []byte) *Buf {
+	b := GetBuf(len(p))
+	b.AppendPayload(p)
+	return b
+}
+
+// TestFrameLenCapPreAuth is the regression test for the unbounded
+// pre-authentication allocation: a forged length word beyond MaxFrameSize
+// must be rejected with the typed error before any body memory is committed.
+func TestFrameLenCapPreAuth(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(MaxFrameSize)+1)
+	if _, err := readFrameLen(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("forged length accepted: err = %v", err)
+	}
+	// Exactly at the cap is allowed (the body read then proceeds
+	// incrementally, committing memory only as bytes arrive).
+	binary.BigEndian.PutUint32(hdr[:], uint32(MaxFrameSize))
+	if n, err := readFrameLen(bytes.NewReader(hdr[:])); err != nil || n != MaxFrameSize {
+		t.Fatalf("cap-sized length rejected: n=%d err=%v", n, err)
+	}
+	// Sender side enforces the same cap.
+	if err := writeFrame(io.Discard, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized send accepted: err = %v", err)
+	}
+}
+
+// TestReadBodyIncremental verifies that large frame bodies are committed in
+// readChunk steps tracking the bytes actually received: a peer that claims a
+// huge frame but hangs up early never forces a full-size allocation.
+func TestReadBodyIncremental(t *testing.T) {
+	// 3 MiB claimed, only 2.5 MiB sent: must fail with EOF, not succeed.
+	claimed := 3 << 20
+	sent := claimed - (1 << 19)
+	body := make([]byte, sent)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	if _, err := readBody(bytes.NewReader(body), nil, claimed); err == nil {
+		t.Fatal("short body accepted")
+	}
+	// Full delivery roundtrips.
+	full := make([]byte, claimed)
+	for i := range full {
+		full[i] = byte(i * 7)
+	}
+	got, err := readBody(bytes.NewReader(full), nil, claimed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, full) {
+		t.Fatal("incremental body read corrupted data")
+	}
+	// Warm scratch path reuses capacity.
+	scratch := make([]byte, 0, claimed)
+	got, err = readBody(bytes.NewReader(full), scratch, claimed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("scratch capacity not reused")
+	}
+}
+
+// TestZeroCopySecureInterop crosses every send path with every receive path
+// on a secure channel: pooled and legacy ends must interoperate bitwise.
+func TestZeroCopySecureInterop(t *testing.T) {
+	cli, srv := pipePair(t)
+	msgs := [][]byte{
+		[]byte("small"),
+		bytes.Repeat([]byte{0xAB}, 64<<10),
+		{},
+	}
+	type sendFn func(Conn, []byte) error
+	sends := map[string]sendFn{
+		"Send":       func(c Conn, p []byte) error { return c.Send(p) },
+		"SendBuf":    func(c Conn, p []byte) error { return c.(ZeroCopy).SendBuf(newBufPayload(p)) },
+		"SendShared": func(c Conn, p []byte) error { return c.(ZeroCopy).SendShared(p) },
+	}
+	recvs := map[string]func(Conn) ([]byte, error){
+		"Recv":    func(c Conn) ([]byte, error) { return c.Recv() },
+		"RecvBuf": func(c Conn) ([]byte, error) { return c.(ZeroCopy).RecvBuf() },
+	}
+	for sname, send := range sends {
+		for rname, recv := range recvs {
+			for _, msg := range msgs {
+				errCh := make(chan error, 1)
+				go func() { errCh <- send(cli, msg) }()
+				got, err := recv(srv)
+				if err != nil {
+					t.Fatalf("%s→%s: recv: %v", sname, rname, err)
+				}
+				if err := <-errCh; err != nil {
+					t.Fatalf("%s→%s: send: %v", sname, rname, err)
+				}
+				if !bytes.Equal(got, msg) {
+					t.Fatalf("%s→%s: payload mismatch (%d vs %d bytes)", sname, rname, len(got), len(msg))
+				}
+			}
+		}
+	}
+}
+
+// TestZeroCopyPlainInterop is the same matrix on the unencrypted framing.
+func TestZeroCopyPlainInterop(t *testing.T) {
+	a, b := net.Pipe()
+	cli, srv := Plain(a), Plain(b)
+	defer cli.Close()
+	msg := bytes.Repeat([]byte{0x5C}, 8192)
+	type sendFn func() error
+	for name, send := range map[string]sendFn{
+		"Send":       func() error { return cli.Send(msg) },
+		"SendBuf":    func() error { return cli.(ZeroCopy).SendBuf(newBufPayload(msg)) },
+		"SendShared": func() error { return cli.(ZeroCopy).SendShared(msg) },
+	} {
+		errCh := make(chan error, 1)
+		go func() { errCh <- send() }()
+		got, err := srv.(ZeroCopy).RecvBuf()
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("%s: recv err=%v match=%v", name, err, bytes.Equal(got, msg))
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("%s: send: %v", name, err)
+		}
+	}
+}
+
+// TestSendSharedLeavesPayloadIntact pins the fan-out contract: sealing for
+// one connection must not disturb the shared plaintext, so the identical
+// payload can go to every variant.
+func TestSendSharedLeavesPayloadIntact(t *testing.T) {
+	cli1, srv1 := pipePair(t)
+	cli2, srv2 := pipePair(t)
+	payload := bytes.Repeat([]byte{1, 2, 3, 4}, 4096)
+	orig := append([]byte(nil), payload...)
+	for i, pair := range []struct{ c, s *SecureConn }{{cli1, srv1}, {cli2, srv2}} {
+		errCh := make(chan error, 1)
+		go func() { errCh <- pair.c.SendShared(payload) }()
+		got, err := pair.s.RecvBuf()
+		if err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+		if !bytes.Equal(got, orig) {
+			t.Fatalf("conn %d: delivered payload diverged", i)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, orig) {
+			t.Fatalf("conn %d: SendShared mutated the shared payload", i)
+		}
+	}
+}
+
+// TestZeroCopySequenceDiscipline confirms the pooled paths share the same
+// sequence space as the legacy ones: a replayed record still fails.
+func TestZeroCopySequenceDiscipline(t *testing.T) {
+	cli, srv := pipePair(t)
+	go func() {
+		_ = cli.SendBuf(newBufPayload([]byte("one")))
+		_ = cli.Send([]byte("two"))
+		_ = cli.SendShared([]byte("three"))
+	}()
+	for _, want := range []string{"one", "two", "three"} {
+		got, err := srv.RecvBuf()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("got %q want %q", got, want)
+		}
+	}
+}
+
+// TestBufGrowPreservesLayout exercises the pooled buffer across size-class
+// reallocation: headroom discipline and payload bytes must survive growth.
+func TestBufGrowPreservesLayout(t *testing.T) {
+	b := GetBuf(16)
+	defer b.Free()
+	first := []byte("0123456789abcdef")
+	b.AppendPayload(first)
+	// Force several reallocation steps.
+	big := bytes.Repeat([]byte{0xEE}, 1<<14)
+	b.AppendPayload(big)
+	want := append(append([]byte(nil), first...), big...)
+	if !bytes.Equal(b.Payload(), want) {
+		t.Fatal("payload corrupted across Grow reallocation")
+	}
+	if len(b.full) < BufHeadroom+b.Len()+BufTailroom {
+		t.Fatal("tailroom lost after growth")
+	}
+}
+
+// TestBufOversizedUnpooled checks the beyond-class fallback allocates exactly
+// and never panics on Free.
+func TestBufOversizedUnpooled(t *testing.T) {
+	b := GetBuf((1 << 29) + 1)
+	if b.cls != -1 {
+		t.Fatalf("oversized buffer pooled in class %d", b.cls)
+	}
+	b.Free() // must be a no-op
+}
+
+// TestReliableConnZeroCopy covers the retransmitting wrapper's pooled paths:
+// SendBuf must survive a reconnect because it seals from, not into, the
+// payload.
+func TestReliableConnZeroCopy(t *testing.T) {
+	fl := &flakyListener{}
+	rc, err := NewReliable(newTestDialer(fl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	first := awaitServer(t, fl)
+
+	msg := bytes.Repeat([]byte{7}, 1024)
+	go func() { _ = rc.SendBuf(newBufPayload(msg)) }()
+	if got, err := first.(ZeroCopy).RecvBuf(); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("pre-failure roundtrip: err=%v", err)
+	}
+
+	// Kill the channel under the client: the next SendBuf must reconnect and
+	// retransmit the same payload over the fresh channel.
+	_ = first.Close()
+	done := make(chan error, 1)
+	go func() { done <- rc.SendBuf(newBufPayload(msg)) }()
+	var second Conn
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c := fl.last(); c != nil && c != first {
+			second = c
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if second == nil {
+		t.Fatal("no reconnect observed")
+	}
+	if got, err := second.(ZeroCopy).RecvBuf(); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("post-reconnect roundtrip: err=%v match=%v", err, bytes.Equal(got, msg))
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("SendBuf after channel loss: %v", err)
+	}
+	// And RecvBuf on the reliable side works over the fresh channel.
+	go func() { _ = second.Send([]byte("pong")) }()
+	if got, err := rc.RecvBuf(); err != nil || string(got) != "pong" {
+		t.Fatalf("reliable RecvBuf: %q err=%v", got, err)
+	}
+}

@@ -237,17 +237,29 @@ func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
 	return int64(n1 + n2), nil
 }
 
-// Marshal returns the wire-format encoding of t.
-func (t *Tensor) Marshal() []byte {
-	buf := make([]byte, 4+4*len(t.shape)+4*len(t.data))
-	binary.LittleEndian.PutUint32(buf, uint32(len(t.shape)))
+// EncodedSize returns the exact wire-format size of t in bytes, so callers
+// can encode into a pre-sized buffer with Encode.
+func (t *Tensor) EncodedSize() int { return 4 + 4*len(t.shape) + 4*len(t.data) }
+
+// Encode writes the wire-format encoding of t into dst, which must hold at
+// least EncodedSize bytes, and returns the number of bytes written. It is the
+// allocation-free core of Marshal, used by the pooled wire codec.
+func (t *Tensor) Encode(dst []byte) int {
+	binary.LittleEndian.PutUint32(dst, uint32(len(t.shape)))
 	for i, d := range t.shape {
-		binary.LittleEndian.PutUint32(buf[4+4*i:], uint32(d))
+		binary.LittleEndian.PutUint32(dst[4+4*i:], uint32(d))
 	}
 	off := 4 + 4*len(t.shape)
 	for i, f := range t.data {
-		binary.LittleEndian.PutUint32(buf[off+4*i:], math.Float32bits(f))
+		binary.LittleEndian.PutUint32(dst[off+4*i:], math.Float32bits(f))
 	}
+	return off + 4*len(t.data)
+}
+
+// Marshal returns the wire-format encoding of t.
+func (t *Tensor) Marshal() []byte {
+	buf := make([]byte, t.EncodedSize())
+	t.Encode(buf)
 	return buf
 }
 

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/securechan"
 	"repro/internal/tensor"
@@ -205,8 +206,60 @@ func Unmarshal(b []byte) (Msg, error) {
 	return m, nil
 }
 
-// Send marshals and transmits m on c.
+// MarshalBuf encodes m once into a pooled frame buffer with framing headroom
+// and AEAD tailroom already reserved, so a ZeroCopy channel can seal and
+// transmit the payload without any further copy. The buffer is consumed by
+// SendBuf, or must be released with Free. Tensor names are encoded in sorted
+// order so repeated marshals of the same message are byte-identical.
+func MarshalBuf(m Msg) (*securechan.Buf, error) {
+	switch v := m.(type) {
+	case *Batch:
+		return encodeTensorMsg(TBatch, v.ID, "", "", v.Tensors), nil
+	case *Result:
+		return encodeTensorMsg(TResult, v.ID, v.VariantID, v.Err, v.Tensors), nil
+	default:
+		b, err := json.Marshal(m)
+		if err != nil {
+			return nil, fmt.Errorf("wire: marshal %T: %w", m, err)
+		}
+		buf := securechan.GetBuf(1 + len(b))
+		dst := buf.Grow(1 + len(b))
+		dst[0] = byte(m.wireType())
+		copy(dst[1:], b)
+		return buf, nil
+	}
+}
+
+// MarshalBatch encodes b exactly once into a pooled buffer for encode-once
+// fan-out: the monitor marshals the batch a single time, then transmits the
+// same payload on every variant connection with SendEncoded (each secure
+// channel seals its own copy into a pooled frame; the payload stays intact).
+// The caller owns the buffer and must Free it after the last send.
+func MarshalBatch(b *Batch) *securechan.Buf {
+	return encodeTensorMsg(TBatch, b.ID, "", "", b.Tensors)
+}
+
+// SendEncoded transmits an already-marshalled wire payload on c, using the
+// shared-payload zero-copy path when the channel supports it. The payload is
+// left intact, so the same encoding can fan out across many connections.
+func SendEncoded(c securechan.Conn, payload []byte) error {
+	if zc, ok := c.(securechan.ZeroCopy); ok {
+		return zc.SendShared(payload)
+	}
+	return c.Send(payload)
+}
+
+// Send marshals and transmits m on c. On ZeroCopy channels the message is
+// encoded once into a pooled frame and sealed in place — one allocation-free
+// write on the warm path.
 func Send(c securechan.Conn, m Msg) error {
+	if zc, ok := c.(securechan.ZeroCopy); ok {
+		b, err := MarshalBuf(m)
+		if err != nil {
+			return err
+		}
+		return zc.SendBuf(b)
+	}
 	b, err := Marshal(m)
 	if err != nil {
 		return err
@@ -214,9 +267,20 @@ func Send(c securechan.Conn, m Msg) error {
 	return c.Send(b)
 }
 
-// Recv receives and decodes one message from c.
+// Recv receives and decodes one message from c. On ZeroCopy channels the
+// frame lands in the connection's pooled receive buffer (decrypted in place on
+// secure channels) and is fully decoded before the next receive can reuse it;
+// the returned Msg never aliases the frame.
 func Recv(c securechan.Conn) (Msg, error) {
-	b, err := c.Recv()
+	var (
+		b   []byte
+		err error
+	)
+	if zc, ok := c.(securechan.ZeroCopy); ok {
+		b, err = zc.RecvBuf()
+	} else {
+		b, err = c.Recv()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -246,6 +310,39 @@ func marshalTensorMsg(t Type, id uint64, vid, errStr string, ts map[string]*tens
 		buf = append(buf, tt.Marshal()...)
 	}
 	return buf
+}
+
+// encodeTensorMsg encodes a tensor message directly into a pooled frame
+// buffer sized exactly for the payload. Tensor names are sorted so the
+// encoding is deterministic (map iteration order is not).
+func encodeTensorMsg(t Type, id uint64, vid, errStr string, ts map[string]*tensor.Tensor) *securechan.Buf {
+	size := 1 + 8 + 2 + len(vid) + 2 + len(errStr) + 4
+	names := make([]string, 0, len(ts))
+	for name, tt := range ts {
+		names = append(names, name)
+		size += 2 + len(name) + tt.EncodedSize()
+	}
+	slices.Sort(names)
+	buf := securechan.GetBuf(size)
+	dst := buf.Grow(size)
+	dst[0] = byte(t)
+	binary.LittleEndian.PutUint64(dst[1:], id)
+	off := 9
+	off += putStrAt(dst[off:], vid)
+	off += putStrAt(dst[off:], errStr)
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(ts)))
+	off += 4
+	for _, name := range names {
+		off += putStrAt(dst[off:], name)
+		off += ts[name].Encode(dst[off:])
+	}
+	return buf
+}
+
+func putStrAt(dst []byte, s string) int {
+	binary.LittleEndian.PutUint16(dst, uint16(len(s)))
+	copy(dst[2:], s)
+	return 2 + len(s)
 }
 
 func readStr(b []byte) (string, []byte, error) {

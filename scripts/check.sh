@@ -11,3 +11,9 @@ go test -race ./...
 # replacement, channel retry) is concurrency-heavy: run its packages twice
 # under the race detector to shake out interleavings a single pass misses.
 go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan
+
+# Short fuzz smoke over the attacker-facing parsers: the pre-auth record
+# framing and the tagged wire decoder. A few seconds each catches gross
+# regressions; longer campaigns run out-of-band.
+go test -run='^$' -fuzz=FuzzFrame -fuzztime=5s ./internal/securechan
+go test -run='^$' -fuzz=FuzzWireUnmarshal -fuzztime=5s ./internal/wire
