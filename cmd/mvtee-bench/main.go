@@ -17,11 +17,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/models"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -40,7 +43,18 @@ func main() {
 	perf := flag.Bool("perf", false, "run the hot-path microbenchmarks and write BENCH_<rev>.json")
 	rev := flag.String("rev", "dev", "revision label for the -perf report filename")
 	note := flag.String("note", "", "extra caveat/context text embedded in the -perf report")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"telemetry HTTP listen address serving /metrics, /trace and /debug/pprof/ during the run; empty disables")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)
+		go func() {
+			if err := http.ListenAndServe(*telemetryAddr, mux); err != nil {
+				log.Printf("mvtee-bench: telemetry server: %v", err)
+			}
+		}()
+	}
 
 	if *perf {
 		if *rev == "" {

@@ -19,11 +19,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/enclave"
 	"repro/internal/monitor"
 	"repro/internal/securechan"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -55,6 +58,8 @@ func main() {
 		"receive the MVX configuration and pool keys from a connecting mvtee-owner process instead of flags/disk (Figure 6 steps 2-3, 8)")
 	demo := flag.Int("demo", 4, "demo batches to run after bring-up (0 = wait forever)")
 	pipelined := flag.Bool("pipelined", false, "stream demo batches (pipelined) instead of sequential")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"operator telemetry HTTP listen address (e.g. 127.0.0.1:9090) serving /metrics, /trace, /events and /debug/pprof/; empty disables")
 	flag.Parse()
 	log.SetPrefix("mvtee-monitor: ")
 	log.SetFlags(0)
@@ -80,6 +85,7 @@ func main() {
 		awaitOwner:     *awaitOwner,
 		demo:           *demo,
 		pipelined:      *pipelined,
+		telemetryAddr:  *telemetryAddr,
 	}
 	if err := run(opts); err != nil {
 		log.Fatal(err)
@@ -98,6 +104,7 @@ type runOptions struct {
 	awaitOwner          bool
 	demo                int
 	pipelined           bool
+	telemetryAddr       string
 }
 
 func parsePlans(s string) []monitor.PartitionPlan {
@@ -313,6 +320,25 @@ func run(opts runOptions) error {
 	eng.Start()
 	defer eng.Stop()
 	log.Printf("engine started (%d stages)", len(stages))
+
+	// Operator telemetry endpoint: process-wide metrics and spans plus this
+	// engine's event stream. Serving failures are logged, never fatal — the
+	// inference plane does not depend on the observability plane.
+	if opts.telemetryAddr != "" {
+		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)
+		mux.Handle("/events", telemetry.SSE(eng.EventBus()))
+		tln, err := net.Listen("tcp", opts.telemetryAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listen: %w", err)
+		}
+		defer tln.Close()
+		go func() {
+			if err := http.Serve(tln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+		log.Printf("telemetry on http://%s (/metrics /trace /events /debug/pprof/)", tln.Addr())
+	}
 
 	// Figure 6 step 8: send the initialization results, echoing the owner's
 	// nonce for freshness.

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 
@@ -20,12 +21,15 @@ import (
 	"repro/internal/manifest"
 	"repro/internal/securechan"
 	"repro/internal/teeos"
+	"repro/internal/telemetry"
 	"repro/internal/variant"
 )
 
 func main() {
 	bundleDir := flag.String("bundle", "", "bundle directory from mvtee-tool build (required)")
 	connect := flag.String("connect", "127.0.0.1:9000", "monitor address")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"telemetry HTTP listen address serving /metrics, /trace and /debug/pprof/; empty disables")
 	flag.Parse()
 	log.SetPrefix("mvtee-variant: ")
 	log.SetFlags(0)
@@ -33,6 +37,14 @@ func main() {
 	if *bundleDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *telemetryAddr != "" {
+		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)
+		go func() {
+			if err := http.ListenAndServe(*telemetryAddr, mux); err != nil {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
 	}
 	if err := run(*bundleDir, *connect); err != nil {
 		log.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/infer"
 	"repro/internal/models"
 	"repro/internal/ops"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/workpool"
 )
@@ -49,6 +50,11 @@ type PerfReport struct {
 	// parallel levels on a single-core host measure dispatch overhead only).
 	Note    string       `json:"note,omitempty"`
 	Results []PerfResult `json:"results"`
+	// Telemetry is a snapshot of the process-default metric registry taken
+	// after the suite ran: the series the benchmarked subsystems emitted
+	// while being measured, included so a report also documents what the
+	// observability layer saw.
+	Telemetry []telemetry.MetricSnapshot `json:"telemetry,omitempty"`
 }
 
 func record(name string, r testing.BenchmarkResult) PerfResult {
@@ -89,14 +95,15 @@ func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
 		}
 		rep.Note += note
 	}
-	add := func(name string, f func(b *testing.B)) {
-		r := testing.Benchmark(f)
-		pr := record(name, r)
+	emit := func(pr PerfResult) {
 		rep.Results = append(rep.Results, pr)
 		if progress != nil {
 			fmt.Fprintf(progress, "%-40s %12.0f ns/op %8d allocs/op\n",
 				pr.Name, pr.NsPerOp, pr.AllocsPerOp)
 		}
+	}
+	add := func(name string, f func(b *testing.B)) {
+		emit(record(name, testing.Benchmark(f)))
 	}
 
 	perfGemm(add)
@@ -106,6 +113,10 @@ func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
 	}
 	perfCheck(add)
 	perfDataPlane(add)
+	if err := perfTelemetry(add, emit); err != nil {
+		return rep, err
+	}
+	rep.Telemetry = telemetry.Default.Snapshot()
 	return rep, nil
 }
 

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestTelemetryBenchEngineSmoke validates the benchmark harness itself: the
+// echo-variant pipeline must produce correct output on both the fast path and
+// the voting path before its timings mean anything.
+func TestTelemetryBenchEngineSmoke(t *testing.T) {
+	for _, n := range []int{1, 3} {
+		e, err := telemetryBenchEngine(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := map[string]*tensor.Tensor{"x": tensor.MustFromSlice([]float32{1, 2}, 2)}
+		r, err := e.Infer(in)
+		if err != nil {
+			e.Stop()
+			t.Fatalf("v%d: %v", n, err)
+		}
+		z := r.Tensors["z"]
+		if z == nil || z.At(0) != 1 || z.At(1) != 2 {
+			e.Stop()
+			t.Fatalf("v%d: bad output %v", n, z)
+		}
+		e.Stop()
+	}
+}

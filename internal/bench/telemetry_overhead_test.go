@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// TestTelemetryOverheadVariance is a diagnostic for the enabled/disabled
+// engine pair: interleaved trials expose scheduling variance that a single
+// testing.Benchmark run hides.
+func TestTelemetryOverheadVariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	defer telemetry.SetEnabled(true)
+	in := map[string]*tensor.Tensor{"x": tensor.MustFromSlice([]float32{1, 2, 3, 4}, 4)}
+	e, err := telemetryBenchEngine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	for i := 0; i < 5; i++ {
+		if _, err := e.Infer(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const iters = 200
+	run := func(enabled bool) time.Duration {
+		telemetry.SetEnabled(enabled)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := e.Infer(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / iters
+	}
+	for trial := 0; trial < 6; trial++ {
+		d := run(false)
+		en := run(true)
+		t.Logf("trial %d: disabled=%v enabled=%v delta=%+.1f%%", trial, d, en,
+			100*(float64(en)-float64(d))/float64(d))
+	}
+}

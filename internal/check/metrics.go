@@ -1,0 +1,39 @@
+package check
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// Cross-validation series. The divergence-score histogram records the
+// magnitude of disagreements (max |a-b| per shared tensor, in nanounits so
+// the log2 buckets resolve values well below 1.0) — it runs only on the rare
+// disagreeing pairs, never inside the perf-pinned Evaluate hot path.
+var (
+	mVotes        = telemetry.Default.Counter(telemetry.MetricCheckVotes)
+	mPairDisagree = telemetry.Default.Counter(telemetry.MetricCheckPairDisagree)
+	mDivergence   = telemetry.Default.Histogram(telemetry.MetricCheckDivergenceScore)
+)
+
+// divergenceScale converts a max-abs-diff score to integer nanounits for the
+// histogram: a 1e-3 divergence lands near bucket 20, a 1.0 divergence near
+// bucket 30.
+const divergenceScale = 1e9
+
+// observeDivergence records how far apart a disagreeing result pair is. It
+// only runs after a pair has already failed Consistent, so its extra Compare
+// passes cost nothing on agreeing (hot-path) votes.
+func observeDivergence(a, b map[string]*tensor.Tensor) {
+	crit := Criterion{Metric: MaxAbsDiff}
+	for name, at := range a {
+		bt, ok := b[name]
+		if !ok {
+			continue
+		}
+		score, _, err := Compare(at, bt, crit)
+		if err != nil {
+			continue
+		}
+		mDivergence.Observe(int64(score * divergenceScale))
+	}
+}

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -62,6 +64,13 @@ type EngineConfig struct {
 	// The monitor wires this to its spare-Assignment pool under the Recover
 	// response mode.
 	Replace ReplaceFunc
+	// Metrics receives the engine's telemetry series; nil uses
+	// telemetry.Default. Registration happens once at construction — the hot
+	// path only ever touches pre-resolved atomic handles.
+	Metrics *telemetry.Registry
+	// Tracer receives the engine's batch spans; nil uses
+	// telemetry.DefaultTracer.
+	Tracer *telemetry.Tracer
 }
 
 // ReplaceFunc obtains a bound replacement handle for a dead variant slot.
@@ -93,6 +102,12 @@ const (
 	EventReplaceFailed                        // recovery could not obtain a replacement
 	EventLadderDemoted                        // stage degraded a ladder rung
 	EventLadderPromoted                       // stage recovered a ladder rung
+
+	// eventKindEnd is one past the last defined kind. The severity/string
+	// exhaustiveness test walks [1, eventKindEnd) — add new kinds above this
+	// line and give them a String() case and a Severity() class, or that test
+	// fails.
+	eventKindEnd
 )
 
 func (k EventKind) String() string {
@@ -117,6 +132,23 @@ func (k EventKind) String() string {
 		return "ladder-promoted"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Severity classifies the kind for operator-facing streams: divergence
+// signals bear on the security argument itself; departures, timeouts and
+// demotions are degraded-but-operating; recoveries are routine lifecycle.
+func (k EventKind) Severity() telemetry.Severity {
+	switch k {
+	case EventDivergence, EventLateDissent:
+		return telemetry.SevSecurity
+	case EventVariantDown, EventVariantDropped, EventVariantTimeout,
+		EventReplaceFailed, EventLadderDemoted:
+		return telemetry.SevWarn
+	case EventVariantReplaced, EventLadderPromoted:
+		return telemetry.SevInfo
+	default:
+		return 0
 	}
 }
 
@@ -179,6 +211,20 @@ type Event struct {
 	Time     time.Time
 }
 
+// MarshalJSON renders the event for operator streams (/events SSE) with the
+// kind spelled out and its severity classification attached.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Time     time.Time `json:"time"`
+		Kind     string    `json:"kind"`
+		Severity string    `json:"severity"`
+		Stage    int       `json:"stage"`
+		BatchID  uint64    `json:"batch_id"`
+		Variants []string  `json:"variants,omitempty"`
+		Detail   string    `json:"detail,omitempty"`
+	}{e.Time, e.Kind.String(), e.Kind.Severity().String(), e.Stage, e.BatchID, e.Variants, e.Detail})
+}
+
 // Engine executes batches through the partitioned variant pipeline. Create
 // with NewEngine, start with Start, feed with Submit, consume Outputs.
 type Engine struct {
@@ -194,6 +240,14 @@ type Engine struct {
 	// stage worker, read by Ladder).
 	ladder []atomic.Int32
 
+	// eventBus fans security events out to subscribers (the /events SSE
+	// stream) without ever blocking a producer; its ring also backs the
+	// Events() snapshot. met and tracer are the pre-resolved telemetry
+	// handles — registered once at construction, recorded into lock-free.
+	eventBus *telemetry.Bus[Event]
+	met      *engineMetrics
+	tracer   *telemetry.Tracer
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -202,7 +256,6 @@ type Engine struct {
 	fwdWg sync.WaitGroup
 
 	mu      sync.Mutex
-	events  []Event
 	failed  error
 	started bool
 }
@@ -216,6 +269,7 @@ type routerMsg struct {
 	// submit
 	submit  bool
 	id      uint64
+	trace   uint64
 	tensors map[string]*tensor.Tensor
 	start   time.Time
 	// stage completion
@@ -239,6 +293,7 @@ type stage struct {
 
 type stageWork struct {
 	id      uint64
+	trace   uint64
 	tensors map[string]*tensor.Tensor
 }
 
@@ -281,6 +336,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if len(cfg.Policy.Criteria) == 0 {
 		cfg.Policy = check.DefaultPolicy()
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = telemetry.DefaultTracer
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		cfg:       cfg,
@@ -289,6 +352,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		slots:     make(chan struct{}, cfg.MaxInFlight),
 		replReqCh: make(chan replaceReq, 4*len(cfg.Stages)+16),
 		ladder:    make([]atomic.Int32, len(cfg.Stages)),
+		eventBus:  telemetry.NewBus[Event](4096),
+		met:       newEngineMetrics(reg, len(cfg.Stages)),
+		tracer:    tracer,
 		ctx:       ctx,
 		cancel:    cancel,
 	}
@@ -429,12 +495,22 @@ func (e *Engine) Started() bool {
 	return e.started
 }
 
-// Events returns a snapshot of recorded security events.
+// Events returns a deep-copied snapshot of the retained security events:
+// mutating a returned event (including its Variants slice) can never alias
+// engine state. The backing store is a fixed ring — the oldest events are
+// evicted once it fills; Total/Dropped accounting lives on EventBus.
 func (e *Engine) Events() []Event {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]Event(nil), e.events...)
+	evs := e.eventBus.Snapshot()
+	for i := range evs {
+		evs[i].Variants = append([]string(nil), evs[i].Variants...)
+	}
+	return evs
 }
+
+// EventBus exposes the engine's event stream for subscribers (the monitor's
+// /events SSE endpoint). Subscribers that fall behind lose events — the
+// engine never blocks on them.
+func (e *Engine) EventBus() *telemetry.Bus[Event] { return e.eventBus }
 
 // Ladder returns each stage's current degradation rung. Transitions are also
 // recorded as EventLadderDemoted/EventLadderPromoted events.
@@ -446,13 +522,16 @@ func (e *Engine) Ladder() []LadderRung {
 	return out
 }
 
-func (e *Engine) setLadder(stage int, r LadderRung) { e.ladder[stage].Store(int32(r)) }
+func (e *Engine) setLadder(stage int, r LadderRung) {
+	e.ladder[stage].Store(int32(r))
+	e.met.stages[stage].ladder.Set(int64(r))
+}
 
 func (e *Engine) recordEvent(ev Event) {
 	ev.Time = time.Now()
-	e.mu.Lock()
-	e.events = append(e.events, ev)
-	e.mu.Unlock()
+	e.eventBus.Publish(ev)
+	e.met.eventsPublished.Inc()
+	e.met.eventsDropped.Set(int64(e.eventBus.Dropped()))
 }
 
 // Submit enqueues one batch of model inputs, blocking while the pipeline is
@@ -465,6 +544,9 @@ func (e *Engine) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
 	}
 	e.mu.Unlock()
 	id := batchIDs.Add(1)
+	// The batch-scoped trace ID rides the wire header to every variant and
+	// back; zero (telemetry disabled) turns off all span recording downstream.
+	trace := telemetry.NewTraceID()
 
 	select {
 	case e.slots <- struct{}{}:
@@ -472,7 +554,7 @@ func (e *Engine) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
 		return 0, ErrEngineStopped
 	}
 	select {
-	case e.routerCh <- routerMsg{submit: true, id: id, tensors: inputs, start: time.Now()}:
+	case e.routerCh <- routerMsg{submit: true, id: id, trace: trace, tensors: inputs, start: time.Now()}:
 		return id, nil
 	case <-e.ctx.Done():
 		return 0, ErrEngineStopped
@@ -509,6 +591,7 @@ type batchState struct {
 	tensors    map[string]*tensor.Tensor
 	dispatched []bool
 	start      time.Time
+	trace      uint64
 	failed     error
 	delivered  bool
 }
@@ -531,7 +614,7 @@ func (e *Engine) router() {
 				for id, b := range batches {
 					if !b.delivered {
 						b.delivered = true
-						e.deliver(BatchResult{ID: id, Err: m.fatal, Latency: time.Since(b.start)})
+						e.deliver(BatchResult{ID: id, Err: m.fatal}, b.trace, b.start)
 					}
 					delete(batches, id)
 				}
@@ -540,6 +623,7 @@ func (e *Engine) router() {
 					tensors:    make(map[string]*tensor.Tensor, len(m.tensors)+8),
 					dispatched: make([]bool, len(e.stages)),
 					start:      m.start,
+					trace:      m.trace,
 				}
 				for k, v := range m.tensors {
 					b.tensors[k] = v
@@ -553,7 +637,7 @@ func (e *Engine) router() {
 				}
 				if m.err != nil {
 					b.delivered = true
-					e.deliver(BatchResult{ID: m.id, Err: m.err, Latency: time.Since(b.start)})
+					e.deliver(BatchResult{ID: m.id, Err: m.err}, b.trace, b.start)
 					delete(batches, m.id)
 					if e.respMode() == Halt {
 						e.failAll(batches, m.err)
@@ -570,7 +654,7 @@ func (e *Engine) router() {
 						out[name] = b.tensors[name]
 					}
 					b.delivered = true
-					e.deliver(BatchResult{ID: m.id, Tensors: out, Latency: time.Since(b.start)})
+					e.deliver(BatchResult{ID: m.id, Tensors: out}, b.trace, b.start)
 					delete(batches, m.id)
 				}
 			}
@@ -590,13 +674,28 @@ func (e *Engine) failAll(batches map[uint64]*batchState, cause error) {
 	for id, b := range batches {
 		if !b.delivered {
 			b.delivered = true
-			e.deliver(BatchResult{ID: id, Err: err, Latency: time.Since(b.start)})
+			e.deliver(BatchResult{ID: id, Err: err}, b.trace, b.start)
 		}
 		delete(batches, id)
 	}
 }
 
-func (e *Engine) deliver(r BatchResult) {
+// deliver stamps the batch latency from a single clock read (shared with the
+// root span's end) and hands the result to the consumer.
+func (e *Engine) deliver(r BatchResult, trace uint64, start time.Time) {
+	now := time.Now()
+	r.Latency = now.Sub(start)
+	if telemetry.Enabled() {
+		e.met.batches.Inc()
+		if r.Err != nil {
+			e.met.batchErrors.Inc()
+		}
+		e.met.batchNs.Observe(r.Latency.Nanoseconds())
+		e.tracer.Record(telemetry.Span{
+			Trace: trace, Batch: r.ID, Name: "batch", Stage: -1,
+			Start: start.UnixNano(), End: now.UnixNano(),
+		})
+	}
 	select {
 	case e.outCh <- r:
 	case <-e.ctx.Done():
@@ -638,7 +737,7 @@ func (e *Engine) dispatchReady(id uint64, b *batchState) {
 			ins[in] = b.tensors[in]
 		}
 		select {
-		case s.workCh <- stageWork{id: id, tensors: ins}:
+		case s.workCh <- stageWork{id: id, trace: b.trace, tensors: ins}:
 		case <-e.ctx.Done():
 			return
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -13,12 +14,16 @@ import (
 // gather accumulates variant results for one (stage, batch) checkpoint.
 type gather struct {
 	id      uint64
+	trace   uint64 // batch trace ID; zero when telemetry is off
 	mask    []bool // handle was live at dispatch
 	arrived []bool
 	results []map[string]*tensor.Tensor // nil = crashed / not arrived
 	errs    []string
 	count   int // arrivals among masked handles
 	want    int // masked handle count
+	// dispatchedAt anchors the gather-latency histogram and the gather span;
+	// only set when the batch is traced.
+	dispatchedAt time.Time
 	// deadline is when non-arrived variants are declared dead; zero when
 	// StageTimeout is disabled.
 	deadline time.Time
@@ -116,6 +121,11 @@ func (e *Engine) stageWorker(s *stage) {
 		// the drain runs after every event — never from inside evaluateGather,
 		// whose callers may be mid-iteration over the gathers map.
 		st.drainPending()
+		if telemetry.Enabled() {
+			sm := &e.met.stages[s.idx]
+			sm.queueDepth.Set(int64(len(st.pending)))
+			sm.windowOcc.Set(int64(len(st.gathers)))
+		}
 	}
 }
 
@@ -152,6 +162,7 @@ func (st *stageState) dispatch(w stageWork) {
 	st.lastID = w.id
 	g := &gather{
 		id:      w.id,
+		trace:   w.trace,
 		mask:    append([]bool(nil), st.live...),
 		arrived: make([]bool, len(st.live)),
 		results: make([]map[string]*tensor.Tensor, len(st.live)),
@@ -165,12 +176,22 @@ func (st *stageState) dispatch(w stageWork) {
 	if e.cfg.StageTimeout > 0 {
 		g.deadline = time.Now().Add(e.cfg.StageTimeout)
 	}
+	// One clock read opens the dispatch span; each successful send advances
+	// `last`, which doubles as the next send's start and finally the dispatch
+	// end, so a traced dispatch costs 1+N clock reads instead of 2+2N.
+	var t0, last time.Time
+	if w.trace != 0 && telemetry.Enabled() {
+		t0 = time.Now()
+		g.dispatchedAt = t0
+		last = t0
+	}
 	st.gathers[w.id] = g
 	// Encode-once fan-out: the batch is marshalled exactly once, into a
 	// pooled buffer, regardless of how many variants serve the stage. Each
 	// live handle transmits the same payload (secure channels seal their own
-	// frame from it without touching it).
-	buf := wire.MarshalBatch(&wire.Batch{ID: w.id, Tensors: w.tensors})
+	// frame from it without touching it). The trace ID rides the batch header
+	// so variant-side spans stitch into this batch's timeline.
+	buf := wire.MarshalBatch(&wire.Batch{ID: w.id, Trace: w.trace, Tensors: w.tensors})
 	payload := buf.Payload()
 	for i, h := range s.spec.Handles {
 		if !st.live[i] {
@@ -178,9 +199,26 @@ func (st *stageState) dispatch(w stageWork) {
 		}
 		if err := h.sendEncoded(w.id, payload); err != nil {
 			st.markDead(i, EventVariantDown, w.id, err.Error())
+			continue
+		}
+		if !t0.IsZero() {
+			// Per-variant child span covering seal + transmit of this
+			// variant's copy (per-op seal cost is also in mvtee_chan_seal_ns).
+			now := time.Now()
+			e.tracer.Record(telemetry.Span{
+				Trace: w.trace, Batch: w.id, Name: "send", Stage: s.idx,
+				Variant: h.ID(), Start: last.UnixNano(), End: now.UnixNano(),
+			})
+			last = now
 		}
 	}
 	buf.Free()
+	if !t0.IsZero() {
+		e.tracer.Record(telemetry.Span{
+			Trace: w.trace, Batch: w.id, Name: "dispatch", Stage: s.idx,
+			Start: t0.UnixNano(), End: last.UnixNano(),
+		})
+	}
 	// markDead may already have completed the gather.
 	if gg, ok := st.gathers[w.id]; ok {
 		st.evaluateGather(gg)
@@ -328,6 +366,42 @@ func (e *Engine) post(m routerMsg) {
 	}
 }
 
+// closeGather resolves a gather (refunding its window credit) and records its
+// dispatch→close latency when the batch is traced. It returns the close
+// timestamp (zero when untraced) so callers can reuse the clock read as the
+// start of whatever they do next.
+func (st *stageState) closeGather(g *gather) time.Time {
+	delete(st.gathers, g.id)
+	if g.dispatchedAt.IsZero() {
+		return time.Time{}
+	}
+	now := time.Now()
+	st.e.met.stages[st.s.idx].gatherNs.Observe(now.Sub(g.dispatchedAt).Nanoseconds())
+	st.e.tracer.Record(telemetry.Span{
+		Trace: g.trace, Batch: g.id, Name: "gather", Stage: st.s.idx,
+		Start: g.dispatchedAt.UnixNano(), End: now.UnixNano(),
+	})
+	return now
+}
+
+// forward releases a checkpoint output downstream, counting it and marking
+// the release instant on traced batches. Hot callers that just took a clock
+// reading pass it as now; a zero now means take a fresh one.
+func (st *stageState) forward(g *gather, outs map[string]*tensor.Tensor, now time.Time) {
+	st.e.post(routerMsg{done: true, stageIdx: st.s.idx, id: g.id, outs: outs})
+	if !g.dispatchedAt.IsZero() {
+		st.e.met.stages[st.s.idx].forwards.Inc()
+		if now.IsZero() {
+			now = time.Now()
+		}
+		ns := now.UnixNano()
+		st.e.tracer.Record(telemetry.Span{
+			Trace: g.trace, Batch: g.id, Name: "forward", Stage: st.s.idx,
+			Start: ns, End: ns,
+		})
+	}
+}
+
 // evaluateGather applies the checkpoint decision logic:
 //
 //   - fast path (single variant): forward as soon as the result arrives;
@@ -341,7 +415,7 @@ func (st *stageState) evaluateGather(g *gather) {
 		if !g.allArrived() {
 			return
 		}
-		delete(st.gathers, g.id)
+		ts := st.closeGather(g)
 		res, idxMap := g.voteSlice()
 		if res[0] == nil {
 			e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id,
@@ -349,7 +423,7 @@ func (st *stageState) evaluateGather(g *gather) {
 					s.idx, s.spec.Handles[idxMap[0]].ID(), g.errs[idxMap[0]])})
 			return
 		}
-		e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id, outs: res[0]})
+		st.forward(g, res[0], ts)
 		return
 	}
 
@@ -364,7 +438,7 @@ func (st *stageState) evaluateGather(g *gather) {
 		v, err := check.Vote(res, e.cfg.Policy, check.Majority)
 		if err == nil && v.OK && v.Chosen >= 0 {
 			g.forwarded = true
-			e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id, outs: res[v.Chosen]})
+			st.forward(g, res[v.Chosen], time.Time{})
 		}
 		return
 	}
@@ -372,18 +446,37 @@ func (st *stageState) evaluateGather(g *gather) {
 		return
 	}
 
-	// Final (full) vote.
-	delete(st.gathers, g.id)
+	// Final (full) vote. The gather-close timestamp doubles as the vote span
+	// start (assembling the vote slice is part of checkpoint evaluation).
+	v0 := st.closeGather(g)
 	res, idxMap := g.voteSlice()
 	v, err := check.Vote(res, e.cfg.Policy, e.cfg.Vote)
+	var vEnd time.Time
+	if !v0.IsZero() {
+		vEnd = time.Now()
+		e.tracer.Record(telemetry.Span{
+			Trace: g.trace, Batch: g.id, Name: "vote", Stage: s.idx,
+			Start: v0.UnixNano(), End: vEnd.UnixNano(),
+		})
+	}
 	if err != nil {
 		e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id,
 			err: fmt.Errorf("monitor: stage %d vote: %w", s.idx, err)})
 		return
 	}
+	if telemetry.Enabled() {
+		switch {
+		case v.OK:
+			e.met.voteOK.Inc()
+		case g.forwarded:
+			e.met.voteLateDissent.Inc()
+		default:
+			e.met.voteDivergence.Inc()
+		}
+	}
 	if v.OK {
 		if !g.forwarded {
-			e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id, outs: res[v.Chosen]})
+			st.forward(g, res[v.Chosen], vEnd)
 		}
 		return
 	}
@@ -438,7 +531,7 @@ func (st *stageState) finishDiverged(g *gather, v check.Verdict, res []map[strin
 		return // downstream already has the quorum output
 	}
 	if v.Chosen >= 0 && len(v.Agreeing)*2 > len(res) {
-		e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id, outs: res[v.Chosen]})
+		st.forward(g, res[v.Chosen], time.Time{})
 		return
 	}
 	e.post(routerMsg{done: true, stageIdx: s.idx, id: g.id,

@@ -52,7 +52,7 @@ func (f *fakeVariant) start(t *testing.T, partition int) *Handle {
 				}
 				outs, errStr := f.behave(m.ID, m.Tensors)
 				f.served.Add(1)
-				res := &wire.Result{ID: m.ID, VariantID: f.id, Err: errStr, Tensors: outs}
+				res := &wire.Result{ID: m.ID, Trace: m.Trace, VariantID: f.id, Err: errStr, Tensors: outs}
 				if err := wire.Send(vc, res); err != nil {
 					return
 				}

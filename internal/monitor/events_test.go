@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEventsDeepCopy verifies Events() hands the caller an isolated copy:
+// mutating a returned event's Variants slice must not corrupt the engine's
+// retained log.
+func TestEventsDeepCopy(t *testing.T) {
+	v0 := &fakeVariant{id: "s0", behave: doubler(0)}
+	v1 := &fakeVariant{id: "s1", behave: incrementer()}
+	e := buildEngine(t, twoStageConfig([]*Handle{v0.start(t, 0)}, []*Handle{v1.start(t, 1)}))
+
+	e.recordEvent(Event{Kind: EventVariantDown, Stage: 0, Variants: []string{"original"}, Time: time.Now()})
+	evs := e.Events()
+	if len(evs) != 1 || evs[0].Variants[0] != "original" {
+		t.Fatalf("unexpected log %+v", evs)
+	}
+	evs[0].Variants[0] = "mutated"
+	if got := e.Events()[0].Variants[0]; got != "original" {
+		t.Fatalf("caller mutation leaked into the engine log: %q", got)
+	}
+}
+
+// TestEventsConcurrentAccess hammers recordEvent against Events() readers
+// that write through the returned slices; under -race this proves the
+// snapshot is fully decoupled from the producer.
+func TestEventsConcurrentAccess(t *testing.T) {
+	v0 := &fakeVariant{id: "s0", behave: doubler(0)}
+	v1 := &fakeVariant{id: "s1", behave: incrementer()}
+	e := buildEngine(t, twoStageConfig([]*Handle{v0.start(t, 0)}, []*Handle{v1.start(t, 1)}))
+
+	const iters = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			e.recordEvent(Event{Kind: EventVariantTimeout, Stage: i % 2,
+				Variants: []string{"a", "b"}, Time: time.Now()})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			for _, ev := range e.Events() {
+				for j := range ev.Variants {
+					ev.Variants[j] = "scribbled" // must be a private copy
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	for _, ev := range e.Events() {
+		for _, v := range ev.Variants {
+			if v == "scribbled" {
+				t.Fatal("reader writes reached the engine's retained events")
+			}
+		}
+	}
+}
+
+// TestEventKindExhaustive walks every defined kind and fails when one lacks a
+// String() case or a Severity() classification — the compile-time-adjacent
+// guard that forces new kinds to be classified for the /events stream.
+func TestEventKindExhaustive(t *testing.T) {
+	for k := EventKind(1); k < eventKindEnd; k++ {
+		if strings.HasPrefix(k.String(), "EventKind(") {
+			t.Errorf("kind %d has no String() case", int(k))
+		}
+		if !k.Severity().Valid() {
+			t.Errorf("kind %v has no Severity() classification", k)
+		}
+	}
+	// And the inverse: values outside the defined range stay unclassified.
+	if EventKind(0).Severity().Valid() || eventKindEnd.Severity().Valid() {
+		t.Error("out-of-range kinds must not carry a severity")
+	}
+}
+
+// TestEventJSON checks the operator-stream rendering: kind spelled out,
+// severity attached, empty fields omitted.
+func TestEventJSON(t *testing.T) {
+	ev := Event{
+		Kind:     EventDivergence,
+		Stage:    2,
+		BatchID:  7,
+		Variants: []string{"p2-tvm-0"},
+		Detail:   "vote failed",
+		Time:     time.Unix(1700000000, 0).UTC(),
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["kind"] != "divergence" || m["severity"] != "security" {
+		t.Fatalf("kind/severity = %v/%v", m["kind"], m["severity"])
+	}
+	if m["stage"] != float64(2) || m["batch_id"] != float64(7) {
+		t.Fatalf("stage/batch = %v/%v", m["stage"], m["batch_id"])
+	}
+	if _, ok := m["variants"]; !ok {
+		t.Fatal("variants missing")
+	}
+
+	empty, err := json.Marshal(Event{Kind: EventLadderPromoted, Time: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), "variants") || strings.Contains(string(empty), "detail") {
+		t.Fatalf("empty fields not omitted: %s", empty)
+	}
+}

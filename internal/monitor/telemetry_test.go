@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// traceEngineConfig wires a private registry and tracer so assertions are
+// isolated from other tests sharing the process defaults.
+func traceEngineConfig(t *testing.T, nVariants int) (EngineConfig, *telemetry.Registry, *telemetry.Tracer) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(1024)
+	s0 := make([]*Handle, nVariants)
+	s1 := make([]*Handle, nVariants)
+	for i := 0; i < nVariants; i++ {
+		v0 := &fakeVariant{id: "s0", behave: doubler(0)}
+		v1 := &fakeVariant{id: "s1", behave: incrementer()}
+		s0[i] = v0.start(t, 0)
+		s1[i] = v1.start(t, 1)
+	}
+	cfg := twoStageConfig(s0, s1)
+	cfg.Metrics = reg
+	cfg.Tracer = tr
+	return cfg, reg, tr
+}
+
+// TestBatchTracePropagation runs batches through a two-stage pipeline and
+// checks the tentpole tracing invariant: every span recorded for one batch —
+// dispatch, per-variant send, gather, vote, forward, and the enclosing batch
+// span — carries the same nonzero TraceID, and distinct batches carry
+// distinct TraceIDs.
+func TestBatchTracePropagation(t *testing.T) {
+	cfg, reg, tr := traceEngineConfig(t, 3)
+	e := buildEngine(t, cfg)
+
+	const batches = 3
+	for i := 0; i < batches; i++ {
+		if _, err := e.Infer(input(float32(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spans := tr.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	traceOf := make(map[uint64]uint64) // batch ID -> trace
+	names := make(map[uint64]map[string]int)
+	for _, s := range spans {
+		if s.Trace == 0 {
+			t.Fatalf("span %+v has zero trace", s)
+		}
+		if prev, ok := traceOf[s.Batch]; ok && prev != s.Trace {
+			t.Fatalf("batch %d spans carry two traces: %d and %d", s.Batch, prev, s.Trace)
+		}
+		traceOf[s.Batch] = s.Trace
+		if names[s.Batch] == nil {
+			names[s.Batch] = make(map[string]int)
+		}
+		names[s.Batch][s.Name]++
+	}
+	if len(traceOf) != batches {
+		t.Fatalf("spans cover %d batches, want %d", len(traceOf), batches)
+	}
+	seen := make(map[uint64]bool)
+	for b, tr := range traceOf {
+		if seen[tr] {
+			t.Fatalf("trace %d reused across batches", tr)
+		}
+		seen[tr] = true
+		// Two stages, three variants: each batch must show the full span
+		// vocabulary, with one send per variant per stage.
+		for name, want := range map[string]int{
+			"batch": 1, "dispatch": 2, "send": 6, "gather": 2, "vote": 2, "forward": 2,
+		} {
+			if got := names[b][name]; got != want {
+				t.Errorf("batch %d: %d %q spans, want %d (have %v)", b, got, name, want, names[b])
+			}
+		}
+	}
+
+	// The metrics side of the same run: the batch counter and latency
+	// histogram must count exactly the batches executed.
+	var counted, histCount uint64
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case telemetry.MetricEngineBatches:
+			counted = uint64(m.Value)
+		case telemetry.MetricEngineBatchNs:
+			histCount = m.Count
+		}
+	}
+	if counted != batches || histCount != batches {
+		t.Fatalf("batches counter = %d, latency count = %d, want %d", counted, histCount, batches)
+	}
+}
+
+// TestTraceDisabledMintsNothing verifies the zero-cost-when-disabled
+// contract's tracing half: with telemetry off, batches carry trace 0 and no
+// spans are recorded.
+func TestTraceDisabledMintsNothing(t *testing.T) {
+	telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(true)
+	cfg, _, tr := traceEngineConfig(t, 1)
+	e := buildEngine(t, cfg)
+	if _, err := e.Infer(input(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Total(); got != 0 {
+		t.Fatalf("%d spans recorded while disabled", got)
+	}
+}
+
+// TestWarmAllocsPin pins the observability overhead on the warm hot path:
+// a fully instrumented dispatch→gather→deliver cycle must not allocate more
+// than the identical cycle with telemetry disabled. All telemetry recording
+// goes through pre-registered atomics, a preallocated span ring and a
+// preallocated event ring, so the deltas should be zero; the pin allows a
+// tiny slack for runtime noise (background sweeps, channel growth).
+func TestWarmAllocsPin(t *testing.T) {
+	measure := func(enabled bool) float64 {
+		cfg, _, _ := traceEngineConfig(t, 1)
+		e := buildEngine(t, cfg)
+		telemetry.SetEnabled(enabled)
+		defer telemetry.SetEnabled(true)
+		in := input(3)
+		for i := 0; i < 5; i++ { // warm pools and codec buffers
+			if _, err := e.Infer(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		best := -1.0
+		for trial := 0; trial < 3; trial++ {
+			got := testing.AllocsPerRun(20, func() {
+				if _, err := e.Infer(in); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if best < 0 || got < best {
+				best = got
+			}
+		}
+		return best
+	}
+	disabled := measure(false)
+	enabled := measure(true)
+	t.Logf("warm Infer allocs/op: disabled=%.1f enabled=%.1f", disabled, enabled)
+	// Slack of 2 allocs/op absorbs scheduler noise across goroutines; the
+	// telemetry layer itself must add nothing.
+	if enabled > disabled+2 {
+		t.Fatalf("telemetry adds allocations on the warm path: enabled=%.1f disabled=%.1f", enabled, disabled)
+	}
+}

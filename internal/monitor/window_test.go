@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -158,6 +159,10 @@ func TestInflightWindowThrottlesDispatch(t *testing.T) {
 // the batch (the dispatcher marshals once and fans the same payload out),
 // and it matches the deterministic pooled codec.
 func TestDispatchEncodesOnceAcrossVariants(t *testing.T) {
+	// With telemetry off the engine mints a zero trace ID, so the reference
+	// marshal below (also zero-trace) must match the dispatched bytes exactly.
+	telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(true)
 	conns := []*scriptConn{newScriptConn("v0"), newScriptConn("v1"), newScriptConn("v2")}
 	handles := make([]*Handle, len(conns))
 	for i, c := range conns {

@@ -17,7 +17,10 @@ package pipesim
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // StageProfile carries the calibrated costs of one pipeline stage.
@@ -76,6 +79,11 @@ type Profile struct {
 	// later than the quorum forward point. This is what bounds a stage's
 	// straggler backlog. Zero disables the window.
 	InflightWindow int
+	// Metrics, when non-nil, receives the simulated run under the same
+	// series names the live engine emits (mvtee_engine_batches_total,
+	// mvtee_engine_batch_latency_ns, per-stage mvtee_engine_gather_ns), so
+	// simulated and measured runs can be compared on one dashboard.
+	Metrics *telemetry.Registry
 }
 
 // Metrics mirrors the bench package's measurement summary.
@@ -160,6 +168,23 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 	}
 
 	nStages := len(p.Stages)
+
+	// Optional telemetry mirror: same series names as the live engine, fed
+	// with simulated timestamps.
+	var (
+		mBatches  *telemetry.Counter
+		mBatchNs  *telemetry.Histogram
+		mGatherNs []*telemetry.Histogram
+	)
+	if p.Metrics != nil {
+		mBatches = p.Metrics.Counter(telemetry.MetricEngineBatches)
+		mBatchNs = p.Metrics.Histogram(telemetry.MetricEngineBatchNs)
+		mGatherNs = make([]*telemetry.Histogram, nStages)
+		for s := 0; s < nStages; s++ {
+			mGatherNs[s] = p.Metrics.Histogram(telemetry.MetricEngineGatherNs,
+				telemetry.L("stage", strconv.Itoa(s)))
+		}
+	}
 
 	// Static processor-sharing contention when variant demand exceeds the
 	// core budget.
@@ -262,6 +287,9 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			monitorFree[s] = postDone
 			forward[b][s] = postDone
 			gatherClose[b][s] = max(lastFinish(fins, cutoff), postDone)
+			if mGatherNs != nil {
+				mGatherNs[s].Observe(int64(gatherClose[b][s] - dispatched))
+			}
 
 			if sp.Output {
 				// Output checkpoints must be fully validated before release
@@ -277,6 +305,10 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			batchEnd = forward[b][nStages-1]
 		}
 		complete[b] = batchEnd
+		if mBatches != nil {
+			mBatches.Inc()
+			mBatchNs.Observe(int64(complete[b] - submit[b]))
+		}
 	}
 
 	total := complete[batches-1] - submit[0]

@@ -81,6 +81,7 @@ func Retry(p RetryPolicy, op func() error) error {
 	var err error
 	for k := 0; k < p.MaxAttempts; k++ {
 		if k > 0 {
+			mRetries.Inc()
 			time.Sleep(p.delay(k, rng))
 		}
 		if err = op(); err == nil {
@@ -195,6 +196,7 @@ func (r *ReliableConn) current(prev Conn) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	mRedials.Inc()
 	r.conn = conn
 	return conn, nil
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/enclave"
+	"repro/internal/telemetry"
 )
 
 // Conn is a message-oriented channel between monitor and variant. Send and
@@ -187,14 +188,23 @@ func (p *plainConn) Send(b []byte) error {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
 	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetWriteDeadline)
-	return writeFrame(p.c, b)
+	if err := writeFrame(p.c, b); err != nil {
+		return err
+	}
+	countSent(len(b))
+	return nil
 }
 
 func (p *plainConn) Recv() ([]byte, error) {
 	p.recvMu.Lock()
 	defer p.recvMu.Unlock()
 	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetReadDeadline)
-	return readFrame(p.c)
+	frame, err := readFrame(p.c)
+	if err != nil {
+		return nil, err
+	}
+	countRecvd(len(frame))
+	return frame, nil
 }
 
 // SendBuf frames the buffer's payload in place (the length word lands in the
@@ -209,8 +219,11 @@ func (p *plainConn) SendBuf(b *Buf) error {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
 	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetWriteDeadline)
-	_, err := p.c.Write(frame)
-	return err
+	if _, err := p.c.Write(frame); err != nil {
+		return err
+	}
+	countSent(b.n)
+	return nil
 }
 
 // SendShared frames the shared payload without copying it, scattering the
@@ -225,8 +238,11 @@ func (p *plainConn) SendShared(payload []byte) error {
 	defer p.sendMu.Unlock()
 	ioDeadline(time.Duration(p.ioTimeout.Load()), p.c.SetWriteDeadline)
 	bufs := net.Buffers{hdr[:], payload}
-	_, err := bufs.WriteTo(p.c)
-	return err
+	if _, err := bufs.WriteTo(p.c); err != nil {
+		return err
+	}
+	countSent(len(payload))
+	return nil
 }
 
 // RecvBuf receives one message into the connection's pooled receive buffer;
@@ -250,6 +266,7 @@ func (p *plainConn) RecvBuf() ([]byte, error) {
 	if cap(frame) <= maxRecvRetain {
 		p.recvBuf = frame
 	}
+	countRecvd(len(frame))
 	return frame, nil
 }
 
@@ -331,12 +348,23 @@ func (s *SecureConn) Send(b []byte) error {
 	var nonce [12]byte
 	binary.BigEndian.PutUint64(nonce[4:], seq)
 	aad := putSeqAAD(s.sendAAD, seq)
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
 	ct := s.sendAEAD.Seal(nil, nonce[:], b, aad)
+	if !t0.IsZero() {
+		mSealNs.Observe(time.Since(t0).Nanoseconds())
+	}
 	frame := make([]byte, 8+len(ct))
 	binary.BigEndian.PutUint64(frame, seq)
 	copy(frame[8:], ct)
 	ioDeadline(time.Duration(s.ioTimeout.Load()), s.c.SetWriteDeadline)
-	return writeFrame(s.c, frame)
+	if err := writeFrame(s.c, frame); err != nil {
+		return err
+	}
+	countSent(len(frame))
+	return nil
 }
 
 // SendBuf seals the buffer's payload in place — the ciphertext and tag land
@@ -356,13 +384,23 @@ func (s *SecureConn) SendBuf(b *Buf) error {
 	binary.BigEndian.PutUint64(nonce[4:], seq)
 	aad := putSeqAAD(s.sendAAD, seq)
 	payload := b.Payload()
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
 	ct := s.sendAEAD.Seal(payload[:0], nonce[:], payload, aad)
+	if !t0.IsZero() {
+		mSealNs.Observe(time.Since(t0).Nanoseconds())
+	}
 	frame := b.full[:BufHeadroom+len(ct)]
 	binary.BigEndian.PutUint32(frame[:frameHdrLen], uint32(recSeqLen+len(ct)))
 	binary.BigEndian.PutUint64(frame[frameHdrLen:BufHeadroom], seq)
 	ioDeadline(time.Duration(s.ioTimeout.Load()), s.c.SetWriteDeadline)
-	_, err := s.c.Write(frame)
-	return err
+	if _, err := s.c.Write(frame); err != nil {
+		return err
+	}
+	countSent(recSeqLen + len(ct))
+	return nil
 }
 
 // SendShared seals the shared payload into a pooled frame of this
@@ -381,13 +419,23 @@ func (s *SecureConn) SendShared(payload []byte) error {
 	var nonce [12]byte
 	binary.BigEndian.PutUint64(nonce[4:], seq)
 	aad := putSeqAAD(s.sendAAD, seq)
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
 	ct := s.sendAEAD.Seal(f.full[BufHeadroom:BufHeadroom], nonce[:], payload, aad)
+	if !t0.IsZero() {
+		mSealNs.Observe(time.Since(t0).Nanoseconds())
+	}
 	frame := f.full[:BufHeadroom+len(ct)]
 	binary.BigEndian.PutUint32(frame[:frameHdrLen], uint32(recSeqLen+len(ct)))
 	binary.BigEndian.PutUint64(frame[frameHdrLen:BufHeadroom], seq)
 	ioDeadline(time.Duration(s.ioTimeout.Load()), s.c.SetWriteDeadline)
-	_, err := s.c.Write(frame)
-	return err
+	if _, err := s.c.Write(frame); err != nil {
+		return err
+	}
+	countSent(recSeqLen + len(ct))
+	return nil
 }
 
 // Recv receives and decrypts one message, enforcing strict sequence order.
@@ -444,10 +492,18 @@ func (s *SecureConn) openLocked(frame []byte) ([]byte, error) {
 	binary.BigEndian.PutUint64(nonce[4:], seq)
 	aad := putSeqAAD(s.recvAAD, seq)
 	ct := frame[8:]
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
 	pt, err := s.recvAEAD.Open(ct[:0], nonce[:], ct, aad)
 	if err != nil {
 		return nil, fmt.Errorf("securechan: record auth: %w", err)
 	}
+	if !t0.IsZero() {
+		mOpenNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	countRecvd(len(frame))
 	return pt, nil
 }
 

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusRingSnapshot(t *testing.T) {
+	b := NewBus[int](3)
+	for i := 1; i <= 5; i++ {
+		b.Publish(i)
+	}
+	got := b.Snapshot()
+	if len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("snapshot = %v, want [3 4 5]", got)
+	}
+	if b.Total() != 5 || b.Len() != 3 {
+		t.Fatalf("total=%d len=%d", b.Total(), b.Len())
+	}
+}
+
+func TestBusFanOut(t *testing.T) {
+	b := NewBus[string](8)
+	s1 := b.Subscribe(4)
+	s2 := b.Subscribe(4)
+	defer s1.Close()
+	defer s2.Close()
+	b.Publish("x")
+	for _, s := range []*Sub[string]{s1, s2} {
+		select {
+		case v := <-s.C:
+			if v != "x" {
+				t.Fatalf("got %q", v)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("fan-out did not deliver")
+		}
+	}
+}
+
+func TestBusDropsWhenSubscriberFull(t *testing.T) {
+	b := NewBus[int](8)
+	s := b.Subscribe(1)
+	defer s.Close()
+	b.Publish(1) // fills the buffer
+	b.Publish(2) // dropped
+	b.Publish(3) // dropped
+	if s.Dropped() != 2 || b.Dropped() != 2 {
+		t.Fatalf("sub dropped=%d bus dropped=%d, want 2/2", s.Dropped(), b.Dropped())
+	}
+	if v := <-s.C; v != 1 {
+		t.Fatalf("delivered %d, want 1", v)
+	}
+	// Ring still retains everything regardless of subscriber slowness.
+	if got := b.Snapshot(); len(got) != 3 {
+		t.Fatalf("ring len = %d, want 3", len(got))
+	}
+}
+
+func TestBusCloseIdempotentAndDetaches(t *testing.T) {
+	b := NewBus[int](4)
+	s := b.Subscribe(1)
+	s.Close()
+	s.Close() // must not panic
+	b.Publish(1)
+	if _, ok := <-s.C; ok {
+		t.Fatal("closed sub channel must be drained/closed")
+	}
+}
+
+func TestBusPublishNeverBlocks(t *testing.T) {
+	b := NewBus[int](4)
+	_ = b.Subscribe(1) // never read
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			b.Publish(i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+}
+
+func TestBusConcurrent(t *testing.T) {
+	b := NewBus[int](64)
+	s := b.Subscribe(1024)
+	var recv sync.WaitGroup
+	recv.Add(1)
+	var n int
+	go func() {
+		defer recv.Done()
+		for range s.C {
+			n++
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				b.Publish(i)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	recv.Wait()
+	if b.Total() != 1000 {
+		t.Fatalf("total = %d, want 1000", b.Total())
+	}
+	if uint64(n)+s.Dropped() != 1000 {
+		t.Fatalf("delivered %d + dropped %d != 1000", n, s.Dropped())
+	}
+}
+
+func BenchmarkBusPublish(b *testing.B) {
+	bus := NewBus[int](4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(i)
+	}
+}

@@ -1,0 +1,357 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-receiver-safe so uninstrumented call sites cost a nil check.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically set/adjusted instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the fixed bucket count of every histogram: log2 buckets
+// covering observations from 0 up to 2^(HistBuckets-1)-1, with the last
+// bucket absorbing everything larger. 40 buckets span 1ns..~9 minutes when
+// observing nanoseconds — wider than any checkpoint latency this engine can
+// produce.
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket log2 latency histogram: Observe is lock-free
+// (one atomic add per bucket plus one for the sum) and allocation-free, so it
+// can sit directly on the dispatch/gather hot path. Bucket i counts
+// observations v with bits.Len64(v) == i, i.e. upper bound 2^i - 1.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	var u uint64
+	if v > 0 {
+		u = uint64(v)
+	}
+	b := bits.Len64(u)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.sum.Add(u)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (2^i - 1); the
+// last bucket is unbounded (+Inf in the Prometheus rendering).
+func BucketBound(i int) uint64 {
+	if i >= HistBuckets-1 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(i)) - 1
+}
+
+// Label is one metric dimension, rendered as name{key="value"}.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// entry is one registered time series.
+type entry struct {
+	name   string
+	labels []Label
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram) is
+// get-or-create and mutex-guarded — do it once at construction time, never on
+// the hot path; the returned handles record lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	index   map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*entry)}
+}
+
+// Default is the process-wide registry. Package-level instrumentation
+// (securechan, workpool, check, teeos, enclave) registers here; the engine
+// defaults here unless EngineConfig overrides it.
+var Default = NewRegistry()
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) lookup(name string, labels []Label, kind metricKind) *entry {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.index[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", key, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = &Histogram{}
+	}
+	r.entries = append(r.entries, e)
+	r.index[key] = e
+	return e
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on first
+// use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, labels, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name+labels, creating it
+// on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.lookup(name, labels, kindHistogram).h
+}
+
+// MetricSnapshot is one series' point-in-time state, JSON-serializable for
+// the bench report and the /trace-adjacent tooling.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	// Value carries counter and gauge readings.
+	Value int64 `json:"value,omitempty"`
+	// Count/Sum/Buckets carry histogram state; Buckets maps each non-empty
+	// bucket's upper bound (decimal, "+Inf" for the last) to its count.
+	Count   uint64            `json:"count,omitempty"`
+	Sum     uint64            `json:"sum,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every registered series in registration order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	out := make([]MetricSnapshot, 0, len(entries))
+	for _, e := range entries {
+		s := MetricSnapshot{Name: e.name, Kind: e.kind.String()}
+		if len(e.labels) > 0 {
+			s.Labels = make(map[string]string, len(e.labels))
+			for _, l := range e.labels {
+				s.Labels[l.Key] = l.Value
+			}
+		}
+		switch e.kind {
+		case kindCounter:
+			s.Value = int64(e.c.Value())
+		case kindGauge:
+			s.Value = e.g.Value()
+		case kindHistogram:
+			s.Count = e.h.Count()
+			s.Sum = e.h.Sum()
+			s.Buckets = make(map[string]uint64)
+			for i := 0; i < HistBuckets; i++ {
+				if n := e.h.buckets[i].Load(); n > 0 {
+					s.Buckets[bucketLabel(i)] = n
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func bucketLabel(i int) string {
+	if i >= HistBuckets-1 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", BucketBound(i))
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (hand-rolled; counters get _total-as-registered names, histograms emit
+// cumulative _bucket/_sum/_count series). Series sharing a metric name are
+// grouped under one # TYPE line as the format requires.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	byName := make(map[string][]*entry)
+	var order []string
+	for _, e := range entries {
+		if _, ok := byName[e.name]; !ok {
+			order = append(order, e.name)
+		}
+		byName[e.name] = append(byName[e.name], e)
+	}
+	sort.Strings(order)
+
+	for _, name := range order {
+		group := byName[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, group[0].kind); err != nil {
+			return err
+		}
+		for _, e := range group {
+			if err := writePromEntry(w, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromEntry(w io.Writer, e *entry) error {
+	switch e.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesKey(e.name, e.labels), e.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesKey(e.name, e.labels), e.g.Value())
+		return err
+	case kindHistogram:
+		var cum uint64
+		for i := 0; i < HistBuckets; i++ {
+			cum += e.h.buckets[i].Load()
+			le := bucketLabel(i)
+			bl := append(append([]Label(nil), e.labels...), L("le", le))
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesKey(e.name+"_bucket", bl), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesKey(e.name+"_sum", e.labels), e.h.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesKey(e.name+"_count", e.labels), e.h.Count())
+		return err
+	}
+	return nil
+}

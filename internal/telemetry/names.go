@@ -1,0 +1,59 @@
+package telemetry
+
+// Canonical metric names. They live here — not in the packages that emit
+// them — so live runs (internal/monitor) and simulated runs
+// (internal/pipesim) publish identical series, and the bench suite can
+// assert on stable names.
+const (
+	// Engine (monitor) series.
+	MetricEngineBatches        = "mvtee_engine_batches_total"
+	MetricEngineBatchErrors    = "mvtee_engine_batch_errors_total"
+	MetricEngineBatchNs        = "mvtee_engine_batch_latency_ns"
+	MetricEngineQueueDepth     = "mvtee_engine_stage_queue_depth"
+	MetricEngineWindowOccupied = "mvtee_engine_stage_window_occupancy"
+	MetricEngineGatherNs       = "mvtee_engine_gather_ns"
+	MetricEngineForwards       = "mvtee_engine_forwards_total"
+	MetricEngineLadderRung     = "mvtee_engine_ladder_rung"
+	MetricEngineVotes          = "mvtee_engine_votes_total"
+
+	// Secure channel series.
+	MetricChanBytesSent  = "mvtee_chan_bytes_sent_total"
+	MetricChanBytesRecv  = "mvtee_chan_bytes_recv_total"
+	MetricChanFramesSent = "mvtee_chan_frames_sent_total"
+	MetricChanFramesRecv = "mvtee_chan_frames_recv_total"
+	MetricChanSealNs     = "mvtee_chan_seal_ns"
+	MetricChanOpenNs     = "mvtee_chan_open_ns"
+	MetricChanRetries    = "mvtee_chan_retries_total"
+	MetricChanRedials    = "mvtee_chan_redials_total"
+
+	// Worker pool series.
+	MetricPoolRegions         = "mvtee_pool_regions_total"
+	MetricPoolParallelRegions = "mvtee_pool_parallel_regions_total"
+	MetricPoolOffers          = "mvtee_pool_offers_total"
+	MetricPoolAccepts         = "mvtee_pool_accepts_total"
+
+	// Cross-validation series.
+	MetricCheckVotes           = "mvtee_check_votes_total"
+	MetricCheckPairDisagree    = "mvtee_check_pair_disagree_total"
+	MetricCheckDivergenceScore = "mvtee_check_divergence_score"
+
+	// TEE OS / enclave series.
+	MetricTeeosSyscalls        = "mvtee_teeos_syscalls_total"
+	MetricTeeosSyscallsBlocked = "mvtee_teeos_syscalls_blocked_total"
+	MetricTeeosReads           = "mvtee_teeos_reads_total"
+	MetricEnclaveEPCBytes      = "mvtee_enclave_epc_bytes"
+	MetricEnclaveLaunches      = "mvtee_enclave_launches_total"
+	MetricEnclaveGrows         = "mvtee_enclave_grows_total"
+
+	// Event bus series. Dropped is a gauge mirroring the bus's cumulative
+	// fan-out drop count (updated at publish time).
+	MetricEventsPublished = "mvtee_events_published_total"
+	MetricEventsDropped   = "mvtee_events_dropped"
+)
+
+// Vote outcome label values for MetricEngineVotes.
+const (
+	VoteOutcomeOK          = "ok"
+	VoteOutcomeDivergence  = "divergence"
+	VoteOutcomeLateDissent = "late_dissent"
+)

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMuxMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Add(3)
+	mux := NewMux(reg, NewTracer(8))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "up_total 3") {
+		t.Fatalf("metrics body missing series:\n%s", body)
+	}
+}
+
+func TestMuxTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Trace: 11, Batch: 1, Name: "dispatch", Stage: 0})
+	tr.Record(Span{Trace: 22, Batch: 2, Name: "gather", Stage: 0})
+	mux := NewMux(NewRegistry(), tr)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var spans []Span
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+
+	resp, err = http.Get(srv.URL + "/trace?trace=22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans = nil
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(spans) != 1 || spans[0].Name != "gather" {
+		t.Fatalf("filtered spans = %+v", spans)
+	}
+
+	resp, err = http.Get(srv.URL + "/trace?trace=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad trace id should 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestMuxPprof(t *testing.T) {
+	mux := NewMux(NewRegistry(), NewTracer(8))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+func TestSSEReplaysAndStreams(t *testing.T) {
+	bus := NewBus[map[string]string](8)
+	bus.Publish(map[string]string{"k": "old"})
+	srv := httptest.NewServer(SSE(bus))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if l := sc.Text(); strings.HasPrefix(l, "data: ") {
+				lines <- strings.TrimPrefix(l, "data: ")
+			}
+		}
+		close(lines)
+	}()
+
+	readLine := func() string {
+		select {
+		case l := <-lines:
+			return l
+		case <-time.After(3 * time.Second):
+			t.Fatal("timed out waiting for SSE frame")
+			return ""
+		}
+	}
+
+	if l := readLine(); !strings.Contains(l, `"old"`) {
+		t.Fatalf("replay frame = %q", l)
+	}
+	// Live publish after subscribe must stream through. The subscriber races
+	// connection setup, so retry until the live frame lands.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		bus.Publish(map[string]string{"k": "live"})
+		got := false
+		select {
+		case l := <-lines:
+			got = strings.Contains(l, `"live"`) || got
+		case <-time.After(100 * time.Millisecond):
+		}
+		if got || time.Now().After(deadline) {
+			if !got {
+				t.Fatal("live frame never arrived")
+			}
+			break
+		}
+	}
+}

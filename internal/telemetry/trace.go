@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one timed hop of a batch's journey through the pipeline. Trace is
+// the batch-scoped TraceID minted at Submit and carried through the wire
+// header; Batch is the engine-assigned batch ID; Stage is -1 for spans that
+// are not stage-scoped (batch, variant-compute on the variant side); Variant
+// is empty for monitor-side aggregate spans. Times are UnixNano so the ring
+// holds no pointers.
+type Span struct {
+	Trace   uint64 `json:"trace"`
+	Batch   uint64 `json:"batch"`
+	Name    string `json:"name"`
+	Stage   int    `json:"stage"`
+	Variant string `json:"variant,omitempty"`
+	Start   int64  `json:"start_ns"`
+	End     int64  `json:"end_ns"`
+}
+
+// Tracer is a fixed-capacity span ring. Record is a mutex-guarded copy into
+// pre-allocated storage — no allocation per span — and a no-op for zero trace
+// IDs (the disabled sentinel) so untraced batches cost one branch.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	n     int // valid spans, == len(ring) once wrapped
+	pos   int // next write index
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the most recent capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// DefaultTracer is the process-wide span ring, served by /trace. In-process
+// variants (the facade's default deployment) record their compute spans here
+// too, so a single snapshot sees the full end-to-end timeline.
+var DefaultTracer = NewTracer(8192)
+
+// Record stores one finished span. Nil tracers, zero trace IDs, and disabled
+// telemetry all drop the span without touching the ring.
+func (t *Tracer) Record(s Span) {
+	if t == nil || s.Trace == 0 || !Enabled() {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.pos] = s
+	t.pos++
+	if t.pos == len(t.ring) {
+		t.pos = 0
+	}
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of spans ever recorded (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	start := t.pos - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// SpansFor returns the retained spans with the given trace ID, oldest first.
+func (t *Tracer) SpansFor(trace uint64) []Span {
+	all := t.Snapshot()
+	out := all[:0]
+	for _, s := range all {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// traceBase is a random per-process base so trace IDs from different monitor
+// processes don't collide in merged logs; traceSeq disambiguates within a
+// process.
+var (
+	traceBase uint64
+	traceSeq  atomic.Uint64
+	traceOnce sync.Once
+)
+
+// NewTraceID mints a process-unique, never-zero trace ID, or 0 when telemetry
+// is disabled (the zero ID disables all downstream span recording for the
+// batch, so disabled runs carry no tracing cost past this one branch).
+func NewTraceID() uint64 {
+	if !Enabled() {
+		return 0
+	}
+	traceOnce.Do(func() {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			traceBase = binary.LittleEndian.Uint64(b[:])
+		}
+	})
+	id := traceBase + traceSeq.Add(1)
+	if id == 0 {
+		id = traceSeq.Add(1)
+	}
+	return id
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/attest"
 	"repro/internal/diversify"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/infer"
 	"repro/internal/securechan"
 	"repro/internal/teeos"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -176,12 +178,23 @@ func (v *Variant) Serve(conn securechan.Conn) error {
 		}
 		switch m := msg.(type) {
 		case *wire.Batch:
-			res := &wire.Result{ID: m.ID, VariantID: v.ID}
+			res := &wire.Result{ID: m.ID, Trace: m.Trace, VariantID: v.ID}
+			var t0 time.Time
+			if m.Trace != 0 && telemetry.Enabled() {
+				t0 = time.Now()
+			}
 			outs, err := v.exec.Run(m.Tensors)
 			if err != nil {
 				res.Err = err.Error()
 			} else {
 				res.Tensors = outs
+			}
+			if !t0.IsZero() {
+				telemetry.DefaultTracer.Record(telemetry.Span{
+					Trace: m.Trace, Batch: m.ID, Name: "variant-compute",
+					Stage: -1, Variant: v.ID,
+					Start: t0.UnixNano(), End: time.Now().UnixNano(),
+				})
 			}
 			if err := wire.Send(conn, res); err != nil {
 				return fmt.Errorf("variant %s: send result: %w", v.ID, err)

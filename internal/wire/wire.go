@@ -106,17 +106,22 @@ type Error struct {
 	Message string `json:"message"`
 }
 
-// Batch is one inference batch's named input tensors.
+// Batch is one inference batch's named input tensors. Trace is the
+// batch-scoped telemetry trace ID minted by the monitor at submit; zero means
+// tracing is off for this batch. Variants echo it back in their Result so
+// monitor- and variant-side spans stitch into one timeline.
 type Batch struct {
 	ID      uint64
+	Trace   uint64
 	Tensors map[string]*tensor.Tensor
 }
 
 // Result is one variant's checkpoint output for a batch. Err is non-empty
 // when the variant crashed or its kernel failed (the MVX monitor treats that
-// as dissent).
+// as dissent). Trace echoes the Batch's trace ID.
 type Result struct {
 	ID        uint64
+	Trace     uint64
 	VariantID string
 	Err       string
 	Tensors   map[string]*tensor.Tensor
@@ -142,9 +147,9 @@ var ErrDecode = errors.New("wire: malformed message")
 func Marshal(m Msg) ([]byte, error) {
 	switch v := m.(type) {
 	case *Batch:
-		return marshalTensorMsg(TBatch, v.ID, "", "", v.Tensors), nil
+		return marshalTensorMsg(TBatch, v.ID, v.Trace, "", "", v.Tensors), nil
 	case *Result:
-		return marshalTensorMsg(TResult, v.ID, v.VariantID, v.Err, v.Tensors), nil
+		return marshalTensorMsg(TResult, v.ID, v.Trace, v.VariantID, v.Err, v.Tensors), nil
 	default:
 		b, err := json.Marshal(m)
 		if err != nil {
@@ -186,17 +191,17 @@ func Unmarshal(b []byte) (Msg, error) {
 	case TError:
 		m = &Error{}
 	case TBatch:
-		id, _, _, ts, err := unmarshalTensorMsg(payload)
+		id, trace, _, _, ts, err := unmarshalTensorMsg(payload)
 		if err != nil {
 			return nil, err
 		}
-		return &Batch{ID: id, Tensors: ts}, nil
+		return &Batch{ID: id, Trace: trace, Tensors: ts}, nil
 	case TResult:
-		id, vid, errStr, ts, err := unmarshalTensorMsg(payload)
+		id, trace, vid, errStr, ts, err := unmarshalTensorMsg(payload)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{ID: id, VariantID: vid, Err: errStr, Tensors: ts}, nil
+		return &Result{ID: id, Trace: trace, VariantID: vid, Err: errStr, Tensors: ts}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrDecode, t)
 	}
@@ -214,9 +219,9 @@ func Unmarshal(b []byte) (Msg, error) {
 func MarshalBuf(m Msg) (*securechan.Buf, error) {
 	switch v := m.(type) {
 	case *Batch:
-		return encodeTensorMsg(TBatch, v.ID, "", "", v.Tensors), nil
+		return encodeTensorMsg(TBatch, v.ID, v.Trace, "", "", v.Tensors), nil
 	case *Result:
-		return encodeTensorMsg(TResult, v.ID, v.VariantID, v.Err, v.Tensors), nil
+		return encodeTensorMsg(TResult, v.ID, v.Trace, v.VariantID, v.Err, v.Tensors), nil
 	default:
 		b, err := json.Marshal(m)
 		if err != nil {
@@ -236,7 +241,7 @@ func MarshalBuf(m Msg) (*securechan.Buf, error) {
 // channel seals its own copy into a pooled frame; the payload stays intact).
 // The caller owns the buffer and must Free it after the last send.
 func MarshalBatch(b *Batch) *securechan.Buf {
-	return encodeTensorMsg(TBatch, b.ID, "", "", b.Tensors)
+	return encodeTensorMsg(TBatch, b.ID, b.Trace, "", "", b.Tensors)
 }
 
 // SendEncoded transmits an already-marshalled wire payload on c, using the
@@ -294,14 +299,15 @@ func putStr(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-func marshalTensorMsg(t Type, id uint64, vid, errStr string, ts map[string]*tensor.Tensor) []byte {
-	size := 1 + 8 + 2 + len(vid) + 2 + len(errStr) + 4
+func marshalTensorMsg(t Type, id, trace uint64, vid, errStr string, ts map[string]*tensor.Tensor) []byte {
+	size := 1 + 8 + 8 + 2 + len(vid) + 2 + len(errStr) + 4
 	for name, tt := range ts {
 		size += 2 + len(name) + 4 + 4*tt.Dims() + 4*tt.Size()
 	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, byte(t))
 	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint64(buf, trace)
 	buf = putStr(buf, vid)
 	buf = putStr(buf, errStr)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ts)))
@@ -315,8 +321,8 @@ func marshalTensorMsg(t Type, id uint64, vid, errStr string, ts map[string]*tens
 // encodeTensorMsg encodes a tensor message directly into a pooled frame
 // buffer sized exactly for the payload. Tensor names are sorted so the
 // encoding is deterministic (map iteration order is not).
-func encodeTensorMsg(t Type, id uint64, vid, errStr string, ts map[string]*tensor.Tensor) *securechan.Buf {
-	size := 1 + 8 + 2 + len(vid) + 2 + len(errStr) + 4
+func encodeTensorMsg(t Type, id, trace uint64, vid, errStr string, ts map[string]*tensor.Tensor) *securechan.Buf {
+	size := 1 + 8 + 8 + 2 + len(vid) + 2 + len(errStr) + 4
 	names := make([]string, 0, len(ts))
 	for name, tt := range ts {
 		names = append(names, name)
@@ -327,7 +333,8 @@ func encodeTensorMsg(t Type, id uint64, vid, errStr string, ts map[string]*tenso
 	dst := buf.Grow(size)
 	dst[0] = byte(t)
 	binary.LittleEndian.PutUint64(dst[1:], id)
-	off := 9
+	binary.LittleEndian.PutUint64(dst[9:], trace)
+	off := 17
 	off += putStrAt(dst[off:], vid)
 	off += putStrAt(dst[off:], errStr)
 	binary.LittleEndian.PutUint32(dst[off:], uint32(len(ts)))
@@ -356,20 +363,21 @@ func readStr(b []byte) (string, []byte, error) {
 	return string(b[2 : 2+n]), b[2+n:], nil
 }
 
-func unmarshalTensorMsg(b []byte) (id uint64, vid, errStr string, ts map[string]*tensor.Tensor, err error) {
-	if len(b) < 8 {
-		return 0, "", "", nil, ErrDecode
+func unmarshalTensorMsg(b []byte) (id, trace uint64, vid, errStr string, ts map[string]*tensor.Tensor, err error) {
+	if len(b) < 16 {
+		return 0, 0, "", "", nil, ErrDecode
 	}
 	id = binary.LittleEndian.Uint64(b)
-	b = b[8:]
+	trace = binary.LittleEndian.Uint64(b[8:])
+	b = b[16:]
 	if vid, b, err = readStr(b); err != nil {
-		return 0, "", "", nil, err
+		return 0, 0, "", "", nil, err
 	}
 	if errStr, b, err = readStr(b); err != nil {
-		return 0, "", "", nil, err
+		return 0, 0, "", "", nil, err
 	}
 	if len(b) < 4 {
-		return 0, "", "", nil, ErrDecode
+		return 0, 0, "", "", nil, ErrDecode
 	}
 	count := binary.LittleEndian.Uint32(b)
 	b = b[4:]
@@ -377,14 +385,14 @@ func unmarshalTensorMsg(b []byte) (id uint64, vid, errStr string, ts map[string]
 	for i := uint32(0); i < count; i++ {
 		var name string
 		if name, b, err = readStr(b); err != nil {
-			return 0, "", "", nil, err
+			return 0, 0, "", "", nil, err
 		}
 		t, n, err := tensor.Unmarshal(b)
 		if err != nil {
-			return 0, "", "", nil, fmt.Errorf("%w: tensor %q: %v", ErrDecode, name, err)
+			return 0, 0, "", "", nil, fmt.Errorf("%w: tensor %q: %v", ErrDecode, name, err)
 		}
 		ts[name] = t
 		b = b[n:]
 	}
-	return id, vid, errStr, ts, nil
+	return id, trace, vid, errStr, ts, nil
 }

@@ -17,6 +17,18 @@ package workpool
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Pool utilization series: regions dispatched (and how many actually went
+// parallel), plus offers made to idle workers and how many were accepted —
+// the accept/offer ratio is the pool's effective utilization.
+var (
+	mRegions         = telemetry.Default.Counter(telemetry.MetricPoolRegions)
+	mParallelRegions = telemetry.Default.Counter(telemetry.MetricPoolParallelRegions)
+	mOffers          = telemetry.Default.Counter(telemetry.MetricPoolOffers)
+	mAccepts         = telemetry.Default.Counter(telemetry.MetricPoolAccepts)
 )
 
 // chunksPerWorker bounds chunk count per region: enough pieces for load
@@ -79,6 +91,10 @@ func (p *Pool) RunRange(n int, f func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	rec := telemetry.Enabled()
+	if rec {
+		mRegions.Inc()
+	}
 	if p == nil || n == 1 || p.closed.Load() {
 		f(0, n)
 		return
@@ -112,8 +128,12 @@ func (p *Pool) RunRange(n int, f func(lo, hi int)) {
 	}
 	// Offer one task per idle worker; never block. If all workers are busy
 	// the caller absorbs the region alone.
+	accepted := 0
 	for i := 0; i < p.workers-1; i++ {
 		wg.Add(1)
+		if rec {
+			mOffers.Inc()
+		}
 		ok := false
 		select {
 		case p.tasks <- helper:
@@ -123,6 +143,13 @@ func (p *Pool) RunRange(n int, f func(lo, hi int)) {
 		if !ok {
 			wg.Done()
 			break
+		}
+		accepted++
+	}
+	if rec {
+		mAccepts.Add(uint64(accepted))
+		if accepted > 0 {
+			mParallelRegions.Inc()
 		}
 	}
 	steal() // the caller always participates

@@ -8,9 +8,14 @@ go build ./...
 go test -race ./...
 
 # The robustness layer (straggler deadlines, degradation ladder, hot
-# replacement, channel retry) is concurrency-heavy: run its packages twice
-# under the race detector to shake out interleavings a single pass misses.
-go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan
+# replacement, channel retry) and the lock-free telemetry core are
+# concurrency-heavy: run their packages twice under the race detector to
+# shake out interleavings a single pass misses.
+go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan ./internal/telemetry
+
+# Observability overhead pin: the fully instrumented warm dispatch→gather
+# path must not allocate more than the same path with telemetry disabled.
+go test -run='TestWarmAllocsPin' -count=1 ./internal/monitor
 
 # Short fuzz smoke over the attacker-facing parsers: the pre-auth record
 # framing and the tagged wire decoder. A few seconds each catches gross

@@ -1,0 +1,254 @@
+package mvtee
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/telemetry"
+)
+
+// batchHistCount reads the engine batch-latency histogram's observation count
+// from the process-default registry.
+func batchHistCount(t *testing.T) uint64 {
+	t.Helper()
+	for _, m := range telemetry.Default.Snapshot() {
+		if m.Name == telemetry.MetricEngineBatchNs && len(m.Labels) == 0 {
+			return m.Count
+		}
+	}
+	return 0
+}
+
+// newSpans returns the spans recorded in the default tracer since the given
+// Total() watermark, oldest first.
+func newSpans(t *testing.T, since uint64) []telemetry.Span {
+	t.Helper()
+	total := telemetry.DefaultTracer.Total()
+	snap := telemetry.DefaultTracer.Snapshot()
+	n := int(total - since)
+	if n > len(snap) {
+		t.Fatalf("tracer ring overflowed the observation window (%d new, %d retained)", n, len(snap))
+	}
+	return snap[len(snap)-n:]
+}
+
+// spansByTrace groups a window's spans under the traces minted by the engine
+// in that window (identified by their enclosing "batch" span), ignoring
+// stragglers from earlier deployments whose spans land late.
+func spansByTrace(spans []telemetry.Span) map[uint64][]telemetry.Span {
+	mine := make(map[uint64][]telemetry.Span)
+	for _, s := range spans {
+		if s.Name == "batch" {
+			mine[s.Trace] = nil
+		}
+	}
+	for _, s := range spans {
+		if _, ok := mine[s.Trace]; ok {
+			mine[s.Trace] = append(mine[s.Trace], s)
+		}
+	}
+	return mine
+}
+
+// assertTraceInvariants checks the tentpole tracing property on one trace
+// group: a nonzero TraceID, a single batch ID across every span, and the full
+// monitor-side span vocabulary plus at least one variant-side compute span —
+// i.e. the ID survived the trip through the wire header into the variant TEE
+// and back.
+func assertTraceInvariants(t *testing.T, trace uint64, spans []telemetry.Span) {
+	t.Helper()
+	if trace == 0 {
+		t.Fatal("batch executed under trace 0")
+	}
+	names := make(map[string]int)
+	batch := spans[0].Batch
+	for _, s := range spans {
+		if s.Batch != batch {
+			t.Fatalf("trace %d spans two batches (%d and %d): %+v", trace, batch, s.Batch, spans)
+		}
+		names[s.Name]++
+	}
+	for _, want := range []string{"batch", "dispatch", "send", "gather", "forward", "variant-compute"} {
+		if names[want] == 0 {
+			t.Errorf("trace %d (batch %d) missing %q spans; have %v", trace, batch, want, names)
+		}
+	}
+}
+
+// TestTelemetryE2ELateDissent runs the async-mode late-dissent scenario and
+// verifies batch-scoped tracing end to end: the straggler that dissents after
+// the quorum forwarded still records its variant-compute span under the
+// batch's TraceID, and the batch-latency histogram counts exactly the batches
+// run.
+func TestTelemetryE2ELateDissent(t *testing.T) {
+	bundle, err := BuildBundle(OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: []int{3},
+		Specs:            RealSetupSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []PartitionPlan{
+		{Variants: []string{"ort-cpu"}},
+		{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}},
+		{Variants: []string{"ort-cpu"}},
+	}
+	const dissenterID = "p1-ort-altep-1"
+	inj := Injection{Class: FaultCorruptAfterQuorum, TargetOp: "Add", Latency: 150 * time.Millisecond, After: 1}
+
+	spanMark := telemetry.DefaultTracer.Total()
+	histBefore := batchHistCount(t)
+
+	dep, err := Deploy(bundle, 0, DeployConfig{
+		MVX: &MVXConfig{
+			Plans:    plans,
+			Async:    true,
+			Response: ReportOnly,
+			// Default unanimous vote: the quorum forwards, then the corrupt
+			// straggler fails the retroactive unanimity check.
+			Criteria: []Criterion{{Metric: AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Encrypt:        true,
+		VariantOptions: ArmVariantIDs(inj, dissenterID),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	in := NewTensor(1, 3, 32, 32)
+	rng := rand.New(rand.NewPCG(11, 11))
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	feed := map[string]*Tensor{"image": in}
+
+	const batches = 2
+	for i := 0; i < batches; i++ { // batch 1 healthy, batch 2 arms the fault
+		if res, err := dep.Infer(feed); err != nil || res.Err != nil {
+			t.Fatalf("batch %d: %v / %v", i+1, err, res.Err)
+		}
+	}
+	// The dissent is detected retroactively at gather close; wait for it so
+	// the vote span and the straggler's compute span are both recorded.
+	waitForEvent(t, dep, EventLateDissent, dissenterID)
+
+	groups := spansByTrace(newSpans(t, spanMark))
+	if len(groups) != batches {
+		t.Fatalf("traces minted = %d, want %d", len(groups), batches)
+	}
+	var dissenterSpans int
+	for trace, spans := range groups {
+		assertTraceInvariants(t, trace, spans)
+		for _, s := range spans {
+			if s.Name == "variant-compute" && s.Variant == dissenterID {
+				dissenterSpans++
+			}
+		}
+	}
+	if dissenterSpans != batches {
+		t.Errorf("late-dissenting straggler recorded %d compute spans under batch traces, want %d", dissenterSpans, batches)
+	}
+
+	if got := batchHistCount(t) - histBefore; got != batches {
+		t.Fatalf("batch-latency histogram counted %d batches, want %d", got, batches)
+	}
+}
+
+// TestTelemetryE2EHotReplacement runs the straggler-hang + hot-replacement
+// scenario and verifies the spare promoted into the dead slot serves under
+// the same per-batch TraceIDs as everyone else.
+func TestTelemetryE2EHotReplacement(t *testing.T) {
+	bundle, err := BuildBundle(OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: []int{3},
+		Specs:            RealSetupSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []PartitionPlan{
+		{Variants: []string{"ort-cpu"}},
+		{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}},
+		{Variants: []string{"ort-cpu"}},
+	}
+	spares := []PartitionPlan{{}, {Variants: []string{"ort-altep"}}, {}}
+	const (
+		hungID  = "p1-ort-altep-1"
+		spareID = "spare-p1-ort-altep-0"
+	)
+	inj := Injection{Class: FaultHang, TargetOp: "Add", Latency: 1200 * time.Millisecond, After: 1}
+
+	spanMark := telemetry.DefaultTracer.Total()
+	histBefore := batchHistCount(t)
+
+	dep, err := Deploy(bundle, 0, DeployConfig{
+		MVX: &MVXConfig{
+			Plans:          plans,
+			Spares:         spares,
+			Response:       Recover,
+			Vote:           check.Majority,
+			StageTimeoutMS: 300,
+			Criteria:       []Criterion{{Metric: AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Encrypt:        true,
+		VariantOptions: ArmVariantIDs(inj, hungID),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	in := NewTensor(1, 3, 32, 32)
+	rng := rand.New(rand.NewPCG(13, 13))
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	feed := map[string]*Tensor{"image": in}
+
+	// Batch 1 healthy; batch 2 hangs the armed variant, expires the deadline
+	// and triggers the asynchronous hot replacement.
+	batches := 2
+	for i := 0; i < batches; i++ {
+		if res, err := dep.Infer(feed); err != nil || res.Err != nil {
+			t.Fatalf("batch %d: %v / %v", i+1, err, res.Err)
+		}
+	}
+	waitForEvent(t, dep, EventVariantReplaced, spareID)
+
+	// Two more batches served by the promoted spare.
+	for i := 0; i < 2; i++ {
+		if res, err := dep.Infer(feed); err != nil || res.Err != nil {
+			t.Fatalf("post-replacement batch %d: %v / %v", i, err, res.Err)
+		}
+		batches++
+	}
+	// Let the hung variant wake up (≤ 2 nodes × Latency past the dispatch)
+	// before sampling, so its late compute span lands inside this window
+	// rather than polluting a later test's.
+	time.Sleep(2*inj.Latency + 200*time.Millisecond)
+
+	groups := spansByTrace(newSpans(t, spanMark))
+	if len(groups) != batches {
+		t.Fatalf("traces minted = %d, want %d", len(groups), batches)
+	}
+	spareTraces := make(map[uint64]bool)
+	for trace, spans := range groups {
+		assertTraceInvariants(t, trace, spans)
+		for _, s := range spans {
+			if s.Name == "variant-compute" && s.Variant == spareID {
+				spareTraces[trace] = true
+			}
+		}
+	}
+	if len(spareTraces) < 2 {
+		t.Errorf("hot-replaced spare served %d traced batches, want >= 2", len(spareTraces))
+	}
+
+	if got := batchHistCount(t) - histBefore; got != uint64(batches) {
+		t.Fatalf("batch-latency histogram counted %d batches, want %d", got, batches)
+	}
+}
