@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,7 +28,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/attest"
@@ -35,6 +39,7 @@ import (
 	"repro/internal/enclave"
 	"repro/internal/monitor"
 	"repro/internal/securechan"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
@@ -60,6 +65,11 @@ func main() {
 	pipelined := flag.Bool("pipelined", false, "stream demo batches (pipelined) instead of sequential")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"operator telemetry HTTP listen address (e.g. 127.0.0.1:9090) serving /metrics, /trace, /events and /debug/pprof/; empty disables")
+	serveAddr := flag.String("serve-addr", "",
+		"multi-tenant serving HTTP listen address (POST /v1/infer, GET /healthz) with dynamic batching and admission control; replaces the demo workload")
+	serveMaxBatch := flag.Int("serve-max-batch", 8, "serving: max requests coalesced into one engine batch")
+	serveMaxDelay := flag.Duration("serve-max-delay", 2*time.Millisecond, "serving: batching window before a partial batch flushes")
+	serveTenants := flag.String("serve-tenants", "", "serving: per-tenant WRR weights, e.g. 'acme:3,guest:1'")
 	flag.Parse()
 	log.SetPrefix("mvtee-monitor: ")
 	log.SetFlags(0)
@@ -86,6 +96,10 @@ func main() {
 		demo:           *demo,
 		pipelined:      *pipelined,
 		telemetryAddr:  *telemetryAddr,
+		serveAddr:      *serveAddr,
+		serveMaxBatch:  *serveMaxBatch,
+		serveMaxDelay:  *serveMaxDelay,
+		serveTenants:   *serveTenants,
 	}
 	if err := run(opts); err != nil {
 		log.Fatal(err)
@@ -105,6 +119,10 @@ type runOptions struct {
 	demo                int
 	pipelined           bool
 	telemetryAddr       string
+	serveAddr           string
+	serveMaxBatch       int
+	serveMaxDelay       time.Duration
+	serveTenants        string
 }
 
 func parsePlans(s string) []monitor.PartitionPlan {
@@ -355,6 +373,16 @@ func run(opts runOptions) error {
 		log.Printf("initialization results sent to owner")
 	}
 
+	// Serving mode: multiplex concurrent tenants onto the engine with
+	// dynamic batching and admission control instead of the demo workload.
+	if opts.serveAddr != "" {
+		shapes := make(map[string][]int, len(meta.ModelInputs))
+		for _, vi := range meta.ModelInputs {
+			shapes[vi.Name] = vi.Shape
+		}
+		return serveFrontend(eng, shapes, opts)
+	}
+
 	if opts.demo <= 0 {
 		select {} // serve until killed
 	}
@@ -390,6 +418,57 @@ func run(opts runOptions) error {
 		log.Printf("event: %s stage=%d batch=%d variants=%v", ev.Kind, ev.Stage, ev.BatchID, ev.Variants)
 	}
 	return nil
+}
+
+// serveFrontend runs the multi-tenant serving front door over the engine
+// until SIGINT/SIGTERM, then drains gracefully (in-flight batches complete,
+// new work gets 503).
+func serveFrontend(eng *monitor.Engine, itemShapes map[string][]int, opts runOptions) error {
+	tenants := make(map[string]serve.TenantConfig)
+	if opts.serveTenants != "" {
+		for _, part := range strings.Split(opts.serveTenants, ",") {
+			name, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
+			w, err := strconv.Atoi(weight)
+			if !ok || err != nil || w <= 0 {
+				return fmt.Errorf("bad -serve-tenants entry %q (want name:weight)", part)
+			}
+			tenants[name] = serve.TenantConfig{Weight: w}
+		}
+	}
+	srv := serve.New(eng, serve.Config{
+		MaxBatch:   opts.serveMaxBatch,
+		MaxDelay:   opts.serveMaxDelay,
+		Tenants:    tenants,
+		ItemShapes: itemShapes,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", opts.serveAddr)
+	if err != nil {
+		return fmt.Errorf("serve listen: %w", err)
+	}
+	hs := &http.Server{Handler: serve.Handler(srv)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("serving on http://%s (POST /v1/infer, GET /healthz; max-batch %d, window %v)",
+		ln.Addr(), opts.serveMaxBatch, opts.serveMaxDelay)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("%v: draining", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	} else {
+		log.Printf("drain complete")
+	}
+	return hs.Shutdown(ctx)
 }
 
 func streamAll(eng *monitor.Engine, batches []map[string]*tensor.Tensor) ([]monitor.BatchResult, error) {

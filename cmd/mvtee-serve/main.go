@@ -1,0 +1,195 @@
+// Command mvtee-serve is the multi-tenant serving front-end: it deploys an
+// MVTEE pipeline in process (offline build + attested online bring-up via
+// the facade) and serves concurrent client inference over HTTP with dynamic
+// micro-batching, per-tenant admission control and priority lanes.
+//
+//	mvtee-serve -model resnet-50 -listen 127.0.0.1:8080 \
+//	    -max-batch 8 -max-delay 2ms -tenants "acme:3,guest:1"
+//
+//	curl -s localhost:8080/v1/infer -d '{
+//	  "tenant": "acme", "priority": "high",
+//	  "inputs": {"image": {"shape": [1,3,32,32], "data": [/* 3072 floats */]}}
+//	}'
+//
+// Overloaded tenants receive 429 with a Retry-After hint instead of
+// unbounded queueing; SIGINT/SIGTERM triggers a graceful drain (in-flight
+// batches complete, new work is refused with 503). For process-separated
+// deployments use mvtee-monitor -serve-addr instead.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	mvtee "repro"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	model := flag.String("model", "resnet-50", "model replica to deploy")
+	stagesN := flag.Int("stages", 5, "pipeline partition count")
+	mvxStage := flag.Int("mvx-stage", 2, "stage protected by 3-variant MVX (-1 = none, all fast path)")
+	scale := flag.Float64("scale", 0, "model channel scale (default 0.25)")
+	inputSize := flag.Int("input-size", 0, "model input resolution (default 32)")
+	listen := flag.String("listen", "127.0.0.1:8080", "serving HTTP listen address")
+	maxBatch := flag.Int("max-batch", 8, "max requests coalesced into one engine batch")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "batching window: a partial batch flushes this long after its first request")
+	tenantQueue := flag.Int("tenant-queue", 64, "per-tenant pending-request cap")
+	globalQueue := flag.Int("global-queue", 1024, "global pending-request cap")
+	tenantsStr := flag.String("tenants", "", "per-tenant WRR weights, e.g. 'acme:3,guest:1' (unknown tenants get weight 1)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"operator telemetry HTTP listen address serving /metrics, /trace, /events and /debug/pprof/; empty disables")
+	flag.Parse()
+	log.SetPrefix("mvtee-serve: ")
+	log.SetFlags(0)
+
+	tenants, err := parseTenants(*tenantsStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(options{
+		model: *model, stages: *stagesN, mvxStage: *mvxStage,
+		scale: *scale, inputSize: *inputSize,
+		listen: *listen, telemetryAddr: *telemetryAddr,
+		drainTimeout: *drainTimeout,
+		serveCfg: serve.Config{
+			MaxBatch:    *maxBatch,
+			MaxDelay:    *maxDelay,
+			TenantQueue: *tenantQueue,
+			GlobalQueue: *globalQueue,
+			Tenants:     tenants,
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type options struct {
+	model            string
+	stages, mvxStage int
+	scale            float64
+	inputSize        int
+	listen           string
+	telemetryAddr    string
+	drainTimeout     time.Duration
+	serveCfg         serve.Config
+}
+
+func parseTenants(s string) (map[string]serve.TenantConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]serve.TenantConfig)
+	for _, part := range strings.Split(s, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name:weight)", part)
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -tenants weight in %q", part)
+		}
+		out[name] = serve.TenantConfig{Weight: w}
+	}
+	return out, nil
+}
+
+func run(o options) error {
+	// Offline phase: partition the model and build the diversified pool.
+	bundle, err := mvtee.BuildBundle(mvtee.OfflineConfig{
+		ModelName:        o.model,
+		ModelConfig:      mvtee.ModelConfig{Scale: o.scale, InputSize: o.inputSize},
+		PartitionTargets: []int{o.stages},
+		Specs:            mvtee.RealSetupSpecs(),
+	})
+	if err != nil {
+		return fmt.Errorf("build bundle: %w", err)
+	}
+
+	// Online phase: attested bring-up, MVX on the protected stage.
+	plans := make([]mvtee.PartitionPlan, o.stages)
+	for i := range plans {
+		plans[i] = mvtee.PartitionPlan{Variants: []string{"ort-cpu"}}
+	}
+	if o.mvxStage >= 0 && o.mvxStage < o.stages {
+		plans[o.mvxStage] = mvtee.PartitionPlan{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}}
+	}
+	dep, err := mvtee.Deploy(bundle, 0, mvtee.DeployConfig{
+		MVX: &mvtee.MVXConfig{
+			Model:    o.model,
+			Plans:    plans,
+			Criteria: []mvtee.Criterion{{Metric: mvtee.AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Encrypt: true,
+	})
+	if err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	defer dep.Close()
+	log.Printf("deployed %s: %d stages, MVX on stage %d", o.model, o.stages, o.mvxStage)
+
+	// Declare the model's input interface so malformed requests die at
+	// admission instead of inside the engine.
+	o.serveCfg.ItemShapes = make(map[string][]int, len(bundle.Model.Inputs))
+	for _, vi := range bundle.Model.Inputs {
+		o.serveCfg.ItemShapes[vi.Name] = vi.Shape
+	}
+	srv := serve.New(dep.Engine, o.serveCfg)
+	defer srv.Close()
+
+	if o.telemetryAddr != "" {
+		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)
+		mux.Handle("/events", telemetry.SSE(dep.Engine.EventBus()))
+		tln, err := net.Listen("tcp", o.telemetryAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listen: %w", err)
+		}
+		defer tln.Close()
+		go func() {
+			if err := http.Serve(tln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+		log.Printf("telemetry on http://%s", tln.Addr())
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: serve.Handler(srv)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("serving on http://%s (POST /v1/infer, GET /healthz; max-batch %d, window %v)",
+		ln.Addr(), o.serveCfg.MaxBatch, o.serveCfg.MaxDelay)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("%v: draining (deadline %v)", got, o.drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	} else {
+		log.Printf("drain complete")
+	}
+	return hs.Shutdown(ctx)
+}

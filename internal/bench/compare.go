@@ -1,0 +1,149 @@
+// Compare diffs two BENCH_<rev>.json perf reports and gates the named
+// hot-path benchmarks: a >15% ns/op regression on a gated series fails the
+// comparison (exit 1 from `mvtee-bench -compare`), so kernel and data-plane
+// slowdowns surface in CI instead of review archaeology. Non-gated series
+// and allocation counts are reported for context only — micro-noise on cold
+// series must not block merges.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// GatedPrefixes names the hot-path benchmark families whose ns_per_op is
+// regression-gated. Everything else in the report is informational.
+var GatedPrefixes = []string{
+	"gemm/blocked/",
+	"gemm/packed/",
+	"conv/im2col-blocked",
+	"conv/im2col-packed",
+	"infer/",
+	"check/evaluate-fused/",
+	"dataplane/marshal/pooled",
+	"dataplane/fanout/3/encode-once",
+	"securechan/roundtrip/64KiB/zerocopy",
+	"serve/16c/batched-batch8",
+}
+
+// DefaultRegressionThreshold is the fractional ns/op slowdown on a gated
+// benchmark that fails the comparison (0.15 = 15%).
+const DefaultRegressionThreshold = 0.15
+
+// CompareRow is one benchmark's old-vs-new measurement.
+type CompareRow struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	Delta   float64 // fractional change, (new-old)/old; +0.20 = 20% slower
+	Gated   bool
+	Verdict string // "ok", "REGRESSED", "improved", "new", "removed"
+}
+
+// ReadPerfJSON loads a BENCH_<rev>.json report.
+func ReadPerfJSON(path string) (PerfReport, error) {
+	var rep PerfReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return rep, nil
+}
+
+func gated(name string) bool {
+	for _, p := range GatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ComparePerf diffs two reports. threshold is the fractional gated-series
+// slowdown that counts as a regression (<=0 uses the default). The returned
+// failures list is empty iff every gated benchmark present in both reports
+// stayed within the threshold.
+func ComparePerf(old, new PerfReport, threshold float64) (rows []CompareRow, failures []string) {
+	if threshold <= 0 {
+		threshold = DefaultRegressionThreshold
+	}
+	oldBy := make(map[string]PerfResult, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(new.Results))
+	for _, nr := range new.Results {
+		seen[nr.Name] = true
+		row := CompareRow{Name: nr.Name, NewNs: nr.NsPerOp, Gated: gated(nr.Name)}
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			row.Verdict = "new"
+			rows = append(rows, row)
+			continue
+		}
+		row.OldNs = or.NsPerOp
+		if or.NsPerOp > 0 {
+			row.Delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		}
+		switch {
+		case row.Gated && row.Delta > threshold:
+			row.Verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, limit +%.0f%%)",
+				nr.Name, or.NsPerOp, nr.NsPerOp, 100*row.Delta, 100*threshold))
+		case row.Delta < -threshold:
+			row.Verdict = "improved"
+		default:
+			row.Verdict = "ok"
+		}
+		rows = append(rows, row)
+	}
+	for name, or := range oldBy {
+		if !seen[name] {
+			rows = append(rows, CompareRow{Name: name, OldNs: or.NsPerOp,
+				Gated: gated(name), Verdict: "removed"})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Gated != rows[j].Gated {
+			return rows[i].Gated // gated series first
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows, failures
+}
+
+// WriteCompareTable renders the comparison for terminals and CI logs.
+func WriteCompareTable(w io.Writer, oldRev, newRev string, rows []CompareRow) {
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s\n", oldRev, newRev)
+	fmt.Fprintf(w, "%-42s %14s %14s %9s %6s %s\n",
+		"name", "old ns/op", "new ns/op", "delta", "gate", "verdict")
+	for _, r := range rows {
+		gate := ""
+		if r.Gated {
+			gate = "gated"
+		}
+		delta := "-"
+		if r.OldNs > 0 && r.NewNs > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*r.Delta)
+		}
+		oldCol, newCol := "-", "-"
+		if r.OldNs > 0 {
+			oldCol = fmt.Sprintf("%.0f", r.OldNs)
+		}
+		if r.NewNs > 0 {
+			newCol = fmt.Sprintf("%.0f", r.NewNs)
+		}
+		fmt.Fprintf(w, "%-42s %14s %14s %9s %6s %s\n", r.Name, oldCol, newCol, delta, gate, r.Verdict)
+	}
+}

@@ -1,0 +1,153 @@
+// Serving-path benchmarks: N concurrent clients issuing single-input
+// requests through the serve front door onto a real MVX engine (3 variants
+// behind encrypted pipes). The batched configuration coalesces compatible
+// requests into engine batches inside a short window; the naive baseline
+// (MaxBatch=1) submits one engine batch per request, paying the per-batch
+// wire/seal/checkpoint cost for every client. The ns/op ratio between the
+// two is the dynamic-batching speedup the PR acceptance gate tracks.
+
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/securechan"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// startServeVariant launches a wire-speaking variant that doubles its "x"
+// input, connected to the monitor over an AEAD-sealed in-memory channel so
+// every engine batch pays realistic marshal+seal costs.
+func startServeVariant(b *testing.B, id string) *monitor.Handle {
+	monC, varC := net.Pipe()
+	done := make(chan *securechan.SecureConn, 1)
+	go func() {
+		vc, err := securechan.Server(varC, nil, nil)
+		if err != nil {
+			panic(err)
+		}
+		done <- vc
+		for {
+			msg, err := wire.Recv(vc)
+			if err != nil {
+				return
+			}
+			switch m := msg.(type) {
+			case *wire.Batch:
+				y := m.Tensors["x"].Clone()
+				y.Scale(2)
+				res := &wire.Result{ID: m.ID, Trace: m.Trace, VariantID: id,
+					Tensors: map[string]*tensor.Tensor{"y": y}}
+				if err := wire.Send(vc, res); err != nil {
+					return
+				}
+			case *wire.Shutdown:
+				_ = vc.Close()
+				return
+			}
+		}
+	}()
+	mc, err := securechan.Client(monC, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	return monitor.NewHandle(id, 0, "spec", mc)
+}
+
+// newServeEngine stands up a 3-variant MVX stage for the serving benchmarks.
+func newServeEngine(b *testing.B) *monitor.Engine {
+	handles := make([]*monitor.Handle, 3)
+	for i := range handles {
+		handles[i] = startServeVariant(b, fmt.Sprintf("v%d", i))
+	}
+	eng, err := monitor.NewEngine(monitor.EngineConfig{
+		GraphInputs:  []string{"x"},
+		GraphOutputs: []string{"y"},
+		Stages: []monitor.StageSpec{{
+			Inputs:  []string{"x"},
+			Outputs: []string{"y"},
+			Handles: handles,
+		}},
+		Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Start()
+	b.Cleanup(eng.Stop)
+	return eng
+}
+
+// perfServe measures sustained request throughput with `clients` concurrent
+// callers, batched (window coalescing up to maxBatch requests) vs naive
+// (every request is its own engine batch). One op = one request served.
+func perfServe(add func(string, func(b *testing.B))) {
+	const clients = 16
+	const itemWidth = 64 // single-item request payload: x[1,64]
+
+	for _, case_ := range []struct {
+		name     string
+		maxBatch int
+	}{
+		{"serve/16c/naive-batch1", 1},
+		{"serve/16c/batched-batch8", 8},
+	} {
+		maxBatch := case_.maxBatch
+		add(case_.name, func(b *testing.B) {
+			eng := newServeEngine(b)
+			srv := serve.New(eng, serve.Config{
+				MaxBatch:    maxBatch,
+				MaxDelay:    500 * time.Microsecond,
+				TenantQueue: 4 * clients,
+				GlobalQueue: 8 * clients,
+				Metrics:     telemetry.NewRegistry(),
+			})
+			b.Cleanup(srv.Close)
+
+			inputs := make([]map[string]*tensor.Tensor, clients)
+			for c := range inputs {
+				x := tensor.New(1, itemWidth)
+				for j := range x.Data() {
+					x.Data()[j] = float32(c + j)
+				}
+				inputs[c] = map[string]*tensor.Tensor{"x": x}
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						r, err := srv.Infer(context.Background(), serve.Request{
+							Tenant: fmt.Sprintf("t%d", c%4), Inputs: inputs[c],
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if r.Tensors["y"].At(0, 0) != 2*float32(c) {
+							b.Errorf("client %d: bad demux row", c)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestServePerfSmoke runs the serving benchmark pair once and reports the
+// batched-vs-naive throughput ratio. The ≥2x acceptance bar is enforced by
+// review on BENCH_<rev>.json, not here — CI hosts are too noisy for a hard
+// assert — but the pair must at least run and demux correctly.
+func TestServePerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmarks are slow")
+	}
+	results := map[string]float64{}
+	perfServe(func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run", name)
+		}
+		results[name] = float64(r.T.Nanoseconds()) / float64(r.N)
+		t.Logf("%-28s %12.0f ns/op", name, results[name])
+	})
+	naive, batched := results["serve/16c/naive-batch1"], results["serve/16c/batched-batch8"]
+	if naive == 0 || batched == 0 {
+		t.Fatalf("missing results: %v", results)
+	}
+	t.Logf("batched speedup: %.2fx", naive/batched)
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// HTTP API types. Tensors travel as shape + flat row-major data.
+
+// WireTensor is the JSON tensor encoding.
+type WireTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+// InferRequest is the POST /v1/infer body.
+type InferRequest struct {
+	Tenant   string                `json:"tenant,omitempty"`
+	Priority string                `json:"priority,omitempty"` // high | normal | low
+	Inputs   map[string]WireTensor `json:"inputs"`
+}
+
+// InferResponse is the POST /v1/infer success body.
+type InferResponse struct {
+	ID        uint64                `json:"id"`
+	BatchID   uint64                `json:"batch_id"`
+	BatchFill int                   `json:"batch_fill"`
+	LatencyMS float64               `json:"latency_ms"`
+	Outputs   map[string]WireTensor `json:"outputs"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error      string  `json:"error"`
+	RetryAfter float64 `json:"retry_after_s,omitempty"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status   string         `json:"status"` // serving | draining
+	Shed     string         `json:"shed"`
+	Ladder   []string       `json:"ladder"`
+	Queues   map[string]int `json:"queues"`
+	Draining bool           `json:"draining"`
+}
+
+// Handler serves the front-end HTTP API over s:
+//
+//	POST /v1/infer  — one inference request (429 + Retry-After on overload)
+//	GET  /healthz   — serving status, shed level, ladder, queue depths
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req InferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err, 0)
+			return
+		}
+		prio, err := ParsePriority(req.Priority)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err, 0)
+			return
+		}
+		inputs := make(map[string]*tensor.Tensor, len(req.Inputs))
+		for name, wt := range req.Inputs {
+			t, err := tensor.FromSlice(wt.Data, wt.Shape...)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("input %q: %w", name, err), 0)
+				return
+			}
+			inputs[name] = t
+		}
+		resp, err := s.Infer(r.Context(), Request{Tenant: req.Tenant, Priority: prio, Inputs: inputs})
+		if err != nil {
+			status, retry := errStatus(err)
+			writeErr(w, status, err, retry)
+			return
+		}
+		out := InferResponse{
+			ID:        resp.ID,
+			BatchID:   resp.BatchID,
+			BatchFill: resp.BatchFill,
+			LatencyMS: float64(resp.Latency) / float64(time.Millisecond),
+			Outputs:   make(map[string]WireTensor, len(resp.Tensors)),
+		}
+		for name, t := range resp.Tensors {
+			out.Outputs[name] = WireTensor{Shape: t.Shape(), Data: t.Data()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ladder := s.engine.Ladder()
+		h := Health{
+			Status:   "serving",
+			Shed:     s.Shed().String(),
+			Queues:   s.QueueDepths(),
+			Draining: s.Draining(),
+		}
+		for _, rung := range ladder {
+			h.Ladder = append(h.Ladder, rung.String())
+		}
+		if h.Draining {
+			h.Status = "draining"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	return mux
+}
+
+// errStatus maps serving errors onto HTTP semantics: overload and draining
+// are retryable (429/503 with Retry-After), bad requests are 400, the rest
+// are internal.
+func errStatus(err error) (status int, retryAfter time.Duration) {
+	var ov *OverloadError
+	switch {
+	case errors.As(err, &ov):
+		return http.StatusTooManyRequests, ov.RetryAfter
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, 250 * time.Millisecond
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, 0
+	default:
+		return http.StatusInternalServerError, 0
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error, retry time.Duration) {
+	if retry > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(retry.Seconds()))))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), RetryAfter: retry.Seconds()})
+}

@@ -1,0 +1,815 @@
+// Package serve is the multi-tenant serving front-end: it multiplexes many
+// concurrent client sessions onto one MVX engine. Single-input requests are
+// coalesced into engine batches under a max-batch-size/max-delay window
+// (dynamic micro-batching) and demultiplexed back to callers by request ID;
+// bounded per-tenant and global queues provide admission control with
+// explicit backpressure (reject-with-retry-after, never unbounded
+// buffering); a weighted round-robin scheduler with priority lanes keeps
+// tenants fair; and the degradation ladder drives load shedding so the
+// front door lightens the engine's load before the engine has to demote.
+//
+// Batching contract: a request's input tensors all share leading dimension
+// r (the item count, usually 1). Requests are compatible — and may share an
+// engine batch — when they carry the same input names with the same
+// per-item shapes. The model must treat the leading dimension as a batch
+// axis: every graph output's leading dimension equals the sum of the
+// batch's item counts, which is how results are split back per caller.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// Engine is the slice of monitor.Engine the server drives. Submit must block
+// for pipeline backpressure and return a unique batch ID; Outputs delivers
+// one result per submitted batch; Ladder reports per-stage degradation.
+type Engine interface {
+	Submit(inputs map[string]*tensor.Tensor) (uint64, error)
+	Outputs() <-chan monitor.BatchResult
+	Ladder() []monitor.LadderRung
+}
+
+// Priority selects a request's scheduling lane. Lower values are more
+// urgent; shedding drops lanes lowest-first.
+type Priority int
+
+// Priority lanes, most to least urgent.
+const (
+	High Priority = iota
+	Normal
+	Low
+	numLanes
+)
+
+func (p Priority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Normal:
+		return "normal"
+	case Low:
+		return "low"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// ParsePriority maps the wire spelling to a lane; empty means Normal.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "high":
+		return High, nil
+	case "", "normal":
+		return Normal, nil
+	case "low":
+		return Low, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown priority %q", s)
+	}
+}
+
+// Request is one client inference call.
+type Request struct {
+	// Tenant identifies the client for fairness and queue accounting; empty
+	// maps to "default".
+	Tenant string
+	// Priority selects the scheduling lane (default Normal).
+	Priority Priority
+	// Inputs are the model inputs. All tensors must share leading dimension
+	// r ≥ 1, the request's item count.
+	Inputs map[string]*tensor.Tensor
+}
+
+// Response is the per-request outcome delivered to the caller.
+type Response struct {
+	// ID is the serve-assigned request identifier.
+	ID uint64
+	// BatchID is the engine batch that carried the request.
+	BatchID uint64
+	// BatchFill is how many requests shared that engine batch.
+	BatchFill int
+	// Tensors are this request's rows of the graph outputs.
+	Tensors map[string]*tensor.Tensor
+	// Err is the failure, if any.
+	Err error
+	// Latency is admission-to-delivery time.
+	Latency time.Duration
+}
+
+// TenantConfig tunes one tenant's scheduling.
+type TenantConfig struct {
+	// Weight is the tenant's WRR share (default 1).
+	Weight int
+	// QueueCap overrides Config.TenantQueue for this tenant.
+	QueueCap int
+}
+
+// Config assembles a Server.
+type Config struct {
+	// MaxBatch is the most requests coalesced into one engine batch
+	// (default 8).
+	MaxBatch int
+	// MaxDelay is the batching window: a partially filled batch flushes
+	// this long after its first request (default 2ms).
+	MaxDelay time.Duration
+	// TenantQueue bounds each tenant's pending requests (default 64).
+	TenantQueue int
+	// GlobalQueue bounds total pending requests across tenants
+	// (default 1024).
+	GlobalQueue int
+	// Tenants pre-declares per-tenant weights and caps; unknown tenants get
+	// weight 1 and TenantQueue.
+	Tenants map[string]TenantConfig
+	// ItemShapes, when set, declares the model's input interface (graph
+	// input name -> declared shape, leading dimension being the batch
+	// axis): requests with missing/extra inputs or mismatched per-item
+	// dimensions are rejected at admission with ErrBadRequest instead of
+	// reaching the engine, where a malformed batch would fail — and, under
+	// the Halt response, take the pipeline down for every tenant.
+	ItemShapes map[string][]int
+	// RetryAfterHint is the base backoff suggested to rejected callers; the
+	// hint scales with queue depth (default 25ms).
+	RetryAfterHint time.Duration
+	// ShedDisabled turns off ladder-driven load shedding.
+	ShedDisabled bool
+	// ShedInterval is how often the ladder is polled for shedding
+	// decisions (default 10ms).
+	ShedInterval time.Duration
+	// Metrics receives the server's telemetry series; nil uses
+	// telemetry.Default.
+	Metrics *telemetry.Registry
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.TenantQueue <= 0 {
+		c.TenantQueue = 64
+	}
+	if c.GlobalQueue <= 0 {
+		c.GlobalQueue = 1024
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = 25 * time.Millisecond
+	}
+	if c.ShedInterval <= 0 {
+		c.ShedInterval = 10 * time.Millisecond
+	}
+}
+
+// Admission errors.
+var (
+	// ErrDraining rejects new work while the server drains.
+	ErrDraining = errors.New("serve: draining, not accepting new requests")
+	// ErrClosed rejects work after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrBadRequest flags a structurally invalid request.
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// OverloadError is an admission rejection with an explicit backpressure
+// signal: the caller should retry after RetryAfter rather than queue-spin.
+type OverloadError struct {
+	// Scope is "tenant", "global" or "shed".
+	Scope string
+	// Tenant is the rejected tenant.
+	Tenant string
+	// RetryAfter is the suggested backoff.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: %s overloaded (tenant %q), retry after %v",
+		e.Scope, e.Tenant, e.RetryAfter)
+}
+
+// pendingReq is one admitted request waiting to be batched or in flight.
+type pendingReq struct {
+	id       uint64
+	tenant   *tenantState
+	lane     Priority
+	sig      string
+	rows     int
+	inputs   map[string]*tensor.Tensor
+	admitted time.Time
+	respCh   chan Response
+}
+
+// Server multiplexes client requests onto one engine.
+type Server struct {
+	cfg    Config
+	engine Engine
+	met    *serveMetrics
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantState
+	ring    []*tenantState // WRR visit order, insertion-ordered
+	cursor  int
+	queued  int
+	// flushing marks a batch being assembled/submitted whose requests left
+	// the queues but are not yet in the pending map; Drain must wait it out.
+	flushing bool
+	draining bool
+	closed   bool
+
+	pmu     sync.Mutex
+	pending map[uint64][]*pendingReq // engine batch ID -> members
+
+	shed    atomic.Int32 // ShedLevel
+	reqIDs  atomic.Uint64
+	stopped chan struct{} // closed when scheduler+demux exit
+	stopSig chan struct{} // closed by Close
+	wg      sync.WaitGroup
+}
+
+// tenantState is one tenant's queues and WRR bookkeeping.
+type tenantState struct {
+	name   string
+	weight int
+	cap    int
+	credit int
+	lanes  [numLanes][]*pendingReq
+	depth  int
+	met    *tenantMetrics
+}
+
+// New builds a server over engine. The engine must already be started; the
+// server takes over its Outputs stream (do not mix with Engine.Infer).
+func New(engine Engine, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		engine:  engine,
+		met:     newServeMetrics(cfg.Metrics),
+		tenants: make(map[string]*tenantState),
+		pending: make(map[uint64][]*pendingReq),
+		stopped: make(chan struct{}),
+		stopSig: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(2)
+	go func() { defer s.wg.Done(); s.scheduler() }()
+	go func() { defer s.wg.Done(); s.demux() }()
+	if !cfg.ShedDisabled {
+		s.wg.Add(1)
+		go func() { defer s.wg.Done(); s.shedWatcher() }()
+	}
+	go func() { s.wg.Wait(); close(s.stopped) }()
+	return s
+}
+
+// tenant returns (creating if needed) the tenant's state. Caller holds mu.
+func (s *Server) tenant(name string) *tenantState {
+	if name == "" {
+		name = "default"
+	}
+	t, ok := s.tenants[name]
+	if ok {
+		return t
+	}
+	tc := s.cfg.Tenants[name]
+	if tc.Weight <= 0 {
+		tc.Weight = 1
+	}
+	if tc.QueueCap <= 0 {
+		tc.QueueCap = s.cfg.TenantQueue
+	}
+	t = &tenantState{name: name, weight: tc.Weight, cap: tc.QueueCap,
+		credit: tc.Weight, met: s.met.tenant(name)}
+	s.tenants[name] = t
+	s.ring = append(s.ring, t)
+	return t
+}
+
+// signature keys batch compatibility: sorted input names with per-item
+// shapes (every dimension after the leading item count). It also validates
+// the request, returning the shared item count.
+func signature(inputs map[string]*tensor.Tensor) (string, int, error) {
+	if len(inputs) == 0 {
+		return "", 0, fmt.Errorf("%w: no inputs", ErrBadRequest)
+	}
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := -1
+	var b strings.Builder
+	for _, n := range names {
+		t := inputs[n]
+		if t == nil || t.Dims() == 0 || t.Dim(0) == 0 {
+			return "", 0, fmt.Errorf("%w: input %q empty or missing leading item dimension", ErrBadRequest, n)
+		}
+		if rows == -1 {
+			rows = t.Dim(0)
+		} else if t.Dim(0) != rows {
+			return "", 0, fmt.Errorf("%w: input %q item count %d != %d", ErrBadRequest, n, t.Dim(0), rows)
+		}
+		b.WriteString(n)
+		for _, d := range t.Shape()[1:] {
+			b.WriteByte('x')
+			b.WriteString(strconv.Itoa(d))
+		}
+		b.WriteByte(';')
+	}
+	return b.String(), rows, nil
+}
+
+// checkShapes validates a request against the model's declared input
+// interface: exact input names, matching rank, matching dimensions past the
+// leading batch axis.
+func checkShapes(declared map[string][]int, inputs map[string]*tensor.Tensor) error {
+	for name := range inputs {
+		if _, ok := declared[name]; !ok {
+			return fmt.Errorf("%w: unknown input %q", ErrBadRequest, name)
+		}
+	}
+	for name, want := range declared {
+		t, ok := inputs[name]
+		if !ok {
+			return fmt.Errorf("%w: missing input %q", ErrBadRequest, name)
+		}
+		got := t.Shape()
+		if len(got) != len(want) {
+			return fmt.Errorf("%w: input %q rank %d, model declares %v", ErrBadRequest, name, len(got), want)
+		}
+		for i := 1; i < len(want); i++ {
+			if got[i] != want[i] {
+				return fmt.Errorf("%w: input %q shape %v, model declares %v (batch axis excluded)",
+					ErrBadRequest, name, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// Submit admits one request, returning a channel that will deliver exactly
+// one Response. Admission is synchronous: an error return means the request
+// was never queued. Overload rejections are *OverloadError with a
+// retry-after hint.
+func (s *Server) Submit(req Request) (<-chan Response, error) {
+	sig, rows, err := signature(req.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	if req.Priority < High || req.Priority >= numLanes {
+		return nil, fmt.Errorf("%w: priority %d", ErrBadRequest, req.Priority)
+	}
+	if s.cfg.ItemShapes != nil {
+		if err := checkShapes(s.cfg.ItemShapes, req.Inputs); err != nil {
+			return nil, err
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		s.met.admission(admitDraining)
+		return nil, ErrDraining
+	}
+	t := s.tenant(req.Tenant)
+	if lvl := ShedLevel(s.shed.Load()); lvl.sheds(req.Priority) {
+		s.mu.Unlock()
+		s.met.admission(admitShed)
+		return nil, &OverloadError{Scope: "shed", Tenant: t.name, RetryAfter: s.retryAfter(1)}
+	}
+	if s.queued >= s.cfg.GlobalQueue {
+		depth := s.queued
+		s.mu.Unlock()
+		s.met.admission(admitRejectGlobal)
+		return nil, &OverloadError{Scope: "global", Tenant: t.name, RetryAfter: s.retryAfter(depth)}
+	}
+	if t.depth >= t.cap {
+		depth := t.depth
+		s.mu.Unlock()
+		s.met.admission(admitRejectTenant)
+		t.met.rejected.Inc()
+		return nil, &OverloadError{Scope: "tenant", Tenant: t.name, RetryAfter: s.retryAfter(depth)}
+	}
+	p := &pendingReq{
+		id:       s.reqIDs.Add(1),
+		tenant:   t,
+		lane:     req.Priority,
+		sig:      sig,
+		rows:     rows,
+		inputs:   req.Inputs,
+		admitted: time.Now(),
+		respCh:   make(chan Response, 1),
+	}
+	t.lanes[req.Priority] = append(t.lanes[req.Priority], p)
+	t.depth++
+	s.queued++
+	t.met.requests.Inc()
+	t.met.depth.Set(int64(t.depth))
+	s.met.globalDepth.Set(int64(s.queued))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.met.admission(admitAdmitted)
+	return p.respCh, nil
+}
+
+// Infer is Submit plus waiting for the response (or ctx cancellation; a
+// cancelled request still completes engine-side, its response is dropped).
+func (s *Server) Infer(ctx context.Context, req Request) (Response, error) {
+	ch, err := s.Submit(req)
+	if err != nil {
+		return Response{}, err
+	}
+	select {
+	case r := <-ch:
+		return r, r.Err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// retryAfter scales the base hint by how many batch windows of work are
+// already queued — deeper queues suggest longer backoff.
+func (s *Server) retryAfter(depth int) time.Duration {
+	windows := depth/s.cfg.MaxBatch + 1
+	return time.Duration(windows) * s.cfg.RetryAfterHint
+}
+
+// QueueDepths snapshots per-tenant queue depths (for /healthz).
+func (s *Server) QueueDepths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.tenants))
+	for n, t := range s.tenants {
+		out[n] = t.depth
+	}
+	return out
+}
+
+// Shed returns the current load-shedding level.
+func (s *Server) Shed() ShedLevel { return ShedLevel(s.shed.Load()) }
+
+// Draining reports whether the server has begun draining.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admitting new requests, flushes the queues as final batches
+// (ignoring the delay window), and waits for every in-flight batch to
+// deliver — the graceful-shutdown half of Close. It returns ctx.Err() if
+// the context expires first; already-admitted requests still complete.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		empty := s.queued == 0 && !s.flushing
+		s.mu.Unlock()
+		if empty {
+			s.pmu.Lock()
+			inflight := len(s.pending)
+			s.pmu.Unlock()
+			if inflight == 0 {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close tears the server down. Queued and in-flight requests receive
+// ErrClosed; call Drain first for a graceful stop. The engine is left
+// running (its owner stops it).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.stopped
+		return
+	}
+	s.closed = true
+	close(s.stopSig)
+	// Fail everything still queued.
+	for _, t := range s.tenants {
+		for lane := range t.lanes {
+			for _, p := range t.lanes[lane] {
+				p.respCh <- Response{ID: p.id, Err: ErrClosed}
+			}
+			t.lanes[lane] = nil
+		}
+		t.depth = 0
+	}
+	s.queued = 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	// Fail everything in flight — twice: once now, and once after the
+	// workers exit, because a batch mid-submit at close time registers
+	// itself in pending only after the first sweep.
+	failPending := func() {
+		s.pmu.Lock()
+		for id, members := range s.pending {
+			for _, p := range members {
+				select {
+				case p.respCh <- Response{ID: p.id, BatchID: id, Err: ErrClosed}:
+				default:
+				}
+			}
+			delete(s.pending, id)
+		}
+		s.pmu.Unlock()
+	}
+	failPending()
+	<-s.stopped
+	failPending()
+}
+
+// --- scheduler -----------------------------------------------------------------
+
+// pick dequeues the next request under WRR with priority lanes: the highest
+// non-empty lane wins; within a lane, tenants are visited round-robin and
+// spend weight-refilled credits. sig, when non-empty, restricts the pick to
+// compatible requests (same signature at a tenant's lane head; FIFO order
+// within a tenant is never reordered). Caller holds mu.
+func (s *Server) pick(sig string) *pendingReq {
+	if s.queued == 0 {
+		return nil
+	}
+	for lane := High; lane < numLanes; lane++ {
+		// Two passes: first spend credits, then refill once and retry, so a
+		// burst from one heavy tenant cannot starve the ring.
+		for pass := 0; pass < 2; pass++ {
+			n := len(s.ring)
+			for i := 0; i < n; i++ {
+				t := s.ring[(s.cursor+i)%n]
+				q := t.lanes[lane]
+				if len(q) == 0 || t.credit <= 0 {
+					continue
+				}
+				p := q[0]
+				if sig != "" && p.sig != sig {
+					continue
+				}
+				t.lanes[lane] = q[1:]
+				t.depth--
+				t.credit--
+				s.queued--
+				s.cursor = (s.cursor + i) % n // resume fairness scan here
+				if t.credit <= 0 {
+					s.cursor = (s.cursor + 1) % n
+				}
+				t.met.depth.Set(int64(t.depth))
+				s.met.globalDepth.Set(int64(s.queued))
+				return p
+			}
+			if pass == 0 {
+				refill := false
+				for _, t := range s.ring {
+					if t.credit <= 0 {
+						t.credit = t.weight
+						refill = true
+					}
+				}
+				if !refill {
+					break // credits weren't the blocker; lane has no match
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scheduler assembles batches: it opens a batch with the WRR-chosen head,
+// then pulls compatible requests until MaxBatch or the MaxDelay window
+// closes (drain mode flushes immediately). Engine backpressure is absorbed
+// here — Submit blocks while the pipeline is at depth, and admission keeps
+// rejecting above the bounded queues.
+func (s *Server) scheduler() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for s.queued == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return
+		}
+		first := s.pick("")
+		if first == nil {
+			continue
+		}
+		batch := append(make([]*pendingReq, 0, s.cfg.MaxBatch), first)
+		reason := flushSize
+		if s.draining {
+			for len(batch) < s.cfg.MaxBatch {
+				p := s.pick(first.sig)
+				if p == nil {
+					break
+				}
+				batch = append(batch, p)
+			}
+			if len(batch) < s.cfg.MaxBatch {
+				reason = flushDrain
+			}
+		} else {
+			deadline := time.Now().Add(s.cfg.MaxDelay)
+			timer := time.AfterFunc(s.cfg.MaxDelay, s.cond.Broadcast)
+			for len(batch) < s.cfg.MaxBatch {
+				if p := s.pick(first.sig); p != nil {
+					batch = append(batch, p)
+					continue
+				}
+				if s.closed || s.draining {
+					reason = flushDrain
+					break
+				}
+				if !time.Now().Before(deadline) {
+					reason = flushTimer
+					break
+				}
+				s.cond.Wait()
+			}
+			timer.Stop()
+		}
+		if s.closed {
+			for _, p := range batch {
+				p.respCh <- Response{ID: p.id, Err: ErrClosed}
+			}
+			return
+		}
+		s.flushing = true
+		s.mu.Unlock()
+		s.submitBatch(batch, reason)
+		s.mu.Lock()
+		s.flushing = false
+	}
+}
+
+// submitBatch concatenates the batch's inputs, submits to the engine, and
+// registers the members for demux. Called without mu.
+func (s *Server) submitBatch(batch []*pendingReq, reason flushReason) {
+	inputs := concatInputs(batch)
+	id, err := s.engine.Submit(inputs)
+	if err != nil {
+		for _, p := range batch {
+			p.respCh <- Response{ID: p.id, Err: err, Latency: time.Since(p.admitted)}
+		}
+		return
+	}
+	s.pmu.Lock()
+	s.pending[id] = batch
+	inflight := len(s.pending)
+	s.pmu.Unlock()
+	s.met.flush(reason, len(batch), inflight)
+}
+
+// --- demux ---------------------------------------------------------------------
+
+// demux routes engine results back to batch members, splitting output rows
+// per request. Results for batches the server did not submit (engine IDs
+// are process-unique) are ignored.
+func (s *Server) demux() {
+	for {
+		select {
+		case <-s.stopSig:
+			return
+		case r, ok := <-s.engine.Outputs():
+			if !ok {
+				return
+			}
+			s.pmu.Lock()
+			members := s.pending[r.ID]
+			delete(s.pending, r.ID)
+			s.met.inflight.Set(int64(len(s.pending)))
+			s.pmu.Unlock()
+			if members == nil {
+				continue
+			}
+			s.deliver(r, members)
+		}
+	}
+}
+
+// deliver fans one engine result out to the batch's members.
+func (s *Server) deliver(r monitor.BatchResult, members []*pendingReq) {
+	now := time.Now()
+	fill := len(members)
+	if r.Err != nil {
+		for _, p := range members {
+			s.respond(p, Response{ID: p.id, BatchID: r.ID, BatchFill: fill, Err: r.Err}, now)
+		}
+		return
+	}
+	if fill == 1 {
+		// Sole member: hand the engine tensors over without copying.
+		p := members[0]
+		s.respond(p, Response{ID: p.id, BatchID: r.ID, BatchFill: 1, Tensors: r.Tensors}, now)
+		return
+	}
+	split, err := splitOutputs(r.Tensors, members)
+	for i, p := range members {
+		resp := Response{ID: p.id, BatchID: r.ID, BatchFill: fill}
+		if err != nil {
+			resp.Err = err
+		} else {
+			resp.Tensors = split[i]
+		}
+		s.respond(p, resp, now)
+	}
+}
+
+func (s *Server) respond(p *pendingReq, resp Response, now time.Time) {
+	resp.Latency = now.Sub(p.admitted)
+	p.tenant.met.latencyNs.Observe(resp.Latency.Nanoseconds())
+	select {
+	case p.respCh <- resp:
+	default: // Close already failed this request; never block demux
+	}
+}
+
+// --- batching ------------------------------------------------------------------
+
+// concatInputs stacks the members' input tensors along the leading item
+// axis, in member order. A single-member batch reuses its tensors directly.
+func concatInputs(batch []*pendingReq) map[string]*tensor.Tensor {
+	if len(batch) == 1 {
+		return batch[0].inputs
+	}
+	out := make(map[string]*tensor.Tensor, len(batch[0].inputs))
+	for name, first := range batch[0].inputs {
+		rows := 0
+		for _, p := range batch {
+			rows += p.inputs[name].Dim(0)
+		}
+		shape := first.Shape()
+		shape[0] = rows
+		t := tensor.New(shape...)
+		dst := t.Data()
+		off := 0
+		for _, p := range batch {
+			src := p.inputs[name].Data()
+			copy(dst[off:], src)
+			off += len(src)
+		}
+		out[name] = t
+	}
+	return out
+}
+
+// splitOutputs slices each graph output back into per-member tensors by
+// rows. Row data is copied so no two callers alias one backing array.
+func splitOutputs(outs map[string]*tensor.Tensor, members []*pendingReq) ([]map[string]*tensor.Tensor, error) {
+	total := 0
+	for _, p := range members {
+		total += p.rows
+	}
+	res := make([]map[string]*tensor.Tensor, len(members))
+	for i := range res {
+		res[i] = make(map[string]*tensor.Tensor, len(outs))
+	}
+	for name, t := range outs {
+		if t.Dims() == 0 || t.Dim(0) != total {
+			return nil, fmt.Errorf("serve: output %q leading dimension %v does not match batch items %d (model not batchable?)",
+				name, t.Shape(), total)
+		}
+		stride := t.Size() / total
+		shape := t.Shape()
+		data := t.Data()
+		off := 0
+		for i, p := range members {
+			shape[0] = p.rows
+			part := tensor.New(shape...)
+			copy(part.Data(), data[off:off+p.rows*stride])
+			res[i][name] = part
+			off += p.rows * stride
+		}
+	}
+	return res, nil
+}

@@ -49,6 +49,35 @@ const (
 	// fan-out drop count (updated at publish time).
 	MetricEventsPublished = "mvtee_events_published_total"
 	MetricEventsDropped   = "mvtee_events_dropped"
+
+	// Serving front-end series (internal/serve). Requests, queue depth and
+	// latency carry a tenant label; admission verdicts carry a verdict label
+	// (AdmitOutcome*); flushes carry a reason label (FlushReason*).
+	MetricServeRequests    = "mvtee_serve_requests_total"
+	MetricServeAdmission   = "mvtee_serve_admission_total"
+	MetricServeQueueDepth  = "mvtee_serve_queue_depth"
+	MetricServeQueueGlobal = "mvtee_serve_queue_depth_global"
+	MetricServeBatchFill   = "mvtee_serve_batch_fill"
+	MetricServeFlushes     = "mvtee_serve_batch_flush_total"
+	MetricServeLatencyNs   = "mvtee_serve_request_latency_ns"
+	MetricServeShedLevel   = "mvtee_serve_shed_level"
+	MetricServeInflight    = "mvtee_serve_inflight_batches"
+)
+
+// Admission verdict label values for MetricServeAdmission.
+const (
+	AdmitOutcomeAdmitted     = "admitted"
+	AdmitOutcomeRejectTenant = "reject_tenant"
+	AdmitOutcomeRejectGlobal = "reject_global"
+	AdmitOutcomeShed         = "shed"
+	AdmitOutcomeDraining     = "draining"
+)
+
+// Batch flush reason label values for MetricServeFlushes.
+const (
+	FlushReasonSize  = "size"
+	FlushReasonTimer = "timer"
+	FlushReasonDrain = "drain"
 )
 
 // Vote outcome label values for MetricEngineVotes.

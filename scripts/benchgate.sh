@@ -1,0 +1,30 @@
+#!/bin/sh
+# Advisory perf gate: measure the hot-path microbenchmarks on the current
+# tree and compare against a committed baseline report. A gated benchmark
+# more than 15% slower than the baseline makes this script exit non-zero.
+#
+#   ./scripts/benchgate.sh                # against the newest BENCH_*.json
+#   ./scripts/benchgate.sh BENCH_pr4.json # against a specific baseline
+#
+# This is advisory in CI (continue-on-error) because shared runners are
+# noisy; treat a failure as a prompt to re-measure on quiet hardware, not as
+# an automatic verdict.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-}"
+if [ -z "$BASELINE" ]; then
+    # Newest committed baseline by version-sorted name (BENCH_pr1 < BENCH_pr4).
+    BASELINE=$(ls BENCH_*.json 2>/dev/null | grep -v '^BENCH_head\.json$' | sort -V | tail -1 || true)
+fi
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+    echo "benchgate: no baseline BENCH_*.json found; run 'go run ./cmd/mvtee-bench -perf -rev <rev>' first" >&2
+    exit 2
+fi
+
+echo "benchgate: measuring current tree (baseline: $BASELINE)" >&2
+go run ./cmd/mvtee-bench -perf -rev head -note "benchgate working-tree run" >&2
+trap 'rm -f BENCH_head.json' EXIT
+
+go run ./cmd/mvtee-bench -compare "$BASELINE" BENCH_head.json

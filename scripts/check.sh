@@ -22,3 +22,11 @@ go test -run='TestWarmAllocsPin' -count=1 ./internal/monitor
 # regressions; longer campaigns run out-of-band.
 go test -run='^$' -fuzz=FuzzFrame -fuzztime=5s ./internal/securechan
 go test -run='^$' -fuzz=FuzzWireUnmarshal -fuzztime=5s ./internal/wire
+
+# Advisory perf gate: opt-in because the full microbenchmark suite takes
+# minutes. CHECK_BENCH=1 ./scripts/check.sh measures the working tree and
+# diffs it against the newest committed BENCH_*.json baseline; a >15%
+# regression on a gated hot-path benchmark reports but does not block.
+if [ "${CHECK_BENCH:-0}" = "1" ]; then
+	./scripts/benchgate.sh || echo "check.sh: benchgate reported a regression (advisory, non-blocking)" >&2
+fi

@@ -1,0 +1,136 @@
+// Command genfuzzcorpus regenerates the committed seed corpora under
+// internal/<pkg>/testdata/fuzz/. The committed files extend the in-code
+// f.Add seeds with structured near-valid inputs (bit flips on real
+// encodings, boundary lengths, hostile tensor headers) so `go test` and the
+// CI fuzz smoke start from interesting coverage instead of rediscovering it
+// every run. Deterministic: re-running produces identical files.
+//
+//	go run ./scripts/genfuzzcorpus
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/securechan"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genfuzzcorpus: ")
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	write(filepath.Join(root, "internal/securechan/testdata/fuzz/FuzzFrame"), frameSeeds())
+	write(filepath.Join(root, "internal/wire/testdata/fuzz/FuzzWireUnmarshal"), wireSeeds())
+}
+
+// write emits each seed in the `go test fuzz v1` corpus-file format.
+func write(dir string, seeds map[string][]byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("wrote %d seeds to %s", len(seeds), dir)
+}
+
+func frame(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+// frameSeeds targets the pre-auth record framing: length-prefix boundaries
+// and bodies shaped like sealed records (8-byte sequence + ciphertext+tag).
+func frameSeeds() map[string][]byte {
+	sealed := make([]byte, 8+32+16) // seq + ciphertext + GCM tag, all zero
+	binary.BigEndian.PutUint64(sealed, 1)
+	seqOnly := make([]byte, 8)
+	binary.BigEndian.PutUint64(seqOnly, math.MaxUint64)
+	lenOverCap := make([]byte, 4)
+	binary.BigEndian.PutUint32(lenOverCap, uint32(securechan.MaxFrameSize)+1)
+	lenAtCap := make([]byte, 4)
+	binary.BigEndian.PutUint32(lenAtCap, uint32(securechan.MaxFrameSize))
+	lenMax := make([]byte, 4)
+	binary.BigEndian.PutUint32(lenMax, math.MaxUint32)
+	double := append(frame([]byte("first")), frame([]byte("second"))...)
+
+	return map[string][]byte{
+		"seed-empty":           {},
+		"seed-short-prefix":    {0, 0},
+		"seed-zero-len":        frame(nil),
+		"seed-one-byte":        frame([]byte{0xff}),
+		"seed-sealed-shape":    frame(sealed),
+		"seed-seq-only":        frame(seqOnly),
+		"seed-len-over-cap":    lenOverCap,
+		"seed-len-at-cap":      lenAtCap, // body absent: must fail as truncated, not allocate 1 MiB eagerly-forever
+		"seed-len-max":         lenMax,
+		"seed-truncated-body":  frame([]byte("0123456789abcdef"))[:12],
+		"seed-two-frames":      double,
+		"seed-high-bit-len":    {0x80, 0x00, 0x00, 0x01, 0x00},
+		"seed-ascii-noise":     []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
+		"seed-tag-sized-zeros": frame(make([]byte, 8+16)),
+	}
+}
+
+func mustMarshal(m wire.Msg) []byte {
+	b, err := wire.Marshal(m)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// wireSeeds targets the tagged-message decoder: every message type, hostile
+// tensor headers, and single-bit corruptions of a valid batch encoding.
+func wireSeeds() map[string][]byte {
+	batch := mustMarshal(&wire.Batch{
+		ID:    0xfeed,
+		Trace: 0xbeef,
+		Tensors: map[string]*tensor.Tensor{
+			"image": tensor.MustFromSlice([]float32{0, -0, 1.5, -2.25, 3e38, -3e38}, 2, 3),
+			"mask":  tensor.MustFromSlice([]float32{1}, 1, 1),
+		},
+	})
+	nan := mustMarshal(&wire.Batch{ID: 1, Tensors: map[string]*tensor.Tensor{
+		"x": tensor.MustFromSlice([]float32{
+			float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), 0,
+		}, 4),
+	}})
+	seeds := map[string][]byte{
+		"seed-batch":         batch,
+		"seed-batch-nan-inf": nan,
+		"seed-result-err": mustMarshal(&wire.Result{ID: 2, VariantID: "v-θ", Err: "segfault at 0x0",
+			Tensors: map[string]*tensor.Tensor{"y": tensor.MustFromSlice([]float32{42}, 1)}}),
+		"seed-result-empty": mustMarshal(&wire.Result{ID: 3, VariantID: "v0"}),
+		"seed-ack":          mustMarshal(&wire.Ack{Detail: "ready"}),
+		"seed-bound":        mustMarshal(&wire.Bound{VariantID: "spare-1", Resume: 1 << 40}),
+		"seed-shutdown":     mustMarshal(&wire.Shutdown{}),
+		"seed-empty":        {},
+		"seed-unknown-tag":  {0xee, 1, 2, 3},
+		"seed-batch-trunc":  batch[:len(batch)/2],
+	}
+	// Single-bit corruptions across the valid batch encoding: header, tensor
+	// name, shape words and payload each get one flip.
+	for i, off := range []int{0, 1, len(batch) / 4, len(batch) / 2, len(batch) - 1} {
+		c := append([]byte(nil), batch...)
+		c[off%len(c)] ^= 1 << (i % 8)
+		seeds[fmt.Sprintf("seed-batch-bitflip-%d", i)] = c
+	}
+	return seeds
+}
