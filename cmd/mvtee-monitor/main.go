@@ -447,7 +447,13 @@ func serveFrontend(eng *monitor.Engine, itemShapes map[string][]int, opts runOpt
 	if err != nil {
 		return fmt.Errorf("serve listen: %w", err)
 	}
-	hs := &http.Server{Handler: serve.Handler(srv)}
+	// Bound slow clients on the public front door (see cmd/mvtee-serve).
+	hs := &http.Server{
+		Handler:           serve.Handler(srv),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	log.Printf("serving on http://%s (POST /v1/infer, GET /healthz; max-batch %d, window %v)",

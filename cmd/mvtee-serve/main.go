@@ -170,7 +170,16 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: serve.Handler(srv)}
+	// The public front door must bound slow clients itself: without header/
+	// read timeouts a trickled request holds a connection (and its partially
+	// decoded body) open indefinitely, exhausting the listener before
+	// admission control ever sees a request.
+	hs := &http.Server{
+		Handler:           serve.Handler(srv),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	log.Printf("serving on http://%s (POST /v1/infer, GET /healthz; max-batch %d, window %v)",

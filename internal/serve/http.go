@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,15 +56,22 @@ type Health struct {
 //	POST /v1/infer  — one inference request (429 + Retry-After on overload)
 //	GET  /healthz   — serving status, shed level, ladder, queue depths
 func Handler(s *Server) http.Handler {
+	bodyLimit := maxBodyBytes(s.cfg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, bodyLimit)
 		var req InferRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, err, 0)
+			status := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeErr(w, status, err, 0)
 			return
 		}
 		prio, err := ParsePriority(req.Priority)
@@ -82,6 +90,12 @@ func Handler(s *Server) http.Handler {
 		}
 		resp, err := s.Infer(r.Context(), Request{Tenant: req.Tenant, Priority: prio, Inputs: inputs})
 		if err != nil {
+			if r.Context().Err() != nil {
+				// The client went away (or its deadline passed) mid-request;
+				// there is no one to answer and it is not a server fault —
+				// don't let the abort show up as a 5xx in logs and metrics.
+				return
+			}
 			status, retry := errStatus(err)
 			writeErr(w, status, err, retry)
 			return
@@ -131,9 +145,37 @@ func errStatus(err error) (status int, retryAfter time.Duration) {
 		return http.StatusServiceUnavailable, 250 * time.Millisecond
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest, 0
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Caller-initiated abort, not a server failure.
+		return http.StatusRequestTimeout, 0
 	default:
 		return http.StatusInternalServerError, 0
 	}
+}
+
+// maxBodyBytes sizes the /v1/infer request-body cap. With a declared input
+// interface the bound follows from the largest admissible request: the
+// per-item volumes times MaxItems, at a generous ~24 bytes per float of
+// JSON text, plus fixed envelope overhead. Without declared shapes a flat
+// 64 MiB cap still stops unbounded bodies at the door.
+func maxBodyBytes(cfg Config) int64 {
+	const (
+		perFloat = 24
+		envelope = 1 << 20
+		fallback = 64 << 20
+	)
+	if len(cfg.ItemShapes) == 0 {
+		return fallback
+	}
+	var floats int64
+	for _, shape := range cfg.ItemShapes {
+		per := int64(1)
+		for _, d := range shape[1:] {
+			per *= int64(d)
+		}
+		floats += per * int64(cfg.MaxItems)
+	}
+	return floats*perFloat + envelope
 }
 
 func writeErr(w http.ResponseWriter, status int, err error, retry time.Duration) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -122,6 +123,55 @@ func TestHTTPBadRequest(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("shape/data mismatch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPOverflowShapeRejected(t *testing.T) {
+	fe := newFakeEngine()
+	s := newTestServer(t, fe, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	// 2^54 * 3 * 32 * 32 wraps to 0 mod 2^64: before overflow-checked
+	// volumes this shape with an empty data slice passed validation and the
+	// 2^54-row request crashed batch assembly. It must die with a 400.
+	resp := postInfer(t, ts.URL, InferRequest{Inputs: map[string]WireTensor{
+		"x": {Shape: []int{1 << 54, 3, 32, 32}, Data: []float32{}},
+	}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPBodyTooLarge(t *testing.T) {
+	fe := newFakeEngine()
+	s := newTestServer(t, fe, Config{MaxBatch: 1, MaxDelay: time.Millisecond,
+		ItemShapes: map[string][]int{"x": {1, 4}}})
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	// The declared interface admits at most 4 floats per request, so the
+	// body cap is ~1 MiB; a 3 MiB body must be cut off with a 413 before it
+	// is buffered.
+	body := bytes.Repeat([]byte("9"), 3<<20)
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestErrStatusClientCancel(t *testing.T) {
+	// A client abort surfaces as ctx.Err() out of Infer; it must not be
+	// classified as an internal server error.
+	for _, err := range []error{context.Canceled, context.DeadlineExceeded} {
+		if st, _ := errStatus(err); st != http.StatusRequestTimeout {
+			t.Errorf("errStatus(%v) = %d, want %d", err, st, http.StatusRequestTimeout)
+		}
 	}
 }
 

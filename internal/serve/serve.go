@@ -121,6 +121,11 @@ type Config struct {
 	// MaxBatch is the most requests coalesced into one engine batch
 	// (default 8).
 	MaxBatch int
+	// MaxItems bounds a single request's item count (the shared leading
+	// dimension of its inputs); larger requests are rejected at admission
+	// with ErrBadRequest so an adversarial leading dimension can never
+	// reach batch assembly or the engine (default 64).
+	MaxItems int
 	// MaxDelay is the batching window: a partially filled batch flushes
 	// this long after its first request (default 2ms).
 	MaxDelay time.Duration
@@ -155,6 +160,9 @@ type Config struct {
 func (c *Config) fill() {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 8
+	}
+	if c.MaxItems <= 0 {
+		c.MaxItems = 64
 	}
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 2 * time.Millisecond
@@ -368,6 +376,9 @@ func (s *Server) Submit(req Request) (<-chan Response, error) {
 	sig, rows, err := signature(req.Inputs)
 	if err != nil {
 		return nil, err
+	}
+	if rows > s.cfg.MaxItems {
+		return nil, fmt.Errorf("%w: item count %d exceeds max %d", ErrBadRequest, rows, s.cfg.MaxItems)
 	}
 	if req.Priority < High || req.Priority >= numLanes {
 		return nil, fmt.Errorf("%w: priority %d", ErrBadRequest, req.Priority)
@@ -625,6 +636,10 @@ func (s *Server) scheduler() {
 		if first == nil {
 			continue
 		}
+		// From here the batch members have left the queues (queued already
+		// decremented) but are not yet in pending; flushing keeps Drain from
+		// declaring the server empty while cond.Wait releases mu below.
+		s.flushing = true
 		batch := append(make([]*pendingReq, 0, s.cfg.MaxBatch), first)
 		reason := flushSize
 		if s.draining {
@@ -640,7 +655,15 @@ func (s *Server) scheduler() {
 			}
 		} else {
 			deadline := time.Now().Add(s.cfg.MaxDelay)
-			timer := time.AfterFunc(s.cfg.MaxDelay, s.cond.Broadcast)
+			// The broadcast must hold mu: the scheduler checks the deadline
+			// and enters cond.Wait under mu, so a lock-free broadcast firing
+			// in that gap would find no waiter and be lost, stalling the
+			// partial batch until unrelated traffic next broadcasts.
+			timer := time.AfterFunc(s.cfg.MaxDelay, func() {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			})
 			for len(batch) < s.cfg.MaxBatch {
 				if p := s.pick(first.sig); p != nil {
 					batch = append(batch, p)
@@ -659,12 +682,12 @@ func (s *Server) scheduler() {
 			timer.Stop()
 		}
 		if s.closed {
+			s.flushing = false
 			for _, p := range batch {
 				p.respCh <- Response{ID: p.id, Err: ErrClosed}
 			}
 			return
 		}
-		s.flushing = true
 		s.mu.Unlock()
 		s.submitBatch(batch, reason)
 		s.mu.Lock()

@@ -330,6 +330,60 @@ func TestDrainCompletesInflight(t *testing.T) {
 	}
 }
 
+func TestSubmitRejectsOversizedItemCount(t *testing.T) {
+	fe := newFakeEngine()
+	s := newTestServer(t, fe, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+
+	// The default MaxItems (64) refuses an outsized leading dimension at the
+	// door instead of letting it reach batch assembly.
+	big := Request{Inputs: map[string]*tensor.Tensor{"x": tensor.New(65, 2)}}
+	if _, err := s.Submit(big); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized request: %v, want ErrBadRequest", err)
+	}
+
+	// MaxItems is configurable, independent of MaxBatch.
+	s2 := newTestServer(t, newFakeEngine(), Config{MaxBatch: 2, MaxItems: 8, MaxDelay: time.Millisecond})
+	ok := Request{Inputs: map[string]*tensor.Tensor{"x": tensor.MustFromSlice(make([]float32, 16), 8, 2)}}
+	if _, err := s2.Infer(context.Background(), ok); err != nil {
+		t.Fatalf("8-item request under MaxItems=8: %v", err)
+	}
+	if _, err := s2.Submit(Request{Inputs: map[string]*tensor.Tensor{"x": tensor.New(9, 2)}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("9-item request under MaxItems=8: %v, want ErrBadRequest", err)
+	}
+}
+
+func TestDrainWaitsForAssemblingBatch(t *testing.T) {
+	fe := newFakeEngine()
+	// A long window and MaxBatch > 1 park the scheduler in batch assembly:
+	// the lone request has left the queues (queued back to 0) but is not yet
+	// in pending, exactly the window where Drain used to declare emptiness.
+	s := newTestServer(t, fe, Config{MaxBatch: 4, MaxDelay: 10 * time.Second})
+
+	ch, err := s.Submit(itemReq("t", Normal, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued == 0 && s.flushing
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	select {
+	case r := <-ch:
+		if r.Err != nil {
+			t.Fatalf("admitted request failed: %v", r.Err)
+		}
+	default:
+		t.Fatal("Drain returned before the admitted request completed")
+	}
+}
+
 func TestShedFollowsLadder(t *testing.T) {
 	fe := newFakeEngine()
 	s := newTestServer(t, fe, Config{MaxBatch: 1, MaxDelay: time.Millisecond,

@@ -21,29 +21,48 @@ type Tensor struct {
 // ErrShape reports an invalid or mismatched shape.
 var ErrShape = errors.New("tensor: invalid shape")
 
-// New returns a zero-filled tensor with the given shape. It panics if any
-// dimension is negative; an empty shape yields a scalar (one element).
-func New(shape ...int) *Tensor {
+// MaxVolume bounds a tensor's element count. The float32 backing of a
+// tensor at this size is already 8 GiB — far beyond anything the engine
+// serves — and the bound keeps the volume product from wrapping around
+// the int range on adversarial shapes.
+const MaxVolume = math.MaxInt32
+
+// CheckedVolume returns the element count of shape, rejecting negative
+// dimensions and products that exceed MaxVolume (including ones that would
+// overflow). Use it wherever a shape crosses a trust boundary; Volume is
+// the unchecked variant for shapes the process made itself.
+func CheckedVolume(shape []int) (int, error) {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+			return 0, fmt.Errorf("%w: negative dimension %d", ErrShape, d)
+		}
+		if d > 0 && n > MaxVolume/d {
+			return 0, fmt.Errorf("%w: volume of %v exceeds %d elements", ErrShape, shape, MaxVolume)
 		}
 		n *= d
+	}
+	return n, nil
+}
+
+// New returns a zero-filled tensor with the given shape. It panics if any
+// dimension is negative or the volume exceeds MaxVolume; an empty shape
+// yields a scalar (one element).
+func New(shape ...int) *Tensor {
+	n, err := CheckedVolume(shape)
+	if err != nil {
+		panic(err.Error())
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
 }
 
 // FromSlice wraps data in a tensor with the given shape. The data slice is
-// retained, not copied. It returns an error if len(data) does not match the
-// shape volume.
+// retained, not copied. It returns an error if the shape is invalid (see
+// Volume) or len(data) does not match the shape volume.
 func FromSlice(data []float32, shape ...int) (*Tensor, error) {
-	n := 1
-	for _, d := range shape {
-		if d < 0 {
-			return nil, fmt.Errorf("%w: negative dimension %d", ErrShape, d)
-		}
-		n *= d
+	n, err := CheckedVolume(shape)
+	if err != nil {
+		return nil, err
 	}
 	if len(data) != n {
 		return nil, fmt.Errorf("%w: data length %d != volume %d of %v", ErrShape, len(data), n, shape)

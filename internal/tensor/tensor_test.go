@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"reflect"
@@ -38,6 +39,37 @@ func TestNewNegativeDimPanics(t *testing.T) {
 		}
 	}()
 	New(2, -1)
+}
+
+func TestVolumeOverflowRejected(t *testing.T) {
+	// The wraparound attack: 2^54 * 3 * 32 * 32 ≡ 0 (mod 2^64), so an
+	// unchecked product would equal len(nil) and admit a tensor claiming
+	// 2^54 leading items.
+	if _, err := FromSlice(nil, 1<<54, 3, 32, 32); !errors.Is(err, ErrShape) {
+		t.Fatalf("FromSlice(wrapping shape) err = %v, want ErrShape", err)
+	}
+	if _, err := CheckedVolume([]int{math.MaxInt, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("Volume(overflowing shape) err = %v, want ErrShape", err)
+	}
+	if _, err := CheckedVolume([]int{MaxVolume + 1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("Volume(MaxVolume+1) err = %v, want ErrShape", err)
+	}
+	if n, err := CheckedVolume([]int{MaxVolume}); err != nil || n != MaxVolume {
+		t.Fatalf("Volume(MaxVolume) = %d, %v; want %d, nil", n, err, MaxVolume)
+	}
+	// Zero dimensions still give volume zero, even next to huge ones.
+	if n, err := CheckedVolume([]int{0, 1 << 54}); err != nil || n != 0 {
+		t.Fatalf("Volume([0, 2^54]) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestNewOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for overflowing volume")
+		}
+	}()
+	New(1<<54, 1<<54)
 }
 
 func TestFromSlice(t *testing.T) {
