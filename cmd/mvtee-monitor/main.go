@@ -70,6 +70,8 @@ func main() {
 	serveMaxBatch := flag.Int("serve-max-batch", 8, "serving: max requests coalesced into one engine batch")
 	serveMaxDelay := flag.Duration("serve-max-delay", 2*time.Millisecond, "serving: batching window before a partial batch flushes")
 	serveTenants := flag.String("serve-tenants", "", "serving: per-tenant WRR weights, e.g. 'acme:3,guest:1'")
+	serveBinary := flag.Bool("serve-binary", true,
+		"serving: accept the application/x-mvtee-tensor binary streaming content type (JSON always stays on)")
 	flag.Parse()
 	log.SetPrefix("mvtee-monitor: ")
 	log.SetFlags(0)
@@ -100,6 +102,7 @@ func main() {
 		serveMaxBatch:  *serveMaxBatch,
 		serveMaxDelay:  *serveMaxDelay,
 		serveTenants:   *serveTenants,
+		serveBinary:    *serveBinary,
 	}
 	if err := run(opts); err != nil {
 		log.Fatal(err)
@@ -123,6 +126,7 @@ type runOptions struct {
 	serveMaxBatch       int
 	serveMaxDelay       time.Duration
 	serveTenants        string
+	serveBinary         bool
 }
 
 func parsePlans(s string) []monitor.PartitionPlan {
@@ -436,10 +440,11 @@ func serveFrontend(eng *monitor.Engine, itemShapes map[string][]int, opts runOpt
 		}
 	}
 	srv := serve.New(eng, serve.Config{
-		MaxBatch:   opts.serveMaxBatch,
-		MaxDelay:   opts.serveMaxDelay,
-		Tenants:    tenants,
-		ItemShapes: itemShapes,
+		MaxBatch:      opts.serveMaxBatch,
+		MaxDelay:      opts.serveMaxDelay,
+		Tenants:       tenants,
+		ItemShapes:    itemShapes,
+		DisableBinary: !opts.serveBinary,
 	})
 	defer srv.Close()
 

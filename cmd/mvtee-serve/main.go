@@ -49,6 +49,8 @@ func main() {
 	tenantQueue := flag.Int("tenant-queue", 64, "per-tenant pending-request cap")
 	globalQueue := flag.Int("global-queue", 1024, "global pending-request cap")
 	tenantsStr := flag.String("tenants", "", "per-tenant WRR weights, e.g. 'acme:3,guest:1' (unknown tenants get weight 1)")
+	binaryProto := flag.Bool("binary-protocol", true,
+		"accept the application/x-mvtee-tensor binary streaming content type on /v1/infer (JSON always stays on)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"operator telemetry HTTP listen address serving /metrics, /trace, /events and /debug/pprof/; empty disables")
@@ -66,11 +68,12 @@ func main() {
 		listen: *listen, telemetryAddr: *telemetryAddr,
 		drainTimeout: *drainTimeout,
 		serveCfg: serve.Config{
-			MaxBatch:    *maxBatch,
-			MaxDelay:    *maxDelay,
-			TenantQueue: *tenantQueue,
-			GlobalQueue: *globalQueue,
-			Tenants:     tenants,
+			MaxBatch:      *maxBatch,
+			MaxDelay:      *maxDelay,
+			TenantQueue:   *tenantQueue,
+			GlobalQueue:   *globalQueue,
+			Tenants:       tenants,
+			DisableBinary: !*binaryProto,
 		},
 	}); err != nil {
 		log.Fatal(err)
@@ -182,8 +185,12 @@ func run(o options) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
-	log.Printf("serving on http://%s (POST /v1/infer, GET /healthz; max-batch %d, window %v)",
-		ln.Addr(), o.serveCfg.MaxBatch, o.serveCfg.MaxDelay)
+	protos := "json+binary"
+	if o.serveCfg.DisableBinary {
+		protos = "json"
+	}
+	log.Printf("serving on http://%s (POST /v1/infer [%s], GET /healthz; max-batch %d, window %v)",
+		ln.Addr(), protos, o.serveCfg.MaxBatch, o.serveCfg.MaxDelay)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

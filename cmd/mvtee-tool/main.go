@@ -10,20 +10,28 @@
 //	    the resulting partition sets with balance factors
 //	build     -model NAME -out DIR -targets 5 -specs replica|real|hardened
 //	    run the full offline pipeline and save the encrypted bundle
+//	infer     -addr URL [-binary] -input name=DIMS[,...] …
+//	    client call against a serving front door (mvtee-serve or
+//	    mvtee-monitor -serve-addr), JSON or the binary streaming protocol
 //
 // Example:
 //
 //	mvtee-tool build -model resnet-50 -out /tmp/bundle -targets 5 -specs real
+//	mvtee-tool infer -addr http://127.0.0.1:8080 -binary -input image=1x3x32x32
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diversify"
@@ -31,6 +39,8 @@ import (
 	"repro/internal/ops"
 	"repro/internal/partition"
 	"repro/internal/pfcrypt"
+	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -48,6 +58,8 @@ func main() {
 		err = runBuild(os.Args[2:])
 	case "rotate":
 		err = runRotate(os.Args[2:])
+	case "infer":
+		err = runInfer(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -67,7 +79,8 @@ func usage() {
   inspect   -model NAME [-scale S -input-size N -depth D]
   partition -model NAME -targets 3,5,7 [-seed N] [-manual i,j,...]
   build     -model NAME -out DIR [-targets 5] [-specs replica|real|hardened] [-seed N]
-  rotate    -bundle DIR [-entry setN/pN/SPEC]   (re-key pool entries, §6.5)`)
+  rotate    -bundle DIR [-entry setN/pN/SPEC]   (re-key pool entries, §6.5)
+  infer     -addr URL [-binary] [-tenant T] [-priority P] -input name=1x3x32x32 [-seed N]`)
 }
 
 func modelFlags(fs *flag.FlagSet) (*string, *models.Config) {
@@ -224,6 +237,77 @@ func runBuild(args []string) error {
 	}
 	fmt.Printf("bundle written to %s: %d partition sets, %d specs, %d encrypted files\n",
 		*out, len(b.Sets), len(b.Specs), len(b.FS))
+	return nil
+}
+
+// runInfer is the client half of the serving front door: it builds the
+// requested inputs, issues one POST /v1/infer in the chosen codec (float32
+// JSON, or -binary for the application/x-mvtee-tensor streaming protocol)
+// and prints the response metadata plus a summary of every output tensor.
+func runInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "serving front-door base URL")
+	binary := fs.Bool("binary", false, "use the binary streaming wire protocol instead of JSON")
+	tenant := fs.String("tenant", "", "tenant name for fairness accounting")
+	priority := fs.String("priority", "", "scheduling lane: high, normal (default), low")
+	seed := fs.Uint64("seed", 1, "deterministic input fill seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "request deadline")
+	var inputSpecs []string
+	fs.Func("input", "input tensor as name=DIMS with x- or comma-separated dims, e.g. image=1x3x32x32 (repeatable)",
+		func(v string) error { inputSpecs = append(inputSpecs, v); return nil })
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(inputSpecs) == 0 {
+		return fmt.Errorf("at least one -input name=DIMS is required")
+	}
+	prio, err := serve.ParsePriority(*priority)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewPCG(*seed, 0x6d76746565)) // "mvtee"
+	inputs := make(map[string]*tensor.Tensor, len(inputSpecs))
+	for _, spec := range inputSpecs {
+		name, dims, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("bad -input %q (want name=DIMS)", spec)
+		}
+		shape, err := parseInts(strings.ReplaceAll(dims, "x", ","))
+		if err != nil || len(shape) == 0 {
+			return fmt.Errorf("bad -input dims %q", dims)
+		}
+		t := tensor.New(shape...)
+		for i := range t.Data() {
+			t.Data()[i] = float32(rng.NormFloat64())
+		}
+		inputs[name] = t
+	}
+
+	cl := serve.Client{BaseURL: strings.TrimRight(*addr, "/"), Binary: *binary}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := cl.Infer(ctx, serve.Request{Tenant: *tenant, Priority: prio, Inputs: inputs})
+	if err != nil {
+		return err
+	}
+	proto := "json"
+	if *binary {
+		proto = "binary"
+	}
+	fmt.Printf("request %d via %s: batch %d (fill %d), server latency %v, round trip %v\n",
+		resp.ID, proto, resp.BatchID, resp.BatchFill, resp.Latency.Round(time.Microsecond),
+		time.Since(start).Round(time.Microsecond))
+	names := make([]string, 0, len(resp.Tensors))
+	for name := range resp.Tensors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := resp.Tensors[name]
+		n := min(4, t.Size())
+		fmt.Printf("output %s %v = %v…\n", name, t.Shape(), t.Data()[:n])
+	}
 	return nil
 }
 

@@ -1,6 +1,9 @@
 // Serving: multiplex many concurrent tenants onto one protected MVTEE
 // pipeline through the dynamic-batching front door — weighted fairness,
 // priority lanes, and explicit backpressure instead of unbounded queues.
+// Clients go through the real HTTP surface: the "pro" population speaks the
+// binary streaming wire protocol (application/x-mvtee-tensor), "free"
+// speaks float32-JSON, and both land on the same engine.
 //
 //	go run ./examples/serving
 package main
@@ -11,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,15 +69,28 @@ func main() {
 	})
 	defer srv.Close()
 
-	// Three client populations hammer the pipeline concurrently.
+	// The real HTTP front door, so requests exercise content negotiation
+	// and the binary streaming response path end to end.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: serve.Handler(srv)}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	baseURL := "http://" + ln.Addr().String()
+
+	// Three client populations hammer the pipeline concurrently; "pro"
+	// clients use the binary protocol, "free" stays on JSON.
 	tenants := []struct {
-		name string
-		prio serve.Priority
-		n    int
+		name   string
+		prio   serve.Priority
+		n      int
+		binary bool
 	}{
-		{"pro", serve.High, 24},
-		{"free", serve.Normal, 24},
-		{"free", serve.Low, 8},
+		{"pro", serve.High, 24, true},
+		{"free", serve.Normal, 24, false},
+		{"free", serve.Low, 8, false},
 	}
 	var wg sync.WaitGroup
 	var served, rejected atomic.Int64
@@ -84,21 +102,22 @@ func main() {
 			wg.Add(1)
 			go func(seed int) {
 				defer wg.Done()
+				cl := serve.Client{BaseURL: baseURL, Binary: tc.binary}
 				rng := rand.New(rand.NewPCG(uint64(seed), 9))
 				for i := 0; i < tc.n/4; i++ {
 					in := mvtee.NewTensor(1, 3, 32, 32)
 					for j := range in.Data() {
 						in.Data()[j] = float32(rng.NormFloat64())
 					}
-					r, err := srv.Infer(context.Background(), serve.Request{
+					r, err := cl.Infer(context.Background(), serve.Request{
 						Tenant:   tc.name,
 						Priority: tc.prio,
 						Inputs:   map[string]*mvtee.Tensor{"image": in},
 					})
-					var ov *serve.OverloadError
-					if errors.As(err, &ov) {
+					var se *serve.StatusError
+					if errors.As(err, &se) && se.RetryAfter > 0 {
 						rejected.Add(1)
-						time.Sleep(ov.RetryAfter) // honor the backpressure hint
+						time.Sleep(se.RetryAfter) // honor the backpressure hint
 						continue
 					}
 					if err != nil {
@@ -126,7 +145,7 @@ func main() {
 	}
 	fmt.Println("\nper-tenant telemetry:")
 	for _, m := range reg.Snapshot() {
-		if m.Name == telemetry.MetricServeRequests {
+		if m.Name == telemetry.MetricServeRequests || m.Name == telemetry.MetricServeProto {
 			fmt.Printf("  %s %v = %v\n", m.Name, m.Labels, m.Value)
 		}
 	}

@@ -114,6 +114,7 @@ func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
 	perfCheck(add)
 	perfDataPlane(add)
 	perfServe(add)
+	perfServeWire(add)
 	if err := perfTelemetry(add, emit); err != nil {
 		return rep, err
 	}

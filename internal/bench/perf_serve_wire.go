@@ -1,0 +1,201 @@
+// Wire-protocol benchmarks for the public serving surface: the float32-JSON
+// compatibility codec against the application/x-mvtee-tensor binary
+// streaming codec, at request-decode (the per-request cost the front door
+// pays before admission), response-encode, and end-to-end over a real HTTP
+// server onto a real MVX engine. The decode ratio at ≥64 KiB inputs is the
+// PR acceptance gate: binary must be ≥10x.
+
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// wireInputs builds one request's inputs: x[items, 1024], values drawn from
+// a fixed-seed normal so the JSON text carries realistic long decimal
+// mantissas instead of compressible round numbers.
+func wireInputs(items int) map[string]*tensor.Tensor {
+	rng := rand.New(rand.NewPCG(7, uint64(items)))
+	x := tensor.New(items, 1024)
+	for i := range x.Data() {
+		x.Data()[i] = float32(rng.NormFloat64())
+	}
+	return map[string]*tensor.Tensor{"x": x}
+}
+
+func jsonRequestBody(inputs map[string]*tensor.Tensor) []byte {
+	jr := serve.InferRequest{Inputs: make(map[string]serve.WireTensor, len(inputs))}
+	for name, t := range inputs {
+		jr.Inputs[name] = serve.WireTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	body, err := json.Marshal(jr)
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
+func binaryRequestBody(inputs map[string]*tensor.Tensor) []byte {
+	var b bytes.Buffer
+	b.Grow(int(wire.RequestEncodedSize(inputs)))
+	if err := wire.EncodeRequest(&b, inputs); err != nil {
+		panic(err)
+	}
+	return b.Bytes()
+}
+
+// perfServeWire measures both public codecs. One op = one request body
+// decoded (or one response encoded, or one request served end to end).
+func perfServeWire(add func(string, func(b *testing.B))) {
+	// Request decode: the payload sizes the acceptance gate tracks. Both
+	// paths do the full front-door work of turning bytes into validated
+	// tensors (the JSON side mirrors serve's decodeJSON: unmarshal, then
+	// shape-checked FromSlice per input).
+	for _, sz := range []struct {
+		name  string
+		items int
+	}{
+		{"64KiB", 16}, // 16×1024 floats
+		{"1MiB", 256}, // 256×1024 floats
+	} {
+		inputs := wireInputs(sz.items)
+		jbody := jsonRequestBody(inputs)
+		bbody := binaryRequestBody(inputs)
+
+		add("serve/wire/decode-json/"+sz.name, func(b *testing.B) {
+			b.SetBytes(int64(len(jbody)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var jr serve.InferRequest
+				if err := json.Unmarshal(jbody, &jr); err != nil {
+					b.Fatal(err)
+				}
+				for name, wt := range jr.Inputs {
+					if _, err := tensor.FromSlice(wt.Data, wt.Shape...); err != nil {
+						b.Fatalf("%s: %v", name, err)
+					}
+				}
+			}
+		})
+		add("serve/wire/decode-binary/"+sz.name, func(b *testing.B) {
+			b.SetBytes(int64(len(bbody)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.DecodeRequest(bytes.NewReader(bbody), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Response encode at 64 KiB: the JSON envelope against the streamed
+	// binary frames, both into a discarding writer.
+	outputs := wireInputs(16)
+	add("serve/wire/encode-json/64KiB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := serve.InferResponse{ID: 1, BatchID: 1, BatchFill: 1,
+				Outputs: make(map[string]serve.WireTensor, len(outputs))}
+			for name, t := range outputs {
+				out.Outputs[name] = serve.WireTensor{Shape: t.Shape(), Data: t.Data()}
+			}
+			if err := json.NewEncoder(io.Discard).Encode(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("serve/wire/encode-binary/64KiB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			meta := wire.PubMeta{ID: 1, BatchID: 1, BatchFill: 1, Tensors: len(outputs)}
+			if err := wire.WriteResponseHeader(io.Discard, meta); err != nil {
+				b.Fatal(err)
+			}
+			for name, t := range outputs {
+				if err := wire.WriteTensorFrame(io.Discard, name, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := wire.WriteEndFrame(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// End to end: concurrent clients through a real HTTP front door (content
+	// negotiation, body caps, batching window) onto the 3-variant MVX engine
+	// behind sealed channels. 16 KiB per request — large enough that codec
+	// cost is visible next to the engine's wire/seal/checkpoint work.
+	const clients = 16
+	for _, binary := range []bool{false, true} {
+		binary := binary
+		name := "serve/wire/e2e-json/16KiB"
+		if binary {
+			name = "serve/wire/e2e-binary/16KiB"
+		}
+		add(name, func(b *testing.B) {
+			eng := newServeEngine(b)
+			srv := serve.New(eng, serve.Config{
+				MaxBatch:    8,
+				MaxDelay:    500 * time.Microsecond,
+				TenantQueue: 4 * clients,
+				GlobalQueue: 8 * clients,
+				Metrics:     telemetry.NewRegistry(),
+			})
+			b.Cleanup(srv.Close)
+			ts := httptest.NewServer(serve.Handler(srv))
+			b.Cleanup(ts.Close)
+
+			reqs := make([]serve.Request, clients)
+			for c := range reqs {
+				x := tensor.New(1, 4096)
+				for j := range x.Data() {
+					x.Data()[j] = float32(c + j)
+				}
+				reqs[c] = serve.Request{
+					Tenant: fmt.Sprintf("t%d", c%4),
+					Inputs: map[string]*tensor.Tensor{"x": x},
+				}
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					cl := serve.Client{BaseURL: ts.URL, Binary: binary}
+					for next.Add(1) <= int64(b.N) {
+						r, err := cl.Infer(context.Background(), reqs[c])
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if r.Tensors["y"].At(0, 0) != 2*float32(c) {
+							b.Errorf("client %d: bad demux row", c)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// Client is a Go client for the serving front door (POST /v1/infer). The
+// zero value plus BaseURL works; set Binary to speak the streaming binary
+// protocol instead of JSON — same requests, same responses, ~10x cheaper
+// decode at large tensors.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// Binary selects application/x-mvtee-tensor for request and response
+	// bodies; false speaks float32-JSON.
+	Binary bool
+}
+
+// StatusError is a non-2xx front-door answer, decoded from whichever error
+// envelope (JSON or binary frame) the server sent.
+type StatusError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("serve: HTTP %d: %s (retry after %v)", e.Status, e.Msg, e.RetryAfter)
+	}
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// Infer issues one inference request and decodes the response. Overload and
+// drain rejections come back as *StatusError carrying the server's
+// retry-after hint.
+func (c *Client) Infer(ctx context.Context, req Request) (Response, error) {
+	if c.Binary {
+		return c.inferBinary(ctx, req)
+	}
+	return c.inferJSON(ctx, req)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) inferJSON(ctx context.Context, req Request) (Response, error) {
+	jr := InferRequest{
+		Tenant:   req.Tenant,
+		Priority: req.Priority.String(),
+		Inputs:   make(map[string]WireTensor, len(req.Inputs)),
+	}
+	for name, t := range req.Inputs {
+		jr.Inputs[name] = WireTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return Response{}, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		return Response{}, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return Response{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Response{}, decodeJSONError(resp)
+	}
+	var out InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Response{}, err
+	}
+	r := Response{
+		ID:        out.ID,
+		BatchID:   out.BatchID,
+		BatchFill: out.BatchFill,
+		Latency:   time.Duration(out.LatencyMS * float64(time.Millisecond)),
+		Tensors:   make(map[string]*tensor.Tensor, len(out.Outputs)),
+	}
+	for name, wt := range out.Outputs {
+		t, err := tensor.FromSlice(wt.Data, wt.Shape...)
+		if err != nil {
+			return Response{}, fmt.Errorf("serve: output %q: %w", name, err)
+		}
+		r.Tensors[name] = t
+	}
+	return r, nil
+}
+
+func (c *Client) inferBinary(ctx context.Context, req Request) (Response, error) {
+	var body bytes.Buffer
+	body.Grow(int(wire.RequestEncodedSize(req.Inputs)))
+	if err := wire.EncodeRequest(&body, req.Inputs); err != nil {
+		return Response{}, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/infer", &body)
+	if err != nil {
+		return Response{}, err
+	}
+	hr.Header.Set("Content-Type", wire.ContentTypeBinary)
+	hr.Header.Set("Accept", wire.ContentTypeBinary)
+	if req.Tenant != "" {
+		hr.Header.Set(HeaderTenant, req.Tenant)
+	}
+	hr.Header.Set(HeaderPriority, req.Priority.String())
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return Response{}, err
+	}
+	defer resp.Body.Close()
+	meta, outs, err := wire.DecodeResponse(resp.Body)
+	if err != nil {
+		if pe, ok := err.(*wire.PubError); ok {
+			return Response{}, &StatusError{Status: pe.Status, Msg: pe.Msg, RetryAfter: pe.RetryAfter}
+		}
+		if resp.StatusCode != http.StatusOK {
+			return Response{}, &StatusError{Status: resp.StatusCode, Msg: err.Error()}
+		}
+		return Response{}, err
+	}
+	return Response{
+		ID:        meta.ID,
+		BatchID:   meta.BatchID,
+		BatchFill: meta.BatchFill,
+		Latency:   meta.Latency,
+		Tensors:   outs,
+	}, nil
+}
+
+// decodeJSONError turns a non-200 JSON answer into a *StatusError.
+func decodeJSONError(resp *http.Response) error {
+	var eb errorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+		eb.Error = string(bytes.TrimSpace(raw))
+	}
+	return &StatusError{
+		Status:     resp.StatusCode,
+		Msg:        eb.Error,
+		RetryAfter: time.Duration(eb.RetryAfter * float64(time.Second)),
+	}
+}

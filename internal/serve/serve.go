@@ -147,6 +147,10 @@ type Config struct {
 	// RetryAfterHint is the base backoff suggested to rejected callers; the
 	// hint scales with queue depth (default 25ms).
 	RetryAfterHint time.Duration
+	// DisableBinary turns off the application/x-mvtee-tensor content type
+	// on the HTTP front door; JSON stays available (compatibility gate for
+	// staged rollouts).
+	DisableBinary bool
 	// ShedDisabled turns off ladder-driven load shedding.
 	ShedDisabled bool
 	// ShedInterval is how often the ladder is polled for shedding

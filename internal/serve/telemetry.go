@@ -47,6 +47,7 @@ type serveMetrics struct {
 	globalDepth *telemetry.Gauge
 	shedLevel   *telemetry.Gauge
 	inflight    *telemetry.Gauge
+	protos      [2]*telemetry.Counter // [json, binary] request codecs
 
 	mu      sync.Mutex
 	tenants map[string]*tenantMetrics
@@ -75,6 +76,8 @@ func newServeMetrics(reg *telemetry.Registry) *serveMetrics {
 	for i, r := range reasons {
 		m.flushes[i] = reg.Counter(telemetry.MetricServeFlushes, telemetry.L("reason", r))
 	}
+	m.protos[0] = reg.Counter(telemetry.MetricServeProto, telemetry.L("proto", "json"))
+	m.protos[1] = reg.Counter(telemetry.MetricServeProto, telemetry.L("proto", "binary"))
 	m.batchFill = reg.Histogram(telemetry.MetricServeBatchFill)
 	m.globalDepth = reg.Gauge(telemetry.MetricServeQueueGlobal)
 	m.shedLevel = reg.Gauge(telemetry.MetricServeShedLevel)
@@ -100,6 +103,15 @@ func (m *serveMetrics) tenant(name string) *tenantMetrics {
 }
 
 func (m *serveMetrics) admission(v admitVerdict) { m.admissions[v].Inc() }
+
+// proto counts one HTTP request by its request codec.
+func (m *serveMetrics) proto(binary bool) {
+	if binary {
+		m.protos[1].Inc()
+	} else {
+		m.protos[0].Inc()
+	}
+}
 
 func (m *serveMetrics) flush(r flushReason, fill, inflight int) {
 	m.flushes[r].Inc()

@@ -62,6 +62,9 @@ const (
 	MetricServeLatencyNs   = "mvtee_serve_request_latency_ns"
 	MetricServeShedLevel   = "mvtee_serve_shed_level"
 	MetricServeInflight    = "mvtee_serve_inflight_batches"
+	// MetricServeProto counts HTTP requests by negotiated request codec
+	// (proto label: "json" | "binary").
+	MetricServeProto = "mvtee_serve_proto_total"
 )
 
 // Admission verdict label values for MetricServeAdmission.

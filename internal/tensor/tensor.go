@@ -232,7 +232,11 @@ func Volume(shape []int) int {
 // Checkpoint tensors cross TEE boundaries constantly, so the codec is a tight
 // little-endian format: u32 rank, rank×u32 dims, raw float32 payload.
 
-const maxWireDims = 16
+// MaxWireDims bounds a tensor's rank on every wire surface (internal
+// checkpoint codec and the public binary request protocol alike).
+const MaxWireDims = 16
+
+const maxWireDims = MaxWireDims
 
 // WriteTo serializes t to w in the wire format.
 func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
@@ -269,9 +273,7 @@ func (t *Tensor) Encode(dst []byte) int {
 		binary.LittleEndian.PutUint32(dst[4+4*i:], uint32(d))
 	}
 	off := 4 + 4*len(t.shape)
-	for i, f := range t.data {
-		binary.LittleEndian.PutUint32(dst[off+4*i:], math.Float32bits(f))
-	}
+	EncodeFloats(dst[off:], t.data)
 	return off + 4*len(t.data)
 }
 
@@ -310,6 +312,43 @@ func Unmarshal(buf []byte) (*Tensor, int, error) {
 		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4*i:]))
 	}
 	return &Tensor{shape: shape, data: data}, off + 4*vol, nil
+}
+
+// EncodeFloats writes src as little-endian float32 bytes into dst, which
+// must hold at least 4*len(src) bytes. It is the payload core of Encode,
+// exposed so streaming writers can convert in pooled chunks.
+func EncodeFloats(dst []byte, src []float32) {
+	for i, f := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(f))
+	}
+}
+
+// DecodeFloats fills dst from little-endian float32 bytes in src, which must
+// hold at least 4*len(dst) bytes. Bit patterns are preserved exactly (NaN
+// payloads included); it is the inverse of EncodeFloats.
+func DecodeFloats(dst []float32, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// ReadPayloadInto streams 4*len(dst) bytes of little-endian float32 payload
+// from r into dst, staging through scratch so an arbitrarily large tensor
+// body is decoded with zero additional allocation. scratch must hold at
+// least 4 bytes; larger scratch means fewer reads.
+func ReadPayloadInto(r io.Reader, dst []float32, scratch []byte) error {
+	if len(scratch) < 4 {
+		return fmt.Errorf("tensor: payload scratch too small (%d bytes)", len(scratch))
+	}
+	chunk := len(scratch) / 4 // whole floats per read
+	for off := 0; off < len(dst); off += chunk {
+		n := min(chunk, len(dst)-off)
+		if _, err := io.ReadFull(r, scratch[:4*n]); err != nil {
+			return err
+		}
+		DecodeFloats(dst[off:off+n], scratch)
+	}
+	return nil
 }
 
 // ReadFrom deserializes a tensor from r in the wire format.

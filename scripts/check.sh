@@ -18,10 +18,12 @@ go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securec
 go test -run='TestWarmAllocsPin' -count=1 ./internal/monitor
 
 # Short fuzz smoke over the attacker-facing parsers: the pre-auth record
-# framing and the tagged wire decoder. A few seconds each catches gross
-# regressions; longer campaigns run out-of-band.
+# framing, the tagged wire decoder, and the public binary request decoder on
+# the serving front door. A few seconds each catches gross regressions;
+# longer campaigns run out-of-band.
 go test -run='^$' -fuzz=FuzzFrame -fuzztime=5s ./internal/securechan
 go test -run='^$' -fuzz=FuzzWireUnmarshal -fuzztime=5s ./internal/wire
+go test -run='^$' -fuzz=FuzzPublicRequest -fuzztime=5s ./internal/wire
 
 # Advisory perf gate: opt-in because the full microbenchmark suite takes
 # minutes. CHECK_BENCH=1 ./scripts/check.sh measures the working tree and

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -31,6 +32,7 @@ func main() {
 	}
 	write(filepath.Join(root, "internal/securechan/testdata/fuzz/FuzzFrame"), frameSeeds())
 	write(filepath.Join(root, "internal/wire/testdata/fuzz/FuzzWireUnmarshal"), wireSeeds())
+	write(filepath.Join(root, "internal/wire/testdata/fuzz/FuzzPublicRequest"), publicSeeds())
 }
 
 // write emits each seed in the `go test fuzz v1` corpus-file format.
@@ -131,6 +133,69 @@ func wireSeeds() map[string][]byte {
 		c := append([]byte(nil), batch...)
 		c[off%len(c)] ^= 1 << (i % 8)
 		seeds[fmt.Sprintf("seed-batch-bitflip-%d", i)] = c
+	}
+	return seeds
+}
+
+func mustEncodeRequest(inputs map[string]*tensor.Tensor) []byte {
+	var b bytes.Buffer
+	if err := wire.EncodeRequest(&b, inputs); err != nil {
+		panic(err)
+	}
+	return b.Bytes()
+}
+
+// publicSeeds targets the public binary request decoder — the pre-auth
+// parser internet bytes reach on the serving front door: valid bodies with
+// hostile float payloads, boundary shapes, lying length fields, and bit
+// flips across every region of a valid encoding.
+func publicSeeds() map[string][]byte {
+	valid := mustEncodeRequest(map[string]*tensor.Tensor{
+		"image": tensor.MustFromSlice([]float32{0, -0, 1.5, -2.25, 3e38, -3e38}, 2, 3),
+		"mask":  tensor.MustFromSlice([]float32{1}, 1, 1),
+	})
+	nan := mustEncodeRequest(map[string]*tensor.Tensor{
+		"x": tensor.MustFromSlice([]float32{
+			float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), 0,
+		}, 1, 4),
+	})
+	maxRank := mustEncodeRequest(map[string]*tensor.Tensor{
+		"deep": tensor.MustFromSlice([]float32{7}, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1),
+	})
+
+	// A frame whose declared body length disagrees with its shape.
+	lyingLen := append([]byte(nil), valid...)
+	lyingLen[7]++ // first tensor frame's u32 body length, low byte
+
+	// A header announcing the max tensor count with no frames behind it.
+	countOverCap := []byte{'M', 'V', 'T', 1, 0xff, 0xff}
+	atCap := []byte{'M', 'V', 'T', 1, 64, 0}
+
+	// Huge declared volume: rank 2, dims (0x7fffffff, 2) — overflow-checked
+	// volume must refuse it before any payload allocation.
+	hugeVol := []byte{'M', 'V', 'T', 1, 1, 0, 1, 0xff, 0xff, 0xff, 0xff, 1, 0, 'x'}
+	hugeVol = append(hugeVol, 2, 0, 0, 0) // rank 2
+	hugeVol = append(hugeVol, 0xff, 0xff, 0xff, 0x7f, 2, 0, 0, 0)
+
+	seeds := map[string][]byte{
+		"seed-valid":         valid,
+		"seed-nan-inf":       nan,
+		"seed-max-rank":      maxRank,
+		"seed-lying-len":     lyingLen,
+		"seed-count-over":    countOverCap,
+		"seed-count-at-cap":  atCap,
+		"seed-huge-volume":   hugeVol,
+		"seed-empty":         {},
+		"seed-magic-only":    []byte("MVT\x01"),
+		"seed-wrong-version": []byte("MVT\x02\x01\x00"),
+		"seed-no-end":        valid[:len(valid)-5],
+		"seed-half":          valid[:len(valid)/2],
+		"seed-json-noise":    []byte(`{"inputs":{"x":{"shape":[1,1],"data":[1]}}}`),
+	}
+	for i, off := range []int{3, 5, 9, len(valid) / 3, len(valid) - 6} {
+		c := append([]byte(nil), valid...)
+		c[off%len(c)] ^= 1 << (i % 8)
+		seeds[fmt.Sprintf("seed-bitflip-%d", i)] = c
 	}
 	return seeds
 }
