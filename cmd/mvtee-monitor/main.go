@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/enclave"
 	"repro/internal/monitor"
@@ -69,9 +70,13 @@ func main() {
 		"multi-tenant serving HTTP listen address (POST /v1/infer, GET /healthz) with dynamic batching and admission control; replaces the demo workload")
 	serveMaxBatch := flag.Int("serve-max-batch", 8, "serving: max requests coalesced into one engine batch")
 	serveMaxDelay := flag.Duration("serve-max-delay", 2*time.Millisecond, "serving: batching window before a partial batch flushes")
-	serveTenants := flag.String("serve-tenants", "", "serving: per-tenant WRR weights, e.g. 'acme:3,guest:1'")
+	serveTenants := flag.String("serve-tenants", "", "serving: per-tenant WRR weights and optional p99 SLOs in ms, e.g. 'acme:3:50,guest:1'")
 	serveBinary := flag.Bool("serve-binary", true,
 		"serving: accept the application/x-mvtee-tensor binary streaming content type (JSON always stays on)")
+	serveAdaptive := flag.Bool("serve-adaptive", true,
+		"serving: run the closed-loop control plane (batch window, inflight window, spare pool, tenant SLOs); false pins every knob to its flag value")
+	serveSLODefault := flag.Float64("serve-slo-p99-ms", 0,
+		"serving: default p99 latency SLO in ms for declared tenants without an explicit one in -serve-tenants (0 = none)")
 	flag.Parse()
 	log.SetPrefix("mvtee-monitor: ")
 	log.SetFlags(0)
@@ -103,6 +108,8 @@ func main() {
 		serveMaxDelay:  *serveMaxDelay,
 		serveTenants:   *serveTenants,
 		serveBinary:    *serveBinary,
+		serveAdaptive:  *serveAdaptive,
+		serveSLOms:     *serveSLODefault,
 	}
 	if err := run(opts); err != nil {
 		log.Fatal(err)
@@ -127,6 +134,8 @@ type runOptions struct {
 	serveMaxDelay       time.Duration
 	serveTenants        string
 	serveBinary         bool
+	serveAdaptive       bool
+	serveSLOms          float64
 }
 
 func parsePlans(s string) []monitor.PartitionPlan {
@@ -384,7 +393,7 @@ func run(opts runOptions) error {
 		for _, vi := range meta.ModelInputs {
 			shapes[vi.Name] = vi.Shape
 		}
-		return serveFrontend(eng, shapes, opts)
+		return serveFrontend(mon, eng, shapes, opts)
 	}
 
 	if opts.demo <= 0 {
@@ -427,16 +436,29 @@ func run(opts runOptions) error {
 // serveFrontend runs the multi-tenant serving front door over the engine
 // until SIGINT/SIGTERM, then drains gracefully (in-flight batches complete,
 // new work gets 503).
-func serveFrontend(eng *monitor.Engine, itemShapes map[string][]int, opts runOptions) error {
+func serveFrontend(mon *monitor.Monitor, eng *monitor.Engine, itemShapes map[string][]int, opts runOptions) error {
 	tenants := make(map[string]serve.TenantConfig)
 	if opts.serveTenants != "" {
 		for _, part := range strings.Split(opts.serveTenants, ",") {
-			name, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
-			w, err := strconv.Atoi(weight)
-			if !ok || err != nil || w <= 0 {
-				return fmt.Errorf("bad -serve-tenants entry %q (want name:weight)", part)
+			fields := strings.Split(strings.TrimSpace(part), ":")
+			if len(fields) < 2 || len(fields) > 3 || fields[0] == "" {
+				return fmt.Errorf("bad -serve-tenants entry %q (want name:weight[:slo_ms])", part)
 			}
-			tenants[name] = serve.TenantConfig{Weight: w}
+			w, err := strconv.Atoi(fields[1])
+			if err != nil || w <= 0 {
+				return fmt.Errorf("bad -serve-tenants weight in %q", part)
+			}
+			tc := serve.TenantConfig{Weight: w}
+			if len(fields) == 3 {
+				ms, err := strconv.ParseFloat(fields[2], 64)
+				if err != nil || ms <= 0 {
+					return fmt.Errorf("bad -serve-tenants slo_ms in %q", part)
+				}
+				tc.SLO = time.Duration(ms * float64(time.Millisecond))
+			} else if opts.serveSLOms > 0 {
+				tc.SLO = time.Duration(opts.serveSLOms * float64(time.Millisecond))
+			}
+			tenants[fields[0]] = tc
 		}
 	}
 	srv := serve.New(eng, serve.Config{
@@ -447,6 +469,28 @@ func serveFrontend(eng *monitor.Engine, itemShapes map[string][]int, opts runOpt
 		DisableBinary: !opts.serveBinary,
 	})
 	defer srv.Close()
+
+	if opts.serveAdaptive {
+		// Spare scale-up needs a provisioning factory; a process-separated
+		// monitor has none (spares arrive over the network), in which case
+		// the spare loop's provision attempts fail harmlessly and the other
+		// three loops still run.
+		ctl := control.New(control.Config{
+			Frontend: srv,
+			Pipeline: eng,
+			Spares:   mon,
+			Events:   eng.EventBus(),
+		})
+		decSub := ctl.Decisions().Subscribe(64)
+		go func() {
+			for d := range decSub.C {
+				log.Printf("control: %s %s %s %d -> %d (%s)", d.Loop, d.Direction, d.Knob, d.From, d.To, d.Reason)
+			}
+		}()
+		ctl.Start()
+		defer func() { ctl.Stop(); decSub.Close() }()
+		log.Printf("adaptive control plane on; disable with -serve-adaptive=false")
+	}
 
 	ln, err := net.Listen("tcp", opts.serveAddr)
 	if err != nil {

@@ -4,7 +4,7 @@
 // micro-batching, per-tenant admission control and priority lanes.
 //
 //	mvtee-serve -model resnet-50 -listen 127.0.0.1:8080 \
-//	    -max-batch 8 -max-delay 2ms -tenants "acme:3,guest:1"
+//	    -max-batch 8 -max-delay 2ms -tenants "acme:3:50,guest:1"
 //
 //	curl -s localhost:8080/v1/infer -d '{
 //	  "tenant": "acme", "priority": "high",
@@ -15,6 +15,11 @@
 // unbounded queueing; SIGINT/SIGTERM triggers a graceful drain (in-flight
 // batches complete, new work is refused with 503). For process-separated
 // deployments use mvtee-monitor -serve-addr instead.
+//
+// By default an adaptive control plane (internal/control) retunes the
+// batching window, the engine's inflight credit window, the spare pool and
+// per-tenant scheduling from live telemetry; -adaptive=false pins every
+// knob to its flag value.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	mvtee "repro"
+	"repro/internal/control"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -48,7 +54,10 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "batching window: a partial batch flushes this long after its first request")
 	tenantQueue := flag.Int("tenant-queue", 64, "per-tenant pending-request cap")
 	globalQueue := flag.Int("global-queue", 1024, "global pending-request cap")
-	tenantsStr := flag.String("tenants", "", "per-tenant WRR weights, e.g. 'acme:3,guest:1' (unknown tenants get weight 1)")
+	tenantsStr := flag.String("tenants", "", "per-tenant WRR weights and optional p99 SLOs in ms, e.g. 'acme:3:50,guest:1' (unknown tenants get weight 1)")
+	adaptive := flag.Bool("adaptive", true, "run the closed-loop control plane (batch window, inflight window, spare pool, tenant SLOs); false pins every knob to its flag value")
+	sloDefault := flag.Float64("slo-p99-ms", 0, "default p99 latency SLO in ms for declared tenants without an explicit one in -tenants (0 = none)")
+	epoch := flag.Duration("control-epoch", 500*time.Millisecond, "control-plane decision tick")
 	binaryProto := flag.Bool("binary-protocol", true,
 		"accept the application/x-mvtee-tensor binary streaming content type on /v1/infer (JSON always stays on)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
@@ -58,7 +67,7 @@ func main() {
 	log.SetPrefix("mvtee-serve: ")
 	log.SetFlags(0)
 
-	tenants, err := parseTenants(*tenantsStr)
+	tenants, err := parseTenants(*tenantsStr, *sloDefault)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,6 +76,8 @@ func main() {
 		scale: *scale, inputSize: *inputSize,
 		listen: *listen, telemetryAddr: *telemetryAddr,
 		drainTimeout: *drainTimeout,
+		adaptive:     *adaptive,
+		controlEpoch: *epoch,
 		serveCfg: serve.Config{
 			MaxBatch:      *maxBatch,
 			MaxDelay:      *maxDelay,
@@ -88,24 +99,38 @@ type options struct {
 	listen           string
 	telemetryAddr    string
 	drainTimeout     time.Duration
+	adaptive         bool
+	controlEpoch     time.Duration
 	serveCfg         serve.Config
 }
 
-func parseTenants(s string) (map[string]serve.TenantConfig, error) {
+// parseTenants parses "name:weight[:slo_ms]" entries; sloDefaultMs (if > 0)
+// applies to declared tenants that omit their own SLO.
+func parseTenants(s string, sloDefaultMs float64) (map[string]serve.TenantConfig, error) {
 	if s == "" {
 		return nil, nil
 	}
 	out := make(map[string]serve.TenantConfig)
 	for _, part := range strings.Split(s, ",") {
-		name, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
-		if !ok || name == "" {
-			return nil, fmt.Errorf("bad -tenants entry %q (want name:weight)", part)
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 || fields[0] == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name:weight[:slo_ms])", part)
 		}
-		w, err := strconv.Atoi(weight)
+		w, err := strconv.Atoi(fields[1])
 		if err != nil || w <= 0 {
 			return nil, fmt.Errorf("bad -tenants weight in %q", part)
 		}
-		out[name] = serve.TenantConfig{Weight: w}
+		tc := serve.TenantConfig{Weight: w}
+		if len(fields) == 3 {
+			ms, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || ms <= 0 {
+				return nil, fmt.Errorf("bad -tenants slo_ms in %q", part)
+			}
+			tc.SLO = time.Duration(ms * float64(time.Millisecond))
+		} else if sloDefaultMs > 0 {
+			tc.SLO = time.Duration(sloDefaultMs * float64(time.Millisecond))
+		}
+		out[fields[0]] = tc
 	}
 	return out, nil
 }
@@ -152,6 +177,31 @@ func run(o options) error {
 	}
 	srv := serve.New(dep.Engine, o.serveCfg)
 	defer srv.Close()
+
+	if o.adaptive {
+		ctl := control.New(control.Config{
+			Epoch:    o.controlEpoch,
+			Frontend: srv,
+			Pipeline: dep.Engine,
+			Spares:   dep.Monitor,
+			Events:   dep.Engine.EventBus(),
+		})
+		// Every actuation is visible: log decisions as they land (they also
+		// flow to mvtee_control_decisions_total and the knob gauges).
+		decSub := ctl.Decisions().Subscribe(64)
+		go func() {
+			for d := range decSub.C {
+				if d.Tenant != "" {
+					log.Printf("control: %s %s %s[%s] %d -> %d (%s)", d.Loop, d.Direction, d.Knob, d.Tenant, d.From, d.To, d.Reason)
+				} else {
+					log.Printf("control: %s %s %s %d -> %d (%s)", d.Loop, d.Direction, d.Knob, d.From, d.To, d.Reason)
+				}
+			}
+		}()
+		ctl.Start()
+		defer func() { ctl.Stop(); decSub.Close() }()
+		log.Printf("adaptive control plane on (epoch %v); disable with -adaptive=false", o.controlEpoch)
+	}
 
 	if o.telemetryAddr != "" {
 		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// TestAdaptiveTrajectoryDiag replays the serve/16c/adaptive-batch8 benchmark
+// loop while logging every controller decision, so law regressions under the
+// saturating closed-loop load can be diagnosed instead of guessed at.
+// Diagnostic only: run with -run TestAdaptiveTrajectoryDiag -v.
+func TestAdaptiveTrajectoryDiag(t *testing.T) {
+	if os.Getenv("ADAPTIVE_DIAG") == "" {
+		t.Skip("diagnostic; set ADAPTIVE_DIAG=1 to run")
+	}
+	const clients = 16
+	const itemWidth = 64
+
+	// ADAPTIVE_DIAG_STATIC=<n> pins MaxBatch at n with no controller, to
+	// measure the plant's static throughput at one operating point.
+	staticBatch := 0
+	if s := os.Getenv("ADAPTIVE_DIAG_STATIC"); s != "" {
+		fmt.Sscanf(s, "%d", &staticBatch)
+	}
+	maxBatch := 8
+	if staticBatch > 0 {
+		maxBatch = staticBatch
+	}
+
+	reg := telemetry.NewRegistry()
+	eng := newServeEngine(t, reg)
+	srv := serve.New(eng, serve.Config{
+		MaxBatch:    maxBatch,
+		MaxDelay:    500 * time.Microsecond,
+		TenantQueue: 4 * clients,
+		GlobalQueue: 8 * clients,
+		Metrics:     reg,
+	})
+	defer srv.Close()
+	if staticBatch == 0 {
+		ctl := control.New(control.Config{
+			Epoch:    50 * time.Millisecond,
+			Registry: reg,
+			Frontend: srv,
+			Pipeline: eng,
+			Events:   eng.EventBus(),
+		})
+		sub := ctl.Decisions().Subscribe(256)
+		go func() {
+			for d := range sub.C {
+				mb, md := srv.BatchWindow()
+				fmt.Printf("decision loop=%s dir=%s knob=%s %d->%d reason=%q now maxBatch=%d maxDelay=%v\n",
+					d.Loop, d.Direction, d.Knob, d.From, d.To, d.Reason, mb, md)
+			}
+		}()
+		ctl.Start()
+		defer func() { ctl.Stop(); sub.Close() }()
+	}
+
+	inputs := make([]map[string]*tensor.Tensor, clients)
+	for c := range inputs {
+		x := tensor.New(1, itemWidth)
+		for j := range x.Data() {
+			x.Data()[j] = float32(c + j)
+		}
+		inputs[c] = map[string]*tensor.Tensor{"x": x}
+	}
+
+	var done atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := srv.Infer(context.Background(), serve.Request{
+					Tenant: fmt.Sprintf("t%d", c%4), Inputs: inputs[c],
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				done.Add(1)
+			}
+		}(c)
+	}
+	start := time.Now()
+	last := int64(0)
+	for i := 0; i < 6; i++ {
+		time.Sleep(500 * time.Millisecond)
+		n := done.Load()
+		mb, md := srv.BatchWindow()
+		fmt.Printf("t=%v served=%d (+%d, %.0f req/s) maxBatch=%d maxDelay=%v\n",
+			time.Since(start).Round(time.Millisecond), n, n-last,
+			float64(n-last)/0.5, mb, md)
+		last = n
+	}
+	close(stop)
+	wg.Wait()
+}

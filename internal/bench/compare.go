@@ -29,6 +29,7 @@ var GatedPrefixes = []string{
 	"dataplane/fanout/3/encode-once",
 	"securechan/roundtrip/64KiB/zerocopy",
 	"serve/16c/batched-batch8",
+	"serve/16c/adaptive-batch8",
 	"serve/wire/decode-binary/",
 	"serve/wire/encode-binary/",
 	"serve/wire/e2e-binary/",

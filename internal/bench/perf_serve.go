@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/monitor"
 	"repro/internal/securechan"
 	"repro/internal/serve"
@@ -28,7 +29,7 @@ import (
 // startServeVariant launches a wire-speaking variant that doubles its "x"
 // input, connected to the monitor over an AEAD-sealed in-memory channel so
 // every engine batch pays realistic marshal+seal costs.
-func startServeVariant(b *testing.B, id string) *monitor.Handle {
+func startServeVariant(b testing.TB, id string) *monitor.Handle {
 	monC, varC := net.Pipe()
 	done := make(chan *securechan.SecureConn, 1)
 	go func() {
@@ -66,7 +67,11 @@ func startServeVariant(b *testing.B, id string) *monitor.Handle {
 }
 
 // newServeEngine stands up a 3-variant MVX stage for the serving benchmarks.
-func newServeEngine(b *testing.B) *monitor.Engine {
+// A nil reg gives the engine its own private registry.
+func newServeEngine(b testing.TB, reg *telemetry.Registry) *monitor.Engine {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	handles := make([]*monitor.Handle, 3)
 	for i := range handles {
 		handles[i] = startServeVariant(b, fmt.Sprintf("v%d", i))
@@ -79,7 +84,7 @@ func newServeEngine(b *testing.B) *monitor.Engine {
 			Outputs: []string{"y"},
 			Handles: handles,
 		}},
-		Metrics: telemetry.NewRegistry(),
+		Metrics: reg,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -99,21 +104,41 @@ func perfServe(add func(string, func(b *testing.B))) {
 	for _, case_ := range []struct {
 		name     string
 		maxBatch int
+		adaptive bool
 	}{
-		{"serve/16c/naive-batch1", 1},
-		{"serve/16c/batched-batch8", 8},
+		{"serve/16c/naive-batch1", 1, false},
+		{"serve/16c/batched-batch8", 8, false},
+		// Same static starting point as batched-batch8, plus the closed-loop
+		// controller retuning the batching window from live telemetry on a
+		// fast epoch. The acceptance bar is parity-or-better with the static
+		// configuration under this saturating load.
+		{"serve/16c/adaptive-batch8", 8, true},
 	} {
-		maxBatch := case_.maxBatch
+		maxBatch, adaptive := case_.maxBatch, case_.adaptive
 		add(case_.name, func(b *testing.B) {
-			eng := newServeEngine(b)
+			// The controller reads front-end and engine signals from one
+			// registry, so the adaptive case shares it across all three.
+			reg := telemetry.NewRegistry()
+			eng := newServeEngine(b, reg)
 			srv := serve.New(eng, serve.Config{
 				MaxBatch:    maxBatch,
 				MaxDelay:    500 * time.Microsecond,
 				TenantQueue: 4 * clients,
 				GlobalQueue: 8 * clients,
-				Metrics:     telemetry.NewRegistry(),
+				Metrics:     reg,
 			})
 			b.Cleanup(srv.Close)
+			if adaptive {
+				ctl := control.New(control.Config{
+					Epoch:    50 * time.Millisecond,
+					Registry: reg,
+					Frontend: srv,
+					Pipeline: eng,
+					Events:   eng.EventBus(),
+				})
+				ctl.Start()
+				b.Cleanup(ctl.Stop)
+			}
 
 			inputs := make([]map[string]*tensor.Tensor, clients)
 			for c := range inputs {

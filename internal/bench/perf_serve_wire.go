@@ -149,7 +149,7 @@ func perfServeWire(add func(string, func(b *testing.B))) {
 			name = "serve/wire/e2e-binary/16KiB"
 		}
 		add(name, func(b *testing.B) {
-			eng := newServeEngine(b)
+			eng := newServeEngine(b, nil)
 			srv := serve.New(eng, serve.Config{
 				MaxBatch:    8,
 				MaxDelay:    500 * time.Microsecond,

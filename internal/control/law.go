@@ -1,0 +1,193 @@
+// Package control closes the loop from the telemetry registry back into the
+// serving tier's static knobs. A single controller goroutine wakes once per
+// epoch, reads counter/histogram deltas since the previous epoch, and steers
+// four actuators: the front-end micro-batching window, the engine's
+// per-stage inflight credit window, the pre-attested spare pool, and the
+// per-tenant WRR weights / shed posture. Every decision is clamped to hard
+// min/max limits, passes a hysteresis band before actuating, and is emitted
+// as both a labeled counter and a Decision event so operators can watch the
+// controller steer.
+//
+// The decision laws themselves are pure functions in this file — the live
+// controller and the pipesim simulator share them, so adaptive policies can
+// be explored offline against the analytical pipeline model before they run
+// against real variants.
+package control
+
+import (
+	"math"
+	"time"
+)
+
+// BatchSignals summarizes one epoch of micro-batching telemetry: how many
+// batches flushed full versus on the deadline timer, and the mean batch
+// fill. Drain flushes are excluded — shutdown is not load.
+type BatchSignals struct {
+	FlushSize  uint64  // batches flushed because they reached MaxBatch
+	FlushTimer uint64  // batches flushed by the MaxDelay deadline
+	MeanFill   float64 // mean requests per flushed batch
+}
+
+// BatchKnobs is the micro-batching window: the pair the scheduler reads at
+// the top of every batch.
+type BatchKnobs struct {
+	MaxBatch int
+	MaxDelay time.Duration
+}
+
+// Batch-law thresholds. The bands are deliberately wide so a single load
+// level cannot trigger opposing moves on consecutive epochs; the remaining
+// grow/shrink cycle (a speculative grow that fails to fill) is broken by the
+// slow-start memory in BatchStep, not by the bands.
+const (
+	batchTimerDominated = 0.7 // timer-flush fraction that reads as "light"
+	batchSizeDominated  = 0.3 // timer-flush fraction that reads as "saturated"
+	batchFillHigh       = 0.9 // fill/MaxBatch ratio that reads as "full"
+	batchFillHalf       = 0.5 // fill ratio at or below which the window snaps to the mean
+	batchFillIdle       = 0.2 // fill ratio below which the delay is pure latency
+
+	// batchProbeEpochs is how many consecutive grow-blocked epochs BatchStep
+	// waits at a learned ceiling before probing past it again, in case the
+	// offered concurrency rose since the ceiling was learned.
+	batchProbeEpochs = 16
+)
+
+// BatchLaw returns the next batching window given one epoch of flush
+// telemetry. Size-dominated flushes with near-full batches mean arrivals
+// saturate the window: widen the batch for throughput. Timer-dominated
+// flushes at half fill or less mean the window is wider than what arrivals
+// deliver before the deadline — every flush stalls on the timer for
+// nothing. The window then snaps to the observed mean fill, which converts
+// the deadline stalls into size flushes without truncating the batches that
+// were actually forming (the closed-loop overshoot state the serve bench
+// exposed: MaxBatch grown past the offered concurrency). When the window is
+// nearly idle the deadline itself is pure queueing latency, so it halves
+// too. Timer-dominated flushes at near-full fill mean the deadline fires
+// just as batches fill — a little more delay converts them into full
+// batches. Everything between the bands holds: mid-fill timer flushes
+// (0.5 < fill < 0.9) cannot be distinguished from an open load whose
+// batches the deadline is genuinely bounding, and shrinking there would
+// truncate real batches.
+func BatchLaw(sig BatchSignals, cur BatchKnobs, lim Limits) BatchKnobs {
+	total := sig.FlushSize + sig.FlushTimer
+	if total == 0 {
+		return cur // no traffic this epoch: no signal, no move
+	}
+	timerFrac := float64(sig.FlushTimer) / float64(total)
+	fillRatio := sig.MeanFill / float64(cur.MaxBatch)
+	next := cur
+	switch {
+	case timerFrac <= batchSizeDominated && fillRatio >= batchFillHigh:
+		next.MaxBatch = clampInt(cur.MaxBatch*2, lim.MinBatch, lim.MaxBatch)
+	case timerFrac >= batchTimerDominated && fillRatio <= batchFillHalf:
+		next.MaxBatch = clampInt(int(math.Ceil(sig.MeanFill)), lim.MinBatch, lim.MaxBatch)
+		if fillRatio < batchFillIdle {
+			next.MaxDelay = clampDur(cur.MaxDelay/2, lim.MinDelay, lim.MaxDelay)
+		}
+	case timerFrac >= batchTimerDominated && fillRatio >= batchFillHigh:
+		next.MaxDelay = clampDur(cur.MaxDelay*2, lim.MinDelay, lim.MaxDelay)
+	}
+	return next
+}
+
+// BatchState is the slow-start memory BatchStep carries between epochs. The
+// zero value is the correct initial state.
+type BatchState struct {
+	Grew int // MaxBatch before the previous epoch's grow (0 = none outstanding)
+	Ceil int // learned MaxBatch ceiling after a grow failed to fill (0 = none)
+	Sat  int // consecutive grow-blocked epochs at Ceil, for the re-probe
+}
+
+// BatchStep wraps BatchLaw with slow-start memory, and is what the live
+// controller runs each epoch. A grow is speculative: if the next loaded
+// epoch shows the wider window failed to fill (timer-dominated flushes,
+// fill below the full band), arrivals cannot exploit it — at a closed-loop
+// saturating load this is the overshoot state where MaxBatch exceeds the
+// offered concurrency and every flush stalls on the deadline. BatchStep
+// then reverts the grow and learns the pre-grow value as a ceiling, which
+// blocks re-growth — breaking the grow/shrink limit cycle the memoryless
+// law would otherwise ride. Every batchProbeEpochs blocked epochs the
+// ceiling is lifted for one probe grow, so a genuine rise in offered
+// concurrency is still discovered; a failed probe just re-learns the
+// ceiling one epoch later.
+func BatchStep(sig BatchSignals, cur BatchKnobs, lim Limits, st *BatchState) BatchKnobs {
+	total := sig.FlushSize + sig.FlushTimer
+	if total == 0 {
+		return cur // idle: keep any pending grow unjudged until load returns
+	}
+	if st.Grew > 0 {
+		grew := st.Grew
+		st.Grew = 0
+		timerFrac := float64(sig.FlushTimer) / float64(total)
+		fillRatio := sig.MeanFill / float64(cur.MaxBatch)
+		if timerFrac >= batchTimerDominated && fillRatio < batchFillHigh {
+			st.Ceil = grew
+			st.Sat = 0
+			next := cur
+			next.MaxBatch = clampInt(grew, lim.MinBatch, lim.MaxBatch)
+			return next
+		}
+	}
+	next := BatchLaw(sig, cur, lim)
+	if next.MaxBatch > cur.MaxBatch && st.Ceil > 0 && next.MaxBatch > st.Ceil {
+		st.Sat++
+		if st.Sat >= batchProbeEpochs {
+			st.Sat = 0
+			st.Ceil = 0 // probe: re-learned within one epoch if it fails again
+		} else if cur.MaxBatch < st.Ceil {
+			next.MaxBatch = st.Ceil
+		} else {
+			next.MaxBatch = cur.MaxBatch
+		}
+	}
+	if next.MaxBatch > cur.MaxBatch {
+		st.Grew = cur.MaxBatch
+	}
+	return next
+}
+
+// LittleWindow sizes an inflight credit window from observed throughput and
+// latency via Little's law (N = lambda * W), padded by headroom so the
+// window does not throttle the very steady state it was measured from.
+// Returns 0 when either signal is absent (idle epoch — no basis to act).
+func LittleWindow(perSecond float64, latency time.Duration, headroom float64) int {
+	if perSecond <= 0 || latency <= 0 {
+		return 0
+	}
+	if headroom <= 1 {
+		headroom = 1
+	}
+	return int(math.Ceil(perSecond * latency.Seconds() * headroom))
+}
+
+// SpareTarget sizes the pre-attested spare pool to cover `lead` epochs of
+// variant deaths at the recent (smoothed) rate, clamped to [min, max]. A
+// pool sized this way absorbs a death burst without a cold attestation on
+// the replacement path.
+func SpareTarget(deathsPerEpoch float64, lead, min, max int) int {
+	if lead < 1 {
+		lead = 1
+	}
+	t := int(math.Ceil(deathsPerEpoch * float64(lead)))
+	return clampInt(t, min, max)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampDur(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -67,6 +67,12 @@ type Deployment struct {
 	enclaves  []*enclave.Enclave
 	wg        sync.WaitGroup
 	closers   []func()
+
+	// spareMu serializes post-deploy spare provisioning (the adaptive
+	// controller's scale-up hook) against itself; Deploy-time bring-up is
+	// single-threaded and does not take it.
+	spareMu  sync.Mutex
+	spareSeq int
 }
 
 // platform returns (creating on first use) the simulated machine for a TEE
@@ -216,6 +222,33 @@ func (d *Deployment) launchSpare(variantID string, e Entry) error {
 	return nil
 }
 
+// ProvisionSpare launches one additional pre-attested spare for a partition
+// (the adaptive controller's spare-pool scale-up actuator; Deploy wires it
+// as the monitor's spare factory). The spec is taken from the partition's
+// spare plan when one is configured, else from its variant plan, cycling
+// through the diversified specs so successive spares stay heterogeneous.
+func (d *Deployment) ProvisionSpare(partition int) error {
+	if partition < 0 {
+		partition = 0
+	}
+	if partition >= len(d.cfg.MVX.Plans) {
+		return fmt.Errorf("core: partition %d out of range", partition)
+	}
+	specs := d.cfg.MVX.Plans[partition].Variants
+	if partition < len(d.cfg.MVX.Spares) && len(d.cfg.MVX.Spares[partition].Variants) > 0 {
+		specs = d.cfg.MVX.Spares[partition].Variants
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("core: partition %d has no specs to provision from", partition)
+	}
+	d.spareMu.Lock()
+	defer d.spareMu.Unlock()
+	d.spareSeq++
+	spec := specs[d.spareSeq%len(specs)]
+	variantID := fmt.Sprintf("autospare-p%d-%s-%d", partition, spec, d.spareSeq)
+	return d.launchSpare(variantID, Entry{Set: d.SetIdx, Partition: partition, Spec: spec})
+}
+
 // Deploy brings up the full system on partition set setIdx of the bundle:
 // monitor TEE, variant TEEs per the MVX plan, attested bootstrap, binding,
 // and a started execution engine.
@@ -292,6 +325,9 @@ func Deploy(b *Bundle, setIdx int, cfg DeployConfig) (*Deployment, error) {
 			}
 		}
 	}
+	// In-process deployments can synthesize further spares on demand; the
+	// adaptive controller autoscales the pool through this hook.
+	mon.SetSpareFactory(d.ProvisionSpare)
 
 	eng, err := d.RebuildEngine()
 	if err != nil {

@@ -240,6 +240,12 @@ type Engine struct {
 	// stage worker, read by Ladder).
 	ladder []atomic.Int32
 
+	// dynWindow is the effective per-stage credit window, initialized from
+	// EngineConfig.InflightWindow and retunable live (SetInflightWindow) by
+	// the adaptive controller. Stage workers read it on every drain, so a
+	// retune applies at the next dispatch opportunity.
+	dynWindow atomic.Int32
+
 	// eventBus fans security events out to subscribers (the /events SSE
 	// stream) without ever blocking a producer; its ring also backs the
 	// Events() snapshot. met and tracer are the pre-resolved telemetry
@@ -358,6 +364,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		ctx:       ctx,
 		cancel:    cancel,
 	}
+	e.dynWindow.Store(int32(cfg.InflightWindow))
 	for i, s := range cfg.Stages {
 		e.stages = append(e.stages, &stage{
 			idx:     i,
@@ -511,6 +518,21 @@ func (e *Engine) Events() []Event {
 // /events SSE endpoint). Subscribers that fall behind lose events — the
 // engine never blocks on them.
 func (e *Engine) EventBus() *telemetry.Bus[Event] { return e.eventBus }
+
+// InflightWindow returns the effective per-stage credit window.
+func (e *Engine) InflightWindow() int { return int(e.dynWindow.Load()) }
+
+// SetInflightWindow retunes the per-stage credit window live (the adaptive
+// controller's actuator). n < 0 clamps to 0, which disables the window; the
+// stage workers pick the new budget up at their next pending drain. Shrinking
+// below the current outstanding-gather count simply pauses dispatch until
+// enough gathers resolve — credits are never revoked mid-gather.
+func (e *Engine) SetInflightWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.dynWindow.Store(int32(n))
+}
 
 // Ladder returns each stage's current degradation rung. Transitions are also
 // recorded as EventLadderDemoted/EventLadderPromoted events.

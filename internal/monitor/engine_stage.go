@@ -57,11 +57,7 @@ type stageState struct {
 	gathers   map[uint64]*gather
 	rung      LadderRung
 	lastID    uint64 // highest batch id dispatched at this stage
-	// window is the stage's credit budget: the maximum number of outstanding
-	// gathers (dispatched, not yet resolved) before further batches queue in
-	// pending. Zero disables the window.
-	window  int
-	pending []stageWork
+	pending   []stageWork
 }
 
 // stageWorker runs one pipeline stage: dispatching batches to the stage's
@@ -75,7 +71,6 @@ func (e *Engine) stageWorker(s *stage) {
 		s:       s,
 		live:    make([]bool, len(s.spec.Handles)),
 		gathers: make(map[uint64]*gather),
-		window:  e.cfg.InflightWindow,
 	}
 	for i, h := range s.spec.Handles {
 		if h.Dropped() {
@@ -132,9 +127,12 @@ func (e *Engine) stageWorker(s *stage) {
 // drainPending dispatches queued batches while the stage holds credits: with
 // a window of W, at most W gathers may be outstanding (a gather counts until
 // its final straggler arrives, even after an async quorum forwarded it). A
-// zero window disables the credit check and pending drains immediately.
+// zero window disables the credit check and pending drains immediately. The
+// budget is re-read from the engine each drain so a live retune
+// (Engine.SetInflightWindow) applies without restarting the stage.
 func (st *stageState) drainPending() {
-	for len(st.pending) > 0 && (st.window <= 0 || len(st.gathers) < st.window) {
+	window := int(st.e.dynWindow.Load())
+	for len(st.pending) > 0 && (window <= 0 || len(st.gathers) < window) {
 		w := st.pending[0]
 		n := copy(st.pending, st.pending[1:])
 		st.pending[n] = stageWork{} // release tensor refs

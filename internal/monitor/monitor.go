@@ -63,6 +63,10 @@ type Monitor struct {
 	spares   []spareEntry
 	nonce    []byte // provisioning nonce (anti-replay, echoed in results)
 	engine   *Engine
+	// spareFactory provisions one new pre-attested spare on demand (the
+	// adaptive controller's scale-up hook); nil when the deployment cannot
+	// synthesize spares (process-separated monitors).
+	spareFactory func(partition int) error
 }
 
 // New creates a monitor running in encl, trusting the platforms registered
@@ -202,6 +206,52 @@ func (m *Monitor) SpareCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.spares)
+}
+
+// SetSpareFactory installs the provisioning hook ProvisionSpare calls to
+// bring up one new pre-attested spare for a partition (-1 = any). The
+// factory performs the launch/attest/connect work and registers the result
+// via AddSpare; in-process deployments wire core.Deployment's spare
+// launcher here. A nil factory (the default) makes ProvisionSpare a no-op
+// error — process-separated monitors receive spares over the network and
+// cannot synthesize them.
+func (m *Monitor) SetSpareFactory(f func(partition int) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spareFactory = f
+}
+
+// ErrNoSpareFactory rejects ProvisionSpare on monitors without a factory.
+var ErrNoSpareFactory = errors.New("monitor: no spare factory configured")
+
+// ProvisionSpare grows the pre-attested spare pool by one (the adaptive
+// controller's scale-up actuator). The launch runs without the monitor lock.
+func (m *Monitor) ProvisionSpare(partition int) error {
+	m.mu.Lock()
+	f := m.spareFactory
+	m.mu.Unlock()
+	if f == nil {
+		return ErrNoSpareFactory
+	}
+	return f(partition)
+}
+
+// RetireSpare shrinks the spare pool by one (the controller's scale-down
+// actuator): the most recently added unclaimed spare is removed and its
+// channel closed, releasing the idle TEE's resources. Returns false when the
+// pool is empty.
+func (m *Monitor) RetireSpare() bool {
+	m.mu.Lock()
+	n := len(m.spares)
+	if n == 0 {
+		m.mu.Unlock()
+		return false
+	}
+	sp := m.spares[n-1]
+	m.spares = m.spares[:n-1]
+	m.mu.Unlock()
+	_ = sp.conn.Close()
+	return true
 }
 
 // takeSpare pops the first spare eligible for the partition.

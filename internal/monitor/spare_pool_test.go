@@ -1,0 +1,46 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSparePoolHooks pins the controller-facing spare pool actuators:
+// ProvisionSpare delegates to the installed factory (error without one) and
+// RetireSpare pops the most recent unclaimed spare, closing its channel.
+func TestSparePoolHooks(t *testing.T) {
+	m := New(nil, nil)
+
+	if err := m.ProvisionSpare(0); !errors.Is(err, ErrNoSpareFactory) {
+		t.Fatalf("ProvisionSpare without factory = %v, want ErrNoSpareFactory", err)
+	}
+	if m.RetireSpare() {
+		t.Fatal("RetireSpare on empty pool returned true")
+	}
+
+	var calls []int
+	m.SetSpareFactory(func(partition int) error {
+		calls = append(calls, partition)
+		m.AddSpare(newScriptConn("spare"), Assignment{Partition: partition})
+		return nil
+	})
+	if err := m.ProvisionSpare(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ProvisionSpare(-1); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || calls[0] != 1 || calls[1] != -1 {
+		t.Fatalf("factory calls = %v, want [1 -1]", calls)
+	}
+	if got := m.SpareCount(); got != 2 {
+		t.Fatalf("SpareCount = %d, want 2", got)
+	}
+
+	if !m.RetireSpare() {
+		t.Fatal("RetireSpare with spares returned false")
+	}
+	if got := m.SpareCount(); got != 1 {
+		t.Fatalf("SpareCount after retire = %d, want 1", got)
+	}
+}

@@ -154,6 +154,57 @@ func TestInflightWindowThrottlesDispatch(t *testing.T) {
 	}
 }
 
+// TestSetInflightWindowRetunesLive pins the dynamic-window contract: a
+// running stage picks up Engine.SetInflightWindow at its next drain, without
+// a restart and without revoking credits mid-gather.
+func TestSetInflightWindowRetunesLive(t *testing.T) {
+	sc := newScriptConn("v0")
+	h := NewHandle("v0", 0, "spec", sc)
+	e := buildEngine(t, EngineConfig{
+		GraphInputs:  []string{"x"},
+		GraphOutputs: []string{"y"},
+		Stages: []StageSpec{
+			{Inputs: []string{"x"}, Outputs: []string{"y"}, Handles: []*Handle{h}},
+		},
+		MaxInFlight:    8,
+		InflightWindow: 1,
+	})
+	if got := e.InflightWindow(); got != 1 {
+		t.Fatalf("InflightWindow() = %d, want 1", got)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, err := e.Submit(input(float32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(sc.dispatched()) == 1 }, "window=1 dispatch")
+	time.Sleep(20 * time.Millisecond)
+	if got := sc.dispatched(); len(got) != 1 {
+		t.Fatalf("window=1 but %d dispatched", len(got))
+	}
+
+	// Widen to 3: the refund from resolving the outstanding gather drains
+	// pending up to the new budget.
+	e.SetInflightWindow(3)
+	sc.release(t, sc.dispatched()[0])
+	waitFor(t, func() bool { return len(sc.dispatched()) == 4 }, "widened-window dispatch")
+
+	for _, id := range sc.dispatched()[1:] {
+		sc.release(t, id)
+	}
+	for i := 0; i < 4; i++ {
+		if r := <-e.Outputs(); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	// Negative clamps to 0 (window disabled).
+	e.SetInflightWindow(-5)
+	if got := e.InflightWindow(); got != 0 {
+		t.Fatalf("negative retune gave %d, want 0", got)
+	}
+}
+
 // TestDispatchEncodesOnceAcrossVariants checks the fan-out contract on a
 // 3-variant MVX stage: every variant receives the byte-identical encoding of
 // the batch (the dispatcher marshals once and fans the same payload out),

@@ -20,7 +20,17 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/telemetry"
+)
+
+// Adaptive-window replay parameters, mirroring the live controller's
+// defaults (control.Config.Headroom, Limits.MaxWindow) with the epoch
+// expressed in batches — the simulator has no wall clock.
+const (
+	adaptEveryBatches = 32
+	adaptHeadroom     = 1.25
+	adaptMaxWindow    = 64
 )
 
 // StageProfile carries the calibrated costs of one pipeline stage.
@@ -79,6 +89,15 @@ type Profile struct {
 	// later than the quorum forward point. This is what bounds a stage's
 	// straggler backlog. Zero disables the window.
 	InflightWindow int
+	// AdaptiveWindow replays the control plane's inflight-window loop inside
+	// the simulation: every adaptEveryBatches batches the effective window is
+	// re-sized by the same exported law the live controller applies
+	// (control.LittleWindow) from the simulated arrival rate and the p90
+	// simulated gather latency, clamped like the controller's defaults.
+	// InflightWindow is the starting window; zero (feature off) disables
+	// adaptation too, mirroring the live controller's refusal to impose a
+	// window on a deployment that turned windowing off.
+	AdaptiveWindow bool
 	// Metrics, when non-nil, receives the simulated run under the same
 	// series names the live engine emits (mvtee_engine_batches_total,
 	// mvtee_engine_batch_latency_ns, per-stage mvtee_engine_gather_ns), so
@@ -202,6 +221,15 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 		return time.Duration(float64(p.Stages[s].Service[v]) * contention)
 	}
 
+	// Adaptive-window state: the effective credit budget starts at the
+	// configured window and is re-sized at epoch boundaries from the same
+	// pure law the live controller runs.
+	effWindow := p.InflightWindow
+	var gatherMax []time.Duration // per-batch max gather duration across stages
+	if p.AdaptiveWindow && effWindow > 0 {
+		gatherMax = make([]time.Duration, batches)
+	}
+
 	serverFree := make([][]time.Duration, nStages)
 	for s := range serverFree {
 		serverFree[s] = make([]time.Duration, len(p.Stages[s].Service))
@@ -245,8 +273,8 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			// Per-stage credit window: dispatch of batch b waits until batch
 			// b−W's gather closed at this stage (last variant arrived or was
 			// pruned) and released its credit.
-			if p.InflightWindow > 0 && b >= p.InflightWindow {
-				if w := gatherClose[b-p.InflightWindow][s]; w > ready {
+			if effWindow > 0 && b >= effWindow {
+				if w := gatherClose[b-effWindow][s]; w > ready {
 					ready = w
 				}
 			}
@@ -290,6 +318,11 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 			if mGatherNs != nil {
 				mGatherNs[s].Observe(int64(gatherClose[b][s] - dispatched))
 			}
+			if gatherMax != nil {
+				if d := gatherClose[b][s] - dispatched; d > gatherMax[b] {
+					gatherMax[b] = d
+				}
+			}
 
 			if sp.Output {
 				// Output checkpoints must be fully validated before release
@@ -308,6 +341,27 @@ func Simulate(p *Profile, batches int, sequential bool, inFlight int) (Metrics, 
 		if mBatches != nil {
 			mBatches.Inc()
 			mBatchNs.Observe(int64(complete[b] - submit[b]))
+		}
+		// Epoch boundary: re-size the effective window with the controller's
+		// exported law over the last epoch of simulated signals.
+		if gatherMax != nil && (b+1)%adaptEveryBatches == 0 {
+			lo := b + 1 - adaptEveryBatches
+			// Epoch span: previous epoch's last completion to this one's —
+			// submit times are useless here, a streamed run submits its whole
+			// window at t=0.
+			start := submit[lo]
+			if lo > 0 {
+				start = complete[lo-1]
+			}
+			if elapsed := complete[b] - start; elapsed > 0 {
+				lambda := float64(adaptEveryBatches) / elapsed.Seconds()
+				durs := append([]time.Duration(nil), gatherMax[lo:b+1]...)
+				sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+				p90 := durs[(len(durs)*9+9)/10-1]
+				if w := control.LittleWindow(lambda, p90, adaptHeadroom); w > 0 {
+					effWindow = min(max(w, 1), adaptMaxWindow)
+				}
+			}
 		}
 	}
 

@@ -379,3 +379,78 @@ func TestInflightWindowWideEnoughIsFree(t *testing.T) {
 		t.Fatalf("wide window changed the schedule: %+v vs %+v", wide, open)
 	}
 }
+
+// stragglerProfile is the async 3-variant straggler stage from the window
+// tests: the configuration where a too-tight credit window costs real
+// throughput, so the adaptive law has something to recover.
+func stragglerProfile() *Profile {
+	return &Profile{
+		Stages: []StageProfile{{
+			Service:    []time.Duration{10 * ms, 10 * ms, 50 * ms},
+			TransferIn: 2 * ms, TransferOut: 2 * ms,
+			Output: true,
+		}},
+		Async:        true,
+		StageTimeout: 30 * ms,
+	}
+}
+
+func TestAdaptiveWindowRecoversFromStarvedStart(t *testing.T) {
+	// Static window=1 serializes every gather behind the 30ms straggler
+	// deadline. The adaptive run starts from the same starved window but
+	// re-sizes it each epoch with the controller's Little's-law, so after
+	// the first epoch the stream opens up and mean throughput over the run
+	// must land strictly above the static schedule.
+	static := stragglerProfile()
+	static.InflightWindow = 1
+	s, err := Simulate(static, 256, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := stragglerProfile()
+	adaptive.InflightWindow = 1
+	adaptive.AdaptiveWindow = true
+	a, err := Simulate(adaptive, 256, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput <= s.Throughput*1.2 {
+		t.Fatalf("adaptive window did not recover: %.1f/s vs static %.1f/s", a.Throughput, s.Throughput)
+	}
+}
+
+func TestAdaptiveWindowIsDeterministic(t *testing.T) {
+	run := func() Metrics {
+		p := stragglerProfile()
+		p.InflightWindow = 1
+		p.AdaptiveWindow = true
+		m, err := Simulate(p, 200, false, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("two identical adaptive runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestAdaptiveWindowRespectsDisabledWindow(t *testing.T) {
+	// InflightWindow=0 means the deployment turned windowing off; the
+	// adaptive flag must not impose one (same contract as the live
+	// controller against Engine.InflightWindow()==0).
+	off := stragglerProfile()
+	base, err := Simulate(off, 128, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offAdaptive := stragglerProfile()
+	offAdaptive.AdaptiveWindow = true
+	got, err := Simulate(offAdaptive, 128, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Fatalf("adaptive flag changed a window-off schedule: %+v vs %+v", got, base)
+	}
+}

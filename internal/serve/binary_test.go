@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -376,8 +377,8 @@ func TestHTTPBinaryBodyTooLarge(t *testing.T) {
 	// The counter sees what the client transport pumped before noticing the
 	// reset, not what the server consumed, so allow generous in-flight slack —
 	// the point is the gigabyte never moved.
-	if sent.n > 32<<20 {
-		t.Fatalf("client pumped %d bytes of an undeliverable request, want early rejection", sent.n)
+	if n := sent.n.Load(); n > 32<<20 {
+		t.Fatalf("client pumped %d bytes of an undeliverable request, want early rejection", n)
 	}
 
 	// The flip side of a tight cap: a maximal legitimate request under a
@@ -394,14 +395,16 @@ func TestHTTPBinaryBodyTooLarge(t *testing.T) {
 }
 
 // trackingReader counts bytes the server actually pulled from the client.
+// The transport goroutine may still be pumping the body when the test
+// goroutine inspects the count, so it must be atomic.
 type trackingReader struct {
 	r io.Reader
-	n int
+	n atomic.Int64
 }
 
 func (t *trackingReader) Read(p []byte) (int, error) {
 	n, err := t.r.Read(p)
-	t.n += n
+	t.n.Add(int64(n))
 	return n, err
 }
 

@@ -114,6 +114,10 @@ type TenantConfig struct {
 	Weight int
 	// QueueCap overrides Config.TenantQueue for this tenant.
 	QueueCap int
+	// SLO is the tenant's declared p99 latency target; zero means no SLO.
+	// The serve layer only records it — enforcement (weight boosts, shed
+	// posture) is the adaptive controller's job (internal/control).
+	SLO time.Duration
 }
 
 // Config assembles a Server.
@@ -144,6 +148,12 @@ type Config struct {
 	// reaching the engine, where a malformed batch would fail — and, under
 	// the Halt response, take the pipeline down for every tenant.
 	ItemShapes map[string][]int
+	// MaxTenants caps how many undeclared tenants may hold resident state:
+	// above the cap, admitting a request from a brand-new tenant name first
+	// evicts the least-recently-active idle undeclared tenant. Declared
+	// Config.Tenants are permanent and never counted against the cap
+	// (default 256).
+	MaxTenants int
 	// RetryAfterHint is the base backoff suggested to rejected callers; the
 	// hint scales with queue depth (default 25ms).
 	RetryAfterHint time.Duration
@@ -176,6 +186,9 @@ func (c *Config) fill() {
 	}
 	if c.GlobalQueue <= 0 {
 		c.GlobalQueue = 1024
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 256
 	}
 	if c.RetryAfterHint <= 0 {
 		c.RetryAfterHint = 25 * time.Millisecond
@@ -229,12 +242,24 @@ type Server struct {
 	engine Engine
 	met    *serveMetrics
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	tenants map[string]*tenantState
-	ring    []*tenantState // WRR visit order, insertion-ordered
-	cursor  int
-	queued  int
+	// dynBatch and dynDelayNs are the effective batching window, initialized
+	// from Config and re-tuned live by the adaptive controller
+	// (internal/control). With no controller attached they never move, so
+	// static deployments behave exactly as configured.
+	dynBatch   atomic.Int64
+	dynDelayNs atomic.Int64
+	// shedFloor is a controller-imposed minimum shed level; admission refuses
+	// at max(ladder-derived level, floor), so the controller can only ever
+	// shed MORE than the ladder demands, never admit past it.
+	shedFloor atomic.Int32
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	tenants    map[string]*tenantState
+	ring       []*tenantState // WRR visit order, insertion-ordered
+	cursor     int
+	queued     int
+	undeclared int // resident tenantStates not pre-declared in cfg.Tenants
 	// flushing marks a batch being assembled/submitted whose requests left
 	// the queues but are not yet in the pending map; Drain must wait it out.
 	flushing bool
@@ -253,13 +278,17 @@ type Server struct {
 
 // tenantState is one tenant's queues and WRR bookkeeping.
 type tenantState struct {
-	name   string
-	weight int
-	cap    int
-	credit int
-	lanes  [numLanes][]*pendingReq
-	depth  int
-	met    *tenantMetrics
+	name     string
+	weight   int
+	cap      int
+	credit   int
+	declared bool // pre-declared in Config.Tenants: never evicted
+	lanes    [numLanes][]*pendingReq
+	depth    int
+	// lastActive is the last admission touching this tenant, the eviction
+	// ordering key for idle undeclared tenants.
+	lastActive time.Time
+	met        *tenantMetrics
 }
 
 // New builds a server over engine. The engine must already be started; the
@@ -275,6 +304,8 @@ func New(engine Engine, cfg Config) *Server {
 		stopped: make(chan struct{}),
 		stopSig: make(chan struct{}),
 	}
+	s.dynBatch.Store(int64(cfg.MaxBatch))
+	s.dynDelayNs.Store(int64(cfg.MaxDelay))
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(2)
 	go func() { defer s.wg.Done(); s.scheduler() }()
@@ -288,26 +319,74 @@ func New(engine Engine, cfg Config) *Server {
 }
 
 // tenant returns (creating if needed) the tenant's state. Caller holds mu.
+//
+// Undeclared tenant names are attacker-controlled (the X-MVTEE-Tenant
+// header), so their resident state must be bounded: above Config.MaxTenants,
+// creating a new undeclared tenant first evicts the least-recently-active
+// idle one. Tenants with queued work are never evicted — their count is
+// already bounded by GlobalQueue — and declared tenants are permanent.
 func (s *Server) tenant(name string) *tenantState {
 	if name == "" {
 		name = "default"
 	}
 	t, ok := s.tenants[name]
 	if ok {
+		t.lastActive = time.Now()
 		return t
 	}
-	tc := s.cfg.Tenants[name]
+	tc, declared := s.cfg.Tenants[name]
 	if tc.Weight <= 0 {
 		tc.Weight = 1
 	}
 	if tc.QueueCap <= 0 {
 		tc.QueueCap = s.cfg.TenantQueue
 	}
+	if !declared {
+		if s.undeclared >= s.cfg.MaxTenants {
+			s.evictIdleTenant()
+		}
+		s.undeclared++
+	}
 	t = &tenantState{name: name, weight: tc.Weight, cap: tc.QueueCap,
-		credit: tc.Weight, met: s.met.tenant(name)}
+		credit: tc.Weight, declared: declared, lastActive: time.Now(),
+		met: s.met.tenant(name, declared)}
 	s.tenants[name] = t
 	s.ring = append(s.ring, t)
 	return t
+}
+
+// evictIdleTenant drops the least-recently-active undeclared tenant with no
+// queued work, freeing its map entry and WRR ring slot. Caller holds mu.
+func (s *Server) evictIdleTenant() {
+	var victim *tenantState
+	for _, t := range s.tenants {
+		if t.declared || t.depth > 0 {
+			continue
+		}
+		if victim == nil || t.lastActive.Before(victim.lastActive) {
+			victim = t
+		}
+	}
+	if victim == nil {
+		return // every undeclared tenant has queued work (bounded by GlobalQueue)
+	}
+	delete(s.tenants, victim.name)
+	s.undeclared--
+	for i, t := range s.ring {
+		if t != victim {
+			continue
+		}
+		s.ring = append(s.ring[:i], s.ring[i+1:]...)
+		if i < s.cursor {
+			s.cursor--
+		}
+		if len(s.ring) > 0 {
+			s.cursor %= len(s.ring)
+		} else {
+			s.cursor = 0
+		}
+		break
+	}
 }
 
 // signature keys batch compatibility: sorted input names with per-item
@@ -404,10 +483,10 @@ func (s *Server) Submit(req Request) (<-chan Response, error) {
 		return nil, ErrDraining
 	}
 	t := s.tenant(req.Tenant)
-	if lvl := ShedLevel(s.shed.Load()); lvl.sheds(req.Priority) {
+	if lvl := s.effectiveShed(); lvl.sheds(req.Priority) {
 		s.mu.Unlock()
 		s.met.admission(admitShed)
-		return nil, &OverloadError{Scope: "shed", Tenant: t.name, RetryAfter: s.retryAfter(1)}
+		return nil, &OverloadError{Scope: "shed", Tenant: t.name, RetryAfter: s.shedRetryAfter(lvl)}
 	}
 	if s.queued >= s.cfg.GlobalQueue {
 		depth := s.queued
@@ -462,8 +541,27 @@ func (s *Server) Infer(ctx context.Context, req Request) (Response, error) {
 // retryAfter scales the base hint by how many batch windows of work are
 // already queued — deeper queues suggest longer backoff.
 func (s *Server) retryAfter(depth int) time.Duration {
-	windows := depth/s.cfg.MaxBatch + 1
+	maxBatch := int(s.dynBatch.Load())
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	windows := depth/maxBatch + 1
 	return time.Duration(windows) * s.cfg.RetryAfterHint
+}
+
+// shedRetryAfter scales the backoff hint with the shedding severity: queue
+// depth says nothing about when a degraded engine recovers, so the hint
+// quadruples per shed level (4x at ShedLow, 16x at ShedToHigh, 64x — 1.6s at
+// the default hint — when the engine is halted): clients rejected because
+// the ladder collapsed back off for seconds, not a single batch window.
+func (s *Server) shedRetryAfter(lvl ShedLevel) time.Duration {
+	if lvl < ShedNone {
+		lvl = ShedNone
+	}
+	if lvl > ShedAll {
+		lvl = ShedAll
+	}
+	return s.cfg.RetryAfterHint << (2 * uint(lvl))
 }
 
 // QueueDepths snapshots per-tenant queue depths (for /healthz).
@@ -477,8 +575,101 @@ func (s *Server) QueueDepths() map[string]int {
 	return out
 }
 
-// Shed returns the current load-shedding level.
-func (s *Server) Shed() ShedLevel { return ShedLevel(s.shed.Load()) }
+// Shed returns the effective load-shedding level admission applies: the
+// harsher of the ladder-derived level and the controller's floor.
+func (s *Server) Shed() ShedLevel { return s.effectiveShed() }
+
+func (s *Server) effectiveShed() ShedLevel {
+	lvl := ShedLevel(s.shed.Load())
+	if f := ShedLevel(s.shedFloor.Load()); f > lvl {
+		lvl = f
+	}
+	return lvl
+}
+
+// --- adaptive-controller actuators ----------------------------------------------
+//
+// These are the knobs internal/control steers every epoch. All of them are
+// safe for concurrent use with admission and the scheduler; none of them is
+// required — a server with no controller attached keeps its static Config
+// behavior bit for bit.
+
+// BatchWindow returns the effective batching window (max batch size, max
+// delay) the scheduler currently applies.
+func (s *Server) BatchWindow() (int, time.Duration) {
+	return int(s.dynBatch.Load()), time.Duration(s.dynDelayNs.Load())
+}
+
+// SetBatchWindow retunes the batching window. Values are clamped to sane
+// floors (batch >= 1, delay >= 0); the next batch assembly picks them up.
+func (s *Server) SetBatchWindow(maxBatch int, maxDelay time.Duration) {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxDelay < 0 {
+		maxDelay = 0
+	}
+	s.dynBatch.Store(int64(maxBatch))
+	s.dynDelayNs.Store(int64(maxDelay))
+}
+
+// TenantWeight reports a tenant's current WRR weight (0 if the tenant has no
+// resident state yet).
+func (s *Server) TenantWeight(name string) int {
+	if name == "" {
+		name = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t.weight
+	}
+	return 0
+}
+
+// SetTenantWeight adjusts a tenant's WRR share (creating the tenant's state
+// if needed); weight is clamped to >= 1. Credits already spent this refill
+// round are untouched — the new weight applies from the next refill.
+func (s *Server) SetTenantWeight(name string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.tenant(name).weight = weight
+}
+
+// SetShedFloor imposes a minimum shedding posture: admission refuses at
+// max(ladder-derived level, floor). The floor can only ever ADD shedding on
+// top of what the ladder demands — a controller bug can never re-admit lanes
+// the degradation ladder shed.
+func (s *Server) SetShedFloor(lvl ShedLevel) {
+	if lvl < ShedNone {
+		lvl = ShedNone
+	}
+	if lvl > ShedAll {
+		lvl = ShedAll
+	}
+	s.shedFloor.Store(int32(lvl))
+}
+
+// ShedFloor returns the controller-imposed minimum shedding posture.
+func (s *Server) ShedFloor() ShedLevel { return ShedLevel(s.shedFloor.Load()) }
+
+// TenantSLOs lists the declared per-tenant p99 latency targets (the
+// controller's SLO-enforcement inputs).
+func (s *Server) TenantSLOs() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for name, tc := range s.cfg.Tenants {
+		if tc.SLO > 0 {
+			out[name] = tc.SLO
+		}
+	}
+	return out
+}
 
 // Draining reports whether the server has begun draining.
 func (s *Server) Draining() bool {
@@ -644,31 +835,34 @@ func (s *Server) scheduler() {
 		// decremented) but are not yet in pending; flushing keeps Drain from
 		// declaring the server empty while cond.Wait releases mu below.
 		s.flushing = true
-		batch := append(make([]*pendingReq, 0, s.cfg.MaxBatch), first)
+		// The effective window is read once per batch: a controller retune
+		// mid-assembly applies from the next batch.
+		maxBatch, maxDelay := s.BatchWindow()
+		batch := append(make([]*pendingReq, 0, maxBatch), first)
 		reason := flushSize
 		if s.draining {
-			for len(batch) < s.cfg.MaxBatch {
+			for len(batch) < maxBatch {
 				p := s.pick(first.sig)
 				if p == nil {
 					break
 				}
 				batch = append(batch, p)
 			}
-			if len(batch) < s.cfg.MaxBatch {
+			if len(batch) < maxBatch {
 				reason = flushDrain
 			}
 		} else {
-			deadline := time.Now().Add(s.cfg.MaxDelay)
+			deadline := time.Now().Add(maxDelay)
 			// The broadcast must hold mu: the scheduler checks the deadline
 			// and enters cond.Wait under mu, so a lock-free broadcast firing
 			// in that gap would find no waiter and be lost, stalling the
 			// partial batch until unrelated traffic next broadcasts.
-			timer := time.AfterFunc(s.cfg.MaxDelay, func() {
+			timer := time.AfterFunc(maxDelay, func() {
 				s.mu.Lock()
 				s.cond.Broadcast()
 				s.mu.Unlock()
 			})
-			for len(batch) < s.cfg.MaxBatch {
+			for len(batch) < maxBatch {
 				if p := s.pick(first.sig); p != nil {
 					batch = append(batch, p)
 					continue

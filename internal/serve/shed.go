@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/monitor"
@@ -36,7 +37,7 @@ func (l ShedLevel) String() string {
 	case ShedAll:
 		return "shed-all"
 	default:
-		return "ShedLevel(?)"
+		return fmt.Sprintf("ShedLevel(%d)", int(l))
 	}
 }
 

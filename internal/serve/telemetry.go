@@ -51,7 +51,16 @@ type serveMetrics struct {
 
 	mu      sync.Mutex
 	tenants map[string]*tenantMetrics
+	// overflow is the shared no-op handle set handed to undeclared tenants
+	// past the per-tenant series cap: the registry never deletes series, so
+	// attacker-rotated tenant names must not register unboundedly. Its nil
+	// fields make every record a nil-safe no-op.
+	overflow tenantMetrics
 }
+
+// tenantSeriesCap bounds how many distinct undeclared tenant names may
+// register per-tenant series; declared tenants always register.
+const tenantSeriesCap = 256
 
 func newServeMetrics(reg *telemetry.Registry) *serveMetrics {
 	if reg == nil {
@@ -85,11 +94,14 @@ func newServeMetrics(reg *telemetry.Registry) *serveMetrics {
 	return m
 }
 
-func (m *serveMetrics) tenant(name string) *tenantMetrics {
+func (m *serveMetrics) tenant(name string, declared bool) *tenantMetrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	t, ok := m.tenants[name]
 	if !ok {
+		if !declared && len(m.tenants) >= tenantSeriesCap {
+			return &m.overflow
+		}
 		l := telemetry.L("tenant", name)
 		t = &tenantMetrics{
 			requests:  m.reg.Counter(telemetry.MetricServeRequests, l),

@@ -65,6 +65,28 @@ const (
 	// MetricServeProto counts HTTP requests by negotiated request codec
 	// (proto label: "json" | "binary").
 	MetricServeProto = "mvtee_serve_proto_total"
+
+	// Control-plane series (internal/control). Decisions carry loop
+	// (ControlLoop*) and direction ("up" | "down") labels; the knob gauges
+	// mirror each actuator's current setting so operators can watch the
+	// controller steer; breaches carry a tenant label.
+	MetricControlEpochs         = "mvtee_control_epochs_total"
+	MetricControlDecisions      = "mvtee_control_decisions_total"
+	MetricControlBatchMax       = "mvtee_control_batch_max"
+	MetricControlBatchDelayNs   = "mvtee_control_batch_delay_ns"
+	MetricControlInflightWindow = "mvtee_control_inflight_window"
+	MetricControlSpareTarget    = "mvtee_control_spare_target"
+	MetricControlShedFloor      = "mvtee_control_shed_floor"
+	MetricControlTenantWeight   = "mvtee_control_tenant_weight"
+	MetricControlSLOBreaches    = "mvtee_control_slo_breach_total"
+)
+
+// Control loop label values for MetricControlDecisions.
+const (
+	ControlLoopBatch    = "batch_window"
+	ControlLoopInflight = "inflight_window"
+	ControlLoopSpares   = "spares"
+	ControlLoopSLO      = "tenant_slo"
 )
 
 // Admission verdict label values for MetricServeAdmission.

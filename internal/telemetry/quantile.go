@@ -1,0 +1,102 @@
+package telemetry
+
+import "math"
+
+// HistState is a point-in-time copy of one histogram's buckets, the read-side
+// counterpart of Histogram.Observe. Controllers that steer on latency
+// percentiles snapshot a histogram every epoch and difference consecutive
+// snapshots (Sub) so their quantiles describe the last epoch's traffic, not
+// the process lifetime.
+type HistState struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// State snapshots the histogram. Loads are per-bucket atomic (not a global
+// cross-bucket atomic snapshot), which is fine for control loops: a torn read
+// misattributes at most the handful of observations racing the snapshot.
+func (h *Histogram) State() HistState {
+	var s HistState
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Sub returns the observations recorded between prev and s (s must be the
+// later snapshot of the same histogram; counts are monotone, so saturating
+// subtraction guards a stale prev).
+func (s HistState) Sub(prev HistState) HistState {
+	var d HistState
+	for i := range s.Buckets {
+		if s.Buckets[i] > prev.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+			d.Count += d.Buckets[i]
+		}
+	}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	return d
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (s HistState) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile approximates the q-quantile (q in [0,1]) from the log2 buckets by
+// linear interpolation inside the bucket holding the target rank. The error
+// is bounded by the bucket width (at most 2x), which is enough resolution to
+// steer a control loop — the loops clamp and hysteresize anyway. Returns 0
+// with no observations.
+func (s HistState) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		// Bucket i holds values in [lo, hi]: bucket 0 is exactly 0, bucket
+		// i>0 spans [2^(i-1), 2^i - 1]. The last bucket is unbounded; report
+		// its lower edge (a conservative floor).
+		if i == 0 {
+			return 0
+		}
+		lo := uint64(1) << uint(i-1)
+		if i >= HistBuckets-1 {
+			return lo
+		}
+		hi := BucketBound(i)
+		frac := float64(rank-cum) / float64(n)
+		return lo + uint64(frac*float64(hi-lo))
+	}
+	return BucketBound(HistBuckets - 2)
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import "testing"
+
+func TestHistStateQuantile(t *testing.T) {
+	var h Histogram
+	// 1000 observations at ~1000ns, 10 at ~1_000_000ns: p50 must land in the
+	// low cluster's bucket range, p99.9+ in the high one.
+	for i := 0; i < 1000; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.State()
+	if s.Count != 1010 {
+		t.Fatalf("count = %d, want 1010", s.Count)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 < 512 || p50 > 2047 {
+		t.Errorf("p50 = %d, want within bucket of 1000 [512,2047]", p50)
+	}
+	p999 := s.Quantile(0.9999)
+	if p999 < 512*1024 || p999 > 2*1024*1024 {
+		t.Errorf("p99.99 = %d, want within bucket of 1e6", p999)
+	}
+	if got := s.Quantile(0); got > 2047 {
+		t.Errorf("q=0 = %d, want low bucket", got)
+	}
+}
+
+func TestHistStateQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1<<20; v *= 3 {
+		for i := 0; i < 7; i++ {
+			h.Observe(v)
+		}
+	}
+	s := h.State()
+	prev := uint64(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		cur := s.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone: q=%v gave %d after %d", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHistStateSub(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	h.Observe(100)
+	before := h.State()
+	h.Observe(100)
+	h.Observe(1 << 30)
+	delta := h.State().Sub(before)
+	if delta.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", delta.Count)
+	}
+	if delta.Sum != 100+(1<<30) {
+		t.Fatalf("delta sum = %d", delta.Sum)
+	}
+	// Stale prev (from a different histogram with larger counts) must not
+	// underflow.
+	var h2 Histogram
+	h2.Observe(5)
+	if d := h2.State().Sub(h.State()); d.Count != 0 && d.Count > 1 {
+		t.Fatalf("saturating sub broken: %+v", d)
+	}
+}
+
+func TestHistStateEmpty(t *testing.T) {
+	var s HistState
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty state must report zeros")
+	}
+	var h *Histogram
+	if h.State().Count != 0 {
+		t.Fatal("nil histogram state must be empty")
+	}
+}

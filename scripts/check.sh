@@ -8,10 +8,10 @@ go build ./...
 go test -race ./...
 
 # The robustness layer (straggler deadlines, degradation ladder, hot
-# replacement, channel retry) and the lock-free telemetry core are
-# concurrency-heavy: run their packages twice under the race detector to
-# shake out interleavings a single pass misses.
-go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan ./internal/telemetry
+# replacement, channel retry), the lock-free telemetry core and the adaptive
+# control plane are concurrency-heavy: run their packages twice under the
+# race detector to shake out interleavings a single pass misses.
+go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan ./internal/telemetry ./internal/control
 
 # Observability overhead pin: the fully instrumented warm dispatch→gather
 # path must not allocate more than the same path with telemetry disabled.
