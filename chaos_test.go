@@ -141,6 +141,93 @@ func TestChaosHangQuorumAndHotReplacement(t *testing.T) {
 	}
 }
 
+// TestChaosProvisionedSpareFeedsRecovery starts with an EMPTY spare pool,
+// grows it on demand through the monitor's spare factory (the adaptive
+// controller's scale-up actuator), and then kills a variant: the hot
+// replacement must promote the synthesized spare, proving an on-demand
+// provision is a first-class recovery asset, not just a pool counter. The
+// provision itself must surface as EventSpareProvisioned.
+func TestChaosProvisionedSpareFeedsRecovery(t *testing.T) {
+	bundle, err := BuildBundle(OfflineConfig{
+		ModelName:        "mnasnet",
+		PartitionTargets: []int{3},
+		Specs:            RealSetupSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []PartitionPlan{
+		{Variants: []string{"ort-cpu"}},
+		{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}},
+		{Variants: []string{"ort-cpu"}},
+	}
+	const hungID = "p1-ort-altep-1"
+	const hangDelay = 1500 * time.Millisecond
+	const stageTimeout = 300 * time.Millisecond
+	inj := Injection{Class: FaultHang, TargetOp: "Add", Latency: hangDelay, After: 1}
+
+	dep, err := Deploy(bundle, 0, DeployConfig{
+		MVX: &MVXConfig{
+			Plans:          plans, // no Spares: the pool starts empty
+			Response:       Recover,
+			Vote:           check.Majority,
+			StageTimeoutMS: int(stageTimeout / time.Millisecond),
+			Criteria:       []Criterion{{Metric: AllClose, RTol: 5e-2, ATol: 1e-3}},
+		},
+		Encrypt:        true,
+		VariantOptions: ArmVariantIDs(inj, hungID),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	if got := dep.Monitor.SpareCount(); got != 0 {
+		t.Fatalf("SpareCount() = %d, want 0 (empty pool)", got)
+	}
+	// Scale up on demand: the factory synthesizes a fresh pre-attested spare
+	// for the MVX stage and announces it on the event stream.
+	if err := dep.Monitor.ProvisionSpare(1); err != nil {
+		t.Fatalf("ProvisionSpare: %v", err)
+	}
+	if got := dep.Monitor.SpareCount(); got != 1 {
+		t.Fatalf("SpareCount() = %d after provision, want 1", got)
+	}
+	if got := countEvents(dep, monitor.EventSpareProvisioned); got != 1 {
+		t.Fatalf("EventSpareProvisioned count = %d, want 1", got)
+	}
+	// Deployment.ProvisionSpare cycles specs: seq 1 of partition 1's plan.
+	const spareID = "autospare-p1-ort-altep-1"
+
+	in := NewTensor(1, 3, 32, 32)
+	rng := rand.New(rand.NewPCG(11, 11))
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	feed := map[string]*Tensor{"image": in}
+
+	// Batch 1: grace period. Batch 2: the armed variant hangs, the straggler
+	// deadline expires, and recovery promotes the synthesized spare.
+	for i := 0; i < 2; i++ {
+		if res, err := dep.Infer(feed); err != nil || res.Err != nil {
+			t.Fatalf("batch %d: %v / %v", i+1, err, res.Err)
+		}
+	}
+	waitForEvent(t, dep, EventVariantTimeout, hungID)
+	waitForEvent(t, dep, EventVariantReplaced, spareID)
+	if got := dep.Monitor.SpareCount(); got != 0 {
+		t.Fatalf("SpareCount() = %d after promotion, want 0", got)
+	}
+	// The stage must climb back to full strength on the synthesized spare.
+	deadline := time.Now().Add(5 * time.Second)
+	for dep.Engine.Ladder()[1] != monitor.LadderFull {
+		if time.Now().After(deadline) {
+			t.Fatalf("stage 1 ladder = %v, never recovered to full", dep.Engine.Ladder()[1])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // waitForEvent polls the engine's event log until an event of the kind
 // naming the variant appears (replacement runs asynchronously to Infer).
 func waitForEvent(t *testing.T, dep *Deployment, kind monitor.EventKind, variantID string) {

@@ -31,10 +31,13 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/check"
+	"repro/internal/cluster"
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/enclave"
@@ -62,6 +65,10 @@ func main() {
 		"per-partition spare variant claims, same syntax as -plans; spares idle pre-attested until a recover response promotes one")
 	awaitOwner := flag.Bool("await-owner", false,
 		"receive the MVX configuration and pool keys from a connecting mvtee-owner process instead of flags/disk (Figure 6 steps 2-3, 8)")
+	replicaListen := flag.String("replica-listen", "",
+		"cluster replica TCP listen address: serve this engine to an mvtee-serve -replicas router (leader batches return full results, follower batches return digest votes); exclusive with -serve-addr and the demo workload")
+	replicaID := flag.String("replica-id", "",
+		"replica name advertised to the cluster router (default: the -replica-listen address)")
 	demo := flag.Int("demo", 4, "demo batches to run after bring-up (0 = wait forever)")
 	pipelined := flag.Bool("pipelined", false, "stream demo batches (pipelined) instead of sequential")
 	telemetryAddr := flag.String("telemetry-addr", "",
@@ -85,6 +92,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *replicaListen != "" && *serveAddr != "" {
+		log.Fatal("-replica-listen and -serve-addr are mutually exclusive: a replica engine is dedicated to its cluster router")
+	}
 	resp, err := monitor.ParseResponse(*response)
 	if err != nil {
 		log.Fatal(err)
@@ -100,6 +110,8 @@ func main() {
 		stageTimeout:   *stageTimeout,
 		inflightWindow: *inflightWindow,
 		awaitOwner:     *awaitOwner,
+		replicaListen:  *replicaListen,
+		replicaID:      *replicaID,
 		demo:           *demo,
 		pipelined:      *pipelined,
 		telemetryAddr:  *telemetryAddr,
@@ -126,6 +138,8 @@ type runOptions struct {
 	stageTimeout        time.Duration
 	inflightWindow      int
 	awaitOwner          bool
+	replicaListen       string
+	replicaID           string
 	demo                int
 	pipelined           bool
 	telemetryAddr       string
@@ -331,6 +345,36 @@ func run(opts runOptions) error {
 		log.Printf("spare %s registered (partition %d, spec %s)", a.VariantID, a.Partition, a.Spec)
 	}
 
+	// Real spare factory: scale-up provisions (the adaptive controller's
+	// actuator, or an operator request) synthesize fresh pre-attested variant
+	// TEEs in-process from the bundle directory instead of failing because no
+	// spare happened to be connected at startup.
+	factory, err := core.DirSpareFactory(core.SpareFactoryConfig{
+		Dir:            dir,
+		SetIdx:         setIdx,
+		Monitor:        mon,
+		MonitorEnclave: monEncl,
+		Platform:       plat,
+		Verifier:       verifier,
+		KeyFor:         keyFor,
+	})
+	if err != nil {
+		return err
+	}
+	mon.SetSpareFactory(factory)
+
+	// Cluster mode streams per-checkpoint digests to the active router
+	// session (early-dissent signal); the tap must be installed before the
+	// engine is built.
+	var activeReplica atomic.Pointer[cluster.ReplicaServer]
+	if opts.replicaListen != "" {
+		mon.SetDigestSink(func(batchID uint64, stage int, d check.Digest) {
+			if s := activeReplica.Load(); s != nil {
+				s.StageDigestSink(batchID, stage, d)
+			}
+		})
+	}
+
 	stages := make([]monitor.StageSpec, len(set.Partitions))
 	for pi, p := range set.Partitions {
 		for _, in := range p.Inputs {
@@ -386,13 +430,43 @@ func run(opts runOptions) error {
 		log.Printf("initialization results sent to owner")
 	}
 
+	shapes := make(map[string][]int, len(meta.ModelInputs))
+	for _, vi := range meta.ModelInputs {
+		shapes[vi.Name] = vi.Shape
+	}
+
+	// Cluster replica mode: serve the engine to an mvtee-serve router until
+	// killed. The engine's output stream is dedicated to the router session,
+	// so both the serving front door and the demo workload are skipped.
+	if opts.replicaListen != "" {
+		rln, err := net.Listen("tcp", opts.replicaListen)
+		if err != nil {
+			return fmt.Errorf("replica listen: %w", err)
+		}
+		defer rln.Close()
+		id := opts.replicaID
+		if id == "" {
+			id = rln.Addr().String()
+		}
+		hello := wire.ReplicaHello{
+			ID:           id,
+			Variants:     len(assignments),
+			GraphInputs:  gin,
+			GraphOutputs: meta.ModelOutputs,
+			ItemShapes:   shapes,
+		}
+		go serveReplicas(rln, monEncl, eng, mon, &activeReplica, hello)
+		log.Printf("cluster replica %q on %s, awaiting router", id, rln.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		got := <-sig
+		log.Printf("%v: replica shutting down", got)
+		return nil
+	}
+
 	// Serving mode: multiplex concurrent tenants onto the engine with
 	// dynamic batching and admission control instead of the demo workload.
 	if opts.serveAddr != "" {
-		shapes := make(map[string][]int, len(meta.ModelInputs))
-		for _, vi := range meta.ModelInputs {
-			shapes[vi.Name] = vi.Shape
-		}
 		return serveFrontend(mon, eng, shapes, opts)
 	}
 

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"log"
+	"net"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/enclave"
+	"repro/internal/monitor"
+	"repro/internal/securechan"
+	"repro/internal/wire"
+)
+
+// serveReplicas accepts cluster-router connections (mvtee-serve -replicas)
+// and serves the engine as a replica over each. Sessions are serial: the
+// replica protocol dedicates the engine's output stream to the active
+// router, so a second router must wait for the first session to end; a
+// reconnecting router (front-end restart, transient link loss) gets a fresh
+// session immediately. The engine's per-checkpoint digest tap follows the
+// active session through `active`. The router side is unattested (it runs
+// outside any TEE, like the model owner's machine); the monitor presents its
+// own report so the router can pin the monitor measurement.
+func serveReplicas(ln net.Listener, monEncl *enclave.Enclave, eng *monitor.Engine,
+	mon *monitor.Monitor, active *atomic.Pointer[cluster.ReplicaServer], hello wire.ReplicaHello) {
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := raw.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		conn, err := securechan.Server(raw, monEncl, nil)
+		if err != nil {
+			log.Printf("replica handshake: %v", err)
+			continue
+		}
+		srv := cluster.NewReplicaServer(conn, eng, cluster.ReplicaServerOptions{
+			Hello:  hello,
+			Spares: mon.SpareCount,
+		})
+		active.Store(srv)
+		err = srv.Run()
+		active.Store(nil)
+		_ = conn.Close()
+		if err != nil {
+			log.Printf("replica session ended: %v", err)
+		} else {
+			log.Printf("replica session closed by router")
+		}
+	}
+}

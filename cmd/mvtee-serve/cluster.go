@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/securechan"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// runCluster fronts a set of remote mvtee-monitor replicas instead of an
+// in-process deployment: each -replicas address is dialed over an attested
+// channel, the replicas are wrapped in a cluster router (least-loaded +
+// rendezvous placement, digest-vote cross-checking, failover), and the same
+// multi-tenant front door runs over the router. The router implements both
+// the serving engine and the control plane's pipeline surface, so dynamic
+// batching, admission control and the inflight-window loop all carry over;
+// the spare and SLO-death loops stay per-replica (each monitor runs its own
+// factory), so the front-end controller gets no spare pool.
+func runCluster(o options) error {
+	addrs := strings.Split(o.replicas, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	// Attestation pinning: with -replica-bundle the router only talks to
+	// monitors launched by the bundle's platform and running the expected
+	// monitor image — the same check mvtee-owner applies. Without it the
+	// channel is still encrypted but the peer is unverified.
+	var verify securechan.VerifyPeer
+	if o.replicaBundle != "" {
+		pubID, err := core.LoadPlatformIdentity(o.replicaBundle)
+		if err != nil {
+			return err
+		}
+		verifier := enclave.NewVerifier()
+		if err := verifier.TrustIdentity(pubID); err != nil {
+			return err
+		}
+		wantMeas := enclave.Measure(core.MonitorImage())
+		verify = func(r *enclave.Report) error {
+			if r == nil {
+				return fmt.Errorf("replica monitor presented no attestation report")
+			}
+			return verifier.Verify(r, []enclave.Measurement{wantMeas})
+		}
+	} else {
+		log.Printf("WARNING: no -replica-bundle: replica monitors are NOT attestation-verified")
+	}
+
+	var mode cluster.ForwardMode
+	switch o.clusterForward {
+	case "digest", "":
+		mode = cluster.DigestForward
+	case "tensor":
+		mode = cluster.TensorForward
+	default:
+		return fmt.Errorf("bad -cluster-forward %q (want digest or tensor)", o.clusterForward)
+	}
+
+	reps := make([]cluster.Replica, 0, len(addrs))
+	for _, addr := range addrs {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("dial replica %s: %w", addr, err)
+		}
+		if tc, ok := raw.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		// The router runs outside any TEE (like the model owner): it presents
+		// no report of its own and verifies the monitor's.
+		conn, err := securechan.Client(raw, nil, verify)
+		if err != nil {
+			return fmt.Errorf("replica %s handshake: %w", addr, err)
+		}
+		rep, err := cluster.NewRemote(conn)
+		if err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("replica %s: %w", addr, err)
+		}
+		h := rep.Hello()
+		log.Printf("replica %q at %s: %d stages, %d variants, window %d",
+			h.ID, addr, h.Stages, h.Variants, h.InflightWindow)
+		reps = append(reps, rep)
+	}
+
+	hello := reps[0].Hello()
+	for _, rep := range reps[1:] {
+		h := rep.Hello()
+		if h.Stages != hello.Stages || len(h.GraphOutputs) != len(hello.GraphOutputs) {
+			return fmt.Errorf("replica %q serves a different pipeline than %q (%d/%d stages)",
+				h.ID, hello.ID, h.Stages, hello.Stages)
+		}
+	}
+
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas:     reps,
+		Verify:       o.clusterVerify,
+		Mode:         mode,
+		Sync:         o.clusterSync,
+		PlacementKey: hello.ID,
+		Metrics:      telemetry.Default,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	log.Printf("cluster router up: %d replicas, verify %d, %s forwarding, sync=%v",
+		len(reps), o.clusterVerify, o.clusterForward, o.clusterSync)
+
+	// The replicas declared the model interface in their hello; reuse it for
+	// admission-time shape validation exactly as the in-process path does.
+	o.serveCfg.ItemShapes = hello.ItemShapes
+	var eng serve.Engine = router
+	return frontend(o, eng, router, nil, nil)
+}

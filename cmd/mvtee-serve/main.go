@@ -39,6 +39,7 @@ import (
 
 	mvtee "repro"
 	"repro/internal/control"
+	"repro/internal/monitor"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -63,6 +64,16 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"operator telemetry HTTP listen address serving /metrics, /trace, /events and /debug/pprof/; empty disables")
+	replicas := flag.String("replicas", "",
+		"cluster mode: comma-separated mvtee-monitor -replica-listen addresses to route over instead of deploying in process; the local -model/-stages flags are ignored")
+	replicaBundle := flag.String("replica-bundle", "",
+		"cluster mode: bundle directory whose platform identity pins each replica monitor's attestation; empty skips verification (trust the network)")
+	clusterVerify := flag.Int("cluster-verify", 1,
+		"cluster mode: follower replicas cross-checking each batch (0 = pure load balancing with failover)")
+	clusterSync := flag.Bool("cluster-sync", false,
+		"cluster mode: hold each result until every follower vote lands (fail on dissent) instead of async dissent telemetry")
+	clusterForward := flag.String("cluster-forward", "digest",
+		"cluster mode: follower result forwarding — 'digest' (46-byte votes) or 'tensor' (full outputs, the naive baseline)")
 	flag.Parse()
 	log.SetPrefix("mvtee-serve: ")
 	log.SetFlags(0)
@@ -71,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := run(options{
+	o := options{
 		model: *model, stages: *stagesN, mvxStage: *mvxStage,
 		scale: *scale, inputSize: *inputSize,
 		listen: *listen, telemetryAddr: *telemetryAddr,
@@ -86,7 +97,18 @@ func main() {
 			Tenants:       tenants,
 			DisableBinary: !*binaryProto,
 		},
-	}); err != nil {
+		replicas:       *replicas,
+		replicaBundle:  *replicaBundle,
+		clusterVerify:  *clusterVerify,
+		clusterSync:    *clusterSync,
+		clusterForward: *clusterForward,
+	}
+	if o.replicas != "" {
+		err = runCluster(o)
+	} else {
+		err = run(o)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
@@ -102,6 +124,11 @@ type options struct {
 	adaptive         bool
 	controlEpoch     time.Duration
 	serveCfg         serve.Config
+	replicas         string
+	replicaBundle    string
+	clusterVerify    int
+	clusterSync      bool
+	clusterForward   string
 }
 
 // parseTenants parses "name:weight[:slo_ms]" entries; sloDefaultMs (if > 0)
@@ -175,16 +202,25 @@ func run(o options) error {
 	for _, vi := range bundle.Model.Inputs {
 		o.serveCfg.ItemShapes[vi.Name] = vi.Shape
 	}
-	srv := serve.New(dep.Engine, o.serveCfg)
+	return frontend(o, dep.Engine, dep.Engine, dep.Monitor, dep.Engine.EventBus())
+}
+
+// frontend runs the serving front door — batching server, adaptive control
+// plane, telemetry, HTTP listener, graceful drain — over any engine: the
+// in-process deployment's or a cluster router's. spares and events may be
+// nil (the control plane skips the corresponding loops).
+func frontend(o options, eng serve.Engine, pipeline control.Pipeline,
+	spares control.SparePool, events *telemetry.Bus[monitor.Event]) error {
+	srv := serve.New(eng, o.serveCfg)
 	defer srv.Close()
 
 	if o.adaptive {
 		ctl := control.New(control.Config{
 			Epoch:    o.controlEpoch,
 			Frontend: srv,
-			Pipeline: dep.Engine,
-			Spares:   dep.Monitor,
-			Events:   dep.Engine.EventBus(),
+			Pipeline: pipeline,
+			Spares:   spares,
+			Events:   events,
 		})
 		// Every actuation is visible: log decisions as they land (they also
 		// flow to mvtee_control_decisions_total and the knob gauges).
@@ -205,7 +241,9 @@ func run(o options) error {
 
 	if o.telemetryAddr != "" {
 		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)
-		mux.Handle("/events", telemetry.SSE(dep.Engine.EventBus()))
+		if events != nil {
+			mux.Handle("/events", telemetry.SSE(events))
+		}
 		tln, err := net.Listen("tcp", o.telemetryAddr)
 		if err != nil {
 			return fmt.Errorf("telemetry listen: %w", err)

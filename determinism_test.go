@@ -1,0 +1,65 @@
+package mvtee
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// TestCrossDeploymentRepresentativeParity pins the invariant the cluster
+// tier's digest-vote plane depends on: two engines deployed from the same
+// bundle must produce bitwise-identical outputs for the same input. Each
+// diversified variant is individually deterministic, so the only way parity
+// can break is the engine's choice of representative output at an MVX
+// checkpoint — which must therefore be a pure function of binding history,
+// never of map iteration order or arrival timing. (Regression: BuildEngine
+// once collected stage handles by iterating the handle map, giving every
+// engine a private random representative and cluster replicas a 100% digest
+// dissent rate.)
+func TestCrossDeploymentRepresentativeParity(t *testing.T) {
+	bundle, err := BuildBundle(OfflineConfig{
+		ModelName:        "mobilenetv3",
+		PartitionTargets: []int{3},
+		Specs:            RealSetupSpecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []PartitionPlan{
+		{Variants: []string{"ort-cpu"}},
+		{Variants: []string{"ort-cpu", "ort-altep", "tvm-graph"}},
+		{Variants: []string{"ort-cpu"}},
+	}
+	in := NewTensor(1, 3, 32, 32)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	feed := map[string]*Tensor{"image": in}
+
+	var want check.Digest
+	for i := 0; i < 4; i++ {
+		dep, err := Deploy(bundle, 0, DeployConfig{
+			MVX:     &MVXConfig{Plans: plans},
+			Encrypt: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := dep.Infer(feed)
+		dep.Close()
+		if err != nil || r.Err != nil {
+			t.Fatalf("deployment %d: %v / %v", i, err, r.Err)
+		}
+		d := check.DigestOf(r.Tensors)
+		if i == 0 {
+			want = d
+			continue
+		}
+		if d != want {
+			t.Fatalf("deployment %d digest %x != deployment 0 digest %x: representative choice is not deterministic",
+				i, d[:8], want[:8])
+		}
+	}
+}

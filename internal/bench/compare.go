@@ -33,6 +33,9 @@ var GatedPrefixes = []string{
 	"serve/wire/decode-binary/",
 	"serve/wire/encode-binary/",
 	"serve/wire/e2e-binary/",
+	"cluster/forward/digest/",
+	"cluster/serve/16c/2r/",
+	"serve/16c/offload200-single",
 }
 
 // DefaultRegressionThreshold is the fractional ns/op slowdown on a gated

@@ -115,6 +115,7 @@ func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
 	perfDataPlane(add)
 	perfServe(add)
 	perfServeWire(add)
+	perfCluster(add, emit)
 	if err := perfTelemetry(add, emit); err != nil {
 		return rep, err
 	}

@@ -1,0 +1,292 @@
+// Cluster-tier benchmarks: a router fronting N remote replica engines over
+// AEAD-sealed in-memory channels, exercising the full wire protocol (encode,
+// seal, frame) without TCP so the numbers isolate protocol cost from kernel
+// scheduling. Two families:
+//
+//   cluster/forward/{digest,tensor}/Nr — per-request route latency with
+//   follower cross-checking in digest mode (46-byte vote frames) vs tensor
+//   mode (followers ship full outputs), plus companion */bytes/* series
+//   reporting the per-op wire bytes on each forward plane. The headline
+//   number is the verify-bytes ratio: cross-node verification bytes in
+//   tensor mode over digest mode.
+//
+//   cluster/serve/16c/2r — the serve/16c workload (16 concurrent clients,
+//   dynamic batching) over a 2-replica router. The CPU-bound echo cases
+//   (verify0, verify1-digest) measure the cluster protocol tax: on a
+//   single-core bench host every replica shares the one core, so adding
+//   replicas cannot add compute and the delta vs serve/16c is pure routing +
+//   wire overhead. The offload200 pair is where the scale-out claim lives:
+//   each variant parks 200µs per batch with the host core idle — the
+//   accelerator-offload regime real inference runs in — and there 2 replicas
+//   genuinely overlap, so cluster/serve/16c/2r/offload200-verify0 must beat
+//   the serve/16c/offload200-single baseline (the acceptance bar).
+
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/securechan"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// startBenchReplica serves eng to a router over an in-memory securechan pair
+// and returns the router-side handle.
+func startBenchReplica(b testing.TB, id string, eng *monitor.Engine) *cluster.Remote {
+	routerC, replicaC := net.Pipe()
+	go func() {
+		conn, err := securechan.Server(replicaC, nil, nil)
+		if err != nil {
+			return
+		}
+		_ = cluster.ServeReplica(conn, eng, cluster.ReplicaServerOptions{
+			Hello: wire.ReplicaHello{
+				ID:           id,
+				Variants:     3,
+				GraphInputs:  []string{"x"},
+				GraphOutputs: []string{"y"},
+			},
+		})
+	}()
+	cc, err := securechan.Client(routerC, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rem, err := cluster.NewRemote(cc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = rem.Close() })
+	return rem
+}
+
+func newBenchRouter(b testing.TB, replicas, verify int, mode cluster.ForwardMode, reg *telemetry.Registry) *cluster.Router {
+	reps := make([]cluster.Replica, replicas)
+	for i := range reps {
+		reps[i] = startBenchReplica(b, fmt.Sprintf("rep-%d", i), newServeEngine(b, nil))
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas: reps,
+		Verify:   verify,
+		Mode:     mode,
+		Sync:     verify > 0, // hold each result until the follower votes land
+		Metrics:  reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = router.Close() })
+	return router
+}
+
+// fwdPlanes snapshots the router's per-plane forward-bytes counters.
+func fwdPlanes(reg *telemetry.Registry) (input, result, digest uint64) {
+	return reg.Counter(telemetry.MetricClusterFwdBytes, telemetry.L("plane", telemetry.ForwardPlaneInput)).Value(),
+		reg.Counter(telemetry.MetricClusterFwdBytes, telemetry.L("plane", telemetry.ForwardPlaneResult)).Value(),
+		reg.Counter(telemetry.MetricClusterFwdBytes, telemetry.L("plane", telemetry.ForwardPlaneDigest)).Value()
+}
+
+// perfCluster measures the distributed tier. It needs emit as well as add:
+// the wire-byte series are computed from the router's forward-plane counters
+// rather than testing.B's allocation accounting.
+func perfCluster(add func(string, func(b *testing.B)), emit func(PerfResult)) {
+	const itemWidth = 1024 // x[1,1024]: 4KiB of activation per request
+
+	// Per-op plane bytes from the last (largest-N) timed run of each case,
+	// keyed by case name.
+	type planes struct{ input, result, digest float64 }
+	perOp := map[string]planes{}
+
+	for _, case_ := range []struct {
+		name     string
+		replicas int
+		mode     cluster.ForwardMode
+	}{
+		{"cluster/forward/digest/2r", 2, cluster.DigestForward},
+		{"cluster/forward/tensor/2r", 2, cluster.TensorForward},
+		{"cluster/forward/digest/4r", 4, cluster.DigestForward},
+		{"cluster/forward/tensor/4r", 4, cluster.TensorForward},
+	} {
+		name, nrep, mode := case_.name, case_.replicas, case_.mode
+		add(name, func(b *testing.B) {
+			reg := telemetry.NewRegistry()
+			// Every peer cross-checks the leader: verify = N-1 followers.
+			router := newBenchRouter(b, nrep, nrep-1, mode, reg)
+			x := tensor.New(1, itemWidth)
+			for i := range x.Data() {
+				x.Data()[i] = float32(i % 251)
+			}
+			in := map[string]*tensor.Tensor{"x": x}
+			out := router.Outputs()
+			infer := func() {
+				if _, err := router.Submit(in); err != nil {
+					b.Fatal(err)
+				}
+				r := <-out
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			infer() // warm codec pools and the placement path
+			i0, r0, d0 := fwdPlanes(reg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				infer()
+			}
+			b.StopTimer()
+			i1, r1, d1 := fwdPlanes(reg)
+			n := float64(b.N)
+			perOp[name] = planes{
+				input:  float64(i1-i0) / n,
+				result: float64(r1-r0) / n,
+				digest: float64(d1-d0) / n,
+			}
+		})
+		p := perOp[name]
+		for _, pl := range []struct {
+			plane string
+			bytes float64
+		}{
+			{"input", p.input}, {"result", p.result}, {"digest", p.digest},
+		} {
+			emit(PerfResult{Name: fmt.Sprintf("%s/bytes/%s", name, pl.plane),
+				BytesPerOp: int64(pl.bytes)})
+		}
+	}
+
+	// Verification-plane byte ratio, the PR's headline: what followers cost
+	// on the wire per request. In tensor mode that is the follower results —
+	// the result plane beyond the leader's own result (which the digest run
+	// of the same shape measures). In digest mode it is the digest plane
+	// (announce + votes).
+	for _, r := range []string{"2r", "4r"} {
+		dig, ten := perOp["cluster/forward/digest/"+r], perOp["cluster/forward/tensor/"+r]
+		if dig.digest > 0 {
+			ratio := (ten.result - dig.result) / dig.digest
+			emit(PerfResult{Name: "cluster/forward/" + r + "/verify-bytes-ratio",
+				NsPerOp: ratio}) // ratio, not ns: tensor-mode verify bytes / digest-mode verify bytes
+		}
+	}
+
+	perfClusterServe(add)
+}
+
+// driveServeClients runs the standard closed-loop client swarm against a
+// serve front-end: each client issues single-item x[1,64] requests and checks
+// its demuxed row, b.N requests total across the swarm.
+func driveServeClients(b *testing.B, srv *serve.Server, clients int) {
+	const itemWidth = 64
+	inputs := make([]map[string]*tensor.Tensor, clients)
+	for c := range inputs {
+		x := tensor.New(1, itemWidth)
+		for j := range x.Data() {
+			x.Data()[j] = float32(c + j)
+		}
+		inputs[c] = map[string]*tensor.Tensor{"x": x}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				r, err := srv.Infer(context.Background(), serve.Request{
+					Tenant: fmt.Sprintf("t%d", c%4), Inputs: inputs[c],
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if r.Tensors["y"].At(0, 0) != 2*float32(c) {
+					b.Errorf("client %d: bad demux row", c)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// benchServeConfig is the serve/16c batching configuration, shared by every
+// serving case so single-engine and cluster numbers stay comparable.
+func benchServeConfig(clients int, reg *telemetry.Registry) serve.Config {
+	return serve.Config{
+		MaxBatch:    8,
+		MaxDelay:    500 * time.Microsecond,
+		TenantQueue: 4 * clients,
+		GlobalQueue: 8 * clients,
+		Metrics:     reg,
+	}
+}
+
+// clusterOffload is the modeled per-batch accelerator time for the offload200
+// serving pair.
+const clusterOffload = 200 * time.Microsecond
+
+// perfClusterServe runs the serve/16c workload over a 2-replica router so its
+// ns/op is directly comparable with the single-engine serve/16c family, plus
+// the offload200 pair (single engine vs 2 replicas, identical accelerator
+// time) that isolates the scale-out benefit from host-CPU contention.
+func perfClusterServe(add func(string, func(b *testing.B))) {
+	const clients = 16
+
+	for _, case_ := range []struct {
+		name   string
+		verify int
+	}{
+		{"cluster/serve/16c/2r/verify0", 0},
+		{"cluster/serve/16c/2r/verify1-digest", 1},
+	} {
+		verify := case_.verify
+		add(case_.name, func(b *testing.B) {
+			reg := telemetry.NewRegistry()
+			router := newBenchRouter(b, 2, verify, cluster.DigestForward, reg)
+			srv := serve.New(router, benchServeConfig(clients, reg))
+			b.Cleanup(srv.Close)
+			driveServeClients(b, srv, clients)
+		})
+	}
+
+	// The offload pair: same serving stack, same batching knobs, same modeled
+	// accelerator time per engine batch. Single-engine throughput is pinned at
+	// one device; the 2-replica router overlaps two.
+	add("serve/16c/offload200-single", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		eng := newServeEngineOffload(b, reg, clusterOffload)
+		srv := serve.New(eng, benchServeConfig(clients, reg))
+		b.Cleanup(srv.Close)
+		driveServeClients(b, srv, clients)
+	})
+	add("cluster/serve/16c/2r/offload200-verify0", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		reps := make([]cluster.Replica, 2)
+		for i := range reps {
+			reps[i] = startBenchReplica(b, fmt.Sprintf("rep-%d", i),
+				newServeEngineOffload(b, nil, clusterOffload))
+		}
+		router, err := cluster.NewRouter(cluster.RouterConfig{Replicas: reps, Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = router.Close() })
+		srv := serve.New(router, benchServeConfig(clients, reg))
+		b.Cleanup(srv.Close)
+		driveServeClients(b, srv, clients)
+	})
+}

@@ -28,8 +28,11 @@ import (
 
 // startServeVariant launches a wire-speaking variant that doubles its "x"
 // input, connected to the monitor over an AEAD-sealed in-memory channel so
-// every engine batch pays realistic marshal+seal costs.
-func startServeVariant(b testing.TB, id string) *monitor.Handle {
+// every engine batch pays realistic marshal+seal costs. A non-zero offload
+// models accelerator execution: the variant parks for that long per batch
+// with the host core idle, the regime where real model inference lives (the
+// CPU cost of a forward pass is on the device, not the host).
+func startServeVariant(b testing.TB, id string, offload time.Duration) *monitor.Handle {
 	monC, varC := net.Pipe()
 	done := make(chan *securechan.SecureConn, 1)
 	go func() {
@@ -45,6 +48,9 @@ func startServeVariant(b testing.TB, id string) *monitor.Handle {
 			}
 			switch m := msg.(type) {
 			case *wire.Batch:
+				if offload > 0 {
+					time.Sleep(offload)
+				}
 				y := m.Tensors["x"].Clone()
 				y.Scale(2)
 				res := &wire.Result{ID: m.ID, Trace: m.Trace, VariantID: id,
@@ -69,12 +75,18 @@ func startServeVariant(b testing.TB, id string) *monitor.Handle {
 // newServeEngine stands up a 3-variant MVX stage for the serving benchmarks.
 // A nil reg gives the engine its own private registry.
 func newServeEngine(b testing.TB, reg *telemetry.Registry) *monitor.Engine {
+	return newServeEngineOffload(b, reg, 0)
+}
+
+// newServeEngineOffload is newServeEngine with per-batch accelerator time on
+// every variant.
+func newServeEngineOffload(b testing.TB, reg *telemetry.Registry, offload time.Duration) *monitor.Engine {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
 	handles := make([]*monitor.Handle, 3)
 	for i := range handles {
-		handles[i] = startServeVariant(b, fmt.Sprintf("v%d", i))
+		handles[i] = startServeVariant(b, fmt.Sprintf("v%d", i), offload)
 	}
 	eng, err := monitor.NewEngine(monitor.EngineConfig{
 		GraphInputs:  []string{"x"},

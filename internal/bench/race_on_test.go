@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this test binary carries race-detector
+// instrumentation, which slows CPU-bound paths ~10x and invalidates
+// wall-clock performance assertions.
+const raceEnabled = true

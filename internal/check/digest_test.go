@@ -1,0 +1,68 @@
+package check
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDigestDeterministicAndSensitive(t *testing.T) {
+	mk := func() map[string]*tensor.Tensor {
+		a := tensor.New(2, 3)
+		b := tensor.New(4)
+		for i, v := range []float32{1, 2, 3, 4, 5, 6} {
+			a.Data()[i] = v
+		}
+		for i := range b.Data() {
+			b.Data()[i] = float32(i) * 0.5
+		}
+		return map[string]*tensor.Tensor{"alpha": a, "beta": b}
+	}
+	d1, d2 := DigestOf(mk()), DigestOf(mk())
+	if d1 != d2 {
+		t.Fatal("identical tensor sets must digest equal")
+	}
+
+	// Single-ULP data change flips the digest.
+	m := mk()
+	m["alpha"].Data()[3] = math.Nextafter32(m["alpha"].Data()[3], 100)
+	if DigestOf(m) == d1 {
+		t.Fatal("data perturbation not reflected in digest")
+	}
+
+	// Same data under a different name is a different checkpoint.
+	m = mk()
+	m["gamma"] = m["beta"]
+	delete(m, "beta")
+	if DigestOf(m) == d1 {
+		t.Fatal("renamed tensor not reflected in digest")
+	}
+
+	// Same flat data with a different shape is a different checkpoint.
+	m = mk()
+	r := tensor.New(3, 2)
+	copy(r.Data(), m["alpha"].Data())
+	m["alpha"] = r
+	if DigestOf(m) == d1 {
+		t.Fatal("reshape not reflected in digest")
+	}
+
+	// Zero-length name/shape boundary cases must not collide trivially.
+	empty := DigestOf(map[string]*tensor.Tensor{})
+	if empty == d1 {
+		t.Fatal("empty set collided")
+	}
+}
+
+func BenchmarkDigestOf64KiB(b *testing.B) {
+	x := tensor.New(128, 128)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i)
+	}
+	m := map[string]*tensor.Tensor{"y": x}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DigestOf(m)
+	}
+}

@@ -1,0 +1,36 @@
+package cluster
+
+import "hash/fnv"
+
+// rendezvousOrder returns replica indices ordered by descending
+// rendezvous-hash score for the placement key: the stable per-model
+// candidate order that placement walks. Every router for the same key and
+// replica set computes the same order, so a model's traffic concentrates on
+// the same preferred replicas (warm caches, pinned weights) without any
+// coordination; least-loaded selection among the healthy candidates then
+// spreads bursts across the order.
+func rendezvousOrder(key string, ids []string) []int {
+	type scored struct {
+		idx   int
+		score uint64
+	}
+	sc := make([]scored, len(ids))
+	for i, id := range ids {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0})
+		h.Write([]byte(id))
+		sc[i] = scored{idx: i, score: h.Sum64()}
+	}
+	// Insertion sort: replica sets are small (single digits).
+	for i := 1; i < len(sc); i++ {
+		for j := i; j > 0 && sc[j].score > sc[j-1].score; j-- {
+			sc[j], sc[j-1] = sc[j-1], sc[j]
+		}
+	}
+	order := make([]int, len(sc))
+	for i, s := range sc {
+		order[i] = s.idx
+	}
+	return order
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/monitor"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// Local wraps an in-process engine as a cluster replica: single-node
+// multi-replica deployments (one engine per NUMA partition), tests and
+// benches. The verification plane needs no wire hops — a follower execution
+// hands the router its raw digest and the router compares it against the
+// leader's directly.
+type Local struct {
+	id     string
+	eng    *monitor.Engine
+	hello  wire.ReplicaHello
+	spares func() int
+
+	idx    int
+	events chan<- replicaEvent
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	subs    map[uint64]localSub            // engine batch ID -> router submission
+	orphans map[uint64]monitor.BatchResult // completed before submit registered
+}
+
+type localSub struct {
+	rid    uint64
+	verify bool
+}
+
+// LocalOptions configures NewLocal beyond the engine itself.
+type LocalOptions struct {
+	// Hello advertises the model interface (serve-door validation). ID,
+	// Stages, Variants and InflightWindow are filled from the engine.
+	Hello wire.ReplicaHello
+	// Spares reports the replica's spare pool size for status heartbeats;
+	// nil reports zero.
+	Spares func() int
+}
+
+// NewLocal builds an in-process replica over a started engine.
+func NewLocal(id string, eng *monitor.Engine, opts LocalOptions) *Local {
+	h := opts.Hello
+	h.ID = id
+	h.Stages = len(eng.Ladder())
+	sp := opts.Spares
+	if sp == nil {
+		sp = func() int { return 0 }
+	}
+	return &Local{
+		id:      id,
+		eng:     eng,
+		hello:   h,
+		spares:  sp,
+		stop:    make(chan struct{}),
+		subs:    make(map[uint64]localSub),
+		orphans: make(map[uint64]monitor.BatchResult),
+	}
+}
+
+func (l *Local) ID() string               { return l.id }
+func (l *Local) Hello() wire.ReplicaHello { return l.hello }
+func (l *Local) InflightWindow() int      { return l.eng.InflightWindow() }
+func (l *Local) SetInflightWindow(n int)  { l.eng.SetInflightWindow(n) }
+
+// Close detaches the replica from the router. The engine is owned by the
+// caller and keeps running.
+func (l *Local) Close() error {
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+	}
+	l.wg.Wait()
+	return nil
+}
+
+func (l *Local) attach(idx int, events chan<- replicaEvent) {
+	l.idx, l.events = idx, events
+	l.wg.Add(2)
+	go l.pumpOutputs()
+	go l.pumpStatus()
+}
+
+func (l *Local) post(ev replicaEvent) {
+	ev.idx = l.idx
+	select {
+	case l.events <- ev:
+	case <-l.stop:
+	}
+}
+
+func (l *Local) status() *wire.ReplicaStatus {
+	ladder := l.eng.Ladder()
+	st := &wire.ReplicaStatus{Ladder: make([]int, len(ladder)), Spares: l.spares()}
+	for i, r := range ladder {
+		st.Ladder[i] = int(r)
+	}
+	return st
+}
+
+// pumpOutputs translates engine completions into router events: primary
+// batches become results, verify batches become digest votes. An engine
+// whose output channel closes (stopped or halted fatally) reports the
+// replica down so the router fails its in-flight batches over.
+func (l *Local) pumpOutputs() {
+	defer l.wg.Done()
+	for {
+		select {
+		case br, ok := <-l.eng.Outputs():
+			if !ok {
+				l.post(replicaEvent{down: monitor.ErrEngineStopped})
+				return
+			}
+			l.mu.Lock()
+			sub, ok := l.subs[br.ID]
+			if ok {
+				delete(l.subs, br.ID)
+			} else {
+				// Completed before submit registered the mapping: park it;
+				// submit delivers on its way out. Requires the engine to be
+				// dedicated to this replica (every batch is ours).
+				l.orphans[br.ID] = br
+			}
+			l.mu.Unlock()
+			if ok {
+				l.deliver(br, sub)
+			}
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// pumpStatus pushes a health heartbeat at attach and after every
+// ladder-relevant engine event.
+func (l *Local) pumpStatus() {
+	defer l.wg.Done()
+	sub := l.eng.EventBus().Subscribe(64)
+	defer sub.Close()
+	l.post(replicaEvent{status: l.status()})
+	for {
+		select {
+		case ev := <-sub.C:
+			switch ev.Kind {
+			case monitor.EventLadderDemoted, monitor.EventLadderPromoted,
+				monitor.EventVariantDown, monitor.EventVariantDropped,
+				monitor.EventVariantTimeout, monitor.EventVariantReplaced,
+				monitor.EventSpareProvisioned:
+				l.post(replicaEvent{status: l.status()})
+			}
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// deliver translates one engine completion into a router event: results for
+// primary batches, digest votes for cross-check batches.
+func (l *Local) deliver(br monitor.BatchResult, sub localSub) {
+	if !sub.verify {
+		if br.Err != nil {
+			// Refresh health ahead of the error so the router's failover
+			// decision sees the demotion that caused it, not a stale ladder.
+			l.post(replicaEvent{status: l.status()})
+		}
+		br.ID = sub.rid
+		l.post(replicaEvent{res: &br})
+		return
+	}
+	v := &wire.Digest{ID: sub.rid, Stage: -1, Vote: true}
+	if br.Err == nil {
+		v.Sum = check.DigestOf(br.Tensors)
+	} // an erroring follower abstains: zero digest
+	l.post(replicaEvent{vote: v, localVote: true})
+}
+
+func (l *Local) submit(rid uint64, _ []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error) {
+	// The engine ID is unknown until Submit returns, so a fast completion can
+	// beat the mapping into l.subs: the pump parks such results in l.orphans
+	// and the registration below picks them up. Holding l.mu across Submit
+	// instead would deadlock — Submit blocks on engine capacity, which frees
+	// only when the pump (also needing l.mu) drains Outputs.
+	eid, err := l.eng.Submit(inputs)
+	if err != nil {
+		return 0, err
+	}
+	sub := localSub{rid: rid, verify: verify}
+	l.mu.Lock()
+	br, raced := l.orphans[eid]
+	if raced {
+		delete(l.orphans, eid)
+	} else {
+		l.subs[eid] = sub
+	}
+	l.mu.Unlock()
+	if raced {
+		l.deliver(br, sub)
+	}
+	return 0, nil
+}
+
+// announce is a no-op for in-process replicas: their votes carry the raw
+// digest and the router compares against the leader's without a wire hop.
+func (l *Local) announce([]byte, *wire.Digest) (int, error) { return 0, nil }

@@ -1,0 +1,882 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/monitor"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// ErrRouterStopped is returned by Submit after Close.
+var ErrRouterStopped = errors.New("cluster: router stopped")
+
+// RouterConfig configures the cluster tier's front door.
+type RouterConfig struct {
+	// Replicas are the engine replicas to route over; at least one.
+	Replicas []Replica
+	// Verify is the number of follower replicas that cross-check each batch.
+	// Zero disables cross-checking (pure load balancing with failover).
+	Verify int
+	// Mode selects how followers report: DigestForward (the default, 46-byte
+	// votes) or TensorForward (full output tensors, the naive baseline).
+	Mode ForwardMode
+	// Sync holds each result until every follower vote is accounted, failing
+	// the batch with ErrDivergence on dissent. Async (the default) delivers
+	// at the leader's result and records late dissent in telemetry.
+	Sync bool
+	// PlacementKey seeds the rendezvous candidate order (typically the model
+	// ID); routers sharing a key and replica set prefer the same leaders.
+	PlacementKey string
+	// MaxInFlight caps batches the router holds open; Submit blocks at the
+	// cap. Default 64. Keep below each engine's own in-flight ceiling so
+	// replica submission never wedges on engine backpressure.
+	MaxInFlight int
+	// MaxRetries bounds failover resubmissions per batch. Default 2.
+	MaxRetries int
+	// VoteTimeout bounds how long a delivered-or-deliverable batch waits for
+	// follower votes before the stragglers are counted as abstentions.
+	// Default 2s.
+	VoteTimeout time.Duration
+	// Metrics receives the cluster series; nil disables.
+	Metrics *telemetry.Registry
+}
+
+// pendingBatch is one open batch in the router's ID namespace.
+type pendingBatch struct {
+	id     uint64
+	inputs map[string]*tensor.Tensor
+	leader int
+	// followers tracks replica indices whose vote is still outstanding.
+	followers map[int]bool
+	res       *monitor.BatchResult // leader result, held in sync mode
+	resAt     time.Time            // when the leader result arrived (vote timeout base)
+	leaderSum check.Digest
+	hasSum    bool
+	announced bool
+	delivered bool
+	dissent   bool
+	// earlyVotes parks follower digests that arrived before the leader's
+	// result fixed the reference sum.
+	earlyVotes map[int]check.Digest
+	// stageSums holds the first-seen digest per checkpoint stage for
+	// best-effort early dissent detection (owner index + sum).
+	stageSums map[int32]stageSum
+	retries   int
+	born      time.Time
+}
+
+type stageSum struct {
+	idx int
+	sum check.Digest
+}
+
+type replicaState struct {
+	up       bool
+	ladder   []int
+	spares   int
+	inflight int // outstanding leader batches
+	checks   int // outstanding follower cross-checks
+}
+
+// Router fronts N replica engines as one serve.Engine: it places each batch
+// on a leader replica, fans cross-check work to followers, verifies their
+// digest votes, and fails batches over when a replica goes down or halts —
+// all under its own stable batch-ID namespace, so the serving tier's demux
+// is oblivious to which replica served what. It also implements
+// control.Pipeline: the controller's window actuations fan out to every
+// replica.
+type Router struct {
+	cfg   RouterConfig
+	reps  []Replica
+	order []int // rendezvous candidate order for PlacementKey
+
+	out      chan monitor.BatchResult
+	deliverq chan monitor.BatchResult
+	events   chan replicaEvent
+	slots    chan struct{}
+	stop     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+	// dispatchWG tracks the per-batch dispatch goroutines: Submit returns as
+	// soon as the batch is placed and registered, and the marshal + seal +
+	// socket write happen off the caller's goroutine — the serving scheduler's
+	// flush loop must never stall on the wire.
+	dispatchWG sync.WaitGroup
+	nextID     uint64 // guarded by mu
+
+	mu      sync.Mutex
+	closed  bool
+	state   []replicaState
+	pending map[uint64]*pendingBatch
+
+	m routerMetrics
+}
+
+type routerMetrics struct {
+	replicas  *telemetry.Gauge
+	batches   *telemetry.Counter
+	failovers *telemetry.Counter
+	routeNs   *telemetry.Histogram
+	dissent   *telemetry.Counter
+	votes     [3]*telemetry.Counter // agree, dissent, abstain
+	fwd       [3]*telemetry.Counter // input, result, digest planes
+	up        []*telemetry.Gauge
+	rung      []*telemetry.Gauge
+	inflight  []*telemetry.Gauge
+}
+
+const (
+	voteAgree = iota
+	voteDissent
+	voteAbstain
+)
+
+const (
+	planeInput = iota
+	planeResult
+	planeDigest
+)
+
+// NewRouter validates the configuration, attaches every replica and starts
+// the routing loop.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("cluster: no replicas")
+	}
+	if cfg.Verify >= len(cfg.Replicas) {
+		return nil, fmt.Errorf("cluster: verify %d needs %d replicas, have %d",
+			cfg.Verify, cfg.Verify+1, len(cfg.Replicas))
+	}
+	if cfg.Verify < 0 {
+		return nil, errors.New("cluster: negative verify")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.VoteTimeout <= 0 {
+		cfg.VoteTimeout = 2 * time.Second
+	}
+	if cfg.PlacementKey == "" {
+		cfg.PlacementKey = "default"
+	}
+	ids := make([]string, len(cfg.Replicas))
+	seen := make(map[string]bool, len(ids))
+	for i, rep := range cfg.Replicas {
+		ids[i] = rep.ID()
+		if seen[ids[i]] {
+			return nil, fmt.Errorf("cluster: duplicate replica ID %q", ids[i])
+		}
+		seen[ids[i]] = true
+	}
+	r := &Router{
+		cfg:   cfg,
+		reps:  cfg.Replicas,
+		order: rendezvousOrder(cfg.PlacementKey, ids),
+		// deliverq is buffered to the in-flight cap so enqueueing a result
+		// under the router lock can never block: every open batch owns one
+		// slot and delivers at most once. The delivery goroutine moves rows
+		// to out, so consumer backpressure stalls slots, never the lock.
+		out:      make(chan monitor.BatchResult, cfg.MaxInFlight),
+		deliverq: make(chan monitor.BatchResult, cfg.MaxInFlight),
+		events:   make(chan replicaEvent, 4*len(cfg.Replicas)+64),
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		stop:     make(chan struct{}),
+		state:    make([]replicaState, len(cfg.Replicas)),
+		pending:  make(map[uint64]*pendingBatch),
+	}
+	for i := range r.state {
+		// Replicas start healthy-until-told-otherwise; the initial status
+		// heartbeat (sent at attach) corrects this within one event.
+		r.state[i] = replicaState{up: true}
+	}
+	r.initMetrics(ids)
+	for i, rep := range r.reps {
+		rep.attach(i, r.events)
+	}
+	r.wg.Add(3)
+	go r.loop()
+	go r.delivery()
+	go r.sweeper()
+	return r, nil
+}
+
+func (r *Router) initMetrics(ids []string) {
+	// The per-replica slices are always allocated; with no registry their
+	// elements stay nil and every Gauge/Counter method is a nil-safe no-op.
+	r.m.up = make([]*telemetry.Gauge, len(ids))
+	r.m.rung = make([]*telemetry.Gauge, len(ids))
+	r.m.inflight = make([]*telemetry.Gauge, len(ids))
+	reg := r.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	r.m.replicas = reg.Gauge(telemetry.MetricClusterReplicas)
+	r.m.replicas.Set(int64(len(ids)))
+	r.m.batches = reg.Counter(telemetry.MetricClusterBatches)
+	r.m.failovers = reg.Counter(telemetry.MetricClusterFailovers)
+	r.m.routeNs = reg.Histogram(telemetry.MetricClusterRouteNs)
+	r.m.dissent = reg.Counter(telemetry.MetricClusterStageDissent)
+	for i, v := range []string{telemetry.DigestVoteAgree, telemetry.DigestVoteDissent, telemetry.DigestVoteAbstain} {
+		r.m.votes[i] = reg.Counter(telemetry.MetricClusterDigestVotes, telemetry.L("verdict", v))
+	}
+	for i, p := range []string{telemetry.ForwardPlaneInput, telemetry.ForwardPlaneResult, telemetry.ForwardPlaneDigest} {
+		r.m.fwd[i] = reg.Counter(telemetry.MetricClusterFwdBytes, telemetry.L("plane", p))
+	}
+	for i, id := range ids {
+		l := telemetry.L("replica", id)
+		r.m.up[i] = reg.Gauge(telemetry.MetricClusterReplicaUp, l)
+		r.m.up[i].Set(1)
+		r.m.rung[i] = reg.Gauge(telemetry.MetricClusterReplicaRung, l)
+		r.m.inflight[i] = reg.Gauge(telemetry.MetricClusterInflight, l)
+	}
+}
+
+// Close stops routing and closes every replica handle. In-flight batches are
+// failed with ErrRouterStopped by the loop shutting down.
+func (r *Router) Close() error {
+	r.once.Do(func() { close(r.stop) })
+	// Refuse new submissions before closing the connections: Submit's
+	// dispatchWG.Add must not race Close's Wait.
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	var err error
+	for _, rep := range r.reps {
+		if e := rep.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	// In-flight dispatch sends fail fast once the connections are down and
+	// resolve through failover, so this wait is bounded.
+	r.dispatchWG.Wait()
+	r.wg.Wait()
+	return err
+}
+
+// Outputs returns the completed-batch stream (serve.Engine).
+func (r *Router) Outputs() <-chan monitor.BatchResult { return r.out }
+
+// Ladder reports the element-wise best rung across healthy replicas: the
+// capability the cluster can still serve, which is what admission should
+// gate on (serve.Engine, control.Pipeline).
+func (r *Router) Ladder() []monitor.LadderRung {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best []int
+	for i := range r.state {
+		st := &r.state[i]
+		if !st.up {
+			continue
+		}
+		for j, rung := range st.ladder {
+			if j >= len(best) {
+				best = append(best, rung)
+			} else if rung > best[j] {
+				best[j] = rung
+			}
+		}
+	}
+	out := make([]monitor.LadderRung, len(best))
+	for i, rung := range best {
+		out[i] = monitor.LadderRung(rung)
+	}
+	return out
+}
+
+// InflightWindow reports the widest replica window (control.Pipeline).
+func (r *Router) InflightWindow() int {
+	w := 0
+	for _, rep := range r.reps {
+		if rw := rep.InflightWindow(); rw > w {
+			w = rw
+		}
+	}
+	return w
+}
+
+// SetInflightWindow fans the controller's window actuation to every replica
+// (control.Pipeline). Remote replicas receive it as a scoped ReplicaTune.
+func (r *Router) SetInflightWindow(n int) {
+	for _, rep := range r.reps {
+		rep.SetInflightWindow(n)
+	}
+}
+
+// healthy reports whether a replica can accept new work: up and no halted
+// stage on its last heartbeat.
+func (st *replicaState) healthy() bool {
+	if !st.up {
+		return false
+	}
+	for _, rung := range st.ladder {
+		if rung == int(monitor.LadderHalted) {
+			return false
+		}
+	}
+	return true
+}
+
+// place picks a leader and follower set: the least-loaded healthy replica in
+// rendezvous order leads (ties go to the earlier candidate), the next
+// healthy candidates follow. Caller holds r.mu.
+func (r *Router) place(exclude int) (leader int, followers []int, err error) {
+	leader = -1
+	for _, idx := range r.order {
+		st := &r.state[idx]
+		if idx == exclude || !st.healthy() {
+			continue
+		}
+		if leader < 0 || st.inflight < r.state[leader].inflight {
+			leader = idx
+		}
+	}
+	if leader < 0 {
+		return 0, nil, ErrNoHealthyReplica
+	}
+	for _, idx := range r.order {
+		if len(followers) == r.cfg.Verify {
+			break
+		}
+		if idx == leader || idx == exclude || !r.state[idx].healthy() {
+			continue
+		}
+		followers = append(followers, idx)
+	}
+	return leader, followers, nil
+}
+
+// Submit routes one batch (serve.Engine): leader placement and registration
+// happen inline, then the encode-once dispatch and follower fan-out run on
+// their own goroutine — the marshal, seal and socket writes must not ride the
+// caller's critical path, or the serving scheduler's flush loop serializes
+// with the wire and a multi-replica tier can never out-run one engine.
+// Blocks at MaxInFlight.
+func (r *Router) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
+	select {
+	case r.slots <- struct{}{}:
+	case <-r.stop:
+		return 0, ErrRouterStopped
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.slots
+		return 0, ErrRouterStopped
+	}
+	r.nextID++
+	id := r.nextID
+	leader, followers, err := r.place(-1)
+	if err != nil {
+		r.mu.Unlock()
+		<-r.slots
+		return 0, err
+	}
+	pb := &pendingBatch{
+		id:        id,
+		inputs:    inputs,
+		leader:    leader,
+		followers: make(map[int]bool, len(followers)),
+		born:      time.Now(),
+	}
+	for _, f := range followers {
+		pb.followers[f] = true
+	}
+	r.pending[id] = pb
+	r.noteDispatch(pb, +1)
+	r.dispatchWG.Add(1)
+	r.mu.Unlock()
+	r.m.batches.Inc()
+	go func() {
+		defer r.dispatchWG.Done()
+		if err := r.dispatch(pb, leader, followers); err != nil {
+			// The leader send failed outright; fail over immediately rather
+			// than waiting for its down event.
+			r.failover(pb.id, leader, err)
+		}
+	}()
+	return id, nil
+}
+
+// noteDispatch adjusts per-replica load accounting for a batch's current
+// role assignment. Caller holds r.mu.
+func (r *Router) noteDispatch(pb *pendingBatch, delta int) {
+	r.state[pb.leader].inflight += delta
+	r.m.inflight[pb.leader].Set(int64(r.state[pb.leader].inflight))
+	for f := range pb.followers {
+		r.state[f].checks += delta
+	}
+}
+
+// dispatch encodes the batch at most once and sends it to the leader (as
+// TBatch) and followers (retagged TVerify in digest mode; TBatch in tensor
+// mode, so followers ship full results). Runs outside r.mu: sends can block
+// on sockets.
+func (r *Router) dispatch(pb *pendingBatch, leader int, followers []int) error {
+	var payload []byte
+	needEnc := !isLocal(r.reps[leader])
+	for _, f := range followers {
+		needEnc = needEnc || !isLocal(r.reps[f])
+	}
+	if needEnc {
+		buf := wire.MarshalBatch(&wire.Batch{ID: pb.id, Tensors: pb.inputs})
+		defer buf.Free()
+		payload = buf.Payload()
+	}
+	n, err := r.reps[leader].submit(pb.id, payload, pb.inputs, false)
+	r.m.fwd[planeInput].Add(uint64(n))
+	if err != nil {
+		return err
+	}
+	verify := r.cfg.Mode == DigestForward
+	if payload != nil && verify {
+		wire.RetagVerify(payload)
+	}
+	for _, f := range followers {
+		n, err := r.reps[f].submit(pb.id, payload, pb.inputs, verify)
+		r.m.fwd[planeInput].Add(uint64(n))
+		if err != nil {
+			// A follower we cannot reach abstains; the batch proceeds.
+			r.mu.Lock()
+			if pb.followers[f] {
+				delete(pb.followers, f)
+				r.state[f].checks--
+			}
+			done := r.completeLocked(pb)
+			r.mu.Unlock()
+			r.m.votes[voteAbstain].Inc()
+			_ = done
+		}
+	}
+	return nil
+}
+
+func isLocal(rep Replica) bool {
+	_, ok := rep.(*Local)
+	return ok
+}
+
+// loop is the router's event consumer: results, votes, heartbeats and
+// failures all funnel through here.
+func (r *Router) loop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case ev := <-r.events:
+			switch {
+			case ev.res != nil:
+				r.onResult(ev)
+			case ev.vote != nil:
+				r.onVote(ev)
+			case ev.status != nil:
+				r.onStatus(ev)
+			case ev.down != nil:
+				r.onDown(ev)
+			}
+		case <-r.stop:
+			r.drainPending()
+			return
+		}
+	}
+}
+
+// drainPending fails every open batch on shutdown so serve's demux rows
+// resolve instead of leaking.
+func (r *Router) drainPending() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, pb := range r.pending {
+		delete(r.pending, id)
+		if !pb.delivered {
+			// Bypass the delivery queue: its goroutine may already have
+			// drained and exited. Best-effort — the consumer is shutting
+			// down with us.
+			pb.delivered = true
+			select {
+			case r.out <- monitor.BatchResult{ID: id, Err: ErrRouterStopped}:
+			default:
+			}
+		}
+	}
+}
+
+// onResult handles a replica's completed batch: the leader's is the batch
+// result; a follower's (tensor mode) is a full-tensor cross-check.
+func (r *Router) onResult(ev replicaEvent) {
+	r.m.fwd[planeResult].Add(uint64(ev.wireBytes))
+	res := ev.res
+	r.mu.Lock()
+	pb := r.pending[res.ID]
+	if pb == nil {
+		r.mu.Unlock()
+		return // stale: already delivered or failed over and resolved
+	}
+	if ev.idx != pb.leader {
+		if pb.followers[ev.idx] {
+			// Tensor-mode cross-check: digest the follower's outputs at the
+			// router and treat it as a vote.
+			sum, abstain := check.Digest{}, res.Err != nil
+			if !abstain {
+				sum = check.DigestOf(res.Tensors)
+			}
+			if !abstain && !pb.hasSum {
+				// Follower finished before the leader: park until the
+				// leader result fixes the reference sum.
+				if pb.earlyVotes == nil {
+					pb.earlyVotes = make(map[int]check.Digest)
+				}
+				pb.earlyVotes[ev.idx] = sum
+			} else {
+				r.applyVoteLocked(pb, ev.idx, sum, abstain, false, false)
+				r.completeLocked(pb)
+			}
+		}
+		r.mu.Unlock()
+		return // else: stale pre-failover leader result — first delivery won
+	}
+	if res.Err != nil && pb.retries < r.cfg.MaxRetries && !r.state[ev.idx].healthy() {
+		// The leader failed the batch and its engine is degraded past
+		// serving: treat as replica failure, not batch failure.
+		r.mu.Unlock()
+		r.failover(res.ID, ev.idx, res.Err)
+		return
+	}
+	// The leader result stands. Fix the reference digest, resolve parked
+	// early votes, then fan the announce to remote followers.
+	pb.res, pb.resAt = res, time.Now()
+	if res.Err != nil {
+		// A failed batch has no reference to verify against: outstanding
+		// cross-checks resolve as abstentions (the error is the outcome).
+		for f := range pb.followers {
+			r.applyVoteLocked(pb, f, check.Digest{}, true, false, false)
+		}
+	} else if len(pb.followers) > 0 || len(pb.earlyVotes) > 0 {
+		pb.leaderSum, pb.hasSum = check.DigestOf(res.Tensors), true
+	}
+	for idx, sum := range pb.earlyVotes {
+		if pb.followers[idx] {
+			r.applyVoteLocked(pb, idx, sum, false, false, false)
+		}
+	}
+	pb.earlyVotes = nil
+	needAnnounce := pb.hasSum && !pb.announced && r.cfg.Mode == DigestForward
+	pb.announced = pb.announced || needAnnounce
+	var targets []int
+	if needAnnounce {
+		for f := range pb.followers {
+			if !isLocal(r.reps[f]) {
+				targets = append(targets, f)
+			}
+		}
+	}
+	done := r.completeLocked(pb)
+	r.mu.Unlock()
+	if len(targets) > 0 && !done {
+		r.announce(pb, targets)
+	}
+}
+
+// announce fans the leader's final digest to remote followers, encoded once.
+func (r *Router) announce(pb *pendingBatch, targets []int) {
+	d := &wire.Digest{ID: pb.id, Stage: -1, Sum: pb.leaderSum}
+	buf := wire.MarshalDigest(d)
+	defer buf.Free()
+	payload := buf.Payload()
+	for _, f := range targets {
+		n, err := r.reps[f].announce(payload, d)
+		r.m.fwd[planeDigest].Add(uint64(n))
+		if err != nil {
+			// Unreachable follower: its vote will resolve as a timeout
+			// abstention; the down event handles the rest.
+			continue
+		}
+	}
+}
+
+// onVote handles a verification-plane frame: a follower's final verdict, a
+// parked-early digest, or a best-effort stage digest.
+func (r *Router) onVote(ev replicaEvent) {
+	v := ev.vote
+	r.m.fwd[planeDigest].Add(uint64(ev.wireBytes))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pb := r.pending[v.ID]
+	if pb == nil {
+		return
+	}
+	if v.Stage >= 0 {
+		r.onStageDigestLocked(pb, ev.idx, v)
+		return
+	}
+	if !v.Vote || !pb.followers[ev.idx] {
+		return // not a verdict, or follower already resolved/removed
+	}
+	var zero check.Digest
+	sum := check.Digest(v.Sum)
+	abstain := sum == zero
+	if ev.localVote && !abstain && !pb.hasSum {
+		// Local follower finished before the leader: park until the leader
+		// result fixes the reference sum.
+		if pb.earlyVotes == nil {
+			pb.earlyVotes = make(map[int]check.Digest)
+		}
+		pb.earlyVotes[ev.idx] = sum
+		return
+	}
+	r.applyVoteLocked(pb, ev.idx, sum, abstain, !ev.localVote, v.Agree)
+	r.completeLocked(pb)
+}
+
+// applyVoteLocked resolves one follower's verdict. For authoritative votes
+// (remote followers compared the announce themselves) agree is taken as-is;
+// otherwise the router compares sum against the leader's. Caller holds r.mu.
+func (r *Router) applyVoteLocked(pb *pendingBatch, idx int, sum check.Digest, abstain, authoritative, agree bool) {
+	if !pb.followers[idx] {
+		return
+	}
+	delete(pb.followers, idx)
+	r.state[idx].checks--
+	switch {
+	case abstain:
+		r.m.votes[voteAbstain].Inc()
+	case authoritative && agree, !authoritative && pb.hasSum && sum == pb.leaderSum:
+		r.m.votes[voteAgree].Inc()
+	default:
+		r.m.votes[voteDissent].Inc()
+		pb.dissent = true
+	}
+}
+
+// onStageDigestLocked records best-effort per-checkpoint digests: the first
+// replica to report a stage owns the reference; a different replica
+// reporting a different digest for the same stage is early dissent. The
+// final vote remains the correctness backbone. Caller holds r.mu.
+func (r *Router) onStageDigestLocked(pb *pendingBatch, idx int, v *wire.Digest) {
+	if pb.stageSums == nil {
+		pb.stageSums = make(map[int32]stageSum)
+	}
+	prev, ok := pb.stageSums[v.Stage]
+	if !ok {
+		pb.stageSums[v.Stage] = stageSum{idx: idx, sum: check.Digest(v.Sum)}
+		return
+	}
+	if prev.idx != idx && prev.sum != check.Digest(v.Sum) {
+		r.m.dissent.Inc()
+	}
+}
+
+// completeLocked delivers the batch if its gates allow and reports whether
+// the batch is fully resolved. Caller holds r.mu.
+func (r *Router) completeLocked(pb *pendingBatch) bool {
+	if r.pending[pb.id] == nil {
+		return true // already resolved (failover race)
+	}
+	if pb.res == nil {
+		return false // leader still running
+	}
+	votesIn := len(pb.followers) == 0
+	if !pb.delivered {
+		if r.cfg.Sync && !votesIn {
+			return false // hold for votes
+		}
+		res := *pb.res
+		if pb.dissent {
+			res.Err, res.Tensors = ErrDivergence, nil
+		}
+		r.deliverLocked(pb, &res)
+	} else if pb.dissent {
+		// Async mode: dissent after delivery — surface via telemetry only
+		// (the row is gone); counted by applyVoteLocked already.
+		_ = pb
+	}
+	if votesIn {
+		delete(r.pending, pb.id)
+		r.noteDispatch(pb, -1)
+	}
+	return votesIn
+}
+
+// deliverLocked enqueues the result row; the delivery goroutine moves it to
+// the output stream and releases the batch's slot. deliverq is sized to
+// MaxInFlight and each slot delivers at most once, so the enqueue never
+// blocks. Caller holds r.mu.
+func (r *Router) deliverLocked(pb *pendingBatch, res *monitor.BatchResult) {
+	pb.delivered = true
+	res.ID = pb.id
+	res.Latency = time.Since(pb.born)
+	r.deliverq <- *res
+	r.m.routeNs.Observe(res.Latency.Nanoseconds())
+}
+
+// delivery is the single mover from the internal queue to the consumer
+// stream. Consumer backpressure blocks here — holding the batch's slot, so
+// Submit stalls — never under r.mu.
+func (r *Router) delivery() {
+	defer r.wg.Done()
+	for {
+		select {
+		case res := <-r.deliverq:
+			select {
+			case r.out <- res:
+			case <-r.stop:
+				// Shutdown: flush what fits, drop the rest (the consumer is
+				// going away with us).
+				select {
+				case r.out <- res:
+				default:
+				}
+			}
+			<-r.slots
+		case <-r.stop:
+			for {
+				select {
+				case res := <-r.deliverq:
+					select {
+					case r.out <- res:
+					default:
+					}
+					<-r.slots
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// onStatus applies a replica heartbeat. A replica that reports a halted
+// stage stops receiving new work; its in-flight batches fail over when their
+// results come back failed (the engine errors batches reaching a halted
+// stage, so nothing re-executes speculatively).
+func (r *Router) onStatus(ev replicaEvent) {
+	r.mu.Lock()
+	st := &r.state[ev.idx]
+	st.ladder = ev.status.Ladder
+	st.spares = ev.status.Spares
+	worst := int(monitor.LadderFull)
+	for _, rung := range st.ladder {
+		if rung < worst {
+			worst = rung
+		}
+	}
+	r.mu.Unlock()
+	r.m.rung[ev.idx].Set(int64(worst))
+}
+
+// onDown marks the replica lost and fails its batches over: leader batches
+// resubmit to a healthy peer under the same router ID; follower cross-checks
+// resolve as abstentions.
+func (r *Router) onDown(ev replicaEvent) {
+	r.mu.Lock()
+	st := &r.state[ev.idx]
+	if !st.up {
+		r.mu.Unlock()
+		return
+	}
+	st.up = false
+	r.m.up[ev.idx].Set(0)
+	var orphans []uint64
+	for id, pb := range r.pending {
+		if pb.leader == ev.idx && pb.res == nil {
+			orphans = append(orphans, id)
+		}
+		if pb.followers[ev.idx] {
+			r.applyVoteLocked(pb, ev.idx, check.Digest{}, true, false, false)
+			r.completeLocked(pb)
+		}
+	}
+	r.mu.Unlock()
+	for _, id := range orphans {
+		r.failover(id, ev.idx, ev.down)
+	}
+}
+
+// failover re-places one batch away from a failed leader and resubmits it
+// under its original router ID, so the serving tier's demux sees exactly one
+// row per batch no matter how many replicas touched it.
+func (r *Router) failover(id uint64, from int, cause error) {
+	r.mu.Lock()
+	pb := r.pending[id]
+	if pb == nil || pb.leader != from || pb.res != nil {
+		r.mu.Unlock()
+		return // resolved or already re-placed by a concurrent path
+	}
+	if pb.retries >= r.cfg.MaxRetries {
+		r.resolveFailedLocked(pb, fmt.Errorf("cluster: batch %d exhausted failover retries: %w", id, cause))
+		r.mu.Unlock()
+		return
+	}
+	leader, _, err := r.place(from)
+	if err != nil {
+		r.resolveFailedLocked(pb, err)
+		r.mu.Unlock()
+		return
+	}
+	pb.retries++
+	// Re-home the load accounting: the old leader's share moves to the new.
+	r.state[pb.leader].inflight--
+	r.m.inflight[pb.leader].Set(int64(r.state[pb.leader].inflight))
+	pb.leader = leader
+	r.state[leader].inflight++
+	r.m.inflight[leader].Set(int64(r.state[leader].inflight))
+	// Followers on the failed replica resolve as abstentions.
+	if pb.followers[from] {
+		r.applyVoteLocked(pb, from, check.Digest{}, true, false, false)
+	}
+	inputs := pb.inputs
+	r.mu.Unlock()
+	r.m.failovers.Inc()
+	n, err := r.reps[leader].submit(id, nil, inputs, false)
+	r.m.fwd[planeInput].Add(uint64(n))
+	if err != nil {
+		r.failover(id, leader, err)
+	}
+}
+
+// resolveFailedLocked fails the batch outright: no healthy peer or retries
+// exhausted. Caller holds r.mu.
+func (r *Router) resolveFailedLocked(pb *pendingBatch, err error) {
+	if !pb.delivered {
+		r.deliverLocked(pb, &monitor.BatchResult{Err: err})
+	}
+	delete(r.pending, pb.id)
+	r.noteDispatch(pb, -1)
+}
+
+// sweeper resolves batches whose follower votes never arrived: after
+// VoteTimeout past the leader result, stragglers count as abstentions.
+func (r *Router) sweeper() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.VoteTimeout / 2)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			r.mu.Lock()
+			var expired []*pendingBatch
+			for _, pb := range r.pending {
+				if pb.res != nil && len(pb.followers) > 0 && now.Sub(pb.resAt) > r.cfg.VoteTimeout {
+					expired = append(expired, pb)
+				}
+			}
+			for _, pb := range expired {
+				for f := range pb.followers {
+					r.applyVoteLocked(pb, f, check.Digest{}, true, false, false)
+				}
+				r.completeLocked(pb)
+			}
+			r.mu.Unlock()
+		case <-r.stop:
+			return
+		}
+	}
+}

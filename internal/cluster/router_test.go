@@ -1,0 +1,479 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/monitor"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// fakeReplica is a scriptable Replica: tests read what the router submitted
+// and inject results, votes, heartbeats and failures.
+type fakeReplica struct {
+	id string
+
+	mu        sync.Mutex
+	idx       int
+	events    chan<- replicaEvent
+	subs      []fakeSub
+	announces []wire.Digest
+	window    int
+}
+
+type fakeSub struct {
+	rid    uint64
+	verify bool
+	tag    wire.Type // first byte of enc, 0 when enc was nil
+	inputs map[string]*tensor.Tensor
+}
+
+func newFake(id string) *fakeReplica { return &fakeReplica{id: id} }
+
+func (f *fakeReplica) ID() string               { return f.id }
+func (f *fakeReplica) Hello() wire.ReplicaHello { return wire.ReplicaHello{ID: f.id, Stages: 1} }
+func (f *fakeReplica) InflightWindow() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.window
+}
+func (f *fakeReplica) SetInflightWindow(n int) {
+	f.mu.Lock()
+	f.window = n
+	f.mu.Unlock()
+}
+func (f *fakeReplica) Close() error { return nil }
+
+func (f *fakeReplica) attach(idx int, events chan<- replicaEvent) {
+	f.mu.Lock()
+	f.idx, f.events = idx, events
+	f.mu.Unlock()
+}
+
+func (f *fakeReplica) submit(rid uint64, enc []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := fakeSub{rid: rid, verify: verify, inputs: inputs}
+	if enc != nil {
+		s.tag = wire.Type(enc[0])
+	}
+	f.subs = append(f.subs, s)
+	return len(enc), nil
+}
+
+func (f *fakeReplica) announce(enc []byte, d *wire.Digest) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.announces = append(f.announces, *d)
+	return len(enc), nil
+}
+
+func (f *fakeReplica) post(ev replicaEvent) {
+	f.mu.Lock()
+	ev.idx = f.idx
+	ch := f.events
+	f.mu.Unlock()
+	ch <- ev
+}
+
+// lastSub waits for at least one submission (dispatch is asynchronous with
+// Submit) and returns the most recent.
+func (f *fakeReplica) lastSub(t *testing.T) fakeSub {
+	t.Helper()
+	waitUntil(t, "a submission", func() bool { return f.subCount() > 0 })
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.subs[len(f.subs)-1]
+}
+
+func (f *fakeReplica) subCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func testInputs(v float32) map[string]*tensor.Tensor {
+	x := tensor.New(1, 4)
+	for i := range x.Data() {
+		x.Data()[i] = v
+	}
+	return map[string]*tensor.Tensor{"x": x}
+}
+
+func testOutputs(v float32) map[string]*tensor.Tensor {
+	y := tensor.New(1, 4)
+	for i := range y.Data() {
+		y.Data()[i] = 2 * v
+	}
+	return map[string]*tensor.Tensor{"y": y}
+}
+
+// leaderAndFollower splits two fakes by who received the primary submission.
+func leaderAndFollower(t *testing.T, a, b *fakeReplica) (lead, follow *fakeReplica) {
+	t.Helper()
+	waitUntil(t, "both submissions", func() bool { return a.subCount()+b.subCount() == 2 })
+	if !a.lastSub(t).verify && a.lastSub(t).tag != wire.TVerify {
+		return a, b
+	}
+	return b, a
+}
+
+func readRow(t *testing.T, r *Router) monitor.BatchResult {
+	t.Helper()
+	select {
+	case row := <-r.Outputs():
+		return row
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result row")
+	}
+	return monitor.BatchResult{}
+}
+
+func TestRouterDeliversLeaderResult(t *testing.T) {
+	f := newFake("a")
+	r, err := NewRouter(RouterConfig{Replicas: []Replica{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id, err := r.Submit(testInputs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := f.lastSub(t)
+	if sub.rid != id || sub.verify {
+		t.Fatalf("leader submission = %+v, want primary rid %d", sub, id)
+	}
+	f.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: testOutputs(3)}})
+	row := readRow(t, r)
+	if row.ID != id || row.Err != nil || row.Tensors["y"].At(0, 0) != 6 {
+		t.Fatalf("row = %+v, want id %d y=6", row, id)
+	}
+}
+
+func TestRouterSyncDigestAgreeAndDissent(t *testing.T) {
+	for _, dissent := range []bool{false, true} {
+		name := "agree"
+		if dissent {
+			name = "dissent"
+		}
+		t.Run(name, func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			a, b := newFake("a"), newFake("b")
+			r, err := NewRouter(RouterConfig{
+				Replicas: []Replica{a, b}, Verify: 1, Sync: true, Metrics: reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			id, err := r.Submit(testInputs(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lead, follow := leaderAndFollower(t, a, b)
+			if fs := follow.lastSub(t); fs.tag != wire.TVerify || !fs.verify {
+				t.Fatalf("follower got %+v, want retagged verify", fs)
+			}
+			outs := testOutputs(5)
+			lead.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: outs}})
+			// The leader result triggers the announce fan-out; the follower
+			// answers with an authoritative verdict.
+			waitUntil(t, "announce", func() bool {
+				follow.mu.Lock()
+				defer follow.mu.Unlock()
+				return len(follow.announces) == 1
+			})
+			follow.mu.Lock()
+			ann := follow.announces[0]
+			follow.mu.Unlock()
+			want := check.DigestOf(outs)
+			if ann.ID != id || ann.Vote || check.Digest(ann.Sum) != want {
+				t.Fatalf("announce = %+v, want leader digest of outputs", ann)
+			}
+			vote := &wire.Digest{ID: id, Stage: -1, Vote: true, Agree: !dissent, Sum: want}
+			if dissent {
+				vote.Sum[0] ^= 0xff
+			}
+			follow.post(replicaEvent{vote: vote})
+			row := readRow(t, r)
+			if dissent {
+				if !errors.Is(row.Err, ErrDivergence) {
+					t.Fatalf("row.Err = %v, want ErrDivergence", row.Err)
+				}
+				if n := reg.Counter(telemetry.MetricClusterDigestVotes,
+					telemetry.L("verdict", telemetry.DigestVoteDissent)).Value(); n != 1 {
+					t.Fatalf("dissent votes = %d, want 1", n)
+				}
+			} else {
+				if row.Err != nil || row.ID != id {
+					t.Fatalf("row = %+v, want clean id %d", row, id)
+				}
+				if n := reg.Counter(telemetry.MetricClusterDigestVotes,
+					telemetry.L("verdict", telemetry.DigestVoteAgree)).Value(); n != 1 {
+					t.Fatalf("agree votes = %d, want 1", n)
+				}
+			}
+		})
+	}
+}
+
+func TestRouterAbstainDoesNotFailBatch(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a, b := newFake("a"), newFake("b")
+	r, err := NewRouter(RouterConfig{Replicas: []Replica{a, b}, Verify: 1, Sync: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id, _ := r.Submit(testInputs(7))
+	lead, follow := leaderAndFollower(t, a, b)
+	lead.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: testOutputs(7)}})
+	// Zero-sum vote: the follower could not execute. Not dissent.
+	follow.post(replicaEvent{vote: &wire.Digest{ID: id, Stage: -1, Vote: true}})
+	row := readRow(t, r)
+	if row.Err != nil {
+		t.Fatalf("abstention failed the batch: %v", row.Err)
+	}
+	if n := reg.Counter(telemetry.MetricClusterDigestVotes,
+		telemetry.L("verdict", telemetry.DigestVoteAbstain)).Value(); n != 1 {
+		t.Fatalf("abstain votes = %d, want 1", n)
+	}
+}
+
+func TestRouterLocalVoteParksUntilLeaderResult(t *testing.T) {
+	a, b := newFake("a"), newFake("b")
+	r, err := NewRouter(RouterConfig{Replicas: []Replica{a, b}, Verify: 1, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id, _ := r.Submit(testInputs(9))
+	lead, follow := leaderAndFollower(t, a, b)
+	outs := testOutputs(9)
+	// Local-style raw-digest vote lands before the leader's result: the
+	// router must park it and compare once the reference digest exists.
+	follow.post(replicaEvent{
+		vote:      &wire.Digest{ID: id, Stage: -1, Vote: true, Sum: check.DigestOf(outs)},
+		localVote: true,
+	})
+	lead.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: outs}})
+	row := readRow(t, r)
+	if row.Err != nil || row.ID != id {
+		t.Fatalf("row = %+v, want clean id %d", row, id)
+	}
+}
+
+func TestRouterFailoverPreservesBatchID(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a, b := newFake("a"), newFake("b")
+	r, err := NewRouter(RouterConfig{Replicas: []Replica{a, b}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id, err := r.Submit(testInputs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "leader submission", func() bool { return a.subCount()+b.subCount() == 1 })
+	lead, peer := a, b
+	if b.subCount() == 1 {
+		lead, peer = b, a
+	}
+	lead.post(replicaEvent{down: errors.New("connection lost")})
+	waitUntil(t, "failover resubmission", func() bool { return peer.subCount() == 1 })
+	if sub := peer.lastSub(t); sub.rid != id || sub.verify {
+		t.Fatalf("failover submission = %+v, want primary rid %d", sub, id)
+	}
+	peer.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: testOutputs(2)}})
+	row := readRow(t, r)
+	if row.ID != id || row.Err != nil {
+		t.Fatalf("row = %+v, want clean id %d after failover", row, id)
+	}
+	// The dead leader's late result must not produce a duplicate row.
+	lead.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: testOutputs(2)}})
+	select {
+	case dup := <-r.Outputs():
+		t.Fatalf("duplicate row after failover: %+v", dup)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if n := reg.Counter(telemetry.MetricClusterFailovers).Value(); n != 1 {
+		t.Fatalf("failovers = %d, want 1", n)
+	}
+}
+
+func TestRouterHaltedResultFailsOver(t *testing.T) {
+	a, b := newFake("a"), newFake("b")
+	r, err := NewRouter(RouterConfig{Replicas: []Replica{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id, _ := r.Submit(testInputs(4))
+	waitUntil(t, "leader submission", func() bool { return a.subCount()+b.subCount() == 1 })
+	lead, peer := a, b
+	if b.subCount() == 1 {
+		lead, peer = b, a
+	}
+	// Health refresh first (ordered stream), then the failed result — the
+	// router must re-place instead of delivering the error.
+	lead.post(replicaEvent{status: &wire.ReplicaStatus{Ladder: []int{int(monitor.LadderHalted)}}})
+	lead.post(replicaEvent{res: &monitor.BatchResult{ID: id, Err: errors.New("stage halted")}})
+	waitUntil(t, "failover resubmission", func() bool { return peer.subCount() == 1 })
+	peer.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: testOutputs(4)}})
+	row := readRow(t, r)
+	if row.ID != id || row.Err != nil {
+		t.Fatalf("row = %+v, want clean failover of halted leader", row)
+	}
+}
+
+func TestRouterNoHealthyReplica(t *testing.T) {
+	f := newFake("a")
+	r, err := NewRouter(RouterConfig{Replicas: []Replica{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	f.post(replicaEvent{status: &wire.ReplicaStatus{Ladder: []int{int(monitor.LadderHalted)}}})
+	waitUntil(t, "halted status", func() bool {
+		l := r.Ladder()
+		return len(l) == 1 && l[0] == monitor.LadderHalted
+	})
+	if _, err := r.Submit(testInputs(1)); !errors.Is(err, ErrNoHealthyReplica) {
+		t.Fatalf("Submit = %v, want ErrNoHealthyReplica", err)
+	}
+}
+
+func TestRouterVoteTimeoutAbstains(t *testing.T) {
+	a, b := newFake("a"), newFake("b")
+	r, err := NewRouter(RouterConfig{
+		Replicas: []Replica{a, b}, Verify: 1, Sync: true, VoteTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id, _ := r.Submit(testInputs(6))
+	lead, _ := leaderAndFollower(t, a, b)
+	lead.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: testOutputs(6)}})
+	// The follower never votes; the sweeper must resolve it as abstention.
+	row := readRow(t, r)
+	if row.Err != nil || row.ID != id {
+		t.Fatalf("row = %+v, want timeout abstention delivery", row)
+	}
+}
+
+func TestRouterTensorModeComparesFollowerResult(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a, b := newFake("a"), newFake("b")
+	r, err := NewRouter(RouterConfig{
+		Replicas: []Replica{a, b}, Verify: 1, Sync: true, Mode: TensorForward, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id, _ := r.Submit(testInputs(8))
+	waitUntil(t, "both submissions", func() bool { return a.subCount()+b.subCount() == 2 })
+	if a.lastSub(t).tag != wire.TBatch || b.lastSub(t).tag != wire.TBatch {
+		t.Fatalf("tensor mode must ship TBatch to both roles, got %v/%v",
+			a.lastSub(t).tag, b.lastSub(t).tag)
+	}
+	// Both roles received TBatch and return full results. The router resolves
+	// leader vs follower by replica index, so posting identical outputs from
+	// both works in either placement: the leader's stands as the row, the
+	// follower's is digested router-side into an agree vote.
+	outs := testOutputs(8)
+	a.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: outs}})
+	b.post(replicaEvent{res: &monitor.BatchResult{ID: id, Tensors: outs}})
+	row := readRow(t, r)
+	if row.Err != nil || row.ID != id {
+		t.Fatalf("row = %+v, want clean tensor-mode agreement", row)
+	}
+	agree := reg.Counter(telemetry.MetricClusterDigestVotes,
+		telemetry.L("verdict", telemetry.DigestVoteAgree)).Value()
+	if agree != 1 {
+		t.Fatalf("agree votes = %d, want 1", agree)
+	}
+	// The follower's full result crossed the (fake) wire: result-plane bytes
+	// in tensor mode are what DigestForward eliminates.
+}
+
+func TestRouterFansInflightWindow(t *testing.T) {
+	a, b := newFake("a"), newFake("b")
+	r, err := NewRouter(RouterConfig{Replicas: []Replica{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetInflightWindow(13)
+	if a.InflightWindow() != 13 || b.InflightWindow() != 13 {
+		t.Fatalf("windows = %d,%d, want 13,13", a.InflightWindow(), b.InflightWindow())
+	}
+	if r.InflightWindow() != 13 {
+		t.Fatalf("router window = %d, want 13", r.InflightWindow())
+	}
+}
+
+func TestRendezvousOrderDeterministicPermutation(t *testing.T) {
+	ids := []string{"alpha", "beta", "gamma", "delta"}
+	o1 := rendezvousOrder("model-a", ids)
+	o2 := rendezvousOrder("model-a", ids)
+	if len(o1) != len(ids) {
+		t.Fatalf("order length %d, want %d", len(o1), len(ids))
+	}
+	seen := make(map[int]bool)
+	for i, v := range o1 {
+		if o2[i] != v {
+			t.Fatalf("order not deterministic: %v vs %v", o1, o2)
+		}
+		if v < 0 || v >= len(ids) || seen[v] {
+			t.Fatalf("order %v is not a permutation", o1)
+		}
+		seen[v] = true
+	}
+	// Different keys should (for these inputs) shuffle the preference —
+	// guards against hashing that ignores the key.
+	if o3 := rendezvousOrder("model-b", ids); equalInts(o1, o3) {
+		t.Logf("warning: distinct keys produced identical order %v", o1)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -112,11 +112,18 @@ type Config struct {
 	// SpareLead is how many epochs of death-rate coverage the spare pool
 	// targets. Default 2.
 	SpareLead int
+	// QueueHighWater is the per-stage queue depth (batches waiting behind the
+	// credit window) above which the queue loop raises the shed floor — a
+	// leading indicator that trips before the latency histograms show a p99
+	// breach. Default Limits.MaxWindow: a stage backlog as deep as the widest
+	// inflight window means the pipeline is saturated.
+	QueueHighWater int
 
-	DisableBatch    bool
-	DisableInflight bool
-	DisableSpares   bool
-	DisableSLO      bool
+	DisableBatch     bool
+	DisableInflight  bool
+	DisableSpares    bool
+	DisableSLO       bool
+	DisableQueueShed bool
 }
 
 func (c *Config) fill() {
@@ -136,6 +143,9 @@ func (c *Config) fill() {
 		c.SpareLead = 2
 	}
 	c.Limits.fill()
+	if c.QueueHighWater <= 0 {
+		c.QueueHighWater = c.Limits.MaxWindow
+	}
 }
 
 // Decision records one actuation: which loop moved which knob, from where
@@ -174,6 +184,7 @@ type Controller struct {
 	fill       *telemetry.Histogram
 	batches    *telemetry.Counter
 	gather     []*telemetry.Histogram
+	qdepth     []*telemetry.Gauge
 
 	// Knob mirrors and decision counters.
 	epochs      *telemetry.Counter
@@ -194,6 +205,9 @@ type Controller struct {
 	prevBatches    uint64
 	prevGather     []telemetry.HistState
 	batchState     BatchState // slow-start memory for the batch loop
+	qOver          int        // consecutive epochs over the queue high water
+	qUnder         int        // consecutive epochs under half the high water
+	qRaised        int        // shed-floor levels this loop owns (and may undo)
 	tenants        map[string]*tenantSLO
 	deathEWMA      float64
 	lastDeathStage int
@@ -232,8 +246,11 @@ func New(cfg Config) *Controller {
 		n := len(cfg.Pipeline.Ladder())
 		c.gather = make([]*telemetry.Histogram, n)
 		c.prevGather = make([]telemetry.HistState, n)
+		c.qdepth = make([]*telemetry.Gauge, n)
 		for i := 0; i < n; i++ {
 			c.gather[i] = reg.Histogram(telemetry.MetricEngineGatherNs,
+				telemetry.L("stage", strconv.Itoa(i)))
+			c.qdepth[i] = reg.Gauge(telemetry.MetricEngineQueueDepth,
 				telemetry.L("stage", strconv.Itoa(i)))
 		}
 		c.gInflight.Set(int64(cfg.Pipeline.InflightWindow()))
@@ -343,6 +360,9 @@ func (c *Controller) Step(elapsed time.Duration) []Decision {
 	}
 	if !c.cfg.DisableSLO && c.cfg.Frontend != nil {
 		c.stepSLO()
+	}
+	if !c.cfg.DisableQueueShed && c.cfg.Frontend != nil && len(c.qdepth) > 0 {
+		c.stepQueueShed()
 	}
 	return append([]Decision(nil), c.out...)
 }
@@ -598,5 +618,63 @@ func (c *Controller) escalate(name string, t *tenantSLO) {
 		c.emit(Decision{Loop: telemetry.ControlLoopSLO, Knob: "shed_floor",
 			Tenant: name, Direction: "up", From: int64(floor), To: int64(floor + 1),
 			Reason: "weight saturated, shedding low lanes"})
+	}
+}
+
+// stepQueueShed raises the shed floor from the per-stage queue-depth gauges —
+// a leading indicator. The SLO loop reacts to latency histograms, which only
+// breach after queued work has already drained through the pipeline; the
+// queue loop sheds while the backlog is still forming, so low-priority lanes
+// are turned away before their latency is spent. It only ever undoes its own
+// escalations (qRaised), so it cannot re-admit lanes the SLO loop or the
+// degradation ladder shed.
+func (c *Controller) stepQueueShed() {
+	var depth int64
+	for _, g := range c.qdepth {
+		if v := g.Value(); v > depth {
+			depth = v
+		}
+	}
+	hw := int64(c.cfg.QueueHighWater)
+	floor := c.cfg.Frontend.ShedFloor()
+	if floor == serve.ShedNone {
+		// Someone (the SLO loop, an operator) already unwound the floor:
+		// nothing left for this loop to undo.
+		c.qRaised = 0
+	}
+	be := c.cfg.BreachEpochs
+	switch {
+	case depth > hw:
+		c.qOver++
+		c.qUnder = 0
+		if c.qOver >= be {
+			c.qOver = 0
+			if floor < serve.ShedToHigh {
+				c.cfg.Frontend.SetShedFloor(floor + 1)
+				c.gShedFloor.Set(int64(floor + 1))
+				c.qRaised++
+				c.emit(Decision{Loop: telemetry.ControlLoopQueue, Knob: "shed_floor",
+					Direction: "up", From: int64(floor), To: int64(floor + 1),
+					Reason: "stage queue depth over high water"})
+			}
+		}
+	case depth*2 <= hw:
+		c.qUnder++
+		c.qOver = 0
+		if c.qUnder >= be && c.qRaised > 0 {
+			c.qUnder = 0
+			c.qRaised--
+			if floor > serve.ShedNone {
+				c.cfg.Frontend.SetShedFloor(floor - 1)
+				c.gShedFloor.Set(int64(floor - 1))
+				c.emit(Decision{Loop: telemetry.ControlLoopQueue, Knob: "shed_floor",
+					Direction: "down", From: int64(floor), To: int64(floor - 1),
+					Reason: "stage queues drained"})
+			}
+		}
+	default:
+		// Between half and full high water: hold, and require fresh
+		// consecutive evidence before moving either way.
+		c.qOver, c.qUnder = 0, 0
 	}
 }

@@ -64,6 +64,12 @@ type EngineConfig struct {
 	// The monitor wires this to its spare-Assignment pool under the Recover
 	// response mode.
 	Replace ReplaceFunc
+	// DigestSink, when set, receives the canonical digest of every forwarded
+	// checkpoint (stage worker context, so implementations must not block):
+	// the per-checkpoint fingerprints the cluster tier streams between
+	// replicas instead of tensors. Nil (the default) skips digest
+	// computation entirely — single-node engines pay nothing for it.
+	DigestSink func(batchID uint64, stage int, digest check.Digest)
 	// Metrics receives the engine's telemetry series; nil uses
 	// telemetry.Default. Registration happens once at construction — the hot
 	// path only ever touches pre-resolved atomic handles.
@@ -93,15 +99,16 @@ type EventKind int
 
 // Event kinds.
 const (
-	EventDivergence      EventKind = iota + 1 // checkpoint vote failed
-	EventLateDissent                          // async straggler disagreed after forwarding
-	EventVariantDown                          // variant connection lost
-	EventVariantDropped                       // variant excluded by response policy
-	EventVariantTimeout                       // variant missed the stage deadline
-	EventVariantReplaced                      // spare bound into a dead slot
-	EventReplaceFailed                        // recovery could not obtain a replacement
-	EventLadderDemoted                        // stage degraded a ladder rung
-	EventLadderPromoted                       // stage recovered a ladder rung
+	EventDivergence       EventKind = iota + 1 // checkpoint vote failed
+	EventLateDissent                           // async straggler disagreed after forwarding
+	EventVariantDown                           // variant connection lost
+	EventVariantDropped                        // variant excluded by response policy
+	EventVariantTimeout                        // variant missed the stage deadline
+	EventVariantReplaced                       // spare bound into a dead slot
+	EventReplaceFailed                         // recovery could not obtain a replacement
+	EventLadderDemoted                         // stage degraded a ladder rung
+	EventLadderPromoted                        // stage recovered a ladder rung
+	EventSpareProvisioned                      // spare pool grew by one pre-attested TEE
 
 	// eventKindEnd is one past the last defined kind. The severity/string
 	// exhaustiveness test walks [1, eventKindEnd) — add new kinds above this
@@ -130,6 +137,8 @@ func (k EventKind) String() string {
 		return "ladder-demoted"
 	case EventLadderPromoted:
 		return "ladder-promoted"
+	case EventSpareProvisioned:
+		return "spare-provisioned"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -145,7 +154,7 @@ func (k EventKind) Severity() telemetry.Severity {
 	case EventVariantDown, EventVariantDropped, EventVariantTimeout,
 		EventReplaceFailed, EventLadderDemoted:
 		return telemetry.SevWarn
-	case EventVariantReplaced, EventLadderPromoted:
+	case EventVariantReplaced, EventLadderPromoted, EventSpareProvisioned:
 		return telemetry.SevInfo
 	default:
 		return 0

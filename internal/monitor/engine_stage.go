@@ -386,6 +386,12 @@ func (st *stageState) closeGather(g *gather) time.Time {
 // the release instant on traced batches. Hot callers that just took a clock
 // reading pass it as now; a zero now means take a fresh one.
 func (st *stageState) forward(g *gather, outs map[string]*tensor.Tensor, now time.Time) {
+	if sink := st.e.cfg.DigestSink; sink != nil {
+		// Per-checkpoint digest tap for the cluster tier: fingerprint the
+		// chosen output before it leaves the stage, so remote followers can
+		// vote on 32 bytes instead of receiving the tensors.
+		sink(g.id, st.s.idx, check.DigestOf(outs))
+	}
 	st.e.post(routerMsg{done: true, stageIdx: st.s.idx, id: g.id, outs: outs})
 	if !g.dispatchedAt.IsZero() {
 		st.e.met.stages[st.s.idx].forwards.Inc()

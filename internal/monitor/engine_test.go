@@ -509,6 +509,7 @@ func TestCombinedAttestationAfterStartRejected(t *testing.T) {
 	ver.Trust(p)
 	m := New(encl, ver)
 	m.handles["s0"] = h
+	m.bindings = append(m.bindings, BindingRecord{VariantID: "s0"})
 	cfgJSON, _ := (&MVXConfig{Plans: []PartitionPlan{{Variants: []string{"spec"}}}}).Marshal()
 	if err := m.Provision(&wire.Provision{Nonce: []byte{1}, Config: cfgJSON}); err != nil {
 		t.Fatal(err)

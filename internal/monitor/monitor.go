@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/check"
 	"repro/internal/enclave"
 	"repro/internal/securechan"
 	"repro/internal/wire"
@@ -67,6 +68,10 @@ type Monitor struct {
 	// adaptive controller's scale-up hook); nil when the deployment cannot
 	// synthesize spares (process-separated monitors).
 	spareFactory func(partition int) error
+	// digestSink, when set before BuildEngine, taps every per-checkpoint
+	// digest the engine computes (cluster replicas stream these to the
+	// router's early-dissent plane).
+	digestSink func(batchID uint64, stage int, digest check.Digest)
 }
 
 // New creates a monitor running in encl, trusting the platforms registered
@@ -221,6 +226,15 @@ func (m *Monitor) SetSpareFactory(f func(partition int) error) {
 	m.spareFactory = f
 }
 
+// SetDigestSink installs the per-checkpoint digest tap subsequently built
+// engines carry (EngineConfig.DigestSink). Cluster replica daemons wire this
+// to their active router connection; call it before BuildEngine.
+func (m *Monitor) SetDigestSink(f func(batchID uint64, stage int, digest check.Digest)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.digestSink = f
+}
+
 // ErrNoSpareFactory rejects ProvisionSpare on monitors without a factory.
 var ErrNoSpareFactory = errors.New("monitor: no spare factory configured")
 
@@ -233,7 +247,17 @@ func (m *Monitor) ProvisionSpare(partition int) error {
 	if f == nil {
 		return ErrNoSpareFactory
 	}
-	return f(partition)
+	if err := f(partition); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	eng, n := m.engine, len(m.spares)
+	m.mu.Unlock()
+	if eng != nil {
+		eng.recordEvent(Event{Kind: EventSpareProvisioned, Stage: partition,
+			Detail: fmt.Sprintf("spare pool grew to %d", n)})
+	}
+	return nil
 }
 
 // RetireSpare shrinks the spare pool by one (the controller's scale-down
@@ -378,10 +402,19 @@ func (m *Monitor) BuildEngine(graphInputs, graphOutputs []string, stages []Stage
 	for i := range stages {
 		stages[i].Handles = nil
 	}
-	for _, h := range m.handles {
-		if h.Dropped() {
+	// Walk the binding log, not the handle map: map iteration order would
+	// give every engine its own random per-stage handle order, and the vote's
+	// representative output (the first member of the winning cluster, in
+	// handle order) would differ between engines built from identical
+	// bundles. Cluster replicas cross-check results by digest, so handle
+	// order must be a pure function of binding history.
+	seen := make(map[string]bool, len(m.handles))
+	for _, rec := range m.bindings {
+		h, ok := m.handles[rec.VariantID]
+		if !ok || seen[rec.VariantID] || h.Dropped() {
 			continue
 		}
+		seen[rec.VariantID] = true
 		if h.Partition() < 0 || h.Partition() >= len(stages) {
 			return nil, fmt.Errorf("%w: handle %s bound to partition %d", ErrConfig, h.ID(), h.Partition())
 		}
@@ -398,6 +431,7 @@ func (m *Monitor) BuildEngine(graphInputs, graphOutputs []string, stages []Stage
 		Response:       cfg.Response,
 		StageTimeout:   time.Duration(cfg.StageTimeoutMS) * time.Millisecond,
 		InflightWindow: cfg.InflightWindow,
+		DigestSink:     m.digestSink,
 	}
 	if cfg.Response == Recover {
 		// Hot replacement is policy (Recover), the engine only carries the

@@ -98,6 +98,13 @@ type Profile struct {
 	// adaptation too, mirroring the live controller's refusal to impose a
 	// window on a deployment that turned windowing off.
 	AdaptiveWindow bool
+	// AdaptiveBatch replays the control plane's micro-batching loop inside
+	// SimulateServe: every adaptEveryBatches flushed batches the front-end
+	// window is re-sized by the same exported law the live controller applies
+	// (control.BatchStep, slow-start memory included) from the simulated
+	// flush-reason mix and mean batch fill. Off, SimulateServe runs the
+	// batching window open-loop at its starting knobs.
+	AdaptiveBatch bool
 	// Metrics, when non-nil, receives the simulated run under the same
 	// series names the live engine emits (mvtee_engine_batches_total,
 	// mvtee_engine_batch_latency_ns, per-stage mvtee_engine_gather_ns), so

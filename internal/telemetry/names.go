@@ -79,6 +79,37 @@ const (
 	MetricControlShedFloor      = "mvtee_control_shed_floor"
 	MetricControlTenantWeight   = "mvtee_control_tenant_weight"
 	MetricControlSLOBreaches    = "mvtee_control_slo_breach_total"
+
+	// Cluster tier series (internal/cluster). Per-replica series carry a
+	// replica label; forward bytes carry a plane label (ForwardPlane*) so
+	// the digest-vs-tensor cross-node cost split is directly observable;
+	// digest votes carry a verdict label (DigestVote*).
+	MetricClusterReplicas     = "mvtee_cluster_replicas"
+	MetricClusterReplicaUp    = "mvtee_cluster_replica_up"
+	MetricClusterInflight     = "mvtee_cluster_replica_inflight"
+	MetricClusterReplicaRung  = "mvtee_cluster_replica_ladder_rung"
+	MetricClusterBatches      = "mvtee_cluster_batches_total"
+	MetricClusterFailovers    = "mvtee_cluster_failovers_total"
+	MetricClusterDigestVotes  = "mvtee_cluster_digest_votes_total"
+	MetricClusterStageDissent = "mvtee_cluster_stage_digest_mismatch_total"
+	MetricClusterFwdBytes     = "mvtee_cluster_forward_bytes_total"
+	MetricClusterRouteNs      = "mvtee_cluster_route_latency_ns"
+)
+
+// Forward plane label values for MetricClusterFwdBytes: input dispatch
+// (identical in both forwarding modes), result shipping (leader results plus
+// follower full-tensor cross-checks), and the digest verification plane.
+const (
+	ForwardPlaneInput  = "input"
+	ForwardPlaneResult = "result"
+	ForwardPlaneDigest = "digest"
+)
+
+// Digest vote verdict label values for MetricClusterDigestVotes.
+const (
+	DigestVoteAgree   = "agree"
+	DigestVoteDissent = "dissent"
+	DigestVoteAbstain = "abstain"
 )
 
 // Control loop label values for MetricControlDecisions.
@@ -87,6 +118,7 @@ const (
 	ControlLoopInflight = "inflight_window"
 	ControlLoopSpares   = "spares"
 	ControlLoopSLO      = "tenant_slo"
+	ControlLoopQueue    = "queue_depth"
 )
 
 // Admission verdict label values for MetricServeAdmission.

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDigestRoundtrip(t *testing.T) {
+	d := &Digest{ID: 42, Stage: -1, Vote: true, Agree: true}
+	for i := range d.Sum {
+		d.Sum[i] = byte(i * 7)
+	}
+	b, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != digestMsgLen {
+		t.Fatalf("encoded length %d, want %d", len(b), digestMsgLen)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.(*Digest)
+	if !ok {
+		t.Fatalf("decoded %T", m)
+	}
+	if *got != *d {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", got, d)
+	}
+
+	// Pooled encode-once path must be byte-identical to Marshal.
+	buf := MarshalDigest(d)
+	if !bytes.Equal(buf.Payload(), b) {
+		t.Fatal("MarshalDigest differs from Marshal")
+	}
+	buf.Free()
+
+	// Announce flavor (Vote=false) keeps Agree clear.
+	an := &Digest{ID: 7, Stage: 2, Sum: d.Sum}
+	b2, _ := Marshal(an)
+	m2, err := Unmarshal(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := m2.(*Digest); g.Vote || g.Agree || g.Stage != 2 {
+		t.Fatalf("announce decoded %+v", g)
+	}
+
+	// Truncated and oversized digest frames are rejected.
+	if _, err := Unmarshal(b[:digestMsgLen-3]); err == nil {
+		t.Fatal("truncated digest frame accepted")
+	}
+	if _, err := Unmarshal(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Fatal("oversized digest frame accepted")
+	}
+}
+
+func TestVerifyRetagSharesLayout(t *testing.T) {
+	x := tensor.New(2, 2)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i)
+	}
+	batch := &Batch{ID: 9, Trace: 33, Tensors: map[string]*tensor.Tensor{"x": x}}
+	buf := MarshalBatch(batch)
+	defer buf.Free()
+
+	RetagVerify(buf.Payload())
+	m, err := Unmarshal(buf.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.(*Verify)
+	if !ok {
+		t.Fatalf("retagged payload decoded as %T", m)
+	}
+	if v.ID != 9 || v.Trace != 33 || v.Tensors["x"].At(1, 1) != 3 {
+		t.Fatalf("verify fields lost: %+v", v)
+	}
+
+	RetagBatch(buf.Payload())
+	m, err = Unmarshal(buf.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*Batch); !ok {
+		t.Fatalf("restored payload decoded as %T", m)
+	}
+}
+
+func TestReplicaControlRoundtrip(t *testing.T) {
+	hello := &ReplicaHello{
+		ID: "replica-0", Stages: 2, Variants: 3,
+		GraphInputs: []string{"x"}, GraphOutputs: []string{"y"},
+		ItemShapes: map[string][]int{"x": {1, 64}},
+	}
+	b, err := Marshal(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.(*ReplicaHello)
+	if h.ID != "replica-0" || h.Variants != 3 || len(h.ItemShapes["x"]) != 2 {
+		t.Fatalf("hello roundtrip: %+v", h)
+	}
+
+	st := &ReplicaStatus{Ladder: []int{3, 2}, Spares: 1}
+	b, _ = Marshal(st)
+	m, err = Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*ReplicaStatus); got.Ladder[1] != 2 || got.Spares != 1 {
+		t.Fatalf("status roundtrip: %+v", got)
+	}
+
+	tune := &ReplicaTune{InflightWindow: 8}
+	b, _ = Marshal(tune)
+	m, err = Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*ReplicaTune); got.InflightWindow != 8 {
+		t.Fatalf("tune roundtrip: %+v", got)
+	}
+}

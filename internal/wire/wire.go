@@ -34,6 +34,13 @@ const (
 	TShutdown                   // monitor -> variant: terminate
 	TAck                        // generic success
 	TError                      // generic failure carrying a message
+
+	// Cluster tier (router <-> replica) messages.
+	TVerify        // router -> follower replica: input tensors for a cross-check batch
+	TDigest        // digest announce/vote: the cluster verification plane
+	TReplicaHello  // replica -> router: registration (model interface, variant set)
+	TReplicaStatus // replica -> router: ladder/spare health heartbeat
+	TReplicaTune   // router -> replica: controller knob scoped to one replica
 )
 
 // Msg is a decoded wire message.
@@ -127,6 +134,62 @@ type Result struct {
 	Tensors   map[string]*tensor.Tensor
 }
 
+// Verify is a cross-check batch on the cluster verification plane: the
+// follower replica executes it like a Batch but answers with a Digest vote
+// instead of shipping its output tensors back — the dMVX-style selective
+// result forwarding that keeps cross-node verification O(digest bytes). The
+// binary layout is identical to Batch; only the type tag differs, so the
+// router can encode a batch once and retag the shared payload per role.
+type Verify struct {
+	ID      uint64
+	Trace   uint64
+	Tensors map[string]*tensor.Tensor
+}
+
+// Digest is one message on the cluster verification plane, a fixed 46-byte
+// frame. With Vote false it is an announcement: the leader's checkpoint
+// digest fanned out to the batch's followers. With Vote true it is a
+// follower's verdict: Agree reports whether its own execution's digest
+// matched the announced one (Sum carries the follower's digest either way,
+// so a dissent pinpoints what the follower actually computed). Stage is the
+// checkpoint index, or -1 for the final output checkpoint.
+type Digest struct {
+	ID    uint64
+	Stage int32 // checkpoint stage; -1 = final graph outputs
+	Vote  bool  // false: announce (leader digest), true: follower verdict
+	Agree bool  // meaningful only when Vote
+	Sum   [32]byte
+}
+
+// ReplicaHello registers a replica engine with the cluster router: its
+// identity, variant fan-out, and the model interface the router's front door
+// should validate requests against.
+type ReplicaHello struct {
+	ID           string           `json:"id"`
+	Stages       int              `json:"stages"`
+	Variants     int              `json:"variants"`
+	GraphInputs  []string         `json:"graph_inputs,omitempty"`
+	GraphOutputs []string         `json:"graph_outputs,omitempty"`
+	ItemShapes   map[string][]int `json:"item_shapes,omitempty"`
+	// InflightWindow seeds the router's view of the replica's per-stage
+	// credit window until the controller retunes it with ReplicaTune.
+	InflightWindow int `json:"inflight_window,omitempty"`
+}
+
+// ReplicaStatus is the replica health heartbeat: the engine's per-stage
+// degradation ladder and spare pool size, sent on change so the router can
+// shed a demoted replica's load to peers without polling.
+type ReplicaStatus struct {
+	Ladder []int `json:"ladder"`
+	Spares int   `json:"spares"`
+}
+
+// ReplicaTune scopes a controller knob to one replica (the distributed
+// analogue of Engine.SetInflightWindow).
+type ReplicaTune struct {
+	InflightWindow int `json:"inflight_window"`
+}
+
 func (*Provision) wireType() Type  { return TProvision }
 func (*AssignKey) wireType() Type  { return TAssignKey }
 func (*Installed) wireType() Type  { return TInstalled }
@@ -140,6 +203,12 @@ func (*Shutdown) wireType() Type   { return TShutdown }
 func (*Ack) wireType() Type        { return TAck }
 func (*Error) wireType() Type      { return TError }
 
+func (*Verify) wireType() Type        { return TVerify }
+func (*Digest) wireType() Type        { return TDigest }
+func (*ReplicaHello) wireType() Type  { return TReplicaHello }
+func (*ReplicaStatus) wireType() Type { return TReplicaStatus }
+func (*ReplicaTune) wireType() Type   { return TReplicaTune }
+
 // ErrDecode reports a malformed wire message.
 var ErrDecode = errors.New("wire: malformed message")
 
@@ -148,8 +217,14 @@ func Marshal(m Msg) ([]byte, error) {
 	switch v := m.(type) {
 	case *Batch:
 		return marshalTensorMsg(TBatch, v.ID, v.Trace, "", "", v.Tensors), nil
+	case *Verify:
+		return marshalTensorMsg(TVerify, v.ID, v.Trace, "", "", v.Tensors), nil
 	case *Result:
 		return marshalTensorMsg(TResult, v.ID, v.Trace, v.VariantID, v.Err, v.Tensors), nil
+	case *Digest:
+		out := make([]byte, digestMsgLen)
+		encodeDigestMsg(out, v)
+		return out, nil
 	default:
 		b, err := json.Marshal(m)
 		if err != nil {
@@ -190,12 +265,26 @@ func Unmarshal(b []byte) (Msg, error) {
 		m = &Ack{}
 	case TError:
 		m = &Error{}
+	case TReplicaHello:
+		m = &ReplicaHello{}
+	case TReplicaStatus:
+		m = &ReplicaStatus{}
+	case TReplicaTune:
+		m = &ReplicaTune{}
+	case TDigest:
+		return decodeDigestMsg(payload)
 	case TBatch:
 		id, trace, _, _, ts, err := unmarshalTensorMsg(payload)
 		if err != nil {
 			return nil, err
 		}
 		return &Batch{ID: id, Trace: trace, Tensors: ts}, nil
+	case TVerify:
+		id, trace, _, _, ts, err := unmarshalTensorMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Verify{ID: id, Trace: trace, Tensors: ts}, nil
 	case TResult:
 		id, trace, vid, errStr, ts, err := unmarshalTensorMsg(payload)
 		if err != nil {
@@ -220,8 +309,14 @@ func MarshalBuf(m Msg) (*securechan.Buf, error) {
 	switch v := m.(type) {
 	case *Batch:
 		return encodeTensorMsg(TBatch, v.ID, v.Trace, "", "", v.Tensors), nil
+	case *Verify:
+		return encodeTensorMsg(TVerify, v.ID, v.Trace, "", "", v.Tensors), nil
 	case *Result:
 		return encodeTensorMsg(TResult, v.ID, v.Trace, v.VariantID, v.Err, v.Tensors), nil
+	case *Digest:
+		buf := securechan.GetBuf(digestMsgLen)
+		encodeDigestMsg(buf.Grow(digestMsgLen), v)
+		return buf, nil
 	default:
 		b, err := json.Marshal(m)
 		if err != nil {
@@ -234,6 +329,75 @@ func MarshalBuf(m Msg) (*securechan.Buf, error) {
 		return buf, nil
 	}
 }
+
+// --- cluster digest codec ----------------------------------------------------
+
+// digestMsgLen is the fixed encoded size of a Digest message: type tag,
+// batch ID, stage, flags, and the 32-byte digest. Digest frames are the
+// entire steady-state cross-node verification cost of the cluster tier, so
+// the codec is a fixed-layout binary write, not JSON.
+const digestMsgLen = 1 + 8 + 4 + 1 + 32
+
+// DigestFrameLen is the encoded payload size of every Digest message,
+// exported so the cluster tier's byte accounting can charge digest-plane
+// traffic without re-encoding.
+const DigestFrameLen = digestMsgLen
+
+const (
+	digestFlagVote  = 1 << 0
+	digestFlagAgree = 1 << 1
+)
+
+func encodeDigestMsg(dst []byte, d *Digest) {
+	dst[0] = byte(TDigest)
+	binary.LittleEndian.PutUint64(dst[1:], d.ID)
+	binary.LittleEndian.PutUint32(dst[9:], uint32(d.Stage))
+	var flags byte
+	if d.Vote {
+		flags |= digestFlagVote
+	}
+	if d.Agree {
+		flags |= digestFlagAgree
+	}
+	dst[13] = flags
+	copy(dst[14:], d.Sum[:])
+}
+
+func decodeDigestMsg(payload []byte) (*Digest, error) {
+	if len(payload) != digestMsgLen-1 {
+		return nil, fmt.Errorf("%w: digest frame length %d", ErrDecode, len(payload))
+	}
+	d := &Digest{
+		ID:    binary.LittleEndian.Uint64(payload),
+		Stage: int32(binary.LittleEndian.Uint32(payload[8:])),
+		Vote:  payload[12]&digestFlagVote != 0,
+		Agree: payload[12]&digestFlagAgree != 0,
+	}
+	copy(d.Sum[:], payload[13:])
+	return d, nil
+}
+
+// MarshalDigest encodes a digest message once into a pooled buffer for
+// encode-once fan-out: the router marshals the leader's checkpoint digest a
+// single time and transmits the same 46-byte payload to every follower with
+// SendEncoded. The caller owns the buffer and must Free it after the last
+// send.
+func MarshalDigest(d *Digest) *securechan.Buf {
+	buf := securechan.GetBuf(digestMsgLen)
+	encodeDigestMsg(buf.Grow(digestMsgLen), d)
+	return buf
+}
+
+// RetagVerify flips an encoded Batch payload (from MarshalBatch) into a
+// Verify payload in place, and RetagBatch flips it back. The two messages
+// share one binary layout, so the router encodes a batch exactly once and
+// retags the shared payload between the leader send (TBatch: execute and
+// return the result) and the follower fan-out (TVerify: execute and vote) —
+// SendShared seals its own copy per connection, leaving the payload intact.
+func RetagVerify(payload []byte) { payload[0] = byte(TVerify) }
+
+// RetagBatch restores a payload retagged by RetagVerify.
+func RetagBatch(payload []byte) { payload[0] = byte(TBatch) }
 
 // MarshalBatch encodes b exactly once into a pooled buffer for encode-once
 // fan-out: the monitor marshals the batch a single time, then transmits the

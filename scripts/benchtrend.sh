@@ -1,0 +1,52 @@
+#!/bin/sh
+# Append one benchmark report to the local `bench-trend` branch — an
+# append-only history of per-commit BENCH json, so performance is plottable
+# over time instead of only pairwise-diffed by benchgate.sh.
+#
+#   ./scripts/benchtrend.sh                 # measure the tree, then append
+#   ./scripts/benchtrend.sh BENCH_pr8.json  # append an existing report
+#
+# Plumbing only (hash-object/mktree/commit-tree/update-ref): the working tree
+# and the current branch are never touched. The branch's tree is flat, one
+# <utc-stamp>-<shortsha>.json per appended report.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BRANCH=refs/heads/bench-trend
+REPORT="${1:-}"
+if [ -z "$REPORT" ]; then
+    go run ./cmd/mvtee-bench -perf -rev trend -note "bench-trend run" >&2
+    REPORT=BENCH_trend.json
+    trap 'rm -f BENCH_trend.json' EXIT
+fi
+if [ ! -f "$REPORT" ]; then
+    echo "benchtrend: report $REPORT not found" >&2
+    exit 2
+fi
+
+SHA=$(git rev-parse --short HEAD)
+NAME="$(date -u +%Y%m%dT%H%M%SZ)-$SHA.json"
+BLOB=$(git hash-object -w "$REPORT")
+
+PARENT=""
+ENTRIES=""
+if git rev-parse -q --verify "$BRANCH" >/dev/null; then
+    PARENT=$(git rev-parse "$BRANCH")
+    ENTRIES=$(git ls-tree "$BRANCH" | grep -v "	$NAME\$" || true)
+fi
+
+TREE=$(
+    {
+        if [ -n "$ENTRIES" ]; then printf '%s\n' "$ENTRIES"; fi
+        printf '100644 blob %s\t%s\n' "$BLOB" "$NAME"
+    } | git mktree
+)
+
+if [ -n "$PARENT" ]; then
+    COMMIT=$(git commit-tree "$TREE" -p "$PARENT" -m "bench: $NAME")
+else
+    COMMIT=$(git commit-tree "$TREE" -m "bench: $NAME")
+fi
+git update-ref "$BRANCH" "$COMMIT"
+echo "benchtrend: appended $NAME to bench-trend ($(git rev-parse --short "$BRANCH"))"

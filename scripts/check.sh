@@ -8,10 +8,11 @@ go build ./...
 go test -race ./...
 
 # The robustness layer (straggler deadlines, degradation ladder, hot
-# replacement, channel retry), the lock-free telemetry core and the adaptive
-# control plane are concurrency-heavy: run their packages twice under the
-# race detector to shake out interleavings a single pass misses.
-go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan ./internal/telemetry ./internal/control
+# replacement, channel retry), the lock-free telemetry core, the adaptive
+# control plane and the cluster router (failover, digest voting) are
+# concurrency-heavy: run their packages twice under the race detector to
+# shake out interleavings a single pass misses.
+go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan ./internal/telemetry ./internal/control ./internal/cluster
 
 # Observability overhead pin: the fully instrumented warm dispatch→gather
 # path must not allocate more than the same path with telemetry disabled.
