@@ -73,6 +73,8 @@ func main() {
 	pipelined := flag.Bool("pipelined", false, "stream demo batches (pipelined) instead of sequential")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"operator telemetry HTTP listen address (e.g. 127.0.0.1:9090) serving /metrics, /trace, /events and /debug/pprof/; empty disables")
+	traceRing := flag.Int("trace-ring", 8192,
+		"span ring capacity behind /trace and cluster trace federation; evictions surface on mvtee_trace_spans_dropped")
 	serveAddr := flag.String("serve-addr", "",
 		"multi-tenant serving HTTP listen address (POST /v1/infer, GET /healthz) with dynamic batching and admission control; replaces the demo workload")
 	serveMaxBatch := flag.Int("serve-max-batch", 8, "serving: max requests coalesced into one engine batch")
@@ -87,6 +89,12 @@ func main() {
 	flag.Parse()
 	log.SetPrefix("mvtee-monitor: ")
 	log.SetFlags(0)
+
+	// Resize the process span ring before the engine exists: replica-mode
+	// span harvesting and /trace both read DefaultTracer.
+	if *traceRing > 0 {
+		telemetry.DefaultTracer = telemetry.NewTracer(*traceRing)
+	}
 
 	if *bundleDir == "" || (*plansStr == "" && !*awaitOwner) {
 		flag.Usage()

@@ -99,6 +99,10 @@ func runCluster(o options) error {
 		}
 	}
 
+	// The flight recorder must exist before the router: cluster health
+	// triggers (failover, dissent, replica loss, demotion) fire from the
+	// router's event path.
+	flight := newFlightRecorder()
 	router, err := cluster.NewRouter(cluster.RouterConfig{
 		Replicas:     reps,
 		Verify:       o.clusterVerify,
@@ -106,6 +110,8 @@ func runCluster(o options) error {
 		Sync:         o.clusterSync,
 		PlacementKey: hello.ID,
 		Metrics:      telemetry.Default,
+		Tracer:       telemetry.DefaultTracer,
+		Flight:       flight,
 	})
 	if err != nil {
 		return err
@@ -118,5 +124,5 @@ func runCluster(o options) error {
 	// admission-time shape validation exactly as the in-process path does.
 	o.serveCfg.ItemShapes = hello.ItemShapes
 	var eng serve.Engine = router
-	return frontend(o, eng, router, nil, nil)
+	return frontend(o, eng, router, nil, nil, observability{flight: flight, router: router})
 }

@@ -63,7 +63,9 @@ func main() {
 		"accept the application/x-mvtee-tensor binary streaming content type on /v1/infer (JSON always stays on)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	telemetryAddr := flag.String("telemetry-addr", "",
-		"operator telemetry HTTP listen address serving /metrics, /trace, /events and /debug/pprof/; empty disables")
+		"operator telemetry HTTP listen address serving /metrics, /trace, /events, /debug/flight and /debug/pprof/ (plus /metrics/cluster in cluster mode); empty disables")
+	traceRing := flag.Int("trace-ring", 8192,
+		"span ring capacity behind /trace; in cluster mode the ring also holds merged replica spans, so size it for (batches in flight x spans per batch x replicas) — evictions surface on mvtee_trace_spans_dropped")
 	replicas := flag.String("replicas", "",
 		"cluster mode: comma-separated mvtee-monitor -replica-listen addresses to route over instead of deploying in process; the local -model/-stages flags are ignored")
 	replicaBundle := flag.String("replica-bundle", "",
@@ -77,6 +79,13 @@ func main() {
 	flag.Parse()
 	log.SetPrefix("mvtee-serve: ")
 	log.SetFlags(0)
+
+	// Resize the process span ring before anything records into it: the
+	// router, the serve scheduler and (in-process mode) the engine all share
+	// DefaultTracer, so /trace serves one merged timeline.
+	if *traceRing > 0 {
+		telemetry.DefaultTracer = telemetry.NewTracer(*traceRing)
+	}
 
 	tenants, err := parseTenants(*tenantsStr, *sloDefault)
 	if err != nil {
@@ -202,7 +211,8 @@ func run(o options) error {
 	for _, vi := range bundle.Model.Inputs {
 		o.serveCfg.ItemShapes[vi.Name] = vi.Shape
 	}
-	return frontend(o, dep.Engine, dep.Engine, dep.Monitor, dep.Engine.EventBus())
+	return frontend(o, dep.Engine, dep.Engine, dep.Monitor, dep.Engine.EventBus(),
+		observability{flight: newFlightRecorder()})
 }
 
 // frontend runs the serving front door — batching server, adaptive control
@@ -210,9 +220,32 @@ func run(o options) error {
 // in-process deployment's or a cluster router's. spares and events may be
 // nil (the control plane skips the corresponding loops).
 func frontend(o options, eng serve.Engine, pipeline control.Pipeline,
-	spares control.SparePool, events *telemetry.Bus[monitor.Event]) error {
+	spares control.SparePool, events *telemetry.Bus[monitor.Event],
+	obs observability) error {
 	srv := serve.New(eng, o.serveCfg)
 	defer srv.Close()
+
+	// The flight recorder's source set is fixed at Start; the ladder source
+	// needs the engine, so it lands here rather than in newFlightRecorder.
+	// In cluster mode the router also triggers it directly (failover,
+	// dissent, replica loss, demotion); in-process mode converts ladder
+	// demotion events below.
+	if obs.flight != nil {
+		addLadderSource(obs.flight, eng)
+		obs.flight.Start()
+		defer obs.flight.Stop()
+	}
+	if obs.flight != nil && events != nil && obs.router == nil {
+		evSub := events.Subscribe(64)
+		defer evSub.Close()
+		go func() {
+			for ev := range evSub.C {
+				if ev.Kind == monitor.EventLadderDemoted {
+					obs.flight.Trigger(telemetry.FlightReasonDemotion)
+				}
+			}
+		}()
+	}
 
 	if o.adaptive {
 		ctl := control.New(control.Config{
@@ -232,6 +265,9 @@ func frontend(o options, eng serve.Engine, pipeline control.Pipeline,
 				} else {
 					log.Printf("control: %s %s %s %d -> %d (%s)", d.Loop, d.Direction, d.Knob, d.From, d.To, d.Reason)
 				}
+				// Decisions annotate the flight timeline; sustained SLO
+				// escalations open an incident.
+				noteDecision(obs.flight, d)
 			}
 		}()
 		ctl.Start()
@@ -243,6 +279,11 @@ func frontend(o options, eng serve.Engine, pipeline control.Pipeline,
 		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)
 		if events != nil {
 			mux.Handle("/events", telemetry.SSE(events))
+		}
+		mux.Handle("/debug/flight", obs.flight.Handler())
+		if obs.router != nil {
+			mux.Handle("/metrics/cluster",
+				clusterMetricsHandler(obs.router, newSLOBurn(o.serveCfg.Tenants)))
 		}
 		tln, err := net.Listen("tcp", o.telemetryAddr)
 		if err != nil {

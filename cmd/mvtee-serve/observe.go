@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/control"
+	"repro/internal/monitor"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// observability bundles the serving process's cluster-observability surfaces:
+// the flight recorder behind /debug/flight and (cluster mode) the router
+// whose federated state backs /metrics/cluster.
+type observability struct {
+	flight *telemetry.FlightRecorder
+	router *cluster.Router // nil outside cluster mode
+}
+
+// newFlightRecorder builds the serving tier's failover black box over the
+// process registry: the shed level, queue depths, controller knobs and
+// cluster health counters sampled on one timeline, frozen into a
+// before/after incident whenever a trigger fires (failover, dissent, replica
+// loss, ladder demotion, SLO breach). Registry handles are get-or-create, so
+// registering sources before the emitting subsystems start is safe — they
+// read zero until the real writers come up.
+func newFlightRecorder() *telemetry.FlightRecorder {
+	reg := telemetry.Default
+	fr := telemetry.NewFlightRecorder(telemetry.FlightConfig{Metrics: reg})
+	gauge := func(name, metric string) {
+		g := reg.Gauge(metric)
+		fr.AddSource(name, g.Value)
+	}
+	gauge("shed_level", telemetry.MetricServeShedLevel)
+	gauge("queue_global", telemetry.MetricServeQueueGlobal)
+	gauge("inflight_batches", telemetry.MetricServeInflight)
+	gauge("shed_floor", telemetry.MetricControlShedFloor)
+	gauge("inflight_window", telemetry.MetricControlInflightWindow)
+	failovers := reg.Counter(telemetry.MetricClusterFailovers)
+	fr.AddSource("cluster_failovers", func() int64 { return int64(failovers.Value()) })
+	dissent := reg.Counter(telemetry.MetricClusterDigestVotes,
+		telemetry.L("verdict", telemetry.DigestVoteDissent))
+	fr.AddSource("cluster_dissent_votes", func() int64 { return int64(dissent.Value()) })
+	return fr
+}
+
+// addLadderSource samples the engine's worst ladder rung — for a cluster
+// router that is the best any healthy replica can still serve, so an
+// incident window shows capability collapsing and recovering around the
+// trigger. Must run before Start (sources are fixed at launch).
+func addLadderSource(fr *telemetry.FlightRecorder, eng serve.Engine) {
+	fr.AddSource("ladder_worst", func() int64 {
+		worst := int64(monitor.LadderFull)
+		for _, r := range eng.Ladder() {
+			if int64(r) < worst {
+				worst = int64(r)
+			}
+		}
+		return worst
+	})
+}
+
+// noteDecision mirrors one control-plane actuation onto the flight timeline
+// and converts sustained SLO-breach escalations into incident triggers, so a
+// /debug/flight record shows which knobs the controller was turning in the
+// seconds before and after the event.
+func noteDecision(fr *telemetry.FlightRecorder, d control.Decision) {
+	if d.Tenant != "" {
+		fr.Note(fmt.Sprintf("%s %s %s[%s] %d -> %d (%s)", d.Loop, d.Direction, d.Knob, d.Tenant, d.From, d.To, d.Reason))
+	} else {
+		fr.Note(fmt.Sprintf("%s %s %s %d -> %d (%s)", d.Loop, d.Direction, d.Knob, d.From, d.To, d.Reason))
+	}
+	if d.Loop == telemetry.ControlLoopSLO && d.Direction == "up" {
+		fr.Trigger(telemetry.FlightReasonSLOBreach)
+	}
+}
+
+// sloBurn derives per-tenant SLO burn-rate gauges at /metrics/cluster scrape
+// time: the fraction of the last scrape interval's requests over the tenant's
+// latency objective, divided by the error budget, in milli-units — 1000 means
+// the budget burns exactly as fast as it accrues, higher burns it faster.
+// State is the previous scrape's histogram snapshot per tenant, so the rate
+// reflects the interval, not the process lifetime.
+type sloBurn struct {
+	tenants map[string]serve.TenantConfig
+
+	mu   sync.Mutex
+	prev map[string]telemetry.HistState
+}
+
+// errorBudget is the implied 99% objective: 1% of requests may exceed the
+// tenant's p99 latency SLO before the budget burns faster than it accrues.
+const errorBudget = 0.01
+
+func newSLOBurn(tenants map[string]serve.TenantConfig) *sloBurn {
+	return &sloBurn{tenants: tenants, prev: make(map[string]telemetry.HistState)}
+}
+
+// refresh recomputes every declared tenant's burn-rate gauge from the latency
+// histogram delta since the previous call.
+func (b *sloBurn) refresh() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for name, tc := range b.tenants {
+		if tc.SLO <= 0 {
+			continue
+		}
+		h := telemetry.Default.Histogram(telemetry.MetricServeLatencyNs, telemetry.L("tenant", name))
+		cur := h.State()
+		delta := cur.Sub(b.prev[name])
+		b.prev[name] = cur
+		burn := delta.FractionAbove(uint64(tc.SLO.Nanoseconds())) / errorBudget
+		telemetry.Default.Gauge(telemetry.MetricServeSLOBurnMilli, telemetry.L("tenant", name)).Set(int64(burn * 1000))
+	}
+}
+
+// clusterMetricsHandler serves the federated cluster view: the router
+// process's own registry first (with the burn-rate gauges refreshed so they
+// land in the same scrape), then every replica's latest polled snapshot
+// re-rendered with a replica="<id>" label. Metric names shared across nodes
+// repeat their # TYPE header per section — fine for the operator surface and
+// every scraper tested, though strict exposition-format validators flag it.
+func clusterMetricsHandler(router *cluster.Router, burn *sloBurn) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		burn.refresh()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.Default.WriteProm(w); err != nil {
+			return
+		}
+		for _, rm := range router.ClusterMetrics() {
+			fmt.Fprintf(w, "# replica %s (snapshot age %s)\n", rm.Replica, rm.Age.Round(1e6))
+			if err := telemetry.WritePromSnapshots(w, rm.Series, telemetry.L("replica", rm.Replica)); err != nil {
+				return
+			}
+		}
+	})
+}

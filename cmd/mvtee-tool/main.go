@@ -13,6 +13,9 @@
 //	infer     -addr URL [-binary] -input name=DIMS[,...] …
 //	    client call against a serving front door (mvtee-serve or
 //	    mvtee-monitor -serve-addr), JSON or the binary streaming protocol
+//	trace     [-addr URL] TRACE_ID
+//	    fetch one trace from a telemetry endpoint and pretty-print the
+//	    cross-node span tree (indented by hop, with durations)
 //
 // Example:
 //
@@ -60,6 +63,8 @@ func main() {
 		err = runRotate(os.Args[2:])
 	case "infer":
 		err = runInfer(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -80,7 +85,8 @@ func usage() {
   partition -model NAME -targets 3,5,7 [-seed N] [-manual i,j,...]
   build     -model NAME -out DIR [-targets 5] [-specs replica|real|hardened] [-seed N]
   rotate    -bundle DIR [-entry setN/pN/SPEC]   (re-key pool entries, §6.5)
-  infer     -addr URL [-binary] [-tenant T] [-priority P] -input name=1x3x32x32 [-seed N]`)
+  infer     -addr URL [-binary] [-tenant T] [-priority P] -input name=1x3x32x32 [-seed N]
+  trace     [-addr URL] TRACE_ID   (pretty-print one federated trace from /trace)`)
 }
 
 func modelFlags(fs *flag.FlagSet) (*string, *models.Config) {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// runTrace fetches one federated trace from a telemetry endpoint and renders
+// it as an indented tree: spans sorted by start time, nested by interval
+// containment, each line carrying the offset from the trace root, the
+// duration, and the node that recorded it (router spans have no replica
+// label; replica spans are stamped by the router when their harvested
+// reports merge). This is the operator's view of a batch's cross-node
+// journey — placement, dispatch, per-stage execution on each replica, and
+// delivery — from one GET /trace?trace=<id>.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:9090", "telemetry base URL (the daemon's -telemetry-addr)")
+	timeout := fs.Duration("timeout", 10*time.Second, "request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mvtee-tool trace [-addr URL] <trace-id>")
+	}
+	id, err := strconv.ParseUint(fs.Arg(0), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad trace id %q: %w", fs.Arg(0), err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	url := strings.TrimRight(*addr, "/") + "/trace?trace=" + strconv.FormatUint(id, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var spans []telemetry.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return fmt.Errorf("decode spans: %w", err)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans retained for trace %d (evicted from the ring, or tracing was off)", id)
+	}
+	printTrace(id, spans)
+	return nil
+}
+
+// printTrace renders the span set as a containment tree. Spans are sorted by
+// start (ties: the longer span first, so a parent precedes the children it
+// encloses); nesting depth comes from a stack of open end times.
+func printTrace(id uint64, spans []telemetry.Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].End > spans[j].End
+	})
+	root := spans[0].Start
+	last := root
+	nodes := map[string]bool{}
+	for _, s := range spans {
+		if s.End > last {
+			last = s.End
+		}
+		nodes[s.Replica] = true
+	}
+	fmt.Printf("trace %d: %d spans, %d nodes, %s end-to-end\n",
+		id, len(spans), len(nodes), fmtDur(last-root))
+
+	var open []int64 // end times of enclosing spans
+	for _, s := range spans {
+		for len(open) > 0 && s.Start >= open[len(open)-1] {
+			open = open[:len(open)-1]
+		}
+		name := s.Name
+		if s.Stage >= 0 {
+			name += fmt.Sprintf(" s%d", s.Stage)
+		}
+		if s.Variant != "" {
+			name += " " + s.Variant
+		}
+		node := s.Replica
+		if node == "" {
+			node = "router"
+		}
+		fmt.Printf("%8s %s%-*s %8s  [%s]\n",
+			"+"+fmtDur(s.Start-root), strings.Repeat("  ", len(open)),
+			36-2*len(open), name, fmtDur(s.End-s.Start), node)
+		open = append(open, s.End)
+	}
+}
+
+// fmtDur renders nanoseconds compactly (µs under 10ms, ms above).
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -30,6 +30,8 @@ func main() {
 	connect := flag.String("connect", "127.0.0.1:9000", "monitor address")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"telemetry HTTP listen address serving /metrics, /trace and /debug/pprof/; empty disables")
+	traceRing := flag.Int("trace-ring", 8192,
+		"span ring capacity behind /trace; evictions surface on mvtee_trace_spans_dropped")
 	flag.Parse()
 	log.SetPrefix("mvtee-variant: ")
 	log.SetFlags(0)
@@ -37,6 +39,9 @@ func main() {
 	if *bundleDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *traceRing > 0 {
+		telemetry.DefaultTracer = telemetry.NewTracer(*traceRing)
 	}
 	if *telemetryAddr != "" {
 		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)

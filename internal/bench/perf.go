@@ -115,7 +115,9 @@ func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
 	perfDataPlane(add)
 	perfServe(add)
 	perfServeWire(add)
-	perfCluster(add, emit)
+	if err := perfCluster(add, emit); err != nil {
+		return rep, err
+	}
 	if err := perfTelemetry(add, emit); err != nil {
 		return rep, err
 	}

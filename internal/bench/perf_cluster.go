@@ -99,8 +99,9 @@ func fwdPlanes(reg *telemetry.Registry) (input, result, digest uint64) {
 
 // perfCluster measures the distributed tier. It needs emit as well as add:
 // the wire-byte series are computed from the router's forward-plane counters
-// rather than testing.B's allocation accounting.
-func perfCluster(add func(string, func(b *testing.B)), emit func(PerfResult)) {
+// rather than testing.B's allocation accounting, and the telemetry-on/off
+// pair measures itself with interleaved chunks.
+func perfCluster(add func(string, func(b *testing.B)), emit func(PerfResult)) error {
 	const itemWidth = 1024 // x[1,1024]: 4KiB of activation per request
 
 	// Per-op plane bytes from the last (largest-N) timed run of each case,
@@ -181,6 +182,7 @@ func perfCluster(add func(string, func(b *testing.B)), emit func(PerfResult)) {
 	}
 
 	perfClusterServe(add)
+	return perfClusterTelemetry(emit)
 }
 
 // driveServeClients runs the standard closed-loop client swarm against a
@@ -289,4 +291,205 @@ func perfClusterServe(add func(string, func(b *testing.B))) {
 		b.Cleanup(srv.Close)
 		driveServeClients(b, srv, clients)
 	})
+}
+
+// perfClusterTelemetry measures the observability tax on the full cluster
+// serving path: the serve/16c workload over a 2-replica verifying router with
+// the whole cross-node plane live (span harvesting + SpanReport federation,
+// digest votes, metrics polling) against the same warm stack with the global
+// telemetry kill switch off. Like telemetry/engine-hotpath, the two states
+// run as alternating chunks on one warm stack and each reports its fastest
+// chunk — min-vs-min discards the one-sided scheduling drift that dwarfs the
+// effect on a many-goroutine tier. Both series land under the gated
+// cluster/serve/16c/2r/ family: the off state pins the kill switch staying
+// free, the on state pins the full-plane tax.
+func perfClusterTelemetry(emit func(PerfResult)) error {
+	defer telemetry.SetEnabled(true)
+	const (
+		clients   = 16
+		chunks    = 11  // per state
+		chunkIter = 400 // requests per chunk across the swarm
+		itemWidth = 64
+	)
+
+	// Replicas get echo variants over plain pipes (the engine-orchestration
+	// and federation cost is the subject, not AEAD) and private tracers and
+	// registries so span harvesting and metrics polls run at production shape
+	// without polluting the process defaults.
+	newEngine := func() (*monitor.Engine, error) {
+		hs := make([]*monitor.Handle, 3)
+		for v := range hs {
+			mon, varC := net.Pipe()
+			id := fmt.Sprintf("v%d", v)
+			go echoVariant(id, "y", securechan.Plain(varC))
+			hs[v] = monitor.NewHandle(id, 0, "spec", securechan.Plain(mon))
+		}
+		e, err := monitor.NewEngine(monitor.EngineConfig{
+			GraphInputs:  []string{"x"},
+			GraphOutputs: []string{"y"},
+			Stages: []monitor.StageSpec{{
+				Inputs: []string{"x"}, Outputs: []string{"y"}, Handles: hs,
+			}},
+			Metrics: telemetry.NewRegistry(),
+			Tracer:  telemetry.NewTracer(4096),
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.Start()
+		return e, nil
+	}
+	startReplica := func(id string, eng *monitor.Engine) (*cluster.Remote, error) {
+		routerC, replicaC := net.Pipe()
+		go func() {
+			conn, err := securechan.Server(replicaC, nil, nil)
+			if err != nil {
+				return
+			}
+			_ = cluster.ServeReplica(conn, eng, cluster.ReplicaServerOptions{
+				Hello: wire.ReplicaHello{
+					ID:           id,
+					Variants:     3,
+					GraphInputs:  []string{"x"},
+					GraphOutputs: []string{"y"},
+				},
+				Metrics: telemetry.NewRegistry(),
+			})
+		}()
+		cc, err := securechan.Client(routerC, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.NewRemote(cc)
+	}
+
+	reps := make([]cluster.Replica, 2)
+	for i := range reps {
+		eng, err := newEngine()
+		if err != nil {
+			return err
+		}
+		defer eng.Stop()
+		rem, err := startReplica(fmt.Sprintf("rep-%d", i), eng)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rem.Close() }()
+		reps[i] = rem
+	}
+	reg := telemetry.NewRegistry()
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas: reps,
+		Verify:   1,
+		Mode:     cluster.DigestForward,
+		Sync:     true,
+		Metrics:  reg,
+		Tracer:   telemetry.NewTracer(8192),
+		// A 2s production cadence would fire at most once inside the run;
+		// poll fast enough that the metrics-federation plane is part of the
+		// measured on-state.
+		MetricsInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = router.Close() }()
+	srv := serve.New(router, benchServeConfig(clients, reg))
+	defer srv.Close()
+
+	inputs := make([]map[string]*tensor.Tensor, clients)
+	for c := range inputs {
+		x := tensor.New(1, itemWidth)
+		for j := range x.Data() {
+			x.Data()[j] = float32(c + j)
+		}
+		inputs[c] = map[string]*tensor.Tensor{"x": x}
+	}
+	// drive issues n requests across the client swarm; the echo variants hand
+	// each client its own row back.
+	drive := func(n int) error {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		fail := func(err error) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for next.Add(1) <= int64(n) {
+					r, err := srv.Infer(context.Background(), serve.Request{
+						Tenant: fmt.Sprintf("t%d", c%4), Inputs: inputs[c],
+					})
+					if err != nil {
+						fail(err)
+						return
+					}
+					if r.Tensors["y"].At(0, 0) != float32(c) {
+						fail(fmt.Errorf("client %d: bad demux row", c))
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		return firstErr
+	}
+
+	if err := drive(8 * clients); err != nil { // warm codec pools, placement, span plane
+		return err
+	}
+	var errOut error
+	chunk := func(enabled bool) float64 {
+		telemetry.SetEnabled(enabled)
+		start := time.Now()
+		if err := drive(chunkIter); err != nil && errOut == nil {
+			errOut = err
+		}
+		return float64(time.Since(start).Nanoseconds()) / chunkIter
+	}
+	var en, dis []float64
+	for c := 0; c < chunks; c++ {
+		dis = append(dis, chunk(false))
+		en = append(en, chunk(true))
+	}
+	allocs := map[bool]float64{}
+	for _, enabled := range []bool{true, false} {
+		telemetry.SetEnabled(enabled)
+		allocs[enabled] = testing.AllocsPerRun(30, func() {
+			r, err := srv.Infer(context.Background(), serve.Request{
+				Tenant: "t0", Inputs: inputs[0],
+			})
+			if err != nil && errOut == nil {
+				errOut = err
+			}
+			_ = r
+		})
+	}
+	telemetry.SetEnabled(true)
+	if errOut != nil {
+		return errOut
+	}
+	for _, s := range []struct {
+		state   string
+		samples []float64
+		enabled bool
+	}{
+		{"telemetry-on", en, true},
+		{"telemetry-off", dis, false},
+	} {
+		emit(PerfResult{
+			Name:        "cluster/serve/16c/2r/" + s.state,
+			NsPerOp:     minSample(s.samples),
+			AllocsPerOp: int64(allocs[s.enabled]),
+			Iterations:  chunks * chunkIter,
+		})
+	}
+	return nil
 }

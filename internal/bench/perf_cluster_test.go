@@ -19,7 +19,7 @@ func TestClusterPerfSmoke(t *testing.T) {
 	}
 	ns := map[string]float64{}
 	extras := map[string]PerfResult{}
-	perfCluster(func(name string, f func(b *testing.B)) {
+	err := perfCluster(func(name string, f func(b *testing.B)) {
 		r := testing.Benchmark(f)
 		if r.N == 0 {
 			t.Fatalf("%s: benchmark did not run", name)
@@ -30,6 +30,9 @@ func TestClusterPerfSmoke(t *testing.T) {
 		extras[pr.Name] = pr
 		t.Logf("%-40s %12.0f ns %8d bytes/op", pr.Name, pr.NsPerOp, pr.BytesPerOp)
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, want := range []string{
 		"cluster/forward/digest/2r", "cluster/forward/tensor/2r",
@@ -70,6 +73,16 @@ func TestClusterPerfSmoke(t *testing.T) {
 		ratio := extras["cluster/forward/"+r+"/verify-bytes-ratio"].NsPerOp
 		if ratio < 10 {
 			t.Errorf("%s verify-bytes ratio %.1fx below the 10x acceptance bar", r, ratio)
+		}
+	}
+	// The self-measured telemetry pair: both states must have run on the warm
+	// stack. Their relative magnitude is a timing property the perf gate owns;
+	// here only presence and sanity are structural.
+	for _, want := range []string{
+		"cluster/serve/16c/2r/telemetry-on", "cluster/serve/16c/2r/telemetry-off",
+	} {
+		if extras[want].NsPerOp <= 0 {
+			t.Errorf("telemetry pair missing case %q", want)
 		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"errors"
 
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -61,23 +62,31 @@ type Replica interface {
 	// Close releases the replica handle (remote: closes the connection).
 	Close() error
 
-	// attach wires the replica to its router; submit/announce carry the
-	// encoded payloads of the data and verification planes and report the
-	// payload bytes that actually crossed a connection (zero for in-process
-	// replicas), feeding the router's forward-bytes accounting.
-	attach(idx int, events chan<- replicaEvent)
-	submit(rid uint64, enc []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error)
+	// attach wires the replica to its router; tracer is the router's span
+	// ring, so an in-process replica whose engine already records there can
+	// skip re-shipping its spans. submit/announce carry the encoded payloads
+	// of the data and verification planes and report the payload bytes that
+	// actually crossed a connection (zero for in-process replicas), feeding
+	// the router's forward-bytes accounting; trace is the router-minted
+	// federation trace ID (zero when tracing is off for the batch).
+	attach(idx int, events chan<- replicaEvent, tracer *telemetry.Tracer)
+	submit(rid, trace uint64, enc []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error)
 	announce(enc []byte, d *wire.Digest) (int, error)
+	// pollMetrics requests the replica registry's snapshot (metrics
+	// federation); the answer arrives as a metrics event. Best-effort.
+	pollMetrics(seq uint64)
 }
 
 // replicaEvent is one upcall from a replica to the router loop. Exactly one
 // of the payload fields is set.
 type replicaEvent struct {
-	idx    int
-	res    *monitor.BatchResult // completed batch (router ID namespace)
-	vote   *wire.Digest         // verification-plane frame (vote or stage digest)
-	status *wire.ReplicaStatus  // health heartbeat
-	down   error                // replica lost (connection/engine failure)
+	idx     int
+	res     *monitor.BatchResult // completed batch (router ID namespace)
+	vote    *wire.Digest         // verification-plane frame (vote or stage digest)
+	status  *wire.ReplicaStatus  // health heartbeat
+	spans   *wire.SpanReport     // harvested batch spans (trace federation)
+	metrics *wire.MetricsReport  // registry snapshot (metrics federation)
+	down    error                // replica lost (connection/engine failure)
 	// localVote marks a vote whose Agree field is unresolved: in-process
 	// followers hand the router their raw digest and the router compares it
 	// against the leader's (remote followers compare locally and send an

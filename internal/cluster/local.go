@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -15,15 +16,22 @@ import (
 // hands the router its raw digest and the router compares it against the
 // leader's directly.
 type Local struct {
-	id     string
-	eng    *monitor.Engine
-	hello  wire.ReplicaHello
-	spares func() int
+	id      string
+	eng     *monitor.Engine
+	hello   wire.ReplicaHello
+	spares  func() int
+	metrics *telemetry.Registry
 
 	idx    int
 	events chan<- replicaEvent
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	// routerTracer is the router's span ring (set at attach): when the
+	// engine records into a different ring, this replica's spans must ship
+	// over as span events like a remote's would; when they share one ring
+	// (both on DefaultTracer, the single-process default) the spans are
+	// already co-resident and re-shipping would duplicate them.
+	routerTracer *telemetry.Tracer
+	stop         chan struct{}
+	wg           sync.WaitGroup
 
 	mu      sync.Mutex
 	subs    map[uint64]localSub            // engine batch ID -> router submission
@@ -32,6 +40,7 @@ type Local struct {
 
 type localSub struct {
 	rid    uint64
+	trace  uint64 // router-minted federation trace ID (zero: tracing off)
 	verify bool
 }
 
@@ -43,6 +52,9 @@ type LocalOptions struct {
 	// Spares reports the replica's spare pool size for status heartbeats;
 	// nil reports zero.
 	Spares func() int
+	// Metrics answers the router's metrics-federation polls (typically the
+	// engine's own registry); nil reports nothing.
+	Metrics *telemetry.Registry
 }
 
 // NewLocal builds an in-process replica over a started engine.
@@ -59,6 +71,7 @@ func NewLocal(id string, eng *monitor.Engine, opts LocalOptions) *Local {
 		eng:     eng,
 		hello:   h,
 		spares:  sp,
+		metrics: opts.Metrics,
 		stop:    make(chan struct{}),
 		subs:    make(map[uint64]localSub),
 		orphans: make(map[uint64]monitor.BatchResult),
@@ -82,8 +95,8 @@ func (l *Local) Close() error {
 	return nil
 }
 
-func (l *Local) attach(idx int, events chan<- replicaEvent) {
-	l.idx, l.events = idx, events
+func (l *Local) attach(idx int, events chan<- replicaEvent, tracer *telemetry.Tracer) {
+	l.idx, l.events, l.routerTracer = idx, events, tracer
 	l.wg.Add(2)
 	go l.pumpOutputs()
 	go l.pumpStatus()
@@ -173,8 +186,10 @@ func (l *Local) deliver(br monitor.BatchResult, sub localSub) {
 		}
 		br.ID = sub.rid
 		l.post(replicaEvent{res: &br})
+		l.reportSpans(sub)
 		return
 	}
+	defer l.reportSpans(sub)
 	v := &wire.Digest{ID: sub.rid, Stage: -1, Vote: true}
 	if br.Err == nil {
 		v.Sum = check.DigestOf(br.Tensors)
@@ -182,17 +197,36 @@ func (l *Local) deliver(br monitor.BatchResult, sub localSub) {
 	l.post(replicaEvent{vote: v, localVote: true})
 }
 
-func (l *Local) submit(rid uint64, _ []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error) {
+// reportSpans is the in-process half of trace federation: only needed when
+// the engine records into its own ring (NUMA-partitioned deployments give
+// each engine a private tracer) — with a shared ring the router already
+// holds these spans and shipping them again would double-count.
+func (l *Local) reportSpans(sub localSub) {
+	if sub.trace == 0 || !telemetry.Enabled() {
+		return
+	}
+	tr := l.eng.Tracer()
+	if tr == l.routerTracer {
+		return
+	}
+	spans := tr.SpansForRecent(sub.trace, spanScanWindow, 64)
+	if len(spans) == 0 {
+		return
+	}
+	l.post(replicaEvent{spans: &wire.SpanReport{ID: sub.rid, Replica: l.id, Spans: spans}})
+}
+
+func (l *Local) submit(rid, trace uint64, _ []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error) {
 	// The engine ID is unknown until Submit returns, so a fast completion can
 	// beat the mapping into l.subs: the pump parks such results in l.orphans
 	// and the registration below picks them up. Holding l.mu across Submit
 	// instead would deadlock — Submit blocks on engine capacity, which frees
 	// only when the pump (also needing l.mu) drains Outputs.
-	eid, err := l.eng.Submit(inputs)
+	eid, err := l.eng.SubmitTraced(inputs, trace)
 	if err != nil {
 		return 0, err
 	}
-	sub := localSub{rid: rid, verify: verify}
+	sub := localSub{rid: rid, trace: trace, verify: verify}
 	l.mu.Lock()
 	br, raced := l.orphans[eid]
 	if raced {
@@ -210,3 +244,12 @@ func (l *Local) submit(rid uint64, _ []byte, inputs map[string]*tensor.Tensor, v
 // announce is a no-op for in-process replicas: their votes carry the raw
 // digest and the router compares against the leader's without a wire hop.
 func (l *Local) announce([]byte, *wire.Digest) (int, error) { return 0, nil }
+
+// pollMetrics answers the router's federation poll synchronously from the
+// configured registry; replicas without one report nothing.
+func (l *Local) pollMetrics(seq uint64) {
+	if l.metrics == nil {
+		return
+	}
+	l.post(replicaEvent{metrics: &wire.MetricsReport{Seq: seq, Series: l.metrics.Snapshot()}})
+}

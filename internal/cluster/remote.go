@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/monitor"
 	"repro/internal/securechan"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -86,7 +87,9 @@ func (r *Remote) Close() error {
 	return err
 }
 
-func (r *Remote) attach(idx int, events chan<- replicaEvent) {
+func (r *Remote) attach(idx int, events chan<- replicaEvent, _ *telemetry.Tracer) {
+	// The router tracer is irrelevant here: a remote engine's ring is in
+	// another process, so its spans always arrive as SpanReport frames.
 	r.idx, r.events = idx, events
 	r.wg.Add(1)
 	go r.reader()
@@ -126,6 +129,10 @@ func (r *Remote) reader() {
 			r.post(replicaEvent{vote: v, wireBytes: wire.DigestFrameLen})
 		case *wire.ReplicaStatus:
 			r.post(replicaEvent{status: v})
+		case *wire.SpanReport:
+			r.post(replicaEvent{spans: v, wireBytes: v.EncodedLen()})
+		case *wire.MetricsReport:
+			r.post(replicaEvent{metrics: v})
 		case *wire.Error:
 			r.post(replicaEvent{down: errors.New(v.Message)})
 			return
@@ -135,18 +142,25 @@ func (r *Remote) reader() {
 
 // submit ships the router's shared encoding (already tagged for the role)
 // and reports the payload bytes sent.
-func (r *Remote) submit(rid uint64, enc []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error) {
+func (r *Remote) submit(rid, trace uint64, enc []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error) {
 	if enc == nil {
 		// No shared encoding (all-local batch that failed over to a remote):
 		// encode just for this send.
-		var m wire.Msg = &wire.Batch{ID: rid, Tensors: inputs}
+		var m wire.Msg = &wire.Batch{ID: rid, Trace: trace, Tensors: inputs}
 		n := batchWireBytes(inputs)
 		if verify {
-			m = &wire.Verify{ID: rid, Tensors: inputs}
+			m = &wire.Verify{ID: rid, Trace: trace, Tensors: inputs}
 		}
 		return n, wire.Send(r.conn, m)
 	}
 	return len(enc), wire.SendEncoded(r.conn, enc)
+}
+
+// pollMetrics requests the remote registry's snapshot; the reader posts the
+// answer as a metrics event. Best-effort: a send failure fails the reader,
+// which reports the replica down.
+func (r *Remote) pollMetrics(seq uint64) {
+	_ = wire.Send(r.conn, &wire.MetricsPoll{Seq: seq})
 }
 
 // announce fans the leader's digest to the replica, preferring the router's

@@ -8,6 +8,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/monitor"
 	"repro/internal/securechan"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -24,7 +25,19 @@ type ReplicaServerOptions struct {
 	// waits for its counterpart before the batch is abandoned replica-side.
 	// Zero means 30 seconds.
 	HoldTTL time.Duration
+	// Metrics is the registry served to the router's metrics-federation
+	// polls; nil uses telemetry.Default (the daemon's process registry).
+	Metrics *telemetry.Registry
+	// MaxSpans bounds the spans harvested and shipped per batch in a
+	// SpanReport. Zero means 64.
+	MaxSpans int
 }
+
+// spanScanWindow bounds how far back in the engine's span ring a per-batch
+// harvest scans. A just-delivered batch's spans sit at the young end of the
+// ring, within (in-flight depth x spans per batch) entries; 1024 covers that
+// comfortably while keeping the per-batch cost independent of -trace-ring.
+const spanScanWindow = 1024
 
 // ReplicaServer runs one replica's end of the router protocol over a
 // securechan connection: it registers with a hello, executes Batch frames as
@@ -56,6 +69,7 @@ type ReplicaServer struct {
 
 type repSub struct {
 	rid    uint64
+	trace  uint64 // router-minted federation trace ID (zero: tracing off)
 	verify bool
 }
 
@@ -74,6 +88,12 @@ func NewReplicaServer(conn securechan.Conn, eng *monitor.Engine, opts ReplicaSer
 	}
 	if opts.Spares == nil {
 		opts.Spares = func() int { return 0 }
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = telemetry.Default
+	}
+	if opts.MaxSpans <= 0 {
+		opts.MaxSpans = 64
 	}
 	return &ReplicaServer{
 		conn:         conn,
@@ -137,15 +157,19 @@ func (s *ReplicaServer) readLoop() error {
 		}
 		switch v := m.(type) {
 		case *wire.Batch:
-			s.submit(v.ID, v.Tensors, false)
+			s.submit(v.ID, v.Trace, v.Tensors, false)
 		case *wire.Verify:
-			s.submit(v.ID, v.Tensors, true)
+			s.submit(v.ID, v.Trace, v.Tensors, true)
 		case *wire.Digest:
 			if !v.Vote && v.Stage < 0 {
 				s.onAnnounce(v)
 			} // stage-digest frames are router-bound only; ignore otherwise
 		case *wire.ReplicaTune:
 			s.eng.SetInflightWindow(v.InflightWindow)
+		case *wire.MetricsPoll:
+			// Metrics federation: answer with the registry snapshot on the
+			// same channel — replicas expose no HTTP surface to the router.
+			s.send(&wire.MetricsReport{Seq: v.Seq, Series: s.opts.Metrics.Snapshot()})
 		case *wire.Shutdown:
 			s.shutdown()
 			return nil
@@ -156,8 +180,8 @@ func (s *ReplicaServer) readLoop() error {
 // submit feeds one router batch into the engine, registering the ID
 // translation. Orphan parking resolves the race against fast completions
 // (see Local.submit).
-func (s *ReplicaServer) submit(rid uint64, tensors map[string]*tensor.Tensor, verify bool) {
-	eid, err := s.eng.Submit(tensors)
+func (s *ReplicaServer) submit(rid, trace uint64, tensors map[string]*tensor.Tensor, verify bool) {
+	eid, err := s.eng.SubmitTraced(tensors, trace)
 	if err != nil {
 		if verify {
 			// Abstain: the follower cannot execute, so it has no verdict.
@@ -167,7 +191,7 @@ func (s *ReplicaServer) submit(rid uint64, tensors map[string]*tensor.Tensor, ve
 		s.send(&wire.Result{ID: rid, Err: err.Error()})
 		return
 	}
-	sub := repSub{rid: rid, verify: verify}
+	sub := repSub{rid: rid, trace: trace, verify: verify}
 	s.mu.Lock()
 	br, raced := s.orphans[eid]
 	if raced {
@@ -224,6 +248,7 @@ func (s *ReplicaServer) deliver(br monitor.BatchResult, sub repSub) {
 			s.send(s.status())
 		}
 		s.send(res)
+		s.reportSpans(sub)
 		return
 	}
 	h := heldDigest{err: br.Err != nil, born: time.Now()}
@@ -241,6 +266,26 @@ func (s *ReplicaServer) deliver(br monitor.BatchResult, sub repSub) {
 	if ok {
 		s.vote(sub.rid, h, a.sum)
 	}
+	// Follower spans ship at engine completion; the vote may still be held
+	// for the leader's announce, but the spans exist now.
+	s.reportSpans(sub)
+}
+
+// reportSpans harvests this batch's spans from the engine's ring and ships
+// them to the router right behind the result/vote on the same ordered
+// connection — the sending half of trace federation. The engine records its
+// root "batch" span before the result reaches the output channel, so the
+// harvest here sees the complete set. Zero-trace batches (tracing off) skip
+// everything.
+func (s *ReplicaServer) reportSpans(sub repSub) {
+	if sub.trace == 0 || !telemetry.Enabled() {
+		return
+	}
+	spans := s.eng.Tracer().SpansForRecent(sub.trace, spanScanWindow, s.opts.MaxSpans)
+	if len(spans) == 0 {
+		return
+	}
+	s.send(&wire.SpanReport{ID: sub.rid, Replica: s.opts.Hello.ID, Spans: spans})
 }
 
 // onAnnounce resolves the leader's final digest against the held follower

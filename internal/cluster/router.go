@@ -46,11 +46,23 @@ type RouterConfig struct {
 	VoteTimeout time.Duration
 	// Metrics receives the cluster series; nil disables.
 	Metrics *telemetry.Registry
+	// Tracer receives the router's own spans and the merged replica span
+	// reports (trace federation); nil uses telemetry.DefaultTracer, so
+	// /trace on the router process serves the full cross-node tree.
+	Tracer *telemetry.Tracer
+	// MetricsInterval is the metrics-federation poll cadence over each
+	// replica's status channel. Zero means 2s; negative disables polling.
+	MetricsInterval time.Duration
+	// Flight, when set, receives incident triggers (failover, dissent,
+	// replica down, ladder demotion) so /debug/flight captures a
+	// before/after window around every cluster health event. Optional.
+	Flight *telemetry.FlightRecorder
 }
 
 // pendingBatch is one open batch in the router's ID namespace.
 type pendingBatch struct {
 	id     uint64
+	trace  uint64 // federation trace ID, zero when tracing is off
 	inputs map[string]*tensor.Tensor
 	leader int
 	// followers tracks replica indices whose vote is still outstanding.
@@ -83,6 +95,21 @@ type replicaState struct {
 	spares   int
 	inflight int // outstanding leader batches
 	checks   int // outstanding follower cross-checks
+	worst    int // last heartbeat's worst rung (demotion trigger edge)
+}
+
+// replicaMetricsState is the latest federated snapshot from one replica.
+type replicaMetricsState struct {
+	at     time.Time
+	series []telemetry.MetricSnapshot
+}
+
+// ReplicaMetrics is one replica's most recent metrics-federation snapshot,
+// as served by ClusterMetrics (and /metrics/cluster on mvtee-serve).
+type ReplicaMetrics struct {
+	Replica string
+	Age     time.Duration
+	Series  []telemetry.MetricSnapshot
 }
 
 // Router fronts N replica engines as one serve.Engine: it places each batch
@@ -93,9 +120,10 @@ type replicaState struct {
 // control.Pipeline: the controller's window actuations fan out to every
 // replica.
 type Router struct {
-	cfg   RouterConfig
-	reps  []Replica
-	order []int // rendezvous candidate order for PlacementKey
+	cfg    RouterConfig
+	reps   []Replica
+	order  []int // rendezvous candidate order for PlacementKey
+	tracer *telemetry.Tracer
 
 	out      chan monitor.BatchResult
 	deliverq chan monitor.BatchResult
@@ -111,25 +139,31 @@ type Router struct {
 	dispatchWG sync.WaitGroup
 	nextID     uint64 // guarded by mu
 
-	mu      sync.Mutex
-	closed  bool
-	state   []replicaState
-	pending map[uint64]*pendingBatch
+	mu         sync.Mutex
+	closed     bool
+	state      []replicaState
+	pending    map[uint64]*pendingBatch
+	pollSeq    uint64
+	repMetrics []replicaMetricsState
 
 	m routerMetrics
 }
 
 type routerMetrics struct {
-	replicas  *telemetry.Gauge
-	batches   *telemetry.Counter
-	failovers *telemetry.Counter
-	routeNs   *telemetry.Histogram
-	dissent   *telemetry.Counter
-	votes     [3]*telemetry.Counter // agree, dissent, abstain
-	fwd       [3]*telemetry.Counter // input, result, digest planes
-	up        []*telemetry.Gauge
-	rung      []*telemetry.Gauge
-	inflight  []*telemetry.Gauge
+	replicas    *telemetry.Gauge
+	batches     *telemetry.Counter
+	failovers   *telemetry.Counter
+	routeNs     *telemetry.Histogram
+	dissent     *telemetry.Counter
+	votes       [3]*telemetry.Counter // agree, dissent, abstain
+	fwd         [3]*telemetry.Counter // input, result, digest planes
+	up          []*telemetry.Gauge
+	rung        []*telemetry.Gauge
+	inflight    []*telemetry.Gauge
+	spanReports *telemetry.Counter
+	spansMerged *telemetry.Counter
+	spanBytes   *telemetry.Counter
+	polls       *telemetry.Counter
 }
 
 const (
@@ -169,6 +203,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.PlacementKey == "" {
 		cfg.PlacementKey = "default"
 	}
+	if cfg.MetricsInterval == 0 {
+		cfg.MetricsInterval = 2 * time.Second
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = telemetry.DefaultTracer
+	}
 	ids := make([]string, len(cfg.Replicas))
 	seen := make(map[string]bool, len(ids))
 	for i, rep := range cfg.Replicas {
@@ -179,9 +219,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		seen[ids[i]] = true
 	}
 	r := &Router{
-		cfg:   cfg,
-		reps:  cfg.Replicas,
-		order: rendezvousOrder(cfg.PlacementKey, ids),
+		cfg:    cfg,
+		reps:   cfg.Replicas,
+		order:  rendezvousOrder(cfg.PlacementKey, ids),
+		tracer: cfg.Tracer,
 		// deliverq is buffered to the in-flight cap so enqueueing a result
 		// under the router lock can never block: every open batch owns one
 		// slot and delivers at most once. The delivery goroutine moves rows
@@ -194,19 +235,24 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		state:    make([]replicaState, len(cfg.Replicas)),
 		pending:  make(map[uint64]*pendingBatch),
 	}
+	r.repMetrics = make([]replicaMetricsState, len(cfg.Replicas))
 	for i := range r.state {
 		// Replicas start healthy-until-told-otherwise; the initial status
 		// heartbeat (sent at attach) corrects this within one event.
-		r.state[i] = replicaState{up: true}
+		r.state[i] = replicaState{up: true, worst: int(monitor.LadderFull)}
 	}
 	r.initMetrics(ids)
 	for i, rep := range r.reps {
-		rep.attach(i, r.events)
+		rep.attach(i, r.events, r.tracer)
 	}
 	r.wg.Add(3)
 	go r.loop()
 	go r.delivery()
 	go r.sweeper()
+	if cfg.MetricsInterval > 0 {
+		r.wg.Add(1)
+		go r.collector()
+	}
 	return r, nil
 }
 
@@ -232,6 +278,10 @@ func (r *Router) initMetrics(ids []string) {
 	for i, p := range []string{telemetry.ForwardPlaneInput, telemetry.ForwardPlaneResult, telemetry.ForwardPlaneDigest} {
 		r.m.fwd[i] = reg.Counter(telemetry.MetricClusterFwdBytes, telemetry.L("plane", p))
 	}
+	r.m.spanReports = reg.Counter(telemetry.MetricClusterSpanReports)
+	r.m.spansMerged = reg.Counter(telemetry.MetricClusterSpansMerged)
+	r.m.spanBytes = reg.Counter(telemetry.MetricClusterSpanBytes)
+	r.m.polls = reg.Counter(telemetry.MetricClusterMetricPolls)
 	for i, id := range ids {
 		l := telemetry.L("replica", id)
 		r.m.up[i] = reg.Gauge(telemetry.MetricClusterReplicaUp, l)
@@ -382,7 +432,11 @@ func (r *Router) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
 		return 0, err
 	}
 	pb := &pendingBatch{
-		id:        id,
+		id: id,
+		// One federation trace ID per routed batch: every replica engine the
+		// batch touches records its spans under it, and the harvested reports
+		// merge back into r.tracer as one cross-node tree.
+		trace:     telemetry.NewTraceID(),
 		inputs:    inputs,
 		leader:    leader,
 		followers: make(map[int]bool, len(followers)),
@@ -422,27 +476,34 @@ func (r *Router) noteDispatch(pb *pendingBatch, delta int) {
 // mode, so followers ship full results). Runs outside r.mu: sends can block
 // on sockets.
 func (r *Router) dispatch(pb *pendingBatch, leader int, followers []int) error {
+	start := time.Now()
 	var payload []byte
 	needEnc := !isLocal(r.reps[leader])
 	for _, f := range followers {
 		needEnc = needEnc || !isLocal(r.reps[f])
 	}
 	if needEnc {
-		buf := wire.MarshalBatch(&wire.Batch{ID: pb.id, Tensors: pb.inputs})
+		buf := wire.MarshalBatch(&wire.Batch{ID: pb.id, Trace: pb.trace, Tensors: pb.inputs})
 		defer buf.Free()
 		payload = buf.Payload()
 	}
-	n, err := r.reps[leader].submit(pb.id, payload, pb.inputs, false)
+	n, err := r.reps[leader].submit(pb.id, pb.trace, payload, pb.inputs, false)
 	r.m.fwd[planeInput].Add(uint64(n))
 	if err != nil {
 		return err
+	}
+	if pb.trace != 0 {
+		r.tracer.Record(telemetry.Span{
+			Trace: pb.trace, Batch: pb.id, Name: "dispatch", Stage: -1,
+			Start: start.UnixNano(), End: time.Now().UnixNano(),
+		})
 	}
 	verify := r.cfg.Mode == DigestForward
 	if payload != nil && verify {
 		wire.RetagVerify(payload)
 	}
 	for _, f := range followers {
-		n, err := r.reps[f].submit(pb.id, payload, pb.inputs, verify)
+		n, err := r.reps[f].submit(pb.id, pb.trace, payload, pb.inputs, verify)
 		r.m.fwd[planeInput].Add(uint64(n))
 		if err != nil {
 			// A follower we cannot reach abstains; the batch proceeds.
@@ -479,6 +540,10 @@ func (r *Router) loop() {
 				r.onVote(ev)
 			case ev.status != nil:
 				r.onStatus(ev)
+			case ev.spans != nil:
+				r.onSpans(ev)
+			case ev.metrics != nil:
+				r.onMetrics(ev)
 			case ev.down != nil:
 				r.onDown(ev)
 			}
@@ -579,9 +644,21 @@ func (r *Router) onResult(ev replicaEvent) {
 		}
 	}
 	done := r.completeLocked(pb)
+	async := len(targets) > 0 && !done && !r.closed
+	if async {
+		r.dispatchWG.Add(1)
+	}
 	r.mu.Unlock()
-	if len(targets) > 0 && !done {
-		r.announce(pb, targets)
+	if async {
+		// The announce write runs off the event loop: the loop is the only
+		// consumer of the events channel, and a socket write here can deadlock
+		// the whole tier — readers block posting events, replica servers block
+		// writing frames, engines block delivering, and the batch dispatch
+		// holding this conn's write lock never finishes.
+		go func() {
+			defer r.dispatchWG.Done()
+			r.announce(pb, targets)
+		}()
 	}
 }
 
@@ -653,6 +730,9 @@ func (r *Router) applyVoteLocked(pb *pendingBatch, idx int, sum check.Digest, ab
 	default:
 		r.m.votes[voteDissent].Inc()
 		pb.dissent = true
+		// Lock order is safe: the flight sampler reads its sources without
+		// holding its own lock, so r.mu -> flight.mu never inverts.
+		r.cfg.Flight.Trigger(telemetry.FlightReasonDissent)
 	}
 }
 
@@ -712,9 +792,18 @@ func (r *Router) completeLocked(pb *pendingBatch) bool {
 func (r *Router) deliverLocked(pb *pendingBatch, res *monitor.BatchResult) {
 	pb.delivered = true
 	res.ID = pb.id
-	res.Latency = time.Since(pb.born)
+	now := time.Now()
+	res.Latency = now.Sub(pb.born)
 	r.deliverq <- *res
 	r.m.routeNs.Observe(res.Latency.Nanoseconds())
+	if pb.trace != 0 {
+		// The router's root span: placement through delivery. Replica-side
+		// spans for the same trace nest inside it once their reports merge.
+		r.tracer.Record(telemetry.Span{
+			Trace: pb.trace, Batch: pb.id, Name: "route", Stage: -1,
+			Start: pb.born.UnixNano(), End: now.UnixNano(),
+		})
+	}
 }
 
 // delivery is the single mover from the internal queue to the consumer
@@ -768,8 +857,87 @@ func (r *Router) onStatus(ev replicaEvent) {
 			worst = rung
 		}
 	}
+	demoted := worst < st.worst
+	st.worst = worst
 	r.mu.Unlock()
 	r.m.rung[ev.idx].Set(int64(worst))
+	if demoted {
+		r.cfg.Flight.Trigger(telemetry.FlightReasonDemotion)
+	}
+}
+
+// onSpans merges one replica's harvested spans into the router's ring,
+// stamped with the reporting replica's identity — the receive side of trace
+// federation. Span bytes are accounted on their own counter so observability
+// traffic never pollutes the forward-plane cost split.
+func (r *Router) onSpans(ev replicaEvent) {
+	rep := ev.spans
+	r.m.spanReports.Inc()
+	r.m.spanBytes.Add(uint64(ev.wireBytes))
+	r.m.spansMerged.Add(uint64(len(rep.Spans)))
+	for i := range rep.Spans {
+		s := rep.Spans[i]
+		s.Replica = rep.Replica
+		r.tracer.Record(s)
+	}
+}
+
+// onMetrics stores one replica's federated registry snapshot.
+func (r *Router) onMetrics(ev replicaEvent) {
+	r.mu.Lock()
+	r.repMetrics[ev.idx] = replicaMetricsState{at: time.Now(), series: ev.metrics.Series}
+	r.mu.Unlock()
+}
+
+// ClusterMetrics returns the latest federated snapshot per replica (replicas
+// that never answered a poll are omitted). The backing slices are shared
+// with the collector's stored state and must be treated as read-only.
+func (r *Router) ClusterMetrics() []ReplicaMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ReplicaMetrics, 0, len(r.reps))
+	for i, rep := range r.reps {
+		st := r.repMetrics[i]
+		if st.series == nil {
+			continue
+		}
+		out = append(out, ReplicaMetrics{Replica: rep.ID(), Age: time.Since(st.at), Series: st.series})
+	}
+	return out
+}
+
+// collector drives metrics federation: on each tick it polls every up
+// replica's registry over its existing status channel; answers land as
+// metrics events. Skips entirely while telemetry is disabled.
+func (r *Router) collector() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.MetricsInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if !telemetry.Enabled() {
+				continue
+			}
+			r.mu.Lock()
+			r.pollSeq++
+			seq := r.pollSeq
+			up := make([]bool, len(r.reps))
+			for i := range r.state {
+				up[i] = r.state[i].up
+			}
+			r.mu.Unlock()
+			for i, rep := range r.reps {
+				if !up[i] {
+					continue
+				}
+				rep.pollMetrics(seq)
+				r.m.polls.Inc()
+			}
+		case <-r.stop:
+			return
+		}
+	}
 }
 
 // onDown marks the replica lost and fails its batches over: leader batches
@@ -795,6 +963,7 @@ func (r *Router) onDown(ev replicaEvent) {
 		}
 	}
 	r.mu.Unlock()
+	r.cfg.Flight.Trigger(telemetry.FlightReasonReplicaDown)
 	for _, id := range orphans {
 		r.failover(id, ev.idx, ev.down)
 	}
@@ -832,14 +1001,31 @@ func (r *Router) failover(id uint64, from int, cause error) {
 	if pb.followers[from] {
 		r.applyVoteLocked(pb, from, check.Digest{}, true, false, false)
 	}
-	inputs := pb.inputs
+	inputs, trace := pb.inputs, pb.trace
+	resubmit := !r.closed
+	if resubmit {
+		r.dispatchWG.Add(1)
+	}
 	r.mu.Unlock()
 	r.m.failovers.Inc()
-	n, err := r.reps[leader].submit(id, nil, inputs, false)
-	r.m.fwd[planeInput].Add(uint64(n))
-	if err != nil {
-		r.failover(id, leader, err)
+	r.cfg.Flight.Trigger(telemetry.FlightReasonFailover)
+	if !resubmit {
+		return // Close drains the batch with ErrRouterStopped
 	}
+	// The resubmission keeps the original trace ID, so the new leader's spans
+	// land in the same tree as the failed attempt's. Like dispatch and
+	// announce it runs on its own goroutine: failover fires from the event
+	// loop (down events, failed leader results), and the loop must never
+	// block on a socket write — it is the only drain for the events channel
+	// every conn reader posts into.
+	go func() {
+		defer r.dispatchWG.Done()
+		n, err := r.reps[leader].submit(id, trace, nil, inputs, false)
+		r.m.fwd[planeInput].Add(uint64(n))
+		if err != nil {
+			r.failover(id, leader, err)
+		}
+	}()
 }
 
 // resolveFailedLocked fails the batch outright: no healthy peer or retries

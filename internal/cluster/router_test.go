@@ -49,13 +49,15 @@ func (f *fakeReplica) SetInflightWindow(n int) {
 }
 func (f *fakeReplica) Close() error { return nil }
 
-func (f *fakeReplica) attach(idx int, events chan<- replicaEvent) {
+func (f *fakeReplica) attach(idx int, events chan<- replicaEvent, _ *telemetry.Tracer) {
 	f.mu.Lock()
 	f.idx, f.events = idx, events
 	f.mu.Unlock()
 }
 
-func (f *fakeReplica) submit(rid uint64, enc []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error) {
+func (f *fakeReplica) pollMetrics(uint64) {}
+
+func (f *fakeReplica) submit(rid, _ uint64, enc []byte, inputs map[string]*tensor.Tensor, verify bool) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := fakeSub{rid: rid, verify: verify, inputs: inputs}

@@ -568,6 +568,17 @@ func (e *Engine) recordEvent(ev Event) {
 // Submit enqueues one batch of model inputs, blocking while the pipeline is
 // at MaxInFlight depth. It returns the assigned batch ID.
 func (e *Engine) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
+	// The batch-scoped trace ID rides the wire header to every variant and
+	// back; zero (telemetry disabled) turns off all span recording downstream.
+	return e.SubmitTraced(inputs, telemetry.NewTraceID())
+}
+
+// SubmitTraced is Submit under a caller-minted trace ID: a cluster router
+// mints one ID per routed batch and threads it through every replica engine
+// it touches, so router- and replica-side spans stitch into one cross-node
+// tree. Zero disables span recording for the batch (the kill-switch
+// sentinel, same as a disabled process).
+func (e *Engine) SubmitTraced(inputs map[string]*tensor.Tensor, trace uint64) (uint64, error) {
 	e.mu.Lock()
 	if err := e.failed; err != nil {
 		e.mu.Unlock()
@@ -575,9 +586,6 @@ func (e *Engine) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
 	}
 	e.mu.Unlock()
 	id := batchIDs.Add(1)
-	// The batch-scoped trace ID rides the wire header to every variant and
-	// back; zero (telemetry disabled) turns off all span recording downstream.
-	trace := telemetry.NewTraceID()
 
 	select {
 	case e.slots <- struct{}{}:
@@ -591,6 +599,11 @@ func (e *Engine) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
 		return 0, ErrEngineStopped
 	}
 }
+
+// Tracer returns the span ring this engine records into — the harvest point
+// for cluster trace federation (a replica server collects a batch's spans
+// from here and ships them to the router).
+func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
 
 // Infer runs one batch synchronously (sequential execution): it submits and
 // waits for that batch's result. Do not mix Infer with concurrent Submit

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePromSnapshots renders a remote registry's Snapshot in the Prometheus
+// text exposition format with extra labels appended to every series — the
+// metrics-federation path: the cluster router polls each replica's registry
+// over the status channel as []MetricSnapshot and /metrics/cluster re-renders
+// the snapshots tagged replica="<id>" alongside its own local series.
+//
+// Snapshots keep only non-empty histogram buckets, so the rendered _bucket
+// series are sparse; the cumulative counts and the mandatory +Inf bucket are
+// reconstructed here, which is all a quantile-over-le consumer needs.
+func WritePromSnapshots(w io.Writer, snaps []MetricSnapshot, extra ...Label) error {
+	byName := make(map[string][]*MetricSnapshot)
+	var order []string
+	for i := range snaps {
+		s := &snaps[i]
+		if _, ok := byName[s.Name]; !ok {
+			order = append(order, s.Name)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	sort.Strings(order)
+
+	var buf []byte
+	for _, name := range order {
+		group := byName[name]
+		buf = append(buf[:0], "# TYPE "...)
+		buf = append(buf, name...)
+		buf = append(buf, ' ')
+		buf = append(buf, group[0].Kind...)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := writeSnapshotEntry(w, s, extra); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotLabels rebuilds a deterministic label list from the snapshot's map
+// (sorted by key — the original registration order is not serialized) with
+// the federation labels appended.
+func snapshotLabels(s *MetricSnapshot, extra []Label) []Label {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	labels := make([]Label, 0, len(keys)+len(extra)+1)
+	for _, k := range keys {
+		labels = append(labels, L(k, s.Labels[k]))
+	}
+	return append(labels, extra...)
+}
+
+func writeSnapshotEntry(w io.Writer, s *MetricSnapshot, extra []Label) error {
+	labels := snapshotLabels(s, extra)
+	line := func(name string, ls []Label, v uint64, signed int64, isSigned bool) error {
+		out := []byte(seriesKey(name, ls))
+		out = append(out, ' ')
+		if isSigned {
+			out = strconv.AppendInt(out, signed, 10)
+		} else {
+			out = strconv.AppendUint(out, v, 10)
+		}
+		out = append(out, '\n')
+		_, err := w.Write(out)
+		return err
+	}
+	switch s.Kind {
+	case "histogram":
+		// Sort the sparse bucket bounds numerically, +Inf last, and emit
+		// cumulative counts as the format requires.
+		bounds := make([]string, 0, len(s.Buckets))
+		for b := range s.Buckets {
+			if b != "+Inf" {
+				bounds = append(bounds, b)
+			}
+		}
+		sort.Slice(bounds, func(i, j int) bool {
+			a, _ := strconv.ParseUint(bounds[i], 10, 64)
+			b, _ := strconv.ParseUint(bounds[j], 10, 64)
+			return a < b
+		})
+		var cum uint64
+		for _, b := range bounds {
+			cum += s.Buckets[b]
+			if err := line(s.Name+"_bucket", append(labels[:len(labels):len(labels)], L("le", b)), cum, 0, false); err != nil {
+				return err
+			}
+		}
+		if err := line(s.Name+"_bucket", append(labels[:len(labels):len(labels)], L("le", "+Inf")), s.Count, 0, false); err != nil {
+			return err
+		}
+		if err := line(s.Name+"_sum", labels, s.Sum, 0, false); err != nil {
+			return err
+		}
+		return line(s.Name+"_count", labels, s.Count, 0, false)
+	default: // counter, gauge
+		return line(s.Name, labels, 0, s.Value, true)
+	}
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePromSnapshots renders a snapshot the way /metrics/cluster does —
+// after a JSON round-trip, since federation ships []MetricSnapshot inside a
+// MetricsReport — and checks the relabelled exposition output, including the
+// sparse histogram's reconstructed cumulative buckets.
+func TestWritePromSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", L("kind", "a")).Add(3)
+	reg.Gauge("depth").Set(-2)
+	h := reg.Histogram("lat_ns")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(1 << 30)
+
+	blob, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []MetricSnapshot
+	if err := json.Unmarshal(blob, &snaps); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePromSnapshots(&buf, snaps, L("replica", "r1")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		`jobs_total{kind="a",replica="r1"} 3`,
+		"# TYPE depth gauge",
+		`depth{replica="r1"} -2`,
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{replica="r1",le="0"} 1`,
+		`lat_ns_bucket{replica="r1",le="1"} 2`,
+		`lat_ns_bucket{replica="r1",le="3"} 3`,
+		`lat_ns_bucket{replica="r1",le="+Inf"} 4`,
+		`lat_ns_count{replica="r1"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be monotone in le order — the line for
+	// le="3" already proved reconstruction; make sure no raw (non-cumulative)
+	// counts leaked for the sparse middle bucket.
+	if strings.Contains(out, `lat_ns_bucket{replica="r1",le="3"} 1`) {
+		t.Fatalf("bucket counts not cumulative:\n%s", out)
+	}
+}
+
+func TestWritePromSnapshotsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePromSnapshots(&buf, nil, L("replica", "r1")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot rendered %q", buf.String())
+	}
+}
+
+func TestTracerDropped(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Record(Span{Trace: uint64(i + 1)})
+	}
+	if got := tr.Total(); got != 7 {
+		t.Fatalf("total %d, want 7", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped %d, want 3 (capacity 4, recorded 7)", got)
+	}
+	var nilT *Tracer
+	if nilT.Dropped() != 0 || nilT.Total() != 0 {
+		t.Fatal("nil tracer not zero-valued")
+	}
+}
+
+func TestSpansForRecentScanWindow(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Span{Trace: 7, Name: "old"})
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Trace: 9, Name: "young"})
+	}
+	// A scan bounded to the youngest 3 entries never reaches trace 7...
+	if got := tr.SpansForRecent(7, 3, 8); len(got) != 0 {
+		t.Fatalf("bounded scan found %d spans, want 0", len(got))
+	}
+	// ...an unbounded scan does.
+	if got := tr.SpansForRecent(7, 0, 8); len(got) != 1 || got[0].Name != "old" {
+		t.Fatalf("unbounded scan %v, want the one old span", got)
+	}
+}
+
+func TestSpansForRecentCapAndOrder(t *testing.T) {
+	tr := NewTracer(16)
+	names := []string{"s0", "s1", "s2", "s3", "s4"}
+	for _, n := range names {
+		tr.Record(Span{Trace: 9, Name: n})
+	}
+	// Unbounded: all spans, oldest first.
+	got := tr.SpansForRecent(9, 0, 10)
+	if len(got) != 5 {
+		t.Fatalf("%d spans, want 5", len(got))
+	}
+	for i, s := range got {
+		if s.Name != names[i] {
+			t.Fatalf("span %d = %q, want %q (oldest-first order)", i, s.Name, names[i])
+		}
+	}
+	// Capped: the scan walks newest-to-oldest, so the cap keeps the youngest
+	// spans — still returned oldest-first.
+	got = tr.SpansForRecent(9, 0, 2)
+	if len(got) != 2 || got[0].Name != "s3" || got[1].Name != "s4" {
+		t.Fatalf("capped scan %v, want [s3 s4]", got)
+	}
+	// Zero maxSpans and zero trace are both empty, not panics.
+	if tr.SpansForRecent(9, 0, 0) != nil || tr.SpansForRecent(0, 0, 4) != nil {
+		t.Fatal("degenerate queries returned spans")
+	}
+	var nilT *Tracer
+	if nilT.SpansForRecent(9, 0, 4) != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1000)
+	h.Observe(1_000_000)
+	s := h.State()
+	// Buckets are counted only when their whole range exceeds the bound:
+	// 1000 sits in [512,1023] and 1e6 in [524288,1048575] — both above 100.
+	if got := s.FractionAbove(100); got != 0.5 {
+		t.Fatalf("FractionAbove(100) = %v, want 0.5", got)
+	}
+	// Above 0: everything but the exact-zero bucket.
+	if got := s.FractionAbove(0); got != 0.75 {
+		t.Fatalf("FractionAbove(0) = %v, want 0.75", got)
+	}
+	// A bound above every observation.
+	if got := s.FractionAbove(1 << 40); got != 0 {
+		t.Fatalf("FractionAbove(2^40) = %v, want 0", got)
+	}
+	var empty HistState
+	if got := empty.FractionAbove(0); got != 0 {
+		t.Fatalf("empty FractionAbove = %v, want 0", got)
+	}
+}

@@ -1,0 +1,330 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FlightSample is one tick of the flight recorder: every registered source
+// read at the same instant. Values is index-aligned with Incident.Sources.
+type FlightSample struct {
+	At     int64   `json:"at_ns"`
+	Values []int64 `json:"values"`
+}
+
+// FlightNote is one annotation on the timeline (control decisions, operator
+// marks) — context the numeric sources can't carry.
+type FlightNote struct {
+	At   int64  `json:"at_ns"`
+	Text string `json:"text"`
+}
+
+// Incident is one frozen before/after window around a trigger. Before is the
+// sample ring as it stood when the trigger fired (oldest first); After is
+// filled by the sampler over the next PostSamples ticks, at which point
+// Complete flips true. Notes carries the annotation ring captured at trigger
+// time plus anything noted while the incident was open.
+type Incident struct {
+	Reason   string         `json:"reason"`
+	At       int64          `json:"at_ns"`
+	Sources  []string       `json:"sources"`
+	Interval int64          `json:"interval_ns"`
+	Before   []FlightSample `json:"before"`
+	After    []FlightSample `json:"after"`
+	Notes    []FlightNote   `json:"notes,omitempty"`
+	Complete bool           `json:"complete"`
+}
+
+// FlightConfig sizes a FlightRecorder. The defaults give a ~16s lookback
+// (64 samples x 250ms) and a ~4s post-trigger window.
+type FlightConfig struct {
+	// Interval is the sampling cadence. Zero means 250ms.
+	Interval time.Duration
+	// Window is the sample ring size (the "before" depth). Zero means 64.
+	Window int
+	// PostSamples is how many post-trigger ticks complete an incident.
+	// Zero means 16.
+	PostSamples int
+	// MaxIncidents bounds retained incidents (oldest evicted). Zero means 8.
+	MaxIncidents int
+	// MaxNotes bounds the annotation ring. Zero means 64.
+	MaxNotes int
+	// Metrics receives the per-reason incident counter; nil disables.
+	Metrics *Registry
+}
+
+// FlightRecorder is the failover black box: a fixed-size ring continuously
+// snapshotting a set of int64 sources (ladder level, shed floor, queue
+// depths, cluster health counters), frozen into a before/after Incident when
+// a trigger fires (failover, dissent, demotion, SLO breach). Trigger is cheap
+// — it copies the ring and marks the incident open; the sampler goroutine
+// fills the after-window on its normal cadence. All methods are
+// nil-receiver-safe so uninstrumented hosts pay one branch, and sampling
+// honors the global kill switch (a disabled process records nothing).
+type FlightRecorder struct {
+	cfg FlightConfig
+
+	mu        sync.Mutex
+	started   bool
+	names     []string
+	fns       []func() int64
+	ring      []FlightSample
+	n, pos    int
+	notes     []FlightNote
+	nn, npos  int
+	incidents []*Incident
+	active    *Incident
+	remaining int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewFlightRecorder builds a recorder; register sources with AddSource, then
+// Start it.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.PostSamples <= 0 {
+		cfg.PostSamples = 16
+	}
+	if cfg.MaxIncidents <= 0 {
+		cfg.MaxIncidents = 8
+	}
+	if cfg.MaxNotes <= 0 {
+		cfg.MaxNotes = 64
+	}
+	return &FlightRecorder{
+		cfg:   cfg,
+		ring:  make([]FlightSample, cfg.Window),
+		notes: make([]FlightNote, cfg.MaxNotes),
+		stop:  make(chan struct{}),
+	}
+}
+
+// AddSource registers one named sampled value. Must happen before Start so
+// every sample has the same shape; registrations after Start are ignored.
+func (f *FlightRecorder) AddSource(name string, fn func() int64) {
+	if f == nil || fn == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	f.names = append(f.names, name)
+	f.fns = append(f.fns, fn)
+}
+
+// Start launches the sampler goroutine. Safe to call once.
+func (f *FlightRecorder) Start() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
+		return
+	}
+	f.started = true
+	f.mu.Unlock()
+	f.wg.Add(1)
+	go f.sampler()
+}
+
+// Stop halts the sampler. An open incident stays incomplete.
+func (f *FlightRecorder) Stop() {
+	if f == nil {
+		return
+	}
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+func (f *FlightRecorder) sampler() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			f.tick()
+		case <-f.stop:
+			return
+		}
+	}
+}
+
+// tick reads every source outside the recorder lock (sources may take their
+// own locks — engine ladders, router state) and stores one sample.
+func (f *FlightRecorder) tick() {
+	if !Enabled() {
+		return
+	}
+	vals := make([]int64, len(f.fns))
+	for i, fn := range f.fns {
+		vals[i] = fn()
+	}
+	s := FlightSample{At: time.Now().UnixNano(), Values: vals}
+	f.mu.Lock()
+	f.ring[f.pos] = s
+	f.pos++
+	if f.pos == len(f.ring) {
+		f.pos = 0
+	}
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	if f.active != nil {
+		f.active.After = append(f.active.After, s)
+		f.remaining--
+		if f.remaining <= 0 {
+			f.active.Complete = true
+			f.active = nil
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Note records one timeline annotation; while an incident is open it is also
+// appended to the incident directly.
+func (f *FlightRecorder) Note(text string) {
+	if f == nil || !Enabled() {
+		return
+	}
+	n := FlightNote{At: time.Now().UnixNano(), Text: text}
+	f.mu.Lock()
+	f.notes[f.npos] = n
+	f.npos++
+	if f.npos == len(f.notes) {
+		f.npos = 0
+	}
+	if f.nn < len(f.notes) {
+		f.nn++
+	}
+	if f.active != nil {
+		f.active.Notes = append(f.active.Notes, n)
+	}
+	f.mu.Unlock()
+}
+
+// Trigger freezes the current ring into a new incident. Triggers while an
+// incident is still collecting its after-window coalesce into a note on the
+// open incident — a failover storm yields one record, not eight overlapping
+// ones. Cheap enough to call from a router's event path.
+func (f *FlightRecorder) Trigger(reason string) {
+	if f == nil || !Enabled() {
+		return
+	}
+	now := time.Now().UnixNano()
+	f.mu.Lock()
+	if f.active != nil {
+		f.active.Notes = append(f.active.Notes, FlightNote{At: now, Text: "trigger: " + reason})
+		f.mu.Unlock()
+		return
+	}
+	inc := &Incident{
+		Reason:   reason,
+		At:       now,
+		Sources:  f.names,
+		Interval: int64(f.cfg.Interval),
+		Before:   f.ringLocked(),
+		Notes:    f.notesLocked(),
+		After:    make([]FlightSample, 0, f.cfg.PostSamples),
+	}
+	f.incidents = append(f.incidents, inc)
+	if len(f.incidents) > f.cfg.MaxIncidents {
+		f.incidents = append(f.incidents[:0], f.incidents[len(f.incidents)-f.cfg.MaxIncidents:]...)
+	}
+	f.active = inc
+	f.remaining = f.cfg.PostSamples
+	f.mu.Unlock()
+	if f.cfg.Metrics != nil {
+		f.cfg.Metrics.Counter(MetricFlightIncidents, L("reason", reason)).Inc()
+	}
+}
+
+// ringLocked copies the sample ring oldest-first. Caller holds f.mu.
+func (f *FlightRecorder) ringLocked() []FlightSample {
+	out := make([]FlightSample, 0, f.n)
+	start := f.pos - f.n
+	if start < 0 {
+		start += len(f.ring)
+	}
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.ring[(start+i)%len(f.ring)])
+	}
+	return out
+}
+
+// notesLocked copies the annotation ring oldest-first. Caller holds f.mu.
+func (f *FlightRecorder) notesLocked() []FlightNote {
+	if f.nn == 0 {
+		return nil
+	}
+	out := make([]FlightNote, 0, f.nn)
+	start := f.npos - f.nn
+	if start < 0 {
+		start += len(f.notes)
+	}
+	for i := 0; i < f.nn; i++ {
+		out = append(out, f.notes[(start+i)%len(f.notes)])
+	}
+	return out
+}
+
+// Incidents returns deep copies of the retained incidents, oldest first —
+// safe to serialize while the sampler keeps appending to an open one.
+func (f *FlightRecorder) Incidents() []Incident {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Incident, 0, len(f.incidents))
+	for _, inc := range f.incidents {
+		c := *inc
+		c.Before = append([]FlightSample(nil), inc.Before...)
+		c.After = append([]FlightSample(nil), inc.After...)
+		c.Notes = append([]FlightNote(nil), inc.Notes...)
+		out = append(out, c)
+	}
+	return out
+}
+
+// flightView is the /debug/flight JSON document.
+type flightView struct {
+	Sources    []string   `json:"sources"`
+	IntervalNs int64      `json:"interval_ns"`
+	Window     int        `json:"window"`
+	Incidents  []Incident `json:"incidents"`
+}
+
+// Handler serves the incident ring as JSON at /debug/flight.
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if f == nil {
+			_, _ = w.Write([]byte("{}"))
+			return
+		}
+		f.mu.Lock()
+		names := append([]string(nil), f.names...)
+		f.mu.Unlock()
+		v := flightView{
+			Sources:    names,
+			IntervalNs: int64(f.cfg.Interval),
+			Window:     f.cfg.Window,
+			Incidents:  f.Incidents(),
+		}
+		_ = json.NewEncoder(w).Encode(v)
+	})
+}

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func flightWait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestFlightTriggerFreezesAndCompletes(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(FlightConfig{
+		Interval: 2 * time.Millisecond, Window: 8, PostSamples: 3, Metrics: reg,
+	})
+	var v atomic.Int64
+	v.Store(10)
+	fr.AddSource("depth", v.Load)
+	fr.Start()
+	defer fr.Stop()
+
+	time.Sleep(20 * time.Millisecond) // let the before-ring fill
+	v.Store(42)
+	fr.Trigger(FlightReasonFailover)
+	flightWait(t, "incident completion", func() bool {
+		incs := fr.Incidents()
+		return len(incs) == 1 && incs[0].Complete
+	})
+	inc := fr.Incidents()[0]
+	if inc.Reason != FlightReasonFailover {
+		t.Fatalf("reason %q", inc.Reason)
+	}
+	if len(inc.Sources) != 1 || inc.Sources[0] != "depth" {
+		t.Fatalf("sources %v", inc.Sources)
+	}
+	if inc.Interval != int64(2*time.Millisecond) {
+		t.Fatalf("interval %d", inc.Interval)
+	}
+	if len(inc.Before) == 0 || len(inc.Before) > 8 {
+		t.Fatalf("before-window %d samples, want 1..8", len(inc.Before))
+	}
+	if inc.Before[0].Values[0] != 10 {
+		t.Fatalf("before sample %v, want pre-incident value 10", inc.Before[0].Values)
+	}
+	if len(inc.After) != 3 {
+		t.Fatalf("after-window %d samples, want 3", len(inc.After))
+	}
+	for _, s := range inc.After {
+		if s.Values[0] != 42 {
+			t.Fatalf("after sample %v, want post-trigger value 42", s.Values)
+		}
+	}
+	if n := reg.Counter(MetricFlightIncidents, L("reason", FlightReasonFailover)).Value(); n != 1 {
+		t.Fatalf("incident counter %d, want 1", n)
+	}
+}
+
+func TestFlightTriggerCoalescesWhileOpen(t *testing.T) {
+	// An hour-long interval keeps the incident open for the whole test: the
+	// sampler never ticks, so the after-window never fills.
+	fr := NewFlightRecorder(FlightConfig{Interval: time.Hour, Window: 4, PostSamples: 2})
+	fr.AddSource("x", func() int64 { return 1 })
+	fr.Trigger(FlightReasonFailover)
+	fr.Trigger(FlightReasonDissent) // storm: must coalesce, not open a second record
+	fr.Note("operator mark")
+	incs := fr.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("%d incidents, want 1 (second trigger must coalesce)", len(incs))
+	}
+	if incs[0].Complete {
+		t.Fatal("incident complete without after-samples")
+	}
+	var sawTrigger, sawMark bool
+	for _, n := range incs[0].Notes {
+		switch n.Text {
+		case "trigger: " + FlightReasonDissent:
+			sawTrigger = true
+		case "operator mark":
+			sawMark = true
+		}
+	}
+	if !sawTrigger || !sawMark {
+		t.Fatalf("notes %v missing coalesced trigger or open-incident note", incs[0].Notes)
+	}
+}
+
+func TestFlightNotesPreTriggerRing(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Interval: time.Hour, MaxNotes: 2})
+	fr.Note("first")  // evicted by the ring bound
+	fr.Note("second") //
+	fr.Note("third")  // retained: ["second", "third"]
+	fr.Trigger(FlightReasonDemotion)
+	inc := fr.Incidents()[0]
+	if len(inc.Notes) != 2 || inc.Notes[0].Text != "second" || inc.Notes[1].Text != "third" {
+		t.Fatalf("notes %v, want the 2 newest pre-trigger annotations", inc.Notes)
+	}
+}
+
+func TestFlightIncidentEviction(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{
+		Interval: time.Millisecond, Window: 2, PostSamples: 1, MaxIncidents: 2,
+	})
+	fr.AddSource("x", func() int64 { return 0 })
+	fr.Start()
+	defer fr.Stop()
+	for _, reason := range []string{"one", "two", "three"} {
+		fr.Trigger(reason)
+		flightWait(t, "incident "+reason+" completion", func() bool {
+			incs := fr.Incidents()
+			return len(incs) > 0 && incs[len(incs)-1].Reason == reason && incs[len(incs)-1].Complete
+		})
+	}
+	incs := fr.Incidents()
+	if len(incs) != 2 || incs[0].Reason != "two" || incs[1].Reason != "three" {
+		got := make([]string, len(incs))
+		for i := range incs {
+			got[i] = incs[i].Reason
+		}
+		t.Fatalf("retained incidents %v, want [two three]", got)
+	}
+}
+
+func TestFlightNilReceiverSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.AddSource("x", func() int64 { return 0 })
+	fr.Start()
+	fr.Note("n")
+	fr.Trigger("r")
+	fr.Stop()
+	if fr.Incidents() != nil {
+		t.Fatal("nil recorder returned incidents")
+	}
+	rr := httptest.NewRecorder()
+	fr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if body := strings.TrimSpace(rr.Body.String()); body != "{}" {
+		t.Fatalf("nil handler body %q", body)
+	}
+}
+
+func TestFlightDisabledRecordsNothing(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	fr := NewFlightRecorder(FlightConfig{Interval: time.Millisecond, PostSamples: 1})
+	fr.AddSource("x", func() int64 { return 1 })
+	fr.Start()
+	defer fr.Stop()
+	fr.Note("dropped")
+	fr.Trigger(FlightReasonSLOBreach)
+	time.Sleep(10 * time.Millisecond)
+	if incs := fr.Incidents(); len(incs) != 0 {
+		t.Fatalf("disabled recorder kept %d incidents", len(incs))
+	}
+	// Re-enabled, the same recorder works and the pre-toggle note is gone.
+	SetEnabled(true)
+	fr.Trigger(FlightReasonSLOBreach)
+	flightWait(t, "post-enable incident", func() bool {
+		incs := fr.Incidents()
+		return len(incs) == 1 && incs[0].Complete
+	})
+	for _, n := range fr.Incidents()[0].Notes {
+		if n.Text == "dropped" {
+			t.Fatal("note recorded while disabled")
+		}
+	}
+}
+
+func TestFlightHandlerJSON(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Interval: time.Hour})
+	fr.AddSource("queue", func() int64 { return 5 })
+	fr.Trigger(FlightReasonSLOBreach)
+	rr := httptest.NewRecorder()
+	fr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var v struct {
+		Sources    []string   `json:"sources"`
+		IntervalNs int64      `json:"interval_ns"`
+		Window     int        `json:"window"`
+		Incidents  []Incident `json:"incidents"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode /debug/flight: %v", err)
+	}
+	if len(v.Sources) != 1 || v.Sources[0] != "queue" {
+		t.Fatalf("sources %v", v.Sources)
+	}
+	if v.Window != 64 { // config default
+		t.Fatalf("window %d", v.Window)
+	}
+	if len(v.Incidents) != 1 || v.Incidents[0].Reason != FlightReasonSLOBreach {
+		t.Fatalf("incidents %+v", v.Incidents)
+	}
+}
+
+func TestFlightAddSourceAfterStartIgnored(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Interval: time.Millisecond, PostSamples: 1})
+	fr.AddSource("early", func() int64 { return 1 })
+	fr.Start()
+	defer fr.Stop()
+	fr.AddSource("late", func() int64 { return 2 }) // would tear sample shape
+	fr.Trigger("x")
+	flightWait(t, "incident completion", func() bool {
+		incs := fr.Incidents()
+		return len(incs) == 1 && incs[0].Complete
+	})
+	inc := fr.Incidents()[0]
+	if len(inc.Sources) != 1 || inc.Sources[0] != "early" {
+		t.Fatalf("sources %v, want only the pre-Start registration", inc.Sources)
+	}
+	if len(inc.After[0].Values) != 1 {
+		t.Fatalf("sample width %d, want 1", len(inc.After[0].Values))
+	}
+}

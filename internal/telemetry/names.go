@@ -94,6 +94,37 @@ const (
 	MetricClusterStageDissent = "mvtee_cluster_stage_digest_mismatch_total"
 	MetricClusterFwdBytes     = "mvtee_cluster_forward_bytes_total"
 	MetricClusterRouteNs      = "mvtee_cluster_route_latency_ns"
+
+	// Cluster observability plane (trace federation + metrics federation).
+	// Span reports are the replica->router span-harvest frames; span bytes
+	// are accounted separately from MetricClusterFwdBytes so observability
+	// traffic never skews the digest-vs-tensor forwarding cost split.
+	MetricClusterSpanReports = "mvtee_cluster_span_reports_total"
+	MetricClusterSpansMerged = "mvtee_cluster_spans_merged_total"
+	MetricClusterSpanBytes   = "mvtee_cluster_span_report_bytes_total"
+	MetricClusterMetricPolls = "mvtee_cluster_metric_polls_total"
+
+	// Tracer series: gauges mirroring the span ring's cumulative recorded and
+	// evicted counts (like MetricEventsDropped, refreshed at /metrics scrape).
+	MetricTraceSpansRecorded = "mvtee_trace_spans_recorded"
+	MetricTraceSpansDropped  = "mvtee_trace_spans_dropped"
+
+	// Flight recorder series: incidents carry a reason label (FlightReason*).
+	MetricFlightIncidents = "mvtee_flight_incidents_total"
+
+	// Derived SLO burn rate per tenant, in milli-units (1000 = burning the
+	// error budget exactly as fast as it accrues), computed at /metrics/cluster
+	// scrape time from the latency histogram delta since the previous scrape.
+	MetricServeSLOBurnMilli = "mvtee_serve_slo_burn_rate_milli"
+)
+
+// Flight-recorder trigger reason label values for MetricFlightIncidents.
+const (
+	FlightReasonFailover    = "failover"
+	FlightReasonDissent     = "dissent"
+	FlightReasonReplicaDown = "replica_down"
+	FlightReasonDemotion    = "ladder_demotion"
+	FlightReasonSLOBreach   = "slo_breach"
 )
 
 // Forward plane label values for MetricClusterFwdBytes: input dispatch

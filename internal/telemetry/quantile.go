@@ -55,6 +55,24 @@ func (s HistState) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// FractionAbove estimates the fraction of observations whose value exceeded
+// bound, counting every bucket whose full range lies above it — a
+// conservative floor, off by at most the one straddling bucket. The SLO
+// burn-rate gauges divide this (fraction of requests over the tenant's
+// latency objective) by the error budget. Returns 0 with no observations.
+func (s HistState) FractionAbove(bound uint64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	var above uint64
+	for i := 1; i < HistBuckets; i++ { // bucket 0 is exactly 0, never above
+		if n := s.Buckets[i]; n > 0 && uint64(1)<<uint(i-1) > bound {
+			above += n
+		}
+	}
+	return float64(above) / float64(s.Count)
+}
+
 // Quantile approximates the q-quantile (q in [0,1]) from the log2 buckets by
 // linear interpolation inside the bucket holding the target rank. The error
 // is bounded by the bucket width (at most 2x), which is enough resolution to

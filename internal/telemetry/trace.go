@@ -11,14 +11,17 @@ import (
 // the batch-scoped TraceID minted at Submit and carried through the wire
 // header; Batch is the engine-assigned batch ID; Stage is -1 for spans that
 // are not stage-scoped (batch, variant-compute on the variant side); Variant
-// is empty for monitor-side aggregate spans. Times are UnixNano so the ring
-// holds no pointers.
+// is empty for monitor-side aggregate spans; Replica names the cluster node
+// that recorded the span — set by the router when merging a replica's
+// harvested spans into its own ring, empty for spans recorded in-process.
+// Times are UnixNano so the ring holds no pointers.
 type Span struct {
 	Trace   uint64 `json:"trace"`
 	Batch   uint64 `json:"batch"`
 	Name    string `json:"name"`
 	Stage   int    `json:"stage"`
 	Variant string `json:"variant,omitempty"`
+	Replica string `json:"replica,omitempty"`
 	Start   int64  `json:"start_ns"`
 	End     int64  `json:"end_ns"`
 }
@@ -94,6 +97,18 @@ func (t *Tracer) Snapshot() []Span {
 	return out
 }
 
+// Dropped returns how many recorded spans have been evicted from the ring —
+// the tracer's loss count, surfaced as a metric so operators can tell when
+// -trace-ring is undersized for the traffic.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(t.n)
+}
+
 // SpansFor returns the retained spans with the given trace ID, oldest first.
 func (t *Tracer) SpansFor(trace uint64) []Span {
 	all := t.Snapshot()
@@ -102,6 +117,42 @@ func (t *Tracer) SpansFor(trace uint64) []Span {
 		if s.Trace == trace {
 			out = append(out, s)
 		}
+	}
+	return out
+}
+
+// SpansForRecent returns up to maxSpans retained spans with the given trace
+// ID, scanning only the most recent maxScan ring entries (non-positive scans
+// everything). A just-completed batch's spans live at the young end of the
+// ring, so replica-side span harvesting — which runs once per delivered batch
+// — pays a cost bounded by the scan window, not the ring capacity. Results
+// are oldest first, like SpansFor.
+func (t *Tracer) SpansForRecent(trace uint64, maxScan, maxSpans int) []Span {
+	if t == nil || trace == 0 || maxSpans == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.n
+	if maxScan > 0 && n > maxScan {
+		n = maxScan
+	}
+	var out []Span
+	for i := 0; i < n; i++ {
+		idx := t.pos - 1 - i
+		if idx < 0 {
+			idx += len(t.ring)
+		}
+		if t.ring[idx].Trace == trace {
+			out = append(out, t.ring[idx])
+			if maxSpans > 0 && len(out) == maxSpans {
+				break
+			}
+		}
+	}
+	// The scan walked newest-to-oldest; flip to the canonical order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
 	}
 	return out
 }

@@ -14,6 +14,7 @@ import (
 	"slices"
 
 	"repro/internal/securechan"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -41,6 +42,11 @@ const (
 	TReplicaHello  // replica -> router: registration (model interface, variant set)
 	TReplicaStatus // replica -> router: ladder/spare health heartbeat
 	TReplicaTune   // router -> replica: controller knob scoped to one replica
+
+	// Cluster observability plane (trace + metrics federation).
+	TSpanReport    // replica -> router: harvested spans for one batch
+	TMetricsPoll   // router -> replica: registry snapshot request
+	TMetricsReport // replica -> router: registry snapshot answering a poll
 )
 
 // Msg is a decoded wire message.
@@ -190,6 +196,34 @@ type ReplicaTune struct {
 	InflightWindow int `json:"inflight_window"`
 }
 
+// SpanReport ships one batch's replica-side spans back to the router,
+// piggybacked on the replica connection right after the batch's result or
+// vote — the trace-federation plane. ID is the router batch ID; Replica is
+// the sender's hello identity, which the router stamps into each span's
+// Replica field as it merges them into its own ring (the field is not
+// encoded on the wire). The replica bounds spans per batch, so the frame
+// stays compact.
+type SpanReport struct {
+	ID      uint64
+	Replica string
+	Spans   []telemetry.Span
+}
+
+// MetricsPoll requests a replica registry snapshot over the status channel
+// (metrics federation: no extra HTTP surface on replicas). Seq matches a
+// report to its poll cycle.
+type MetricsPoll struct {
+	Seq uint64 `json:"seq"`
+}
+
+// MetricsReport answers a MetricsPoll with the replica registry's snapshot.
+// It rides the JSON control-message path: polls run on a seconds cadence, so
+// compactness doesn't matter the way it does for the per-batch planes.
+type MetricsReport struct {
+	Seq    uint64                     `json:"seq"`
+	Series []telemetry.MetricSnapshot `json:"series"`
+}
+
 func (*Provision) wireType() Type  { return TProvision }
 func (*AssignKey) wireType() Type  { return TAssignKey }
 func (*Installed) wireType() Type  { return TInstalled }
@@ -208,6 +242,9 @@ func (*Digest) wireType() Type        { return TDigest }
 func (*ReplicaHello) wireType() Type  { return TReplicaHello }
 func (*ReplicaStatus) wireType() Type { return TReplicaStatus }
 func (*ReplicaTune) wireType() Type   { return TReplicaTune }
+func (*SpanReport) wireType() Type    { return TSpanReport }
+func (*MetricsPoll) wireType() Type   { return TMetricsPoll }
+func (*MetricsReport) wireType() Type { return TMetricsReport }
 
 // ErrDecode reports a malformed wire message.
 var ErrDecode = errors.New("wire: malformed message")
@@ -224,6 +261,10 @@ func Marshal(m Msg) ([]byte, error) {
 	case *Digest:
 		out := make([]byte, digestMsgLen)
 		encodeDigestMsg(out, v)
+		return out, nil
+	case *SpanReport:
+		out := make([]byte, v.EncodedLen())
+		encodeSpanReportMsg(out, v)
 		return out, nil
 	default:
 		b, err := json.Marshal(m)
@@ -271,8 +312,14 @@ func Unmarshal(b []byte) (Msg, error) {
 		m = &ReplicaStatus{}
 	case TReplicaTune:
 		m = &ReplicaTune{}
+	case TMetricsPoll:
+		m = &MetricsPoll{}
+	case TMetricsReport:
+		m = &MetricsReport{}
 	case TDigest:
 		return decodeDigestMsg(payload)
+	case TSpanReport:
+		return decodeSpanReportMsg(payload)
 	case TBatch:
 		id, trace, _, _, ts, err := unmarshalTensorMsg(payload)
 		if err != nil {
@@ -316,6 +363,11 @@ func MarshalBuf(m Msg) (*securechan.Buf, error) {
 	case *Digest:
 		buf := securechan.GetBuf(digestMsgLen)
 		encodeDigestMsg(buf.Grow(digestMsgLen), v)
+		return buf, nil
+	case *SpanReport:
+		n := v.EncodedLen()
+		buf := securechan.GetBuf(n)
+		encodeSpanReportMsg(buf.Grow(n), v)
 		return buf, nil
 	default:
 		b, err := json.Marshal(m)
@@ -386,6 +438,93 @@ func MarshalDigest(d *Digest) *securechan.Buf {
 	buf := securechan.GetBuf(digestMsgLen)
 	encodeDigestMsg(buf.Grow(digestMsgLen), d)
 	return buf
+}
+
+// --- span report codec -------------------------------------------------------
+
+// spanFixed is the per-span fixed portion: trace, batch, stage, start, end.
+const spanFixed = 8 + 8 + 4 + 8 + 8
+
+// spanMinLen is the smallest encoded span (empty name and variant strings) —
+// the decoder's allocation guard against forged counts.
+const spanMinLen = spanFixed + 2 + 2
+
+// EncodedLen returns the binary payload size of the report, shared by the
+// codec and the router's span-plane byte accounting (the receive side would
+// otherwise have to re-encode just to charge bytes).
+func (r *SpanReport) EncodedLen() int {
+	n := 1 + 8 + 2 + len(r.Replica) + 2
+	for i := range r.Spans {
+		n += spanMinLen + len(r.Spans[i].Name) + len(r.Spans[i].Variant)
+	}
+	return n
+}
+
+// encodeSpanReportMsg writes the report into dst (sized by EncodedLen):
+// tag, batch ID, replica string, span count, then per span the fixed fields
+// and name/variant strings. Span.Replica is never encoded — the router stamps
+// it from the report header on merge.
+func encodeSpanReportMsg(dst []byte, r *SpanReport) {
+	dst[0] = byte(TSpanReport)
+	binary.LittleEndian.PutUint64(dst[1:], r.ID)
+	off := 9
+	off += putStrAt(dst[off:], r.Replica)
+	binary.LittleEndian.PutUint16(dst[off:], uint16(len(r.Spans)))
+	off += 2
+	for i := range r.Spans {
+		s := &r.Spans[i]
+		binary.LittleEndian.PutUint64(dst[off:], s.Trace)
+		binary.LittleEndian.PutUint64(dst[off+8:], s.Batch)
+		binary.LittleEndian.PutUint32(dst[off+16:], uint32(int32(s.Stage)))
+		binary.LittleEndian.PutUint64(dst[off+20:], uint64(s.Start))
+		binary.LittleEndian.PutUint64(dst[off+28:], uint64(s.End))
+		off += spanFixed
+		off += putStrAt(dst[off:], s.Name)
+		off += putStrAt(dst[off:], s.Variant)
+	}
+}
+
+func decodeSpanReportMsg(payload []byte) (*SpanReport, error) {
+	if len(payload) < 8+2+2 {
+		return nil, fmt.Errorf("%w: span report header", ErrDecode)
+	}
+	r := &SpanReport{ID: binary.LittleEndian.Uint64(payload)}
+	b := payload[8:]
+	var err error
+	if r.Replica, b, err = readStr(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: span report count", ErrDecode)
+	}
+	count := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if count*spanMinLen > len(b) {
+		return nil, fmt.Errorf("%w: span report truncated", ErrDecode)
+	}
+	r.Spans = make([]telemetry.Span, count)
+	for i := 0; i < count; i++ {
+		if len(b) < spanFixed {
+			return nil, fmt.Errorf("%w: span %d", ErrDecode, i)
+		}
+		s := &r.Spans[i]
+		s.Trace = binary.LittleEndian.Uint64(b)
+		s.Batch = binary.LittleEndian.Uint64(b[8:])
+		s.Stage = int(int32(binary.LittleEndian.Uint32(b[16:])))
+		s.Start = int64(binary.LittleEndian.Uint64(b[20:]))
+		s.End = int64(binary.LittleEndian.Uint64(b[28:]))
+		b = b[spanFixed:]
+		if s.Name, b, err = readStr(b); err != nil {
+			return nil, err
+		}
+		if s.Variant, b, err = readStr(b); err != nil {
+			return nil, err
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: span report trailing bytes", ErrDecode)
+	}
+	return r, nil
 }
 
 // RetagVerify flips an encoded Batch payload (from MarshalBatch) into a

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Render the bench-trend branch (scripts/benchtrend.sh's append-only history
+# of per-commit BENCH json) as SVG ns/op trend curves, one panel per gated
+# hot-path series.
+#
+#   ./scripts/benchplot.sh                  # -> bench-trend.svg
+#   ./scripts/benchplot.sh out.svg -all     # every series, custom path
+#
+# Read-only plumbing: blobs are extracted with cat-file into a temp dir; the
+# working tree and branches are never touched. Extra args after the output
+# path are passed through to the plotter (e.g. -all).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BRANCH=refs/heads/bench-trend
+OUT="${1:-bench-trend.svg}"
+[ $# -gt 0 ] && shift
+
+if ! git rev-parse -q --verify "$BRANCH" >/dev/null; then
+    echo "benchplot: no bench-trend branch — run scripts/benchtrend.sh (or fetch origin bench-trend) first" >&2
+    exit 2
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Flat tree of <utc-stamp>-<shortsha>.json: lexical order is chronological.
+git ls-tree --name-only "$BRANCH" | sort | while read -r name; do
+    git cat-file blob "$BRANCH:$name" > "$TMP/$name"
+done
+
+go run ./scripts/benchplot -o "$OUT" "$@" "$TMP"/*.json

@@ -1,0 +1,171 @@
+// Benchplot renders ns/op trend curves from a sequence of BENCH_<rev>.json
+// perf reports — typically the flat file history on the bench-trend branch —
+// as a standalone SVG: one panel per benchmark series, reports in the order
+// given (bench-trend filenames sort chronologically, so shell globbing is
+// enough). By default only the regression-gated hot-path families are
+// plotted; -all renders every series present in at least one report.
+//
+//	go run ./scripts/benchplot -o bench-trend.svg trend/*.json
+//
+// Stdlib + internal/bench only: CI renders the artifact with no extra deps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+type point struct {
+	x  int // report index in chronological order
+	ns float64
+}
+
+func gated(name string) bool {
+	for _, p := range bench.GatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	out := flag.String("o", "bench-trend.svg", "output SVG path")
+	all := flag.Bool("all", false, "plot every series, not just the gated hot-path families")
+	flag.Parse()
+	reports := flag.Args()
+	if len(reports) == 0 {
+		fmt.Fprintln(os.Stderr, "benchplot: no report files given")
+		os.Exit(2)
+	}
+
+	series := map[string][]point{}
+	labels := make([]string, 0, len(reports))
+	for i, path := range reports {
+		rep, err := bench.ReadPerfJSON(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchplot: %v\n", err)
+			os.Exit(1)
+		}
+		label := rep.Rev
+		if base := filepath.Base(path); strings.HasPrefix(base, "2") {
+			// bench-trend names (<utc-stamp>-<shortsha>.json) carry more
+			// identity than the rev label, which is "trend" for every run.
+			label = strings.TrimSuffix(base, ".json")
+		}
+		labels = append(labels, label)
+		for _, r := range rep.Results {
+			if r.NsPerOp <= 0 || (!*all && !gated(r.Name)) {
+				continue
+			}
+			series[r.Name] = append(series[r.Name], point{x: i, ns: r.NsPerOp})
+		}
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchplot: no plottable series in the given reports")
+		os.Exit(1)
+	}
+
+	if err := os.WriteFile(*out, []byte(render(names, series, labels)), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchplot: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchplot: %s (%d series over %d reports)\n", *out, len(names), len(reports))
+}
+
+// Panel geometry: small multiples in two columns, fixed plot box per series.
+const (
+	panelW, panelH = 460, 140
+	plotL, plotR   = 10, 330 // polyline x-range within a panel
+	plotT, plotB   = 26, 122 // polyline y-range within a panel
+	columns        = 2
+)
+
+func render(names []string, series map[string][]point, labels []string) string {
+	rows := (len(names) + columns - 1) / columns
+	width, height := columns*panelW, rows*panelH+18
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	span := len(labels) - 1
+	if span < 1 {
+		span = 1
+	}
+	xpos := func(i int) float64 {
+		return plotL + float64(i)/float64(span)*(plotR-plotL)
+	}
+	for idx, name := range names {
+		ox := (idx % columns) * panelW
+		oy := (idx / columns) * panelH
+		pts := series[name]
+		lo, hi := pts[0].ns, pts[0].ns
+		for _, p := range pts {
+			lo, hi = min(lo, p.ns), max(hi, p.ns)
+		}
+		if hi == lo { // flat series still needs a non-degenerate scale
+			hi = lo + 1
+		}
+		pad := 0.05 * (hi - lo)
+		lo, hi = lo-pad, hi+pad
+		ypos := func(ns float64) float64 {
+			return plotB - (ns-lo)/(hi-lo)*(plotB-plotT)
+		}
+
+		fmt.Fprintf(&b, `<g transform="translate(%d,%d)">`+"\n", ox, oy)
+		fmt.Fprintf(&b, `<text x="%d" y="14" font-weight="bold">%s</text>`+"\n", plotL, xmlEscape(name))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#ccc"/>`+"\n",
+			plotL, plotT, plotR-plotL, plotB-plotT)
+		coords := make([]string, len(pts))
+		for i, p := range pts {
+			coords[i] = fmt.Sprintf("%.1f,%.1f", xpos(p.x), ypos(p.ns))
+		}
+		if len(pts) == 1 {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="#1f77b4"/>`+"\n",
+				xpos(pts[0].x), ypos(pts[0].ns))
+		} else {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#1f77b4" stroke-width="1.5"/>`+"\n",
+				strings.Join(coords, " "))
+		}
+		last := pts[len(pts)-1]
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">%s</text>`+"\n", plotR+8, plotT+8, fmtNs(hi-pad))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">%s</text>`+"\n", plotR+8, plotB, fmtNs(lo+pad))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#1f77b4">now %s</text>`+"\n",
+			plotR+8, (plotT+plotB)/2+4, fmtNs(last.ns))
+		b.WriteString("</g>\n")
+	}
+	// One shared x-axis caption: first and last report identity.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">%s → %s</text>`+"\n",
+		plotL, height-5, xmlEscape(labels[0]), xmlEscape(labels[len(labels)-1]))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
