@@ -46,6 +46,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
+	"repro/internal/transcript"
 	"repro/internal/wire"
 )
 
@@ -72,7 +73,9 @@ func main() {
 	demo := flag.Int("demo", 4, "demo batches to run after bring-up (0 = wait forever)")
 	pipelined := flag.Bool("pipelined", false, "stream demo batches (pipelined) instead of sequential")
 	telemetryAddr := flag.String("telemetry-addr", "",
-		"operator telemetry HTTP listen address (e.g. 127.0.0.1:9090) serving /metrics, /trace, /events and /debug/pprof/; empty disables")
+		"operator telemetry HTTP listen address (e.g. 127.0.0.1:9090) serving /metrics, /trace, /events, /audit and /debug/pprof/; empty disables")
+	audit := flag.Bool("audit", true,
+		"record a verifiable inference transcript (signed Merkle audit log) served at GET /audit on -telemetry-addr")
 	traceRing := flag.Int("trace-ring", 8192,
 		"span ring capacity behind /trace and cluster trace federation; evictions surface on mvtee_trace_spans_dropped")
 	serveAddr := flag.String("serve-addr", "",
@@ -123,6 +126,7 @@ func main() {
 		demo:           *demo,
 		pipelined:      *pipelined,
 		telemetryAddr:  *telemetryAddr,
+		audit:          *audit,
 		serveAddr:      *serveAddr,
 		serveMaxBatch:  *serveMaxBatch,
 		serveMaxDelay:  *serveMaxDelay,
@@ -151,6 +155,7 @@ type runOptions struct {
 	demo                int
 	pipelined           bool
 	telemetryAddr       string
+	audit               bool
 	serveAddr           string
 	serveMaxBatch       int
 	serveMaxDelay       time.Duration
@@ -383,6 +388,22 @@ func run(opts runOptions) error {
 		})
 	}
 
+	// Verifiable transcript: heads are signed by this monitor enclave, so an
+	// offline auditor holding the bundle's platform identity can verify them
+	// without trusting the serving host. Installed before the engine build
+	// (EngineConfig snapshots the recorder).
+	var rec *transcript.Recorder
+	if opts.audit {
+		rec = transcript.NewRecorder(transcript.Config{
+			Signer:   monEncl,
+			Model:    meta.ModelDigest(),
+			Bindings: func() transcript.Hash { return mon.BindingsDigest() },
+			Metrics:  telemetry.Default,
+		})
+		defer rec.Close()
+		mon.SetTranscript(rec)
+	}
+
 	stages := make([]monitor.StageSpec, len(set.Partitions))
 	for pi, p := range set.Partitions {
 		for _, in := range p.Inputs {
@@ -410,6 +431,10 @@ func run(opts runOptions) error {
 	if opts.telemetryAddr != "" {
 		mux := telemetry.NewMux(telemetry.Default, telemetry.DefaultTracer)
 		mux.Handle("/events", telemetry.SSE(eng.EventBus()))
+		if rec != nil {
+			mux.Handle("/audit", transcript.Handler(rec,
+				transcript.HandlerConfig{Bindings: func() any { return mon.Bindings() }}))
+		}
 		tln, err := net.Listen("tcp", opts.telemetryAddr)
 		if err != nil {
 			return fmt.Errorf("telemetry listen: %w", err)

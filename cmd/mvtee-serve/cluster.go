@@ -6,12 +6,15 @@ import (
 	"net"
 	"strings"
 
+	"repro/internal/attest"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/enclave"
+	"repro/internal/monitor"
 	"repro/internal/securechan"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
+	"repro/internal/transcript"
 )
 
 // runCluster fronts a set of remote mvtee-monitor replicas instead of an
@@ -99,10 +102,52 @@ func runCluster(o options) error {
 		}
 	}
 
+	// The router process has no engine, so it owns the event bus here:
+	// /events streams flight incidents (and anything else the front end
+	// publishes) exactly as the in-process path does.
+	events := telemetry.NewBus[monitor.Event](256)
+
 	// The flight recorder must exist before the router: cluster health
 	// triggers (failover, dissent, replica loss, demotion) fire from the
 	// router's event path.
-	flight := newFlightRecorder()
+	flight := newFlightRecorder(events)
+
+	// The routing tier's transcript: one audit leaf per routed batch, the
+	// leader's checkpoint digests plus every follower's vote. Heads are
+	// signed by a router identity enclave launched from the bundle's shared
+	// platform (the simulated analogue of the routing tier running in its
+	// own TEE); without the bundle's private platform the heads go unsigned
+	// and offline verification will reject them.
+	var rec *transcript.Recorder
+	if o.audit {
+		var signer attest.Attester
+		if o.replicaBundle != "" {
+			if plat, err := core.LoadPlatform(o.replicaBundle); err != nil {
+				log.Printf("WARNING: %v: transcript heads will be unsigned", err)
+			} else if encl, err := plat.Launch(core.RouterImage()); err != nil {
+				return fmt.Errorf("launch router identity enclave: %w", err)
+			} else {
+				signer = encl
+			}
+		} else {
+			log.Printf("WARNING: no -replica-bundle: transcript heads will be unsigned")
+		}
+		var model transcript.Hash
+		if o.replicaBundle != "" {
+			if meta, err := core.LoadMeta(o.replicaBundle); err == nil {
+				model = meta.ModelDigest()
+			}
+		}
+		rec = transcript.NewRecorder(transcript.Config{
+			Signer:      signer,
+			Model:       model,
+			HeadEvery:   o.auditHeadEvery,
+			SampleEvery: o.auditSample,
+			Metrics:     telemetry.Default,
+		})
+		defer rec.Close()
+	}
+
 	router, err := cluster.NewRouter(cluster.RouterConfig{
 		Replicas:     reps,
 		Verify:       o.clusterVerify,
@@ -112,6 +157,7 @@ func runCluster(o options) error {
 		Metrics:      telemetry.Default,
 		Tracer:       telemetry.DefaultTracer,
 		Flight:       flight,
+		Transcript:   rec,
 	})
 	if err != nil {
 		return err
@@ -124,5 +170,6 @@ func runCluster(o options) error {
 	// admission-time shape validation exactly as the in-process path does.
 	o.serveCfg.ItemShapes = hello.ItemShapes
 	var eng serve.Engine = router
-	return frontend(o, eng, router, nil, nil, observability{flight: flight, router: router})
+	return frontend(o, eng, router, nil, events,
+		observability{flight: flight, router: router, audit: rec})
 }

@@ -42,6 +42,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
+	"repro/internal/transcript"
 )
 
 func main() {
@@ -61,6 +62,10 @@ func main() {
 	epoch := flag.Duration("control-epoch", 500*time.Millisecond, "control-plane decision tick")
 	binaryProto := flag.Bool("binary-protocol", true,
 		"accept the application/x-mvtee-tensor binary streaming content type on /v1/infer (JSON always stays on)")
+	audit := flag.Bool("audit", true,
+		"record a verifiable inference transcript (signed Merkle audit log) and serve it at GET /audit on -telemetry-addr; mvtee-tool verify consumes it")
+	auditHeadEvery := flag.Int("audit-head-every", 32, "sign a new transcript tree head every N leaves")
+	auditSample := flag.Int("audit-sample", 16, "retain every Nth batch's inputs for offline replay (-1 disables sampling)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"operator telemetry HTTP listen address serving /metrics, /trace, /events, /debug/flight and /debug/pprof/ (plus /metrics/cluster in cluster mode); empty disables")
@@ -111,6 +116,9 @@ func main() {
 		clusterVerify:  *clusterVerify,
 		clusterSync:    *clusterSync,
 		clusterForward: *clusterForward,
+		audit:          *audit,
+		auditHeadEvery: *auditHeadEvery,
+		auditSample:    *auditSample,
 	}
 	if o.replicas != "" {
 		err = runCluster(o)
@@ -138,6 +146,9 @@ type options struct {
 	clusterVerify    int
 	clusterSync      bool
 	clusterForward   string
+	audit            bool
+	auditHeadEvery   int
+	auditSample      int
 }
 
 // parseTenants parses "name:weight[:slo_ms]" entries; sloDefaultMs (if > 0)
@@ -198,6 +209,10 @@ func run(o options) error {
 			Criteria: []mvtee.Criterion{{Metric: mvtee.AllClose, RTol: 5e-2, ATol: 1e-3}},
 		},
 		Encrypt: true,
+		// The transcript recorder signs with the monitor enclave, which only
+		// exists after bring-up — so the engine build is deferred, the
+		// recorder installed, and the engine rebuilt below before starting.
+		DeferEngineStart: true,
 	})
 	if err != nil {
 		return fmt.Errorf("deploy: %w", err)
@@ -205,14 +220,41 @@ func run(o options) error {
 	defer dep.Close()
 	log.Printf("deployed %s: %d stages, MVX on stage %d", o.model, o.stages, o.mvxStage)
 
+	var rec *transcript.Recorder
+	var bindings func() any
+	var identity []byte
+	if o.audit {
+		rec = transcript.NewRecorder(transcript.Config{
+			Signer:      dep.Monitor.Enclave(),
+			Model:       transcript.Hash(bundle.ModelDigest()),
+			Bindings:    func() transcript.Hash { return dep.Monitor.BindingsDigest() },
+			HeadEvery:   o.auditHeadEvery,
+			SampleEvery: o.auditSample,
+			Metrics:     telemetry.Default,
+		})
+		defer rec.Close()
+		dep.Monitor.SetTranscript(rec)
+		if _, err := dep.RebuildEngine(); err != nil {
+			return fmt.Errorf("rebuild engine with transcript: %w", err)
+		}
+		bindings = func() any { return dep.Monitor.Bindings() }
+		if identity, err = dep.PlatformIdentity(); err != nil {
+			return fmt.Errorf("export platform identity: %w", err)
+		}
+		log.Printf("audit transcript on: head every %d leaves, replay sample every %d batches", o.auditHeadEvery, o.auditSample)
+	}
+	dep.Start()
+
 	// Declare the model's input interface so malformed requests die at
 	// admission instead of inside the engine.
 	o.serveCfg.ItemShapes = make(map[string][]int, len(bundle.Model.Inputs))
 	for _, vi := range bundle.Model.Inputs {
 		o.serveCfg.ItemShapes[vi.Name] = vi.Shape
 	}
-	return frontend(o, dep.Engine, dep.Engine, dep.Monitor, dep.Engine.EventBus(),
-		observability{flight: newFlightRecorder()})
+	events := dep.Engine.EventBus()
+	return frontend(o, dep.Engine, dep.Engine, dep.Monitor, events,
+		observability{flight: newFlightRecorder(events), audit: rec,
+			auditBindings: bindings, auditIdentity: identity})
 }
 
 // frontend runs the serving front door — batching server, adaptive control
@@ -281,6 +323,10 @@ func frontend(o options, eng serve.Engine, pipeline control.Pipeline,
 			mux.Handle("/events", telemetry.SSE(events))
 		}
 		mux.Handle("/debug/flight", obs.flight.Handler())
+		if obs.audit != nil {
+			mux.Handle("/audit", transcript.Handler(obs.audit,
+				transcript.HandlerConfig{Bindings: obs.auditBindings, Identity: obs.auditIdentity}))
+		}
 		if obs.router != nil {
 			mux.Handle("/metrics/cluster",
 				clusterMetricsHandler(obs.router, newSLOBurn(o.serveCfg.Tenants)))

@@ -4,20 +4,30 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/control"
 	"repro/internal/monitor"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
+	"repro/internal/transcript"
 )
 
 // observability bundles the serving process's cluster-observability surfaces:
-// the flight recorder behind /debug/flight and (cluster mode) the router
-// whose federated state backs /metrics/cluster.
+// the flight recorder behind /debug/flight, (cluster mode) the router whose
+// federated state backs /metrics/cluster, and the transcript recorder behind
+// GET /audit.
 type observability struct {
 	flight *telemetry.FlightRecorder
 	router *cluster.Router // nil outside cluster mode
+	// audit is the verifiable-transcript recorder; nil disables /audit.
+	// auditBindings publishes the binding records alongside the head so
+	// offline verifiers can recompute the bindings digest; auditIdentity is
+	// the signing platform's public identity for TOFU auditors.
+	audit         *transcript.Recorder
+	auditBindings func() any
+	auditIdentity []byte
 }
 
 // newFlightRecorder builds the serving tier's failover black box over the
@@ -26,10 +36,23 @@ type observability struct {
 // before/after incident whenever a trigger fires (failover, dissent, replica
 // loss, ladder demotion, SLO breach). Registry handles are get-or-create, so
 // registering sources before the emitting subsystems start is safe — they
-// read zero until the real writers come up.
-func newFlightRecorder() *telemetry.FlightRecorder {
+// read zero until the real writers come up. When events is non-nil every new
+// incident is also published on it, so /events streams incidents live
+// alongside the engine's own security events.
+func newFlightRecorder(events *telemetry.Bus[monitor.Event]) *telemetry.FlightRecorder {
 	reg := telemetry.Default
-	fr := telemetry.NewFlightRecorder(telemetry.FlightConfig{Metrics: reg})
+	cfg := telemetry.FlightConfig{Metrics: reg}
+	if events != nil {
+		cfg.OnIncident = func(inc telemetry.Incident) {
+			events.Publish(monitor.Event{
+				Kind:   monitor.EventFlightIncident,
+				Stage:  -1,
+				Detail: inc.Reason,
+				Time:   time.Unix(0, inc.At),
+			})
+		}
+	}
+	fr := telemetry.NewFlightRecorder(cfg)
 	gauge := func(name, metric string) {
 		g := reg.Gauge(metric)
 		fr.AddSource(name, g.Value)

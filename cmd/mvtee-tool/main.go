@@ -16,6 +16,10 @@
 //	trace     [-addr URL] TRACE_ID
 //	    fetch one trace from a telemetry endpoint and pretty-print the
 //	    cross-node span tree (indented by hop, with durations)
+//	verify    -addr URL [-bundle DIR] [-trace HEX] [-head-file F]
+//	    audit a serving tier's verifiable inference transcript: verify the
+//	    signed Merkle tree head, inclusion/consistency proofs, and replay
+//	    the newest sampled batch through a locally built engine
 //
 // Example:
 //
@@ -65,6 +69,8 @@ func main() {
 		err = runInfer(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
+	case "verify":
+		err = runVerify(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -86,7 +92,9 @@ func usage() {
   build     -model NAME -out DIR [-targets 5] [-specs replica|real|hardened] [-seed N]
   rotate    -bundle DIR [-entry setN/pN/SPEC]   (re-key pool entries, §6.5)
   infer     -addr URL [-binary] [-tenant T] [-priority P] -input name=1x3x32x32 [-seed N]
-  trace     [-addr URL] TRACE_ID   (pretty-print one federated trace from /trace)`)
+  trace     [-addr URL] TRACE_ID   (pretty-print one federated trace from /trace)
+  verify    -addr URL [-bundle DIR] [-trace HEX] [-head-file F]   (audit the signed
+            inference transcript: head signature, proofs, bitwise replay)`)
 }
 
 func modelFlags(fs *flag.FlagSet) (*string, *models.Config) {

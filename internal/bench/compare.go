@@ -36,6 +36,7 @@ var GatedPrefixes = []string{
 	"cluster/forward/digest/",
 	"cluster/serve/16c/2r/",
 	"serve/16c/offload200-single",
+	"transcript/",
 }
 
 // DefaultRegressionThreshold is the fractional ns/op slowdown on a gated

@@ -87,7 +87,10 @@ func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
 	}
 	if rep.NumCPU == 1 {
 		rep.Note = "single-core host: parallel (pN) levels measure worker-pool " +
-			"dispatch overhead only; row-panel scaling requires real cores"
+			"dispatch overhead only; row-panel scaling requires real cores; " +
+			"transcript/engine-hotpath on/off deltas include the recorder " +
+			"worker's amortized hashing CPU (no spare core absorbs it) — the " +
+			"hot-path stall itself is transcript/record/checkpoint"
 	}
 	if note != "" {
 		if rep.Note != "" {
@@ -119,6 +122,9 @@ func RunPerf(rev, note string, progress io.Writer) (PerfReport, error) {
 		return rep, err
 	}
 	if err := perfTelemetry(add, emit); err != nil {
+		return rep, err
+	}
+	if err := perfTranscript(add, emit); err != nil {
 		return rep, err
 	}
 	rep.Telemetry = telemetry.Default.Snapshot()

@@ -15,6 +15,7 @@ import (
 	"repro/internal/securechan"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
+	"repro/internal/transcript"
 	"repro/internal/wire"
 )
 
@@ -87,10 +88,12 @@ func echoVariant(id, outName string, vc securechan.Conn) {
 	}
 }
 
-// telemetryBenchEngine builds a two-stage pipeline (x→y→z) with nVariants
-// replicas at each stage, served by in-process echo variants over plain pipes
-// so the benchmark isolates engine orchestration cost from AEAD cost.
-func telemetryBenchEngine(nVariants int) (*monitor.Engine, error) {
+// benchEngine builds a two-stage pipeline (x→y→z) with nVariants replicas at
+// each stage, served by in-process echo variants over plain pipes so the
+// benchmark isolates engine orchestration cost from AEAD cost. rec, when
+// non-nil, attaches a transcript recorder to the engine (the transcript
+// overhead pair); the telemetry pair passes nil.
+func benchEngine(nVariants int, rec *transcript.Recorder) (*monitor.Engine, error) {
 	stage := func(idx int, outName string) monitor.StageSpec {
 		ins := []string{"x"}
 		if idx > 0 {
@@ -109,6 +112,7 @@ func telemetryBenchEngine(nVariants int) (*monitor.Engine, error) {
 		GraphInputs:  []string{"x"},
 		GraphOutputs: []string{"z"},
 		Stages:       []monitor.StageSpec{stage(0, "y"), stage(1, "z")},
+		Transcript:   rec,
 	})
 	if err != nil {
 		return nil, err
@@ -135,7 +139,7 @@ func perfTelemetryEngine(emit func(PerfResult)) error {
 		chunkIter = 100 // Infer calls per chunk
 	)
 	for _, n := range []int{1, 3} {
-		e, err := telemetryBenchEngine(n)
+		e, err := benchEngine(n, nil)
 		if err != nil {
 			return err
 		}

@@ -2,30 +2,50 @@ package bench
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/tensor"
+	"repro/internal/transcript"
 )
 
-// TestTelemetryBenchEngineSmoke validates the benchmark harness itself: the
+// TestBenchEngineSmoke validates the benchmark harness itself: the
 // echo-variant pipeline must produce correct output on both the fast path and
-// the voting path before its timings mean anything.
-func TestTelemetryBenchEngineSmoke(t *testing.T) {
+// the voting path before its timings mean anything. The transcript-attached
+// build must also actually record — an overhead pair where the "on" state
+// silently records nothing would measure nothing.
+func TestBenchEngineSmoke(t *testing.T) {
 	for _, n := range []int{1, 3} {
-		e, err := telemetryBenchEngine(n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		in := map[string]*tensor.Tensor{"x": tensor.MustFromSlice([]float32{1, 2}, 2)}
-		r, err := e.Infer(in)
-		if err != nil {
+		for _, withRec := range []bool{false, true} {
+			var rec *transcript.Recorder
+			if withRec {
+				rec = transcript.NewRecorder(transcript.Config{SampleEvery: -1})
+			}
+			e, err := benchEngine(n, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := map[string]*tensor.Tensor{"x": tensor.MustFromSlice([]float32{1, 2}, 2)}
+			r, err := e.Infer(in)
+			if err != nil {
+				e.Stop()
+				t.Fatalf("v%d: %v", n, err)
+			}
+			z := r.Tensors["z"]
+			if z == nil || z.At(0) != 1 || z.At(1) != 2 {
+				e.Stop()
+				t.Fatalf("v%d: bad output %v", n, z)
+			}
 			e.Stop()
-			t.Fatalf("v%d: %v", n, err)
+			if withRec {
+				deadline := time.Now().Add(2 * time.Second)
+				for rec.Size() == 0 && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				if got := rec.Size(); got != 1 {
+					t.Fatalf("v%d: transcript recorded %d leaves, want 1", n, got)
+				}
+				rec.Close()
+			}
 		}
-		z := r.Tensors["z"]
-		if z == nil || z.At(0) != 1 || z.At(1) != 2 {
-			e.Stop()
-			t.Fatalf("v%d: bad output %v", n, z)
-		}
-		e.Stop()
 	}
 }

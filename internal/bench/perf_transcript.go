@@ -1,0 +1,195 @@
+// Transcript microbenchmarks: the Merkle log primitives (append, inclusion
+// and consistency proofs), the recorder hot-path emission cost, and the
+// engine hot path with a live transcript recorder attached vs detached. The
+// on/off pair is the PR acceptance number: transcript-on serving must stay
+// within a few percent of transcript-off on the warm path. The pair needs a
+// spare core to mean what it claims — what the serving path pays is the
+// non-blocking channel post (transcript/record/checkpoint, ~tens of ns);
+// the recorder worker's hashing runs concurrently, so on a single-core host
+// its amortized CPU (~3-4µs/batch) lands in the on-state wall time and the
+// delta overstates the hot-path cost. The perf report's Note flags this.
+
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/monitor"
+	"repro/internal/tensor"
+	"repro/internal/transcript"
+)
+
+// perfTranscript registers the transcript primitive benchmarks and the
+// engine-overhead pair. emit records the pre-measured interleaved pair.
+func perfTranscript(add func(string, func(b *testing.B)), emit func(PerfResult)) error {
+	perfTranscriptMerkle(add)
+	perfTranscriptRecord(add)
+	return perfTranscriptEngine(emit)
+}
+
+// perfTranscriptMerkle measures the tree primitives the audit surface is
+// built from: leaf append (amortized over a growing tree) and proof
+// generation over a log the size of a busy head window.
+func perfTranscriptMerkle(add func(string, func(b *testing.B))) {
+	add("transcript/merkle/append", func(b *testing.B) {
+		b.ReportAllocs()
+		log := transcript.NewLog()
+		var leaf [8]byte
+		for i := 0; i < b.N; i++ {
+			binary.LittleEndian.PutUint64(leaf[:], uint64(i))
+			log.Append(transcript.LeafHash(leaf[:]))
+		}
+	})
+
+	const size = 4096
+	log := transcript.NewLog()
+	var leaf [8]byte
+	for i := 0; i < size; i++ {
+		binary.LittleEndian.PutUint64(leaf[:], uint64(i))
+		log.Append(transcript.LeafHash(leaf[:]))
+	}
+	add(fmt.Sprintf("transcript/prove/inclusion/%d", size), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := log.InclusionProof(uint64(i)%size, size); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add(fmt.Sprintf("transcript/prove/consistency/%d", size), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := uint64(i)%(size-1) + 1
+			if _, err := log.ConsistencyProof(m, size); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// perfTranscriptRecord measures what the serving hot path actually pays: the
+// non-blocking event post into the recorder's channel (checkpoint — the
+// highest-frequency call site), and one full batch record cycle including
+// the worker-side leaf build and tree append it triggers.
+func perfTranscriptRecord(add func(string, func(b *testing.B))) {
+	in := map[string]*tensor.Tensor{"x": tensor.MustFromSlice([]float32{1, 2, 3, 4}, 4)}
+	rec := transcript.NewRecorder(transcript.Config{
+		Buffer:      1 << 16,
+		SampleEvery: -1,
+		HeadEvery:   1 << 30, // unsigned heads only; never triggered
+	})
+	defer rec.Close()
+	add("transcript/record/checkpoint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.Checkpoint(uint64(i), 0, check.Digest{})
+		}
+	})
+	add("transcript/record/batch-cycle", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			id := uint64(i) + 1
+			rec.Begin(id, id, in)
+			rec.Checkpoint(id, 0, check.Digest{1})
+			rec.Checkpoint(id, 1, check.Digest{2})
+			rec.Deliver(id, in, 0, "bench")
+		}
+	})
+}
+
+// perfTranscriptEngine measures warm end-to-end Infer with a live transcript
+// recorder attached vs detached, fast path (1 variant/stage) and voting path
+// (3 variants/stage). Same interleaved-chunk protocol as the telemetry pair:
+// back-to-back runs of a multi-goroutine pipeline drift too much from
+// scheduling alone, so both states alternate chunks on their own warm engine
+// and report the fastest chunk.
+func perfTranscriptEngine(emit func(PerfResult)) error {
+	in := map[string]*tensor.Tensor{"x": tensor.MustFromSlice([]float32{1, 2, 3, 4}, 4)}
+	const (
+		chunks    = 15
+		chunkIter = 100
+	)
+	for _, n := range []int{1, 3} {
+		rec := transcript.NewRecorder(transcript.Config{
+			Buffer:      1 << 16,
+			SampleEvery: -1,
+			HeadEvery:   64,
+		})
+		engines := map[bool]*monitor.Engine{}
+		for _, on := range []bool{false, true} {
+			var r *transcript.Recorder
+			if on {
+				r = rec
+			}
+			e, err := benchEngine(n, r)
+			if err != nil {
+				rec.Close()
+				return err
+			}
+			engines[on] = e
+		}
+		stop := func() {
+			engines[false].Stop()
+			engines[true].Stop()
+			rec.Close()
+		}
+		var errOut error
+		warm := func(e *monitor.Engine) {
+			for i := 0; i < 10; i++ {
+				if _, err := e.Infer(in); err != nil && errOut == nil {
+					errOut = err
+				}
+			}
+		}
+		warm(engines[false])
+		warm(engines[true])
+		chunk := func(on bool) float64 {
+			e := engines[on]
+			start := time.Now()
+			for i := 0; i < chunkIter; i++ {
+				if _, err := e.Infer(in); err != nil && errOut == nil {
+					errOut = err
+				}
+			}
+			return float64(time.Since(start).Nanoseconds()) / chunkIter
+		}
+		var onNs, offNs []float64
+		for c := 0; c < chunks; c++ {
+			offNs = append(offNs, chunk(false))
+			onNs = append(onNs, chunk(true))
+		}
+		allocs := map[bool]float64{}
+		for _, on := range []bool{false, true} {
+			e := engines[on]
+			allocs[on] = testing.AllocsPerRun(50, func() {
+				if _, err := e.Infer(in); err != nil && errOut == nil {
+					errOut = err
+				}
+			})
+		}
+		stop()
+		if errOut != nil {
+			return errOut
+		}
+		for _, s := range []struct {
+			state   string
+			samples []float64
+			on      bool
+		}{
+			{"on", onNs, true},
+			{"off", offNs, false},
+		} {
+			emit(PerfResult{
+				Name:        fmt.Sprintf("transcript/engine-hotpath/v%d/%s", n, s.state),
+				NsPerOp:     minSample(s.samples),
+				AllocsPerOp: int64(allocs[s.on]),
+				Iterations:  chunks * chunkIter,
+			})
+		}
+	}
+	return nil
+}

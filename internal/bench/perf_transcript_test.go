@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestTranscriptPerfSmoke runs the transcript benchmark family once and
+// checks every gated case actually runs — the benchgate comparison can only
+// hold the transcript-on/off pair to its bar if both series are present in
+// the report.
+func TestTranscriptPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine-pair benchmarks are slow")
+	}
+	ns := map[string]float64{}
+	err := perfTranscript(func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run", name)
+		}
+		ns[name] = float64(r.T.Nanoseconds()) / float64(max(r.N, 1))
+		t.Logf("%-44s %12.0f ns/op", name, ns[name])
+	}, func(pr PerfResult) {
+		ns[pr.Name] = pr.NsPerOp
+		t.Logf("%-44s %12.0f ns/op %6d allocs/op", pr.Name, pr.NsPerOp, pr.AllocsPerOp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"transcript/merkle/append",
+		"transcript/prove/inclusion/4096",
+		"transcript/prove/consistency/4096",
+		"transcript/record/checkpoint",
+		"transcript/record/batch-cycle",
+		"transcript/engine-hotpath/v1/on",
+		"transcript/engine-hotpath/v1/off",
+		"transcript/engine-hotpath/v3/on",
+		"transcript/engine-hotpath/v3/off",
+	} {
+		if ns[want] == 0 {
+			t.Fatalf("family missing case %q", want)
+		}
+	}
+	for _, n := range []string{"v1", "v3"} {
+		on, off := ns["transcript/engine-hotpath/"+n+"/on"], ns["transcript/engine-hotpath/"+n+"/off"]
+		t.Logf("%s transcript overhead: %+.1f%%", n, 100*(on-off)/off)
+	}
+}

@@ -17,7 +17,7 @@ func TestTelemetryOverheadVariance(t *testing.T) {
 	}
 	defer telemetry.SetEnabled(true)
 	in := map[string]*tensor.Tensor{"x": tensor.MustFromSlice([]float32{1, 2, 3, 4}, 4)}
-	e, err := telemetryBenchEngine(3)
+	e, err := benchEngine(3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -379,11 +379,24 @@ func TestClusterLocalSharedTracerNoDuplicateSpans(t *testing.T) {
 func TestClusterFailoverFlightIncident(t *testing.T) {
 	a, b := newFake("a"), newFake("b")
 	freg := telemetry.NewRegistry()
+	// Incidents ship to the serving event bus exactly as mvtee-serve wires
+	// them, so a live /events subscriber sees the freeze as it happens.
+	bus := telemetry.NewBus[monitor.Event](16)
+	sub := bus.Subscribe(4)
+	t.Cleanup(sub.Close)
 	fr := telemetry.NewFlightRecorder(telemetry.FlightConfig{
 		Interval:    2 * time.Millisecond,
 		Window:      16,
 		PostSamples: 4,
 		Metrics:     freg,
+		OnIncident: func(inc telemetry.Incident) {
+			bus.Publish(monitor.Event{
+				Kind:   monitor.EventFlightIncident,
+				Stage:  -1,
+				Detail: inc.Reason,
+				Time:   time.Unix(0, inc.At),
+			})
+		},
 	})
 	var up atomic.Int64
 	up.Store(2)
@@ -450,5 +463,21 @@ func TestClusterFailoverFlightIncident(t *testing.T) {
 	if n := freg.Counter(telemetry.MetricFlightIncidents,
 		telemetry.L("reason", telemetry.FlightReasonReplicaDown)).Value(); n != 1 {
 		t.Fatalf("replica_down incident counter = %d, want 1", n)
+	}
+
+	// The live subscriber saw the incident on the event bus (coalesced
+	// re-triggers ship nothing, so exactly one event arrives).
+	select {
+	case ev := <-sub.C:
+		if ev.Kind != monitor.EventFlightIncident || ev.Detail != telemetry.FlightReasonReplicaDown {
+			t.Fatalf("bus event = %+v, want flight-incident replica_down", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("incident never reached the event bus")
+	}
+	select {
+	case ev := <-sub.C:
+		t.Fatalf("unexpected second bus event %+v — coalesced trigger re-shipped", ev)
+	default:
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
+	"repro/internal/transcript"
 	"repro/internal/wire"
 )
 
@@ -57,6 +58,11 @@ type RouterConfig struct {
 	// replica down, ladder demotion) so /debug/flight captures a
 	// before/after window around every cluster health event. Optional.
 	Flight *telemetry.FlightRecorder
+	// Transcript, when set, receives one audit leaf per routed batch: the
+	// leader's checkpoint digests, every follower's vote, and the delivered
+	// output digest, keyed by the federation trace ID. All recorder calls
+	// are non-blocking, so they are safe under r.mu. Optional.
+	Transcript *transcript.Recorder
 }
 
 // pendingBatch is one open batch in the router's ID namespace.
@@ -450,6 +456,9 @@ func (r *Router) Submit(inputs map[string]*tensor.Tensor) (uint64, error) {
 	r.dispatchWG.Add(1)
 	r.mu.Unlock()
 	r.m.batches.Inc()
+	// Open the audit leaf before dispatch can produce checkpoint or vote
+	// events for this batch (the recorder orders per-batch events by arrival).
+	r.cfg.Transcript.Begin(pb.trace, id, inputs)
 	go func() {
 		defer r.dispatchWG.Done()
 		if err := r.dispatch(pb, leader, followers); err != nil {
@@ -725,10 +734,13 @@ func (r *Router) applyVoteLocked(pb *pendingBatch, idx int, sum check.Digest, ab
 	switch {
 	case abstain:
 		r.m.votes[voteAbstain].Inc()
+		r.cfg.Transcript.Vote(pb.id, r.reps[idx].ID(), check.Digest{}, false)
 	case authoritative && agree, !authoritative && pb.hasSum && sum == pb.leaderSum:
 		r.m.votes[voteAgree].Inc()
+		r.cfg.Transcript.Vote(pb.id, r.reps[idx].ID(), sum, true)
 	default:
 		r.m.votes[voteDissent].Inc()
+		r.cfg.Transcript.Vote(pb.id, r.reps[idx].ID(), sum, false)
 		pb.dissent = true
 		// Lock order is safe: the flight sampler reads its sources without
 		// holding its own lock, so r.mu -> flight.mu never inverts.
@@ -747,6 +759,9 @@ func (r *Router) onStageDigestLocked(pb *pendingBatch, idx int, v *wire.Digest) 
 	prev, ok := pb.stageSums[v.Stage]
 	if !ok {
 		pb.stageSums[v.Stage] = stageSum{idx: idx, sum: check.Digest(v.Sum)}
+		// The first-seen digest is the reference this batch's audit leaf
+		// carries for the stage; later conflicting reports surface as votes.
+		r.cfg.Transcript.Checkpoint(pb.id, int(v.Stage), check.Digest(v.Sum))
 		return
 	}
 	if prev.idx != idx && prev.sum != check.Digest(v.Sum) {
@@ -794,6 +809,13 @@ func (r *Router) deliverLocked(pb *pendingBatch, res *monitor.BatchResult) {
 	res.ID = pb.id
 	now := time.Now()
 	res.Latency = now.Sub(pb.born)
+	if t := r.cfg.Transcript; t != nil {
+		if res.Err != nil {
+			t.Abort(pb.id)
+		} else {
+			t.Deliver(pb.id, res.Tensors, uint8(r.state[pb.leader].worst), r.reps[pb.leader].ID())
+		}
+	}
 	r.deliverq <- *res
 	r.m.routeNs.Observe(res.Latency.Nanoseconds())
 	if pb.trace != 0 {

@@ -434,6 +434,19 @@ func (d *Deployment) Start() { d.Engine.Start() }
 // verification in examples and tests).
 func (d *Deployment) Verifier() *enclave.Verifier { return d.verifier }
 
+// PlatformIdentity exports the public identity of the platform that launched
+// the monitor enclave. In-process deployments synthesize their platform at
+// Deploy time, so transcript auditors have no bundle file to pin against;
+// this is the identity the /audit surface publishes for trust-on-first-use
+// verification.
+func (d *Deployment) PlatformIdentity() ([]byte, error) {
+	p, ok := d.platforms[enclave.SGX1]
+	if !ok {
+		return nil, fmt.Errorf("core: monitor platform not launched")
+	}
+	return p.ExportPublic()
+}
+
 func findSpec(b *Bundle, name string) (diversify.Spec, error) {
 	for _, s := range b.Specs {
 		if s.Name == name {

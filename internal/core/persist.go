@@ -1,10 +1,13 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/diversify"
@@ -124,6 +127,14 @@ func MonitorImage() enclave.Image {
 	return enclave.Image{Name: "mvtee-monitor", Code: []byte("mvtee monitor v1"), InitialPages: 16 << 20}
 }
 
+// RouterImage is the cluster routing tier's identity enclave image: the
+// router's transcript recorder signs its tree heads under this measurement,
+// so offline auditors can distinguish "signed by a monitor" from "signed by
+// the routing tier" while trusting both against the same platform identity.
+func RouterImage() enclave.Image {
+	return enclave.Image{Name: "mvtee-router", Code: []byte("mvtee router v1"), InitialPages: 4 << 20}
+}
+
 // LoadMeta reads the public bundle metadata from dir.
 func LoadMeta(dir string) (*BundleMeta, error) {
 	mb, err := os.ReadFile(filepath.Join(dir, MetaFile))
@@ -161,6 +172,51 @@ func LoadPlatform(dir string) (*enclave.Platform, error) {
 		return nil, fmt.Errorf("core: load platform: %w", err)
 	}
 	return enclave.ImportPlatform(pb)
+}
+
+// ModelDigest canonically digests a sealed bundle's model identity: the
+// model name plus every pool entry's manifest-evidence digest, sorted by
+// entry key. Both ends of the audit chain compute it — the serving side from
+// its in-memory Bundle, the offline verifier from the published meta.json —
+// so a signed transcript head is bound to exactly one sealed bundle.
+func ModelDigest(model string, evidence map[string][32]byte) [32]byte {
+	keys := make([]string, 0, len(evidence))
+	for k := range evidence {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	h.Write([]byte("mvtee-model-v1"))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(model)))
+	h.Write(n[:])
+	h.Write([]byte(model))
+	binary.LittleEndian.PutUint64(n[:], uint64(len(keys)))
+	h.Write(n[:])
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(k)))
+		h.Write(n[:])
+		h.Write([]byte(k))
+		ev := evidence[k]
+		h.Write(ev[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// ModelDigest computes the bundle's sealed-model identity digest.
+func (b *Bundle) ModelDigest() [32]byte {
+	ev := make(map[string][32]byte, len(b.Evidence))
+	for e, d := range b.Evidence {
+		ev[entryKey(e)] = d
+	}
+	return ModelDigest(b.Model.Name, ev)
+}
+
+// ModelDigest computes the saved bundle's sealed-model identity digest.
+func (m *BundleMeta) ModelDigest() [32]byte {
+	return ModelDigest(m.Model, m.Evidence)
 }
 
 // EntryKeyFor formats the key-table key for (set, partition, spec).

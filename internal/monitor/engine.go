@@ -12,6 +12,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
+	"repro/internal/transcript"
 )
 
 // StageSpec wires one pipeline stage: its checkpoint interface and the bound
@@ -70,6 +71,13 @@ type EngineConfig struct {
 	// replicas instead of tensors. Nil (the default) skips digest
 	// computation entirely — single-node engines pay nothing for it.
 	DigestSink func(batchID uint64, stage int, digest check.Digest)
+	// Transcript, when set, receives the verifiable-inference transcript
+	// events: batch submission (trace + inputs), every forwarded checkpoint
+	// digest, and delivery (outputs + worst ladder rung). All calls are
+	// non-blocking channel sends into the recorder's worker — the same
+	// off-hot-path discipline as the event bus — so serving latency is
+	// unchanged whether or not a transcript is kept.
+	Transcript *transcript.Recorder
 	// Metrics receives the engine's telemetry series; nil uses
 	// telemetry.Default. Registration happens once at construction — the hot
 	// path only ever touches pre-resolved atomic handles.
@@ -109,6 +117,7 @@ const (
 	EventLadderDemoted                         // stage degraded a ladder rung
 	EventLadderPromoted                        // stage recovered a ladder rung
 	EventSpareProvisioned                      // spare pool grew by one pre-attested TEE
+	EventFlightIncident                        // flight recorder froze a before/after window
 
 	// eventKindEnd is one past the last defined kind. The severity/string
 	// exhaustiveness test walks [1, eventKindEnd) — add new kinds above this
@@ -139,6 +148,8 @@ func (k EventKind) String() string {
 		return "ladder-promoted"
 	case EventSpareProvisioned:
 		return "spare-provisioned"
+	case EventFlightIncident:
+		return "flight-incident"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -152,7 +163,7 @@ func (k EventKind) Severity() telemetry.Severity {
 	case EventDivergence, EventLateDissent:
 		return telemetry.SevSecurity
 	case EventVariantDown, EventVariantDropped, EventVariantTimeout,
-		EventReplaceFailed, EventLadderDemoted:
+		EventReplaceFailed, EventLadderDemoted, EventFlightIncident:
 		return telemetry.SevWarn
 	case EventVariantReplaced, EventLadderPromoted, EventSpareProvisioned:
 		return telemetry.SevInfo
@@ -558,6 +569,18 @@ func (e *Engine) setLadder(stage int, r LadderRung) {
 	e.met.stages[stage].ladder.Set(int64(r))
 }
 
+// worstRung returns the lowest (least healthy) stage rung — the engine-wide
+// health level a transcript leaf records at delivery.
+func (e *Engine) worstRung() LadderRung {
+	worst := LadderFull
+	for i := range e.ladder {
+		if r := LadderRung(e.ladder[i].Load()); r < worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
 func (e *Engine) recordEvent(ev Event) {
 	ev.Time = time.Now()
 	e.eventBus.Publish(ev)
@@ -663,6 +686,11 @@ func (e *Engine) router() {
 					delete(batches, id)
 				}
 			case m.submit:
+				// Transcript leaf opens here: the trace ID and input tensors
+				// are bound before any variant sees the batch. The input map
+				// is the engine's private copy target, so the recorder can
+				// hash the caller's map asynchronously.
+				e.cfg.Transcript.Begin(m.trace, m.id, m.tensors)
 				b := &batchState{
 					tensors:    make(map[string]*tensor.Tensor, len(m.tensors)+8),
 					dispatched: make([]bool, len(e.stages)),
@@ -729,6 +757,14 @@ func (e *Engine) failAll(batches map[uint64]*batchState, cause error) {
 func (e *Engine) deliver(r BatchResult, trace uint64, start time.Time) {
 	now := time.Now()
 	r.Latency = now.Sub(start)
+	if t := e.cfg.Transcript; t != nil {
+		if r.Err != nil {
+			// Failed batches leave no leaf; drop the accumulated state.
+			t.Abort(r.ID)
+		} else {
+			t.Deliver(r.ID, r.Tensors, uint8(e.worstRung()), "")
+		}
+	}
 	if telemetry.Enabled() {
 		e.met.batches.Inc()
 		if r.Err != nil {

@@ -386,11 +386,20 @@ func (st *stageState) closeGather(g *gather) time.Time {
 // the release instant on traced batches. Hot callers that just took a clock
 // reading pass it as now; a zero now means take a fresh one.
 func (st *stageState) forward(g *gather, outs map[string]*tensor.Tensor, now time.Time) {
-	if sink := st.e.cfg.DigestSink; sink != nil {
-		// Per-checkpoint digest tap for the cluster tier: fingerprint the
-		// chosen output before it leaves the stage, so remote followers can
-		// vote on 32 bytes instead of receiving the tensors.
-		sink(g.id, st.s.idx, check.DigestOf(outs))
+	if sink, rec := st.e.cfg.DigestSink, st.e.cfg.Transcript; sink != nil {
+		// Per-checkpoint digest tap: fingerprint the chosen output before it
+		// leaves the stage. The cluster tier streams it so remote followers
+		// can vote on 32 bytes instead of receiving the tensors; the
+		// transcript recorder binds it into the batch's audit leaf. One
+		// digest computation feeds both.
+		d := check.DigestOf(outs)
+		sink(g.id, st.s.idx, d)
+		rec.Checkpoint(g.id, st.s.idx, d)
+	} else if rec != nil {
+		// No cluster sink needs the digest synchronously — hand the recorder
+		// the tensors by reference and let its worker hash them off the hot
+		// path (outputs are immutable once forwarded).
+		rec.CheckpointTensors(g.id, st.s.idx, outs)
 	}
 	st.e.post(routerMsg{done: true, stageIdx: st.s.idx, id: g.id, outs: outs})
 	if !g.dispatchedAt.IsZero() {

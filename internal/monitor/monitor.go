@@ -2,6 +2,8 @@ package monitor
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/enclave"
 	"repro/internal/securechan"
+	"repro/internal/transcript"
 	"repro/internal/wire"
 )
 
@@ -72,6 +75,9 @@ type Monitor struct {
 	// digest the engine computes (cluster replicas stream these to the
 	// router's early-dissent plane).
 	digestSink func(batchID uint64, stage int, digest check.Digest)
+	// transcript, when set before BuildEngine, receives the verifiable
+	// transcript events from every subsequently built engine.
+	transcript *transcript.Recorder
 }
 
 // New creates a monitor running in encl, trusting the platforms registered
@@ -195,6 +201,46 @@ func (m *Monitor) Bindings() []BindingRecord {
 	return append([]BindingRecord(nil), m.bindings...)
 }
 
+// BindingsDigest returns the canonical digest of the current binding log —
+// the value transcript tree heads chain so variant membership history is
+// part of what every signed head attests.
+func (m *Monitor) BindingsDigest() [32]byte {
+	return DigestBindings(m.Bindings())
+}
+
+// DigestBindings canonically digests a binding log: length-prefixed fields
+// in record order (the log is append-only, so the order is the history).
+// Offline verifiers recompute it from the records served at /audit.
+func DigestBindings(recs []BindingRecord) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("mvtee-bindings-v1"))
+	var scratch [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(s)))
+		h.Write(scratch[:])
+		h.Write([]byte(s))
+	}
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(recs)))
+	h.Write(scratch[:])
+	for _, r := range recs {
+		writeStr(r.VariantID)
+		binary.LittleEndian.PutUint64(scratch[:], uint64(int64(r.Partition)))
+		h.Write(scratch[:])
+		writeStr(r.Spec)
+		h.Write(r.Evidence[:])
+		binary.LittleEndian.PutUint64(scratch[:], uint64(r.Bound.UnixNano()))
+		h.Write(scratch[:])
+		if r.Replaced {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	var d [32]byte
+	h.Sum(d[:0])
+	return d
+}
+
 // AddSpare registers a pre-established spare variant TEE (Figure 6): the
 // channel is already attested, but the assignment is only replayed — key
 // distribution, evidence check, binding — when a Recover response promotes
@@ -233,6 +279,16 @@ func (m *Monitor) SetDigestSink(f func(batchID uint64, stage int, digest check.D
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.digestSink = f
+}
+
+// SetTranscript installs the verifiable-inference transcript recorder
+// subsequently built engines feed (EngineConfig.Transcript). Call it before
+// BuildEngine, typically with a recorder whose signer is this monitor's
+// enclave and whose bindings callback is BindingsDigest.
+func (m *Monitor) SetTranscript(rec *transcript.Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.transcript = rec
 }
 
 // ErrNoSpareFactory rejects ProvisionSpare on monitors without a factory.
@@ -432,6 +488,7 @@ func (m *Monitor) BuildEngine(graphInputs, graphOutputs []string, stages []Stage
 		StageTimeout:   time.Duration(cfg.StageTimeoutMS) * time.Millisecond,
 		InflightWindow: cfg.InflightWindow,
 		DigestSink:     m.digestSink,
+		Transcript:     m.transcript,
 	}
 	if cfg.Response == Recover {
 		// Hot replacement is policy (Recover), the engine only carries the

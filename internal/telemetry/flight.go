@@ -53,6 +53,12 @@ type FlightConfig struct {
 	MaxNotes int
 	// Metrics receives the per-reason incident counter; nil disables.
 	Metrics *Registry
+	// OnIncident, when set, is invoked once per new incident (not for
+	// coalesced re-triggers), outside the recorder lock. Hosts use it to
+	// ship incidents to an event bus so /events streams them live. The
+	// Incident is a snapshot taken at trigger time; its after-window is
+	// still filling.
+	OnIncident func(Incident)
 }
 
 // FlightRecorder is the failover black box: a fixed-size ring continuously
@@ -246,9 +252,16 @@ func (f *FlightRecorder) Trigger(reason string) {
 	}
 	f.active = inc
 	f.remaining = f.cfg.PostSamples
+	snap := *inc
+	snap.Before = append([]FlightSample(nil), inc.Before...)
+	snap.Notes = append([]FlightNote(nil), inc.Notes...)
+	snap.After = nil
 	f.mu.Unlock()
 	if f.cfg.Metrics != nil {
 		f.cfg.Metrics.Counter(MetricFlightIncidents, L("reason", reason)).Inc()
+	}
+	if f.cfg.OnIncident != nil {
+		f.cfg.OnIncident(snap)
 	}
 }
 

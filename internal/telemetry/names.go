@@ -112,6 +112,14 @@ const (
 	// Flight recorder series: incidents carry a reason label (FlightReason*).
 	MetricFlightIncidents = "mvtee_flight_incidents_total"
 
+	// Verifiable-transcript series (internal/transcript): leaves appended to
+	// the Merkle log, hot-path events dropped on a full recorder channel
+	// (each degrades one leaf, never stalls serving), and signed tree heads
+	// published.
+	MetricTranscriptLeaves  = "mvtee_transcript_leaves_total"
+	MetricTranscriptDropped = "mvtee_transcript_dropped_total"
+	MetricTranscriptHeads   = "mvtee_transcript_heads_total"
+
 	// Derived SLO burn rate per tenant, in milli-units (1000 = burning the
 	// error budget exactly as fast as it accrues), computed at /metrics/cluster
 	// scrape time from the latency histogram delta since the previous scrape.

@@ -1,0 +1,103 @@
+package transcript
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/attest"
+	"repro/internal/enclave"
+)
+
+// TreeHead is one published checkpoint of the log: the tree size and root,
+// chained to the sealed model measurement digest and the monitor's §4.3
+// binding-log digest so what the head attests is not just "these batches
+// ran" but "these batches ran against this sealed model under this variant
+// membership history".
+type TreeHead struct {
+	Size     uint64 `json:"size"`
+	Root     Hash   `json:"root"`
+	Model    Hash   `json:"model"`
+	Bindings Hash   `json:"bindings"`
+	TimeNs   int64  `json:"time_ns"`
+}
+
+// headContext is the attestation binding label for signed heads: the report
+// data of a head's report is BindNonce(head digest, headContext), so a head
+// report can never be confused with a channel or provisioning report.
+const headContext = "transcript-head"
+
+// digest is the canonical encoding of every head field. It is handed to
+// attest as the challenge nonce: BindNonce hashes it with the context label
+// into the report data, so sign and verify derive identical bindings from
+// the head alone.
+func (h *TreeHead) digest() []byte {
+	buf := make([]byte, 0, 5+8+32*3+8)
+	buf = append(buf, "MVTH"...)
+	buf = append(buf, 1)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Size)
+	buf = append(buf, h.Root[:]...)
+	buf = append(buf, h.Model[:]...)
+	buf = append(buf, h.Bindings[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.TimeNs))
+	return buf
+}
+
+// SignedHead is a tree head plus the attestation report vouching for it.
+// Report is the marshalled enclave report whose report data binds the head
+// digest; an unsigned head (test recorders without an identity) has an
+// empty Report and fails VerifyHead.
+type SignedHead struct {
+	Head   TreeHead        `json:"head"`
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// SignHead produces a signed head with the given attestation identity (the
+// monitor enclave in-process, the router's identity enclave in cluster
+// mode).
+func SignHead(a attest.Attester, h TreeHead) (SignedHead, error) {
+	r, err := attest.Respond(a, h.digest(), headContext)
+	if err != nil {
+		return SignedHead{}, fmt.Errorf("transcript: sign head: %w", err)
+	}
+	rb, err := r.Marshal()
+	if err != nil {
+		return SignedHead{}, fmt.Errorf("transcript: sign head: %w", err)
+	}
+	return SignedHead{Head: h, Report: rb}, nil
+}
+
+// Head verification errors.
+var (
+	ErrHeadUnsigned = errors.New("transcript: head is unsigned")
+	ErrHeadChain    = errors.New("transcript: head chain mismatch")
+)
+
+// VerifyHead checks the head's attestation report: a valid signature from a
+// trusted platform, an expected measurement when provided, and report data
+// binding exactly this head's canonical digest. A forged head — wrong key,
+// wrong measurement, or a report lifted from a different head — fails here.
+func VerifyHead(v *enclave.Verifier, sh SignedHead, expected []enclave.Measurement) error {
+	if len(sh.Report) == 0 {
+		return ErrHeadUnsigned
+	}
+	r, err := enclave.UnmarshalReport(sh.Report)
+	if err != nil {
+		return fmt.Errorf("transcript: verify head: %w", err)
+	}
+	return attest.Check(v, r, sh.Head.digest(), headContext, expected)
+}
+
+// CheckChain verifies the head's chain values against locally recomputed
+// ones: the sealed model measurement digest from the bundle, and (when the
+// auditor obtained the binding log) the binding-log digest.
+func CheckChain(h TreeHead, model Hash, bindings *Hash) error {
+	if h.Model != model {
+		return fmt.Errorf("%w: model digest %x != bundle %x", ErrHeadChain, h.Model[:8], model[:8])
+	}
+	if bindings != nil && h.Bindings != *bindings {
+		return fmt.Errorf("%w: binding-log digest %x != recomputed %x", ErrHeadChain, h.Bindings[:8], (*bindings)[:8])
+	}
+	return nil
+}

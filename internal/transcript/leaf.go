@@ -1,0 +1,195 @@
+package transcript
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/check"
+)
+
+// Vote is one follower's digest verdict on a batch, recorded into the
+// leader's leaf so cross-node dissent is auditable after the fact: a
+// follower that disagreed is on the permanent record even if the operator
+// later scrubs its logs.
+type Vote struct {
+	Replica string
+	Sum     check.Digest
+	Agree   bool
+}
+
+// Leaf is one delivered batch's transcript entry. It binds everything an
+// auditor needs to re-derive the batch: the trace ID (the cross-node join
+// key from PR 4), the engine batch ID, the canonical input digest, the
+// per-checkpoint digests in stage order, the follower votes (cluster mode),
+// the canonical output digest, the worst ladder rung at delivery, and the
+// serving replica.
+type Leaf struct {
+	Trace       uint64
+	Batch       uint64
+	Input       check.Digest
+	Checkpoints []check.Digest
+	Votes       []Vote
+	Output      check.Digest
+	Rung        uint8
+	Replica     string
+}
+
+// Leaf wire format: "MVTL" magic + version, fixed header, then the
+// variable-length checkpoint, vote and replica sections, every count
+// bounded. The encoding is canonical (no map iteration, no optional
+// fields), so equal leaves encode identically and the leaf hash is
+// well-defined.
+const (
+	leafMagic   = "MVTL"
+	leafVersion = 1
+	// MaxLeafCheckpoints and MaxLeafVotes bound the variable sections; both
+	// are far above any real pipeline depth or replica count.
+	MaxLeafCheckpoints = 256
+	MaxLeafVotes       = 256
+	maxLeafString      = 255
+)
+
+// Marshal encodes the leaf canonically.
+func (l *Leaf) Marshal() ([]byte, error) {
+	if len(l.Checkpoints) > MaxLeafCheckpoints {
+		return nil, fmt.Errorf("transcript: leaf has %d checkpoints (max %d)", len(l.Checkpoints), MaxLeafCheckpoints)
+	}
+	if len(l.Votes) > MaxLeafVotes {
+		return nil, fmt.Errorf("transcript: leaf has %d votes (max %d)", len(l.Votes), MaxLeafVotes)
+	}
+	if len(l.Replica) > maxLeafString {
+		return nil, fmt.Errorf("transcript: replica ID too long (%d)", len(l.Replica))
+	}
+	size := 5 + 8 + 8 + 32 + 2 + 32*len(l.Checkpoints) + 2 + 32 + 1 + 1 + len(l.Replica)
+	for _, v := range l.Votes {
+		if len(v.Replica) > maxLeafString {
+			return nil, fmt.Errorf("transcript: vote replica ID too long (%d)", len(v.Replica))
+		}
+		size += 1 + len(v.Replica) + 32 + 1
+	}
+	out := make([]byte, 0, size)
+	out = append(out, leafMagic...)
+	out = append(out, leafVersion)
+	out = binary.LittleEndian.AppendUint64(out, l.Trace)
+	out = binary.LittleEndian.AppendUint64(out, l.Batch)
+	out = append(out, l.Input[:]...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(l.Checkpoints)))
+	for _, d := range l.Checkpoints {
+		out = append(out, d[:]...)
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(l.Votes)))
+	for _, v := range l.Votes {
+		out = append(out, byte(len(v.Replica)))
+		out = append(out, v.Replica...)
+		out = append(out, v.Sum[:]...)
+		if v.Agree {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	out = append(out, l.Output[:]...)
+	out = append(out, l.Rung)
+	out = append(out, byte(len(l.Replica)))
+	out = append(out, l.Replica...)
+	return out, nil
+}
+
+// UnmarshalLeaf decodes one leaf, rejecting trailing bytes.
+func UnmarshalLeaf(b []byte) (*Leaf, error) {
+	r := leafReader{b: b}
+	magic := r.bytes(4)
+	ver := r.u8()
+	if r.err != nil || string(magic) != leafMagic {
+		return nil, fmt.Errorf("transcript: bad leaf magic")
+	}
+	if ver != leafVersion {
+		return nil, fmt.Errorf("transcript: unsupported leaf version %d", ver)
+	}
+	var l Leaf
+	l.Trace = r.u64()
+	l.Batch = r.u64()
+	copy(l.Input[:], r.bytes(32))
+	nc := int(r.u16())
+	if r.err == nil && nc > MaxLeafCheckpoints {
+		return nil, fmt.Errorf("transcript: leaf checkpoint count %d over cap", nc)
+	}
+	if r.err == nil && nc > 0 {
+		l.Checkpoints = make([]check.Digest, nc)
+		for i := range l.Checkpoints {
+			copy(l.Checkpoints[i][:], r.bytes(32))
+		}
+	}
+	nv := int(r.u16())
+	if r.err == nil && nv > MaxLeafVotes {
+		return nil, fmt.Errorf("transcript: leaf vote count %d over cap", nv)
+	}
+	if r.err == nil && nv > 0 {
+		l.Votes = make([]Vote, nv)
+		for i := range l.Votes {
+			l.Votes[i].Replica = string(r.bytes(int(r.u8())))
+			copy(l.Votes[i].Sum[:], r.bytes(32))
+			flag := r.u8()
+			if r.err == nil && flag > 1 {
+				// Only 0/1 encode; anything else would decode-then-re-encode
+				// differently and break leaf-hash canonicality.
+				return nil, fmt.Errorf("transcript: bad vote flag %d", flag)
+			}
+			l.Votes[i].Agree = flag == 1
+		}
+	}
+	copy(l.Output[:], r.bytes(32))
+	l.Rung = r.u8()
+	l.Replica = string(r.bytes(int(r.u8())))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != r.off {
+		return nil, fmt.Errorf("transcript: %d trailing bytes after leaf", len(r.b)-r.off)
+	}
+	return &l, nil
+}
+
+// leafReader is a bounds-checked cursor; the first failure sticks.
+type leafReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *leafReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = fmt.Errorf("transcript: leaf truncated at offset %d", r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *leafReader) u8() uint8 {
+	b := r.bytes(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *leafReader) u16() uint16 {
+	b := r.bytes(2)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *leafReader) u64() uint64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

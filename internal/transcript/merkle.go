@@ -1,0 +1,319 @@
+// Package transcript makes the monitor's cross-checking third-party
+// checkable: every delivered batch appends one leaf — binding trace ID,
+// batch ID, input digest, per-checkpoint digests, follower votes, output
+// digest, ladder rung and replica — to an append-only Merkle log, and the
+// serving tier periodically signs the tree head with its attestation
+// identity, chained to the sealed model measurement and the §4.3 binding
+// log. An auditor who holds a signed head can demand inclusion and
+// consistency proofs, and because the kernels are bitwise-deterministic
+// (PR 1), replay any sampled batch through a locally built engine from the
+// sealed bundle and compare digests bit for bit — no zkML circuit, no blind
+// trust in bare attestation.
+//
+// The tree is the RFC 6962 structure: leaf hash SHA-256(0x00 || leaf),
+// interior node SHA-256(0x01 || left || right), with the standard inclusion
+// and consistency proof shapes so third-party verifiers need nothing
+// MVTEE-specific to check the log's append-only history.
+package transcript
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Hash is one 32-byte tree node value.
+type Hash [32]byte
+
+// MarshalJSON renders the hash as lowercase hex (operator-facing audit
+// documents stay greppable).
+func (h Hash) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hex.EncodeToString(h[:]))
+}
+
+// UnmarshalJSON parses the hex form.
+func (h *Hash) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(h) {
+		return fmt.Errorf("transcript: bad hash %q", s)
+	}
+	copy(h[:], raw)
+	return nil
+}
+
+// LeafHash computes the RFC 6962 leaf hash of an encoded leaf.
+func LeafHash(leaf []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(leaf)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two subtree roots into their parent.
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// EmptyRoot is the root of the zero-leaf tree (SHA-256 of the empty string).
+func EmptyRoot() Hash { return sha256.Sum256(nil) }
+
+// Log is an in-memory append-only Merkle tree over leaf hashes. Appends are
+// O(log n) amortized via a perfect-subtree stack; proofs recompute subtree
+// roots from the retained leaf hashes (audits are rare, appends are not).
+// Log is not goroutine-safe; the Recorder serializes access.
+type Log struct {
+	leaves []Hash
+	// stack holds the roots of the maximal perfect subtrees left-to-right;
+	// bit i of len(leaves) set <=> a subtree of size 2^i is on the stack.
+	stack []Hash
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Size returns the number of leaves appended.
+func (l *Log) Size() uint64 { return uint64(len(l.leaves)) }
+
+// Append adds one leaf hash and returns its index.
+func (l *Log) Append(h Hash) uint64 {
+	idx := uint64(len(l.leaves))
+	l.leaves = append(l.leaves, h)
+	for x := idx; x&1 == 1; x >>= 1 {
+		top := l.stack[len(l.stack)-1]
+		l.stack = l.stack[:len(l.stack)-1]
+		h = nodeHash(top, h)
+	}
+	l.stack = append(l.stack, h)
+	return idx
+}
+
+// Root returns the current tree head (MTH over all leaves).
+func (l *Log) Root() Hash {
+	if len(l.leaves) == 0 {
+		return EmptyRoot()
+	}
+	r := l.stack[len(l.stack)-1]
+	for i := len(l.stack) - 2; i >= 0; i-- {
+		r = nodeHash(l.stack[i], r)
+	}
+	return r
+}
+
+// LeafAt returns the stored hash of leaf index i.
+func (l *Log) LeafAt(i uint64) (Hash, error) {
+	if i >= uint64(len(l.leaves)) {
+		return Hash{}, fmt.Errorf("transcript: leaf %d out of range (size %d)", i, len(l.leaves))
+	}
+	return l.leaves[i], nil
+}
+
+// subtree computes MTH over leaves[lo:hi] (hi > lo).
+func (l *Log) subtree(lo, hi uint64) Hash {
+	if hi-lo == 1 {
+		return l.leaves[lo]
+	}
+	k := largestPow2Below(hi - lo)
+	return nodeHash(l.subtree(lo, lo+k), l.subtree(lo+k, hi))
+}
+
+// RootAt returns the tree head the log had when it held size leaves.
+func (l *Log) RootAt(size uint64) (Hash, error) {
+	if size > uint64(len(l.leaves)) {
+		return Hash{}, fmt.Errorf("transcript: size %d beyond log (size %d)", size, len(l.leaves))
+	}
+	if size == 0 {
+		return EmptyRoot(), nil
+	}
+	return l.subtree(0, size), nil
+}
+
+// largestPow2Below returns the largest power of two strictly less than n
+// (n >= 2).
+func largestPow2Below(n uint64) uint64 {
+	k := uint64(1)
+	for k<<1 < n {
+		k <<= 1
+	}
+	return k
+}
+
+// Proof errors.
+var (
+	ErrProofRange = errors.New("transcript: proof request out of range")
+	ErrProofBad   = errors.New("transcript: proof verification failed")
+)
+
+// InclusionProof returns the audit path for leaf index under the tree of the
+// given size (RFC 6962 PATH(m, D[n])).
+func (l *Log) InclusionProof(index, size uint64) (*Proof, error) {
+	if size > uint64(len(l.leaves)) || index >= size {
+		return nil, fmt.Errorf("%w: inclusion %d of %d (log size %d)", ErrProofRange, index, size, len(l.leaves))
+	}
+	return &Proof{Kind: ProofInclusion, First: index, Second: size, Path: l.path(index, 0, size)}, nil
+}
+
+func (l *Log) path(m, lo, hi uint64) []Hash {
+	n := hi - lo
+	if n == 1 {
+		return nil
+	}
+	k := largestPow2Below(n)
+	if m < k {
+		return append(l.path(m, lo, lo+k), l.subtree(lo+k, hi))
+	}
+	return append(l.path(m-k, lo+k, hi), l.subtree(lo, lo+k))
+}
+
+// ConsistencyProof proves the tree of size m is a prefix of the tree of size
+// n (RFC 6962 PROOF(m, D[n])).
+func (l *Log) ConsistencyProof(m, n uint64) (*Proof, error) {
+	if n > uint64(len(l.leaves)) || m > n {
+		return nil, fmt.Errorf("%w: consistency %d -> %d (log size %d)", ErrProofRange, m, n, len(l.leaves))
+	}
+	p := &Proof{Kind: ProofConsistency, First: m, Second: n}
+	if m == 0 || m == n {
+		return p, nil
+	}
+	p.Path = l.subproof(m, 0, n, true)
+	return p, nil
+}
+
+func (l *Log) subproof(m, lo, hi uint64, complete bool) []Hash {
+	n := hi - lo
+	if m == n {
+		if complete {
+			return nil
+		}
+		return []Hash{l.subtree(lo, hi)}
+	}
+	k := largestPow2Below(n)
+	if m <= k {
+		return append(l.subproof(m, lo, lo+k, complete), l.subtree(lo+k, hi))
+	}
+	return append(l.subproof(m-k, lo+k, hi, false), l.subtree(lo, lo+k))
+}
+
+// VerifyInclusion checks an audit path: that leafHash is the leaf at
+// proof.First in the tree of size proof.Second with the given root
+// (RFC 9162 §2.1.3.2).
+func VerifyInclusion(leafHash Hash, p *Proof, root Hash) error {
+	if p == nil || p.Kind != ProofInclusion {
+		return fmt.Errorf("%w: not an inclusion proof", ErrProofBad)
+	}
+	index, size := p.First, p.Second
+	if size == 0 || index >= size {
+		return fmt.Errorf("%w: index %d outside tree of size %d", ErrProofBad, index, size)
+	}
+	fn, sn := index, size-1
+	r := leafHash
+	for _, h := range p.Path {
+		if sn == 0 {
+			return fmt.Errorf("%w: proof too long", ErrProofBad)
+		}
+		if fn&1 == 1 || fn == sn {
+			r = nodeHash(h, r)
+			if fn&1 == 0 {
+				for fn != 0 && fn&1 == 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = nodeHash(r, h)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return fmt.Errorf("%w: proof too short", ErrProofBad)
+	}
+	if r != root {
+		return fmt.Errorf("%w: computed root mismatch", ErrProofBad)
+	}
+	return nil
+}
+
+// VerifyConsistency checks that the tree of size p.First with root first is
+// a prefix of the tree of size p.Second with root second
+// (RFC 9162 §2.1.4.2).
+func VerifyConsistency(p *Proof, first, second Hash) error {
+	if p == nil || p.Kind != ProofConsistency {
+		return fmt.Errorf("%w: not a consistency proof", ErrProofBad)
+	}
+	m, n := p.First, p.Second
+	if m > n {
+		return fmt.Errorf("%w: first size %d exceeds second %d", ErrProofBad, m, n)
+	}
+	if m == n {
+		if len(p.Path) != 0 || first != second {
+			return fmt.Errorf("%w: equal-size trees must match with empty proof", ErrProofBad)
+		}
+		return nil
+	}
+	if m == 0 {
+		// Every tree extends the empty tree; the old root must be the
+		// canonical empty-tree value.
+		if len(p.Path) != 0 || first != EmptyRoot() {
+			return fmt.Errorf("%w: empty-tree consistency must carry no path", ErrProofBad)
+		}
+		return nil
+	}
+	path := p.Path
+	// An exact-power-of-two old tree is itself a node of the new tree; its
+	// root seeds the walk.
+	if m&(m-1) == 0 {
+		path = append([]Hash{first}, path...)
+	}
+	if len(path) == 0 {
+		return fmt.Errorf("%w: missing consistency path", ErrProofBad)
+	}
+	fn, sn := m-1, n-1
+	for fn&1 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	fr, sr := path[0], path[0]
+	for _, h := range path[1:] {
+		if sn == 0 {
+			return fmt.Errorf("%w: proof too long", ErrProofBad)
+		}
+		if fn&1 == 1 || fn == sn {
+			fr = nodeHash(h, fr)
+			sr = nodeHash(h, sr)
+			if fn&1 == 0 {
+				for fn != 0 && fn&1 == 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			sr = nodeHash(sr, h)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return fmt.Errorf("%w: proof too short", ErrProofBad)
+	}
+	if fr != first {
+		return fmt.Errorf("%w: first root mismatch", ErrProofBad)
+	}
+	if sr != second {
+		return fmt.Errorf("%w: second root mismatch", ErrProofBad)
+	}
+	return nil
+}

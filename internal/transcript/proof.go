@@ -1,0 +1,105 @@
+package transcript
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ProofKind discriminates the two RFC 6962 proof shapes.
+type ProofKind uint8
+
+// Proof kinds.
+const (
+	ProofInclusion   ProofKind = 1
+	ProofConsistency ProofKind = 2
+)
+
+// Proof is one inclusion or consistency proof. For inclusion, First is the
+// leaf index and Second the tree size; for consistency, First and Second are
+// the old and new tree sizes.
+type Proof struct {
+	Kind   ProofKind
+	First  uint64
+	Second uint64
+	Path   []Hash
+}
+
+// Proof wire format: "MVTP" magic, version byte, kind byte, two u64
+// little-endian sizes, u16 path length, then 32 bytes per path entry. The
+// decoder is the attacker-facing surface (audit responses cross trust
+// boundaries), so every length is validated before allocation.
+const (
+	proofMagic   = "MVTP"
+	proofVersion = 1
+	// MaxProofLen bounds a decoded path: an inclusion path in a 2^64-leaf
+	// tree has at most 63 entries and a consistency proof at most 2*63+1;
+	// anything longer is malformed by construction.
+	MaxProofLen    = 128
+	proofHeaderLen = 4 + 1 + 1 + 8 + 8 + 2
+)
+
+// Marshal encodes the proof.
+func (p *Proof) Marshal() ([]byte, error) {
+	if p.Kind != ProofInclusion && p.Kind != ProofConsistency {
+		return nil, fmt.Errorf("transcript: marshal proof: bad kind %d", p.Kind)
+	}
+	if len(p.Path) > MaxProofLen {
+		return nil, fmt.Errorf("transcript: marshal proof: path too long (%d)", len(p.Path))
+	}
+	out := make([]byte, proofHeaderLen, proofHeaderLen+32*len(p.Path))
+	copy(out, proofMagic)
+	out[4] = proofVersion
+	out[5] = byte(p.Kind)
+	binary.LittleEndian.PutUint64(out[6:], p.First)
+	binary.LittleEndian.PutUint64(out[14:], p.Second)
+	binary.LittleEndian.PutUint16(out[22:], uint16(len(p.Path)))
+	for _, h := range p.Path {
+		out = append(out, h[:]...)
+	}
+	return out, nil
+}
+
+// UnmarshalProof decodes one proof, rejecting trailing bytes, unknown
+// versions and over-long paths before any path allocation.
+func UnmarshalProof(b []byte) (*Proof, error) {
+	if len(b) < proofHeaderLen {
+		return nil, fmt.Errorf("transcript: proof truncated (%d bytes)", len(b))
+	}
+	if string(b[:4]) != proofMagic {
+		return nil, fmt.Errorf("transcript: bad proof magic")
+	}
+	if b[4] != proofVersion {
+		return nil, fmt.Errorf("transcript: unsupported proof version %d", b[4])
+	}
+	kind := ProofKind(b[5])
+	if kind != ProofInclusion && kind != ProofConsistency {
+		return nil, fmt.Errorf("transcript: bad proof kind %d", b[5])
+	}
+	first := binary.LittleEndian.Uint64(b[6:])
+	second := binary.LittleEndian.Uint64(b[14:])
+	n := int(binary.LittleEndian.Uint16(b[22:]))
+	if n > MaxProofLen {
+		return nil, fmt.Errorf("transcript: proof path too long (%d)", n)
+	}
+	if len(b) != proofHeaderLen+32*n {
+		return nil, fmt.Errorf("transcript: proof length %d does not match path count %d", len(b), n)
+	}
+	switch kind {
+	case ProofInclusion:
+		if first >= second {
+			return nil, fmt.Errorf("transcript: inclusion index %d outside tree of size %d", first, second)
+		}
+	case ProofConsistency:
+		if first > second {
+			return nil, fmt.Errorf("transcript: consistency sizes inverted (%d > %d)", first, second)
+		}
+	}
+	p := &Proof{Kind: kind, First: first, Second: second}
+	if n > 0 {
+		p.Path = make([]Hash, n)
+		for i := range p.Path {
+			copy(p.Path[i][:], b[proofHeaderLen+32*i:])
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,432 @@
+package transcript
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/check"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// Config sizes a Recorder.
+type Config struct {
+	// Signer produces the attestation reports on tree heads (the monitor
+	// enclave in-process, the router's identity enclave in cluster mode).
+	// Nil leaves heads unsigned — VerifyHead rejects them, so production
+	// deployments must set it.
+	Signer attest.Attester
+	// Model is the sealed model measurement digest chained into every head.
+	Model Hash
+	// Bindings returns the live §4.3 binding-log digest at head-signing
+	// time (the log is append-only but grows on spare promotion). Nil means
+	// all-zero.
+	Bindings func() Hash
+	// HeadEvery signs a fresh tree head every N appended leaves. Zero means
+	// 32.
+	HeadEvery int
+	// Buffer is the event channel capacity between the hot path and the
+	// transcript worker. Zero means 1024.
+	Buffer int
+	// SampleEvery retains every Nth leaf's input tensors for offline
+	// replay. Zero means 16; negative disables sampling.
+	SampleEvery int
+	// SampleRing bounds retained replay samples. Zero means 8.
+	SampleRing int
+	// MaxPending bounds batches awaiting delivery in the worker. Zero means
+	// 4096.
+	MaxPending int
+	// Metrics receives the transcript series; nil uses telemetry.Default.
+	Metrics *telemetry.Registry
+}
+
+// Sample is one retained replay candidate: a leaf plus the input tensors
+// that produced it, served to auditors who replay the batch locally.
+type Sample struct {
+	Index  uint64
+	Leaf   Leaf
+	Inputs map[string]*tensor.Tensor
+}
+
+// recEvent is one hot-path notification. Exactly one of the kinds is set.
+type recEvent struct {
+	kind    uint8 // 'b'egin, 'c'heckpoint, 'C'heckpoint-tensors, 'v'ote, 'd'eliver, 'a'bort
+	batch   uint64
+	trace   uint64
+	stage   int
+	digest  check.Digest
+	replica string
+	agree   bool
+	rung    uint8
+	tensors map[string]*tensor.Tensor
+}
+
+// pendingLeaf accumulates one batch's events until delivery.
+type pendingLeaf struct {
+	trace       uint64
+	inputs      map[string]*tensor.Tensor
+	checkpoints []check.Digest
+	votes       []Vote
+}
+
+// Recorder is the serving-tier end of the transcript: hot-path call sites
+// (engine submit/forward/deliver, router submit/vote/deliver) publish tiny
+// events into a bounded channel and never block — the same discipline as
+// the PR 4 event bus — while a single worker goroutine hashes tensors,
+// builds leaves, appends to the Merkle log and periodically signs tree
+// heads. A full channel drops the event and counts it; a dropped event
+// degrades that batch's leaf (zero digests) but never stalls serving.
+// All write-path methods are nil-receiver-safe.
+type Recorder struct {
+	cfg Config
+
+	ch      chan recEvent
+	done    chan struct{}
+	closed  atomic.Bool
+	dropped atomic.Uint64
+
+	mu      sync.Mutex
+	log     *Log
+	encoded [][]byte          // encoded leaves, aligned with log indices
+	decoded []Leaf            // decoded view, same alignment
+	byTrace map[uint64]uint64 // trace -> latest leaf index
+	head    SignedHead
+	hasHead bool
+	samples []Sample
+	nextSmp uint64 // leaf index at which the next sample is taken
+
+	mLeaves  *telemetry.Counter
+	mDropped *telemetry.Counter
+	mHeads   *telemetry.Counter
+}
+
+// NewRecorder starts a recorder's worker goroutine. Close releases it.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.HeadEvery <= 0 {
+		cfg.HeadEvery = 32
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 16
+	}
+	if cfg.SampleRing <= 0 {
+		cfg.SampleRing = 8
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4096
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	r := &Recorder{
+		cfg:      cfg,
+		ch:       make(chan recEvent, cfg.Buffer),
+		done:     make(chan struct{}),
+		log:      NewLog(),
+		byTrace:  make(map[uint64]uint64),
+		mLeaves:  reg.Counter(telemetry.MetricTranscriptLeaves),
+		mDropped: reg.Counter(telemetry.MetricTranscriptDropped),
+		mHeads:   reg.Counter(telemetry.MetricTranscriptHeads),
+	}
+	go r.worker()
+	return r
+}
+
+// Close stops the worker after draining queued events.
+func (r *Recorder) Close() {
+	if r == nil || !r.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(r.ch)
+	<-r.done
+}
+
+// post enqueues one event without ever blocking the caller.
+func (r *Recorder) post(ev recEvent) {
+	if r == nil || r.closed.Load() {
+		return
+	}
+	select {
+	case r.ch <- ev:
+	default:
+		r.dropped.Add(1)
+		r.mDropped.Inc()
+	}
+}
+
+// Begin records a batch's submission: its trace ID and input tensors. The
+// worker hashes the inputs off the hot path; the map must not be mutated
+// after submission (engine and router both retain immutable input sets).
+func (r *Recorder) Begin(trace, batch uint64, inputs map[string]*tensor.Tensor) {
+	r.post(recEvent{kind: 'b', batch: batch, trace: trace, tensors: inputs})
+}
+
+// Checkpoint records one per-stage digest (stage-worker context: the call
+// must not block, and it does not — it is one channel send).
+func (r *Recorder) Checkpoint(batch uint64, stage int, d check.Digest) {
+	r.post(recEvent{kind: 'c', batch: batch, stage: stage, digest: d})
+}
+
+// CheckpointTensors records a per-stage checkpoint by reference to its
+// output tensors; the worker hashes them off the hot path. Single-node
+// engines use this form — without a cluster digest sink there is no reason
+// to pay the digest on the stage worker. The map must not be mutated after
+// the call (checkpoint outputs are immutable once forwarded).
+func (r *Recorder) CheckpointTensors(batch uint64, stage int, outs map[string]*tensor.Tensor) {
+	r.post(recEvent{kind: 'C', batch: batch, stage: stage, tensors: outs})
+}
+
+// Vote records one follower's digest verdict (cluster mode).
+func (r *Recorder) Vote(batch uint64, replica string, sum check.Digest, agree bool) {
+	r.post(recEvent{kind: 'v', batch: batch, replica: replica, digest: sum, agree: agree})
+}
+
+// Deliver finalizes a batch's leaf with its output tensors, worst ladder
+// rung and serving replica. The worker hashes the outputs and appends.
+func (r *Recorder) Deliver(batch uint64, outputs map[string]*tensor.Tensor, rung uint8, replica string) {
+	r.post(recEvent{kind: 'd', batch: batch, tensors: outputs, rung: rung, replica: replica})
+}
+
+// Abort discards a batch's accumulated state (failed batches leave no
+// leaf — the absence is itself auditable via batch-ID gaps).
+func (r *Recorder) Abort(batch uint64) {
+	r.post(recEvent{kind: 'a', batch: batch})
+}
+
+// Dropped returns cumulative hot-path events lost to a full channel.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+func (r *Recorder) worker() {
+	defer close(r.done)
+	pending := make(map[uint64]*pendingLeaf)
+	order := make([]uint64, 0, 64) // insertion order for bounded eviction
+	for ev := range r.ch {
+		switch ev.kind {
+		case 'b':
+			if len(pending) >= r.cfg.MaxPending {
+				// Evict the oldest half-built batch rather than grow without
+				// bound when deliveries stop arriving.
+				for len(order) > 0 {
+					old := order[0]
+					order = order[1:]
+					if _, ok := pending[old]; ok {
+						delete(pending, old)
+						r.dropped.Add(1)
+						r.mDropped.Inc()
+						break
+					}
+				}
+			}
+			p := &pendingLeaf{trace: ev.trace, inputs: ev.tensors}
+			pending[ev.batch] = p
+			order = append(order, ev.batch)
+		case 'c', 'C':
+			p := pending[ev.batch]
+			if p == nil {
+				break // begin was dropped; leaf will be degraded anyway
+			}
+			d := ev.digest
+			if ev.kind == 'C' {
+				d = check.DigestOf(ev.tensors)
+			}
+			for len(p.checkpoints) <= ev.stage {
+				p.checkpoints = append(p.checkpoints, check.Digest{})
+			}
+			p.checkpoints[ev.stage] = d
+		case 'v':
+			p := pending[ev.batch]
+			if p == nil {
+				break
+			}
+			p.votes = append(p.votes, Vote{Replica: ev.replica, Sum: ev.digest, Agree: ev.agree})
+		case 'a':
+			delete(pending, ev.batch)
+		case 'd':
+			p := pending[ev.batch]
+			if p == nil {
+				p = &pendingLeaf{}
+			}
+			delete(pending, ev.batch)
+			leaf := Leaf{
+				Trace:       p.trace,
+				Batch:       ev.batch,
+				Checkpoints: p.checkpoints,
+				Votes:       p.votes,
+				Rung:        ev.rung,
+				Replica:     ev.replica,
+			}
+			if p.inputs != nil {
+				leaf.Input = check.DigestOf(p.inputs)
+			}
+			if ev.tensors != nil {
+				leaf.Output = check.DigestOf(ev.tensors)
+			}
+			r.append(leaf, p.inputs)
+		}
+	}
+}
+
+// append encodes the leaf, extends the tree, samples and signs heads.
+func (r *Recorder) append(leaf Leaf, inputs map[string]*tensor.Tensor) {
+	enc, err := leaf.Marshal()
+	if err != nil {
+		// Oversized leaf (pathological replica IDs); count as a drop.
+		r.dropped.Add(1)
+		r.mDropped.Inc()
+		return
+	}
+	r.mu.Lock()
+	idx := r.log.Append(LeafHash(enc))
+	r.encoded = append(r.encoded, enc)
+	r.decoded = append(r.decoded, leaf)
+	if leaf.Trace != 0 {
+		r.byTrace[leaf.Trace] = idx
+	}
+	if r.cfg.SampleEvery > 0 && idx == r.nextSmp && inputs != nil {
+		r.samples = append(r.samples, Sample{Index: idx, Leaf: leaf, Inputs: inputs})
+		if len(r.samples) > r.cfg.SampleRing {
+			r.samples = r.samples[1:]
+		}
+		r.nextSmp = idx + uint64(r.cfg.SampleEvery)
+	} else if r.cfg.SampleEvery > 0 && idx >= r.nextSmp {
+		// The scheduled leaf had no retained inputs; slide the schedule.
+		r.nextSmp = idx + 1
+	}
+	size := r.log.Size()
+	if size%uint64(r.cfg.HeadEvery) == 0 {
+		r.signLocked()
+	}
+	r.mu.Unlock()
+	r.mLeaves.Inc()
+}
+
+// signLocked publishes a head over the current tree. Caller holds r.mu.
+func (r *Recorder) signLocked() {
+	h := TreeHead{
+		Size:   r.log.Size(),
+		Root:   r.log.Root(),
+		Model:  r.cfg.Model,
+		TimeNs: time.Now().UnixNano(),
+	}
+	if r.cfg.Bindings != nil {
+		h.Bindings = r.cfg.Bindings()
+	}
+	if r.cfg.Signer == nil {
+		r.head, r.hasHead = SignedHead{Head: h}, true
+		return
+	}
+	sh, err := SignHead(r.cfg.Signer, h)
+	if err != nil {
+		// Keep the previous head; the next append retries.
+		return
+	}
+	r.head, r.hasHead = sh, true
+	r.mHeads.Inc()
+}
+
+// ErrEmpty reports an audit request against a log with nothing published.
+var ErrEmpty = errors.New("transcript: empty log")
+
+// SignedHead returns the latest published head. With fresh true (or when no
+// head has been signed yet) it first signs one over the current tree, so
+// auditors can always obtain a head covering everything delivered so far.
+func (r *Recorder) SignedHead(fresh bool) (SignedHead, error) {
+	if r == nil {
+		return SignedHead{}, ErrEmpty
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fresh || !r.hasHead || r.head.Head.Size < r.log.Size() {
+		r.signLocked()
+	}
+	if !r.hasHead {
+		return SignedHead{}, ErrEmpty
+	}
+	return r.head, nil
+}
+
+// Size returns the number of appended leaves.
+func (r *Recorder) Size() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Size()
+}
+
+// LeafByTrace returns the encoded and decoded leaf most recently appended
+// under the trace ID.
+func (r *Recorder) LeafByTrace(trace uint64) (Leaf, []byte, uint64, bool) {
+	if r == nil {
+		return Leaf{}, nil, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, ok := r.byTrace[trace]
+	if !ok {
+		return Leaf{}, nil, 0, false
+	}
+	return r.decoded[idx], r.encoded[idx], idx, true
+}
+
+// LeafAt returns the encoded and decoded leaf at index.
+func (r *Recorder) LeafAt(idx uint64) (Leaf, []byte, error) {
+	if r == nil {
+		return Leaf{}, nil, ErrEmpty
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx >= uint64(len(r.encoded)) {
+		return Leaf{}, nil, fmt.Errorf("transcript: leaf %d out of range (size %d)", idx, len(r.encoded))
+	}
+	return r.decoded[idx], r.encoded[idx], nil
+}
+
+// InclusionProof proves leaf index under the tree of the given size.
+func (r *Recorder) InclusionProof(index, size uint64) (*Proof, error) {
+	if r == nil {
+		return nil, ErrEmpty
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.InclusionProof(index, size)
+}
+
+// ConsistencyProof proves the size-m tree is a prefix of the size-n tree.
+func (r *Recorder) ConsistencyProof(m, n uint64) (*Proof, error) {
+	if r == nil {
+		return nil, ErrEmpty
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.ConsistencyProof(m, n)
+}
+
+// Sample returns the newest retained replay sample at or below maxIndex
+// (exclusive), i.e. one already covered by a published head of that size.
+func (r *Recorder) Sample(maxSize uint64) (Sample, bool) {
+	if r == nil {
+		return Sample{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.samples) - 1; i >= 0; i-- {
+		if r.samples[i].Index < maxSize {
+			return r.samples[i], true
+		}
+	}
+	return Sample{}, false
+}

@@ -1,0 +1,158 @@
+package transcript
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/enclave"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// Auditor verifies audit documents offline against a trust anchor set, an
+// expected monitor measurement and the sealed model digest — everything an
+// operator derives from the bundle directory, nothing from the serving
+// host.
+type Auditor struct {
+	// Verifier holds the trusted platform identities.
+	Verifier *enclave.Verifier
+	// Measurements are the acceptable signing-enclave measurements (the
+	// monitor image); empty skips the measurement pin.
+	Measurements []enclave.Measurement
+	// Model is the locally recomputed sealed model digest.
+	Model Hash
+}
+
+// Verification errors.
+var (
+	ErrTamper = errors.New("transcript: tamper detected")
+	ErrReplay = errors.New("transcript: replay mismatch")
+)
+
+// VerifyDoc checks one audit document end to end: head signature and chain,
+// then whichever proof the document carries (inclusion when a leaf is
+// present, consistency otherwise). It returns the decoded leaf for
+// documents that carry one so callers can replay it.
+func (a *Auditor) VerifyDoc(doc *AuditDoc) (*Leaf, error) {
+	if err := VerifyHead(a.Verifier, doc.Head, a.Measurements); err != nil {
+		return nil, fmt.Errorf("%w: head: %v", ErrTamper, err)
+	}
+	if err := CheckChain(doc.Head.Head, a.Model, nil); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTamper, err)
+	}
+	if doc.Proof == nil {
+		return nil, nil
+	}
+	p, err := UnmarshalProof(doc.Proof)
+	if err != nil {
+		return nil, fmt.Errorf("%w: proof: %v", ErrTamper, err)
+	}
+	switch p.Kind {
+	case ProofInclusion:
+		if doc.Leaf == nil || doc.LeafIndex == nil {
+			return nil, fmt.Errorf("%w: inclusion proof without leaf", ErrTamper)
+		}
+		if *doc.LeafIndex != p.First || doc.Head.Head.Size != p.Second {
+			return nil, fmt.Errorf("%w: proof indices do not match document", ErrTamper)
+		}
+		if err := VerifyInclusion(LeafHash(doc.Leaf), p, doc.Head.Head.Root); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTamper, err)
+		}
+		leaf, err := UnmarshalLeaf(doc.Leaf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: leaf: %v", ErrTamper, err)
+		}
+		return leaf, nil
+	case ProofConsistency:
+		if p.Second != doc.Head.Head.Size {
+			return nil, fmt.Errorf("%w: consistency proof does not target the head", ErrTamper)
+		}
+		// The caller supplies the old root via VerifyConsistencyWith; a bare
+		// VerifyDoc can only check the new side.
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown proof kind", ErrTamper)
+	}
+}
+
+// VerifyConsistencyWith checks a consistency document against a previously
+// trusted head (the auditor's pinned checkpoint): the old tree must be a
+// prefix of the new one, or the log was rewritten.
+func (a *Auditor) VerifyConsistencyWith(old TreeHead, doc *AuditDoc) error {
+	if _, err := a.VerifyDoc(doc); err != nil {
+		return err
+	}
+	if doc.Proof == nil {
+		return fmt.Errorf("%w: missing consistency proof", ErrTamper)
+	}
+	p, err := UnmarshalProof(doc.Proof)
+	if err != nil {
+		return fmt.Errorf("%w: proof: %v", ErrTamper, err)
+	}
+	if p.Kind != ProofConsistency || p.First != old.Size {
+		return fmt.Errorf("%w: proof does not extend the pinned head", ErrTamper)
+	}
+	if err := VerifyConsistency(p, old.Root, doc.Head.Head.Root); err != nil {
+		return fmt.Errorf("%w: %v", ErrTamper, err)
+	}
+	return nil
+}
+
+// ReplayFunc runs one batch through a locally built engine.
+type ReplayFunc func(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+
+// Replay re-executes a sampled batch and compares digests bit for bit: the
+// input tensors must hash to the leaf's input digest (the served inputs are
+// the ones the leaf commits to) and the replayed outputs must hash to the
+// leaf's output digest. Any flipped bit in either direction fails.
+func Replay(leaf *Leaf, inputsEnc []byte, run ReplayFunc) error {
+	inputs, err := wire.DecodeRequest(bytes.NewReader(inputsEnc), nil)
+	if err != nil {
+		return fmt.Errorf("%w: decode sample inputs: %v", ErrTamper, err)
+	}
+	if got := check.DigestOf(inputs); got != check.Digest(leaf.Input) {
+		return fmt.Errorf("%w: sample inputs do not hash to the leaf input digest", ErrTamper)
+	}
+	outs, err := run(inputs)
+	if err != nil {
+		return fmt.Errorf("transcript: replay execution: %w", err)
+	}
+	if got := check.DigestOf(outs); got != check.Digest(leaf.Output) {
+		return fmt.Errorf("%w: replayed output digest %x != transcript %x", ErrReplay, got[:8], leaf.Output[:8])
+	}
+	return nil
+}
+
+// Fetch retrieves one audit document from a serving host's /audit endpoint.
+// query is the raw query string ("", "trace=<hex>", "consistency=<n>",
+// "sample=1").
+func Fetch(baseURL, query string) (*AuditDoc, error) {
+	url := baseURL + "/audit"
+	if query != "" {
+		url += "?" + query
+	}
+	c := &http.Client{Timeout: 30 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("transcript: fetch audit: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("transcript: fetch audit: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transcript: audit endpoint: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var doc AuditDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("transcript: decode audit document: %w", err)
+	}
+	return &doc, nil
+}

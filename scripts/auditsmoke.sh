@@ -1,0 +1,87 @@
+#!/bin/sh
+# Audit round-trip smoke: boot the serving daemon, push an inference burst,
+# then run the offline auditor against the live GET /audit endpoint — signed
+# head verification, consistency from a pinned head across a second burst,
+# and a bitwise replay of a sampled batch on a locally rebuilt engine. Ends
+# with a tamper check: a forged pinned head must make the auditor fail.
+# This is the end-to-end path unit tests can't cover (real HTTP, real
+# process, real bundle rebuild), sized to run in about a minute.
+#
+#   ./scripts/auditsmoke.sh
+# Ports override: AUDITSMOKE_PORT / AUDITSMOKE_TPORT.
+set -eu
+
+port="${AUDITSMOKE_PORT:-18091}"
+tport="${AUDITSMOKE_TPORT:-19091}"
+addr="127.0.0.1:$port"
+taddr="127.0.0.1:$tport"
+
+work=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "auditsmoke: building mvtee-serve and mvtee-tool..." >&2
+go build -o "$work/mvtee-serve" ./cmd/mvtee-serve
+go build -o "$work/mvtee-tool" ./cmd/mvtee-tool
+
+"$work/mvtee-serve" -listen "$addr" -telemetry-addr "$taddr" > "$work/serve.log" 2>&1 &
+pid=$!
+
+# Wait for the serving tier to accept inferences (bundle build takes a few
+# seconds on slow hosts).
+i=0
+until "$work/mvtee-tool" infer -addr "http://$addr" -binary -input image=1x3x32x32 \
+	> /dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 120 ]; then
+		echo "auditsmoke: serve did not come up; log follows" >&2
+		cat "$work/serve.log" >&2
+		exit 1
+	fi
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "auditsmoke: serve exited early; log follows" >&2
+		cat "$work/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.5
+done
+
+echo "auditsmoke: burst 1 (20 inferences)..." >&2
+n=0
+while [ "$n" -lt 20 ]; do
+	"$work/mvtee-tool" infer -addr "http://$addr" -binary -input image=1x3x32x32 > /dev/null
+	n=$((n + 1))
+done
+
+echo "auditsmoke: verify (signed head + sampled-batch replay)..." >&2
+"$work/mvtee-tool" verify -addr "http://$taddr" -head-file "$work/head.json"
+
+echo "auditsmoke: burst 2 (5 inferences) + consistency from pinned head..." >&2
+n=0
+while [ "$n" -lt 5 ]; do
+	"$work/mvtee-tool" infer -addr "http://$addr" -binary -input image=1x3x32x32 > /dev/null
+	n=$((n + 1))
+done
+"$work/mvtee-tool" verify -addr "http://$taddr" -head-file "$work/head.json" -replay=false
+
+echo "auditsmoke: tamper check (forged pinned head must be rejected)..." >&2
+# Flip the pinned head's root to a fabricated value: the server can no longer
+# produce a consistency proof into it, so the auditor must fail.
+sed 's/"root": "[0-9a-f]\{8\}/"root": "deadbeef/' "$work/head.json" > "$work/forged.json"
+if cmp -s "$work/head.json" "$work/forged.json"; then
+	echo "auditsmoke: forgery sed did not change the head file" >&2
+	exit 1
+fi
+if "$work/mvtee-tool" verify -addr "http://$taddr" -head-file "$work/forged.json" -replay=false \
+	> "$work/forged.out" 2>&1; then
+	echo "auditsmoke: FAIL — auditor accepted a forged pinned head" >&2
+	cat "$work/forged.out" >&2
+	exit 1
+fi
+echo "auditsmoke: forged head rejected, as required" >&2
+
+echo "auditsmoke: OK"

@@ -9,22 +9,34 @@ go test -race ./...
 
 # The robustness layer (straggler deadlines, degradation ladder, hot
 # replacement, channel retry), the lock-free telemetry core, the adaptive
-# control plane and the cluster router (failover, digest voting) are
+# control plane, the cluster router (failover, digest voting) and the
+# transcript recorder (hot-path posts racing the worker and audit reads) are
 # concurrency-heavy: run their packages twice under the race detector to
 # shake out interleavings a single pass misses.
-go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan ./internal/telemetry ./internal/control ./internal/cluster
+go test -race -count=2 ./internal/monitor ./internal/workpool ./internal/securechan ./internal/telemetry ./internal/control ./internal/cluster ./internal/transcript
 
 # Observability overhead pin: the fully instrumented warm dispatch→gather
 # path must not allocate more than the same path with telemetry disabled.
 go test -run='TestWarmAllocsPin' -count=1 ./internal/monitor
 
 # Short fuzz smoke over the attacker-facing parsers: the pre-auth record
-# framing, the tagged wire decoder, and the public binary request decoder on
-# the serving front door. A few seconds each catches gross regressions;
-# longer campaigns run out-of-band.
+# framing, the tagged wire decoder, the public binary request decoder on
+# the serving front door, and the audit-plane proof and leaf decoders
+# (audit documents cross trust boundaries from an untrusted serving host).
+# A few seconds each catches gross regressions; longer campaigns run
+# out-of-band (weekly long-fuzz in CI; crashers recycle into testdata/fuzz/
+# via scripts/fuzzrecycle.sh).
 go test -run='^$' -fuzz=FuzzFrame -fuzztime=5s ./internal/securechan
 go test -run='^$' -fuzz=FuzzWireUnmarshal -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz=FuzzPublicRequest -fuzztime=5s ./internal/wire
+go test -run='^$' -fuzz=FuzzTranscriptProof -fuzztime=5s ./internal/transcript
+go test -run='^$' -fuzz=FuzzTranscriptLeaf -fuzztime=5s ./internal/transcript
+
+# Audit round-trip smoke: opt-in because it boots the full serving daemon
+# and replays a sampled batch (about a minute). CHECK_AUDIT=1 runs it.
+if [ "${CHECK_AUDIT:-0}" = "1" ]; then
+	./scripts/auditsmoke.sh
+fi
 
 # Advisory perf gate: opt-in because the full microbenchmark suite takes
 # minutes. CHECK_BENCH=1 ./scripts/check.sh measures the working tree and

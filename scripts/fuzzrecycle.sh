@@ -1,0 +1,47 @@
+#!/bin/sh
+# Recycle fuzz crashers into the repository. When a `go test -fuzz` campaign
+# fails, the toolchain minimizes the input and writes it to the package's
+# testdata/fuzz/<Target>/ directory in the source tree — from then on plain
+# `go test` replays it as a regression seed. This script finds those freshly
+# written inputs, commits them to a dedicated branch and (in CI) pushes it,
+# so a weekly long-fuzz hit becomes a reviewable one-file PR instead of an
+# artifact someone has to remember to download.
+#
+#   ./scripts/fuzzrecycle.sh          # commit new crashers to fuzz-crashers
+#   FUZZ_PUSH=1 ./scripts/fuzzrecycle.sh   # and push the branch (CI)
+set -eu
+
+branch="${FUZZ_BRANCH:-fuzz-crashers}"
+
+# Untracked files under any committed fuzz corpus directory: exactly what a
+# failed campaign leaves behind (committed seeds are tracked; -uall expands
+# directories so new targets' first crashers are found too).
+new=$(git status --porcelain -uall -- 'internal/*/testdata/fuzz/*' | awk '$1 == "??" {print $2}')
+if [ -z "$new" ]; then
+	echo "fuzzrecycle: no new crashers to recycle"
+	exit 0
+fi
+echo "fuzzrecycle: new crash inputs:"
+echo "$new" | sed 's/^/  /'
+
+# Build the recycle commit on its own branch off the current HEAD. CI runners
+# are ephemeral checkouts, so switching branches is safe; locally the
+# checkout back restores where you were.
+orig=$(git rev-parse --abbrev-ref HEAD)
+git checkout -B "$branch"
+echo "$new" | while IFS= read -r f; do git add -- "$f"; done
+git -c user.name="${GIT_AUTHOR_NAME:-fuzz-recycle}" \
+	-c user.email="${GIT_AUTHOR_EMAIL:-fuzz-recycle@localhost}" \
+	commit -m "test: recycle fuzz crashers as regression seeds
+
+Minimized failing inputs from a long-fuzz campaign, committed under
+testdata/fuzz/ so every future go test run replays them."
+
+if [ "${FUZZ_PUSH:-0}" = "1" ]; then
+	git push --force-with-lease origin "HEAD:refs/heads/$branch" ||
+		git push -f origin "HEAD:refs/heads/$branch"
+fi
+if [ "$orig" != "HEAD" ] && [ "$orig" != "$branch" ]; then
+	git checkout "$orig"
+fi
+echo "fuzzrecycle: crashers committed on branch $branch"

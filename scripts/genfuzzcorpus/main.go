@@ -18,8 +18,10 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"repro/internal/check"
 	"repro/internal/securechan"
 	"repro/internal/tensor"
+	"repro/internal/transcript"
 	"repro/internal/wire"
 )
 
@@ -33,6 +35,8 @@ func main() {
 	write(filepath.Join(root, "internal/securechan/testdata/fuzz/FuzzFrame"), frameSeeds())
 	write(filepath.Join(root, "internal/wire/testdata/fuzz/FuzzWireUnmarshal"), wireSeeds())
 	write(filepath.Join(root, "internal/wire/testdata/fuzz/FuzzPublicRequest"), publicSeeds())
+	write(filepath.Join(root, "internal/transcript/testdata/fuzz/FuzzTranscriptProof"), proofSeeds())
+	write(filepath.Join(root, "internal/transcript/testdata/fuzz/FuzzTranscriptLeaf"), leafSeeds())
 }
 
 // write emits each seed in the `go test fuzz v1` corpus-file format.
@@ -133,6 +137,131 @@ func wireSeeds() map[string][]byte {
 		c := append([]byte(nil), batch...)
 		c[off%len(c)] ^= 1 << (i % 8)
 		seeds[fmt.Sprintf("seed-batch-bitflip-%d", i)] = c
+	}
+	return seeds
+}
+
+// proofSeeds targets the audit-plane proof decoder: real proofs from a
+// 33-leaf tree (a size that exercises both perfect and ragged subtrees),
+// boundary path counts, lying length fields, and bit flips across a valid
+// inclusion encoding.
+func proofSeeds() map[string][]byte {
+	l := transcript.NewLog()
+	for i := 0; i < 33; i++ {
+		l.Append(transcript.LeafHash([]byte{byte(i)}))
+	}
+	mustProof := func(p *transcript.Proof, err error) []byte {
+		if err != nil {
+			panic(err)
+		}
+		b, err := p.Marshal()
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	incl := mustProof(l.InclusionProof(7, 33))
+	inclLast := mustProof(l.InclusionProof(32, 33))
+	cons := mustProof(l.ConsistencyProof(16, 33))
+	consEqual := mustProof(l.ConsistencyProof(33, 33)) // empty path
+
+	// Header with a path count over the cap and no path behind it: must be
+	// refused before any allocation.
+	overCap := append([]byte(nil), incl[:24]...)
+	binary.LittleEndian.PutUint16(overCap[22:], transcript.MaxProofLen+1)
+	// Path count at the cap with a matching 4 KiB of zero path.
+	atCap := append([]byte(nil), incl[:24]...)
+	binary.LittleEndian.PutUint16(atCap[22:], transcript.MaxProofLen)
+	atCap = append(atCap, make([]byte, 32*transcript.MaxProofLen)...)
+	// Count says fewer entries than the bytes carry: trailing bytes.
+	trailing := append(append([]byte(nil), incl...), 0xaa)
+	// Inclusion index outside the claimed tree size.
+	badIndex := append([]byte(nil), incl...)
+	binary.LittleEndian.PutUint64(badIndex[6:], 33) // index == size
+	// Consistency sizes inverted.
+	inverted := append([]byte(nil), cons...)
+	binary.LittleEndian.PutUint64(inverted[6:], 34)
+
+	seeds := map[string][]byte{
+		"seed-inclusion":        incl,
+		"seed-inclusion-last":   inclLast,
+		"seed-consistency":      cons,
+		"seed-consistency-noop": consEqual,
+		"seed-path-over-cap":    overCap,
+		"seed-path-at-cap":      atCap,
+		"seed-trailing":         trailing,
+		"seed-bad-index":        badIndex,
+		"seed-sizes-inverted":   inverted,
+		"seed-empty":            {},
+		"seed-magic-only":       []byte("MVTP"),
+		"seed-wrong-version":    []byte("MVTP\x02\x01"),
+		"seed-bad-kind":         {'M', 'V', 'T', 'P', 1, 3},
+		"seed-header-short":     incl[:proofTrim(incl)],
+	}
+	for i, off := range []int{4, 5, 6, 22, len(incl) - 1} {
+		c := append([]byte(nil), incl...)
+		c[off%len(c)] ^= 1 << (i % 8)
+		seeds[fmt.Sprintf("seed-bitflip-%d", i)] = c
+	}
+	return seeds
+}
+
+// proofTrim picks a truncation point inside the fixed header.
+func proofTrim(b []byte) int {
+	if len(b) < 23 {
+		return len(b)
+	}
+	return 23
+}
+
+// leafSeeds targets the leaf decoder with a fully populated leaf (checkpoints,
+// dissenting votes, replica IDs), section-count lies and truncations.
+func leafSeeds() map[string][]byte {
+	full := &transcript.Leaf{
+		Trace:       0xfeedbeef,
+		Batch:       42,
+		Input:       check.Digest{1, 2, 3},
+		Checkpoints: []check.Digest{{4}, {5}, {6}},
+		Votes: []transcript.Vote{
+			{Replica: "replica-a", Sum: check.Digest{7}, Agree: true},
+			{Replica: "replica-β", Sum: check.Digest{8}, Agree: false},
+		},
+		Output:  check.Digest{9, 10},
+		Rung:    2,
+		Replica: "leader-0",
+	}
+	valid, err := full.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	minimal, err := (&transcript.Leaf{}).Marshal()
+	if err != nil {
+		panic(err)
+	}
+
+	// Checkpoint count over the cap with no section behind it.
+	overCap := append([]byte(nil), valid[:55]...)
+	binary.LittleEndian.PutUint16(overCap[53:], transcript.MaxLeafCheckpoints+1)
+	// Vote replica length byte pointing past the end of the buffer.
+	lyingStr := append([]byte(nil), valid...)
+	lyingStr[len(lyingStr)-len("leader-0")-1] = 0xff
+	trailing := append(append([]byte(nil), valid...), 0)
+
+	seeds := map[string][]byte{
+		"seed-valid":         valid,
+		"seed-minimal":       minimal,
+		"seed-count-over":    overCap,
+		"seed-lying-replica": lyingStr,
+		"seed-trailing":      trailing,
+		"seed-empty":         {},
+		"seed-magic-only":    []byte("MVTL"),
+		"seed-wrong-version": []byte("MVTL\x02"),
+		"seed-half":          valid[:len(valid)/2],
+	}
+	for i, off := range []int{5, 21, 53, len(valid) / 2, len(valid) - 2} {
+		c := append([]byte(nil), valid...)
+		c[off%len(c)] ^= 1 << (i % 8)
+		seeds[fmt.Sprintf("seed-bitflip-%d", i)] = c
 	}
 	return seeds
 }
